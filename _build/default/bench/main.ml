@@ -1,0 +1,445 @@
+(* Benchmark harness: regenerates every table and figure of the thesis's
+   Chapter 6 from the reproduction (see DESIGN.md for the experiment
+   index).  Run:
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- table-6.1    # one artifact
+     dune exec bench/main.exe -- --bechamel   # Bechamel micro-benchmarks
+
+   Absolute numbers come from the cycle-accurate simulator; the
+   paper-reported values are printed alongside where the thesis gives
+   them, so shapes can be compared directly.  EXPERIMENTS.md records a
+   full run. *)
+
+module C = Twill_chstone.Chstone
+
+let line = String.make 78 '-'
+
+let header title = Printf.printf "\n%s\n%s\n%s\n" line title line
+
+(* Reports are expensive; compute each benchmark once, in parallel
+   domains (the simulations are independent). *)
+let parallel_map (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  let n = Domain.recommended_domain_count () in
+  if n <= 1 || List.length xs <= 1 then List.map f xs
+  else begin
+    let arr = Array.of_list xs in
+    let out = Array.make (Array.length arr) None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue_ = ref true in
+      while !continue_ do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= Array.length arr then continue_ := false
+        else out.(i) <- Some (f arr.(i))
+      done
+    in
+    let domains =
+      List.init (min n (Array.length arr) - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join domains;
+    Array.to_list out |> List.map Option.get
+  end
+
+let report_cache : (string, Twill.report) Hashtbl.t = Hashtbl.create 8
+
+let compute_report (b : C.benchmark) : Twill.report =
+  let r = Twill.evaluate ~name:b.C.name b.C.source in
+  (match b.C.expected with
+  | Some e when r.Twill.sw.Twill.ret <> e ->
+      failwith (Printf.sprintf "%s: checksum regression" b.C.name)
+  | _ -> ());
+  r
+
+let report_of (b : C.benchmark) : Twill.report =
+  match Hashtbl.find_opt report_cache b.C.name with
+  | Some r -> r
+  | None ->
+      let r = compute_report b in
+      Hashtbl.replace report_cache b.C.name r;
+      r
+
+let all_reports () =
+  (* warm the cache in parallel on first use *)
+  if Hashtbl.length report_cache = 0 then
+    List.iter2
+      (fun b r -> Hashtbl.replace report_cache b.C.name r)
+      C.all
+      (parallel_map compute_report C.all);
+  List.map (fun b -> (b, report_of b)) C.all
+
+(* ------------------------------------------------------------------ *)
+(* Table 6.1: DSWP results — queues, semaphores, HW threads            *)
+(* ------------------------------------------------------------------ *)
+
+let paper_table_6_1 =
+  [
+    ("mips", (12, 0, 1)); ("adpcm", (328, 0, 5)); ("aes", (100, 0, 3));
+    ("blowfish", (104, 2, 2)); ("gsm", (65, 0, 3)); ("jpeg", (576, 3, 6));
+    ("motion", (47, 0, 4)); ("sha", (82, 0, 1));
+  ]
+
+let table_6_1 () =
+  header "Table 6.1 — DSWP results (#queues / #semaphores / #HW threads)";
+  Printf.printf "%-10s | %8s %6s %10s | %28s\n" "benchmark" "queues" "sems"
+    "HW threads" "paper (queues/sems/threads)";
+  List.iter
+    (fun ((b : C.benchmark), (r : Twill.report)) ->
+      let pq, ps, pt =
+        match List.assoc_opt b.C.name paper_table_6_1 with
+        | Some (q, s, t) -> (q, s, t)
+        | None -> (0, 0, 0)
+      in
+      Printf.printf "%-10s | %8d %6d %10d | %10d /%3d /%2d\n" b.C.name
+        r.Twill.twill.Twill.nqueues r.Twill.twill.Twill.nsems
+        r.Twill.twill.Twill.n_hw_threads pq ps pt)
+    (all_reports ())
+
+(* ------------------------------------------------------------------ *)
+(* Table 6.2: LUTs — LegUp vs Twill HW threads vs Twill vs +Microblaze *)
+(* ------------------------------------------------------------------ *)
+
+let paper_table_6_2 =
+  [
+    ("mips", (2101, 1830, 2318, 3752)); ("adpcm", (16893, 7182, 28682, 30116));
+    ("aes", (16488, 8302, 15338, 16772)); ("blowfish", (5872, 3293, 10493, 11927));
+    ("gsm", (7397, 5888, 11983, 13417)); ("jpeg", (31084, 18443, 56101, 57535));
+    ("motion", (16295, 8116, 13467, 14901)); ("sha", (12956, 7856, 13352, 14768));
+  ]
+
+let table_6_2 () =
+  header "Table 6.2 — FPGA LUTs: pure LegUp vs Twill";
+  Printf.printf "%-10s | %8s %10s %8s %8s | %s\n" "benchmark" "LegUp"
+    "TwillHWT" "Twill" "Twill+MB" "LegUp/HWT Twill/HWT (paper rows)";
+  let rs = all_reports () in
+  let ratio a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
+  let acc1 = ref 0.0 and acc2 = ref 0.0 in
+  List.iter
+    (fun ((b : C.benchmark), (r : Twill.report)) ->
+      let legup = r.Twill.hw.Twill.area.Twill.Area.luts in
+      let hwt = r.Twill.twill.Twill.hw_threads_area.Twill.Area.luts in
+      let twill = r.Twill.twill.Twill.scenario.Twill.area.Twill.Area.luts in
+      let mb = twill + Twill.Area.microblaze.Twill.Area.luts in
+      acc1 := !acc1 +. log (ratio legup hwt);
+      acc2 := !acc2 +. log (ratio twill hwt);
+      let pl, ph, ptw, pm =
+        match List.assoc_opt b.C.name paper_table_6_2 with
+        | Some v -> v
+        | None -> (0, 0, 0, 0)
+      in
+      Printf.printf
+        "%-10s | %8d %10d %8d %8d |  %5.2f     %5.2f   (%d/%d/%d/%d)\n"
+        b.C.name legup hwt twill mb (ratio legup hwt) (ratio twill hwt) pl ph
+        ptw pm)
+    rs;
+  let n = float_of_int (List.length rs) in
+  Printf.printf
+    "geomean: LegUp/TwillHWT = %.2fx (paper: 1.73x), Twill/TwillHWT = %.2fx \
+     (paper: 1.35x)\n"
+    (exp (!acc1 /. n)) (exp (!acc2 /. n))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6.1: power normalised to pure software                      *)
+(* ------------------------------------------------------------------ *)
+
+let fig_6_1 () =
+  header "Figure 6.1 — power normalised to the pure-Microblaze implementation";
+  Printf.printf "%-10s | %10s %10s %10s   (expected order: HW < Twill < SW=1)\n"
+    "benchmark" "pure HW" "Twill" "pure SW";
+  List.iter
+    (fun ((b : C.benchmark), (r : Twill.report)) ->
+      let sw = r.Twill.sw.Twill.power_mw in
+      Printf.printf "%-10s | %10.2f %10.2f %10.2f\n" b.C.name
+        (r.Twill.hw.Twill.power_mw /. sw)
+        (r.Twill.twill.Twill.scenario.Twill.power_mw /. sw)
+        1.0)
+    (all_reports ())
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6.2: speedups normalised to pure software                   *)
+(* ------------------------------------------------------------------ *)
+
+let fig_6_2 () =
+  header "Figure 6.2 — performance speedups normalised to pure software";
+  Printf.printf "%-10s | %12s %12s %12s\n" "benchmark" "pure HW" "Twill"
+    "Twill/HW";
+  let acc_sw = ref 0.0 and acc_hw = ref 0.0 and accp = ref 0.0 in
+  let rs = all_reports () in
+  List.iter
+    (fun ((b : C.benchmark), (r : Twill.report)) ->
+      acc_sw := !acc_sw +. log r.Twill.speedup_vs_sw;
+      acc_hw := !acc_hw +. log r.Twill.speedup_vs_hw;
+      accp := !accp +. log r.Twill.hw_speedup_vs_sw;
+      Printf.printf "%-10s | %11.2fx %11.2fx %11.2fx\n" b.C.name
+        r.Twill.hw_speedup_vs_sw r.Twill.speedup_vs_sw r.Twill.speedup_vs_hw)
+    rs;
+  let n = float_of_int (List.length rs) in
+  Printf.printf
+    "geomean: HW/SW = %.2fx, Twill/SW = %.2fx (paper avg 22.2x), Twill/HW = \
+     %.2fx (paper avg 1.63x)\n"
+    (exp (!accp /. n))
+    (exp (!acc_sw /. n))
+    (exp (!acc_hw /. n))
+
+(* ------------------------------------------------------------------ *)
+(* Figures 6.3 / 6.4: performance vs targeted partition split point    *)
+(* ------------------------------------------------------------------ *)
+
+let split_sweep name =
+  let b = C.find name in
+  let fractions = [ 0.05; 0.1; 0.25; 0.5; 0.75; 0.9 ] in
+  Printf.printf "%-8s | %10s %10s %8s\n" "SW split" "cycles" "norm (5%)"
+    "queues";
+  let base = ref 0 in
+  List.iter
+    (fun f ->
+      let opts =
+        {
+          Twill.default_options with
+          partition =
+            { Twill.Partition.default_config with Twill.Partition.sw_fraction = f };
+        }
+      in
+      let m = Twill.compile ~opts b.C.source in
+      let tw = Twill.run_twill ~opts m in
+      if !base = 0 then base := tw.Twill.scenario.Twill.cycles;
+      Printf.printf "%7.0f%% | %10d %10.2f %8d\n" (f *. 100.0)
+        tw.Twill.scenario.Twill.cycles
+        (float_of_int !base /. float_of_int tw.Twill.scenario.Twill.cycles)
+        tw.Twill.nqueues)
+    fractions
+
+let fig_6_3 () =
+  header
+    "Figure 6.3 — MIPS performance vs targeted partition split point (paper: \
+     even splits worst; queue count anti-correlates with speed)";
+  split_sweep "mips"
+
+let fig_6_4 () =
+  header "Figure 6.4 — Blowfish performance vs targeted partition split point";
+  split_sweep "blowfish"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6.5: sensitivity to queue latency                            *)
+(* ------------------------------------------------------------------ *)
+
+(* the queue-sensitivity experiments force a three-stage pipeline so that
+   real cross-thread traffic exists (the auto-tuner would otherwise fall
+   back to one hardware thread on serial kernels) *)
+let forced_pipeline_opts =
+  {
+    Twill.default_options with
+    partition = { Twill.Partition.default_config with Twill.Partition.nstages = 3 };
+  }
+
+let fig_6_5 () =
+  header
+    "Figure 6.5 — Twill speedup vs queue latency, normalised to 2-cycle \
+     latency (paper: ~27% average slowdown at latency 128; 3-stage pipeline)";
+  let latencies = [ 2; 8; 32; 128 ] in
+  Printf.printf "%-10s |" "benchmark";
+  List.iter (fun l -> Printf.printf " %8s" (Printf.sprintf "lat=%d" l)) latencies;
+  Printf.printf "\n";
+  let sums = Array.make (List.length latencies) 0.0 in
+  List.iter
+    (fun (b : C.benchmark) ->
+      Printf.printf "%-10s |" b.C.name;
+      let base = ref 0 in
+      List.iteri
+        (fun i lat ->
+          let opts = { forced_pipeline_opts with queue_latency = lat } in
+          let m = Twill.compile ~opts b.C.source in
+          let tw = Twill.run_twill ~opts m in
+          if i = 0 then base := tw.Twill.scenario.Twill.cycles;
+          let norm =
+            float_of_int !base /. float_of_int tw.Twill.scenario.Twill.cycles
+          in
+          sums.(i) <- sums.(i) +. norm;
+          Printf.printf " %8.3f" norm)
+        latencies;
+      Printf.printf "\n%!")
+    C.all;
+  Printf.printf "%-10s |" "average";
+  Array.iter
+    (fun s -> Printf.printf " %8.3f" (s /. float_of_int (List.length C.all)))
+    sums;
+  Printf.printf "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6.6: sensitivity to queue length                             *)
+(* ------------------------------------------------------------------ *)
+
+let simulate_with_depth (t : Twill.Dswp.threaded) opts depth =
+  let config =
+    { (Twill.sim_config opts) with Twill.Sim.queue_depth_override = Some depth }
+  in
+  let threads =
+    Array.mapi
+      (fun s name ->
+        {
+          Twill.Sim.tname = name;
+          trole =
+            (match t.Twill.Dswp.roles.(s) with
+            | Twill.Partition.Sw -> Twill.Sim.Sw
+            | Twill.Partition.Hw -> Twill.Sim.Hw);
+          local_memory = false;
+        })
+      t.Twill.Dswp.stages
+  in
+  (Twill.Sim.simulate ~config ~master:t.Twill.Dswp.master t.Twill.Dswp.modul
+     ~threads ~queues:t.Twill.Dswp.queues ~nsems:t.Twill.Dswp.nsems ())
+    .Twill.Sim.cycles
+
+let fig_6_6 () =
+  header
+    "Figure 6.6 — Twill speedup vs queue length, normalised to length 8 \
+     (paper: ~9.7% slowdown from 32 down to 8)";
+  let depths = [ 1; 2; 8; 32 ] in
+  Printf.printf "%-10s |" "benchmark";
+  List.iter (fun d -> Printf.printf " %8s" (Printf.sprintf "len=%d" d)) depths;
+  Printf.printf "\n";
+  let sums = Array.make (List.length depths) 0.0 in
+  List.iter
+    (fun (b : C.benchmark) ->
+      Printf.printf "%-10s |" b.C.name;
+      let opts = forced_pipeline_opts in
+      let m = Twill.compile ~opts b.C.source in
+      let t = Twill.extract ~opts m in
+      let results = List.map (fun d -> (d, simulate_with_depth t opts d)) depths in
+      let base = match List.assoc_opt 8 results with Some c -> c | None -> 1 in
+      List.iteri
+        (fun i (_, c) ->
+          let norm = float_of_int base /. float_of_int c in
+          sums.(i) <- sums.(i) +. norm;
+          Printf.printf " %8.3f" norm)
+        results;
+      Printf.printf "\n%!")
+    C.all;
+  Printf.printf "%-10s |" "average";
+  Array.iter
+    (fun s -> Printf.printf " %8.3f" (s /. float_of_int (List.length C.all)))
+    sums;
+  Printf.printf "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations called out in DESIGN.md                                   *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  header
+    "Ablation — Twill cycles under partitioner variants (lower is better): \
+     default (profile-guided, k=3) vs local-search refinement vs static \
+     10^depth weights vs two stages";
+  Printf.printf "%-10s | %10s %10s %10s %10s %10s\n" "benchmark" "default"
+    "refine" "static-wt" "k=2" "unroll";
+  List.iter
+    (fun (b : C.benchmark) ->
+      let run opts =
+        let m = Twill.compile ~opts b.C.source in
+        (Twill.run_twill ~opts m).Twill.scenario.Twill.cycles
+      in
+      let base = run Twill.default_options in
+      let refine =
+        run
+          {
+            Twill.default_options with
+            partition =
+              { Twill.Partition.default_config with Twill.Partition.refine = true };
+          }
+      in
+      let static_wt =
+        let opts = Twill.default_options in
+        let m = Twill.compile ~opts b.C.source in
+        let t =
+          Twill.Dswp.run ~config:opts.Twill.partition
+            ~queue_depth:opts.Twill.queue_depth m
+        in
+        simulate_with_depth t opts opts.Twill.queue_depth
+      in
+      let k2 =
+        run
+          {
+            Twill.default_options with
+            partition =
+              { Twill.Partition.default_config with Twill.Partition.nstages = 2 };
+          }
+      in
+      let unrolled = run { Twill.default_options with unroll = true } in
+      Printf.printf "%-10s | %10d %10d %10d %10d %10d\n%!" b.C.name base
+        refine static_wt k2 unrolled)
+    C.all
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the toolchain itself                   *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  let b = C.find "motion" in
+  let tests =
+    Test.make_grouped ~name:"twill" ~fmt:"%s %s"
+      [
+        Test.make ~name:"compile"
+          (Staged.stage (fun () -> ignore (Twill.compile b.C.source)));
+        Test.make ~name:"dswp-extract"
+          (let m = Twill.compile b.C.source in
+           Staged.stage (fun () -> ignore (Twill.extract m)));
+        Test.make ~name:"simulate-twill"
+          (let m = Twill.compile b.C.source in
+           Staged.stage (fun () -> ignore (Twill.run_twill m)));
+        Test.make ~name:"simulate-pure-sw"
+          (let m = Twill.compile b.C.source in
+           Staged.stage (fun () -> ignore (Twill.run_pure_sw m)));
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  List.iter
+    (fun instance ->
+      let tbl = Analyze.all ols instance raw in
+      Hashtbl.iter
+        (fun name res ->
+          match Analyze.OLS.estimates res with
+          | Some [ est ] -> Printf.printf "%-42s %14.0f ns/run\n" name est
+          | _ -> Printf.printf "%-42s (no estimate)\n" name)
+        tbl)
+    instances
+
+(* ------------------------------------------------------------------ *)
+
+let artifacts =
+  [
+    ("table-6.1", table_6_1);
+    ("table-6.2", table_6_2);
+    ("fig-6.1", fig_6_1);
+    ("fig-6.2", fig_6_2);
+    ("fig-6.3", fig_6_3);
+    ("fig-6.4", fig_6_4);
+    ("fig-6.5", fig_6_5);
+    ("fig-6.6", fig_6_6);
+    ("ablation", ablation);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [ "--bechamel" ] -> bechamel ()
+  | [] ->
+      Printf.printf "Twill reproduction — regenerating all Chapter 6 artifacts\n";
+      List.iter (fun (_, f) -> f ()) artifacts
+  | names ->
+      List.iter
+        (fun n ->
+          match List.assoc_opt n artifacts with
+          | Some f -> f ()
+          | None ->
+              Printf.eprintf "unknown artifact %s; available: %s\n" n
+                (String.concat ", " (List.map fst artifacts));
+              exit 1)
+        names

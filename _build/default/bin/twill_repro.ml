@@ -1,0 +1,49 @@
+(* twill_repro — runs a single reproduction experiment by name (same
+   artifact set as bench/main.exe, but reporting one benchmark in depth).
+
+     dune exec bin/twill_repro.exe -- aes
+     dune exec bin/twill_repro.exe            # the whole suite, summary *)
+
+let summarize (b : Twill_chstone.Chstone.benchmark) =
+  let r = Twill.evaluate ~name:b.Twill_chstone.Chstone.name b.Twill_chstone.Chstone.source in
+  Printf.printf
+    "%-10s ret=%-11ld sw=%-9d hw=%-8d twill=%-8d t/sw=%5.2f t/hw=%4.2f q=%-3d \
+     hwthreads=%d\n%!"
+    r.Twill.name r.Twill.sw.Twill.ret r.Twill.sw.Twill.cycles
+    r.Twill.hw.Twill.cycles r.Twill.twill.Twill.scenario.Twill.cycles
+    r.Twill.speedup_vs_sw r.Twill.speedup_vs_hw r.Twill.twill.Twill.nqueues
+    r.Twill.twill.Twill.n_hw_threads
+
+let detail (b : Twill_chstone.Chstone.benchmark) =
+  Printf.printf "=== %s: %s ===\n" b.Twill_chstone.Chstone.name
+    b.Twill_chstone.Chstone.description;
+  let r = Twill.evaluate ~name:b.Twill_chstone.Chstone.name b.Twill_chstone.Chstone.source in
+  Printf.printf "checksum: %ld (expected %s)\n" r.Twill.sw.Twill.ret
+    (match b.Twill_chstone.Chstone.expected with
+    | Some e -> Int32.to_string e
+    | None -> "-");
+  Printf.printf "pure SW : %d cycles, %.1f mW\n" r.Twill.sw.Twill.cycles
+    r.Twill.sw.Twill.power_mw;
+  Printf.printf "pure HW : %d cycles, %.1f mW, %d LUTs %d DSPs %d BRAMs\n"
+    r.Twill.hw.Twill.cycles r.Twill.hw.Twill.power_mw
+    r.Twill.hw.Twill.area.Twill.Area.luts r.Twill.hw.Twill.area.Twill.Area.dsps
+    r.Twill.hw.Twill.area.Twill.Area.brams;
+  Printf.printf "Twill   : %d cycles, %.1f mW, %d LUTs (HW threads %d + runtime %d)\n"
+    r.Twill.twill.Twill.scenario.Twill.cycles
+    r.Twill.twill.Twill.scenario.Twill.power_mw
+    r.Twill.twill.Twill.scenario.Twill.area.Twill.Area.luts
+    r.Twill.twill.Twill.hw_threads_area.Twill.Area.luts
+    r.Twill.twill.Twill.runtime_area.Twill.Area.luts;
+  Printf.printf "threads : %d hardware + software master; %d queues, %d semaphores\n"
+    r.Twill.twill.Twill.n_hw_threads r.Twill.twill.Twill.nqueues
+    r.Twill.twill.Twill.nsems;
+  Array.iter
+    (fun (n, c) -> Printf.printf "  %-20s finished at cycle %d\n" n c)
+    r.Twill.twill.Twill.stats.Twill.Sim.thread_finish;
+  Printf.printf "speedup : %.2fx vs pure SW, %.2fx vs pure HW\n"
+    r.Twill.speedup_vs_sw r.Twill.speedup_vs_hw
+
+let () =
+  match Array.to_list Sys.argv |> List.tl with
+  | [] -> List.iter summarize Twill_chstone.Chstone.all
+  | names -> List.iter (fun n -> detail (Twill_chstone.Chstone.find n)) names

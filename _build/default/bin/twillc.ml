@@ -1,0 +1,197 @@
+(* twillc — the Twill command-line driver.
+
+     twillc run FILE.c            execute under all three flows + report
+     twillc ir FILE.c             dump optimised IR
+     twillc threads FILE.c        dump extracted pipeline-stage functions
+     twillc bench NAME            run one bundled CHStone benchmark
+     twillc list                  list bundled benchmarks
+
+   Options: --stages K, --sw-frac F, --queue-depth D, --queue-latency L,
+   --aggressive-inline, --no-auto. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let mk_opts stages sw_frac queue_depth queue_latency aggressive =
+  {
+    Twill.default_options with
+    partition =
+      {
+        Twill.Partition.default_config with
+        Twill.Partition.nstages = stages;
+        sw_fraction = sw_frac;
+      };
+    queue_depth;
+    queue_latency;
+    inline_aggressive = aggressive;
+  }
+
+let stages =
+  Arg.(value & opt int 3 & info [ "stages" ] ~doc:"Pipeline stage count.")
+
+let sw_frac =
+  Arg.(
+    value
+    & opt float 0.002
+    & info [ "sw-frac" ] ~doc:"Targeted work share for the software master.")
+
+let queue_depth =
+  Arg.(value & opt int 8 & info [ "queue-depth" ] ~doc:"Queue depth (slots).")
+
+let queue_latency =
+  Arg.(
+    value & opt int 2
+    & info [ "queue-latency" ] ~doc:"Queue give->visible latency in cycles.")
+
+let aggressive =
+  Arg.(
+    value & flag
+    & info [ "aggressive-inline" ] ~doc:"Inline every call before DSWP.")
+
+let no_auto =
+  Arg.(
+    value & flag
+    & info [ "no-auto" ] ~doc:"Do not search stage counts; use --stages as-is.")
+
+let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let print_report (r : Twill.report) =
+  Fmt.pr "== %s ==@." r.Twill.name;
+  Fmt.pr "return value   : %ld (all three flows agree)@."
+    r.Twill.sw.Twill.ret;
+  Fmt.pr "pure SW        : %8d cycles   %6.1f mW@." r.Twill.sw.Twill.cycles
+    r.Twill.sw.Twill.power_mw;
+  Fmt.pr "pure HW (LegUp): %8d cycles   %6.1f mW   %5d LUTs@."
+    r.Twill.hw.Twill.cycles r.Twill.hw.Twill.power_mw
+    r.Twill.hw.Twill.area.Twill.Area.luts;
+  Fmt.pr "Twill hybrid   : %8d cycles   %6.1f mW   %5d LUTs@."
+    r.Twill.twill.Twill.scenario.Twill.cycles
+    r.Twill.twill.Twill.scenario.Twill.power_mw
+    r.Twill.twill.Twill.scenario.Twill.area.Twill.Area.luts;
+  Fmt.pr "speedup vs SW  : %.2fx   vs pure HW: %.2fx@." r.Twill.speedup_vs_sw
+    r.Twill.speedup_vs_hw;
+  Fmt.pr "extraction     : %d HW threads, %d queues, %d semaphores@."
+    r.Twill.twill.Twill.n_hw_threads r.Twill.twill.Twill.nqueues
+    r.Twill.twill.Twill.nsems
+
+let run_cmd =
+  let run stages sw_frac qd ql aggr no_auto path =
+    let opts = mk_opts stages sw_frac qd ql aggr in
+    let src = read_file path in
+    let r =
+      Twill.evaluate ~opts ~auto_stages:(not no_auto)
+        ~name:(Filename.basename path) src
+    in
+    print_report r
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Compile and evaluate a mini-C file")
+    Term.(
+      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive
+      $ no_auto $ file)
+
+let ir_cmd =
+  let run stages sw_frac qd ql aggr _ path =
+    let opts = mk_opts stages sw_frac qd ql aggr in
+    let m = Twill.compile ~opts (read_file path) in
+    Fmt.pr "%s@." (Twill_ir.Printer.modul_to_string m)
+  in
+  Cmd.v (Cmd.info "ir" ~doc:"Dump the optimised IR")
+    Term.(
+      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive
+      $ no_auto $ file)
+
+let threads_cmd =
+  let run stages sw_frac qd ql aggr _ path =
+    let opts = mk_opts stages sw_frac qd ql aggr in
+    let m = Twill.compile ~opts (read_file path) in
+    let t = Twill.extract ~opts m in
+    Array.iteri
+      (fun s name ->
+        let role =
+          match t.Twill.Dswp.roles.(s) with
+          | Twill.Partition.Sw -> "software"
+          | Twill.Partition.Hw -> "hardware"
+        in
+        Fmt.pr "--- stage %d (%s) ---@.%s@." s role
+          (Twill_ir.Printer.func_to_string
+             (Twill.Ir.find_func t.Twill.Dswp.modul name)))
+      t.Twill.Dswp.stages;
+    Fmt.pr "queues:@.";
+    Array.iter
+      (fun (q : Twill.Threadgen.queue_info) ->
+        Fmt.pr "  q%d %s %dx%db stage %d -> %d@." q.Twill.Threadgen.qid
+          q.Twill.Threadgen.purpose q.Twill.Threadgen.depth
+          q.Twill.Threadgen.width_bits q.Twill.Threadgen.src_stage
+          q.Twill.Threadgen.dst_stage)
+      t.Twill.Dswp.queues
+  in
+  Cmd.v (Cmd.info "threads" ~doc:"Dump the extracted pipeline threads")
+    Term.(
+      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive
+      $ no_auto $ file)
+
+let bench_cmd =
+  let name_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME") in
+  let run name =
+    let b = Twill_chstone.Chstone.find name in
+    print_report (Twill.evaluate ~name b.Twill_chstone.Chstone.source)
+  in
+  Cmd.v (Cmd.info "bench" ~doc:"Run a bundled CHStone benchmark")
+    Term.(const run $ name_arg)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (b : Twill_chstone.Chstone.benchmark) ->
+        Fmt.pr "%-10s %s@." b.Twill_chstone.Chstone.name
+          b.Twill_chstone.Chstone.description)
+      Twill_chstone.Chstone.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List bundled benchmarks") Term.(const run $ const ())
+
+let emit_c_cmd =
+  let run stages sw_frac qd ql aggr _ path =
+    let opts = mk_opts stages sw_frac qd ql aggr in
+    let m = Twill.compile ~opts (read_file path) in
+    let t = Twill.extract ~opts m in
+    let master = t.Twill.Dswp.stages.(t.Twill.Dswp.master) in
+    print_string (Twill_cgen.Cemit.emit_sw_program t.Twill.Dswp.modul ~entry:master)
+  in
+  Cmd.v
+    (Cmd.info "emit-c"
+       ~doc:"Emit the software master thread as C against the Twill runtime API")
+    Term.(
+      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive
+      $ no_auto $ file)
+
+let emit_verilog_cmd =
+  let run stages sw_frac qd ql aggr _ path =
+    let opts = mk_opts stages sw_frac qd ql aggr in
+    let m = Twill.compile ~opts (read_file path) in
+    let t = Twill.extract ~opts m in
+    print_string (Twill_vgen.Vruntime.emit_design t)
+  in
+  Cmd.v
+    (Cmd.info "emit-verilog"
+       ~doc:
+         "Emit the hardware threads and the runtime system as Verilog \
+          (Figure 4.1)")
+    Term.(
+      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive
+      $ no_auto $ file)
+
+let () =
+  let doc = "Twill: hybrid microcontroller-FPGA parallelising compiler" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "twillc" ~doc)
+          [
+            run_cmd; ir_cmd; threads_cmd; bench_cmd; list_cmd; emit_c_cmd;
+            emit_verilog_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/crypto_offload.ml: Fmt List Twill Twill_chstone

@@ -1,0 +1,1 @@
+examples/explore_partitions.ml: Fmt List Twill

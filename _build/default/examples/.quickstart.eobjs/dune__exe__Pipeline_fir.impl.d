@@ -1,0 +1,1 @@
+examples/pipeline_fir.ml: Array Fmt List Twill

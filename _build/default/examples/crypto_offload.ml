@@ -1,0 +1,44 @@
+(* Crypto offload study: how the SHA-1 kernel behaves as the runtime
+   configuration varies — queue latency and queue depth sweeps over the
+   same extracted pipeline (the experiment style of thesis Figs 6.5/6.6),
+   plus the area/power cost of the offload.
+
+     dune exec examples/crypto_offload.exe *)
+
+let () =
+  let b = Twill_chstone.Chstone.find "sha" in
+  let src = b.Twill_chstone.Chstone.source in
+  Fmt.pr "== SHA-1 offload study ==@.";
+  let base = Twill.evaluate ~name:"sha" src in
+  Fmt.pr "baseline: SW %d cycles, HW %d, Twill %d (%.2fx vs HW)@."
+    base.Twill.sw.Twill.cycles base.Twill.hw.Twill.cycles
+    base.Twill.twill.Twill.scenario.Twill.cycles base.Twill.speedup_vs_hw;
+  Fmt.pr "area: HW threads %d LUTs + runtime %d LUTs; power %.0f mW (SW: %.0f)@."
+    base.Twill.twill.Twill.hw_threads_area.Twill.Area.luts
+    base.Twill.twill.Twill.runtime_area.Twill.Area.luts
+    base.Twill.twill.Twill.scenario.Twill.power_mw base.Twill.sw.Twill.power_mw;
+  (* queue-latency sensitivity *)
+  Fmt.pr "@.queue latency sweep (cycles):@.";
+  let forced =
+    {
+      Twill.default_options with
+      partition =
+        { Twill.Partition.default_config with Twill.Partition.nstages = 3 };
+    }
+  in
+  List.iter
+    (fun lat ->
+      let opts = { forced with queue_latency = lat } in
+      let m = Twill.compile ~opts src in
+      let tw = Twill.run_twill ~opts m in
+      Fmt.pr "  latency %3d -> %d cycles@." lat tw.Twill.scenario.Twill.cycles)
+    [ 2; 8; 32; 128 ];
+  (* queue-depth sensitivity *)
+  Fmt.pr "@.queue depth sweep (cycles):@.";
+  List.iter
+    (fun d ->
+      let opts = { forced with queue_depth = d } in
+      let m = Twill.compile ~opts src in
+      let tw = Twill.run_twill ~opts m in
+      Fmt.pr "  depth %3d -> %d cycles@." d tw.Twill.scenario.Twill.cycles)
+    [ 1; 2; 8; 32 ]

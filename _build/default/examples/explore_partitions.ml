@@ -1,0 +1,69 @@
+(* Partition explorer: sweeps the targeted SW/HW split point and stage
+   count for a user-style kernel and prints the resulting pipeline and
+   performance — the experiment behind thesis Figs 6.3/6.4, exposed as a
+   library use case.
+
+     dune exec examples/explore_partitions.exe *)
+
+let program =
+  {|
+// histogram + contrast stretch over a synthetic image
+int hist[64];
+int img[1024];
+int out[1024];
+
+int main() {
+  uint seed = 0x1234;
+  for (int i = 0; i < 1024; i++) {
+    seed = seed * 69069 + 1;
+    img[i] = (int)((seed >> 20) & 63);
+  }
+  for (int i = 0; i < 1024; i++) hist[img[i]] += 1;
+  int lo = 0;
+  while (lo < 63 && hist[lo] < 4) lo++;
+  int hi = 63;
+  while (hi > 0 && hist[hi] < 4) hi--;
+  int range = hi - lo;
+  if (range < 1) range = 1;
+  int acc = 0;
+  for (int i = 0; i < 1024; i++) {
+    int v = (img[i] - lo) * 63 / range;
+    if (v < 0) v = 0;
+    if (v > 63) v = 63;
+    out[i] = v;
+    acc += v;
+  }
+  return acc;
+}
+|}
+
+let () =
+  Fmt.pr "%-8s %-10s | %10s %8s %10s@." "stages" "sw-split" "cycles" "queues"
+    "hw-threads";
+  List.iter
+    (fun k ->
+      List.iter
+        (fun f ->
+          let opts =
+            {
+              Twill.default_options with
+              partition =
+                {
+                  Twill.Partition.default_config with
+                  Twill.Partition.nstages = k;
+                  sw_fraction = f;
+                };
+            }
+          in
+          let m = Twill.compile ~opts program in
+          let tw = Twill.run_twill ~opts m in
+          Fmt.pr "%-8d %-10.2f | %10d %8d %10d@." k f
+            tw.Twill.scenario.Twill.cycles tw.Twill.nqueues
+            tw.Twill.n_hw_threads)
+        [ 0.002; 0.1; 0.5 ])
+    [ 2; 3; 4 ];
+  let m = Twill.compile program in
+  let hw = Twill.run_pure_hw m in
+  let sw = Twill.run_pure_sw m in
+  Fmt.pr "reference: pure HW %d cycles, pure SW %d cycles@." hw.Twill.cycles
+    sw.Twill.cycles

@@ -1,0 +1,1 @@
+lib/cgen/cemit.ml: Array Buffer Int32 List Printf String Twill_ir

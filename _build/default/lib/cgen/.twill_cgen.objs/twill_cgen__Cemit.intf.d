@@ -1,0 +1,1 @@
+lib/cgen/cemit.mli: Twill_ir

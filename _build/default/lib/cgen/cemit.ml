@@ -1,0 +1,278 @@
+(* C backend (thesis §5.3/5.5: software threads are emitted as C and
+   compiled with the Xilinx GCC toolchain).
+
+   The IR's flat word-addressed memory maps directly onto one [int32_t
+   MEM] array, with every global and static alloca at its [Layout]
+   address; control flow is emitted as labelled blocks and gotos; phi
+   nodes become parallel edge assignments through temporaries.  Runtime
+   operations (produce/consume/semaphores) are emitted as calls to the
+   Twill software runtime API (§4.5); [emit_host_harness] additionally
+   produces a self-contained host program used to differentially test the
+   whole front end against a real C compiler. *)
+
+open Twill_ir.Ir
+module Vec = Twill_ir.Vec
+module Layout = Twill_ir.Layout
+
+let reg_name id = Printf.sprintf "r%d" id
+let label_name b = Printf.sprintf "L%d" b
+
+let operand_str (layout : Layout.t) (f : func) (o : operand) : string =
+  match o with
+  | Cst c -> Printf.sprintf "INT32_C(%ld)" c
+  | Reg r -> reg_name r
+  | Argv a -> Printf.sprintf "a%d" a
+  | Glob g -> Printf.sprintf "INT32_C(%ld)" (Layout.global_address layout g)
+  |> fun s ->
+  ignore f;
+  s
+
+let binop_c op a b =
+  let u x = Printf.sprintf "((uint32_t)%s)" x in
+  match op with
+  | Add -> Printf.sprintf "(int32_t)(%s + %s)" (u a) (u b)
+  | Sub -> Printf.sprintf "(int32_t)(%s - %s)" (u a) (u b)
+  | Mul -> Printf.sprintf "(int32_t)(%s * %s)" (u a) (u b)
+  | And -> Printf.sprintf "(%s & %s)" a b
+  | Or -> Printf.sprintf "(%s | %s)" a b
+  | Xor -> Printf.sprintf "(%s ^ %s)" a b
+  | Shl -> Printf.sprintf "(int32_t)(%s << (%s & 31))" (u a) (u b)
+  | Lshr -> Printf.sprintf "(int32_t)(%s >> (%s & 31))" (u a) (u b)
+  | Ashr -> Printf.sprintf "(%s >> (%s & 31))" a b
+  | Sdiv -> Printf.sprintf "tw_sdiv(%s, %s)" a b
+  | Srem -> Printf.sprintf "tw_srem(%s, %s)" a b
+  | Udiv -> Printf.sprintf "tw_udiv(%s, %s)" a b
+  | Urem -> Printf.sprintf "tw_urem(%s, %s)" a b
+
+let icmp_c op a b =
+  let u x = Printf.sprintf "((uint32_t)%s)" x in
+  let s fmt x y = Printf.sprintf fmt x y in
+  match op with
+  | Eq -> s "(%s == %s)" a b
+  | Ne -> s "(%s != %s)" a b
+  | Slt -> s "(%s < %s)" a b
+  | Sle -> s "(%s <= %s)" a b
+  | Sgt -> s "(%s > %s)" a b
+  | Sge -> s "(%s >= %s)" a b
+  | Ult -> s "(%s < %s)" (u a) (u b)
+  | Ule -> s "(%s <= %s)" (u a) (u b)
+  | Ugt -> s "(%s > %s)" (u a) (u b)
+  | Uge -> s "(%s >= %s)" (u a) (u b)
+
+(* Parallel phi assignment on the edge [pred] -> [target]. *)
+let emit_edge buf layout (f : func) ~(pred : int) ~(target : int) =
+  let phis =
+    List.filter_map
+      (fun id ->
+        let i = inst f id in
+        match i.kind with
+        | Phi incoming -> (
+            match List.assoc_opt pred incoming with
+            | Some v -> Some (id, v)
+            | None -> None)
+        | _ -> None)
+      (block f target).insts
+  in
+  List.iter
+    (fun (id, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    int32_t t%d = %s;\n" id (operand_str layout f v)))
+    phis;
+  List.iter
+    (fun (id, _) ->
+      Buffer.add_string buf (Printf.sprintf "    %s = t%d;\n" (reg_name id) id))
+    phis;
+  Buffer.add_string buf (Printf.sprintf "    goto %s;\n" (label_name target))
+
+let emit_func buf (layout : Layout.t) (f : func) =
+  recompute_cfg f;
+  let args =
+    if f.nparams = 0 then "void"
+    else
+      String.concat ", " (List.init f.nparams (Printf.sprintf "int32_t a%d"))
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "static int32_t tw_%s(%s) {\n" f.name args);
+  (* declare every SSA register up front *)
+  iter_insts f (fun i ->
+      if has_result i.kind then
+        Buffer.add_string buf
+          (Printf.sprintf "  int32_t %s = 0;\n" (reg_name i.id)));
+  Buffer.add_string buf (Printf.sprintf "  goto %s;\n" (label_name f.entry));
+  Vec.iter
+    (fun (b : block) ->
+      if b.bid = f.entry || b.preds <> [] then begin
+        Buffer.add_string buf (Printf.sprintf "%s:;\n" (label_name b.bid));
+        List.iter
+          (fun id ->
+            let i = inst f id in
+            let os o = operand_str layout f o in
+            let line =
+              match i.kind with
+              | Phi _ -> "" (* assigned on incoming edges *)
+              | Binop (op, a, bb) ->
+                  Printf.sprintf "  %s = %s;\n" (reg_name id)
+                    (binop_c op (os a) (os bb))
+              | Icmp (op, a, bb) ->
+                  Printf.sprintf "  %s = %s;\n" (reg_name id)
+                    (icmp_c op (os a) (os bb))
+              | Select (c, a, bb) ->
+                  Printf.sprintf "  %s = %s ? %s : %s;\n" (reg_name id) (os c)
+                    (os a) (os bb)
+              | Alloca _ ->
+                  Printf.sprintf "  %s = INT32_C(%ld);\n" (reg_name id)
+                    (Layout.alloca_address layout f.name id)
+              | Gep (base, idx) ->
+                  Printf.sprintf "  %s = (int32_t)((uint32_t)%s + (uint32_t)%s);\n"
+                    (reg_name id) (os base) (os idx)
+              | Load a -> Printf.sprintf "  %s = MEM[%s];\n" (reg_name id) (os a)
+              | Store (a, v) -> Printf.sprintf "  MEM[%s] = %s;\n" (os a) (os v)
+              | Call (name, cargs) ->
+                  Printf.sprintf "  %s = tw_%s(%s);\n" (reg_name id) name
+                    (String.concat ", "
+                       (Array.to_list (Array.map os cargs)))
+              | Print v -> Printf.sprintf "  tw_print(%s);\n" (os v)
+              | Produce (q, v) ->
+                  Printf.sprintf "  Twill_Enqueue(%d, %s);\n" q (os v)
+              | Consume q ->
+                  Printf.sprintf "  %s = Twill_Dequeue(%d);\n" (reg_name id) q
+              | Sem_give (s, n) ->
+                  Printf.sprintf "  Twill_RaiseSemaphore(%d, %d);\n" s n
+              | Sem_take (s, n) ->
+                  Printf.sprintf "  Twill_LowerSemaphore(%d, %d);\n" s n
+              | Dead -> ""
+            in
+            Buffer.add_string buf line)
+          b.insts;
+        (match b.term with
+        | Br t ->
+            Buffer.add_string buf "  {\n";
+            emit_edge buf layout f ~pred:b.bid ~target:t;
+            Buffer.add_string buf "  }\n"
+        | Cond_br (c, t, e) ->
+            Buffer.add_string buf
+              (Printf.sprintf "  if (%s) {\n" (operand_str layout f c));
+            emit_edge buf layout f ~pred:b.bid ~target:t;
+            Buffer.add_string buf "  } else {\n";
+            emit_edge buf layout f ~pred:b.bid ~target:e;
+            Buffer.add_string buf "  }\n"
+        | Ret None -> Buffer.add_string buf "  return 0;\n"
+        | Ret (Some v) ->
+            Buffer.add_string buf
+              (Printf.sprintf "  return %s;\n" (operand_str layout f v)))
+      end)
+    f.blocks;
+  Buffer.add_string buf "}\n\n"
+
+let prelude =
+  {|#include <stdint.h>
+#include <stdio.h>
+#include <stdlib.h>
+
+static int32_t tw_sdiv(int32_t a, int32_t b) {
+  if (b == 0) { fprintf(stderr, "trap: sdiv by zero\n"); exit(2); }
+  if (b == -1) return (int32_t)(0u - (uint32_t)a);
+  return a / b;
+}
+static int32_t tw_srem(int32_t a, int32_t b) {
+  if (b == 0) { fprintf(stderr, "trap: srem by zero\n"); exit(2); }
+  if (b == -1) return 0;
+  return a % b;
+}
+static int32_t tw_udiv(int32_t a, int32_t b) {
+  if (b == 0) { fprintf(stderr, "trap: udiv by zero\n"); exit(2); }
+  return (int32_t)((uint32_t)a / (uint32_t)b);
+}
+static int32_t tw_urem(int32_t a, int32_t b) {
+  if (b == 0) { fprintf(stderr, "trap: urem by zero\n"); exit(2); }
+  return (int32_t)((uint32_t)a % (uint32_t)b);
+}
+|}
+
+(* Runtime API declarations for software-thread emission (§4.5). *)
+let runtime_decls =
+  {|/* Twill software runtime API (implemented in the board support code) */
+extern void Twill_Enqueue(int queue, int32_t value);
+extern int32_t Twill_Dequeue(int queue);
+extern void Twill_RaiseSemaphore(int sem, int count);
+extern void Twill_LowerSemaphore(int sem, int count);
+extern void Twill_StartThread(int thread);
+extern void tw_print(int32_t value);
+|}
+
+let emit_memory buf (layout : Layout.t) (m : modul) ~(mem_words : int) =
+  Buffer.add_string buf
+    (Printf.sprintf "static int32_t MEM[%d];\n\nstatic void twill_init(void) {\n"
+       (max mem_words layout.Layout.words_used));
+  List.iter
+    (fun g ->
+      let base = Int32.to_int (Layout.global_address layout g.gname) in
+      Array.iteri
+        (fun i v ->
+          if v <> 0l then
+            Buffer.add_string buf
+              (Printf.sprintf "  MEM[%d] = INT32_C(%ld);\n" (base + i) v))
+        g.init)
+    m.globals;
+  Buffer.add_string buf "}\n\n"
+
+(* The software-thread program of the hybrid output: the given functions
+   (typically the master stage and its callees), linked against the Twill
+   runtime API. *)
+let emit_sw_program (m : modul) ~(entry : string) : string =
+  let layout = Layout.build m in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf prelude;
+  Buffer.add_string buf runtime_decls;
+  emit_memory buf layout m ~mem_words:layout.Layout.words_used;
+  (* forward declarations *)
+  List.iter
+    (fun (f : func) ->
+      let args =
+        if f.nparams = 0 then "void"
+        else String.concat ", " (List.init f.nparams (fun _ -> "int32_t"))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "static int32_t tw_%s(%s);\n" f.name args))
+    m.funcs;
+  Buffer.add_string buf "\n";
+  List.iter (emit_func buf layout) m.funcs;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "int main(void) {\n  twill_init();\n  int32_t r = tw_%s();\n\
+       \  printf(\"RET %%d\\n\", (int)r);\n  return 0;\n}\n"
+       entry);
+  Buffer.contents buf
+
+(* A self-contained host program for a *sequential* module: prints every
+   [print] and finally "RET <value>" — used for gcc differential tests. *)
+let emit_host_harness (m : modul) : string =
+  let layout = Layout.build m in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf prelude;
+  Buffer.add_string buf
+    "static void tw_print(int32_t v) { printf(\"%d\\n\", (int)v); }\n";
+  (* sequential programs perform no runtime operations; make any residual
+     call trap loudly *)
+  Buffer.add_string buf
+    {|static void Twill_Enqueue(int q, int32_t v) { (void)q; (void)v; exit(3); }
+static int32_t Twill_Dequeue(int q) { (void)q; exit(3); }
+static void Twill_RaiseSemaphore(int s, int c) { (void)s; (void)c; exit(3); }
+static void Twill_LowerSemaphore(int s, int c) { (void)s; (void)c; exit(3); }
+|};
+  emit_memory buf layout m ~mem_words:layout.Layout.words_used;
+  List.iter
+    (fun (f : func) ->
+      let args =
+        if f.nparams = 0 then "void"
+        else String.concat ", " (List.init f.nparams (fun _ -> "int32_t"))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "static int32_t tw_%s(%s);\n" f.name args))
+    m.funcs;
+  Buffer.add_string buf "\n";
+  List.iter (emit_func buf layout) m.funcs;
+  Buffer.add_string buf
+    "int main(void) {\n  twill_init();\n  int32_t r = tw_main();\n\
+    \  printf(\"RET %d\\n\", (int)r);\n  return 0;\n}\n";
+  Buffer.contents buf

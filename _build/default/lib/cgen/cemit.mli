@@ -1,0 +1,29 @@
+(** C backend (thesis §5.3/§5.5: software threads are emitted as C and
+    compiled with the board toolchain).
+
+    The IR's flat word-addressed memory maps onto one [int32_t MEM[]]
+    array with every global and static alloca at its {!Twill_ir.Layout}
+    address; control flow becomes labelled blocks and gotos; phi nodes
+    become parallel edge copies; division uses trap-checking helpers that
+    mirror the interpreter's semantics exactly. *)
+
+open Twill_ir.Ir
+
+val prelude : string
+(** Headers plus the division helpers. *)
+
+val runtime_decls : string
+(** Extern declarations of the Twill software runtime API (§4.5):
+    [Twill_Enqueue], [Twill_Dequeue], [Twill_RaiseSemaphore],
+    [Twill_LowerSemaphore], [Twill_StartThread]. *)
+
+val emit_sw_program : modul -> entry:string -> string
+(** The processor-side program of a hybrid design: all functions of the
+    module plus a [main] calling the master stage [entry], linked against
+    the runtime API. *)
+
+val emit_host_harness : modul -> string
+(** A self-contained host program for a *sequential* module: prints every
+    [print] then ["RET <value>"].  Compiling this with a host C compiler
+    and diffing against the reference interpreter is how the whole front
+    end is differentially validated (see [test/test_cgen.ml]). *)

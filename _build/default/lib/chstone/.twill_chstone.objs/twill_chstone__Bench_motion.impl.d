@@ -1,0 +1,1 @@
+lib/chstone/bench_motion.ml:

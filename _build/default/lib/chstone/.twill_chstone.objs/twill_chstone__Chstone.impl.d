@@ -1,0 +1,1 @@
+lib/chstone/chstone.ml: Bench_adpcm Bench_aes Bench_blowfish Bench_gsm Bench_jpeg Bench_mips Bench_motion Bench_sha List

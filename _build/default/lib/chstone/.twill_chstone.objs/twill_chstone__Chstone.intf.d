@@ -1,0 +1,1 @@
+lib/chstone/chstone.mli:

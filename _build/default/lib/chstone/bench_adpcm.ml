@@ -1,0 +1,100 @@
+(* CHStone `adpcm`: IMA ADPCM encoder and decoder.  Like the original
+   suite, a sample buffer is encoded to 4-bit codes and decoded back; the
+   hot loop streams each sample through the encoder and the freshly
+   produced code through the decoder (codes flow one way, encoder and
+   decoder keep separate predictor state — the canonical decoupled
+   pipeline).  Self-check: the decoder's reconstruction must equal the
+   encoder's internal reconstruction exactly, and the error against the
+   input must stay bounded. *)
+
+let name = "adpcm"
+let description = "IMA ADPCM encode + decode streaming pipeline"
+
+let source =
+  {|
+const int step_table[89] = {
+  7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37,
+  41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173,
+  190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658,
+  724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+  2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484,
+  7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289, 16818,
+  18500, 20350, 22385, 24623, 27086, 29794, 32767
+};
+const int index_table[16] = {
+  -1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8
+};
+
+int main() {
+  // encoder state
+  int enc_pred = 0;
+  int enc_index = 0;
+  // decoder state
+  int dec_pred = 0;
+  int dec_index = 0;
+  // synthetic-signal state
+  uint rng = 0x2468ace0;
+  int phase = 0;
+  int dir = 1;
+
+  int mismatch = 0;
+  int worst = 0;
+  uint checksum = 0;
+
+  for (int i = 0; i < 640; i++) {
+    // --- synthesize the next speech-like sample (chain S) ---
+    rng = rng * 1103515245 + 12345;
+    phase += dir * 700;
+    if (phase > 9000 || phase < -9000) dir = -dir;
+    int sample = phase + (int)((rng >> 20) & 255) - 128;
+
+    // --- encode (chain E: depends on S, carries enc state) ---
+    int step = step_table[enc_index];
+    int diff = sample - enc_pred;
+    int code = 0;
+    if (diff < 0) { code = 8; diff = -diff; }
+    if (diff >= step) { code = code | 4; diff -= step; }
+    if (diff >= step >> 1) { code = code | 2; diff -= step >> 1; }
+    if (diff >= step >> 2) { code = code | 1; }
+    int diffq_e = step >> 3;
+    if (code & 4) diffq_e += step;
+    if (code & 2) diffq_e += step >> 1;
+    if (code & 1) diffq_e += step >> 2;
+    if (code & 8) enc_pred -= diffq_e;
+    else enc_pred += diffq_e;
+    if (enc_pred > 32767) enc_pred = 32767;
+    if (enc_pred < -32768) enc_pred = -32768;
+    int ei = enc_index + index_table[code];
+    if (ei < 0) ei = 0;
+    if (ei > 88) ei = 88;
+    enc_index = ei;
+
+    // --- decode (chain D: depends only on the code stream) ---
+    int dstep = step_table[dec_index];
+    int diffq_d = dstep >> 3;
+    if (code & 4) diffq_d += dstep;
+    if (code & 2) diffq_d += dstep >> 1;
+    if (code & 1) diffq_d += dstep >> 2;
+    if (code & 8) dec_pred -= diffq_d;
+    else dec_pred += diffq_d;
+    if (dec_pred > 32767) dec_pred = 32767;
+    if (dec_pred < -32768) dec_pred = -32768;
+    int di = dec_index + index_table[code];
+    if (di < 0) di = 0;
+    if (di > 88) di = 88;
+    dec_index = di;
+
+    // --- verify + fold (chain V: depends on E and D) ---
+    if (dec_pred != enc_pred) mismatch++;
+    int err = sample - dec_pred;
+    if (err < 0) err = -err;
+    if (err > worst) worst = err;
+    checksum = (checksum * 17) ^ (uint)(code << 8) ^ (uint)(dec_pred & 0xffff);
+  }
+  if (mismatch != 0) return -1;
+  print(worst);
+  if (worst > 60000) return -2;
+  print((int)checksum);
+  return (int)(checksum & 0x7fffffff);
+}
+|}

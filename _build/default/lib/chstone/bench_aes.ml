@@ -1,0 +1,155 @@
+(* CHStone `aes`: AES-128 encryption.  The S-box is computed at start-up
+   from GF(2^8) log/antilog tables (the original suite embeds it as a
+   constant table; computing it exercises the same lookups and keeps the
+   kernel self-contained).  Self-check: the FIPS-197 Appendix B test
+   vector must produce the published ciphertext; the kernel then encrypts
+   a stream of chained blocks for workload and returns a checksum. *)
+
+let name = "aes"
+let description = "AES-128 key expansion + encryption, FIPS-197 self-check"
+
+let source =
+  {|
+int sbox[256];
+uint rk[44];    // round keys
+int st[16];     // state, column-major as in FIPS-197
+
+int xtime(int x) {
+  int y = x << 1;
+  if (y & 0x100) y = (y ^ 0x1b) & 0xff;
+  return y;
+}
+
+void init_sbox() {
+  int alog[256];
+  int lg[256];
+  int v = 1;
+  for (int i = 0; i < 256; i++) {
+    alog[i] = v;
+    lg[v] = i;
+    v = v ^ xtime(v); // multiply by generator 3
+  }
+  lg[1] = 0;
+  for (int x = 0; x < 256; x++) {
+    int inv;
+    if (x == 0) inv = 0;
+    else inv = alog[(255 - lg[x]) % 255];
+    int s = inv;
+    int r = inv;
+    for (int k = 0; k < 4; k++) {
+      r = ((r << 1) | (r >> 7)) & 0xff;
+      s = s ^ r;
+    }
+    sbox[x] = s ^ 0x63;
+  }
+}
+
+uint sub_word(uint x) {
+  return ((uint)sbox[(int)(x >> 24) & 255] << 24)
+       | ((uint)sbox[(int)(x >> 16) & 255] << 16)
+       | ((uint)sbox[(int)(x >> 8) & 255] << 8)
+       | (uint)sbox[(int)x & 255];
+}
+
+void expand_key(uint k0, uint k1, uint k2, uint k3) {
+  rk[0] = k0; rk[1] = k1; rk[2] = k2; rk[3] = k3;
+  int rcon = 1;
+  for (int i = 4; i < 44; i++) {
+    uint t = rk[i - 1];
+    if (i % 4 == 0) {
+      t = sub_word((t << 8) | (t >> 24)) ^ ((uint)rcon << 24);
+      rcon = xtime(rcon);
+    }
+    rk[i] = rk[i - 4] ^ t;
+  }
+}
+
+void add_round_key(int round) {
+  for (int c = 0; c < 4; c++) {
+    uint k = rk[round * 4 + c];
+    st[4 * c + 0] = st[4 * c + 0] ^ (int)((k >> 24) & 255);
+    st[4 * c + 1] = st[4 * c + 1] ^ (int)((k >> 16) & 255);
+    st[4 * c + 2] = st[4 * c + 2] ^ (int)((k >> 8) & 255);
+    st[4 * c + 3] = st[4 * c + 3] ^ (int)(k & 255);
+  }
+}
+
+void sub_bytes_shift_rows() {
+  // SubBytes
+  for (int i = 0; i < 16; i++) st[i] = sbox[st[i]];
+  // ShiftRows on column-major layout: row r rotates left by r
+  int t1 = st[1]; st[1] = st[5]; st[5] = st[9]; st[9] = st[13]; st[13] = t1;
+  int t2 = st[2]; int t6 = st[6];
+  st[2] = st[10]; st[6] = st[14]; st[10] = t2; st[14] = t6;
+  int t15 = st[15]; st[15] = st[11]; st[11] = st[7]; st[7] = st[3]; st[3] = t15;
+}
+
+void mix_columns() {
+  for (int c = 0; c < 4; c++) {
+    int a0 = st[4 * c + 0];
+    int a1 = st[4 * c + 1];
+    int a2 = st[4 * c + 2];
+    int a3 = st[4 * c + 3];
+    int x = a0 ^ a1 ^ a2 ^ a3;
+    st[4 * c + 0] = a0 ^ x ^ xtime(a0 ^ a1);
+    st[4 * c + 1] = a1 ^ x ^ xtime(a1 ^ a2);
+    st[4 * c + 2] = a2 ^ x ^ xtime(a2 ^ a3);
+    st[4 * c + 3] = a3 ^ x ^ xtime(a3 ^ a0);
+  }
+}
+
+// encrypts st[] in place; returns a 32-bit digest of the ciphertext
+uint encrypt_state() {
+  add_round_key(0);
+  for (int round = 1; round < 10; round++) {
+    sub_bytes_shift_rows();
+    mix_columns();
+    add_round_key(round);
+  }
+  sub_bytes_shift_rows();
+  add_round_key(10);
+  uint d = 0;
+  for (int i = 0; i < 16; i++) d = (d << 2) ^ (uint)st[i] ^ (d >> 27);
+  return d;
+}
+
+void load_state(uint w0, uint w1, uint w2, uint w3) {
+  st[0] = (int)((w0 >> 24) & 255); st[1] = (int)((w0 >> 16) & 255);
+  st[2] = (int)((w0 >> 8) & 255);  st[3] = (int)(w0 & 255);
+  st[4] = (int)((w1 >> 24) & 255); st[5] = (int)((w1 >> 16) & 255);
+  st[6] = (int)((w1 >> 8) & 255);  st[7] = (int)(w1 & 255);
+  st[8] = (int)((w2 >> 24) & 255); st[9] = (int)((w2 >> 16) & 255);
+  st[10] = (int)((w2 >> 8) & 255); st[11] = (int)(w2 & 255);
+  st[12] = (int)((w3 >> 24) & 255); st[13] = (int)((w3 >> 16) & 255);
+  st[14] = (int)((w3 >> 8) & 255);  st[15] = (int)(w3 & 255);
+}
+
+int main() {
+  init_sbox();
+  // FIPS-197 Appendix B: key 2b7e151628aed2a6abf7158809cf4f3c,
+  // plaintext 3243f6a8885a308d313198a2e0370734
+  expand_key(0x2b7e1516, 0x28aed2a6, 0xabf71588, 0x09cf4f3c);
+  load_state(0x3243f6a8, 0x885a308d, 0x313198a2, 0xe0370734);
+  uint check = encrypt_state();
+  // expected ciphertext 3925841d02dc09fbdc118597196a0b32
+  int ok = 1;
+  if (st[0] != 0x39 || st[1] != 0x25 || st[2] != 0x84 || st[3] != 0x1d) ok = 0;
+  if (st[4] != 0x02 || st[5] != 0xdc || st[6] != 0x09 || st[7] != 0xfb) ok = 0;
+  if (st[8] != 0xdc || st[9] != 0x11 || st[10] != 0x85 || st[11] != 0x97) ok = 0;
+  if (st[12] != 0x19 || st[13] != 0x6a || st[14] != 0x0b || st[15] != 0x32) ok = 0;
+  if (!ok) return -1;
+  print((int)check);
+  // workload: encrypt a chained stream of blocks
+  uint acc = check;
+  uint x0 = 0x00112233; uint x1 = 0x44556677;
+  uint x2 = 0x8899aabb; uint x3 = 0xccddeeff;
+  for (int blk = 0; blk < 6; blk++) {
+    load_state(x0 ^ acc, x1 + acc, x2 ^ (acc << 3), x3 + (acc >> 5));
+    uint d = encrypt_state();
+    acc = (acc * 33) ^ d;
+    x0 += 0x01010101; x3 ^= d;
+  }
+  print((int)acc);
+  return (int)(acc & 0x7fffffff);
+}
+|}

@@ -1,0 +1,118 @@
+(* CHStone `gsm`: the LPC analysis section of GSM 06.10 full-rate coding —
+   windowing, autocorrelation and the Schur recursion producing eight
+   reflection coefficients for a 160-sample frame.  Samples are synthetic
+   speech (two mixed "formants" plus noise).  Self-check: reflection
+   coefficients are bounded (|r| < 32768 by construction) and the
+   recursion must converge for every processed frame. *)
+
+let name = "gsm"
+let description = "GSM 06.10 LPC analysis: autocorrelation + Schur recursion"
+
+let source =
+  {|
+int frame[160];
+int l_acf[9];   // autocorrelation (scaled)
+int refl[8];    // reflection coefficients
+
+uint rng = 0x0f1e2d3c;
+int noise() {
+  rng = rng * 1103515245 + 12345;
+  return (int)((rng >> 18) & 1023) - 512;
+}
+
+// synthetic voiced frame: sum of two slow triangle "formants" + noise
+void make_frame(int pitch) {
+  int p1 = 0; int d1 = 320;
+  int p2 = 0; int d2 = 113;
+  for (int i = 0; i < 160; i++) {
+    p1 += d1; if (p1 > 6000 || p1 < -6000) d1 = -d1;
+    p2 += d2 + pitch; if (p2 > 2500 || p2 < -2500) d2 = -d2;
+    frame[i] = p1 + p2 + noise();
+  }
+}
+
+// scale the frame so the autocorrelation fits in 32 bits, then compute
+// l_acf[0..8] like gsm's Autocorrelation()
+void autocorrelation() {
+  // find max |s|
+  int smax = 0;
+  for (int i = 0; i < 160; i++) {
+    int a = frame[i];
+    if (a < 0) a = -a;
+    if (a > smax) smax = a;
+  }
+  // scale down so products fit comfortably
+  int scale = 0;
+  while (smax > 4095) { smax = smax >> 1; scale++; }
+  for (int i = 0; i < 160; i++) frame[i] = frame[i] >> scale;
+  for (int k = 0; k <= 8; k++) {
+    int sum = 0;
+    for (int i = k; i < 160; i++) sum += frame[i] * frame[i - k];
+    l_acf[k] = sum;
+  }
+}
+
+// Schur recursion (fixed point, Q15-ish), as in gsm's Reflection_coefficients
+void schur() {
+  int p[9];
+  int kk[9];
+  if (l_acf[0] == 0) {
+    for (int i = 0; i < 8; i++) refl[i] = 0;
+    return;
+  }
+  // normalise acf to Q15 against acf[0]
+  for (int i = 0; i <= 8; i++) {
+    // p[i] = acf[i] / acf[0] in Q15
+    int num = l_acf[i];
+    int neg = 0;
+    if (num < 0) { num = -num; neg = 1; }
+    int q = 0;
+    // (num << 15) / acf[0] without overflow: iterative scaling division
+    for (int b = 14; b >= 0; b--) {
+      int try_ = q + (1 << b);
+      // compare try_ * acf0 <= num << 15  ->  use 64-bit-free check
+      if ((l_acf[0] >> 15) * try_ + (((l_acf[0] & 0x7fff) * try_) >> 15) <= num)
+        q = try_;
+    }
+    p[i] = neg ? -q : q;
+    kk[i] = p[i];
+  }
+  for (int n = 0; n < 8; n++) {
+    if (p[0] == 0) { for (int j = n; j < 8; j++) refl[j] = 0; return; }
+    int r = kk[n + 1];
+    // r = -p[n+1] / p[0] in Q15 (clamped)
+    int num = p[n + 1];
+    int neg = 0;
+    if (num < 0) { num = -num; neg = 1; }
+    int den = p[0];
+    if (den < 0) den = -den;
+    int q;
+    if (num >= den) q = 32767;
+    else q = (num << 15) / den;
+    r = neg ? q : -q;
+    refl[n] = r;
+    // update p and kk
+    for (int m = 0; m <= 7 - n; m++) {
+      int pm = p[m + 1] + ((r * kk[m + 1]) >> 15);
+      int km = kk[m + 1] + ((r * p[m + 1]) >> 15);
+      p[m] = pm;
+      kk[m] = km;
+    }
+  }
+}
+
+int main() {
+  int checksum = 0;
+  for (int f = 0; f < 8; f++) {
+    make_frame(f * 17);
+    autocorrelation();
+    schur();
+    for (int i = 0; i < 8; i++) {
+      if (refl[i] > 32767 || refl[i] < -32768) return -1; // bound self-check
+      checksum = (checksum * 13) ^ (refl[i] & 0xffff) ^ (i << 20);
+    }
+    print(checksum);
+  }
+  return checksum & 0x7fffffff;
+}
+|}

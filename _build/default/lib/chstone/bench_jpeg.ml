@@ -1,0 +1,150 @@
+(* CHStone `jpeg`: the DCT/quantisation core of baseline JPEG — forward
+   integer 8x8 DCT (AAN-style row/column butterflies), quantisation with
+   the Annex-K luminance table, dequantisation and inverse DCT over a
+   synthetic image.  Self-check: the reconstruction error per pixel must
+   stay within the quantisation bound. *)
+
+let name = "jpeg"
+let description = "JPEG core: 8x8 forward DCT, quantise, dequantise, IDCT"
+
+let source =
+  {|
+const int quant[64] = {
+  16, 11, 10, 16, 24, 40, 51, 61,
+  12, 12, 14, 19, 26, 58, 60, 55,
+  14, 13, 16, 24, 40, 57, 69, 56,
+  14, 17, 22, 29, 51, 87, 80, 62,
+  18, 22, 37, 56, 68, 109, 103, 77,
+  24, 35, 55, 64, 81, 104, 113, 92,
+  49, 64, 78, 87, 103, 121, 120, 101,
+  72, 92, 95, 98, 112, 100, 103, 99
+};
+
+int img[64];
+int blk[64];
+int coef[64];
+int rec[64];
+
+// fixed-point cosine constants (Q13)
+const int C1 = 8035; // cos(pi/16) * 8192
+const int C2 = 7568;
+const int C3 = 6811;
+const int C4 = 5793; // cos(4pi/16) * 8192 = sqrt(2)/2
+const int C5 = 4551;
+const int C6 = 3135;
+const int C7 = 1598;
+
+int tmp[64];
+
+// direct-form 1-D DCT on 8 values (Q13 constants, output scaled by 2)
+void dct8(int offset, int stride, int out_offset, int out_stride) {
+  for (int u = 0; u < 8; u++) {
+    int cu;
+    int sum = 0;
+    for (int x = 0; x < 8; x++) {
+      // cos((2x+1) u pi / 16) table via symmetry on C1..C7
+      int idx = ((2 * x + 1) * u) % 32;
+      int c;
+      int neg = 0;
+      if (idx > 16) { idx = 32 - idx; }
+      if (idx > 8) { idx = 16 - idx; neg = 1; }
+      if (idx == 0) c = 8192;
+      else if (idx == 1) c = C1;
+      else if (idx == 2) c = C2;
+      else if (idx == 3) c = C3;
+      else if (idx == 4) c = C4;
+      else if (idx == 5) c = C5;
+      else if (idx == 6) c = C6;
+      else if (idx == 7) c = C7;
+      else c = 0; // idx == 8: cos(pi/2) = 0
+      if (neg) c = -c;
+      sum += blk[offset + x * stride] * c;
+    }
+    if (u == 0) cu = 5793; else cu = 8192; // 1/sqrt(2) in Q13
+    // F(u) = (cu/2) * sum: sum is Q13, cu is Q13 -> >> (13 + 13 + 1 - 27)
+    tmp[out_offset + u * out_stride] = ((sum >> 6) * (cu >> 6)) >> 15;
+  }
+}
+
+void idct8(int offset, int stride, int out_offset, int out_stride) {
+  for (int x = 0; x < 8; x++) {
+    int sum = 0;
+    for (int u = 0; u < 8; u++) {
+      int idx = ((2 * x + 1) * u) % 32;
+      int c;
+      int neg = 0;
+      if (idx > 16) { idx = 32 - idx; }
+      if (idx > 8) { idx = 16 - idx; neg = 1; }
+      if (idx == 0) c = 8192;
+      else if (idx == 1) c = C1;
+      else if (idx == 2) c = C2;
+      else if (idx == 3) c = C3;
+      else if (idx == 4) c = C4;
+      else if (idx == 5) c = C5;
+      else if (idx == 6) c = C6;
+      else if (idx == 7) c = C7;
+      else c = 0;
+      if (neg) c = -c;
+      int cu = u == 0 ? 5793 : 8192;
+      // f(x) = sum_u (cu/2) F(u) cos(...): fold cu in first, keep Q13 cos
+      sum += ((blk[offset + u * stride] * (cu >> 6)) >> 7) * c;
+    }
+    tmp[out_offset + x * out_stride] = sum >> 14;
+  }
+}
+
+void dct2d() {
+  for (int r = 0; r < 8; r++) dct8(r * 8, 1, r * 8, 1);
+  for (int i = 0; i < 64; i++) blk[i] = tmp[i];
+  for (int c = 0; c < 8; c++) dct8(c, 8, c, 8);
+  for (int i = 0; i < 64; i++) blk[i] = tmp[i];
+}
+
+void idct2d() {
+  for (int c = 0; c < 8; c++) idct8(c, 8, c, 8);
+  for (int i = 0; i < 64; i++) blk[i] = tmp[i];
+  for (int r = 0; r < 8; r++) idct8(r * 8, 1, r * 8, 1);
+  for (int i = 0; i < 64; i++) blk[i] = tmp[i];
+}
+
+uint rng = 0x5a5a1234;
+int pix(int r, int c, int phase) {
+  rng = rng * 69069 + 1;
+  int smooth = ((r * 21 + c * 13 + phase) & 63) * 3 - 96;
+  int tex = (int)((rng >> 24) & 15) - 8;
+  return smooth + tex;
+}
+
+int main() {
+  int checksum = 0;
+  int worst = 0;
+  for (int b = 0; b < 6; b++) {
+    for (int r = 0; r < 8; r++)
+      for (int c = 0; c < 8; c++) img[r * 8 + c] = pix(r, c, b * 29);
+    for (int i = 0; i < 64; i++) blk[i] = img[i];
+    dct2d();
+    // quantise / dequantise
+    for (int i = 0; i < 64; i++) {
+      int q = quant[i];
+      int v = blk[i];
+      int half = q >> 1;
+      int qv = v >= 0 ? (v + half) / q : -((half - v) / q);
+      coef[i] = qv;
+      blk[i] = qv * q;
+      checksum = (checksum * 7) ^ (qv & 0xfff) ^ (i << 16);
+    }
+    idct2d();
+    for (int i = 0; i < 64; i++) rec[i] = blk[i];
+    // self-check: reconstruction error bounded by quantisation noise
+    for (int i = 0; i < 64; i++) {
+      int e = rec[i] - img[i];
+      if (e < 0) e = -e;
+      if (e > worst) worst = e;
+    }
+  }
+  print(worst);
+  if (worst > 120) return -1;
+  print(checksum);
+  return checksum & 0x7fffffff;
+}
+|}

@@ -1,0 +1,102 @@
+(* CHStone `mips`: a simplified MIPS ISA interpreter executing an embedded
+   program (a bubble sort followed by a summation, as in the original
+   suite), run over several LCG-generated datasets.  Self-check: each
+   dataset must come out sorted and the sums accumulate into a checksum. *)
+
+let name = "mips"
+let description = "MIPS ISA interpreter running an embedded sort+sum program"
+
+let source =
+  {|
+// instruction memory: bubble-sort A[0..7] at data address 0, then sum into r4
+const uint imem[26] = {
+  0x24080000, 0x24010007, 0x1101000d, 0x24090000, 0x11210009, 0x00095080,
+  0x8d4b0000, 0x8d4c0004, 0x018b682a, 0x11a00002, 0xad4c0000, 0xad4b0004,
+  0x25290001, 0x08000004, 0x25080001, 0x08000002, 0x24080000, 0x24040000,
+  0x24010008, 0x11010005, 0x00085080, 0x8d4b0000, 0x008b2021, 0x25080001,
+  0x08000013, 0x08000019
+};
+
+int dmem[64];
+int reg[32];
+uint rng = 123456789;
+
+int lcg() {
+  rng = rng * 1103515245 + 12345;
+  return (int)((rng >> 8) & 0xffff) - 0x8000;
+}
+
+// one interpreted program run; returns r4 (the sum)
+int run_program() {
+  int pc = 0;
+  int steps = 0;
+  for (int k = 0; k < 32; k++) reg[k] = 0;
+  while (steps < 5000) {
+    uint w = imem[pc & 31];
+    int op = (int)(w >> 26);
+    int rs = (int)((w >> 21) & 31);
+    int rt = (int)((w >> 16) & 31);
+    int rd = (int)((w >> 11) & 31);
+    int sh = (int)((w >> 6) & 31);
+    int fn = (int)(w & 63);
+    int imm = (int)(w & 0xffff);
+    if (imm >= 0x8000) imm = imm - 0x10000;
+    int npc = pc + 1;
+    if (op == 0) {
+      if (fn == 0x21) reg[rd] = reg[rs] + reg[rt];          // addu
+      else if (fn == 0x23) reg[rd] = reg[rs] - reg[rt];     // subu
+      else if (fn == 0x24) reg[rd] = reg[rs] & reg[rt];     // and
+      else if (fn == 0x25) reg[rd] = reg[rs] | reg[rt];     // or
+      else if (fn == 0x26) reg[rd] = reg[rs] ^ reg[rt];     // xor
+      else if (fn == 0x2a) reg[rd] = reg[rs] < reg[rt] ? 1 : 0; // slt
+      else if (fn == 0) reg[rd] = reg[rt] << sh;            // sll
+      else if (fn == 2) reg[rd] = (int)((uint)reg[rt] >> sh); // srl
+    } else if (op == 9) {                                   // addiu
+      reg[rt] = reg[rs] + imm;
+    } else if (op == 12) {                                  // andi
+      reg[rt] = reg[rs] & (imm & 0xffff);
+    } else if (op == 13) {                                  // ori
+      reg[rt] = reg[rs] | (imm & 0xffff);
+    } else if (op == 35) {                                  // lw
+      reg[rt] = dmem[((reg[rs] + imm) >> 2) & 63];
+    } else if (op == 43) {                                  // sw
+      dmem[((reg[rs] + imm) >> 2) & 63] = reg[rt];
+    } else if (op == 4) {                                   // beq
+      if (reg[rs] == reg[rt]) npc = pc + 1 + imm;
+    } else if (op == 5) {                                   // bne
+      if (reg[rs] != reg[rt]) npc = pc + 1 + imm;
+    } else if (op == 2) {                                   // j
+      int target = (int)(w & 0x3ffffff);
+      if (target == pc) return reg[4];                      // halt: jump-to-self
+      npc = target;
+    }
+    reg[0] = 0;
+    pc = npc;
+    steps++;
+  }
+  return -1;
+}
+
+int main() {
+  int checksum = 0;
+  int bad = 0;
+  for (int round = 0; round < 16; round++) {
+    int expect = 0;
+    for (int k = 0; k < 8; k++) {
+      int v = lcg();
+      dmem[k] = v;
+      expect += v;
+    }
+    int sum = run_program();
+    if (sum != expect) bad++;
+    // verify sortedness
+    for (int k = 0; k < 7; k++) {
+      if (dmem[k] > dmem[k + 1]) bad++;
+    }
+    checksum = (checksum * 31) ^ sum;
+  }
+  if (bad != 0) return -1;
+  print(checksum);
+  return checksum & 0x7fffffff;
+}
+|}

@@ -1,0 +1,90 @@
+(* CHStone `motion`: MPEG-2 motion-vector decoding — a bit-reader pulls
+   variable-length motion codes from a synthetic bitstream, reconstructs
+   the motion vectors with the standard prediction/wraparound rules
+   (decode_motion_vector from the MPEG-2 reference), and applies them to a
+   predictor state.  Self-check: vectors stay inside the +/-(16<<r_size)
+   window the wraparound rule guarantees. *)
+
+let name = "motion"
+let description = "MPEG-2 motion vector decoding over a synthetic bitstream"
+
+let source =
+  {|
+uint bitstream[128];
+int bit_pos = 0;
+
+uint rng = 0x31415926;
+void fill_bitstream() {
+  for (int i = 0; i < 128; i++) {
+    rng = rng * 1664525 + 1013904223;
+    bitstream[i] = rng;
+  }
+}
+
+// read n bits (msb first) from the stream
+int get_bits(int n) {
+  int v = 0;
+  for (int k = 0; k < n; k++) {
+    int word = (bit_pos >> 5) & 127;
+    int off = 31 - (bit_pos & 31);
+    v = (v << 1) | (int)((bitstream[word] >> off) & 1);
+    bit_pos++;
+  }
+  return v;
+}
+
+// unary-ish VLC for motion_code: count leading 1s (max 10), then sign bit
+int get_motion_code() {
+  int mag = 0;
+  while (mag < 10) {
+    if (get_bits(1) == 0) break;
+    mag++;
+  }
+  if (mag == 0) return 0;
+  int sign = get_bits(1);
+  return sign ? -mag : mag;
+}
+
+// decode_motion_vector per MPEG-2: delta plus wraparound window
+int decode_mv(int pred, int r_size) {
+  int lim = 16 << r_size;
+  int motion_code = get_motion_code();
+  int motion_residual = 0;
+  if (r_size != 0 && motion_code != 0) motion_residual = get_bits(r_size);
+  int delta;
+  if (motion_code == 0) delta = 0;
+  else {
+    delta = ((motion_code < 0 ? -motion_code : motion_code) - 1 << r_size)
+            + motion_residual + 1;
+    if (motion_code < 0) delta = -delta;
+  }
+  int vec = pred + delta;
+  if (vec >= lim) vec -= lim + lim;
+  if (vec < -lim) vec += lim + lim;
+  return vec;
+}
+
+int mv_x[64];
+int mv_y[64];
+
+int main() {
+  fill_bitstream();
+  int pred_x = 0;
+  int pred_y = 0;
+  int checksum = 0;
+  for (int mb = 0; mb < 64; mb++) {
+    int r_size = (mb >> 4) & 3;
+    pred_x = decode_mv(pred_x, r_size);
+    pred_y = decode_mv(pred_y, r_size);
+    mv_x[mb] = pred_x;
+    mv_y[mb] = pred_y;
+    int lim = 16 << r_size;
+    if (pred_x >= lim || pred_x < -lim) return -1; // wraparound self-check
+    if (pred_y >= lim || pred_y < -lim) return -1;
+    checksum = (checksum * 23) ^ (pred_x & 0xff) ^ ((pred_y & 0xff) << 8)
+               ^ (mb << 16);
+  }
+  print(checksum);
+  return checksum & 0x7fffffff;
+}
+|}

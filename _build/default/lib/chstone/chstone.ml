@@ -1,0 +1,32 @@
+(* The benchmark registry: the eight 32-bit CHStone programs the thesis
+   evaluates (DFAdd/DFDiv/DFMul/DFSin are 64-bit and excluded there too,
+   §6).  Every kernel is self-checking: it returns -1 on an internal
+   consistency failure and a positive checksum otherwise.  The [expected]
+   checksums were produced by the reference interpreter and lock the
+   kernels against regressions. *)
+
+type benchmark = {
+  name : string;
+  description : string;
+  source : string;
+  expected : int32 option; (* None until pinned; tests then only check >= 0 *)
+}
+
+let mk name description source expected = { name; description; source; expected }
+
+let all : benchmark list =
+  [
+    mk Bench_mips.name Bench_mips.description Bench_mips.source (Some 42580050l);
+    mk Bench_adpcm.name Bench_adpcm.description Bench_adpcm.source (Some 340117928l);
+    mk Bench_aes.name Bench_aes.description Bench_aes.source (Some 1607023856l);
+    mk Bench_blowfish.name Bench_blowfish.description Bench_blowfish.source (Some 416472058l);
+    mk Bench_gsm.name Bench_gsm.description Bench_gsm.source (Some 1859184583l);
+    mk Bench_jpeg.name Bench_jpeg.description Bench_jpeg.source (Some 408380098l);
+    mk Bench_motion.name Bench_motion.description Bench_motion.source (Some 828244659l);
+    mk Bench_sha.name Bench_sha.description Bench_sha.source (Some 327333682l);
+  ]
+
+let find name =
+  match List.find_opt (fun b -> b.name = name) all with
+  | Some b -> b
+  | None -> failwith ("unknown benchmark " ^ name)

@@ -1,0 +1,25 @@
+(** The benchmark registry: mini-C re-creations of the eight 32-bit
+    CHStone programs the thesis evaluates (§6; DFAdd/DFDiv/DFMul/DFSine
+    are 64-bit and excluded there too).
+
+    Every kernel is self-checking in the CHStone style — it validates an
+    internal invariant (AES: the FIPS-197 test vector; blowfish: an
+    encrypt/decrypt round trip; jpeg: a DCT reconstruction-error bound;
+    mips: sortedness of the interpreted program's output; adpcm: encoder
+    and decoder predictors in lock step; gsm/motion: range invariants) and
+    returns [-1] on failure or a non-negative checksum on success. *)
+
+type benchmark = {
+  name : string;
+  description : string;
+  source : string;  (** the mini-C program *)
+  expected : int32 option;
+      (** the pinned checksum produced by the reference interpreter;
+          guards against semantic regressions anywhere in the stack *)
+}
+
+val all : benchmark list
+(** The eight kernels, in the thesis's table order. *)
+
+val find : string -> benchmark
+(** @raise Failure on unknown names. *)

@@ -1,0 +1,337 @@
+(* Twill — the end-to-end compiler + runtime driver (thesis Fig. 3.1 and
+   Fig. 5.1): mini-C source -> IR -> standard optimisation pipeline ->
+   DSWP thread extraction -> HW/SW split -> LegUp-substitute scheduling ->
+   cycle-accurate simulation, plus the two baselines the thesis evaluates
+   against (pure software on the Microblaze model, pure hardware through
+   the LegUp-substitute flow). *)
+
+module Ir = Twill_ir.Ir
+module Interp = Twill_ir.Interp
+module Minic = Twill_minic.Minic
+module Pipeline = Twill_passes.Pipeline
+module Partition = Twill_dswp.Partition
+module Threadgen = Twill_dswp.Threadgen
+module Dswp = Twill_dswp.Dswp
+module Parexec = Twill_dswp.Parexec
+module Schedule = Twill_hls.Schedule
+module Area = Twill_hls.Area
+module Power = Twill_hls.Power
+module Sim = Twill_rtsim.Sim
+
+type options = {
+  partition : Partition.config;
+  queue_depth : int;
+  queue_latency : int;
+  inline_aggressive : bool;
+  inline_threshold : int;
+  unroll : bool;
+  resources : Schedule.resources;
+  modulo : bool;
+  bus_contention : bool;
+  fuel : int;
+}
+
+let default_options =
+  {
+    partition = Partition.default_config;
+    queue_depth = 8; (* the thesis runs everything with 8x32 queues *)
+    queue_latency = 2;
+    inline_aggressive = false;
+    inline_threshold = 60;
+    unroll = false;
+    resources = Schedule.default_resources;
+    modulo = true;
+    bus_contention = true;
+    fuel = 300_000_000;
+  }
+
+(* --- compilation -------------------------------------------------------- *)
+
+(* mini-C source -> optimised IR module. *)
+let compile ?(opts = default_options) (src : string) : Ir.modul =
+  let m = Minic.compile src in
+  Pipeline.run
+    ~opts:
+      {
+        Pipeline.default with
+        inline_aggressive = opts.inline_aggressive;
+        inline_threshold = opts.inline_threshold;
+        unroll = opts.unroll;
+      }
+    m;
+  m
+
+(* One instrumented interpreter run collecting per-block execution counts
+   of [main] — the partitioner's weights are profile-guided, like running
+   the thesis's flow on top of LLVM's profiling infrastructure. *)
+let profile_blocks ?(opts = default_options) (m : Ir.modul) : int array =
+  let main = Ir.find_func m "main" in
+  let counts = Array.make (Twill_ir.Vec.length main.Ir.blocks) 0 in
+  let term_cost (f : Ir.func) (b : Ir.block) =
+    if f == main then counts.(b.Ir.bid) <- counts.(b.Ir.bid) + 1;
+    0
+  in
+  (try
+     ignore
+       (Interp.run ~fuel:opts.fuel ~cost:(fun _ _ -> 0) ~term_cost
+          ~charge_cycles:true m)
+   with Interp.Out_of_fuel | Interp.Trap _ -> ());
+  counts
+
+(* Optimised module -> extracted threads. *)
+let extract ?(opts = default_options) (m : Ir.modul) : Dswp.threaded =
+  let profile = profile_blocks ~opts m in
+  Dswp.run ~config:opts.partition ~queue_depth:opts.queue_depth ~profile m
+
+let sim_config (opts : options) : Sim.config =
+  {
+    Sim.queue_latency = opts.queue_latency;
+    queue_depth_override = None;
+    resources = opts.resources;
+    modulo = opts.modulo;
+    bus_contention = opts.bus_contention;
+    fuel = opts.fuel;
+  }
+
+(* --- the three evaluation scenarios -------------------------------------- *)
+
+type scenario = {
+  cycles : int;
+  ret : int32;
+  prints : int32 list;
+  area : Area.t; (* FPGA logic of the deployed design (excl. Microblaze) *)
+  power_mw : float;
+  executed : int;
+}
+
+type twill_result = {
+  scenario : scenario;
+  threaded : Dswp.threaded;
+  hw_threads_area : Area.t; (* LegUp-translated thread logic only *)
+  runtime_area : Area.t; (* queues, semaphores, buses, interfaces *)
+  n_hw_threads : int;
+  nqueues : int;
+  nsems : int;
+  stats : Sim.stats;
+}
+
+let schedules_for (opts : options) (m : Ir.modul) : (string * Schedule.t) list =
+  List.map
+    (fun (f : Ir.func) ->
+      (f.Ir.name, Schedule.schedule ~res:opts.resources ~modulo:opts.modulo f))
+    m.Ir.funcs
+
+(* Pure software: the whole program on the Microblaze. *)
+let run_pure_sw ?(opts = default_options) (m : Ir.modul) : scenario =
+  let stats =
+    Sim.simulate ~config:(sim_config opts) m
+      ~threads:[| { Sim.tname = "main"; trole = Sim.Sw; local_memory = false } |]
+      ~queues:[||] ~nsems:0 ()
+  in
+  {
+    cycles = stats.Sim.cycles;
+    ret = stats.Sim.ret;
+    prints = stats.Sim.prints;
+    area = Area.zero; (* no fabric logic; the soft core itself reported separately *)
+    power_mw =
+      Power.power ~with_microblaze:true ~mb_activity:1.0 ~area:Area.microblaze
+        ~logic_activity:0.0 ();
+    executed = stats.Sim.executed;
+  }
+
+(* Pure hardware: the whole program through the LegUp-substitute flow. *)
+let run_pure_hw ?(opts = default_options) (m : Ir.modul) : scenario =
+  let stats =
+    Sim.simulate ~config:(sim_config opts) m
+      ~threads:[| { Sim.tname = "main"; trole = Sim.Hw; local_memory = true } |]
+      ~queues:[||] ~nsems:0 ()
+  in
+  let area = Area.of_legup_module m ~schedules:(schedules_for opts m) in
+  let busy = match stats.Sim.thread_busy with [| (_, b) |] -> b | _ -> 0 in
+  let activity =
+    if stats.Sim.cycles = 0 then 0.0
+    else float_of_int busy /. float_of_int stats.Sim.cycles
+  in
+  {
+    cycles = stats.Sim.cycles;
+    ret = stats.Sim.ret;
+    prints = stats.Sim.prints;
+    area;
+    power_mw =
+      Power.power ~with_microblaze:false ~mb_activity:0.0 ~area
+        ~logic_activity:activity ();
+    executed = stats.Sim.executed;
+  }
+
+(* Callees reachable from a set of root functions. *)
+let reachable_funcs (m : Ir.modul) (roots : string list) : string list =
+  let seen = Hashtbl.create 16 in
+  let rec go name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.replace seen name ();
+      Ir.iter_insts (Ir.find_func m name) (fun i ->
+          match i.Ir.kind with Ir.Call (n, _) -> go n | _ -> ())
+    end
+  in
+  List.iter go roots;
+  Hashtbl.fold (fun k () acc -> k :: acc) seen []
+
+(* The Twill hybrid flow. *)
+let run_twill ?(opts = default_options) (m : Ir.modul) : twill_result =
+  let t = extract ~opts m in
+  let threads =
+    Array.mapi
+      (fun s name ->
+        {
+          Sim.tname = name;
+          trole =
+            (match t.Dswp.roles.(s) with
+            | Partition.Sw -> Sim.Sw
+            | Partition.Hw -> Sim.Hw);
+          local_memory = false;
+        })
+      t.Dswp.stages
+  in
+  let stats =
+    Sim.simulate ~config:(sim_config opts) ~master:t.Dswp.master t.Dswp.modul
+      ~threads ~queues:t.Dswp.queues ~nsems:t.Dswp.nsems ()
+  in
+  (* area: HW thread logic = LegUp translation of the hardware stages and
+     every callee reachable from them *)
+  let hw_roots =
+    Array.to_list t.Dswp.stages
+    |> List.filteri (fun s _ -> t.Dswp.roles.(s) = Partition.Hw)
+  in
+  let hw_funcs = reachable_funcs t.Dswp.modul hw_roots in
+  let hw_threads_area =
+    Area.sum
+      (List.map
+         (fun name ->
+           let f = Ir.find_func t.Dswp.modul name in
+           Area.of_schedule f
+             (Schedule.schedule ~res:opts.resources ~modulo:opts.modulo f))
+         hw_funcs)
+  in
+  let runtime_area =
+    Area.of_runtime
+      ~queues:
+        (Array.to_list t.Dswp.queues
+        |> List.map (fun (q : Threadgen.queue_info) ->
+               (q.Threadgen.width_bits, q.Threadgen.depth)))
+      ~nsems:t.Dswp.nsems ~n_hw_threads:(List.length hw_roots)
+  in
+  let area = Area.add hw_threads_area runtime_area in
+  (* activities *)
+  let makespan = max 1 stats.Sim.cycles in
+  let mb_activity =
+    match stats.Sim.thread_busy with
+    | [||] -> 0.0
+    | arr -> float_of_int (snd arr.(t.Dswp.master)) /. float_of_int makespan
+  in
+  let hw_busy =
+    Array.to_list stats.Sim.thread_busy
+    |> List.filteri (fun s _ -> s <> t.Dswp.master)
+    |> List.map snd
+  in
+  let logic_activity =
+    match hw_busy with
+    | [] -> 0.0
+    | l ->
+        List.fold_left ( + ) 0 l
+        |> fun total ->
+        float_of_int total /. float_of_int (makespan * List.length l)
+  in
+  {
+    scenario =
+      {
+        cycles = stats.Sim.cycles;
+        ret = stats.Sim.ret;
+        prints = stats.Sim.prints;
+        area;
+        power_mw =
+          Power.power ~with_microblaze:true ~mb_activity ~area
+            ~logic_activity ();
+        executed = stats.Sim.executed;
+      };
+    threaded = t;
+    hw_threads_area;
+    runtime_area;
+    n_hw_threads = List.length hw_roots;
+    nqueues = Array.length t.Dswp.queues;
+    nsems = t.Dswp.nsems;
+    stats;
+  }
+
+(* --- full report (one benchmark, all three scenarios) --------------------- *)
+
+type report = {
+  name : string;
+  sw : scenario;
+  hw : scenario;
+  twill : twill_result;
+  speedup_vs_sw : float; (* Twill vs pure software *)
+  speedup_vs_hw : float; (* Twill vs pure hardware *)
+  hw_speedup_vs_sw : float; (* pure hardware vs pure software *)
+}
+
+exception Self_check_failed of string
+
+(* Like the thesis's iterated partitioning (§5.2: the DSWP algorithm is
+   re-run with adjusted targets), the driver tries several pipeline widths
+   and keeps the best-performing extraction. *)
+let run_twill_auto ?(opts = default_options) ?(widths = [ 2; 3; 4; 5 ])
+    (m : Ir.modul) : twill_result =
+  let candidates =
+    List.map
+      (fun k ->
+        run_twill
+          ~opts:
+            {
+              opts with
+              partition = { opts.partition with Partition.nstages = k };
+            }
+          m)
+      widths
+  in
+  match candidates with
+  | [] -> run_twill ~opts m
+  | first :: rest ->
+      (* prefer deeper pipelines when performance is within 2% — ties go
+         to the configuration that actually exploits TLP *)
+      List.fold_left
+        (fun best c ->
+          let cb = float_of_int best.scenario.cycles in
+          if float_of_int c.scenario.cycles < 0.98 *. cb then c
+          else if
+            c.scenario.cycles <= best.scenario.cycles
+            && c.n_hw_threads > best.n_hw_threads
+          then c
+          else best)
+        first rest
+
+(* Compiles and evaluates [src] under all three flows, checking that all
+   of them observe identical behaviour (return value and print trace). *)
+let evaluate ?(opts = default_options) ?(auto_stages = true) ~(name : string)
+    (src : string) : report =
+  let m = compile ~opts src in
+  let sw = run_pure_sw ~opts m in
+  let hw = run_pure_hw ~opts m in
+  let tw = if auto_stages then run_twill_auto ~opts m else run_twill ~opts m in
+  if
+    sw.ret <> hw.ret || sw.ret <> tw.scenario.ret || sw.prints <> hw.prints
+    || sw.prints <> tw.scenario.prints
+  then
+    raise
+      (Self_check_failed
+         (Printf.sprintf "%s: scenarios disagree (sw=%ld hw=%ld twill=%ld)"
+            name sw.ret hw.ret tw.scenario.ret));
+  let fdiv a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
+  {
+    name;
+    sw;
+    hw;
+    twill = tw;
+    speedup_vs_sw = fdiv sw.cycles tw.scenario.cycles;
+    speedup_vs_hw = fdiv hw.cycles tw.scenario.cycles;
+    hw_speedup_vs_sw = fdiv sw.cycles hw.cycles;
+  }

@@ -1,0 +1,116 @@
+(** Twill — the end-to-end hybrid-compilation driver.
+
+    This is the library façade a downstream user programs against: compile
+    mini-C to optimised IR, extract DSWP pipeline threads, and evaluate
+    under the three flows of the thesis's Chapter 6 — pure software on the
+    Microblaze model, pure hardware through the LegUp-substitute flow, and
+    the Twill hybrid.  See {!module:Twill_chstone.Chstone} for the bundled
+    benchmarks and [bench/main.ml] for the experiment harness. *)
+
+(** Re-exported building blocks, so users need only this module. *)
+module Ir = Twill_ir.Ir
+
+module Interp = Twill_ir.Interp
+module Minic = Twill_minic.Minic
+module Pipeline = Twill_passes.Pipeline
+module Partition = Twill_dswp.Partition
+module Threadgen = Twill_dswp.Threadgen
+module Dswp = Twill_dswp.Dswp
+module Parexec = Twill_dswp.Parexec
+module Schedule = Twill_hls.Schedule
+module Area = Twill_hls.Area
+module Power = Twill_hls.Power
+module Sim = Twill_rtsim.Sim
+
+(** Compilation and evaluation options; [default_options] matches the
+    thesis's experimental setup (8-deep 32-bit queues, 2-cycle queue
+    latency, one Microblaze, 100 MHz everywhere). *)
+type options = {
+  partition : Partition.config;  (** pipeline width and split target *)
+  queue_depth : int;  (** slots per queue (thesis: 8) *)
+  queue_latency : int;  (** give->visible cycles (thesis: 2) *)
+  inline_aggressive : bool;  (** inline every call before DSWP *)
+  inline_threshold : int;  (** size bound for default inlining *)
+  unroll : bool;  (** LegUp-style full unrolling of small counted loops *)
+  resources : Schedule.resources;  (** functional units per HW thread *)
+  modulo : bool;  (** enable the modulo scheduler *)
+  bus_contention : bool;  (** model 1-message-per-cycle buses *)
+  fuel : int;  (** simulation instruction budget *)
+}
+
+val default_options : options
+
+(** [compile src] parses, type-checks and optimises a mini-C program
+    through the standard pass pipeline (thesis §5.1). *)
+val compile : ?opts:options -> string -> Ir.modul
+
+(** [profile_blocks m] runs one instrumented interpretation and returns
+    per-block execution counts of [main] — the profile guiding the
+    partitioner's weights. *)
+val profile_blocks : ?opts:options -> Ir.modul -> int array
+
+(** [extract m] runs the profile-guided DSWP thread extraction on an
+    optimised module (thesis §5.2-5.3). *)
+val extract : ?opts:options -> Ir.modul -> Dswp.threaded
+
+(** Simulator configuration corresponding to [opts]. *)
+val sim_config : options -> Sim.config
+
+(** One evaluated execution flow. *)
+type scenario = {
+  cycles : int;  (** simulated makespan *)
+  ret : int32;  (** program result *)
+  prints : int32 list;  (** observable output trace *)
+  area : Area.t;  (** FPGA logic deployed (excluding the soft core) *)
+  power_mw : float;
+  executed : int;  (** instructions executed across all threads *)
+}
+
+(** The Twill hybrid flow's result, with extraction details. *)
+type twill_result = {
+  scenario : scenario;
+  threaded : Dswp.threaded;
+  hw_threads_area : Area.t;  (** LegUp-translated thread logic only *)
+  runtime_area : Area.t;  (** queues, semaphores, buses, interfaces *)
+  n_hw_threads : int;
+  nqueues : int;
+  nsems : int;
+  stats : Sim.stats;
+}
+
+(** Whole program on the Microblaze model (thesis baseline 1). *)
+val run_pure_sw : ?opts:options -> Ir.modul -> scenario
+
+(** Whole program through the LegUp-substitute hardware flow with local
+    BRAM memory (thesis baseline 2). *)
+val run_pure_hw : ?opts:options -> Ir.modul -> scenario
+
+(** The Twill hybrid at the configured pipeline width. *)
+val run_twill : ?opts:options -> Ir.modul -> twill_result
+
+(** Tries several pipeline widths and keeps the best (the analogue of the
+    thesis's iterated partitioning, §5.2); ties go to deeper pipelines. *)
+val run_twill_auto : ?opts:options -> ?widths:int list -> Ir.modul -> twill_result
+
+(** Full report over the three flows. *)
+type report = {
+  name : string;
+  sw : scenario;
+  hw : scenario;
+  twill : twill_result;
+  speedup_vs_sw : float;
+  speedup_vs_hw : float;
+  hw_speedup_vs_sw : float;
+}
+
+exception Self_check_failed of string
+
+(** [evaluate ~name src] compiles [src] and runs all three flows, raising
+    {!Self_check_failed} if they observe different behaviour.
+    [auto_stages] (default true) enables width auto-tuning. *)
+val evaluate : ?opts:options -> ?auto_stages:bool -> name:string -> string -> report
+
+(**/**)
+
+val reachable_funcs : Ir.modul -> string list -> string list
+val schedules_for : options -> Ir.modul -> (string * Schedule.t) list

@@ -1,0 +1,1 @@
+lib/dswp/dswp.ml: Array Hashtbl List Partition Threadgen Twill_ir Twill_passes Twill_pdg Weights

@@ -1,0 +1,1 @@
+lib/dswp/dswp.mli: Partition Threadgen Twill_ir

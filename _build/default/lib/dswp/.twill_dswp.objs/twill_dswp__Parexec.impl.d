@@ -1,0 +1,1 @@
+lib/dswp/parexec.ml: Array Dswp Effect List Printf Queue Twill_ir

@@ -1,0 +1,1 @@
+lib/dswp/parexec.mli: Dswp

@@ -1,0 +1,1 @@
+lib/dswp/partition.ml: Array List Printf Twill_ir Twill_pdg Weights

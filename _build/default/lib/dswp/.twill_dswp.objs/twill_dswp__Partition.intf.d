@@ -1,0 +1,1 @@
+lib/dswp/partition.mli: Twill_pdg Weights

@@ -1,0 +1,1 @@
+lib/dswp/threadgen.ml: Array Hashtbl Lazy List Option Partition Printf Twill_ir Twill_passes Twill_pdg

@@ -1,0 +1,1 @@
+lib/dswp/threadgen.mli: Partition Twill_ir

@@ -1,0 +1,1 @@
+lib/dswp/weights.ml: Array Hashtbl List Twill_ir Twill_passes Twill_pdg

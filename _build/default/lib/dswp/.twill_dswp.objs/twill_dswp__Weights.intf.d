@@ -1,0 +1,1 @@
+lib/dswp/weights.mli: Hashtbl Twill_ir Twill_passes Twill_pdg

@@ -1,0 +1,42 @@
+(** DSWP thread extraction — the module-level driver (thesis §5.2-§5.3).
+
+    Partitions [main] into pipeline-stage thread functions over the
+    program dependence graph, prunes each stage to its relevant blocks,
+    inserts queue communication under the same-point discipline, keeps
+    non-inlined callees inside their owning stage, and guards callees
+    reachable from several stages with mutual-exclusion semaphores
+    (§5.2.1).  The result is directly executable by
+    {!Twill_dswp.Parexec} (untimed) and {!Twill_rtsim.Sim} (cycle
+    accurate), and emittable by the C/Verilog backends. *)
+
+open Twill_ir.Ir
+
+type threaded = {
+  modul : modul;  (** globals + stage functions + surviving callees *)
+  stages : string array;  (** stage function names, index = stage *)
+  master : int;  (** the software master stage (receives the result) *)
+  roles : Partition.role array;  (** software/hardware per stage *)
+  queues : Threadgen.queue_info array;  (** the extracted channels *)
+  nsems : int;  (** semaphores protecting shared callees *)
+  sem_callees : (string * int) list;  (** callee -> semaphore id *)
+  partition : Partition.t;  (** the underlying SCC assignment *)
+}
+
+val callees_of : func -> string list
+(** Direct callees of a function (deduplicated). *)
+
+val protect_calls : func -> string -> int -> unit
+(** [protect_calls f callee sid] wraps every call to [callee] inside [f]
+    with take/give on semaphore [sid]. *)
+
+val run :
+  ?config:Partition.config ->
+  ?queue_depth:int ->
+  ?profile:int array ->
+  modul ->
+  threaded
+(** Extracts threads from [main].  [profile] supplies measured per-block
+    execution counts for the weight heuristic (see
+    {!Twill_dswp.Weights.compute}); without it the classic 10{^depth}
+    static estimate is used.  The generated stage functions are verified
+    structurally and for SSA dominance before being returned. *)

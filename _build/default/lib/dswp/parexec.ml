@@ -1,0 +1,131 @@
+(* Untimed parallel executor for DSWP output.
+
+   Runs every pipeline-stage function as a cooperative fiber (OCaml 5
+   effect handlers) over one shared memory, with unbounded queues and
+   counting semaphores.  This is the *functional* semantics of the Twill
+   runtime — no cycle accounting — used to validate thread extraction
+   independently of the cycle-accurate simulator: the observable behaviour
+   (stage-0 return value + print trace) must equal the sequential
+   program's. *)
+
+open Effect
+open Effect.Deep
+module Ir = Twill_ir.Ir
+module Interp = Twill_ir.Interp
+module Layout = Twill_ir.Layout
+
+type _ Effect.t += Yield : unit Effect.t
+
+exception Deadlock of string
+
+type result = { ret : int32; prints : int32 list }
+
+let execute ?(fuel = 100_000_000) ?(max_sem = 64) (t : Dswp.threaded) : result =
+  let m = t.Dswp.modul in
+  let layout, mem = Interp.fresh_memory m in
+  ignore (layout.Layout.words_used);
+  let nq = Array.length t.Dswp.queues in
+  let queues = Array.init (max 1 nq) (fun _ -> Queue.create ()) in
+  let sems = Array.make (max 1 max_sem) 1 in
+  (* progress accounting for deadlock detection *)
+  let ops = ref 0 in
+  let wait_until cond =
+    while not (cond ()) do
+      perform Yield
+    done
+  in
+  let handlers =
+    {
+      Interp.produce =
+        (fun q v ->
+          Queue.add v queues.(q);
+          incr ops);
+      consume =
+        (fun q ->
+          wait_until (fun () -> not (Queue.is_empty queues.(q)));
+          incr ops;
+          Queue.pop queues.(q));
+      sem_give =
+        (fun s n ->
+          sems.(s) <- sems.(s) + n;
+          incr ops);
+      sem_take =
+        (fun s n ->
+          wait_until (fun () -> sems.(s) >= n);
+          sems.(s) <- sems.(s) - n;
+          incr ops);
+    }
+  in
+  let results = Array.make (Array.length t.Dswp.stages) None in
+  (* the run queue holds resumable steps: either a fresh fiber start (which
+     installs its own deep handler) or a captured continuation (resumed
+     under the handler it was captured beneath) *)
+  let runq : (unit -> unit) Queue.t = Queue.create () in
+  let start_fiber (body : unit -> unit) () =
+    match_with body ()
+      {
+        retc = (fun () -> ());
+        exnc = (fun e -> raise e);
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Yield ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    Queue.add (fun () -> continue k ()) runq)
+            | _ -> None);
+      }
+  in
+  Array.iteri
+    (fun s name ->
+      Queue.add
+        (start_fiber (fun () ->
+             let r =
+               Interp.run_shared ~fuel ~layout ~mem ~handlers
+                 ~charge_cycles:false m ~entry:name ~args:[||]
+             in
+             results.(s) <- Some r))
+        runq)
+    t.Dswp.stages;
+  (* round-robin scheduler with progress-based deadlock detection *)
+  while not (Queue.is_empty runq) do
+    let n = Queue.length runq in
+    let before_ops = !ops in
+    let before_done =
+      Array.fold_left (fun c r -> if r = None then c else c + 1) 0 results
+    in
+    for _ = 1 to n do
+      (Queue.pop runq) ()
+    done;
+    let after_done =
+      Array.fold_left (fun c r -> if r = None then c else c + 1) 0 results
+    in
+    if
+      (not (Queue.is_empty runq))
+      && !ops = before_ops
+      && after_done = before_done
+    then
+      raise
+        (Deadlock
+           (Printf.sprintf "%d fibers blocked with no runtime progress"
+              (Queue.length runq)))
+  done;
+  match results.(t.Dswp.master) with
+  | Some r ->
+      (* the print chain is pinned into one SCC, hence exactly one stage may
+         print; its local order is the program's observable order *)
+      let printing =
+        Array.to_list results
+        |> List.filter_map (fun r ->
+               match r with
+               | Some rr when rr.Interp.prints <> [] -> Some rr.Interp.prints
+               | _ -> None)
+      in
+      let prints =
+        match printing with
+        | [] -> []
+        | [ p ] -> p
+        | _ -> failwith "parexec: prints scattered across stages"
+      in
+      { ret = r.Interp.ret; prints }
+  | None -> raise (Deadlock "master stage did not finish")

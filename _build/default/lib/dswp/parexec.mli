@@ -1,0 +1,19 @@
+(** Untimed parallel executor for DSWP output.
+
+    Runs every pipeline-stage function as a cooperative fiber (OCaml 5
+    effect handlers) over one shared memory, with unbounded queues and
+    counting semaphores — the *functional* semantics of the Twill runtime,
+    free of any timing model.  Used to validate thread extraction
+    independently of the cycle-accurate simulator: the observable
+    behaviour must equal the sequential program's. *)
+
+exception Deadlock of string
+(** No fiber can make progress.  Cannot occur for designs produced by
+    {!Dswp.run} (same-point discipline); property-tested. *)
+
+type result = { ret : int32; prints : int32 list }
+
+val execute : ?fuel:int -> ?max_sem:int -> Dswp.threaded -> result
+(** Runs all stages to completion; the result is the master stage's
+    return value, and the print trace comes from the unique printing
+    stage (the PDG pins all prints into one SCC). *)

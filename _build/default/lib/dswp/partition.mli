@@ -1,0 +1,38 @@
+(** The DSWP partitioner (thesis §5.2): assigns the SCCs of the program
+    dependence graph to pipeline stages with a greedy smallest-first
+    heuristic against targeted work percentages, keeping cross-stage PDG
+    edges forward-only.  An optional communication-minimising local search
+    ({!config.refine}) is provided for the ablation study; it is off by
+    default because it tends to pull consumers' condition computations
+    into producer stages (see EXPERIMENTS.md). *)
+
+module Pdg = Twill_pdg.Pdg
+
+type role = Sw | Hw
+
+type config = {
+  nstages : int;  (** pipeline threads, including the software master *)
+  sw_fraction : float;
+      (** targeted work share of the software master.  Expressed in
+          Microblaze-cycle units; the thesis's "25%" is in its mixed
+          cycle-vs-cycle-area units and corresponds to well under a
+          percent here — see EXPERIMENTS.md *)
+  refine : bool;  (** run the local-search refinement *)
+}
+
+val default_config : config
+
+type t = {
+  g : Pdg.t;
+  nstages : int;
+  master : int;  (** the software master stage (last in pipeline order) *)
+  stage_of_node : int array;  (** PDG node -> stage; -1 for dead nodes *)
+  roles : role array;
+  stage_sw_weight : float array;
+  stage_hw_weight : float array;
+}
+
+exception Invalid of string
+(** Internal-invariant violation (a backward PDG edge across stages). *)
+
+val compute : ?config:config -> Pdg.t -> Weights.t -> t

@@ -1,0 +1,527 @@
+(* DSWP thread code generation (thesis §5.2-5.2.1).
+
+   Each pipeline stage receives the *relevant* subset of the function's
+   CFG: blocks holding its instructions, its communication sites, the
+   predecessors of its phis (the thesis's Fig. 5.2 fake-dependence fix,
+   realised as forced relevance), plus — by control-dependence closure —
+   every block whose branch decides how often the former execute.
+   Branches to pruned blocks are retargeted to the nearest relevant
+   post-dominator, exactly as in the thesis.
+
+   The communication discipline is *same-point*: for every cross-stage
+   dependence the produce and the matching consume are inserted at the
+   same original program point (the consumer's use point; end-of-block for
+   phi inputs, branch conditions and return values; the later operation's
+   point for memory-ordering tokens).  Relevance closure guarantees that
+   both endpoint stages execute a site block exactly as often as the
+   original program does, so produce/consume counts always match, and the
+   global order of sites is identical in every stage, which makes the
+   system deadlock-free (the stage at the globally-earliest pending site
+   can always progress; see the property tests in test/test_dswp.ml).
+
+   Branch conditions are broadcast from the control stage (the
+   partitioner's branch-cone mega-SCC) to every stage for which the branch
+   still decides something after pruning, over 1-bit queues.
+   Memory-ordering tokens reuse the same machinery: a token produced by
+   the tail's stage at the head's program point certifies the producer
+   passed that point, hence executed every program-order-earlier memory
+   operation; the >= 2-cycle queue latency covers the 2-cycle write-update
+   coherency window (§4.5). *)
+
+open Twill_ir.Ir
+module Vec = Twill_ir.Vec
+module Pdg = Twill_pdg.Pdg
+module Dom = Twill_passes.Dom
+
+type queue_info = {
+  qid : int;
+  width_bits : int;
+  depth : int;
+  src_stage : int;
+  dst_stage : int;
+  purpose : string; (* "data" | "cond" | "token" | "ret" *)
+}
+
+(* Queue-id allocator shared across all functions of a module. *)
+type qalloc = { mutable next : int; mutable infos : queue_info list }
+
+let new_qalloc () = { next = 0; infos = [] }
+
+let alloc_queue qa ~width_bits ~depth ~src ~dst ~purpose =
+  let qid = qa.next in
+  qa.next <- qa.next + 1;
+  qa.infos <-
+    { qid; width_bits; depth; src_stage = src; dst_stage = dst; purpose }
+    :: qa.infos;
+  qid
+
+(* A communication channel: one queue, one produce site, one consume site
+   (the same program point in both stages). *)
+type chan = {
+  mutable cq : int;
+  cdef : int; (* PDG node whose value (or completion) is communicated *)
+  ckind : [ `Data | `Token | `Cond | `Ret ];
+  csrc : int;
+  cdst : int;
+  cblock : int; (* site block (possibly a preheader after loop matching) *)
+  cpos : int; (* index of the instruction the ops go before; max_int = end *)
+  corig : int list; (* original use blocks this channel serves *)
+}
+
+type gen = { stage_funcs : func array; nstages : int }
+
+let stage_name base s = Printf.sprintf "%s__dswp_%d" base s
+
+let generate (part : Partition.t) (qa : qalloc) ~(queue_depth : int) : gen =
+  let g = part.Partition.g in
+  let f = g.Pdg.func in
+  let k = part.Partition.nstages in
+  let master = part.Partition.master in
+  let stage_of v = part.Partition.stage_of_node.(v) in
+  let nblocks = Vec.length f.blocks in
+  recompute_cfg f;
+  (* positions of instructions *)
+  let pos_of = Hashtbl.create 64 in
+  Vec.iter
+    (fun (b : block) ->
+      List.iteri (fun p id -> Hashtbl.replace pos_of id (b.bid, p)) b.insts)
+    f.blocks;
+  (* ---- collect raw cross-stage uses --------------------------------- *)
+  let data_uses : (int * int * int * int) list ref = ref [] in
+  let token_uses : (int * int * int * int) list ref = ref [] in
+  let ret_uses : (int * int * int * int) list ref = ref [] in
+  let add_data r dst blockid pos =
+    if stage_of r <> dst then data_uses := (r, dst, blockid, pos) :: !data_uses
+  in
+  Vec.iter
+    (fun (b : block) ->
+      List.iteri
+        (fun p id ->
+          let i = inst f id in
+          let su = stage_of i.id in
+          match i.kind with
+          | Phi incoming ->
+              List.iter
+                (fun (pred, v) ->
+                  match v with
+                  | Reg r -> if stage_of r <> su then add_data r su pred max_int
+                  | _ -> ())
+                incoming
+          | _ ->
+              List.iter
+                (function Reg r -> add_data r su b.bid p | _ -> ())
+                (operands i))
+        b.insts;
+      match b.term with
+      | Ret (Some (Reg r)) ->
+          if stage_of r <> master then
+            ret_uses := (r, master, b.bid, max_int) :: !ret_uses
+      | _ -> ())
+    f.blocks;
+  (* memory-ordering tokens from cross-stage Mem edges *)
+  iter_insts f (fun u ->
+      List.iter
+        (fun (v, kind) ->
+          if kind = Pdg.Mem && not (Pdg.is_term_node g v) then begin
+            let su = stage_of u.id and sv = stage_of v in
+            if su <> sv && su >= 0 && sv >= 0 then begin
+              match Hashtbl.find_opt pos_of v with
+              | Some (vb, vp) -> token_uses := (u.id, sv, vb, vp) :: !token_uses
+              | None -> ()
+            end
+          end)
+        g.Pdg.succs.(u.id));
+  (* dedup: one channel per (def, dst, block), at the earliest position *)
+  let dedup uses =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (d, dst, b, p) ->
+        match Hashtbl.find_opt tbl (d, dst, b) with
+        | Some p0 when p0 <= p -> ()
+        | _ -> Hashtbl.replace tbl (d, dst, b) p)
+      uses;
+    Hashtbl.fold (fun (d, dst, b) p acc -> (d, dst, b, p) :: acc) tbl []
+  in
+
+  (* Loop matching (thesis Fig. 5.3, cases a-c): when the communicated
+     definition lives outside the use's loop, the produce/consume pair is
+     hoisted to the loop preheader — one transfer per loop entry instead
+     of one per iteration.  Both endpoints move to the same new point, so
+     the same-point discipline (and with it count matching and deadlock
+     freedom) is preserved; the value is loop-invariant by SSA, and a
+     hoisted ordering token still certifies every program-order-earlier
+     memory operation. *)
+  let forest = Twill_passes.Loops.analyze f in
+  let dom = Dom.dominators f in
+  (* [needs_value]: data channels must have the definition available at
+     the hoisted point (dominance); ordering tokens carry no value, so for
+     them it suffices that the tail lies outside the loop — every
+     program-order-earlier execution of it precedes the loop entry. *)
+  let hoist_site ~needs_value (def_node : int) (b : int) (p : int) : int * int =
+    let def_block = (inst f def_node).block in
+    let rec climb b p =
+      match forest.Twill_passes.Loops.loop_of_block.(b) with
+      | -1 -> (b, p)
+      | li ->
+          let l = forest.Twill_passes.Loops.loops.(li) in
+          (* find the outermost loop around [b] not containing the def *)
+          let rec outermost li best =
+            if li < 0 then best
+            else
+              let l = forest.Twill_passes.Loops.loops.(li) in
+              if List.mem def_block l.Twill_passes.Loops.body then best
+              else outermost l.Twill_passes.Loops.parent (Some l)
+          in
+          ignore l;
+          (match outermost li None with
+          | None -> (b, p)
+          | Some l_out -> (
+              match Twill_passes.Loops.preheader f l_out with
+              | Some ph
+                when ((not needs_value) || Dom.dominates dom def_block ph)
+                     && not (List.mem ph l_out.Twill_passes.Loops.body) ->
+                  climb ph max_int
+              | _ -> (b, p)))
+    in
+    climb b p
+  in
+  (* one channel per (def, dst, hoisted site); remember which original use
+     blocks it serves so operand resolution can find the consumed value *)
+  let build_chans ckind uses =
+    let needs_value = ckind <> `Token in
+    let groups = Hashtbl.create 32 in
+    List.iter
+      (fun (d, dst, ob, p) ->
+        let hb, hp = hoist_site ~needs_value d ob p in
+        let key = (d, dst, hb) in
+        let site_p, origs =
+          match Hashtbl.find_opt groups key with
+          | Some (p0, os) -> (min p0 hp, os)
+          | None -> (hp, [])
+        in
+        Hashtbl.replace groups key (site_p, ob :: origs))
+      uses;
+    Hashtbl.fold
+      (fun (d, dst, hb) (p, origs) acc ->
+        {
+          cq = -1;
+          cdef = d;
+          ckind;
+          csrc = stage_of d;
+          cdst = dst;
+          cblock = hb;
+          cpos = p;
+          corig = List.sort_uniq compare (hb :: origs);
+        }
+        :: acc)
+      groups []
+  in
+  let data_chans = build_chans `Data (dedup !data_uses) in
+  (* a data channel already delivering the value into the same block makes
+     a separate end-of-block return channel redundant (and the duplicate
+     consume would shadow the earlier one during operand resolution) *)
+  let delivered_by_data : (int * int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun ob -> Hashtbl.replace delivered_by_data (c.cdef, c.cdst, ob) ())
+        c.corig)
+    data_chans;
+  let ret_chans =
+    build_chans `Ret
+      (List.filter
+         (fun (d, dst, b, _) -> not (Hashtbl.mem delivered_by_data (d, dst, b)))
+         (dedup !ret_uses))
+  in
+  let base_chans =
+    data_chans @ build_chans `Token (dedup !token_uses) @ ret_chans
+  in
+  (* ---- relevance: which blocks each stage must execute --------------- *)
+  let pd = Dom.post_dominators f in
+  let exits = Twill_passes.Cfg.exits f in
+  let preds_rev b =
+    if b = nblocks then []
+    else succs f b @ (if List.mem b exits then [ nblocks ] else [])
+  in
+  let df_rev = Dom.frontiers pd ~preds:preds_rev in
+  let relevant = Array.make_matrix k nblocks false in
+  let mark s b = if s >= 0 && b >= 0 && b < nblocks then relevant.(s).(b) <- true in
+  Vec.iter
+    (fun (b : block) ->
+      List.iter
+        (fun id ->
+          let i = inst f id in
+          let s = stage_of i.id in
+          if s >= 0 then begin
+            mark s b.bid;
+            (* owned phis force their predecessor blocks (Fig. 5.2) *)
+            match i.kind with
+            | Phi incoming -> List.iter (fun (p, _) -> mark s p) incoming
+            | _ -> ()
+          end)
+        b.insts;
+      (* the stage owning the terminator node executes the block *)
+      mark (stage_of (Pdg.term_node g b.bid)) b.bid;
+      (* so does the stage owning a branch condition: it must be able to
+         produce the condition to every consumer of this branch *)
+      (match b.term with
+      | Cond_br (Reg r, _, _) -> mark (stage_of r) b.bid
+      | _ -> ());
+      (* return blocks are always relevant to the master *)
+      match b.term with Ret _ -> mark master b.bid | _ -> ())
+    f.blocks;
+  List.iter
+    (fun c ->
+      mark c.csrc c.cblock;
+      mark c.cdst c.cblock)
+    base_chans;
+  for s = 0 to k - 1 do
+    mark s f.entry
+  done;
+  (* control-dependence closure *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for s = 0 to k - 1 do
+      for b = 0 to nblocks - 1 do
+        if relevant.(s).(b) then
+          List.iter
+            (fun ctrl ->
+              if ctrl < nblocks && not relevant.(s).(ctrl) then begin
+                relevant.(s).(ctrl) <- true;
+                changed := true
+              end)
+            df_rev.(b)
+      done
+    done
+  done;
+  (* retarget: first relevant block on the post-dominator chain; -1 = exit *)
+  let retarget s b =
+    let rec walk x =
+      if x >= nblocks || x < 0 then -1
+      else if relevant.(s).(x) then x
+      else walk pd.Dom.idom.(x)
+    in
+    walk b
+  in
+  (* ---- branch-condition channels -------------------------------------- *)
+  (* a data channel already delivering the same value into the branch's
+     block makes a separate condition channel redundant (and, worse, the
+     two consumes would collide in operand resolution) *)
+  let data_delivers : (int * int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      if c.ckind = `Data || c.ckind = `Ret then
+        List.iter
+          (fun ob -> Hashtbl.replace data_delivers (c.cdef, c.cdst, ob) ())
+          c.corig)
+    base_chans;
+  ignore delivered_by_data;
+  let cond_chans = ref [] in
+  Vec.iter
+    (fun (b : block) ->
+      match b.term with
+      | Cond_br (Reg r, t1, t2) ->
+          let owner = stage_of r in
+          for s = 0 to k - 1 do
+            if
+              s <> owner
+              && relevant.(s).(b.bid)
+              && retarget s t1 <> retarget s t2
+              && not (Hashtbl.mem data_delivers (r, s, b.bid))
+            then
+              cond_chans :=
+                {
+                  cq = -1;
+                  cdef = r;
+                  ckind = `Cond;
+                  csrc = owner;
+                  cdst = s;
+                  cblock = b.bid;
+                  cpos = max_int;
+                  corig = [ b.bid ];
+                }
+                :: !cond_chans
+          done
+      | _ -> ())
+    f.blocks;
+  let chans = base_chans @ !cond_chans in
+  (* allocate queues *)
+  List.iter
+    (fun c ->
+      let width_bits =
+        match c.ckind with
+        | `Token | `Cond -> 1
+        | `Data | `Ret -> (
+            match (inst f c.cdef).kind with Icmp _ -> 1 | _ -> 32)
+      in
+      let purpose =
+        match c.ckind with
+        | `Data -> "data"
+        | `Token -> "token"
+        | `Cond -> "cond"
+        | `Ret -> "ret"
+      in
+      c.cq <-
+        alloc_queue qa ~width_bits ~depth:queue_depth ~src:c.csrc ~dst:c.cdst
+          ~purpose)
+    chans;
+  (* site index: (block, pos) -> channels, canonically ordered *)
+  let site_chans : (int * int, chan list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      let key = (c.cblock, c.cpos) in
+      let prev = try Hashtbl.find site_chans key with Not_found -> [] in
+      Hashtbl.replace site_chans key (c :: prev))
+    chans;
+  Hashtbl.iter
+    (fun key l ->
+      Hashtbl.replace site_chans key
+        (List.sort
+           (fun a b ->
+             compare (a.ckind, a.cdef, a.cdst) (b.ckind, b.cdef, b.cdst))
+           l))
+    (Hashtbl.copy site_chans);
+  (* ---- emit one function per stage ------------------------------------ *)
+  let emit_stage s : func =
+    let fs = create_func ~name:(stage_name f.name s) ~nparams:f.nparams in
+    (* block map: relevant original blocks keep their relative order *)
+    let bmap = Array.make nblocks (-1) in
+    Vec.iter
+      (fun (b : block) ->
+        if relevant.(s).(b.bid) then bmap.(b.bid) <- (add_block fs).bid)
+      f.blocks;
+    (* synthetic exit for paths with no relevant post-dominator *)
+    let synth_exit =
+      lazy
+        (let b = add_block fs in
+         b.term <- Ret (Some (Cst 0l));
+         b.bid)
+    in
+    let new_target orig =
+      let t = retarget s orig in
+      if t < 0 then Lazy.force synth_exit else bmap.(t)
+    in
+    fs.entry <- bmap.(f.entry);
+    (* pass A: pre-allocate owned copies and consumes so values resolve
+       independently of block ordering *)
+    let val_map : (int, operand) Hashtbl.t = Hashtbl.create 64 in
+    let cons_map : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+    iter_insts f (fun i ->
+        if stage_of i.id = s then begin
+          let ni = new_inst fs Dead in
+          Hashtbl.replace val_map i.id (Reg ni.id)
+        end);
+    let chan_cons : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun c ->
+        if c.cdst = s then begin
+          let ci = new_inst fs (Consume c.cq) in
+          Hashtbl.replace chan_cons c.cq ci.id;
+          (if c.ckind <> `Token then
+             (* condition and return consumes sit at the end of the block,
+                so they must never shadow a data consume placed earlier *)
+             List.iter
+               (fun ob ->
+                 if c.ckind = `Data || not (Hashtbl.mem cons_map (c.cdef, ob))
+                 then Hashtbl.replace cons_map (c.cdef, ob) ci.id)
+               c.corig)
+        end)
+      chans;
+    let resolve ~blk (o : operand) : operand =
+      match o with
+      | Cst _ | Glob _ | Argv _ -> o
+      | Reg r -> (
+          if stage_of r = s then Hashtbl.find val_map r
+          else
+            match Hashtbl.find_opt cons_map (r, blk) with
+            | Some cid -> Reg cid
+            | None ->
+                failwith
+                  (Printf.sprintf
+                     "threadgen: stage %d has no channel for %%%d in b%d" s r
+                     blk))
+    in
+    let place bid iid =
+      let b = block fs bid in
+      b.insts <- b.insts @ [ iid ];
+      (inst fs iid).block <- bid
+    in
+    (* pass B: walk relevant blocks attaching instructions in order *)
+    Vec.iter
+      (fun (b : block) ->
+        if relevant.(s).(b.bid) then begin
+          let nb = bmap.(b.bid) in
+          let emit_site p =
+            match Hashtbl.find_opt site_chans (b.bid, p) with
+            | None -> ()
+            | Some cs ->
+                List.iter
+                  (fun c ->
+                    if c.csrc = s then begin
+                      let v =
+                        if c.ckind = `Token then Cst 1l
+                        else resolve ~blk:b.bid (Reg c.cdef)
+                      in
+                      let pi = new_inst fs (Produce (c.cq, v)) in
+                      place nb pi.id
+                    end
+                    else if c.cdst = s then place nb (Hashtbl.find chan_cons c.cq))
+                  cs
+          in
+          List.iteri
+            (fun p id ->
+              emit_site p;
+              let i = inst f id in
+              if stage_of i.id = s then begin
+                let nid =
+                  match Hashtbl.find val_map i.id with
+                  | Reg nid -> nid
+                  | _ -> assert false
+                in
+                let kind =
+                  match i.kind with
+                  | Phi incoming ->
+                      Phi
+                        (List.map
+                           (fun (pred, v) -> (bmap.(pred), resolve ~blk:pred v))
+                           incoming)
+                  | kk -> map_operands_kind (resolve ~blk:b.bid) kk
+                in
+                (inst fs nid).kind <- kind;
+                place nb nid
+              end)
+            b.insts;
+          emit_site max_int;
+          (block fs nb).term <-
+            (match b.term with
+            | Br t -> Br (new_target t)
+            | Cond_br (c, t1, t2) ->
+                let nt1 = new_target t1 and nt2 = new_target t2 in
+                if nt1 = nt2 then Br nt1
+                else
+                  let cop =
+                    match c with
+                    | Reg r when stage_of r = s -> Hashtbl.find val_map r
+                    | Reg r -> (
+                        match Hashtbl.find_opt cons_map (r, b.bid) with
+                        | Some cid -> Reg cid
+                        | None ->
+                            failwith
+                              (Printf.sprintf
+                                 "threadgen: stage %d missing cond channel \
+                                  for %%%d in b%d"
+                                 s r b.bid))
+                    | o -> o
+                  in
+                  Cond_br (cop, nt1, nt2)
+            | Ret v ->
+                if s = master then Ret (Option.map (resolve ~blk:b.bid) v)
+                else Ret (Some (Cst 0l)))
+        end)
+      f.blocks;
+    recompute_cfg fs;
+    fs
+  in
+  let stage_funcs = Array.init k emit_stage in
+  { stage_funcs; nstages = k }

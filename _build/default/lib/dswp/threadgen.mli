@@ -1,0 +1,40 @@
+(** DSWP thread code generation (thesis §5.2-5.2.1).
+
+    Turns a stage assignment into one function per pipeline stage:
+    relevant-block pruning with post-dominator branch retargeting, queue
+    channel insertion under the same-point discipline, loop matching
+    (Fig. 5.3) by hoisting loop-invariant transfers to preheaders, branch
+    condition forwarding, and memory-ordering tokens.  See the extended
+    commentary at the top of [threadgen.ml] and DESIGN.md §3. *)
+
+open Twill_ir.Ir
+
+type queue_info = {
+  qid : int;
+  width_bits : int;  (** 1 for conditions/tokens, 32 for data (§4.3) *)
+  depth : int;
+  src_stage : int;
+  dst_stage : int;
+  purpose : string;  (** ["data"], ["cond"], ["token"] or ["ret"] *)
+}
+
+(** Queue-id allocator shared across all functions of a module. *)
+type qalloc = { mutable next : int; mutable infos : queue_info list }
+
+val new_qalloc : unit -> qalloc
+
+val alloc_queue :
+  qalloc ->
+  width_bits:int ->
+  depth:int ->
+  src:int ->
+  dst:int ->
+  purpose:string ->
+  int
+
+type gen = { stage_funcs : func array; nstages : int }
+
+val stage_name : string -> int -> string
+(** [stage_name f s] is the generated name ["<f>__dswp_<s>"]. *)
+
+val generate : Partition.t -> qalloc -> queue_depth:int -> gen

@@ -1,0 +1,102 @@
+(* DSWP node weights (thesis §5.2): each PDG node carries an estimated
+   software cost (Microblaze cycles x estimated execution frequency) and a
+   hardware cost (the cycle-area product the thesis uses for the hardware
+   weight).  Frequency is the classic static 10^loop-depth estimate. *)
+
+open Twill_ir.Ir
+module Pdg = Twill_pdg.Pdg
+module Loops = Twill_passes.Loops
+module Costmodel = Twill_ir.Costmodel
+
+type t = {
+  sw : float array; (* per PDG node *)
+  hw : float array;
+  freq : float array; (* per node execution-frequency estimate *)
+}
+
+let block_freq (forest : Loops.forest) (bid : int) : float =
+  let d = Loops.depth_of_block forest bid in
+  10.0 ** float_of_int (min d 6)
+
+(* Whole-callee cost estimates, folded into call-site nodes so the
+   partitioner sees the real weight of a non-inlined call. *)
+let callee_costs (m : modul) : (string, float * float) Hashtbl.t =
+  let table = Hashtbl.create 16 in
+  let rec cost_of name =
+    match Hashtbl.find_opt table name with
+    | Some c -> c
+    | None ->
+        let f = find_func m name in
+        let forest = Loops.analyze f in
+        let acc_sw = ref 0.0 and acc_hw = ref 0.0 in
+        iter_insts f (fun i ->
+            let fr = block_freq forest i.block in
+            (match i.kind with
+            | Call (callee, _) ->
+                let csw, chw = cost_of callee in
+                acc_sw := !acc_sw +. (csw *. fr);
+                acc_hw := !acc_hw +. (chw *. fr)
+            | _ -> ());
+            acc_sw := !acc_sw +. (float_of_int (Costmodel.sw_cost i.kind) *. fr);
+            let c = Costmodel.hw_cost i.kind in
+            acc_hw :=
+              !acc_hw
+              +. float_of_int (max 1 c.Costmodel.latency)
+                 *. float_of_int (max 1 c.Costmodel.luts)
+                 *. fr);
+        Hashtbl.replace table name (!acc_sw, !acc_hw);
+        (!acc_sw, !acc_hw)
+  in
+  List.iter (fun (f : func) -> ignore (cost_of f.name)) m.funcs;
+  table
+
+(* [profile]: measured per-block execution counts (profile-guided mode);
+   falls back to the classic 10^loop-depth static estimate. *)
+let compute ?profile ?(modul : modul option) (g : Pdg.t) : t =
+  let callees =
+    match modul with Some m -> callee_costs m | None -> Hashtbl.create 1
+  in
+  let f = g.Pdg.func in
+  let forest = Loops.analyze f in
+  let block_freq forest bid =
+    match profile with
+    | Some counts when bid < Array.length counts && counts.(bid) > 0 ->
+        float_of_int counts.(bid)
+    | Some _ -> 0.5 (* never executed in the profiling run *)
+    | None -> block_freq forest bid
+  in
+  let sw = Array.make g.Pdg.nnodes 0.0 in
+  let hw = Array.make g.Pdg.nnodes 0.0 in
+  let freq = Array.make g.Pdg.nnodes 0.0 in
+  iter_insts f (fun i ->
+      let fr = block_freq forest i.block in
+      freq.(i.id) <- fr;
+      sw.(i.id) <- float_of_int (Costmodel.sw_cost i.kind) *. fr;
+      let c = Costmodel.hw_cost i.kind in
+      hw.(i.id) <-
+        float_of_int (max 1 c.Costmodel.latency)
+        *. float_of_int (max 1 c.Costmodel.luts)
+        *. fr;
+      match i.kind with
+      | Call (callee, _) -> (
+          match Hashtbl.find_opt callees callee with
+          | Some (csw, chw) ->
+              sw.(i.id) <- sw.(i.id) +. (csw *. fr);
+              hw.(i.id) <- hw.(i.id) +. (chw *. fr)
+          | None -> ())
+      | _ -> ());
+  Twill_ir.Vec.iter
+    (fun (b : block) ->
+      let n = Pdg.term_node g b.bid in
+      let fr = block_freq forest b.bid in
+      freq.(n) <- fr;
+      match b.term with
+      | Cond_br _ ->
+          sw.(n) <- float_of_int Costmodel.sw_branch_cost *. fr;
+          hw.(n) <- 16.0 *. fr
+      | Br _ ->
+          sw.(n) <- float_of_int Costmodel.sw_branch_cost *. fr;
+          hw.(n) <- 4.0 *. fr
+      | Ret _ -> sw.(n) <- float_of_int Costmodel.sw_ret_cost *. fr)
+    f.blocks;
+  { sw; hw; freq }

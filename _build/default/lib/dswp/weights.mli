@@ -1,0 +1,24 @@
+(** DSWP node weights (thesis §5.2): each PDG node carries an estimated
+    software cost (Microblaze cycles × execution frequency) and a hardware
+    cost (the thesis's cycle·area product).  Frequencies come from a
+    measured profile when available, otherwise the classic 10{^loop-depth}
+    static estimate; call-site nodes fold in their callee's whole cost so
+    non-inlined calls weigh what they execute. *)
+
+open Twill_ir.Ir
+module Pdg = Twill_pdg.Pdg
+module Loops = Twill_passes.Loops
+
+type t = {
+  sw : float array;  (** per PDG node *)
+  hw : float array;
+  freq : float array;
+}
+
+val block_freq : Loops.forest -> int -> float
+(** The static 10{^depth} estimate. *)
+
+val callee_costs : modul -> (string, float * float) Hashtbl.t
+(** Whole-callee (software, hardware) cost estimates. *)
+
+val compute : ?profile:int array -> ?modul:modul -> Pdg.t -> t

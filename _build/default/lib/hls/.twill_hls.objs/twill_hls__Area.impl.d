@@ -1,0 +1,1 @@
+lib/hls/area.ml: List Schedule Twill_ir

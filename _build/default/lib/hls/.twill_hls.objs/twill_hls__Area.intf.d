@@ -1,0 +1,1 @@
+lib/hls/area.mli: Schedule Twill_ir

@@ -1,0 +1,1 @@
+lib/hls/power.mli: Area

@@ -1,0 +1,1 @@
+lib/hls/schedule.ml: Array Hashtbl List Twill_ir Twill_passes

@@ -1,0 +1,130 @@
+(* FPGA area model (Virtex-5 LUTs / DSP48s / BRAMs).
+
+   Functional units are bound from the schedule's peak per-class
+   concurrency; FSM control costs scale with total state count; the
+   runtime-primitive figures come straight from thesis §6.2 (queue = 65
+   LUTs + 1 DSP at 8x32, semaphore = 70 LUTs, HWInterface = 44, processor
+   interface = 24, scheduler = 98 + 2 DSPs, bus arbiters = 15 each,
+   Microblaze = 1434 LUTs + 16 BRAMs). *)
+
+open Twill_ir.Ir
+module Vec = Twill_ir.Vec
+module Costmodel = Twill_ir.Costmodel
+
+type t = { luts : int; dsps : int; brams : int }
+
+let zero = { luts = 0; dsps = 0; brams = 0 }
+let add a b = { luts = a.luts + b.luts; dsps = a.dsps + b.dsps; brams = a.brams + b.brams }
+let sum = List.fold_left add zero
+
+let unit_cost : Schedule.res_class -> t = function
+  | Schedule.Calu -> { luts = 48; dsps = 0; brams = 0 }
+  | Schedule.Cmul -> { luts = 40; dsps = 3; brams = 0 }
+  | Schedule.Cdiv -> { luts = 1150; dsps = 0; brams = 0 }
+  | Schedule.Cshift -> { luts = 60; dsps = 0; brams = 0 }
+  | Schedule.Cmem -> { luts = 12; dsps = 0; brams = 0 }
+  | Schedule.Cqueue -> { luts = 6; dsps = 0; brams = 0 }
+  | Schedule.Cfree -> zero
+
+(* Area of one hardware thread (one scheduled function): bound functional
+   units + FSM control + datapath registers/routing.  Per-state control
+   cost grows with the machine's size: a monolithic FSM needs wider state
+   encoding, deeper next-state logic and larger operand-sharing muxes —
+   the structural reason the thesis's pure-LegUp translations are larger
+   than the sum of Twill's small per-thread machines (§6.2). *)
+let of_schedule (f : func) (s : Schedule.t) : t =
+  let fu =
+    sum
+      (List.map
+         (fun (cls, peak) ->
+           let u = unit_cost cls in
+           { luts = u.luts * peak; dsps = u.dsps * peak; brams = 0 })
+         s.Schedule.peak)
+  in
+  let nstates = s.Schedule.total_states in
+  let per_state = Costmodel.fsm_state_luts + (nstates / 24) in
+  let fsm =
+    { luts = Costmodel.fsm_base_luts + (per_state * nstates); dsps = 0; brams = 0 }
+  in
+  let datapath = { luts = 2 * num_live_insts f; dsps = 0; brams = 0 } in
+  add fu (add fsm datapath)
+
+(* BRAM blocks for locally stored data (pure-LegUp flow keeps globals and
+   arrays in FPGA memories; 18 kb BRAM ~ 512 words of 32 bits usable). *)
+let brams_for_words (words : int) : int = (words + 511) / 512
+
+(* Area of the pure-LegUp translation of a whole module: every reachable
+   function becomes a sub-FSM of one monolithic design, so the per-state
+   control term scales with the design's TOTAL state count; all data lives
+   in BRAMs. *)
+let of_legup_module (m : modul) ~(schedules : (string * Schedule.t) list) : t =
+  let total_states =
+    List.fold_left
+      (fun acc (_, s) -> acc + s.Schedule.total_states)
+      0 schedules
+  in
+  let per_state = Costmodel.fsm_state_luts + (total_states / 24) in
+  let logic =
+    sum
+      (List.map
+         (fun (f : func) ->
+           match List.assoc_opt f.name schedules with
+           | Some s ->
+               let fu =
+                 sum
+                   (List.map
+                      (fun (cls, peak) ->
+                        let u = unit_cost cls in
+                        { luts = u.luts * peak; dsps = u.dsps * peak; brams = 0 })
+                      s.Schedule.peak)
+               in
+               add fu
+                 {
+                   luts =
+                     Costmodel.fsm_base_luts
+                     + (per_state * s.Schedule.total_states)
+                     + (2 * num_live_insts f);
+                   dsps = 0;
+                   brams = 0;
+                 }
+           | None -> zero)
+         m.funcs)
+  in
+  let words =
+    List.fold_left (fun acc g -> acc + g.size) 0 m.globals
+    + List.fold_left
+        (fun acc (f : func) ->
+          fold_insts f
+            (fun acc i -> match i.kind with Alloca n -> acc + n | _ -> acc)
+            acc)
+        0 m.funcs
+  in
+  add logic { luts = 0; dsps = 0; brams = brams_for_words words }
+
+(* Twill runtime system area from the queue/semaphore inventory. *)
+let of_runtime ~(queues : (int * int) list (* width_bits, depth *))
+    ~(nsems : int) ~(n_hw_threads : int) : t =
+  let queue_area =
+    sum
+      (List.map
+         (fun (width_bits, depth) ->
+           {
+             luts = Costmodel.queue_luts ~depth ~width_bits;
+             dsps = Costmodel.queue_dsps;
+             brams = 0;
+           })
+         queues)
+  in
+  add queue_area
+    {
+      luts =
+        (nsems * Costmodel.semaphore_luts)
+        + (n_hw_threads * Costmodel.hw_interface_luts)
+        + Costmodel.processor_interface_luts + Costmodel.scheduler_luts
+        + (2 * Costmodel.bus_arbiter_luts);
+      dsps = Costmodel.scheduler_dsps;
+      brams = 0;
+    }
+
+let microblaze : t =
+  { luts = Costmodel.microblaze_luts; dsps = 0; brams = Costmodel.microblaze_brams }

@@ -1,0 +1,41 @@
+(** FPGA area model (Virtex-5 LUTs / DSP48 blocks / BRAMs).
+
+    Functional units are bound from the schedule's peak per-class
+    concurrency; FSM control cost grows superlinearly with machine size
+    (wider state encoding, deeper next-state logic, larger sharing muxes),
+    which is the structural reason the thesis's monolithic pure-LegUp
+    translations are larger than Twill's small per-thread machines.
+    Runtime-primitive figures are the exact numbers of thesis §6.2. *)
+
+open Twill_ir.Ir
+
+type t = { luts : int; dsps : int; brams : int }
+
+val zero : t
+val add : t -> t -> t
+val sum : t list -> t
+
+val unit_cost : Schedule.res_class -> t
+(** Cost of one bound functional unit of the class. *)
+
+val of_schedule : func -> Schedule.t -> t
+(** Area of one hardware thread. *)
+
+val brams_for_words : int -> int
+(** 18 kb BRAMs needed for [words] 32-bit words. *)
+
+val of_legup_module : modul -> schedules:(string * Schedule.t) list -> t
+(** Area of the monolithic pure-LegUp translation of a whole module: one
+    design whose control cost scales with the total state count, plus
+    BRAMs for every global and static array. *)
+
+val of_runtime :
+  queues:(int * int) list -> nsems:int -> n_hw_threads:int -> t
+(** Twill runtime-system area: one queue per [(width_bits, depth)] entry,
+    semaphores, HWInterfaces, the processor interface, the scheduler and
+    the two bus arbiters (§6.2: 8x32 queue = 65 LUTs + 1 DSP, semaphore =
+    70 LUTs, HWInterface = 44, ...). *)
+
+val microblaze : t
+(** The soft core: 1434 LUTs (the constant Twill -> Twill+MB delta of
+    Table 6.2) and 16 BRAMs. *)

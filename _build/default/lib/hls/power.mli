@@ -1,0 +1,27 @@
+(** Parametric power model (milliwatts), shaped after thesis §6.3: the
+    Microblaze is power-hungry mostly because of its PLLs (a large
+    constant term burned whenever the core is clocked), while FPGA logic
+    power scales with deployed LUTs and their switching activity — which
+    is what makes Figure 6.1's ordering (pure HW < Twill < pure SW) fall
+    out mechanistically. *)
+
+type params = {
+  mb_static_mw : float;
+  mb_pll_mw : float;
+  mb_dynamic_mw : float;
+  lut_static_uw : float;
+  lut_dynamic_uw : float;
+  dsp_mw : float;
+  bram_mw : float;
+}
+
+val default : params
+
+val power :
+  ?p:params ->
+  with_microblaze:bool ->
+  mb_activity:float ->
+  area:Area.t ->
+  logic_activity:float ->
+  unit ->
+  float

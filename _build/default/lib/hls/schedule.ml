@@ -1,0 +1,302 @@
+(* LegUp-substitute operation scheduler.
+
+   Produces, per basic block, a resource-constrained list schedule
+   (states = clock cycles of the generated FSM) and, for eligible
+   single-block innermost loops, an iterative-modulo-scheduling initiation
+   interval.  The runtime simulator replays these schedules to obtain
+   hardware-thread timing; the area model derives functional-unit counts
+   from the same schedule. *)
+
+open Twill_ir.Ir
+module Vec = Twill_ir.Vec
+module Costmodel = Twill_ir.Costmodel
+
+type resources = {
+  alu : int; (* adders / logic / compares / geps / selects *)
+  mul : int;
+  div : int;
+  shift : int; (* barrel shifters *)
+  mem : int; (* memory-bus ports *)
+  queue : int; (* runtime-interface call slots: one per cycle (§4.4) *)
+}
+
+let default_resources = { alu = 4; mul = 2; div = 1; shift = 2; mem = 1; queue = 1 }
+
+type res_class = Calu | Cmul | Cdiv | Cshift | Cmem | Cqueue | Cfree
+
+let class_of_kind = function
+  | Binop (Mul, _, _) -> Cmul
+  | Binop ((Sdiv | Udiv | Srem | Urem), _, _) -> Cdiv
+  | Binop ((Shl | Lshr | Ashr), _, _) -> Cshift
+  | Binop _ | Icmp _ | Select _ | Gep _ -> Calu
+  | Load _ | Store _ -> Cmem
+  | Produce _ | Consume _ | Sem_give _ | Sem_take _ | Print _ -> Cqueue
+  | Call _ -> Cqueue (* occupies the interface slot to start the sub-FSM *)
+  | Phi _ | Alloca _ | Dead -> Cfree
+
+let units res = function
+  | Calu -> res.alu
+  | Cmul -> res.mul
+  | Cdiv -> res.div
+  | Cshift -> res.shift
+  | Cmem -> res.mem
+  | Cqueue -> res.queue
+  | Cfree -> max_int
+
+let latency_of_kind k =
+  match class_of_kind k with
+  | Cfree -> 0
+  | _ -> max 1 (Costmodel.hw_cost k).Costmodel.latency
+
+(* LegUp chains cheap combinational operations within one state; at
+   100 MHz on a Virtex-5 a handful of LUT levels fit comfortably. *)
+let chainable k =
+  match class_of_kind k with
+  | Calu | Cshift -> true
+  | Cmul | Cdiv | Cmem | Cqueue | Cfree -> false
+
+let max_chain_depth = 4
+
+type t = {
+  nstates : int array; (* per block: schedule length (>= 1) *)
+  start_state : (int, int) Hashtbl.t; (* inst id -> start state *)
+  ii : int array; (* per block: initiation interval, 0 = not pipelined *)
+  (* peak per-class concurrency across the whole function, for binding *)
+  peak : (res_class * int) list;
+  total_states : int;
+}
+
+(* Side-effecting operations keep program order within their own bus
+   domain: memory operations among themselves (one memory-bus port) and
+   runtime-interface calls among themselves (one call per cycle, §4.4).
+   Calls serialise against both.  Cross-domain reordering only affects
+   timing, never values — the interpreter executes in program order. *)
+type order_chain = Omem | Oqueue | Oboth | Onone
+
+let order_chain_of k =
+  match k with
+  | Load _ | Store _ -> Omem
+  | Print _ | Produce _ | Consume _ | Sem_give _ | Sem_take _ -> Oqueue
+  | Call _ -> Oboth
+  | _ -> Onone
+
+let schedule ?(res = default_resources) ?(modulo = true) (f : func) : t =
+  let start_state = Hashtbl.create 64 in
+  let nstates = Array.make (Vec.length f.blocks) 1 in
+  let ii = Array.make (Vec.length f.blocks) 0 in
+  (* global peak concurrency bookkeeping *)
+  let peak = Hashtbl.create 8 in
+  let bump_peak cls n =
+    let cur = try Hashtbl.find peak cls with Not_found -> 0 in
+    if n > cur then Hashtbl.replace peak cls n
+  in
+  let forest = Twill_passes.Loops.analyze f in
+  Vec.iter
+    (fun (b : block) ->
+      let ids = Array.of_list b.insts in
+      ignore (Array.length ids);
+      (* usage.(state) per class, growable *)
+      let usage : (res_class, int array ref) Hashtbl.t = Hashtbl.create 8 in
+      let used cls s =
+        match Hashtbl.find_opt usage cls with
+        | Some a when s < Array.length !a -> !a.(s)
+        | _ -> 0
+      in
+      let use cls s =
+        let a =
+          match Hashtbl.find_opt usage cls with
+          | Some a -> a
+          | None ->
+              let a = ref (Array.make 16 0) in
+              Hashtbl.replace usage cls a;
+              a
+        in
+        if s >= Array.length !a then begin
+          let bigger = Array.make (max (s + 1) (2 * Array.length !a)) 0 in
+          Array.blit !a 0 bigger 0 (Array.length !a);
+          a := bigger
+        end;
+        !a.(s) <- !a.(s) + 1;
+        bump_peak cls !a.(s)
+      in
+      let in_block = Hashtbl.create 16 in
+      Array.iter (fun id -> Hashtbl.replace in_block id ()) ids;
+      (* availability as (state, chain level): chainable results can feed
+         further chainable ops in the same state up to [max_chain_depth] *)
+      let avail : (int, int * int) Hashtbl.t = Hashtbl.create 16 in
+      let finish = ref 1 in
+      let last_mem_end = ref 0 in
+      let last_queue_end = ref 0 in
+      Array.iter
+        (fun id ->
+          let i = inst f id in
+          let k = i.kind in
+          let cls = class_of_kind k in
+          let lat = latency_of_kind k in
+          let chain = chainable k in
+          let oc = order_chain_of k in
+          (* earliest (state, level) this op may start at, lexicographic *)
+          let later (s1, l1) (s2, l2) =
+            if s1 <> s2 then if s1 > s2 then (s1, l1) else (s2, l2)
+            else (s1, max l1 l2)
+          in
+          let dep_state, dep_level =
+            List.fold_left
+              (fun acc o ->
+                match o with
+                | Reg r when Hashtbl.mem in_block r -> (
+                    match Hashtbl.find_opt avail r with
+                    | Some (s, l) ->
+                        if chain then later acc (s, l)
+                        else
+                          (* a non-chainable user waits for the chain's
+                             state to close *)
+                          later acc ((if l > 0 then s + 1 else s), 0)
+                    | None -> acc)
+                | _ -> acc)
+              (0, 0) (operands i)
+          in
+          let dep_state, dep_level =
+            if chain && dep_level >= max_chain_depth then (dep_state + 1, 0)
+            else (dep_state, if chain then dep_level else 0)
+          in
+          let order_floor =
+            match oc with
+            | Omem -> !last_mem_end
+            | Oqueue -> !last_queue_end
+            | Oboth -> max !last_mem_end !last_queue_end
+            | Onone -> 0
+          in
+          let dep_state, dep_level =
+            if order_floor > dep_state then (order_floor, 0)
+            else (dep_state, dep_level)
+          in
+          (* first state with a free unit; moving states resets the chain *)
+          let s = ref dep_state in
+          let level = ref dep_level in
+          let cap = units res cls in
+          if cap <> max_int then
+            while used cls !s >= cap do
+              incr s;
+              level := 0
+            done;
+          if cap <> max_int then use cls !s;
+          Hashtbl.replace start_state id !s;
+          Hashtbl.replace avail id
+            (if chain then (!s, !level + 1) else (!s + lat, 0));
+          (match oc with
+          | Omem -> last_mem_end := !s + lat
+          | Oqueue -> last_queue_end := !s + lat
+          | Oboth ->
+              last_mem_end := !s + lat;
+              last_queue_end := !s + lat
+          | Onone -> ());
+          finish := max !finish (!s + if chain then 1 else lat))
+        ids;
+      nstates.(b.bid) <- max 1 !finish;
+      (* modulo scheduling for single-block innermost loops (header = latch)
+         without calls (thesis: iterative modulo scheduling in LegUp) *)
+      if modulo && List.mem b.bid (succs_of_term b.term) then begin
+        let has_call =
+          Array.exists (fun id -> match (inst f id).kind with Call _ -> true | _ -> false) ids
+        in
+        let lidx = forest.Twill_passes.Loops.loop_of_block.(b.bid) in
+        let single_block_loop =
+          lidx >= 0
+          && forest.Twill_passes.Loops.loops.(lidx).Twill_passes.Loops.body = [ b.bid ]
+        in
+        if (not has_call) && single_block_loop then begin
+          (* ResMII: the serial divider is busy for its full latency; the
+             other units issue one operation per cycle *)
+          let busy_of cls = match cls with Cdiv -> 13 | _ -> 1 in
+          let counts = Hashtbl.create 8 in
+          Array.iter
+            (fun id ->
+              let cls = class_of_kind (inst f id).kind in
+              if cls <> Cfree then
+                Hashtbl.replace counts cls
+                  (busy_of cls
+                  + (try Hashtbl.find counts cls with Not_found -> 0)))
+            ids;
+          let res_mii =
+            Hashtbl.fold
+              (fun cls c acc ->
+                let u = units res cls in
+                if u = max_int then acc else max acc ((c + u - 1) / u))
+              counts 0
+          in
+          (* loop-carried memory recurrences: a store whose address operand
+             is syntactically identical to an earlier load's (same scalar
+             cell every iteration, e.g. a global accumulator) forces the
+             next iteration's load to wait for this store *)
+          let mem_mii = ref 1 in
+          Array.iter
+            (fun sid ->
+              match (inst f sid).kind with
+              | Store (sa, _) ->
+                  Array.iter
+                    (fun lid ->
+                      match (inst f lid).kind with
+                      | Load la when la = sa ->
+                          let ss =
+                            try Hashtbl.find start_state sid with Not_found -> 0
+                          in
+                          let ls =
+                            try Hashtbl.find start_state lid with Not_found -> 0
+                          in
+                          mem_mii := max !mem_mii (ss - ls + 1)
+                      | _ -> ())
+                    ids
+              | _ -> ())
+            ids;
+          let res_mii = max res_mii !mem_mii in
+          (* RecMII: longest latency chain from a phi to its loop-carried
+             input (dependence distance 1) *)
+          let rec chain_to target seen id =
+            if id = target then Some 0
+            else if List.mem id seen then None
+            else
+              let i = inst f id in
+              List.fold_left
+                (fun acc o ->
+                  match o with
+                  | Reg r when Hashtbl.mem in_block r && not (is_phi (inst f r)) -> (
+                      match chain_to target (id :: seen) r with
+                      | Some l ->
+                          let total = l + latency_of_kind (inst f r).kind in
+                          Some (match acc with Some a -> max a total | None -> total)
+                      | None -> acc)
+                  | _ -> acc)
+                None (operands i)
+          in
+          let rec_mii =
+            Array.fold_left
+              (fun acc id ->
+                let i = inst f id in
+                match i.kind with
+                | Phi incoming ->
+                    List.fold_left
+                      (fun acc (_, v) ->
+                        match v with
+                        | Reg r when Hashtbl.mem in_block r -> (
+                            match chain_to id [] r with
+                            | Some l -> max acc (l + latency_of_kind (inst f r).kind)
+                            | None -> acc)
+                        | _ -> acc)
+                      acc incoming
+                | _ -> acc)
+              1 ids
+          in
+          let candidate = max 1 (max res_mii rec_mii) in
+          if candidate < nstates.(b.bid) then ii.(b.bid) <- candidate
+        end
+      end)
+    f.blocks;
+  let total_states = Array.fold_left ( + ) 0 nstates in
+  {
+    nstates;
+    start_state;
+    ii;
+    peak = Hashtbl.fold (fun k v acc -> (k, v) :: acc) peak [];
+    total_states;
+  }

@@ -1,0 +1,57 @@
+(** LegUp-substitute operation scheduler (thesis §3.1.2/§5.4).
+
+    Produces per-basic-block resource-constrained list schedules — the
+    states of the FSM LegUp would generate — with combinational chaining
+    of cheap operations (up to {!max_chain_depth} logic levels per state)
+    and, for single-block innermost loops, an iterative-modulo-scheduling
+    initiation interval bounded by resource usage (the serial divider is
+    busy for its full latency) and loop-carried recurrences (scalar chains
+    through phis and same-cell memory updates).
+
+    The runtime simulator replays these schedules for hardware-thread
+    timing; {!Twill_hls.Area} derives functional-unit counts from the same
+    schedule; {!Twill_vgen.Vemit} emits the corresponding RTL. *)
+
+open Twill_ir.Ir
+
+(** Functional units available to one hardware thread.  [queue] is the
+    runtime-interface call slot: one call per cycle (§4.4). *)
+type resources = {
+  alu : int;
+  mul : int;
+  div : int;
+  shift : int;
+  mem : int;  (** memory-bus ports *)
+  queue : int;
+}
+
+val default_resources : resources
+
+(** Resource class of an operation. *)
+type res_class = Calu | Cmul | Cdiv | Cshift | Cmem | Cqueue | Cfree
+
+val class_of_kind : kind -> res_class
+val units : resources -> res_class -> int
+val latency_of_kind : kind -> int
+
+val chainable : kind -> bool
+(** Cheap combinational operations that may share a state. *)
+
+val max_chain_depth : int
+
+(** Ordering domains for side-effecting operations: memory operations
+    serialise against memory operations, runtime-interface calls against
+    runtime-interface calls, calls against both. *)
+type order_chain = Omem | Oqueue | Oboth | Onone
+
+val order_chain_of : kind -> order_chain
+
+type t = {
+  nstates : int array;  (** per block: FSM states (>= 1) *)
+  start_state : (int, int) Hashtbl.t;  (** instruction id -> start state *)
+  ii : int array;  (** per block: initiation interval; 0 = not pipelined *)
+  peak : (res_class * int) list;  (** peak concurrency, for binding *)
+  total_states : int;
+}
+
+val schedule : ?res:resources -> ?modulo:bool -> func -> t

@@ -1,0 +1,1 @@
+lib/ir/costmodel.ml: Int32 Ir

@@ -1,0 +1,1 @@
+lib/ir/costmodel.mli: Ir

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Costmodel Fmt Int32 Int64 Ir Layout List Vec

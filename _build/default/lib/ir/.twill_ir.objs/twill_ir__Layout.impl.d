@@ -1,0 +1,1 @@
+lib/ir/layout.ml: Array Hashtbl Int32 Ir List Vec

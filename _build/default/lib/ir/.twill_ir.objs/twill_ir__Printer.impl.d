@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Fmt Ir List Vec

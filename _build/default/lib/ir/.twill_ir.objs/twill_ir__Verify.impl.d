@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Array Dump Fmt Ir List Vec

@@ -1,0 +1,40 @@
+(** Per-operation cost tables shared by the DSWP weight heuristic (§5.2),
+    the HLS scheduler and the runtime simulator.
+
+    Software costs model the thesis's area-minimised Microblaze (no
+    hardware multiplier, no barrel shifter; loads/stores 2 cycles; the
+    §5.2 figures: division 34 cycles software vs 13 hardware; runtime
+    operations 5 cycles through the stream interface, §4.5).  Hardware
+    area is in Virtex-5 LUTs with the runtime-primitive figures quoted
+    verbatim from §6.2. *)
+
+open Ir
+
+type hw_op_cost = { latency : int; luts : int; dsps : int }
+
+val sw_cost : kind -> int
+val sw_branch_cost : int
+val sw_ret_cost : int
+val hw_cost : kind -> hw_op_cost
+
+(** Runtime-system primitive areas (§6.2). *)
+
+val hw_interface_luts : int
+val semaphore_luts : int
+val processor_interface_luts : int
+val scheduler_luts : int
+val scheduler_dsps : int
+val bus_arbiter_luts : int
+
+val microblaze_luts : int
+(** 1434 — the constant Twill → Twill+Microblaze delta of Table 6.2. *)
+
+val microblaze_brams : int
+
+val queue_luts : depth:int -> width_bits:int -> int
+(** 65 LUTs at the thesis's 8x32 configuration; storage scales. *)
+
+val queue_dsps : int
+
+val fsm_state_luts : int
+val fsm_base_luts : int

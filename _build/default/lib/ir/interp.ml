@@ -1,0 +1,224 @@
+(* Reference interpreter for the IR.
+
+   Serves three roles: the semantic oracle every transform is tested
+   against, the "pure software on Microblaze" baseline timing model (a
+   sequential program performs no runtime-primitive operations, so summing
+   per-instruction Microblaze costs is exact), and — parameterised with
+   queue/semaphore handlers — the execution core of software threads inside
+   the runtime simulator. *)
+
+open Ir
+
+exception Trap of string
+exception Out_of_fuel
+
+type handlers = {
+  produce : int -> int32 -> unit;
+  consume : int -> int32;
+  sem_give : int -> int -> unit;
+  sem_take : int -> int -> unit;
+}
+
+let no_handlers =
+  let no _ = raise (Trap "queue/semaphore op outside the runtime simulator") in
+  {
+    produce = (fun _ _ -> no ());
+    consume = (fun _ -> no ());
+    sem_give = (fun _ _ -> no ());
+    sem_take = (fun _ _ -> no ());
+  }
+
+type state = {
+  m : modul;
+  layout : Layout.t;
+  mem : int32 array;
+  mutable cycles : int;
+  mutable executed : int;
+  mutable fuel : int;
+  mutable prints : int32 list; (* reversed *)
+  handlers : handlers;
+  cost : func -> inst -> int;
+  term_cost : func -> block -> int;
+  charge_cycles : bool;
+}
+
+let to_u64 v = Int64.logand (Int64.of_int32 v) 0xFFFFFFFFL
+
+let eval_binop op a b =
+  let open Int32 in
+  match op with
+  | Add -> add a b
+  | Sub -> sub a b
+  | Mul -> mul a b
+  | And -> logand a b
+  | Or -> logor a b
+  | Xor -> logxor a b
+  | Shl -> shift_left a (to_int b land 31)
+  | Lshr -> shift_right_logical a (to_int b land 31)
+  | Ashr -> shift_right a (to_int b land 31)
+  | Sdiv -> if b = 0l then raise (Trap "sdiv by zero") else div a b
+  | Srem -> if b = 0l then raise (Trap "srem by zero") else rem a b
+  | Udiv ->
+      if b = 0l then raise (Trap "udiv by zero")
+      else Int64.to_int32 (Int64.div (to_u64 a) (to_u64 b))
+  | Urem ->
+      if b = 0l then raise (Trap "urem by zero")
+      else Int64.to_int32 (Int64.rem (to_u64 a) (to_u64 b))
+
+let eval_icmp op a b =
+  let r =
+    match op with
+    | Eq -> a = b
+    | Ne -> a <> b
+    | Slt -> Int32.compare a b < 0
+    | Sle -> Int32.compare a b <= 0
+    | Sgt -> Int32.compare a b > 0
+    | Sge -> Int32.compare a b >= 0
+    | Ult -> Int64.compare (to_u64 a) (to_u64 b) < 0
+    | Ule -> Int64.compare (to_u64 a) (to_u64 b) <= 0
+    | Ugt -> Int64.compare (to_u64 a) (to_u64 b) > 0
+    | Uge -> Int64.compare (to_u64 a) (to_u64 b) >= 0
+  in
+  if r then 1l else 0l
+
+let load st addr =
+  let a = Int32.to_int addr in
+  if a < 0 || a >= Array.length st.mem then
+    raise (Trap (Fmt.str "load out of bounds: %ld" addr))
+  else st.mem.(a)
+
+let store st addr v =
+  let a = Int32.to_int addr in
+  if a < 0 || a >= Array.length st.mem then
+    raise (Trap (Fmt.str "store out of bounds: %ld" addr))
+  else st.mem.(a) <- v
+
+let rec exec_func st (f : func) (args : int32 array) : int32 =
+  let regs = Array.make (Vec.length f.insts) 0l in
+  let eval = function
+    | Cst c -> c
+    | Reg r -> regs.(r)
+    | Argv a -> args.(a)
+    | Glob g -> Layout.global_address st.layout g
+  in
+  let charge i =
+    st.executed <- st.executed + 1;
+    if st.charge_cycles then st.cycles <- st.cycles + st.cost f i;
+    if st.fuel >= 0 then begin
+      st.fuel <- st.fuel - 1;
+      if st.fuel <= 0 then raise Out_of_fuel
+    end
+  in
+  let exec_inst i =
+    charge i;
+    match i.kind with
+    | Binop (op, a, b) -> regs.(i.id) <- eval_binop op (eval a) (eval b)
+    | Icmp (op, a, b) -> regs.(i.id) <- eval_icmp op (eval a) (eval b)
+    | Select (c, a, b) ->
+        regs.(i.id) <- (if eval c <> 0l then eval a else eval b)
+    | Alloca _ -> regs.(i.id) <- Layout.alloca_address st.layout f.name i.id
+    | Gep (base, idx) -> regs.(i.id) <- Int32.add (eval base) (eval idx)
+    | Load a -> regs.(i.id) <- load st (eval a)
+    | Store (a, v) -> store st (eval a) (eval v)
+    | Call (name, cargs) ->
+        let callee = find_func st.m name in
+        regs.(i.id) <- exec_func st callee (Array.map eval cargs)
+    | Phi _ -> assert false (* handled at block entry *)
+    | Print v -> st.prints <- eval v :: st.prints
+    | Produce (q, v) -> st.handlers.produce q (eval v)
+    | Consume q -> regs.(i.id) <- st.handlers.consume q
+    | Sem_give (s, n) -> st.handlers.sem_give s n
+    | Sem_take (s, n) -> st.handlers.sem_take s n
+    | Dead -> ()
+  in
+  (* Phis of a block read their incoming values simultaneously. *)
+  let enter_block b ~from =
+    let rec phis = function
+      | [] -> []
+      | id :: rest -> (
+          let i = inst f id in
+          match i.kind with
+          | Phi incoming ->
+              let v =
+                match List.assoc_opt from incoming with
+                | Some o -> eval o
+                | None ->
+                    raise
+                      (Trap
+                         (Fmt.str "phi %%%d in b%d: no incoming for pred b%d"
+                            id b.bid from))
+              in
+              charge i;
+              (id, v) :: phis rest
+          | _ -> [])
+    in
+    List.iter (fun (id, v) -> regs.(id) <- v) (phis b.insts)
+  in
+  let rec run_block bid ~from =
+    let b = block f bid in
+    if from >= 0 then enter_block b ~from;
+    let non_phis = List.filter (fun id -> not (is_phi (inst f id))) b.insts in
+    List.iter (fun id -> exec_inst (inst f id)) non_phis;
+    if st.charge_cycles then st.cycles <- st.cycles + st.term_cost f b;
+    match b.term with
+    | Br b' -> run_block b' ~from:bid
+    | Cond_br (c, b1, b2) ->
+        run_block (if eval c <> 0l then b1 else b2) ~from:bid
+    | Ret None -> 0l
+    | Ret (Some v) -> eval v
+  in
+  run_block f.entry ~from:(-1)
+
+type result = {
+  ret : int32;
+  cycles : int;
+  executed : int;
+  prints : int32 list; (* program order *)
+}
+
+(* Runs [entry] against caller-provided shared memory — the building block
+   for executing DSWP stage functions as concurrent threads over one
+   address space (the parallel executor and the runtime simulator). *)
+let default_term_cost (_ : func) (b : block) : int =
+  match b.term with
+  | Ret _ -> Costmodel.sw_ret_cost
+  | Br _ | Cond_br _ -> Costmodel.sw_branch_cost
+
+let default_cost (_ : func) (i : inst) : int = Costmodel.sw_cost i.kind
+
+let run_shared ?(fuel = -1) ~(layout : Layout.t) ~(mem : int32 array)
+    ?(handlers = no_handlers) ?(cost = default_cost)
+    ?(term_cost = default_term_cost) ?(charge_cycles = true)
+    (m : modul) ~(entry : string) ~(args : int32 array) : result =
+  let st =
+    {
+      m;
+      layout;
+      mem;
+      cycles = 0;
+      executed = 0;
+      fuel;
+      prints = [];
+      handlers;
+      cost;
+      term_cost;
+      charge_cycles;
+    }
+  in
+  let ret = exec_func st (find_func m entry) args in
+  { ret; cycles = st.cycles; executed = st.executed; prints = List.rev st.prints }
+
+let fresh_memory ?(mem_words = 1 lsl 20) (m : modul) : Layout.t * int32 array =
+  let layout = Layout.build m in
+  if layout.words_used > mem_words then
+    raise (Trap "memory image larger than memory");
+  let mem = Array.make mem_words 0l in
+  Layout.init_memory layout m mem;
+  (layout, mem)
+
+let run ?(fuel = -1) ?(mem_words = 1 lsl 20) ?(handlers = no_handlers)
+    ?(cost = default_cost) ?(term_cost = default_term_cost)
+    ?(charge_cycles = true) (m : modul) : result =
+  let layout, mem = fresh_memory ~mem_words m in
+  run_shared ~fuel ~layout ~mem ~handlers ~cost ~term_cost ~charge_cycles m
+    ~entry:"main" ~args:[||]

@@ -1,0 +1,72 @@
+(** Reference interpreter for the IR.
+
+    Three roles: the semantic oracle every transform is differentially
+    tested against; the "pure software on Microblaze" timing model (a
+    sequential program performs no runtime-primitive operations, so
+    summing per-instruction costs is exact); and — parameterised with
+    queue/semaphore handlers and cost hooks — the execution core of both
+    the untimed parallel executor and the cycle-accurate simulator. *)
+
+open Ir
+
+exception Trap of string
+(** Division by zero, out-of-bounds memory, or a malformed phi. *)
+
+exception Out_of_fuel
+
+(** Callbacks for the Twill runtime operations; the defaults
+    ({!no_handlers}) trap, which is correct for sequential programs. *)
+type handlers = {
+  produce : int -> int32 -> unit;
+  consume : int -> int32;
+  sem_give : int -> int -> unit;
+  sem_take : int -> int -> unit;
+}
+
+val no_handlers : handlers
+
+val eval_binop : binop -> int32 -> int32 -> int32
+(** C semantics on 32 bits: wraparound arithmetic, truncating signed
+    division, shift counts masked to 5 bits. @raise Trap on /0. *)
+
+val eval_icmp : icmp -> int32 -> int32 -> int32
+(** 1l / 0l. *)
+
+type result = {
+  ret : int32;
+  cycles : int;  (** sum of per-instruction + per-terminator costs *)
+  executed : int;
+  prints : int32 list;  (** program order *)
+}
+
+val default_term_cost : func -> block -> int
+(** Microblaze branch/return costs. *)
+
+val default_cost : func -> inst -> int
+(** {!Costmodel.sw_cost} of the instruction. *)
+
+val fresh_memory : ?mem_words:int -> modul -> Layout.t * int32 array
+(** Builds the static layout and a zeroed, initialised memory image. *)
+
+val run_shared :
+  ?fuel:int ->
+  layout:Layout.t ->
+  mem:int32 array ->
+  ?handlers:handlers ->
+  ?cost:(func -> inst -> int) ->
+  ?term_cost:(func -> block -> int) ->
+  ?charge_cycles:bool ->
+  modul ->
+  entry:string ->
+  args:int32 array ->
+  result
+(** Runs [entry] against caller-provided shared memory — the building
+    block for executing DSWP stage functions as concurrent threads over
+    one address space.  The cost hooks are invoked per executed
+    instruction / per block exit, letting simulators maintain their own
+    clocks. *)
+
+val run : ?fuel:int -> ?mem_words:int -> ?handlers:handlers ->
+  ?cost:(func -> inst -> int) -> ?term_cost:(func -> block -> int) ->
+  ?charge_cycles:bool -> modul -> result
+(** [run m] executes [main] on a fresh memory image. *)

@@ -1,0 +1,114 @@
+(** Twill's SSA intermediate representation.
+
+    Mirrors the LLVM 2.9 subset the thesis works on: 32-bit integer
+    values only (the thesis excludes the 64-bit CHStone kernels), a
+    unified word-addressed memory space, explicit phi nodes, and — once
+    DSWP has run — the [Produce]/[Consume] queue instructions and
+    semaphore operations of the Twill runtime (§4.2-4.3).
+
+    Structure: a {!modul} holds globals and functions; a {!func} owns
+    growable vectors of {!block}s and {!inst}s; blocks reference
+    instructions by id and carry their terminator separately, so every
+    block is terminated by construction. *)
+
+(** Binary operations; [Sdiv]/[Srem] truncate like C, [Udiv]/[Urem] are
+    unsigned, shifts mask their count to 5 bits. *)
+type binop =
+  | Add | Sub | Mul | Sdiv | Udiv | Srem | Urem
+  | And | Or | Xor | Shl | Lshr | Ashr
+
+(** Comparison predicates (signed and unsigned orderings). *)
+type icmp = Eq | Ne | Slt | Sle | Sgt | Sge | Ult | Ule | Ugt | Uge
+
+(** Instruction operands. *)
+type operand =
+  | Cst of int32
+  | Reg of int  (** result of the instruction with that id *)
+  | Argv of int  (** function argument *)
+  | Glob of string  (** address of a module global *)
+
+type kind =
+  | Binop of binop * operand * operand
+  | Icmp of icmp * operand * operand
+  | Select of operand * operand * operand
+  | Alloca of int  (** size in 32-bit words; the result is its address *)
+  | Gep of operand * operand  (** base address + word index *)
+  | Load of operand
+  | Store of operand * operand  (** address, value *)
+  | Call of string * operand array
+  | Phi of (int * operand) list  (** (predecessor block id, incoming) *)
+  | Print of operand  (** host I/O builtin, the observable trace *)
+  | Produce of int * operand  (** queue id, value (Twill runtime) *)
+  | Consume of int  (** queue id; the result is the dequeued value *)
+  | Sem_give of int * int  (** semaphore id, count *)
+  | Sem_take of int * int
+  | Dead  (** tombstone left by transforms *)
+
+type term =
+  | Br of int
+  | Cond_br of operand * int * int
+  | Ret of operand option
+
+type inst = { id : int; mutable kind : kind; mutable block : int }
+
+type block = {
+  bid : int;
+  mutable insts : int list;  (** instruction ids, program order *)
+  mutable term : term;
+  mutable preds : int list;  (** maintained by {!recompute_cfg} *)
+}
+
+type func = {
+  name : string;
+  mutable nparams : int;  (** grown by the globals-to-arguments pass *)
+  insts : inst Vec.t;
+  blocks : block Vec.t;
+  mutable entry : int;
+}
+
+type global = { gname : string; size : int; init : int32 array }
+type modul = { mutable funcs : func list; mutable globals : global list }
+
+val find_func : modul -> string -> func
+(** @raise Failure on unknown names. *)
+
+val dummy_inst : inst
+val dummy_block : block
+
+val create_func : name:string -> nparams:int -> func
+val add_block : func -> block
+val block : func -> int -> block
+val inst : func -> int -> inst
+
+val new_inst : func -> kind -> inst
+(** Creates a detached instruction; the caller places it in a block. *)
+
+val append_inst : func -> int -> kind -> int
+(** Appends a new instruction to a block; returns its id. *)
+
+val succs_of_term : term -> int list
+val succs : func -> int -> int list
+val recompute_cfg : func -> unit
+
+val operands_of_kind : kind -> operand list
+val operands : inst -> operand list
+val map_operands_kind : (operand -> operand) -> kind -> kind
+
+val has_result : kind -> bool
+(** Does the instruction define an SSA value usable as [Reg id]? *)
+
+val is_phi : inst -> bool
+val has_side_effect : kind -> bool
+
+val iter_insts : func -> (inst -> unit) -> unit
+(** Iterates placed instructions in block/program order. *)
+
+val fold_insts : func -> ('a -> inst -> 'a) -> 'a -> 'a
+val num_live_insts : func -> int
+
+val replace_all_uses : func -> old_id:int -> by:operand -> unit
+val remove_inst : func -> int -> unit
+val rewrite_phi_pred : func -> bid:int -> old_pred:int -> new_pred:int -> unit
+
+val binop_name : binop -> string
+val icmp_name : icmp -> string

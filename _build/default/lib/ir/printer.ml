@@ -1,0 +1,68 @@
+(* Human-readable IR dump, LLVM-flavoured. *)
+
+open Ir
+
+let pp_operand ppf = function
+  | Cst c -> Fmt.pf ppf "%ld" c
+  | Reg r -> Fmt.pf ppf "%%%d" r
+  | Argv a -> Fmt.pf ppf "%%arg%d" a
+  | Glob g -> Fmt.pf ppf "@%s" g
+
+let pp_kind ppf = function
+  | Binop (op, a, b) ->
+      Fmt.pf ppf "%s %a, %a" (binop_name op) pp_operand a pp_operand b
+  | Icmp (op, a, b) ->
+      Fmt.pf ppf "icmp %s %a, %a" (icmp_name op) pp_operand a pp_operand b
+  | Select (c, a, b) ->
+      Fmt.pf ppf "select %a, %a, %a" pp_operand c pp_operand a pp_operand b
+  | Alloca n -> Fmt.pf ppf "alloca %d" n
+  | Gep (base, idx) -> Fmt.pf ppf "gep %a, %a" pp_operand base pp_operand idx
+  | Load a -> Fmt.pf ppf "load %a" pp_operand a
+  | Store (a, v) -> Fmt.pf ppf "store %a <- %a" pp_operand a pp_operand v
+  | Call (f, args) ->
+      Fmt.pf ppf "call @%s(%a)" f
+        Fmt.(array ~sep:(any ", ") pp_operand)
+        args
+  | Phi incoming ->
+      let pp_in ppf (b, v) = Fmt.pf ppf "[b%d: %a]" b pp_operand v in
+      Fmt.pf ppf "phi %a" Fmt.(list ~sep:(any ", ") pp_in) incoming
+  | Print a -> Fmt.pf ppf "print %a" pp_operand a
+  | Produce (q, v) -> Fmt.pf ppf "produce q%d, %a" q pp_operand v
+  | Consume q -> Fmt.pf ppf "consume q%d" q
+  | Sem_give (s, n) -> Fmt.pf ppf "sem_give s%d, %d" s n
+  | Sem_take (s, n) -> Fmt.pf ppf "sem_take s%d, %d" s n
+  | Dead -> Fmt.pf ppf "dead"
+
+let pp_term ppf = function
+  | Br b -> Fmt.pf ppf "br b%d" b
+  | Cond_br (c, b1, b2) ->
+      Fmt.pf ppf "br %a, b%d, b%d" pp_operand c b1 b2
+  | Ret None -> Fmt.pf ppf "ret"
+  | Ret (Some v) -> Fmt.pf ppf "ret %a" pp_operand v
+
+let pp_inst f ppf id =
+  let i = inst f id in
+  if has_result i.kind then Fmt.pf ppf "%%%d = %a" id pp_kind i.kind
+  else pp_kind ppf i.kind
+
+let pp_func ppf f =
+  Fmt.pf ppf "func @%s(%d params) entry=b%d@." f.name f.nparams f.entry;
+  Vec.iter
+    (fun b ->
+      if b.bid = f.entry || b.preds <> [] || b.bid = f.entry then begin
+        Fmt.pf ppf "b%d:  ; preds %a@." b.bid
+          Fmt.(list ~sep:(any " ") int)
+          b.preds;
+        List.iter (fun id -> Fmt.pf ppf "  %a@." (pp_inst f) id) b.insts;
+        Fmt.pf ppf "  %a@." pp_term b.term
+      end)
+    f.blocks
+
+let pp_modul ppf m =
+  List.iter
+    (fun g -> Fmt.pf ppf "global @%s : %d words@." g.gname g.size)
+    m.globals;
+  List.iter (fun f -> Fmt.pf ppf "@.%a" pp_func f) m.funcs
+
+let func_to_string f = Fmt.str "%a" pp_func f
+let modul_to_string m = Fmt.str "%a" pp_modul m

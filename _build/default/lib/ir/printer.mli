@@ -1,0 +1,12 @@
+(** Human-readable IR dump, LLVM-flavoured. *)
+
+open Ir
+
+val pp_operand : Format.formatter -> operand -> unit
+val pp_kind : Format.formatter -> kind -> unit
+val pp_term : Format.formatter -> term -> unit
+val pp_inst : func -> Format.formatter -> int -> unit
+val pp_func : Format.formatter -> func -> unit
+val pp_modul : Format.formatter -> modul -> unit
+val func_to_string : func -> string
+val modul_to_string : modul -> string

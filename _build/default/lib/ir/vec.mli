@@ -1,0 +1,26 @@
+(** Growable array — the workhorse container for IR entities (OCaml 5.1's
+    stdlib predates [Dynarray]).  A [dummy] element backs unused capacity
+    so no [Obj] tricks are needed. *)
+
+type 'a t
+
+val create : dummy:'a -> 'a t
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+val ensure_capacity : 'a t -> int -> unit
+
+val push : 'a t -> 'a -> int
+(** Appends and returns the new element's index. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val exists : ('a -> bool) -> 'a t -> bool
+val to_list : 'a t -> 'a list
+val of_list : dummy:'a -> 'a list -> 'a t
+val clear : 'a t -> unit
+val copy : 'a t -> 'a t

@@ -1,0 +1,1 @@
+lib/minic/ast_interp.ml: Array Fmt Hashtbl Int32 Interp List Option Twill_ir Typecheck

@@ -1,0 +1,1 @@
+lib/minic/lexer.ml: Char Int32 Int64 List Printf String

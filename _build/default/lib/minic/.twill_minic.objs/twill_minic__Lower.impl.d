@@ -1,0 +1,1 @@
+lib/minic/lower.ml: Array Ast Fmt Int32 List Option Twill_ir Typecheck Verify

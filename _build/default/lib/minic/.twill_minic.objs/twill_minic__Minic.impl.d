@@ -1,0 +1,1 @@
+lib/minic/minic.ml: Ast Ast_interp Fmt Lexer Lower Parser Twill_ir Typecheck

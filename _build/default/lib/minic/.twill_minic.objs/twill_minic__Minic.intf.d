@@ -1,0 +1,1 @@
+lib/minic/minic.mli: Ast Ast_interp Twill_ir Typecheck

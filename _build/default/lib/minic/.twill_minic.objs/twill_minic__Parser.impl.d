@@ -1,0 +1,1 @@
+lib/minic/parser.ml: Array Ast Int32 Lexer List Printf

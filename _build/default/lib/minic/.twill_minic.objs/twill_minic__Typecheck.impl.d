@@ -1,0 +1,1 @@
+lib/minic/typecheck.ml: Array Ast Fmt Hashtbl Int32 List Option String Twill_ir

@@ -1,0 +1,73 @@
+(* Abstract syntax of mini-C — the LegUp/Twill-compatible C subset: 32-bit
+   signed/unsigned integers, multi-dimensional constant-size arrays, no
+   recursion, no function pointers, no 64-bit types (the thesis excludes
+   the 64-bit CHStone kernels for the same reason). *)
+
+type ty = Tint | Tuint | Tvoid
+
+type binop =
+  | Badd | Bsub | Bmul | Bdiv | Bmod
+  | Band | Bor | Bxor | Bshl | Bshr
+  | Blt | Ble | Bgt | Bge | Beq | Bne
+  | Bland | Blor (* short-circuit *)
+
+type unop = Uneg | Ubnot | Ulnot
+
+type expr =
+  | Enum of int32
+  | Evar of string
+  | Eindex of string * expr list
+  | Ebin of binop * expr * expr
+  | Eun of unop * expr
+  | Ecall of string * expr list
+  | Econd of expr * expr * expr
+  | Ecast of ty * expr (* reinterpret signedness; bits unchanged *)
+
+type lvalue = { lname : string; lindex : expr list }
+
+type init = Iexpr of expr | Ilist of init list
+
+type decl = {
+  dname : string;
+  dty : ty;
+  ddims : int list; (* [] means scalar *)
+  dinit : init option;
+}
+
+type stmt =
+  | Sblock of stmt list
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sdo of stmt * expr
+  | Sfor of stmt option * expr option * stmt option * stmt
+  | Sret of expr option
+  | Sbreak
+  | Scont
+  | Sdecl of decl
+  | Sassign of lvalue * expr
+  | Sexpr of expr
+
+type param = {
+  pname : string;
+  pty : ty;
+  (* None: scalar parameter.  Some dims: array parameter; dims.(0) = 0
+     encodes an unspecified leading dimension as in [int x[][16]]. *)
+  pdims : int list option;
+}
+
+type func = {
+  fname : string;
+  fret : ty;
+  fparams : param list;
+  fbody : stmt list;
+}
+
+type top = Tglobal of decl | Tfunc of func
+
+type program = top list
+
+let binop_name = function
+  | Badd -> "+" | Bsub -> "-" | Bmul -> "*" | Bdiv -> "/" | Bmod -> "%"
+  | Band -> "&" | Bor -> "|" | Bxor -> "^" | Bshl -> "<<" | Bshr -> ">>"
+  | Blt -> "<" | Ble -> "<=" | Bgt -> ">" | Bge -> ">=" | Beq -> "=="
+  | Bne -> "!=" | Bland -> "&&" | Blor -> "||"

@@ -1,0 +1,223 @@
+(* Direct interpreter for the typed AST — the semantic oracle the whole
+   compilation pipeline is differentially tested against. *)
+
+open Typecheck
+
+exception Trap of string
+exception Out_of_fuel
+
+type value = Vscalar of int32 ref | Varr of int32 array
+
+exception Return of int32
+exception Break_exc
+exception Continue_exc
+
+type st = {
+  genv : (string, value) Hashtbl.t;
+  prog : tprog;
+  mutable fuel : int;
+  mutable prints : int32 list;
+}
+
+let map_ltr f l = List.rev (List.fold_left (fun acc x -> f x :: acc) [] l)
+
+let scalar = function
+  | Vscalar r -> !r
+  | Varr _ -> raise (Trap "array used as scalar")
+
+let arr = function
+  | Varr a -> a
+  | Vscalar _ -> raise (Trap "scalar used as array")
+
+let spend st =
+  if st.fuel >= 0 then begin
+    st.fuel <- st.fuel - 1;
+    if st.fuel <= 0 then raise Out_of_fuel
+  end
+
+open Twill_ir
+
+let lookup st locals params (v : vref) : value =
+  match v.vkind with
+  | Kglobal -> (
+      match Hashtbl.find_opt st.genv v.vname with
+      | Some x -> x
+      | None -> raise (Trap ("unknown global " ^ v.vname)))
+  | Klocal slot -> (
+      match locals.(slot) with
+      | Some x -> x
+      | None -> raise (Trap ("read of undeclared local " ^ v.vname)))
+  | Kparam i -> params.(i)
+
+let flat_index (v : vref) (idx : int32 list) : int =
+  let rec go dims idx acc =
+    match (dims, idx) with
+    | [], [] -> acc
+    | d :: dims', i :: idx' ->
+        let i = Int32.to_int i in
+        (* d = 0 encodes an unspecified leading dimension of an array
+           parameter; its bound is checked against the actual array. *)
+        if i < 0 || (d > 0 && i >= d) then
+          raise (Trap (Fmt.str "index %d out of bounds [0,%d) on %s" i d v.vname));
+        go dims' idx' ((acc * d) + i)
+    | _ -> raise (Trap "index arity mismatch")
+  in
+  go v.vdims idx 0
+
+let rec eval st locals params (e : texpr) : int32 =
+  spend st;
+  match e with
+  | Tnum n -> n
+  | Tvar v -> (
+      match lookup st locals params v with
+      | Vscalar r -> !r
+      | Varr a -> if Array.length a = 1 then a.(0) else raise (Trap "array as scalar"))
+  | Tindex (v, idx) ->
+      let a = arr (lookup st locals params v) in
+      let idx = map_ltr (eval st locals params) idx in
+      let k = flat_index v idx in
+      if k >= Array.length a then
+        raise (Trap (Fmt.str "index %d out of bounds on %s" k v.vname));
+      a.(k)
+  | Tarith (op, a, b) ->
+      (* mini-C fixes left-to-right evaluation, matching the lowering *)
+      let va = eval st locals params a in
+      let vb = eval st locals params b in
+      (try Interp.eval_binop op va vb with Interp.Trap m -> raise (Trap m))
+  | Tcmp (op, a, b) ->
+      let va = eval st locals params a in
+      let vb = eval st locals params b in
+      Interp.eval_icmp op va vb
+  | Tand (a, b) ->
+      if eval st locals params a = 0l then 0l
+      else if eval st locals params b = 0l then 0l
+      else 1l
+  | Tor (a, b) ->
+      if eval st locals params a <> 0l then 1l
+      else if eval st locals params b <> 0l then 1l
+      else 0l
+  | Tcond (c, a, b) ->
+      if eval st locals params c <> 0l then eval st locals params a
+      else eval st locals params b
+  | Tcall ("print", [ Aval a ]) ->
+      (* bind first: the argument may itself print *)
+      let v = eval st locals params a in
+      st.prints <- v :: st.prints;
+      0l
+  | Tcall (name, args) ->
+      let f =
+        match List.find_opt (fun f -> f.tfname = name) st.prog.tfuncs with
+        | Some f -> f
+        | None -> raise (Trap ("unknown function " ^ name))
+      in
+      let argv =
+        (* explicit left-to-right argument evaluation *)
+        List.rev
+          (List.fold_left
+             (fun acc a ->
+               let v =
+                 match a with
+                 | Aval e -> Vscalar (ref (eval st locals params e))
+                 | Aarr v -> lookup st locals params v (* arrays alias *)
+               in
+               v :: acc)
+             [] args)
+      in
+      call st f (Array.of_list argv)
+
+and call st (f : tfunc) (params : value array) : int32 =
+  let locals = Array.make f.tfnlocals None in
+  try
+    List.iter (exec st locals params) f.tfbody;
+    0l
+  with Return v -> v
+
+and exec st locals params (s : tstmt) : unit =
+  spend st;
+  match s with
+  | TSblock ss -> List.iter (exec st locals params) ss
+  | TSif (c, t, e) ->
+      if eval st locals params c <> 0l then exec st locals params t
+      else Option.iter (exec st locals params) e
+  | TSwhile (c, body) ->
+      (try
+         while eval st locals params c <> 0l do
+           try exec st locals params body with Continue_exc -> ()
+         done
+       with Break_exc -> ())
+  | TSdo (body, c) ->
+      (try
+         let again = ref true in
+         while !again do
+           (try exec st locals params body with Continue_exc -> ());
+           again := eval st locals params c <> 0l
+         done
+       with Break_exc -> ())
+  | TSfor (init, cond, step, body) ->
+      Option.iter (exec st locals params) init;
+      let check () =
+        match cond with None -> true | Some c -> eval st locals params c <> 0l
+      in
+      (try
+         while check () do
+           (try exec st locals params body with Continue_exc -> ());
+           Option.iter (exec st locals params) step
+         done
+       with Break_exc -> ())
+  | TSret None -> raise (Return 0l)
+  | TSret (Some e) -> raise (Return (eval st locals params e))
+  | TSbreak -> raise Break_exc
+  | TScont -> raise Continue_exc
+  | TSdecl_scalar (slot, init) ->
+      let v = match init with None -> 0l | Some e -> eval st locals params e in
+      locals.(slot) <- Some (Vscalar (ref v))
+  | TSdecl_array (slot, dims, init) ->
+      let total = words_of_dims dims in
+      let a =
+        match init with
+        | None -> Array.make total 0l
+        | Some i ->
+            let a = Array.make total 0l in
+            Array.blit i 0 a 0 (Array.length i);
+            a
+      in
+      locals.(slot) <- Some (Varr a)
+  | TSassign_var (v, e) -> (
+      let x = eval st locals params e in
+      match v.vkind with
+      | Klocal slot when locals.(slot) = None ->
+          locals.(slot) <- Some (Vscalar (ref x))
+      | _ -> (
+          match lookup st locals params v with
+          | Vscalar r -> r := x
+          | Varr a when Array.length a = 1 -> a.(0) <- x
+          | Varr _ -> raise (Trap "array assigned as scalar")))
+  | TSassign_idx (v, idx, e) ->
+      let a = arr (lookup st locals params v) in
+      let idx = map_ltr (eval st locals params) idx in
+      let x = eval st locals params e in
+      let k = flat_index v idx in
+      if k >= Array.length a then
+        raise (Trap (Fmt.str "index %d out of bounds on %s" k v.vname));
+      a.(k) <- x
+  | TSexpr e -> ignore (eval st locals params e)
+
+type result = { ret : int32; prints : int32 list }
+
+let run ?(fuel = -1) (prog : tprog) : result =
+  let genv = Hashtbl.create 32 in
+  List.iter
+    (fun g ->
+      let v =
+        if g.tgdims = [] then Vscalar (ref g.tginit.(0)) else Varr (Array.copy g.tginit)
+      in
+      Hashtbl.replace genv g.tgname v)
+    prog.tglobals;
+  let st = { genv; prog; fuel; prints = [] } in
+  let main =
+    match List.find_opt (fun f -> f.tfname = "main") prog.tfuncs with
+    | Some f -> f
+    | None -> raise (Trap "no main")
+  in
+  let ret = call st main [||] in
+  { ret; prints = List.rev st.prints }

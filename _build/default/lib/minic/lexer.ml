@@ -1,0 +1,193 @@
+(* Hand-rolled lexer for mini-C. *)
+
+type token =
+  | INT_KW | UINT_KW | VOID | CONST
+  | IF | ELSE | WHILE | FOR | DO | RETURN | BREAK | CONTINUE
+  | IDENT of string
+  | NUM of int32
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACK | RBRACK
+  | SEMI | COMMA | QUESTION | COLON
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | BANG
+  | LT | GT | LE | GE | EQEQ | NE
+  | ANDAND | OROR | SHL | SHR
+  | ASSIGN
+  | OPASSIGN of string (* "+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>" *)
+  | PLUSPLUS | MINUSMINUS
+  | EOF
+
+exception Error of string * int (* message, line *)
+
+let keyword = function
+  | "int" -> Some INT_KW
+  | "uint" | "unsigned" -> Some UINT_KW
+  | "void" -> Some VOID
+  | "const" -> Some CONST
+  | "if" -> Some IF
+  | "else" -> Some ELSE
+  | "while" -> Some WHILE
+  | "for" -> Some FOR
+  | "do" -> Some DO
+  | "return" -> Some RETURN
+  | "break" -> Some BREAK
+  | "continue" -> Some CONTINUE
+  | _ -> None
+
+let token_name = function
+  | INT_KW -> "int" | UINT_KW -> "uint" | VOID -> "void" | CONST -> "const"
+  | IF -> "if" | ELSE -> "else" | WHILE -> "while" | FOR -> "for" | DO -> "do"
+  | RETURN -> "return" | BREAK -> "break" | CONTINUE -> "continue"
+  | IDENT s -> "identifier " ^ s
+  | NUM n -> Int32.to_string n
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACK -> "[" | RBRACK -> "]" | SEMI -> ";" | COMMA -> ","
+  | QUESTION -> "?" | COLON -> ":"
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | AMP -> "&" | PIPE -> "|" | CARET -> "^" | TILDE -> "~" | BANG -> "!"
+  | LT -> "<" | GT -> ">" | LE -> "<=" | GE -> ">=" | EQEQ -> "==" | NE -> "!="
+  | ANDAND -> "&&" | OROR -> "||" | SHL -> "<<" | SHR -> ">>"
+  | ASSIGN -> "=" | OPASSIGN op -> op ^ "="
+  | PLUSPLUS -> "++" | MINUSMINUS -> "--"
+  | EOF -> "<eof>"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+(* Returns tokens paired with their source line for diagnostics. *)
+let tokenize (src : string) : (token * int) list =
+  let n = String.length src in
+  let line = ref 1 in
+  let toks = ref [] in
+  let emit t = toks := (t, !line) :: !toks in
+  let err msg = raise (Error (msg, !line)) in
+  let i = ref 0 in
+  let peek k = if !i + k < n then src.[!i + k] else '\000' in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin incr line; incr i end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && peek 1 = '/' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '/' && peek 1 = '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while !i < n && not !closed do
+        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '*' && peek 1 = '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then err "unterminated comment"
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      let s = String.sub src start (!i - start) in
+      match keyword s with Some t -> emit t | None -> emit (IDENT s)
+    end
+    else if is_digit c then begin
+      let v =
+        if c = '0' && (peek 1 = 'x' || peek 1 = 'X') then begin
+          i := !i + 2;
+          let start = !i in
+          while !i < n && is_hex src.[!i] do incr i done;
+          if !i = start then err "bad hex literal";
+          Int64.of_string ("0x" ^ String.sub src start (!i - start))
+        end
+        else begin
+          let start = !i in
+          while !i < n && is_digit src.[!i] do incr i done;
+          Int64.of_string (String.sub src start (!i - start))
+        end
+      in
+      (* allow C-style unsigned suffix *)
+      while !i < n && (src.[!i] = 'u' || src.[!i] = 'U' || src.[!i] = 'l' || src.[!i] = 'L') do incr i done;
+      if Int64.compare v 0x1_0000_0000L >= 0 then err "literal exceeds 32 bits";
+      emit (NUM (Int64.to_int32 v))
+    end
+    else if c = '\'' then begin
+      (* character literal *)
+      incr i;
+      if !i >= n then err "unterminated char literal";
+      let v =
+        if src.[!i] = '\\' then begin
+          incr i;
+          let e = src.[!i] in
+          incr i;
+          match e with
+          | 'n' -> 10 | 't' -> 9 | 'r' -> 13 | '0' -> 0 | '\\' -> 92
+          | '\'' -> 39
+          | _ -> err "bad escape"
+        end
+        else begin
+          let v = Char.code src.[!i] in
+          incr i;
+          v
+        end
+      in
+      if !i >= n || src.[!i] <> '\'' then err "unterminated char literal";
+      incr i;
+      emit (NUM (Int32.of_int v))
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      let three = if !i + 2 < n then String.sub src !i 3 else "" in
+      let adv k t = emit t; i := !i + k in
+      match three with
+      | "<<=" -> adv 3 (OPASSIGN "<<")
+      | ">>=" -> adv 3 (OPASSIGN ">>")
+      | _ -> (
+          match two with
+          | "==" -> adv 2 EQEQ
+          | "!=" -> adv 2 NE
+          | "<=" -> adv 2 LE
+          | ">=" -> adv 2 GE
+          | "&&" -> adv 2 ANDAND
+          | "||" -> adv 2 OROR
+          | "<<" -> adv 2 SHL
+          | ">>" -> adv 2 SHR
+          | "++" -> adv 2 PLUSPLUS
+          | "--" -> adv 2 MINUSMINUS
+          | "+=" -> adv 2 (OPASSIGN "+")
+          | "-=" -> adv 2 (OPASSIGN "-")
+          | "*=" -> adv 2 (OPASSIGN "*")
+          | "/=" -> adv 2 (OPASSIGN "/")
+          | "%=" -> adv 2 (OPASSIGN "%")
+          | "&=" -> adv 2 (OPASSIGN "&")
+          | "|=" -> adv 2 (OPASSIGN "|")
+          | "^=" -> adv 2 (OPASSIGN "^")
+          | _ -> (
+              match c with
+              | '(' -> adv 1 LPAREN
+              | ')' -> adv 1 RPAREN
+              | '{' -> adv 1 LBRACE
+              | '}' -> adv 1 RBRACE
+              | '[' -> adv 1 LBRACK
+              | ']' -> adv 1 RBRACK
+              | ';' -> adv 1 SEMI
+              | ',' -> adv 1 COMMA
+              | '?' -> adv 1 QUESTION
+              | ':' -> adv 1 COLON
+              | '+' -> adv 1 PLUS
+              | '-' -> adv 1 MINUS
+              | '*' -> adv 1 STAR
+              | '/' -> adv 1 SLASH
+              | '%' -> adv 1 PERCENT
+              | '&' -> adv 1 AMP
+              | '|' -> adv 1 PIPE
+              | '^' -> adv 1 CARET
+              | '~' -> adv 1 TILDE
+              | '!' -> adv 1 BANG
+              | '<' -> adv 1 LT
+              | '>' -> adv 1 GT
+              | '=' -> adv 1 ASSIGN
+              | _ -> err (Printf.sprintf "unexpected character %C" c)))
+    end
+  done;
+  emit EOF;
+  List.rev !toks

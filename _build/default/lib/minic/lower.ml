@@ -1,0 +1,397 @@
+(* Typed AST -> IR lowering.
+
+   Locals become entry-block allocas (promoted to SSA registers later by
+   mem2reg); short-circuit operators and the ternary operator become
+   control flow through a result slot.  Mini-C defines locals as
+   zero-initialised at their declaration point, so declarations emit the
+   corresponding stores (the AST interpreter implements the same rule,
+   keeping the differential-testing oracle exact). *)
+
+open Typecheck
+open Twill_ir
+open Twill_ir.Ir
+
+type ctx = {
+  f : func;
+  mutable cur : int;
+  slots : operand array; (* local slot -> address of its alloca *)
+  mutable break_tgt : int list;
+  mutable cont_tgt : int list;
+}
+
+let map_ltr f l = List.rev (List.fold_left (fun acc x -> f x :: acc) [] l)
+
+let emit ctx kind = Reg (append_inst ctx.f ctx.cur kind)
+let emit_ ctx kind = ignore (append_inst ctx.f ctx.cur kind)
+
+let set_term ctx t = (block ctx.f ctx.cur).term <- t
+
+let new_block ctx =
+  let b = add_block ctx.f in
+  b.bid
+
+let goto ctx bid =
+  set_term ctx (Br bid);
+  ctx.cur <- bid
+
+(* Address of a variable reference (array base or scalar cell). *)
+let base_addr ctx (v : vref) : operand =
+  match v.vkind with
+  | Kglobal -> Glob v.vname
+  | Klocal slot -> ctx.slots.(slot)
+  | Kparam i -> Argv i
+
+(* Row-major flattened index; multiplications by constant dimensions. *)
+let rec linear_index ctx (dims : int list) (idx : operand list) : operand =
+  match (dims, idx) with
+  | [ _ ], [ i ] -> i
+  | _ :: (d2 :: _ as rest), i :: irest ->
+      let stride = List.fold_left ( * ) 1 rest in
+      ignore d2;
+      let scaled = emit ctx (Binop (Mul, i, Cst (Int32.of_int stride))) in
+      let tail = linear_index ctx rest irest in
+      emit ctx (Binop (Add, scaled, tail))
+  | _ -> failwith "linear_index: arity mismatch"
+
+let addr_of_index ctx (v : vref) (idx : operand list) : operand =
+  let base = base_addr ctx v in
+  let off = linear_index ctx v.vdims idx in
+  emit ctx (Gep (base, off))
+
+let rec lower_expr ctx (e : texpr) : operand =
+  match e with
+  | Tnum n -> Cst n
+  | Tvar v -> (
+      match v.vkind with
+      | Kparam i when v.vdims = [] -> Argv i
+      | _ -> emit ctx (Load (base_addr ctx v)))
+  | Tindex (v, idx) ->
+      let idx = map_ltr (lower_expr ctx) idx in
+      emit ctx (Load (addr_of_index ctx v idx))
+  | Tarith (op, a, b) ->
+      let a = lower_expr ctx a in
+      let b = lower_expr ctx b in
+      emit ctx (Binop (op, a, b))
+  | Tcmp (op, a, b) ->
+      let a = lower_expr ctx a in
+      let b = lower_expr ctx b in
+      emit ctx (Icmp (op, a, b))
+  | Tand (a, b) ->
+      lower_short_circuit ctx ~is_and:true a b
+  | Tor (a, b) ->
+      lower_short_circuit ctx ~is_and:false a b
+  | Tcond (c, a, b) ->
+      let slot = emit ctx (Alloca 1) in
+      let vc = lower_expr ctx c in
+      let bt = new_block ctx and bf = new_block ctx and bm = new_block ctx in
+      set_term ctx (Cond_br (vc, bt, bf));
+      ctx.cur <- bt;
+      let va = lower_expr ctx a in
+      emit_ ctx (Store (slot, va));
+      set_term ctx (Br bm);
+      ctx.cur <- bf;
+      let vb = lower_expr ctx b in
+      emit_ ctx (Store (slot, vb));
+      set_term ctx (Br bm);
+      ctx.cur <- bm;
+      emit ctx (Load slot)
+  | Tcall ("print", [ Aval a ]) ->
+      let v = lower_expr ctx a in
+      emit_ ctx (Print v);
+      Cst 0l
+  | Tcall (name, args) ->
+      let argv =
+        map_ltr
+          (function
+            | Aval e -> lower_expr ctx e
+            | Aarr v -> base_addr ctx v)
+          args
+      in
+      emit ctx (Call (name, Array.of_list argv))
+
+and lower_short_circuit ctx ~is_and a b =
+  let slot = emit ctx (Alloca 1) in
+  let va = lower_expr ctx a in
+  let ca = emit ctx (Icmp (Ne, va, Cst 0l)) in
+  let beval = new_block ctx and bshort = new_block ctx and bm = new_block ctx in
+  if is_and then set_term ctx (Cond_br (ca, beval, bshort))
+  else set_term ctx (Cond_br (ca, bshort, beval));
+  ctx.cur <- bshort;
+  emit_ ctx (Store (slot, Cst (if is_and then 0l else 1l)));
+  set_term ctx (Br bm);
+  ctx.cur <- beval;
+  let vb = lower_expr ctx b in
+  let cb = emit ctx (Icmp (Ne, vb, Cst 0l)) in
+  emit_ ctx (Store (slot, cb));
+  set_term ctx (Br bm);
+  ctx.cur <- bm;
+  emit ctx (Load slot)
+
+(* Zero [total] words starting at [base]: unrolled when small, a counting
+   loop otherwise. *)
+let emit_memzero ctx (base : operand) (total : int) =
+  if total <= 32 then
+    for k = 0 to total - 1 do
+      let a = emit ctx (Gep (base, Cst (Int32.of_int k))) in
+      emit_ ctx (Store (a, Cst 0l))
+    done
+  else begin
+    let idx = emit ctx (Alloca 1) in
+    emit_ ctx (Store (idx, Cst 0l));
+    let header = new_block ctx and body = new_block ctx and exit = new_block ctx in
+    goto ctx header;
+    let i = emit ctx (Load idx) in
+    let c = emit ctx (Icmp (Slt, i, Cst (Int32.of_int total))) in
+    set_term ctx (Cond_br (c, body, exit));
+    ctx.cur <- body;
+    let a = emit ctx (Gep (base, i)) in
+    emit_ ctx (Store (a, Cst 0l));
+    let i' = emit ctx (Binop (Add, i, Cst 1l)) in
+    emit_ ctx (Store (idx, i'));
+    set_term ctx (Br header);
+    ctx.cur <- exit
+  end
+
+let rec lower_stmt ctx (s : tstmt) : unit =
+  match s with
+  | TSblock ss -> List.iter (lower_stmt ctx) ss
+  | TSif (c, t, e) -> (
+      let vc = lower_expr ctx c in
+      let bt = new_block ctx in
+      match e with
+      | None ->
+          let bm = new_block ctx in
+          set_term ctx (Cond_br (vc, bt, bm));
+          ctx.cur <- bt;
+          lower_stmt ctx t;
+          goto_merge ctx bm
+      | Some e ->
+          let be = new_block ctx in
+          let bm = new_block ctx in
+          set_term ctx (Cond_br (vc, bt, be));
+          ctx.cur <- bt;
+          lower_stmt ctx t;
+          goto_merge ctx bm;
+          ctx.cur <- be;
+          lower_stmt ctx e;
+          goto_merge ctx bm)
+  | TSwhile (c, body) ->
+      let header = new_block ctx and bbody = new_block ctx and exit = new_block ctx in
+      goto ctx header;
+      let vc = lower_expr ctx c in
+      set_term ctx (Cond_br (vc, bbody, exit));
+      ctx.cur <- bbody;
+      ctx.break_tgt <- exit :: ctx.break_tgt;
+      ctx.cont_tgt <- header :: ctx.cont_tgt;
+      lower_stmt ctx body;
+      ctx.break_tgt <- List.tl ctx.break_tgt;
+      ctx.cont_tgt <- List.tl ctx.cont_tgt;
+      set_term ctx (Br header);
+      ctx.cur <- exit
+  | TSdo (body, c) ->
+      let bbody = new_block ctx and bcond = new_block ctx and exit = new_block ctx in
+      goto ctx bbody;
+      ctx.break_tgt <- exit :: ctx.break_tgt;
+      ctx.cont_tgt <- bcond :: ctx.cont_tgt;
+      lower_stmt ctx body;
+      ctx.break_tgt <- List.tl ctx.break_tgt;
+      ctx.cont_tgt <- List.tl ctx.cont_tgt;
+      goto ctx bcond;
+      let vc = lower_expr ctx c in
+      set_term ctx (Cond_br (vc, bbody, exit))
+      ;
+      ctx.cur <- exit
+  | TSfor (init, cond, step, body) ->
+      Option.iter (lower_stmt ctx) init;
+      let header = new_block ctx and bbody = new_block ctx in
+      let bstep = new_block ctx and exit = new_block ctx in
+      goto ctx header;
+      (match cond with
+      | None -> set_term ctx (Br bbody)
+      | Some c ->
+          let vc = lower_expr ctx c in
+          set_term ctx (Cond_br (vc, bbody, exit)));
+      ctx.cur <- bbody;
+      ctx.break_tgt <- exit :: ctx.break_tgt;
+      ctx.cont_tgt <- bstep :: ctx.cont_tgt;
+      lower_stmt ctx body;
+      ctx.break_tgt <- List.tl ctx.break_tgt;
+      ctx.cont_tgt <- List.tl ctx.cont_tgt;
+      goto ctx bstep;
+      Option.iter (lower_stmt ctx) step;
+      set_term ctx (Br header);
+      ctx.cur <- exit
+  | TSret v ->
+      let op = Option.map (lower_expr ctx) v in
+      set_term ctx (Ret op);
+      ctx.cur <- new_block ctx (* unreachable continuation *)
+  | TSbreak ->
+      (match ctx.break_tgt with
+      | t :: _ -> set_term ctx (Br t)
+      | [] -> assert false);
+      ctx.cur <- new_block ctx
+  | TScont ->
+      (match ctx.cont_tgt with
+      | t :: _ -> set_term ctx (Br t)
+      | [] -> assert false);
+      ctx.cur <- new_block ctx
+  | TSdecl_scalar (slot, init) ->
+      let v = match init with None -> Cst 0l | Some e -> lower_expr ctx e in
+      emit_ ctx (Store (ctx.slots.(slot), v))
+  | TSdecl_array (slot, dims, init) -> (
+      let base = ctx.slots.(slot) in
+      let total = words_of_dims dims in
+      match init with
+      | None -> emit_memzero ctx base total
+      | Some vals ->
+          for k = 0 to total - 1 do
+            let v = if k < Array.length vals then vals.(k) else 0l in
+            let a = emit ctx (Gep (base, Cst (Int32.of_int k))) in
+            emit_ ctx (Store (a, Cst v))
+          done)
+  | TSassign_var (v, e) -> (
+      let x = lower_expr ctx e in
+      match v.vkind with
+      | Kparam i when v.vdims = [] ->
+          (* writable scalar parameters get a shadow slot; created lazily
+             by [lower_func] scanning for such writes *)
+          failwith
+            (Fmt.str "assignment to parameter %s (arg %d) must be pre-lowered"
+               v.vname i)
+      | _ -> emit_ ctx (Store (base_addr ctx v, x)))
+  | TSassign_idx (v, idx, e) ->
+      let idx = map_ltr (lower_expr ctx) idx in
+      let a = addr_of_index ctx v idx in
+      let x = lower_expr ctx e in
+      emit_ ctx (Store (a, x))
+  | TSexpr e -> ignore (lower_expr ctx e)
+
+and goto_merge ctx bm = goto ctx bm
+
+(* --- scalar-parameter writes ------------------------------------------ *)
+
+(* C parameters are mutable locals.  We rewrite each written scalar
+   parameter into a fresh local slot initialised from the argument. *)
+
+let rec stmt_writes_param (s : tstmt) (acc : int list ref) =
+  match s with
+  | TSblock ss -> List.iter (fun s -> stmt_writes_param s acc) ss
+  | TSif (_, t, e) ->
+      stmt_writes_param t acc;
+      Option.iter (fun e -> stmt_writes_param e acc) e
+  | TSwhile (_, b) | TSdo (b, _) -> stmt_writes_param b acc
+  | TSfor (i, _, st, b) ->
+      Option.iter (fun s -> stmt_writes_param s acc) i;
+      Option.iter (fun s -> stmt_writes_param s acc) st;
+      stmt_writes_param b acc
+  | TSassign_var (v, _) -> (
+      match v.vkind with
+      | Kparam i when v.vdims = [] ->
+          if not (List.mem i !acc) then acc := i :: !acc
+      | _ -> ())
+  | _ -> ()
+
+let remap_vref map (v : vref) =
+  match v.vkind with
+  | Kparam i when v.vdims = [] -> (
+      match List.assoc_opt i map with
+      | Some slot -> { v with vkind = Klocal slot }
+      | None -> v)
+  | _ -> v
+
+let rec remap_expr map (e : texpr) : texpr =
+  match e with
+  | Tnum _ -> e
+  | Tvar v -> Tvar (remap_vref map v)
+  | Tindex (v, idx) -> Tindex (remap_vref map v, List.map (remap_expr map) idx)
+  | Tarith (op, a, b) -> Tarith (op, remap_expr map a, remap_expr map b)
+  | Tcmp (op, a, b) -> Tcmp (op, remap_expr map a, remap_expr map b)
+  | Tand (a, b) -> Tand (remap_expr map a, remap_expr map b)
+  | Tor (a, b) -> Tor (remap_expr map a, remap_expr map b)
+  | Tcond (c, a, b) ->
+      Tcond (remap_expr map c, remap_expr map a, remap_expr map b)
+  | Tcall (n, args) ->
+      Tcall
+        ( n,
+          List.map
+            (function
+              | Aval e -> Aval (remap_expr map e)
+              | Aarr v -> Aarr (remap_vref map v))
+            args )
+
+let rec remap_stmt map (s : tstmt) : tstmt =
+  match s with
+  | TSblock ss -> TSblock (List.map (remap_stmt map) ss)
+  | TSif (c, t, e) ->
+      TSif (remap_expr map c, remap_stmt map t, Option.map (remap_stmt map) e)
+  | TSwhile (c, b) -> TSwhile (remap_expr map c, remap_stmt map b)
+  | TSdo (b, c) -> TSdo (remap_stmt map b, remap_expr map c)
+  | TSfor (i, c, st, b) ->
+      TSfor
+        ( Option.map (remap_stmt map) i,
+          Option.map (remap_expr map) c,
+          Option.map (remap_stmt map) st,
+          remap_stmt map b )
+  | TSret e -> TSret (Option.map (remap_expr map) e)
+  | TSbreak | TScont -> s
+  | TSdecl_scalar (slot, e) -> TSdecl_scalar (slot, Option.map (remap_expr map) e)
+  | TSdecl_array _ -> s
+  | TSassign_var (v, e) -> TSassign_var (remap_vref map v, remap_expr map e)
+  | TSassign_idx (v, idx, e) ->
+      TSassign_idx
+        (remap_vref map v, List.map (remap_expr map) idx, remap_expr map e)
+  | TSexpr e -> TSexpr (remap_expr map e)
+
+(* --- functions & modules ---------------------------------------------- *)
+
+let lower_func (tf : tfunc) : func =
+  (* shadow written scalar params with locals *)
+  let written = ref [] in
+  List.iter (fun s -> stmt_writes_param s written) tf.tfbody;
+  let nlocals = ref tf.tfnlocals in
+  let map =
+    List.map
+      (fun i ->
+        let slot = !nlocals in
+        incr nlocals;
+        (i, slot))
+      !written
+  in
+  let body = List.map (remap_stmt map) tf.tfbody in
+  let f = create_func ~name:tf.tfname ~nparams:(List.length tf.tfparams) in
+  let entry = add_block f in
+  f.entry <- entry.bid;
+  let slots = Array.make !nlocals (Cst 0l) in
+  let ctx = { f; cur = entry.bid; slots; break_tgt = []; cont_tgt = [] } in
+  (* allocas for declared locals *)
+  List.iter
+    (fun (slot, dims) ->
+      slots.(slot) <- emit ctx (Alloca (max 1 (words_of_dims dims))))
+    tf.tflocals;
+  (* allocas + copy-in for shadowed scalar params *)
+  List.iter
+    (fun (i, slot) ->
+      slots.(slot) <- emit ctx (Alloca 1);
+      emit_ ctx (Store (slots.(slot), Argv i)))
+    map;
+  List.iter (lower_stmt ctx) body;
+  (* implicit return *)
+  set_term ctx (if tf.tfret = Ast.Tvoid then Ret None else Ret (Some (Cst 0l)));
+  recompute_cfg f;
+  f
+
+let lower (p : tprog) : modul =
+  let globals =
+    List.map
+      (fun g ->
+        {
+          gname = g.tgname;
+          size = max 1 (words_of_dims g.tgdims);
+          init = g.tginit;
+        })
+      p.tglobals
+  in
+  let funcs = List.map lower_func p.tfuncs in
+  let m = { funcs; globals } in
+  Verify.check_modul m;
+  m

@@ -1,0 +1,19 @@
+(* Facade for the mini-C front end. *)
+
+exception Error of string
+
+let parse (src : string) : Ast.program =
+  try Parser.parse_program src with
+  | Parser.Error (msg, line) -> raise (Error (Fmt.str "line %d: %s" line msg))
+  | Lexer.Error (msg, line) -> raise (Error (Fmt.str "line %d: %s" line msg))
+
+let typecheck (p : Ast.program) : Typecheck.tprog =
+  try Typecheck.check p with Typecheck.Error msg -> raise (Error msg)
+
+(* Parse, check and lower a mini-C source string to an IR module. *)
+let compile (src : string) : Twill_ir.Ir.modul =
+  Lower.lower (typecheck (parse src))
+
+(* Run the typed-AST reference interpreter on a source string. *)
+let run_reference ?fuel (src : string) : Ast_interp.result =
+  Ast_interp.run ?fuel (typecheck (parse src))

@@ -1,0 +1,35 @@
+(** Mini-C front end façade.
+
+    Mini-C is the Twill/LegUp-compatible C subset (thesis §3.2.1): 32-bit
+    [int]/[uint] scalars, constant-size multi-dimensional arrays, the full
+    expression/statement language of C89 minus pointers, structs, 64-bit
+    types, recursion and function pointers.  A [print(e)] builtin provides
+    the observable output trace used by the self-checking benchmarks.
+
+    Semantics guaranteed by this front end (and differentially tested
+    against gcc through the C backend): two's-complement wraparound,
+    truncating signed division, logical/arithmetic shifts by [count & 31],
+    left-to-right evaluation order, and zero-initialisation of locals at
+    their declaration point. *)
+
+exception Error of string
+(** Raised for lexer, parser and type errors, with a human-readable
+    message (including the line for syntax errors). *)
+
+val parse : string -> Ast.program
+(** Parses source text. @raise Error on malformed input. *)
+
+val typecheck : Ast.program -> Typecheck.tprog
+(** Type-checks and elaborates: resolves signedness of every operator,
+    renames locals to unique slots, folds global initialisers and rejects
+    recursion. @raise Error on ill-typed programs. *)
+
+val compile : string -> Twill_ir.Ir.modul
+(** [compile src] = parse + typecheck + lower to (unoptimised) SSA-ready
+    IR; run {!Twill_passes.Pipeline.run} afterwards for the optimised
+    form. *)
+
+val run_reference : ?fuel:int -> string -> Ast_interp.result
+(** Executes the typed AST directly — the semantic oracle all later
+    stages are tested against.  [fuel] bounds executed steps
+    (@raise Ast_interp.Out_of_fuel when exceeded). *)

@@ -1,0 +1,359 @@
+(* Recursive-descent parser for mini-C. *)
+
+open Ast
+open Lexer
+
+exception Error of string * int
+
+type st = { toks : (token * int) array; mutable pos : int }
+
+let cur st = fst st.toks.(st.pos)
+let cur_line st = snd st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let err st msg = raise (Error (msg, cur_line st))
+
+let expect st t =
+  if cur st = t then advance st
+  else err st (Printf.sprintf "expected %s, found %s" (token_name t) (token_name (cur st)))
+
+let accept st t = if cur st = t then (advance st; true) else false
+
+let parse_ty st =
+  match cur st with
+  | INT_KW -> advance st; Tint
+  | UINT_KW ->
+      advance st;
+      ignore (accept st INT_KW); (* "unsigned int" *)
+      Tuint
+  | VOID -> advance st; Tvoid
+  | t -> err st ("expected a type, found " ^ token_name t)
+
+let parse_ident st =
+  match cur st with
+  | IDENT s -> advance st; s
+  | t -> err st ("expected an identifier, found " ^ token_name t)
+
+let parse_num st =
+  match cur st with
+  | NUM n -> advance st; n
+  | MINUS -> (
+      advance st;
+      match cur st with
+      | NUM n -> advance st; Int32.neg n
+      | t -> err st ("expected a number, found " ^ token_name t))
+  | t -> err st ("expected a number, found " ^ token_name t)
+
+(* --- expressions ----------------------------------------------------- *)
+
+let rec parse_expr st : expr =
+  let c = parse_binary st 0 in
+  if accept st QUESTION then begin
+    let a = parse_expr st in
+    expect st COLON;
+    let b = parse_expr st in
+    Econd (c, a, b)
+  end
+  else c
+
+(* Binary operators by C precedence, lowest level first. *)
+and binop_levels =
+  [|
+    [ (OROR, Blor) ];
+    [ (ANDAND, Bland) ];
+    [ (PIPE, Bor) ];
+    [ (CARET, Bxor) ];
+    [ (AMP, Band) ];
+    [ (EQEQ, Beq); (NE, Bne) ];
+    [ (LT, Blt); (LE, Ble); (GT, Bgt); (GE, Bge) ];
+    [ (SHL, Bshl); (SHR, Bshr) ];
+    [ (PLUS, Badd); (MINUS, Bsub) ];
+    [ (STAR, Bmul); (SLASH, Bdiv); (PERCENT, Bmod) ];
+  |]
+
+and parse_binary st level : expr =
+  if level >= Array.length binop_levels then parse_unary st
+  else begin
+    let lhs = ref (parse_binary st (level + 1)) in
+    let continue = ref true in
+    while !continue do
+      match List.assoc_opt (cur st) binop_levels.(level) with
+      | Some op ->
+          advance st;
+          let rhs = parse_binary st (level + 1) in
+          lhs := Ebin (op, !lhs, rhs)
+      | None -> continue := false
+    done;
+    !lhs
+  end
+
+and parse_unary st : expr =
+  match cur st with
+  | MINUS -> advance st; Eun (Uneg, parse_unary st)
+  | TILDE -> advance st; Eun (Ubnot, parse_unary st)
+  | BANG -> advance st; Eun (Ulnot, parse_unary st)
+  | PLUS -> advance st; parse_unary st
+  | _ -> parse_primary st
+
+and parse_primary st : expr =
+  match cur st with
+  | NUM n -> advance st; Enum n
+  | LPAREN ->
+      advance st;
+      (* C casts: (int) / (uint) change the signedness interpretation *)
+      (match cur st with
+      | (INT_KW | UINT_KW) ->
+          let ty = parse_ty st in
+          expect st RPAREN;
+          Ecast (ty, parse_unary st)
+      | _ ->
+          let e = parse_expr st in
+          expect st RPAREN;
+          e)
+  | IDENT name -> (
+      advance st;
+      match cur st with
+      | LPAREN ->
+          advance st;
+          let args = parse_args st in
+          Ecall (name, args)
+      | LBRACK ->
+          let idx = parse_indices st in
+          Eindex (name, idx)
+      | _ -> Evar name)
+  | t -> err st ("expected an expression, found " ^ token_name t)
+
+and parse_args st =
+  if accept st RPAREN then []
+  else begin
+    let rec go acc =
+      let e = parse_expr st in
+      if accept st COMMA then go (e :: acc)
+      else begin
+        expect st RPAREN;
+        List.rev (e :: acc)
+      end
+    in
+    go []
+  end
+
+and parse_indices st =
+  let rec go acc =
+    if accept st LBRACK then begin
+      let e = parse_expr st in
+      expect st RBRACK;
+      go (e :: acc)
+    end
+    else List.rev acc
+  in
+  go []
+
+(* --- statements ------------------------------------------------------ *)
+
+let parse_lvalue st =
+  let lname = parse_ident st in
+  let lindex = parse_indices st in
+  { lname; lindex }
+
+let lvalue_expr lv =
+  if lv.lindex = [] then Evar lv.lname else Eindex (lv.lname, lv.lindex)
+
+let binop_of_opassign st = function
+  | "+" -> Badd | "-" -> Bsub | "*" -> Bmul | "/" -> Bdiv | "%" -> Bmod
+  | "&" -> Band | "|" -> Bor | "^" -> Bxor | "<<" -> Bshl | ">>" -> Bshr
+  | s -> err st ("bad compound assignment " ^ s)
+
+(* assignment / increment / call — no trailing semicolon *)
+let parse_simple st : stmt =
+  match cur st with
+  | PLUSPLUS | MINUSMINUS ->
+      let op = if cur st = PLUSPLUS then Badd else Bsub in
+      advance st;
+      let lv = parse_lvalue st in
+      Sassign (lv, Ebin (op, lvalue_expr lv, Enum 1l))
+  | IDENT name when fst st.toks.(st.pos + 1) = LPAREN ->
+      advance st;
+      advance st;
+      let args = parse_args st in
+      Sexpr (Ecall (name, args))
+  | _ -> (
+      let lv = parse_lvalue st in
+      match cur st with
+      | ASSIGN ->
+          advance st;
+          Sassign (lv, parse_expr st)
+      | OPASSIGN op ->
+          advance st;
+          let rhs = parse_expr st in
+          Sassign (lv, Ebin (binop_of_opassign st op, lvalue_expr lv, rhs))
+      | PLUSPLUS ->
+          advance st;
+          Sassign (lv, Ebin (Badd, lvalue_expr lv, Enum 1l))
+      | MINUSMINUS ->
+          advance st;
+          Sassign (lv, Ebin (Bsub, lvalue_expr lv, Enum 1l))
+      | t -> err st ("expected an assignment, found " ^ token_name t))
+
+let rec parse_init st : init =
+  if accept st LBRACE then begin
+    if accept st RBRACE then Ilist []
+    else begin
+      let rec go acc =
+        let i = parse_init st in
+        if accept st COMMA then
+          if cur st = RBRACE then begin advance st; List.rev (i :: acc) end
+          else go (i :: acc)
+        else begin
+          expect st RBRACE;
+          List.rev (i :: acc)
+        end
+      in
+      Ilist (go [])
+    end
+  end
+  else Iexpr (parse_expr st)
+
+let parse_dims st =
+  let rec go acc =
+    if accept st LBRACK then begin
+      let n = Int32.to_int (parse_num st) in
+      expect st RBRACK;
+      go (n :: acc)
+    end
+    else List.rev acc
+  in
+  go []
+
+let parse_decl st : decl =
+  ignore (accept st CONST);
+  let dty = parse_ty st in
+  let dname = parse_ident st in
+  let ddims = parse_dims st in
+  let dinit = if accept st ASSIGN then Some (parse_init st) else None in
+  { dname; dty; ddims; dinit }
+
+let starts_decl st =
+  match cur st with INT_KW | UINT_KW | CONST -> true | _ -> false
+
+let rec parse_stmt st : stmt =
+  match cur st with
+  | LBRACE ->
+      advance st;
+      let rec go acc =
+        if accept st RBRACE then Sblock (List.rev acc)
+        else go (parse_stmt st :: acc)
+      in
+      go []
+  | SEMI -> advance st; Sblock []
+  | IF ->
+      advance st;
+      expect st LPAREN;
+      let c = parse_expr st in
+      expect st RPAREN;
+      let t = parse_stmt st in
+      let e = if accept st ELSE then Some (parse_stmt st) else None in
+      Sif (c, t, e)
+  | WHILE ->
+      advance st;
+      expect st LPAREN;
+      let c = parse_expr st in
+      expect st RPAREN;
+      Swhile (c, parse_stmt st)
+  | DO ->
+      advance st;
+      let body = parse_stmt st in
+      expect st WHILE;
+      expect st LPAREN;
+      let c = parse_expr st in
+      expect st RPAREN;
+      expect st SEMI;
+      Sdo (body, c)
+  | FOR ->
+      advance st;
+      expect st LPAREN;
+      let init =
+        if cur st = SEMI then None
+        else if starts_decl st then Some (Sdecl (parse_decl st))
+        else Some (parse_simple st)
+      in
+      expect st SEMI;
+      let cond = if cur st = SEMI then None else Some (parse_expr st) in
+      expect st SEMI;
+      let step = if cur st = RPAREN then None else Some (parse_simple st) in
+      expect st RPAREN;
+      Sfor (init, cond, step, parse_stmt st)
+  | RETURN ->
+      advance st;
+      let v = if cur st = SEMI then None else Some (parse_expr st) in
+      expect st SEMI;
+      Sret v
+  | BREAK -> advance st; expect st SEMI; Sbreak
+  | CONTINUE -> advance st; expect st SEMI; Scont
+  | _ when starts_decl st ->
+      let d = parse_decl st in
+      expect st SEMI;
+      Sdecl d
+  | _ ->
+      let s = parse_simple st in
+      expect st SEMI;
+      s
+
+let parse_param st : param =
+  let pty = parse_ty st in
+  let pname = parse_ident st in
+  if cur st = LBRACK then begin
+    (* array parameter: first dimension may be empty *)
+    expect st LBRACK;
+    let first = if cur st = RBRACK then 0 else Int32.to_int (parse_num st) in
+    expect st RBRACK;
+    let rest = parse_dims st in
+    { pname; pty; pdims = Some (first :: rest) }
+  end
+  else { pname; pty; pdims = None }
+
+let parse_params st =
+  expect st LPAREN;
+  if accept st RPAREN then []
+  else if cur st = VOID && fst st.toks.(st.pos + 1) = RPAREN then begin
+    advance st;
+    advance st;
+    []
+  end
+  else begin
+    let rec go acc =
+      let p = parse_param st in
+      if accept st COMMA then go (p :: acc)
+      else begin
+        expect st RPAREN;
+        List.rev (p :: acc)
+      end
+    in
+    go []
+  end
+
+let parse_top st : top =
+  let const = accept st CONST in
+  let ty = parse_ty st in
+  let name = parse_ident st in
+  if cur st = LPAREN then begin
+    if const then err st "functions cannot be const";
+    let params = parse_params st in
+    match parse_stmt st with
+    | Sblock body -> Tfunc { fname = name; fret = ty; fparams = params; fbody = body }
+    | _ -> err st "expected a function body"
+  end
+  else begin
+    let ddims = parse_dims st in
+    let dinit = if accept st ASSIGN then Some (parse_init st) else None in
+    expect st SEMI;
+    Tglobal { dname = name; dty = ty; ddims; dinit }
+  end
+
+let parse_program (src : string) : program =
+  let toks =
+    try Lexer.tokenize src
+    with Lexer.Error (msg, line) -> raise (Error ("lexer: " ^ msg, line))
+  in
+  let st = { toks = Array.of_list toks; pos = 0 } in
+  let rec go acc = if cur st = EOF then List.rev acc else go (parse_top st :: acc) in
+  go []

@@ -1,0 +1,507 @@
+(* Type checker and elaborator.
+
+   Produces a typed AST with all signed/unsigned operator choices resolved
+   to IR-level operations (C's usual arithmetic conversions restricted to
+   int/uint), local variables renamed to unique slots, global initializers
+   constant-folded, and the Twill input restrictions enforced: no
+   recursion, no 64-bit values, constant array bounds. *)
+
+open Ast
+
+exception Error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+type vkind = Kglobal | Klocal of int | Kparam of int
+
+type vref = {
+  vname : string;
+  vkind : vkind;
+  velem : ty; (* Tint or Tuint *)
+  vdims : int list; (* [] for scalars *)
+  vconst : bool;
+}
+
+type texpr =
+  | Tnum of int32
+  | Tvar of vref
+  | Tindex of vref * texpr list
+  | Tarith of Twill_ir.Ir.binop * texpr * texpr
+  | Tcmp of Twill_ir.Ir.icmp * texpr * texpr
+  | Tand of texpr * texpr (* short-circuit *)
+  | Tor of texpr * texpr
+  | Tcall of string * targ list
+  | Tcond of texpr * texpr * texpr
+
+and targ = Aval of texpr | Aarr of vref
+
+type tstmt =
+  | TSblock of tstmt list
+  | TSif of texpr * tstmt * tstmt option
+  | TSwhile of texpr * tstmt
+  | TSdo of tstmt * texpr
+  | TSfor of tstmt option * texpr option * tstmt option * tstmt
+  | TSret of texpr option
+  | TSbreak
+  | TScont
+  | TSdecl_scalar of int * texpr option
+  | TSdecl_array of int * int list * int32 array option
+  | TSassign_var of vref * texpr
+  | TSassign_idx of vref * texpr list * texpr
+  | TSexpr of texpr
+
+type tfunc = {
+  tfname : string;
+  tfret : ty;
+  tfparams : vref list; (* Kparam refs in order *)
+  tfnlocals : int;
+  tflocals : (int * int list) list; (* slot, dims — for alloca sizing *)
+  tfbody : tstmt list;
+}
+
+type tglobal = {
+  tgname : string;
+  tgelem : ty;
+  tgdims : int list;
+  tgconst : bool;
+  tginit : int32 array; (* flattened, zero-padded *)
+}
+
+type tprog = { tglobals : tglobal list; tfuncs : tfunc list }
+
+let words_of_dims dims = List.fold_left ( * ) 1 dims
+
+(* --- constant evaluation (global initializers, dims are literals) ----- *)
+
+let rec const_eval (e : expr) : int32 =
+  match e with
+  | Enum n -> n
+  | Ecast (_, a) -> const_eval a
+  | Eun (Uneg, a) -> Int32.neg (const_eval a)
+  | Eun (Ubnot, a) -> Int32.lognot (const_eval a)
+  | Eun (Ulnot, a) -> if const_eval a = 0l then 1l else 0l
+  | Ebin (op, a, b) -> (
+      let a = const_eval a and b = const_eval b in
+      let open Int32 in
+      match op with
+      | Badd -> add a b
+      | Bsub -> sub a b
+      | Bmul -> mul a b
+      | Bdiv -> if b = 0l then err "division by zero in constant" else div a b
+      | Bmod -> if b = 0l then err "mod by zero in constant" else rem a b
+      | Band -> logand a b
+      | Bor -> logor a b
+      | Bxor -> logxor a b
+      | Bshl -> shift_left a (to_int b land 31)
+      | Bshr -> shift_right a (to_int b land 31)
+      | Blt -> if compare a b < 0 then 1l else 0l
+      | Ble -> if compare a b <= 0 then 1l else 0l
+      | Bgt -> if compare a b > 0 then 1l else 0l
+      | Bge -> if compare a b >= 0 then 1l else 0l
+      | Beq -> if a = b then 1l else 0l
+      | Bne -> if a <> b then 1l else 0l
+      | Bland -> if a <> 0l && b <> 0l then 1l else 0l
+      | Blor -> if a <> 0l || b <> 0l then 1l else 0l)
+  | _ -> err "global initializers must be constant expressions"
+
+(* Flattens a (possibly nested) initializer into a row-major array. *)
+let flatten_init ~what (dims : int list) (i : init) : int32 array =
+  let total = words_of_dims dims in
+  let out = Array.make total 0l in
+  let rec fill dims offset i =
+    match (dims, i) with
+    | [], Iexpr e -> out.(offset) <- const_eval e
+    | [], Ilist _ -> err "%s: scalar initialized with a list" what
+    | _ :: _, Iexpr _ when dims <> [] && List.length dims >= 1 ->
+        err "%s: array initialized with a scalar" what
+    | d :: rest, Ilist items ->
+        let stride = words_of_dims rest in
+        (* A flat list may initialise a multi-dimensional array (C allows
+           it); detect by items being expressions when rest <> []. *)
+        if rest <> [] && List.for_all (function Iexpr _ -> true | _ -> false) items
+        then begin
+          if List.length items > total - offset then
+            err "%s: too many initializers" what;
+          List.iteri
+            (fun k it ->
+              match it with
+              | Iexpr e -> out.(offset + k) <- const_eval e
+              | Ilist _ -> assert false)
+            items
+        end
+        else begin
+          if List.length items > d then err "%s: too many initializers" what;
+          List.iteri (fun k it -> fill rest (offset + (k * stride)) it) items
+        end
+    | _ -> err "%s: initializer shape mismatch" what
+  in
+  (match (dims, i) with
+  | [], Iexpr e -> out.(0) <- const_eval e
+  | _ -> fill dims 0 i);
+  out
+
+(* --- environments ----------------------------------------------------- *)
+
+type fsig = { sret : ty; sparams : (ty * int list option) list }
+
+type env = {
+  globals : (string, vref) Hashtbl.t;
+  funcs : (string, fsig) Hashtbl.t;
+  mutable scopes : (string, vref) Hashtbl.t list;
+  mutable nlocals : int;
+  mutable local_dims : (int * int list) list;
+  mutable loop_depth : int;
+  mutable calls : string list; (* callees of current function *)
+  fret : ty;
+}
+
+let push_scope env = env.scopes <- Hashtbl.create 8 :: env.scopes
+let pop_scope env =
+  match env.scopes with [] -> assert false | _ :: rest -> env.scopes <- rest
+
+let lookup_var env name =
+  let rec go = function
+    | [] -> Hashtbl.find_opt env.globals name
+    | sc :: rest -> (
+        match Hashtbl.find_opt sc name with Some v -> Some v | None -> go rest)
+  in
+  match go env.scopes with
+  | Some v -> v
+  | None -> err "undeclared variable %s" name
+
+let declare_local env name elem dims =
+  (match env.scopes with
+  | sc :: _ when Hashtbl.mem sc name -> err "redeclaration of %s" name
+  | _ -> ());
+  let slot = env.nlocals in
+  env.nlocals <- env.nlocals + 1;
+  env.local_dims <- (slot, dims) :: env.local_dims;
+  let v =
+    { vname = name; vkind = Klocal slot; velem = elem; vdims = dims; vconst = false }
+  in
+  (match env.scopes with
+  | sc :: _ -> Hashtbl.replace sc name v
+  | [] -> assert false);
+  v
+
+(* --- expression typing ------------------------------------------------ *)
+
+let promote a b =
+  match (a, b) with Tuint, _ | _, Tuint -> Tuint | _ -> Tint
+
+let check_scalar_ty = function
+  | Tvoid -> err "void value used in an expression"
+  | t -> t
+
+open Twill_ir.Ir
+
+let rec type_expr env (e : expr) : texpr * ty =
+  match e with
+  | Enum n -> (Tnum n, Tint)
+  | Evar name ->
+      let v = lookup_var env name in
+      if v.vdims <> [] then err "array %s used as a scalar" name;
+      (Tvar v, v.velem)
+  | Eindex (name, idx) ->
+      let v = lookup_var env name in
+      if v.vdims = [] then err "%s is not an array" name;
+      if List.length idx <> List.length v.vdims then
+        err "%s: expected %d indices, got %d" name (List.length v.vdims)
+          (List.length idx);
+      let tidx = List.map (fun i -> fst (type_expr env i)) idx in
+      (Tindex (v, tidx), v.velem)
+  | Ecast (ty, a) ->
+      if ty = Tvoid then err "cannot cast to void";
+      let ta, aty = type_expr env a in
+      ignore (check_scalar_ty aty);
+      (ta, ty)
+  | Eun (Uneg, a) ->
+      let ta, ty = type_expr env a in
+      (Tarith (Sub, Tnum 0l, ta), check_scalar_ty ty)
+  | Eun (Ubnot, a) ->
+      let ta, ty = type_expr env a in
+      (Tarith (Xor, ta, Tnum (-1l)), check_scalar_ty ty)
+  | Eun (Ulnot, a) ->
+      let ta, _ = type_expr env a in
+      (Tcmp (Eq, ta, Tnum 0l), Tint)
+  | Ebin (op, a, b) -> (
+      let ta, tya = type_expr env a in
+      let tb, tyb = type_expr env b in
+      let tya = check_scalar_ty tya and tyb = check_scalar_ty tyb in
+      let p = promote tya tyb in
+      let u = p = Tuint in
+      match op with
+      | Badd -> (Tarith (Add, ta, tb), p)
+      | Bsub -> (Tarith (Sub, ta, tb), p)
+      | Bmul -> (Tarith (Mul, ta, tb), p)
+      | Bdiv -> (Tarith ((if u then Udiv else Sdiv), ta, tb), p)
+      | Bmod -> (Tarith ((if u then Urem else Srem), ta, tb), p)
+      | Band -> (Tarith (And, ta, tb), p)
+      | Bor -> (Tarith (Or, ta, tb), p)
+      | Bxor -> (Tarith (Xor, ta, tb), p)
+      | Bshl -> (Tarith (Shl, ta, tb), tya)
+      | Bshr -> (Tarith ((if tya = Tuint then Lshr else Ashr), ta, tb), tya)
+      | Blt -> (Tcmp ((if u then Ult else Slt), ta, tb), Tint)
+      | Ble -> (Tcmp ((if u then Ule else Sle), ta, tb), Tint)
+      | Bgt -> (Tcmp ((if u then Ugt else Sgt), ta, tb), Tint)
+      | Bge -> (Tcmp ((if u then Uge else Sge), ta, tb), Tint)
+      | Beq -> (Tcmp (Eq, ta, tb), Tint)
+      | Bne -> (Tcmp (Ne, ta, tb), Tint)
+      | Bland -> (Tand (ta, tb), Tint)
+      | Blor -> (Tor (ta, tb), Tint))
+  | Econd (c, a, b) ->
+      let tc, _ = type_expr env c in
+      let ta, tya = type_expr env a in
+      let tb, tyb = type_expr env b in
+      (Tcond (tc, ta, tb), promote (check_scalar_ty tya) (check_scalar_ty tyb))
+  | Ecall (name, args) -> type_call env name args
+
+and type_call env name args : texpr * ty =
+  if name = "print" then begin
+    match args with
+    | [ a ] ->
+        let ta, _ = type_expr env a in
+        (Tcall ("print", [ Aval ta ]), Tvoid)
+    | _ -> err "print takes exactly one argument"
+  end
+  else begin
+    let s =
+      match Hashtbl.find_opt env.funcs name with
+      | Some s -> s
+      | None -> err "call to undeclared function %s" name
+    in
+    if List.length args <> List.length s.sparams then
+      err "%s: expected %d arguments, got %d" name (List.length s.sparams)
+        (List.length args);
+    env.calls <- name :: env.calls;
+    let targs =
+      List.map2
+        (fun a (pty, pdims) ->
+          match pdims with
+          | None ->
+              let ta, ty = type_expr env a in
+              ignore (check_scalar_ty ty);
+              ignore pty;
+              Aval ta
+          | Some dims -> (
+              match a with
+              | Evar vn ->
+                  let v = lookup_var env vn in
+                  if v.vdims = [] then
+                    err "%s: argument %s is not an array" name vn;
+                  if v.velem <> pty then
+                    err "%s: array element type mismatch for %s" name vn;
+                  let tail l = match l with [] -> [] | _ :: t -> t in
+                  if tail v.vdims <> tail dims then
+                    err "%s: array dimension mismatch for %s" name vn;
+                  Aarr v
+              | _ -> err "%s: array arguments must be array names" name))
+        args s.sparams
+    in
+    (Tcall (name, targs), s.sret)
+  end
+
+(* --- statement typing ------------------------------------------------- *)
+
+let rec type_stmt env (s : stmt) : tstmt =
+  match s with
+  | Sblock ss ->
+      push_scope env;
+      let ts = List.map (type_stmt env) ss in
+      pop_scope env;
+      TSblock ts
+  | Sif (c, t, e) ->
+      let tc, _ = type_expr env c in
+      TSif (tc, type_stmt env t, Option.map (type_stmt env) e)
+  | Swhile (c, body) ->
+      let tc, _ = type_expr env c in
+      env.loop_depth <- env.loop_depth + 1;
+      let tbody = type_stmt env body in
+      env.loop_depth <- env.loop_depth - 1;
+      TSwhile (tc, tbody)
+  | Sdo (body, c) ->
+      env.loop_depth <- env.loop_depth + 1;
+      let tbody = type_stmt env body in
+      env.loop_depth <- env.loop_depth - 1;
+      let tc, _ = type_expr env c in
+      TSdo (tbody, tc)
+  | Sfor (init, cond, step, body) ->
+      push_scope env;
+      let tinit = Option.map (type_stmt env) init in
+      let tcond = Option.map (fun c -> fst (type_expr env c)) cond in
+      let tstep = Option.map (type_stmt env) step in
+      env.loop_depth <- env.loop_depth + 1;
+      let tbody = type_stmt env body in
+      env.loop_depth <- env.loop_depth - 1;
+      pop_scope env;
+      TSfor (tinit, tcond, tstep, tbody)
+  | Sret None ->
+      if env.fret <> Tvoid then err "return without a value in non-void function";
+      TSret None
+  | Sret (Some e) ->
+      if env.fret = Tvoid then err "return with a value in void function";
+      let te, _ = type_expr env e in
+      TSret (Some te)
+  | Sbreak ->
+      if env.loop_depth = 0 then err "break outside a loop";
+      TSbreak
+  | Scont ->
+      if env.loop_depth = 0 then err "continue outside a loop";
+      TScont
+  | Sdecl d -> (
+      if d.dty = Tvoid then err "void variable %s" d.dname;
+      List.iter (fun n -> if n <= 0 then err "bad array size for %s" d.dname) d.ddims;
+      let v = declare_local env d.dname d.dty d.ddims in
+      let slot = match v.vkind with Klocal s -> s | _ -> assert false in
+      match (d.ddims, d.dinit) with
+      | [], None -> TSdecl_scalar (slot, None)
+      | [], Some (Iexpr e) ->
+          let te, _ = type_expr env e in
+          TSdecl_scalar (slot, Some te)
+      | [], Some (Ilist _) -> err "scalar %s initialized with a list" d.dname
+      | dims, None -> TSdecl_array (slot, dims, None)
+      | dims, Some i ->
+          TSdecl_array (slot, dims, Some (flatten_init ~what:d.dname dims i)))
+  | Sassign (lv, e) ->
+      let v = lookup_var env lv.lname in
+      if v.vconst then err "assignment to const %s" lv.lname;
+      let te, _ = type_expr env e in
+      if lv.lindex = [] then begin
+        if v.vdims <> [] then err "array %s assigned as a scalar" lv.lname;
+        TSassign_var (v, te)
+      end
+      else begin
+        if List.length lv.lindex <> List.length v.vdims then
+          err "%s: expected %d indices, got %d" lv.lname (List.length v.vdims)
+            (List.length lv.lindex);
+        let tidx = List.map (fun i -> fst (type_expr env i)) lv.lindex in
+        TSassign_idx (v, tidx, te)
+      end
+  | Sexpr e ->
+      let te, _ = type_expr env e in
+      TSexpr te
+
+(* --- programs ---------------------------------------------------------- *)
+
+let check (prog : program) : tprog =
+  let globals = Hashtbl.create 32 in
+  let funcs = Hashtbl.create 32 in
+  let tglobals = ref [] in
+  let tfuncs = ref [] in
+  let call_edges = Hashtbl.create 32 in
+  List.iter
+    (function
+      | Tglobal d ->
+          if Hashtbl.mem globals d.dname then err "duplicate global %s" d.dname;
+          if d.dty = Tvoid then err "void global %s" d.dname;
+          List.iter
+            (fun n -> if n <= 0 then err "bad array size for %s" d.dname)
+            d.ddims;
+          let init =
+            match d.dinit with
+            | None -> Array.make (words_of_dims d.ddims) 0l
+            | Some i -> flatten_init ~what:d.dname d.ddims i
+          in
+          Hashtbl.replace globals d.dname
+            {
+              vname = d.dname;
+              vkind = Kglobal;
+              velem = d.dty;
+              vdims = d.ddims;
+              vconst = false;
+            };
+          tglobals :=
+            {
+              tgname = d.dname;
+              tgelem = d.dty;
+              tgdims = d.ddims;
+              tgconst = false;
+              tginit = init;
+            }
+            :: !tglobals
+      | Tfunc f ->
+          if Hashtbl.mem funcs f.fname then err "duplicate function %s" f.fname;
+          if f.fname = "print" then err "print is a reserved builtin";
+          let sparams =
+            List.map
+              (fun p ->
+                if p.pty = Tvoid then err "void parameter %s" p.pname;
+                (p.pty, p.pdims))
+              f.fparams
+          in
+          Hashtbl.replace funcs f.fname { sret = f.fret; sparams };
+          let env =
+            {
+              globals;
+              funcs;
+              scopes = [];
+              nlocals = 0;
+              local_dims = [];
+              loop_depth = 0;
+              calls = [];
+              fret = f.fret;
+            }
+          in
+          push_scope env;
+          let tfparams =
+            List.mapi
+              (fun i p ->
+                let dims = match p.pdims with None -> [] | Some ds -> ds in
+                let v =
+                  {
+                    vname = p.pname;
+                    vkind = Kparam i;
+                    velem = p.pty;
+                    vdims = dims;
+                    vconst = false;
+                  }
+                in
+                (match env.scopes with
+                | sc :: _ ->
+                    if Hashtbl.mem sc p.pname then
+                      err "duplicate parameter %s" p.pname;
+                    Hashtbl.replace sc p.pname v
+                | [] -> assert false);
+                v)
+              f.fparams
+          in
+          let tbody = List.map (type_stmt env) f.fbody in
+          pop_scope env;
+          Hashtbl.replace call_edges f.fname env.calls;
+          tfuncs :=
+            {
+              tfname = f.fname;
+              tfret = f.fret;
+              tfparams;
+              tfnlocals = env.nlocals;
+              tflocals = List.rev env.local_dims;
+              tfbody = tbody;
+            }
+            :: !tfuncs)
+    prog;
+  (* main must exist with signature int main() *)
+  (match Hashtbl.find_opt funcs "main" with
+  | None -> err "no main function"
+  | Some s ->
+      if s.sparams <> [] then err "main must take no parameters";
+      if s.sret <> Tint then err "main must return int");
+  (* reject recursion, as Twill/LegUp do *)
+  let visiting = Hashtbl.create 16 in
+  let done_ = Hashtbl.create 16 in
+  let rec visit name path =
+    if Hashtbl.mem done_ name then ()
+    else if Hashtbl.mem visiting name then
+      err "recursion is not supported: %s"
+        (String.concat " -> " (List.rev (name :: path)))
+    else begin
+      Hashtbl.replace visiting name ();
+      List.iter
+        (fun callee ->
+          if callee <> "print" then visit callee (name :: path))
+        (try Hashtbl.find call_edges name with Not_found -> []);
+      Hashtbl.remove visiting name;
+      Hashtbl.replace done_ name ()
+    end
+  in
+  Hashtbl.iter (fun name _ -> visit name []) call_edges;
+  { tglobals = List.rev !tglobals; tfuncs = List.rev !tfuncs }

@@ -1,0 +1,1 @@
+lib/passes/cfg.ml: Array List Twill_ir

@@ -1,0 +1,1 @@
+lib/passes/cfg.mli: Twill_ir

@@ -1,0 +1,1 @@
+lib/passes/constfold.ml: List Twill_ir

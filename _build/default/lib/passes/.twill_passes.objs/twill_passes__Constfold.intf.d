@@ -1,0 +1,1 @@
+lib/passes/constfold.mli: Twill_ir

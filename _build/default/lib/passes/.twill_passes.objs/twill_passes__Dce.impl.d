@@ -1,0 +1,1 @@
+lib/passes/dce.ml: Array List Twill_ir

@@ -1,0 +1,1 @@
+lib/passes/dom.ml: Array Cfg List Queue Twill_ir

@@ -1,0 +1,1 @@
+lib/passes/dom.mli: Twill_ir

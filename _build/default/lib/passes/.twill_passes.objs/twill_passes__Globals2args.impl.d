@@ -1,0 +1,1 @@
+lib/passes/globals2args.ml: Array Hashtbl List Twill_ir

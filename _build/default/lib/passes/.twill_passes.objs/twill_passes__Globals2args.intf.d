@@ -1,0 +1,1 @@
+lib/passes/globals2args.mli: Twill_ir

@@ -1,0 +1,1 @@
+lib/passes/gvn.ml: Array Dom Hashtbl List Twill_ir

@@ -1,0 +1,1 @@
+lib/passes/gvn.mli: Twill_ir

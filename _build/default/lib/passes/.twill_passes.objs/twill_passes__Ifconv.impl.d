@@ -1,0 +1,1 @@
+lib/passes/ifconv.ml: Hashtbl List Simplifycfg Twill_ir

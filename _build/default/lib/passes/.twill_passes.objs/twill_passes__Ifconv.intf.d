@@ -1,0 +1,1 @@
+lib/passes/ifconv.mli: Twill_ir

@@ -1,0 +1,1 @@
+lib/passes/inline.ml: Array Cfg Hashtbl List Twill_ir

@@ -1,0 +1,1 @@
+lib/passes/licm.ml: Array Dom List Loops Twill_ir

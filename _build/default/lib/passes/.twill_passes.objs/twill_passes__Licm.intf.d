@@ -1,0 +1,1 @@
+lib/passes/licm.mli: Twill_ir

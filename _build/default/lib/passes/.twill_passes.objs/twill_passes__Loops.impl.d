@@ -1,0 +1,1 @@
+lib/passes/loops.ml: Array Dom Hashtbl List Twill_ir

@@ -1,0 +1,1 @@
+lib/passes/loops.mli: Twill_ir

@@ -1,0 +1,1 @@
+lib/passes/mem2reg.ml: Array Dom Hashtbl List Twill_ir

@@ -1,0 +1,1 @@
+lib/passes/mem2reg.mli: Twill_ir

@@ -1,0 +1,1 @@
+lib/passes/pipeline.ml: Constfold Dce Globals2args Gvn Ifconv Inline Licm List Loops Mem2reg Simplifycfg Ssa_check Twill_ir Unroll

@@ -1,0 +1,1 @@
+lib/passes/pipeline.mli: Twill_ir

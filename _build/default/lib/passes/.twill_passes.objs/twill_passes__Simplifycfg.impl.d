@@ -1,0 +1,1 @@
+lib/passes/simplifycfg.ml: Array Cfg List Twill_ir

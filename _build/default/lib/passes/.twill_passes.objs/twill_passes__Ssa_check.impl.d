@@ -1,0 +1,1 @@
+lib/passes/ssa_check.ml: Dom Fmt Hashtbl List Twill_ir

@@ -1,0 +1,1 @@
+lib/passes/ssa_check.mli: Twill_ir

@@ -1,0 +1,1 @@
+lib/passes/unroll.ml: Array Cfg Constfold Dce Hashtbl Int32 List Loops Option Simplifycfg Twill_ir

@@ -1,0 +1,1 @@
+lib/passes/unroll.mli: Loops Twill_ir

@@ -1,0 +1,54 @@
+(* CFG traversal utilities over [Twill_ir.Ir.func]. *)
+
+open Twill_ir.Ir
+module Vec = Twill_ir.Vec
+
+(* Blocks reachable from the entry. *)
+let reachable (f : func) : bool array =
+  let n = Vec.length f.blocks in
+  let seen = Array.make n false in
+  let rec go b =
+    if not seen.(b) then begin
+      seen.(b) <- true;
+      List.iter go (succs f b)
+    end
+  in
+  go f.entry;
+  seen
+
+(* Reverse postorder over reachable blocks, entry first. *)
+let rpo (f : func) : int list =
+  let n = Vec.length f.blocks in
+  let seen = Array.make n false in
+  let out = ref [] in
+  let rec go b =
+    if not seen.(b) then begin
+      seen.(b) <- true;
+      List.iter go (succs f b);
+      out := b :: !out
+    end
+  in
+  go f.entry;
+  !out
+
+(* Generic reverse postorder over an arbitrary successor function. *)
+let rpo_of ~n ~entry ~succs : int list =
+  let seen = Array.make n false in
+  let out = ref [] in
+  let rec go b =
+    if not seen.(b) then begin
+      seen.(b) <- true;
+      List.iter go (succs b);
+      out := b :: !out
+    end
+  in
+  go entry;
+  !out
+
+(* Exit blocks: blocks terminated by a return. *)
+let exits (f : func) : int list =
+  let out = ref [] in
+  Vec.iter
+    (fun (b : block) -> match b.term with Ret _ -> out := b.bid :: !out | _ -> ())
+    f.blocks;
+  List.rev !out

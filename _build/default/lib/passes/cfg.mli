@@ -1,0 +1,8 @@
+(** CFG traversal utilities. *)
+
+open Twill_ir.Ir
+
+val reachable : func -> bool array
+val rpo : func -> int list
+val rpo_of : n:int -> entry:int -> succs:(int -> int list) -> int list
+val exits : func -> int list

@@ -1,0 +1,53 @@
+(* Constant folding, algebraic simplification and phi collapsing — the
+   "constprop"/"gvn"-lite stage of the thesis's pass list. *)
+
+open Twill_ir.Ir
+module Vec = Twill_ir.Vec
+module Interp = Twill_ir.Interp
+
+let fold_kind (k : kind) : operand option =
+  match k with
+  | Binop (op, Cst a, Cst b) -> (
+      match Interp.eval_binop op a b with
+      | v -> Some (Cst v)
+      | exception Interp.Trap _ -> None)
+  | Binop (Add, x, Cst 0l) | Binop (Add, Cst 0l, x) -> Some x
+  | Binop (Sub, x, Cst 0l) -> Some x
+  | Binop (Mul, x, Cst 1l) | Binop (Mul, Cst 1l, x) -> Some x
+  | Binop (Mul, _, Cst 0l) | Binop (Mul, Cst 0l, _) -> Some (Cst 0l)
+  | Binop ((Shl | Lshr | Ashr), x, Cst 0l) -> Some x
+  | Binop (And, _, Cst 0l) | Binop (And, Cst 0l, _) -> Some (Cst 0l)
+  | Binop (And, x, Cst (-1l)) | Binop (And, Cst (-1l), x) -> Some x
+  | Binop (Or, x, Cst 0l) | Binop (Or, Cst 0l, x) -> Some x
+  | Binop (Xor, x, Cst 0l) | Binop (Xor, Cst 0l, x) -> Some x
+  | Binop ((Sdiv | Udiv), x, Cst 1l) -> Some x
+  | Binop (Sub, Reg a, Reg b) when a = b -> Some (Cst 0l)
+  | Binop (Xor, Reg a, Reg b) when a = b -> Some (Cst 0l)
+  | Icmp (op, Cst a, Cst b) -> Some (Cst (Interp.eval_icmp op a b))
+  | Select (Cst c, a, b) -> Some (if c <> 0l then a else b)
+  | Select (_, a, b) when a = b -> Some a
+  | Gep (base, Cst 0l) -> Some base
+  | Phi ((_, v) :: rest) when List.for_all (fun (_, v') -> v' = v) rest -> (
+      (* all-same-input phi; the shared value dominates every predecessor,
+         hence the phi block itself *)
+      match v with
+      | Reg _ | Cst _ | Argv _ | Glob _ -> Some v)
+  | _ -> None
+
+let run (f : func) : bool =
+  let changed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    iter_insts f (fun i ->
+        if has_result i.kind then
+          match fold_kind i.kind with
+          | Some (Reg r) when r = i.id -> () (* self-referential phi *)
+          | Some v ->
+              replace_all_uses f ~old_id:i.id ~by:v;
+              remove_inst f i.id;
+              changed := true;
+              continue_ := true
+          | None -> ())
+  done;
+  !changed

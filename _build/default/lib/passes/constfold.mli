@@ -1,0 +1,6 @@
+(** Constant folding, algebraic simplification and same-input phi
+    collapsing.  Division by a constant zero is left in place (it traps at
+    run time, matching the interpreter). *)
+
+val fold_kind : Twill_ir.Ir.kind -> Twill_ir.Ir.operand option
+val run : Twill_ir.Ir.func -> bool

@@ -1,0 +1,75 @@
+(* Dead-code elimination (the "adce" stage): removes result-producing
+   instructions with no side effects and no uses, iterating to a fixpoint
+   so whole dead chains disappear. *)
+
+open Twill_ir.Ir
+module Vec = Twill_ir.Vec
+
+let count_uses (f : func) : int array =
+  let uses = Array.make (Vec.length f.insts) 0 in
+  let count = function Reg r -> uses.(r) <- uses.(r) + 1 | _ -> () in
+  iter_insts f (fun i -> List.iter count (operands i));
+  Vec.iter
+    (fun (b : block) ->
+      match b.term with
+      | Cond_br (c, _, _) -> count c
+      | Ret (Some v) -> count v
+      | Br _ | Ret None -> ())
+    f.blocks;
+  uses
+
+let run (f : func) : bool =
+  let changed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    let uses = count_uses f in
+    iter_insts f (fun i ->
+        let removable =
+          match i.kind with
+          | Dead -> false
+          | Alloca _ -> uses.(i.id) = 0 (* an unused address is dead *)
+          | k ->
+              (not (has_side_effect k))
+              && ((not (has_result k)) || uses.(i.id) = 0)
+        in
+        if removable then begin
+          remove_inst f i.id;
+          changed := true;
+          continue_ := true
+        end)
+  done;
+  !changed
+
+(* Also drop calls to functions that are pure and whose result is unused.
+   Purity: no stores, prints, queue or semaphore operations, and only
+   calls to pure functions. *)
+let rec is_pure (m : modul) ?(seen = []) (name : string) : bool =
+  if List.mem name seen then true
+  else
+    match List.find_opt (fun f -> f.name = name) m.funcs with
+    | None -> false
+    | Some f ->
+        fold_insts f
+          (fun acc i ->
+            acc
+            &&
+            match i.kind with
+            | Store _ | Print _ | Produce _ | Consume _ | Sem_give _
+            | Sem_take _ ->
+                false
+            | Call (callee, _) -> is_pure m ~seen:(name :: seen) callee
+            | _ -> true)
+          true
+
+let run_with_calls (m : modul) (f : func) : bool =
+  let uses = count_uses f in
+  let changed = ref false in
+  iter_insts f (fun i ->
+      match i.kind with
+      | Call (callee, _) when uses.(i.id) = 0 && is_pure m callee ->
+          remove_inst f i.id;
+          changed := true
+      | _ -> ());
+  let c2 = run f in
+  !changed || c2

@@ -1,0 +1,9 @@
+(** Dead-code elimination: removes side-effect-free instructions with no
+    uses (whole chains, to a fixpoint) and unused allocas;
+    {!run_with_calls} additionally drops unused calls to provably pure
+    functions. *)
+
+val count_uses : Twill_ir.Ir.func -> int array
+val run : Twill_ir.Ir.func -> bool
+val is_pure : Twill_ir.Ir.modul -> ?seen:string list -> string -> bool
+val run_with_calls : Twill_ir.Ir.modul -> Twill_ir.Ir.func -> bool

@@ -1,0 +1,134 @@
+(* Dominator and post-dominator trees via the Cooper-Harvey-Kennedy
+   iterative algorithm, plus dominance frontiers (used by mem2reg's phi
+   placement and by the DSWP control-equivalence test). *)
+
+open Twill_ir.Ir
+module Vec = Twill_ir.Vec
+
+type tree = {
+  n : int;
+  entry : int;
+  idom : int array; (* idom.(entry) = entry; -1 for unreachable nodes *)
+  depth : int array; (* depth in the dominator tree, entry = 0; -1 unreachable *)
+  rpo_index : int array; (* position in reverse postorder; -1 unreachable *)
+}
+
+(* Builds a dominator tree for an arbitrary graph shape, which lets the
+   same code serve CFGs (dominators) and reversed CFGs with a virtual exit
+   (post-dominators). *)
+let build_generic ~n ~entry ~(succs : int -> int list) : tree =
+  let order = Cfg.rpo_of ~n ~entry ~succs in
+  let rpo_index = Array.make n (-1) in
+  List.iteri (fun k b -> rpo_index.(b) <- k) order;
+  let preds = Array.make n [] in
+  List.iter
+    (fun b -> List.iter (fun s -> preds.(s) <- b :: preds.(s)) (succs b))
+    order;
+  let idom = Array.make n (-1) in
+  idom.(entry) <- entry;
+  let rec intersect a b =
+    if a = b then a
+    else if rpo_index.(a) > rpo_index.(b) then intersect idom.(a) b
+    else intersect a idom.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        if b <> entry then begin
+          let processed =
+            List.filter (fun p -> idom.(p) >= 0 && rpo_index.(p) >= 0) preds.(b)
+          in
+          match processed with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(b) <> new_idom then begin
+                idom.(b) <- new_idom;
+                changed := true
+              end
+        end)
+      order
+  done;
+  let depth = Array.make n (-1) in
+  depth.(entry) <- 0;
+  let rec depth_of b =
+    if depth.(b) >= 0 then depth.(b)
+    else begin
+      let d = 1 + depth_of idom.(b) in
+      depth.(b) <- d;
+      d
+    end
+  in
+  List.iter (fun b -> if idom.(b) >= 0 then ignore (depth_of b)) order;
+  { n; entry; idom; depth; rpo_index }
+
+(* Dominator tree of a function's CFG. *)
+let dominators (f : func) : tree =
+  build_generic ~n:(Vec.length f.blocks) ~entry:f.entry ~succs:(succs f)
+
+(* Post-dominator tree: reversed CFG rooted at a virtual exit node (index
+   [Vec.length f.blocks]) with an edge to every return block.  Blocks that
+   cannot reach an exit (infinite loops) end up unreachable; callers must
+   treat them conservatively. *)
+let post_dominators (f : func) : tree =
+  recompute_cfg f;
+  let n = Vec.length f.blocks in
+  let virtual_exit = n in
+  let exit_blocks = Cfg.exits f in
+  let succs b =
+    if b = virtual_exit then exit_blocks
+    else (block f b).preds
+  in
+  build_generic ~n:(n + 1) ~entry:virtual_exit ~succs
+
+let is_reachable t b = t.idom.(b) >= 0
+
+(* Does [a] dominate [b]?  Reflexive.  False if either is unreachable. *)
+let dominates t a b =
+  if not (is_reachable t a) || not (is_reachable t b) then false
+  else begin
+    let rec climb x = if x = a then true else if x = t.entry then false else climb t.idom.(x) in
+    climb b
+  end
+
+let strictly_dominates t a b = a <> b && dominates t a b
+
+(* Dominance frontier of every node (Cooper's two-finger method). *)
+let frontiers (t : tree) ~(preds : int -> int list) : int list array =
+  let df = Array.make t.n [] in
+  for b = 0 to t.n - 1 do
+    if is_reachable t b then begin
+      let ps = List.filter (is_reachable t) (preds b) in
+      if List.length ps >= 2 then
+        List.iter
+          (fun p ->
+            let runner = ref p in
+            while !runner <> t.idom.(b) do
+              if not (List.mem b df.(!runner)) then df.(!runner) <- b :: df.(!runner);
+              runner := t.idom.(!runner)
+            done)
+          ps
+    end
+  done;
+  df
+
+(* Iterated dominance frontier of a set of blocks. *)
+let iterated_frontier (df : int list array) (blocks : int list) : int list =
+  let in_set = Array.make (Array.length df) false in
+  let out = ref [] in
+  let work = Queue.create () in
+  List.iter (fun b -> Queue.add b work) blocks;
+  while not (Queue.is_empty work) do
+    let b = Queue.pop work in
+    List.iter
+      (fun d ->
+        if not in_set.(d) then begin
+          in_set.(d) <- true;
+          out := d :: !out;
+          Queue.add d work
+        end)
+      df.(b)
+  done;
+  !out

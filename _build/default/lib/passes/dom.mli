@@ -1,0 +1,33 @@
+(** Dominator and post-dominator trees via the Cooper-Harvey-Kennedy
+    iterative algorithm, plus dominance frontiers (used by mem2reg's phi
+    placement, control-dependence computation and the DSWP relevance
+    closure). *)
+
+open Twill_ir.Ir
+
+type tree = {
+  n : int;
+  entry : int;
+  idom : int array;  (** idom.(entry) = entry; -1 unreachable *)
+  depth : int array;
+  rpo_index : int array;
+}
+
+val build_generic : n:int -> entry:int -> succs:(int -> int list) -> tree
+(** Works on any graph shape — CFGs for dominators, reversed CFGs with a
+    virtual exit for post-dominators. *)
+
+val dominators : func -> tree
+
+val post_dominators : func -> tree
+(** Rooted at a virtual exit node (index = number of blocks) with an edge
+    to every return block; blocks that cannot reach an exit are
+    unreachable in this tree and must be treated conservatively. *)
+
+val is_reachable : tree -> int -> bool
+val dominates : tree -> int -> int -> bool
+(** Reflexive; false if either node is unreachable. *)
+
+val strictly_dominates : tree -> int -> int -> bool
+val frontiers : tree -> preds:(int -> int list) -> int list array
+val iterated_frontier : int list array -> int list -> int list

@@ -1,0 +1,116 @@
+(* Twill's custom globals pass (§5.2, first DSWP pass): every function
+   receives the addresses of the globals it (transitively) touches as
+   extra trailing parameters, so that after this pass the only direct uses
+   of globals in the whole program are address-taking instructions at the
+   top of [main].  On the real system this is what lets LegUp keep all
+   global state in the processor's coherent memory instead of synthesising
+   per-thread FPGA memory blocks. *)
+
+open Twill_ir.Ir
+module Vec = Twill_ir.Vec
+
+(* Globals a function touches directly. *)
+let direct_globals (f : func) : string list =
+  let acc = ref [] in
+  let add g = if not (List.mem g !acc) then acc := g :: !acc in
+  iter_insts f (fun i ->
+      List.iter (function Glob g -> add g | _ -> ()) (operands i));
+  Vec.iter
+    (fun (b : block) ->
+      match b.term with
+      | Cond_br (Glob g, _, _) | Ret (Some (Glob g)) -> add g
+      | _ -> ())
+    f.blocks;
+  List.rev !acc
+
+let run (m : modul) : bool =
+  (* transitive closure over the (acyclic) call graph *)
+  let needs : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+  let rec compute (f : func) : string list =
+    match Hashtbl.find_opt needs f.name with
+    | Some gs -> gs
+    | None ->
+        let gs = ref (direct_globals f) in
+        iter_insts f (fun i ->
+            match i.kind with
+            | Call (callee, _) ->
+                List.iter
+                  (fun g -> if not (List.mem g !gs) then gs := !gs @ [ g ])
+                  (compute (find_func m callee))
+            | _ -> ());
+        Hashtbl.replace needs f.name !gs;
+        !gs
+  in
+  List.iter (fun f -> ignore (compute f)) m.funcs;
+  let changed = ref false in
+  List.iter
+    (fun f ->
+      let gs = Hashtbl.find needs f.name in
+      if gs <> [] || List.exists (fun f' -> f'.name <> f.name) m.funcs then begin
+        (* operand rewriting: how this function names each global address *)
+        let addr_of : (string, operand) Hashtbl.t = Hashtbl.create 8 in
+        if f.name = "main" then begin
+          (* materialise address-taking instructions at the top of main *)
+          let entry = block f f.entry in
+          let taken =
+            List.map
+              (fun g ->
+                let i = new_inst f (Gep (Glob g, Cst 0l)) in
+                i.block <- entry.bid;
+                Hashtbl.replace addr_of g (Reg i.id);
+                i.id)
+              gs
+          in
+          entry.insts <- taken @ entry.insts;
+          if gs <> [] then changed := true
+        end
+        else begin
+          List.iteri
+            (fun k g -> Hashtbl.replace addr_of g (Argv (f.nparams + k)))
+            gs;
+          if gs <> [] then begin
+            f.nparams <- f.nparams + List.length gs;
+            changed := true
+          end
+        end;
+        (* replace direct global uses (skipping the address-taking geps we
+           just created in main, which must keep their Glob operands) *)
+        let fresh = Hashtbl.create 8 in
+        if f.name = "main" then
+          List.iter
+            (fun g ->
+              match Hashtbl.find addr_of g with
+              | Reg id -> Hashtbl.replace fresh id ()
+              | _ -> ())
+            gs;
+        let subst o =
+          match o with
+          | Glob g -> (
+              match Hashtbl.find_opt addr_of g with Some a -> a | None -> o)
+          | _ -> o
+        in
+        iter_insts f (fun i ->
+            if not (Hashtbl.mem fresh i.id) then begin
+              (* append the callee's global-address arguments *)
+              (match i.kind with
+              | Call (callee, args) ->
+                  let cgs = Hashtbl.find needs callee in
+                  if cgs <> [] then begin
+                    let extra =
+                      List.map (fun g -> Hashtbl.find addr_of g) cgs
+                    in
+                    i.kind <- Call (callee, Array.append args (Array.of_list extra))
+                  end
+              | _ -> ());
+              i.kind <- map_operands_kind subst i.kind
+            end);
+        Vec.iter
+          (fun (b : block) ->
+            match b.term with
+            | Cond_br (c, x, y) -> b.term <- Cond_br (subst c, x, y)
+            | Ret (Some v) -> b.term <- Ret (Some (subst v))
+            | Br _ | Ret None -> ())
+          f.blocks
+      end)
+    m.funcs;
+  !changed

@@ -1,0 +1,9 @@
+(** Twill's custom globals pass (thesis §5.2, first DSWP pass): every
+    function receives the addresses of the globals it transitively touches
+    as extra trailing parameters; after this pass the only direct global
+    uses are address-taking instructions at the top of [main].  On the
+    real system this keeps global state in the processor's coherent memory
+    rather than per-thread FPGA memory blocks. *)
+
+val direct_globals : Twill_ir.Ir.func -> string list
+val run : Twill_ir.Ir.modul -> bool

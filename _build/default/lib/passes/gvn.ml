@@ -1,0 +1,83 @@
+(* Global value numbering ("gvn" in the thesis's pass list §5.1):
+   dominator-tree-scoped hashing of pure expressions — an instruction
+   computing a value already computed by a dominating instruction is
+   replaced by it.  Commutative operations are canonicalised.  Also
+   performs block-local redundant-load elimination (conservatively
+   invalidated by any store or call). *)
+
+open Twill_ir.Ir
+module Vec = Twill_ir.Vec
+
+(* Canonical key for a pure computation. *)
+type key =
+  | Kbin of binop * operand * operand
+  | Kicmp of icmp * operand * operand
+  | Ksel of operand * operand * operand
+  | Kgep of operand * operand
+
+let commutative = function
+  | Add | Mul | And | Or | Xor -> true
+  | Sub | Sdiv | Udiv | Srem | Urem | Shl | Lshr | Ashr -> false
+
+let key_of (k : kind) : key option =
+  match k with
+  | Binop (op, a, b) ->
+      let a, b = if commutative op && b < a then (b, a) else (a, b) in
+      Some (Kbin (op, a, b))
+  | Icmp (op, a, b) -> Some (Kicmp (op, a, b))
+  | Select (c, a, b) -> Some (Ksel (c, a, b))
+  | Gep (a, b) -> Some (Kgep (a, b))
+  | _ -> None
+
+let run (f : func) : bool =
+  recompute_cfg f;
+  let dom = Dom.dominators f in
+  let children = Array.make (Vec.length f.blocks) [] in
+  Array.iteri
+    (fun b id ->
+      if id >= 0 && b <> dom.Dom.entry then children.(id) <- b :: children.(id))
+    dom.Dom.idom;
+  let table : (key, operand) Hashtbl.t = Hashtbl.create 64 in
+  let changed = ref false in
+  let to_remove = ref [] in
+  let rec visit b =
+    let added = ref [] in
+    (* block-local load CSE: keyed by syntactic address *)
+    let loads : (operand, operand) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun id ->
+        let i = inst f id in
+        match key_of i.kind with
+        | Some key -> (
+            match Hashtbl.find_opt table key with
+            | Some v ->
+                replace_all_uses f ~old_id:id ~by:v;
+                to_remove := id :: !to_remove;
+                changed := true
+            | None ->
+                Hashtbl.add table key (Reg id);
+                added := key :: !added)
+        | None -> (
+            match i.kind with
+            | Load a -> (
+                match Hashtbl.find_opt loads a with
+                | Some v ->
+                    replace_all_uses f ~old_id:id ~by:v;
+                    to_remove := id :: !to_remove;
+                    changed := true
+                | None -> Hashtbl.replace loads a (Reg id))
+            | Store (a, v) ->
+                (* a store makes its own cell's value known and kills the
+                   rest (conservative: everything may alias) *)
+                Hashtbl.reset loads;
+                Hashtbl.replace loads a v
+            | Call _ | Produce _ | Consume _ | Sem_give _ | Sem_take _ ->
+                Hashtbl.reset loads
+            | _ -> ()))
+      (block f b).insts;
+    List.iter visit children.(b);
+    List.iter (fun key -> Hashtbl.remove table key) !added
+  in
+  visit f.entry;
+  List.iter (remove_inst f) !to_remove;
+  !changed

@@ -1,0 +1,7 @@
+(** Global value numbering ("gvn" in the thesis's pass list):
+    dominator-scoped hashing of pure expressions with commutative
+    canonicalisation, plus block-local redundant-load elimination and
+    store-to-load forwarding (conservatively invalidated by stores,
+    calls and runtime operations). *)
+
+val run : Twill_ir.Ir.func -> bool

@@ -1,0 +1,157 @@
+(* If-conversion: triangles and diamonds whose arms are small and free of
+   side effects collapse into straight-line code with Select instructions.
+   LegUp performs the same transformation before scheduling; for Twill it
+   additionally removes data-dependent branches, which would otherwise be
+   broadcast to every consuming pipeline stage each iteration. *)
+
+open Twill_ir.Ir
+module Vec = Twill_ir.Vec
+
+let max_arm_insts = 12
+
+(* Instructions safe to execute unconditionally.  Loads are excluded (a
+   guarded load may have an out-of-bounds address on the other path), as
+   are divisions by non-constant divisors (traps). *)
+let speculatable (i : inst) =
+  match i.kind with
+  | Binop ((Sdiv | Udiv | Srem | Urem), _, Cst c) -> c <> 0l
+  | Binop ((Sdiv | Udiv | Srem | Urem), _, _) -> false
+  | Binop _ | Icmp _ | Select _ | Gep _ -> true
+  | Load _ | Store _ | Call _ | Phi _ | Print _ | Alloca _ | Produce _
+  | Consume _ | Sem_give _ | Sem_take _ | Dead ->
+      false
+
+let arm_convertible (f : func) (a : int) ~(head : int) =
+  let b = block f a in
+  b.preds = [ head ]
+  && List.length b.insts <= max_arm_insts
+  && List.for_all (fun id -> speculatable (inst f id)) b.insts
+  && match b.term with Br _ -> true | _ -> false
+
+(* Moves all instructions of [src] to the end of [dst] (before the
+   terminator position; dst's term is rewritten by the caller). *)
+let absorb (f : func) ~(dst : int) ~(src : int) =
+  let sb = block f src in
+  let db = block f dst in
+  List.iter (fun id -> (inst f id).block <- dst) sb.insts;
+  db.insts <- db.insts @ sb.insts;
+  sb.insts <- []
+
+let run (f : func) : bool =
+  let changed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    recompute_cfg f;
+    (try
+       Vec.iter
+         (fun (a : block) ->
+           match a.term with
+           | Cond_br (c, t, e) when t <> e -> (
+               let head = a.bid in
+               let join_of x = match (block f x).term with Br j -> Some j | _ -> None in
+               (* diamond: A -> T -> J, A -> E -> J *)
+               let diamond () =
+                 match (join_of t, join_of e) with
+                 | Some jt, Some je
+                   when jt = je && t <> jt && e <> jt
+                        && arm_convertible f t ~head
+                        && arm_convertible f e ~head
+                        && List.sort compare (block f jt).preds = List.sort compare [ t; e ] ->
+                     Some (jt, t, e)
+                 | _ -> None
+               in
+               (* triangle: A -> T -> J with A -> J directly *)
+               let triangle () =
+                 match join_of t with
+                 | Some jt
+                   when jt = e && t <> jt
+                        && arm_convertible f t ~head
+                        && List.sort compare (block f jt).preds
+                           = List.sort compare [ head; t ] ->
+                     Some (jt, t, -1)
+                 | _ -> (
+                     match join_of e with
+                     | Some je
+                       when je = t && e <> je
+                            && arm_convertible f e ~head
+                            && List.sort compare (block f je).preds
+                               = List.sort compare [ head; e ] ->
+                         Some (je, -1, e)
+                     | _ -> None)
+               in
+               let apply (join, tarm, earm) =
+                 (* materialise selects for the join's phis *)
+                 let jb = block f join in
+                 List.iter
+                   (fun id ->
+                     let i = inst f id in
+                     match i.kind with
+                     | Phi incoming ->
+                         let value_from b =
+                           match List.assoc_opt b incoming with
+                           | Some v -> v
+                           | None -> failwith "ifconv: phi missing incoming"
+                         in
+                         let tv =
+                           if tarm >= 0 then value_from tarm else value_from head
+                         in
+                         let ev =
+                           if earm >= 0 then value_from earm else value_from head
+                         in
+                         let sel = new_inst f (Select (c, tv, ev)) in
+                         sel.block <- head;
+                         let hb = block f head in
+                         hb.insts <- hb.insts @ [ sel.id ];
+                         replace_all_uses f ~old_id:id ~by:(Reg sel.id);
+                         remove_inst f id
+                     | _ -> ())
+                   jb.insts;
+                 if tarm >= 0 then absorb f ~dst:head ~src:tarm;
+                 if earm >= 0 then absorb f ~dst:head ~src:earm;
+                 (* selects were appended before arms moved in; rebuild the
+                    order: arm instructions must precede the selects *)
+                 (block f head).term <- Br join;
+                 recompute_cfg f;
+                 changed := true;
+                 continue_ := true;
+                 raise Exit
+               in
+               match diamond () with
+               | Some d -> apply d
+               | None -> ( match triangle () with Some tr -> apply tr | None -> ()))
+           | _ -> ())
+         f.blocks
+     with Exit -> ())
+  done;
+  if !changed then begin
+    (* fix ordering: selects reference arm instructions that were appended
+       after them; re-sort each block so defs precede uses *)
+    Vec.iter
+      (fun (b : block) ->
+        let ids = b.insts in
+        let here = Hashtbl.create 16 in
+        List.iter (fun id -> Hashtbl.replace here id ()) ids;
+        (* stable topological order within the block *)
+        let placed = Hashtbl.create 16 in
+        let out = ref [] in
+        let rec place id =
+          if Hashtbl.mem here id && not (Hashtbl.mem placed id) then begin
+            Hashtbl.replace placed id ();
+            (* phis stay first and read their operands on the incoming
+               edge, so their operands impose no ordering here *)
+            if not (is_phi (inst f id)) then
+              List.iter
+                (function Reg r -> place r | _ -> ())
+                (operands (inst f id));
+            out := id :: !out
+          end
+        in
+        (* place phis first, in their original order *)
+        List.iter (fun id -> if is_phi (inst f id) then place id) ids;
+        List.iter place ids;
+        b.insts <- List.rev !out)
+      f.blocks;
+    ignore (Simplifycfg.run f)
+  end;
+  !changed

@@ -1,0 +1,9 @@
+(** If-conversion: triangles and diamonds whose arms are small and free of
+    side effects collapse into straight-line [select]s — as LegUp does
+    before scheduling.  For Twill this also removes data-dependent
+    branches that would otherwise be broadcast to consuming pipeline
+    stages every iteration. *)
+
+val max_arm_insts : int
+val speculatable : Twill_ir.Ir.inst -> bool
+val run : Twill_ir.Ir.func -> bool

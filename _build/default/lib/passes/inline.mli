@@ -1,0 +1,8 @@
+(** Function inlining over the (acyclic) Twill call graph.  Default policy
+    inlines callees under a size threshold and all single-call-site
+    callees; [aggressive] inlines everything (the thesis notes MIPS and
+    SHA end up fully inlined). *)
+
+val func_size : Twill_ir.Ir.func -> int
+val inline_call : Twill_ir.Ir.modul -> Twill_ir.Ir.func -> int -> unit
+val run : ?aggressive:bool -> ?threshold:int -> Twill_ir.Ir.modul -> bool

@@ -1,0 +1,91 @@
+(* Loop-invariant code motion: pure, trap-free computations whose operands
+   are loop-invariant move to the loop preheader (inner loops first, so
+   invariants bubble outward).  Loads are additionally hoisted from loops
+   that contain no stores or calls, provided the load executes on every
+   iteration (its block dominates the latches) — the conservative subset
+   that can never introduce a trap. *)
+
+open Twill_ir.Ir
+module Vec = Twill_ir.Vec
+
+let hoistable_pure (k : kind) =
+  match k with
+  | Binop ((Sdiv | Udiv | Srem | Urem), _, Cst c) -> c <> 0l
+  | Binop ((Sdiv | Udiv | Srem | Urem), _, _) -> false
+  | Binop _ | Icmp _ | Select _ | Gep _ -> true
+  | _ -> false
+
+let run (f : func) : bool =
+  let changed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    recompute_cfg f;
+    let forest = Loops.analyze f in
+    let dom = Dom.dominators f in
+    (* innermost first: deeper loops processed before their parents *)
+    let order =
+      Array.to_list (Array.mapi (fun i l -> (i, l)) forest.Loops.loops)
+      |> List.sort (fun (_, a) (_, b) -> compare b.Loops.depth a.Loops.depth)
+    in
+    List.iter
+      (fun (_, l) ->
+        match Loops.preheader f l with
+        | None -> ()
+        | Some ph ->
+            let in_loop b = List.mem b l.Loops.body in
+            let loop_has_side_effects =
+              List.exists
+                (fun b ->
+                  List.exists
+                    (fun id ->
+                      match (inst f id).kind with
+                      | Store _ | Call _ | Print _ | Produce _ | Consume _
+                      | Sem_give _ | Sem_take _ ->
+                          true
+                      | _ -> false)
+                    (block f b).insts)
+                l.Loops.body
+            in
+            let latches =
+              List.filter (fun b -> List.mem l.Loops.header (succs f b)) l.Loops.body
+            in
+            let invariant_op o =
+              match o with
+              | Cst _ | Glob _ | Argv _ -> true
+              | Reg r -> not (in_loop (inst f r).block)
+            in
+            List.iter
+              (fun b ->
+                let blk = block f b in
+                let keep = ref [] in
+                let hoisted = ref [] in
+                List.iter
+                  (fun id ->
+                    let i = inst f id in
+                    let ok_kind =
+                      hoistable_pure i.kind
+                      ||
+                      match i.kind with
+                      | Load _ ->
+                          (not loop_has_side_effects)
+                          && List.for_all (fun lt -> Dom.dominates dom b lt) latches
+                      | _ -> false
+                    in
+                    if ok_kind && List.for_all invariant_op (operands i) then begin
+                      hoisted := id :: !hoisted;
+                      i.block <- ph;
+                      changed := true;
+                      continue_ := true
+                    end
+                    else keep := id :: !keep)
+                  blk.insts;
+                if !hoisted <> [] then begin
+                  blk.insts <- List.rev !keep;
+                  let phb = block f ph in
+                  phb.insts <- phb.insts @ List.rev !hoisted
+                end)
+              l.Loops.body)
+      order
+  done;
+  !changed

@@ -1,0 +1,6 @@
+(** Loop-invariant code motion: trap-free pure computations with invariant
+    operands move to the preheader (inner loops first); loads hoist only
+    from loops free of stores/calls when they execute on every
+    iteration. *)
+
+val run : Twill_ir.Ir.func -> bool

@@ -1,0 +1,194 @@
+(* Natural-loop analysis: back edges, loop bodies, the loop forest, and the
+   preheader/exit structure that DSWP's loop matching (thesis Fig. 5.3)
+   relies on. *)
+
+open Twill_ir.Ir
+module Vec = Twill_ir.Vec
+
+type loop = {
+  header : int;
+  mutable body : int list; (* blocks, header included *)
+  mutable parent : int; (* index into the forest, -1 if top level *)
+  mutable children : int list;
+  mutable depth : int; (* 1 for outermost loops *)
+}
+
+type forest = {
+  loops : loop array;
+  loop_of_block : int array; (* innermost loop index per block, -1 if none *)
+}
+
+let in_loop forest l b =
+  let rec go idx =
+    idx >= 0 && (idx = l || go forest.loops.(idx).parent)
+  in
+  go forest.loop_of_block.(b)
+
+let analyze (f : func) : forest =
+  recompute_cfg f;
+  let dom = Dom.dominators f in
+  let n = Vec.length f.blocks in
+  (* back edges: t -> h with h dominating t *)
+  let back_edges = ref [] in
+  Vec.iter
+    (fun (b : block) ->
+      List.iter
+        (fun s -> if Dom.dominates dom s b.bid then back_edges := (b.bid, s) :: !back_edges)
+        (succs_of_term b.term))
+    f.blocks;
+  (* group latches by header *)
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (t, h) ->
+      let prev = try Hashtbl.find by_header h with Not_found -> [] in
+      Hashtbl.replace by_header h (t :: prev))
+    !back_edges;
+  let headers = Hashtbl.fold (fun h _ acc -> h :: acc) by_header [] in
+  let headers = List.sort compare headers in
+  let loops =
+    List.map
+      (fun h ->
+        let latches = Hashtbl.find by_header h in
+        (* body: reverse reachability from latches, stopping at header *)
+        let inside = Array.make n false in
+        inside.(h) <- true;
+        let rec pull b =
+          if not inside.(b) then begin
+            inside.(b) <- true;
+            List.iter pull (block f b).preds
+          end
+        in
+        List.iter pull latches;
+        let body = ref [] in
+        for b = n - 1 downto 0 do
+          if inside.(b) then body := b :: !body
+        done;
+        { header = h; body = !body; parent = -1; children = []; depth = 0 })
+      headers
+  in
+  let loops = Array.of_list loops in
+  (* nesting: loop A is inside loop B iff B's body contains A's header and
+     A <> B; pick the smallest enclosing body as parent *)
+  Array.iteri
+    (fun i li ->
+      let best = ref (-1) in
+      (* natural loops with distinct headers are disjoint or nested, so
+         [lj] contains [li] iff li's header lies in lj's body *)
+      Array.iteri
+        (fun j lj ->
+          if i <> j && List.mem li.header lj.body then
+            if !best = -1 || List.length lj.body < List.length loops.(!best).body
+            then best := j)
+        loops;
+      li.parent <- !best;
+      if !best >= 0 then
+        loops.(!best).children <- i :: loops.(!best).children)
+    loops;
+  let rec depth_of i =
+    let l = loops.(i) in
+    if l.depth > 0 then l.depth
+    else begin
+      let d = if l.parent < 0 then 1 else 1 + depth_of l.parent in
+      l.depth <- d;
+      d
+    end
+  in
+  Array.iteri (fun i _ -> ignore (depth_of i)) loops;
+  (* innermost loop per block = the containing loop of max depth *)
+  let loop_of_block = Array.make n (-1) in
+  Array.iteri
+    (fun i l ->
+      List.iter
+        (fun b ->
+          if
+            loop_of_block.(b) = -1
+            || loops.(loop_of_block.(b)).depth < l.depth
+          then loop_of_block.(b) <- i)
+        l.body)
+    loops;
+  { loops; loop_of_block }
+
+let depth_of_block forest b =
+  match forest.loop_of_block.(b) with -1 -> 0 | l -> forest.loops.(l).depth
+
+(* Predecessors of the header from outside the loop. *)
+let entering_blocks (f : func) (l : loop) : int list =
+  List.filter (fun p -> not (List.mem p l.body)) (block f l.header).preds
+
+(* The unique preheader if it exists: a single outside predecessor whose
+   only successor is the header. *)
+let preheader (f : func) (l : loop) : int option =
+  match entering_blocks f l with
+  | [ p ] when succs f p = [ l.header ] -> Some p
+  | _ -> None
+
+(* Exit blocks: blocks outside the loop with a predecessor inside. *)
+let exit_blocks (f : func) (l : loop) : int list =
+  let out = ref [] in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun s ->
+          if (not (List.mem s l.body)) && not (List.mem s !out) then
+            out := s :: !out)
+        (succs f b))
+    l.body;
+  List.sort compare !out
+
+(* Inserts a dedicated preheader for every loop lacking one ("loop-simplify"
+   in the thesis's pass list).  Returns true if the CFG changed. *)
+let ensure_preheaders (f : func) : bool =
+  let changed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    let forest = analyze f in
+    (try
+       Array.iter
+         (fun l ->
+           match preheader f l with
+           | Some _ -> ()
+           | None ->
+               let entering = entering_blocks f l in
+               let ph = add_block f in
+               ph.term <- Br l.header;
+               (* redirect entering edges *)
+               List.iter
+                 (fun p ->
+                   let pb = block f p in
+                   let redirect t = if t = l.header then ph.bid else t in
+                   (match pb.term with
+                   | Br t -> pb.term <- Br (redirect t)
+                   | Cond_br (c, a, b) ->
+                       pb.term <- Cond_br (c, redirect a, redirect b)
+                   | Ret _ -> ()))
+                 entering;
+               (* split header phis between preheader and latches *)
+               List.iter
+                 (fun iid ->
+                   let i = inst f iid in
+                   match i.kind with
+                   | Phi incoming ->
+                       let outside, inside =
+                         List.partition (fun (p, _) -> List.mem p entering) incoming
+                       in
+                       (match outside with
+                       | [] -> ()
+                       | [ (_, v) ] -> i.kind <- Phi ((ph.bid, v) :: inside)
+                       | _ ->
+                           (* multiple entering edges: new phi in preheader *)
+                           let nid = append_inst f ph.bid (Phi outside) in
+                           (* keep phi first in the preheader *)
+                           let phb = block f ph.bid in
+                           phb.insts <- [ nid ];
+                           i.kind <- Phi ((ph.bid, Reg nid) :: inside))
+                   | _ -> ())
+                 (block f l.header).insts;
+               recompute_cfg f;
+               changed := true;
+               continue_ := true;
+               raise Exit)
+         forest.loops
+     with Exit -> ())
+  done;
+  !changed

@@ -1,0 +1,29 @@
+(** Natural-loop analysis: back edges, loop bodies, the loop forest, and
+    the preheader/exit structure that DSWP's loop matching (thesis
+    Fig. 5.3) and the modulo scheduler rely on. *)
+
+open Twill_ir.Ir
+
+type loop = {
+  header : int;
+  mutable body : int list;  (** blocks, header included *)
+  mutable parent : int;  (** enclosing loop index, -1 if top level *)
+  mutable children : int list;
+  mutable depth : int;  (** 1 for outermost loops *)
+}
+
+type forest = {
+  loops : loop array;
+  loop_of_block : int array;  (** innermost loop per block, -1 if none *)
+}
+
+val in_loop : forest -> int -> int -> bool
+val analyze : func -> forest
+val depth_of_block : forest -> int -> int
+val entering_blocks : func -> loop -> int list
+val preheader : func -> loop -> int option
+val exit_blocks : func -> loop -> int list
+
+val ensure_preheaders : func -> bool
+(** The "loop-simplify" step: inserts a dedicated preheader for every
+    loop lacking one.  Returns true if the CFG changed. *)

@@ -1,0 +1,144 @@
+(* SSA construction: promotes single-word allocas whose address never
+   escapes into SSA registers, inserting phis at the iterated dominance
+   frontier (the classic LLVM mem2reg).  Mini-C lowering stores every
+   scalar in an alloca, so this pass is what produces the SSA form all the
+   later analyses assume. *)
+
+open Twill_ir.Ir
+module Vec = Twill_ir.Vec
+
+(* An alloca is promotable when it holds one word and is used only as the
+   address of direct loads and stores. *)
+let promotable_allocas (f : func) : int list =
+  let candidates = Hashtbl.create 16 in
+  iter_insts f (fun i ->
+      match i.kind with
+      | Alloca 1 -> Hashtbl.replace candidates i.id true
+      | _ -> ());
+  let disqualify r =
+    if Hashtbl.mem candidates r then Hashtbl.replace candidates r false
+  in
+  iter_insts f (fun i ->
+      match i.kind with
+      | Load (Reg _) -> ()
+      | Store (Reg _, v) -> (
+          (* stored VALUE escaping disqualifies *)
+          match v with Reg r -> disqualify r | _ -> ())
+      | _ -> List.iter (function Reg r -> disqualify r | _ -> ()) (operands i));
+  Hashtbl.fold (fun id ok acc -> if ok then id :: acc else acc) candidates []
+  |> List.sort compare
+
+let run (f : func) : bool =
+  recompute_cfg f;
+  let vars = promotable_allocas f in
+  if vars = [] then false
+  else begin
+    let is_var = Hashtbl.create 16 in
+    List.iter (fun v -> Hashtbl.replace is_var v ()) vars;
+    let dom = Dom.dominators f in
+    let df = Dom.frontiers dom ~preds:(fun b -> (block f b).preds) in
+    (* phi insertion at iterated dominance frontiers of store blocks *)
+    let phi_var = Hashtbl.create 16 in
+    List.iter
+      (fun v ->
+        let def_blocks = ref [] in
+        iter_insts f (fun i ->
+            match i.kind with
+            | Store (Reg r, _) when r = v ->
+                if not (List.mem i.block !def_blocks) then
+                  def_blocks := i.block :: !def_blocks
+            | _ -> ());
+        let idf = Dom.iterated_frontier df !def_blocks in
+        List.iter
+          (fun b ->
+            if Dom.is_reachable dom b then begin
+              let i = new_inst f (Phi []) in
+              i.block <- b;
+              let blk = block f b in
+              blk.insts <- i.id :: blk.insts;
+              Hashtbl.replace phi_var i.id v
+            end)
+          idf)
+      vars;
+    (* renaming via dominator-tree walk *)
+    let children = Array.make (Vec.length f.blocks) [] in
+    Array.iteri
+      (fun b id ->
+        if id >= 0 && b <> dom.Dom.entry then
+          children.(id) <- b :: children.(id))
+      dom.Dom.idom;
+    let stacks = Hashtbl.create 16 in
+    let cur v =
+      match Hashtbl.find_opt stacks v with
+      | Some (x :: _) -> x
+      | _ -> Cst 0l (* mini-C zero-initialisation *)
+    in
+    let push v x =
+      Hashtbl.replace stacks v
+        (x :: (try Hashtbl.find stacks v with Not_found -> []))
+    in
+    let pop v =
+      match Hashtbl.find_opt stacks v with
+      | Some (_ :: rest) -> Hashtbl.replace stacks v rest
+      | _ -> assert false
+    in
+    let to_remove = ref [] in
+    let rec rename b =
+      let pushed = ref [] in
+      List.iter
+        (fun id ->
+          let i = inst f id in
+          match i.kind with
+          | Phi _ when Hashtbl.mem phi_var id ->
+              let v = Hashtbl.find phi_var id in
+              push v (Reg id);
+              pushed := v :: !pushed
+          | Load (Reg r) when Hashtbl.mem is_var r ->
+              replace_all_uses f ~old_id:id ~by:(cur r);
+              to_remove := id :: !to_remove
+          | Store (Reg r, value) when Hashtbl.mem is_var r ->
+              push r value;
+              pushed := r :: !pushed;
+              to_remove := id :: !to_remove
+          | _ -> ())
+        (block f b).insts;
+      (* feed phi inputs of successors *)
+      List.iter
+        (fun s ->
+          List.iter
+            (fun id ->
+              let i = inst f id in
+              match i.kind with
+              | Phi incoming when Hashtbl.mem phi_var id ->
+                  let v = Hashtbl.find phi_var id in
+                  if not (List.mem_assoc b incoming) then
+                    i.kind <- Phi ((b, cur v) :: incoming)
+              | _ -> ())
+            (block f s).insts)
+        (succs f b);
+      List.iter rename children.(b);
+      List.iter pop (List.rev !pushed)
+    in
+    rename f.entry;
+    (* unreachable predecessors never got visited; keep phis structurally
+       valid by padding their incoming lists *)
+    Vec.iter
+      (fun (b : block) ->
+        List.iter
+          (fun id ->
+            let i = inst f id in
+            match i.kind with
+            | Phi incoming when Hashtbl.mem phi_var id ->
+                let missing =
+                  List.filter (fun p -> not (List.mem_assoc p incoming)) b.preds
+                in
+                if missing <> [] then
+                  i.kind <-
+                    Phi (List.map (fun p -> (p, Cst 0l)) missing @ incoming)
+            | _ -> ())
+          b.insts)
+      f.blocks;
+    List.iter (remove_inst f) !to_remove;
+    List.iter (remove_inst f) vars;
+    true
+  end

@@ -1,0 +1,9 @@
+(** SSA construction: promotes single-word allocas whose address never
+    escapes into SSA registers, inserting phis at the iterated dominance
+    frontier (the classic LLVM mem2reg).  Mini-C lowering stores every
+    scalar in an alloca, so this pass produces the SSA form all later
+    analyses assume; unwritten cells read as 0, mini-C's
+    zero-initialisation rule. *)
+
+val promotable_allocas : Twill_ir.Ir.func -> int list
+val run : Twill_ir.Ir.func -> bool

@@ -1,0 +1,61 @@
+(* Pass manager: the standard optimisation pipeline mirroring the pass
+   list the thesis runs before DSWP ("mem2reg", "mergereturn",
+   "simplifycfg", "inline", "gvn", "adce", "loop-simplify", then the
+   custom globals pass). *)
+
+open Twill_ir.Ir
+
+type options = {
+  inline_aggressive : bool;
+  inline_threshold : int;
+  globals_to_args : bool;
+  unroll : bool; (* full-unroll small constant-trip loops (LegUp-style) *)
+  check : bool; (* verify SSA between stages; on in tests *)
+}
+
+let default = {
+  inline_aggressive = false;
+  inline_threshold = 60;
+  globals_to_args = true;
+  unroll = false;
+  check = false;
+}
+
+let per_function_cleanup (f : func) =
+  ignore (Simplifycfg.run f);
+  ignore (Mem2reg.run f);
+  let continue_ = ref true in
+  while !continue_ do
+    let c1 = Constfold.run f in
+    let c2 = Dce.run f in
+    let c3 = Simplifycfg.run f in
+    let c4 = Ifconv.run f in
+    let c5 = Gvn.run f in
+    let c6 = Licm.run f in
+    continue_ := c1 || c2 || c3 || c4 || c5 || c6
+  done
+
+let verify_if opts m = if opts.check then Ssa_check.check_modul m
+
+(* Runs the standard pipeline in place. *)
+let run ?(opts = default) (m : modul) : unit =
+  List.iter per_function_cleanup m.funcs;
+  verify_if opts m;
+  if opts.unroll then begin
+    List.iter (fun f -> ignore (Unroll.run f)) m.funcs;
+    List.iter per_function_cleanup m.funcs;
+    verify_if opts m
+  end;
+  ignore
+    (Inline.run ~aggressive:opts.inline_aggressive
+       ~threshold:opts.inline_threshold m);
+  List.iter per_function_cleanup m.funcs;
+  List.iter (fun f -> ignore (Dce.run_with_calls m f)) m.funcs;
+  verify_if opts m;
+  List.iter (fun f -> ignore (Loops.ensure_preheaders f)) m.funcs;
+  verify_if opts m;
+  if opts.globals_to_args then begin
+    ignore (Globals2args.run m);
+    List.iter (fun f -> ignore (Dce.run f)) m.funcs;
+    verify_if opts m
+  end

@@ -1,0 +1,27 @@
+(** Pass manager: the standard optimisation pipeline mirroring the pass
+    list the thesis runs before DSWP (§5.1: "mem2reg", "simplifycfg",
+    "inline", "gvn", "adce", "loop-simplify", then the custom globals
+    pass), with the LegUp-style if-conversion and loop-invariant code
+    motion that feed the HLS scheduler. *)
+
+open Twill_ir.Ir
+
+type options = {
+  inline_aggressive : bool;  (** inline every call site *)
+  inline_threshold : int;  (** size bound for default inlining *)
+  globals_to_args : bool;  (** run the thesis's custom globals pass *)
+  unroll : bool;  (** LegUp-style full unrolling of small counted loops *)
+  check : bool;  (** verify SSA between stages (tests) *)
+}
+
+val default : options
+
+val per_function_cleanup : func -> unit
+(** simplify-CFG + mem2reg, then constant folding / DCE / simplify /
+    if-conversion / GVN / LICM to a fixpoint. *)
+
+val verify_if : options -> modul -> unit
+
+val run : ?opts:options -> modul -> unit
+(** The full pipeline, in place: per-function cleanup, inlining, call-able
+    DCE, loop preheaders, globals-to-arguments. *)

@@ -1,0 +1,207 @@
+(* CFG cleanup: constant-branch folding, unreachable-block elimination
+   (with compaction/renumbering), straight-line block merging and simple
+   jump threading. *)
+
+open Twill_ir.Ir
+module Vec = Twill_ir.Vec
+
+(* Drops phi incomings from blocks that are no longer predecessors. *)
+let sync_phis (f : func) =
+  recompute_cfg f;
+  Vec.iter
+    (fun (b : block) ->
+      List.iter
+        (fun id ->
+          let i = inst f id in
+          match i.kind with
+          | Phi incoming ->
+              i.kind <- Phi (List.filter (fun (p, _) -> List.mem p b.preds) incoming)
+          | _ -> ())
+        b.insts)
+    f.blocks
+
+let copy_block (b : block) : block =
+  { bid = b.bid; insts = b.insts; term = b.term; preds = b.preds }
+
+(* Rebuilds the block vector keeping only reachable blocks, renumbering
+   everything (terms, phi tags, instruction ownership). *)
+let compact (f : func) : bool =
+  let reach = Cfg.reachable f in
+  let any_dead = ref false in
+  Array.iteri (fun b r -> if not r then begin
+    any_dead := true;
+    ignore b
+  end) reach;
+  if not !any_dead then begin
+    sync_phis f;
+    false
+  end
+  else begin
+    (* free instructions owned by dead blocks *)
+    Vec.iter
+      (fun (b : block) ->
+        if not reach.(b.bid) then begin
+          List.iter (fun id -> let i = inst f id in i.block <- -1; i.kind <- Dead) b.insts;
+          b.insts <- []
+        end)
+      f.blocks;
+    let remap = Array.make (Vec.length f.blocks) (-1) in
+    let live = ref [] in
+    Vec.iter
+      (fun (b : block) -> if reach.(b.bid) then live := b :: !live)
+      f.blocks;
+    let live = List.rev !live in
+    List.iteri (fun k b -> remap.(b.bid) <- k) live;
+    let old_blocks = List.map copy_block live in
+    Vec.clear f.blocks;
+    List.iteri
+      (fun k (ob : block) ->
+        let nb =
+          {
+            bid = k;
+            insts = ob.insts;
+            term =
+              (match ob.term with
+              | Br t -> Br remap.(t)
+              | Cond_br (c, a, b) -> Cond_br (c, remap.(a), remap.(b))
+              | Ret v -> Ret v);
+            preds = [];
+          }
+        in
+        List.iter (fun id -> (inst f id).block <- k) nb.insts;
+        ignore (Vec.push f.blocks nb))
+      old_blocks;
+    f.entry <- remap.(f.entry);
+    (* remap phi incoming tags, dropping edges from removed blocks *)
+    iter_insts f (fun i ->
+        match i.kind with
+        | Phi incoming ->
+            i.kind <-
+              Phi
+                (List.filter_map
+                   (fun (p, v) ->
+                     if p >= 0 && p < Array.length remap && remap.(p) >= 0 then
+                       Some (remap.(p), v)
+                     else None)
+                   incoming)
+        | _ -> ());
+    sync_phis f;
+    true
+  end
+
+(* Folds Cond_br on constants and on equal targets. *)
+let fold_branches (f : func) : bool =
+  let changed = ref false in
+  Vec.iter
+    (fun (b : block) ->
+      match b.term with
+      | Cond_br (Cst c, t, e) ->
+          b.term <- Br (if c <> 0l then t else e);
+          changed := true
+      | Cond_br (_, t, e) when t = e ->
+          b.term <- Br t;
+          changed := true
+      | _ -> ())
+    f.blocks;
+  if !changed then sync_phis f;
+  !changed
+
+(* Merges [s] into [b] when b: br s and s has no other predecessor. *)
+let merge_blocks (f : func) : bool =
+  recompute_cfg f;
+  let changed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    (try
+       Vec.iter
+         (fun (b : block) ->
+           match b.term with
+           | Br s when s <> f.entry && s <> b.bid -> (
+               let sb = block f s in
+               match sb.preds with
+               | [ p ] when p = b.bid ->
+                   (* resolve single-incoming phis of s *)
+                   List.iter
+                     (fun id ->
+                       let i = inst f id in
+                       match i.kind with
+                       | Phi [ (_, v) ] ->
+                           replace_all_uses f ~old_id:id ~by:v;
+                           i.kind <- Dead;
+                           i.block <- -1
+                       | Phi _ ->
+                           failwith "merge_blocks: multi-input phi with one pred"
+                       | _ -> ())
+                     sb.insts;
+                   let body =
+                     List.filter (fun id -> (inst f id).kind <> Dead) sb.insts
+                   in
+                   List.iter (fun id -> (inst f id).block <- b.bid) body;
+                   b.insts <- b.insts @ body;
+                   b.term <- sb.term;
+                   sb.insts <- [];
+                   sb.term <- Br s (* self loop; becomes unreachable *)
+                   ;
+                   (* phis in s's successors now flow from b *)
+                   List.iter
+                     (fun s2 -> rewrite_phi_pred f ~bid:s2 ~old_pred:s ~new_pred:b.bid)
+                     (succs_of_term b.term);
+                   recompute_cfg f;
+                   changed := true;
+                   continue_ := true;
+                   raise Exit
+               | _ -> ())
+           | _ -> ())
+         f.blocks
+     with Exit -> ())
+  done;
+  !changed
+
+(* Threads empty [b : br s] blocks when no phi adjustments are needed. *)
+let thread_jumps (f : func) : bool =
+  recompute_cfg f;
+  let changed = ref false in
+  Vec.iter
+    (fun (b : block) ->
+      if b.bid <> f.entry && b.insts = [] then
+        match b.term with
+        | Br s when s <> b.bid ->
+            let sb = block f s in
+            let s_has_phi =
+              List.exists (fun id -> is_phi (inst f id)) sb.insts
+            in
+            let preds = b.preds in
+            if (not s_has_phi) && preds <> [] then begin
+              List.iter
+                (fun p ->
+                  let pb = block f p in
+                  let redirect t = if t = b.bid then s else t in
+                  match pb.term with
+                  | Br t -> pb.term <- Br (redirect t)
+                  | Cond_br (c, x, y) ->
+                      (* avoid creating duplicate-pred phi issues: s has no
+                         phis, so redirecting is always safe *)
+                      pb.term <- Cond_br (c, redirect x, redirect y)
+                  | Ret _ -> ())
+                preds;
+              recompute_cfg f;
+              changed := true
+            end
+        | _ -> ())
+    f.blocks;
+  !changed
+
+let run (f : func) : bool =
+  let changed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    if fold_branches f then begin changed := true; continue_ := true end;
+    if compact f then begin changed := true; continue_ := true end;
+    if merge_blocks f then begin changed := true; continue_ := true end;
+    if thread_jumps f then begin changed := true; continue_ := true end
+  done;
+  ignore (compact f);
+  recompute_cfg f;
+  !changed

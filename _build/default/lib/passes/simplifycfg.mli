@@ -1,0 +1,11 @@
+(** CFG cleanup: constant-branch folding, unreachable-block elimination
+    with compaction/renumbering, straight-line block merging and simple
+    jump threading.  All entry points leave the function structurally
+    valid (phis synchronised with predecessors). *)
+
+val sync_phis : Twill_ir.Ir.func -> unit
+val compact : Twill_ir.Ir.func -> bool
+val fold_branches : Twill_ir.Ir.func -> bool
+val merge_blocks : Twill_ir.Ir.func -> bool
+val thread_jumps : Twill_ir.Ir.func -> bool
+val run : Twill_ir.Ir.func -> bool

@@ -1,0 +1,64 @@
+(* Dominance-based SSA validity: every use of a register must be dominated
+   by its definition (phi uses are checked at the end of the incoming
+   predecessor).  Complements the structural checks in [Twill_ir.Verify]. *)
+
+open Twill_ir.Ir
+module Vec = Twill_ir.Vec
+
+exception Invalid of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Invalid s)) fmt
+
+let check_func (f : func) =
+  recompute_cfg f;
+  let dom = Dom.dominators f in
+  let pos = Hashtbl.create 64 in
+  Vec.iter
+    (fun (b : block) ->
+      List.iteri (fun k id -> Hashtbl.replace pos id (b.bid, k)) b.insts)
+    f.blocks;
+  let check_use ~user ~use_block ~use_pos r =
+    match Hashtbl.find_opt pos r with
+    | None -> fail "%s: %%%d uses detached %%%d" f.name user r
+    | Some (def_block, def_pos) ->
+        let ok =
+          if def_block = use_block then def_pos < use_pos
+          else Dom.strictly_dominates dom def_block use_block
+        in
+        if not ok then
+          fail "%s: %%%d (b%d) not dominated by def %%%d (b%d)" f.name user
+            use_block r def_block
+  in
+  Vec.iter
+    (fun (b : block) ->
+      if Dom.is_reachable dom b.bid then begin
+        List.iteri
+          (fun k id ->
+            let i = inst f id in
+            match i.kind with
+            | Phi incoming ->
+                List.iter
+                  (fun (p, v) ->
+                    match v with
+                    | Reg r ->
+                        (* value must be available at the end of pred [p] *)
+                        check_use ~user:id ~use_block:p ~use_pos:max_int r
+                    | _ -> ())
+                  incoming
+            | _ ->
+                List.iter
+                  (function
+                    | Reg r -> check_use ~user:id ~use_block:b.bid ~use_pos:k r
+                    | _ -> ())
+                  (operands i))
+          b.insts;
+        match b.term with
+        | Cond_br (Reg r, _, _) | Ret (Some (Reg r)) ->
+            check_use ~user:(-1) ~use_block:b.bid ~use_pos:max_int r
+        | _ -> ()
+      end)
+    f.blocks
+
+let check_modul (m : modul) =
+  Twill_ir.Verify.check_modul m;
+  List.iter check_func m.funcs

@@ -1,0 +1,9 @@
+(** Dominance-based SSA validity: every register use must be dominated by
+    its definition (phi uses are checked at the end of the incoming
+    predecessor).  Complements the structural checks of
+    {!Twill_ir.Verify}. *)
+
+exception Invalid of string
+
+val check_func : Twill_ir.Ir.func -> unit
+val check_modul : Twill_ir.Ir.modul -> unit

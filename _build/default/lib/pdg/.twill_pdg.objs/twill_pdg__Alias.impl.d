@@ -1,0 +1,1 @@
+lib/pdg/alias.ml: Array Hashtbl Int32 List Twill_ir

@@ -1,0 +1,1 @@
+lib/pdg/alias.mli: Hashtbl Twill_ir

@@ -1,0 +1,1 @@
+lib/pdg/effects.ml: Alias Hashtbl List Twill_ir

@@ -1,0 +1,1 @@
+lib/pdg/effects.mli: Alias Hashtbl Twill_ir

@@ -1,0 +1,1 @@
+lib/pdg/pdg.ml: Alias Array Effects Fmt List Printf Twill_ir Twill_passes

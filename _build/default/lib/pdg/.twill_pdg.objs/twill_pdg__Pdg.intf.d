@@ -1,0 +1,1 @@
+lib/pdg/pdg.mli: Alias Effects Format Twill_ir

@@ -1,0 +1,140 @@
+(* Flow-insensitive interprocedural alias analysis.
+
+   Mini-C keeps pointer structure trivial by construction: addresses flow
+   only through globals, allocas, geps and array arguments (no casts, no
+   address-of on scalars, no pointer phis from the front end).  That lets
+   a simple bottom-free points-to computation give precise per-object
+   disambiguation — the "basicaa"-level precision the thesis relies on. *)
+
+open Twill_ir.Ir
+module Vec = Twill_ir.Vec
+
+(* Canonical memory objects. *)
+type base = Bglobal of string | Balloca of string * int (* func, inst id *)
+
+type baseset =
+  | Known of base list (* may point to any of these objects *)
+  | Unknown (* may point anywhere *)
+
+let union a b =
+  match (a, b) with
+  | Unknown, _ | _, Unknown -> Unknown
+  | Known xs, Known ys ->
+      Known (List.sort_uniq compare (xs @ ys))
+
+type t = {
+  m : modul;
+  (* function name -> per-argument points-to sets *)
+  argpt : (string, baseset array) Hashtbl.t;
+  (* globals that are never written anywhere in the module *)
+  read_only : (string, unit) Hashtbl.t;
+}
+
+(* Base set of an address operand inside [f], given argument points-to. *)
+let rec base_of t (f : func) (o : operand) : baseset =
+  match o with
+  | Glob g -> Known [ Bglobal g ]
+  | Cst _ -> Known [] (* a literal address never arises from the front end *)
+  | Argv i -> (
+      match Hashtbl.find_opt t.argpt f.name with
+      | Some sets when i < Array.length sets -> sets.(i)
+      | _ -> Unknown)
+  | Reg r -> (
+      match (inst f r).kind with
+      | Alloca _ -> Known [ Balloca (f.name, r) ]
+      | Gep (b, _) -> base_of t f b
+      | _ -> Unknown)
+
+(* Fixpoint over the (acyclic) call graph: arguments' points-to sets are
+   the join over every call site of the base sets of the actual operand. *)
+let build (m : modul) : t =
+  let t = { m; argpt = Hashtbl.create 16; read_only = Hashtbl.create 16 } in
+  List.iter
+    (fun f -> Hashtbl.replace t.argpt f.name (Array.make f.nparams (Known [])))
+    m.funcs;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun f ->
+        iter_insts f (fun i ->
+            match i.kind with
+            | Call (callee, args) ->
+                let sets = Hashtbl.find t.argpt callee in
+                Array.iteri
+                  (fun k a ->
+                    if k < Array.length sets then begin
+                      let s = union sets.(k) (base_of t f a) in
+                      if s <> sets.(k) then begin
+                        sets.(k) <- s;
+                        changed := true
+                      end
+                    end)
+                  args
+            | _ -> ()))
+      m.funcs
+  done;
+  (* read-only globals: no store's base set may include them *)
+  let written = Hashtbl.create 16 in
+  let clobber_all = ref false in
+  List.iter
+    (fun f ->
+      iter_insts f (fun i ->
+          match i.kind with
+          | Store (addr, _) -> (
+              match base_of t f addr with
+              | Unknown -> clobber_all := true
+              | Known bs ->
+                  List.iter
+                    (function
+                      | Bglobal g -> Hashtbl.replace written g ()
+                      | Balloca _ -> ())
+                    bs)
+          | _ -> ()))
+    m.funcs;
+  List.iter
+    (fun g ->
+      if (not !clobber_all) && not (Hashtbl.mem written g.gname) then
+        Hashtbl.replace t.read_only g.gname ())
+    m.globals;
+  t
+
+let is_read_only t g = Hashtbl.mem t.read_only g
+
+(* Constant byte-offset of an address relative to its gep chain root, when
+   every step is a constant. *)
+let rec const_offset (f : func) (o : operand) : (operand * int32) option =
+  match o with
+  | Reg r -> (
+      match (inst f r).kind with
+      | Gep (b, Cst k) -> (
+          match const_offset f b with
+          | Some (root, off) -> Some (root, Int32.add off k)
+          | None -> Some (Reg r, 0l))
+      | _ -> Some (o, 0l))
+  | _ -> Some (o, 0l)
+
+(* May the two addresses refer to the same word? *)
+let may_alias t (f : func) (a : operand) (b : operand) : bool =
+  let ba = base_of t f a and bb = base_of t f b in
+  let overlap =
+    match (ba, bb) with
+    | Unknown, _ | _, Unknown -> true
+    | Known xs, Known ys -> List.exists (fun x -> List.mem x ys) xs
+  in
+  if not overlap then false
+  else
+    (* same object: constant-offset disambiguation from a shared root *)
+    match (const_offset f a, const_offset f b) with
+    | Some (ra, oa), Some (rb, ob) when ra = rb -> oa = ob
+    | _ -> true
+
+(* Is a load from address [a] known to read only never-written globals? *)
+let loads_read_only t (f : func) (a : operand) : bool =
+  match base_of t f a with
+  | Known bs ->
+      bs <> []
+      && List.for_all
+           (function Bglobal g -> is_read_only t g | Balloca _ -> false)
+           bs
+  | Unknown -> false

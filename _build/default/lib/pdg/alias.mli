@@ -1,0 +1,43 @@
+(** Flow-insensitive interprocedural alias analysis.
+
+    Mini-C keeps pointer structure trivial by construction — addresses
+    flow only through globals, allocas, geps and array arguments (no
+    casts, no address-of on scalars, no pointer phis) — so a simple
+    points-to computation over the acyclic call graph yields precise
+    per-object disambiguation, the "basicaa"-level precision the thesis
+    relies on. *)
+
+open Twill_ir.Ir
+
+(** Canonical memory objects. *)
+type base = Bglobal of string | Balloca of string * int  (** func, inst id *)
+
+type baseset = Known of base list | Unknown
+
+val union : baseset -> baseset -> baseset
+
+type t = {
+  m : modul;
+  argpt : (string, baseset array) Hashtbl.t;
+      (** per-function, per-argument points-to sets *)
+  read_only : (string, unit) Hashtbl.t;
+      (** globals never written anywhere in the module *)
+}
+
+val base_of : t -> func -> operand -> baseset
+(** Possible objects an address operand points into. *)
+
+val build : modul -> t
+
+val is_read_only : t -> string -> bool
+
+val const_offset : func -> operand -> (operand * int32) option
+(** Root and accumulated constant offset of a gep chain. *)
+
+val may_alias : t -> func -> operand -> operand -> bool
+(** May the two addresses refer to the same word?  Distinct objects never
+    alias; same-object accesses disambiguate by constant offsets from a
+    shared root. *)
+
+val loads_read_only : t -> func -> operand -> bool
+(** Does a load from this address only ever read never-written globals? *)

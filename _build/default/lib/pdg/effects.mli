@@ -1,0 +1,24 @@
+(** Per-function side-effect summaries — memory regions read and written
+    (in canonical object terms via the points-to results) plus whether
+    the function prints — computed bottom-up over the acyclic call graph.
+    A function's own allocas are excluded: addresses never flow upward in
+    mini-C and locals are zero-initialised at declaration, so calls
+    cannot observe each other's scratch (concurrent access to the shared
+    static frames is serialised by the DSWP stage's semaphores). *)
+
+type summary = {
+  reads : Alias.baseset;
+  writes : Alias.baseset;
+  prints : bool;
+}
+
+type t = { alias : Alias.t; table : (string, summary) Hashtbl.t }
+
+val empty_summary : summary
+val build : Alias.t -> Twill_ir.Ir.modul -> t
+val summary : t -> string -> summary
+
+val set_touches_addr :
+  Alias.t -> Twill_ir.Ir.func -> Alias.baseset -> Twill_ir.Ir.operand -> bool
+
+val sets_overlap : Alias.baseset -> Alias.baseset -> bool

@@ -1,0 +1,81 @@
+(* Tarjan's strongly-connected-components algorithm over an adjacency
+   array, plus the condensation DAG used by the DSWP partitioner. *)
+
+type result = {
+  ncomps : int;
+  comp_of : int array; (* node -> component id, in reverse topological... *)
+  members : int list array; (* component -> nodes *)
+}
+
+(* comp ids are assigned so that along any edge u -> v (u, v in different
+   components), comp_of u < comp_of v (topological order).  Tarjan emits
+   components in reverse topological order; we re-index at the end. *)
+let compute ~(n : int) ~(succs : int -> int list) : result =
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let comp_of = Array.make n (-1) in
+  let comps = ref [] in
+  let ncomps = ref 0 in
+  (* explicit work stack to avoid deep recursion on long chains *)
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) < 0 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      (succs v);
+    if lowlink.(v) = index.(v) then begin
+      let comp = ref [] in
+      let stop = ref false in
+      while not !stop do
+        match !stack with
+        | [] -> stop := true
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            comp := w :: !comp;
+            comp_of.(w) <- !ncomps;
+            if w = v then stop := true
+      done;
+      comps := !comp :: !comps;
+      incr ncomps
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then strongconnect v
+  done;
+  (* Tarjan numbers components in reverse topological order; flip it *)
+  let total = !ncomps in
+  Array.iteri (fun v c -> if c >= 0 then comp_of.(v) <- total - 1 - c) comp_of;
+  let members = Array.make total [] in
+  for v = n - 1 downto 0 do
+    members.(comp_of.(v)) <- v :: members.(comp_of.(v))
+  done;
+  { ncomps = total; comp_of; members }
+
+(* Condensation DAG edges (deduplicated). *)
+let dag_edges ~(n : int) ~(succs : int -> int list) (r : result) :
+    (int * int) list =
+  let seen = Hashtbl.create 64 in
+  let edges = ref [] in
+  for v = 0 to n - 1 do
+    List.iter
+      (fun w ->
+        let cu = r.comp_of.(v) and cv = r.comp_of.(w) in
+        if cu <> cv && not (Hashtbl.mem seen (cu, cv)) then begin
+          Hashtbl.replace seen (cu, cv) ();
+          edges := (cu, cv) :: !edges
+        end)
+      (succs v)
+  done;
+  !edges

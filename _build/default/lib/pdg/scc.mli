@@ -1,0 +1,15 @@
+(** Tarjan's strongly-connected components over an adjacency function,
+    with component ids re-indexed topologically: along any cross-component
+    edge [u -> v], [comp_of u < comp_of v] — exactly the order the DSWP
+    partitioner consumes. *)
+
+type result = {
+  ncomps : int;
+  comp_of : int array;  (** node -> component id (topological) *)
+  members : int list array;  (** component -> member nodes *)
+}
+
+val compute : n:int -> succs:(int -> int list) -> result
+
+val dag_edges : n:int -> succs:(int -> int list) -> result -> (int * int) list
+(** Deduplicated condensation-DAG edges. *)

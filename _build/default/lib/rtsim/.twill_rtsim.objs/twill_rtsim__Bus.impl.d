@@ -1,0 +1,1 @@
+lib/rtsim/bus.ml: Hashtbl

@@ -1,0 +1,1 @@
+lib/rtsim/bus.mli: Hashtbl

@@ -1,0 +1,1 @@
+lib/rtsim/sim.ml: Array Bus Effect Hashtbl List Printf Queue Twill_dswp Twill_hls Twill_ir

@@ -1,0 +1,1 @@
+lib/rtsim/sim.mli: Twill_dswp Twill_hls Twill_ir

@@ -1,0 +1,27 @@
+(* Single-message-per-cycle bus arbitration (thesis §4.1).
+
+   The arbiter grants one message per clock; a request at local time [t]
+   receives the first free cycle >= t.  Requests are served in simulation
+   order, which approximates the priority decoder of the real arbiter
+   (the processor wins ties there; contention effects — the 4+n worst
+   case of §4.5 — still emerge from slot exclusion). *)
+
+type t = {
+  name : string;
+  taken : (int, unit) Hashtbl.t;
+  mutable grants : int;
+  mutable wait_cycles : int;
+}
+
+let create name = { name; taken = Hashtbl.create 1024; grants = 0; wait_cycles = 0 }
+
+(* First free cycle >= t; reserves it. *)
+let reserve (b : t) (t : int) : int =
+  let c = ref (max 0 t) in
+  while Hashtbl.mem b.taken !c do
+    incr c
+  done;
+  Hashtbl.replace b.taken !c ();
+  b.grants <- b.grants + 1;
+  b.wait_cycles <- b.wait_cycles + (!c - max 0 t);
+  !c

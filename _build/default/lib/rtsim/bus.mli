@@ -1,0 +1,15 @@
+(** Single-message-per-cycle bus arbitration (thesis §4.1): the arbiter
+    grants one message per clock; a request at local time [t] receives the
+    first free cycle >= t.  Requests are served in simulation order, which
+    approximates the priority decoder of the real arbiter; the contention
+    effects (the 4+n worst case of §4.5) emerge from slot exclusion. *)
+
+type t = {
+  name : string;
+  taken : (int, unit) Hashtbl.t;
+  mutable grants : int;
+  mutable wait_cycles : int;  (** total grant - request delay *)
+}
+
+val create : string -> t
+val reserve : t -> int -> int

@@ -1,0 +1,323 @@
+(* Cycle-accurate simulator of the Twill runtime architecture (Chapter 4).
+
+   Threads run as cooperative fibers with local clocks (conservative
+   Kahn-network simulation: all cross-thread interaction flows through
+   FIFO queues, semaphores and ordering tokens, so values are
+   deterministic and local clocks only meet at those synchronisation
+   points).  Timing model:
+
+   - Software threads (Microblaze): per-instruction costs from
+     [Costmodel.sw_cost]; every runtime-primitive operation costs 5 CPU
+     cycles through the stream-based processor interface (§4.5) plus
+     module-bus arbitration.
+   - Hardware threads: per-block state counts from the LegUp-substitute
+     scheduler (ILP inside a block is free, as in the FSM), the modulo
+     scheduler's II for pipelined single-block loops, loads/stores over
+     the memory bus (1 message/cycle), queue operations with the 1/2-cycle
+     minimums of §4.3 plus arbitration.
+   - Queues: configurable depth and give->visible latency (default 2,
+     which also covers the 2-cycle write-update coherency window of
+     §4.5); producers stall on full queues exactly like the size+1
+     circular buffer described in §4.3.
+   - Semaphores: counting, with FIFO-ish grant times (§4.2). *)
+
+open Effect
+open Effect.Deep
+open Twill_ir.Ir
+module Interp = Twill_ir.Interp
+module Costmodel = Twill_ir.Costmodel
+module Schedule = Twill_hls.Schedule
+module Threadgen = Twill_dswp.Threadgen
+
+type _ Effect.t += Yield : unit Effect.t
+
+exception Deadlock of string
+
+type role = Sw | Hw
+
+type thread_spec = {
+  tname : string; (* entry function *)
+  trole : role;
+  (* pure-LegUp flow: data lives in FPGA BRAMs, no shared memory bus *)
+  local_memory : bool;
+}
+
+type config = {
+  queue_latency : int;
+  queue_depth_override : int option; (* None: use each queue's own depth *)
+  resources : Schedule.resources;
+  modulo : bool;
+  bus_contention : bool;
+  fuel : int;
+}
+
+let default_config =
+  {
+    queue_latency = 2;
+    queue_depth_override = None;
+    resources = Schedule.default_resources;
+    modulo = true;
+    bus_contention = true;
+    fuel = 300_000_000;
+  }
+
+type queue_state = {
+  qinfo : Threadgen.queue_info;
+  qdepth : int;
+  items : (int32 * int) Queue.t; (* value, visible time *)
+  mutable pushed : int;
+  mutable popped : int;
+  pop_time : int array; (* ring of the last [qdepth] consume times *)
+  mutable peak : int;
+}
+
+type sem_state = { mutable count : int; mutable free_at : int }
+
+type stats = {
+  ret : int32;
+  prints : int32 list;
+  cycles : int; (* makespan over all threads *)
+  thread_finish : (string * int) array;
+  thread_busy : (string * int) array;
+  executed : int;
+  queue_peaks : int array;
+  module_bus_waits : int;
+  memory_bus_waits : int;
+}
+
+let simulate ?(config = default_config) ?(master = 0) (m : modul)
+    ~(threads : thread_spec array) ~(queues : Threadgen.queue_info array)
+    ~(nsems : int) () : stats =
+  let layout, mem = Interp.fresh_memory m in
+  let module_bus = Bus.create "module" in
+  let memory_bus = Bus.create "memory" in
+  let reserve bus t = if config.bus_contention then Bus.reserve bus t else t in
+  let qs =
+    Array.map
+      (fun (qi : Threadgen.queue_info) ->
+        let qdepth =
+          match config.queue_depth_override with
+          | Some d -> d
+          | None -> qi.Threadgen.depth
+        in
+        {
+          qinfo = qi;
+          qdepth;
+          items = Queue.create ();
+          pushed = 0;
+          popped = 0;
+          pop_time = Array.make (max 1 qdepth) 0;
+          peak = 0;
+        })
+      queues
+  in
+  let sems = Array.init (max 1 nsems) (fun _ -> { count = 1; free_at = 0 }) in
+  let ops = ref 0 in
+  let wait_until cond =
+    while not (cond ()) do
+      perform Yield
+    done
+  in
+  (* schedules for hardware threads, memoized per function *)
+  let schedules : (string, Schedule.t) Hashtbl.t = Hashtbl.create 16 in
+  let schedule_of (fname : string) : Schedule.t =
+    match Hashtbl.find_opt schedules fname with
+    | Some s -> s
+    | None ->
+        let s =
+          Schedule.schedule ~res:config.resources ~modulo:config.modulo
+            (find_func m fname)
+        in
+        Hashtbl.replace schedules fname s;
+        s
+  in
+  (* per-thread execution contexts *)
+  let n = Array.length threads in
+  let clocks = Array.make n 0 in
+  let busys = Array.make n 0 in
+  let results : Interp.result option array = Array.make n None in
+  let make_handlers (ti : int) (spec : thread_spec) : Interp.handlers =
+    let sw = spec.trole = Sw in
+    let queue_overhead = if sw then 0 (* the 5 cycles sit in sw_cost *) else 0 in
+    {
+      Interp.produce =
+        (fun q v ->
+          let st = qs.(q) in
+          (* block while the queue is full (size+1 buffer semantics) *)
+          wait_until (fun () -> st.pushed - st.popped < st.qdepth);
+          (* the slot we reuse was freed by the consume [depth] items ago *)
+          let slot_free =
+            if st.pushed >= st.qdepth then
+              st.pop_time.(st.pushed mod max 1 st.qdepth)
+            else 0
+          in
+          clocks.(ti) <- max clocks.(ti) slot_free;
+          let grant = reserve module_bus clocks.(ti) in
+          clocks.(ti) <- grant + 1 + queue_overhead;
+          Queue.add (v, grant + config.queue_latency) st.items;
+          st.pushed <- st.pushed + 1;
+          st.peak <- max st.peak (st.pushed - st.popped);
+          incr ops);
+      consume =
+        (fun q ->
+          let st = qs.(q) in
+          wait_until (fun () -> st.pushed > st.popped);
+          let v, visible = Queue.pop st.items in
+          clocks.(ti) <- max clocks.(ti) visible;
+          let grant = reserve module_bus clocks.(ti) in
+          clocks.(ti) <- grant + 1 + queue_overhead;
+          st.pop_time.(st.popped mod max 1 st.qdepth) <- clocks.(ti);
+          st.popped <- st.popped + 1;
+          incr ops;
+          v);
+      sem_give =
+        (fun s k ->
+          let st = sems.(s) in
+          st.count <- st.count + k;
+          st.free_at <- max st.free_at clocks.(ti);
+          let grant = reserve module_bus clocks.(ti) in
+          clocks.(ti) <- grant + 1;
+          incr ops);
+      sem_take =
+        (fun s k ->
+          let st = sems.(s) in
+          wait_until (fun () -> st.count >= k);
+          st.count <- st.count - k;
+          clocks.(ti) <- max clocks.(ti) st.free_at;
+          let grant = reserve module_bus clocks.(ti) in
+          clocks.(ti) <- grant + 2 (* §4.2: lower takes >= 2 cycles *);
+          incr ops)
+    }
+  in
+  (* timing hooks *)
+  let make_cost (ti : int) (spec : thread_spec) : func -> inst -> int =
+    match spec.trole with
+    | Sw ->
+        fun _ i ->
+          let c = Costmodel.sw_cost i.kind in
+          clocks.(ti) <- clocks.(ti) + c;
+          busys.(ti) <- busys.(ti) + c;
+          c
+    | Hw ->
+        fun f i ->
+          (* block timing is charged at the terminator from the schedule;
+             here only shared-memory-bus contention is added.  The request
+             is issued at the op's scheduled slot within the block, so a
+             thread never contends with its own schedule. *)
+          (match i.kind with
+          | (Load _ | Store _) when not spec.local_memory ->
+              let s = schedule_of f.name in
+              let slot =
+                match Hashtbl.find_opt s.Schedule.start_state i.id with
+                | Some st -> st
+                | None -> 0
+              in
+              let request = clocks.(ti) + slot in
+              let grant = reserve memory_bus request in
+              if grant > request then
+                clocks.(ti) <- clocks.(ti) + (grant - request)
+          | _ -> ());
+          0
+  in
+  let make_term_cost (ti : int) (spec : thread_spec) : func -> block -> int =
+    match spec.trole with
+    | Sw ->
+        fun f b ->
+          let c = Interp.default_term_cost f b in
+          clocks.(ti) <- clocks.(ti) + c;
+          busys.(ti) <- busys.(ti) + c;
+          c
+    | Hw ->
+        let last = ref ("", -1) in
+        fun f b ->
+          let s = schedule_of f.name in
+          let pipelined =
+            s.Schedule.ii.(b.bid) > 0 && !last = (f.name, b.bid)
+          in
+          let c =
+            if pipelined then s.Schedule.ii.(b.bid)
+            else s.Schedule.nstates.(b.bid)
+          in
+          last := (f.name, b.bid);
+          clocks.(ti) <- clocks.(ti) + c;
+          busys.(ti) <- busys.(ti) + c;
+          c
+  in
+  (* cooperative scheduler (as in Parexec) *)
+  let runq : (unit -> unit) Queue.t = Queue.create () in
+  let start_fiber (body : unit -> unit) () =
+    match_with body ()
+      {
+        retc = (fun () -> ());
+        exnc = (fun e -> raise e);
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Yield ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    Queue.add (fun () -> continue k ()) runq)
+            | _ -> None);
+      }
+  in
+  Array.iteri
+    (fun ti spec ->
+      Queue.add
+        (start_fiber (fun () ->
+             let r =
+               Interp.run_shared ~fuel:config.fuel ~layout ~mem
+                 ~handlers:(make_handlers ti spec) ~cost:(make_cost ti spec)
+                 ~term_cost:(make_term_cost ti spec) ~charge_cycles:true m
+                 ~entry:spec.tname ~args:[||]
+             in
+             results.(ti) <- Some r))
+        runq)
+    threads;
+  while not (Queue.is_empty runq) do
+    let k = Queue.length runq in
+    let before = !ops in
+    let done_before =
+      Array.fold_left (fun c r -> if r = None then c else c + 1) 0 results
+    in
+    for _ = 1 to k do
+      (Queue.pop runq) ()
+    done;
+    let done_after =
+      Array.fold_left (fun c r -> if r = None then c else c + 1) 0 results
+    in
+    if (not (Queue.is_empty runq)) && !ops = before && done_after = done_before
+    then raise (Deadlock (Printf.sprintf "%d threads blocked" (Queue.length runq)))
+  done;
+  let ret =
+    match results.(master) with
+    | Some r -> r.Interp.ret
+    | None -> raise (Deadlock "master thread did not finish")
+  in
+  let prints =
+    let printing =
+      Array.to_list results
+      |> List.filter_map (function
+           | Some r when r.Interp.prints <> [] -> Some r.Interp.prints
+           | _ -> None)
+    in
+    match printing with
+    | [] -> []
+    | [ p ] -> p
+    | _ -> failwith "rtsim: prints scattered across threads"
+  in
+  let executed =
+    Array.fold_left
+      (fun acc r -> match r with Some r -> acc + r.Interp.executed | None -> acc)
+      0 results
+  in
+  {
+    ret;
+    prints;
+    cycles = Array.fold_left max 0 clocks;
+    thread_finish = Array.mapi (fun i spec -> (spec.tname, clocks.(i))) threads;
+    thread_busy = Array.mapi (fun i spec -> (spec.tname, busys.(i))) threads;
+    executed;
+    queue_peaks = Array.map (fun q -> q.peak) qs;
+    module_bus_waits = module_bus.Bus.wait_cycles;
+    memory_bus_waits = memory_bus.Bus.wait_cycles;
+  }

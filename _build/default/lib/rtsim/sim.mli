@@ -1,0 +1,66 @@
+(** Cycle-accurate simulator of the Twill runtime architecture
+    (thesis Chapter 4, Figure 4.1).
+
+    Pipeline threads run as cooperative fibers with local clocks
+    (conservative Kahn-network simulation — all cross-thread interaction
+    flows through the queues, semaphores and ordering tokens inserted by
+    the DSWP stage, so results are deterministic).  The timing model
+    implements the latencies of Chapter 4: single-message-per-cycle buses
+    with a priority arbiter, 1/2-cycle queue operations (plus the
+    configurable give-to-visible latency, default 2, covering the
+    write-update coherency window), 5-cycle processor stream operations,
+    per-instruction Microblaze costs for software threads, and
+    schedule-derived FSM state counts (with modulo-scheduling initiation
+    intervals) for hardware threads. *)
+
+open Twill_ir.Ir
+module Threadgen = Twill_dswp.Threadgen
+
+exception Deadlock of string
+(** Raised when no thread can make progress (cannot happen for designs
+    produced by {!Twill_dswp.Dswp.run}; property-tested). *)
+
+type role = Sw  (** software on the Microblaze *) | Hw  (** FPGA thread *)
+
+type thread_spec = {
+  tname : string;  (** entry function *)
+  trole : role;
+  local_memory : bool;
+      (** pure-LegUp flow: data in BRAMs, no shared memory bus *)
+}
+
+type config = {
+  queue_latency : int;
+  queue_depth_override : int option;  (** [None]: each queue's own depth *)
+  resources : Twill_hls.Schedule.resources;
+  modulo : bool;
+  bus_contention : bool;
+  fuel : int;
+}
+
+val default_config : config
+
+type stats = {
+  ret : int32;  (** the master thread's return value *)
+  prints : int32 list;
+  cycles : int;  (** makespan over all threads *)
+  thread_finish : (string * int) array;
+  thread_busy : (string * int) array;  (** non-waiting cycles per thread *)
+  executed : int;
+  queue_peaks : int array;  (** high-water occupancy per queue *)
+  module_bus_waits : int;  (** arbitration wait cycles *)
+  memory_bus_waits : int;
+}
+
+val simulate :
+  ?config:config ->
+  ?master:int ->
+  modul ->
+  threads:thread_spec array ->
+  queues:Threadgen.queue_info array ->
+  nsems:int ->
+  unit ->
+  stats
+(** Runs every thread to completion over one shared memory image and
+    returns the timing/behaviour statistics.  [master] selects the thread
+    whose return value is the program result (default 0). *)

@@ -1,0 +1,1 @@
+lib/vgen/vcheck.ml: Array Buffer Hashtbl List Printf String

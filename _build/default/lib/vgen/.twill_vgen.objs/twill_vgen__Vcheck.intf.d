@@ -1,0 +1,1 @@
+lib/vgen/vcheck.mli:

@@ -1,0 +1,1 @@
+lib/vgen/vemit.ml: Array Buffer Hashtbl Int32 List Printf String Twill_hls Twill_ir

@@ -1,0 +1,1 @@
+lib/vgen/vemit.mli: Twill_hls Twill_ir

@@ -1,0 +1,1 @@
+lib/vgen/vruntime.ml: Array Buffer List Printf String Twill_dswp Twill_ir Vemit

@@ -1,0 +1,1 @@
+lib/vgen/vruntime.mli: Twill_dswp

@@ -1,0 +1,137 @@
+(* Structural well-formedness checker for emitted Verilog — no simulator
+   is available in the build environment, so generated RTL is validated
+   structurally: balanced module/endmodule, begin/end and case/endcase
+   nesting, and every assigned identifier declared as a reg, wire or
+   port. *)
+
+type error = string
+
+let keywords =
+  [
+    "module"; "endmodule"; "begin"; "end"; "case"; "endcase"; "if"; "else";
+    "always"; "posedge"; "negedge"; "input"; "output"; "inout"; "wire";
+    "reg"; "integer"; "parameter"; "localparam"; "assign"; "signed";
+    "for"; "default";
+  ]
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '$'
+
+(* Strips // and (* ... *) style comments and squashes strings. *)
+let strip (src : string) : string =
+  let b = Buffer.create (String.length src) in
+  let n = String.length src in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && src.[!i] = '/' && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if !i + 1 < n && src.[!i] = '/' && src.[!i + 1] = '*' then begin
+      i := !i + 2;
+      while !i + 1 < n && not (src.[!i] = '*' && src.[!i + 1] = '/') do incr i done;
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char b src.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let tokens (src : string) : string list =
+  let out = ref [] in
+  let n = String.length src in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      out := String.sub src start (!i - start) :: !out
+    end
+    else begin
+      if c > ' ' then out := String.make 1 c :: !out;
+      incr i
+    end
+  done;
+  List.rev !out
+
+let check (src : string) : (unit, error) result =
+  let toks = Array.of_list (tokens (strip src)) in
+  let n = Array.length toks in
+  let balance = Hashtbl.create 4 in
+  let bump k d = Hashtbl.replace balance k (d + (try Hashtbl.find balance k with Not_found -> 0)) in
+  let declared = Hashtbl.create 64 in
+  let err = ref None in
+  let fail msg = if !err = None then err := Some msg in
+  let decl_keywords = [ "input"; "output"; "inout"; "wire"; "reg"; "integer"; "parameter"; "localparam" ] in
+  let i = ref 0 in
+  while !i < n do
+    let t = toks.(!i) in
+    (match t with
+    | "module" -> bump "module" 1
+    | "endmodule" -> bump "module" (-1)
+    | "begin" -> bump "begin" 1
+    | "end" -> bump "begin" (-1)
+    | "case" -> bump "case" 1
+    | "endcase" -> bump "case" (-1)
+    | _ -> ());
+    (* declarations: every identifier up to the terminating ';' or ')' on
+       the same statement (excluding range/width contents) *)
+    if List.mem t decl_keywords then begin
+      let j = ref (!i + 1) in
+      let depth_sq = ref 0 in
+      let stop = ref false in
+      while (not !stop) && !j < n do
+        let u = toks.(!j) in
+        (match u with
+        | "[" -> incr depth_sq
+        | "]" -> decr depth_sq
+        | ";" | ")" | "," -> if !depth_sq = 0 && (u = ";" || u = ")") then stop := true
+        | _ ->
+            if
+              !depth_sq = 0
+              && String.length u > 0
+              && (let c = u.[0] in (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_')
+              && not (List.mem u keywords)
+            then Hashtbl.replace declared u ());
+        incr j
+      done
+    end;
+    (* module names and instance names count as declared contexts *)
+    if t = "module" && !i + 1 < n then Hashtbl.replace declared toks.(!i + 1) ();
+    incr i
+  done;
+  List.iter
+    (fun k ->
+      match Hashtbl.find_opt balance k with
+      | Some 0 | None -> ()
+      | Some d -> fail (Printf.sprintf "unbalanced %s (%+d)" k d))
+    [ "module"; "begin"; "case" ];
+  (* every assignment target must be declared *)
+  let i = ref 0 in
+  while !i + 1 < n do
+    let t = toks.(!i) and u = toks.(!i + 1) in
+    let is_ident =
+      String.length t > 0
+      &&
+      let c = t.[0] in
+      (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+    in
+    if
+      is_ident
+      && (not (List.mem t keywords))
+      && (u = "=" || (u = "<" && !i + 2 < n && toks.(!i + 2) = "="))
+      && !i > 0
+      && toks.(!i - 1) <> "." (* named port connections *)
+      && toks.(!i - 1) <> "=" && toks.(!i - 1) <> "<"
+    then begin
+      (* exclude comparisons (a <= b inside expressions is ambiguous in
+         this lexical check; only flag genuinely unknown identifiers) *)
+      if not (Hashtbl.mem declared t) then
+        fail (Printf.sprintf "assignment to undeclared identifier %s" t)
+    end;
+    incr i
+  done;
+  match !err with None -> Ok () | Some e -> Error e

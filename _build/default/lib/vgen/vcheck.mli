@@ -1,0 +1,13 @@
+(** Structural well-formedness checker for emitted Verilog — no simulator
+    exists in the build environment, so generated RTL is validated
+    lexically/structurally: balanced [module]/[endmodule],
+    [begin]/[end] and [case]/[endcase] nesting, and every assignment
+    target declared as a reg, wire or port. *)
+
+type error = string
+
+val strip : string -> string
+(** Removes comments. *)
+
+val tokens : string -> string list
+val check : string -> (unit, error) result

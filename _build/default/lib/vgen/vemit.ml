@@ -1,0 +1,277 @@
+(* Verilog backend for hardware threads (thesis §5.4: LegUp's Verilog
+   emission modified to signal the Twill runtime).
+
+   Each hardware thread becomes one FSM-with-datapath module.  The state
+   sequence follows the LegUp-substitute schedule: consecutive non-blocking
+   instructions sharing a schedule slot share a state; every runtime
+   operation (load/store over the memory bus, enqueue/dequeue, semaphores —
+   §4.4's "one call per cycle" interface) issues through the HWInterface
+   call port and, when it returns data, parks in a wait state until
+   [ret_valid].  Phi nodes resolve on block transitions, exactly like the
+   generated edge copies of the C backend.
+
+   Function codes on the call port (§4.4: "the function code uniquely
+   specifies whether to perform an enqueue, dequeue, raise, lower, load,
+   store" ...): 0 load, 1 store, 2 enqueue, 3 dequeue, 4 raise, 5 lower,
+   6 print (I/O manager), 7 start-thread, 8 stop-thread. *)
+
+open Twill_ir.Ir
+module Vec = Twill_ir.Vec
+module Schedule = Twill_hls.Schedule
+
+let fc_load = 0
+let fc_store = 1
+let fc_enqueue = 2
+let fc_dequeue = 3
+let fc_raise = 4
+let fc_lower = 5
+let fc_print = 6
+
+type micro =
+  | Comb of int list (* non-blocking instructions sharing a state *)
+  | Issue of int (* blocking op: drive the call port *)
+  | Wait of int (* park until ret_valid; latch ret_data if it has a result *)
+  | Term (* phi updates + branch *)
+
+let is_blocking = function
+  | Load _ | Store _ | Print _ | Produce _ | Consume _ | Sem_give _
+  | Sem_take _ ->
+      true
+  | _ -> false
+
+(* Linearise a block into micro-states. *)
+let micros_of_block (f : func) (s : Schedule.t) (b : block) : micro list =
+  let slot id = try Hashtbl.find s.Schedule.start_state id with Not_found -> 0 in
+  let rec go acc cur cur_slot = function
+    | [] ->
+        let acc = if cur = [] then acc else Comb (List.rev cur) :: acc in
+        List.rev (Term :: acc)
+    | id :: rest ->
+        let i = inst f id in
+        if is_phi i then go acc cur cur_slot rest
+        else if is_blocking i.kind then begin
+          let acc = if cur = [] then acc else Comb (List.rev cur) :: acc in
+          go (Wait id :: Issue id :: acc) [] (-1) rest
+        end
+        else if cur <> [] && slot id = cur_slot then
+          go acc (id :: cur) cur_slot rest
+        else begin
+          let acc = if cur = [] then acc else Comb (List.rev cur) :: acc in
+          go acc [ id ] (slot id) rest
+        end
+  in
+  go [] [] (-1) b.insts
+
+let reg_name id = Printf.sprintf "r%d" id
+
+let operand_v (o : operand) ~(glob_addr : string -> int32) : string =
+  match o with
+  | Cst c -> Printf.sprintf "32'sd%ld" (Int32.logand c 0xFFFFFFFFl)
+  | Reg r -> reg_name r
+  | Argv a -> Printf.sprintf "arg%d" a
+  | Glob g -> Printf.sprintf "32'sd%ld" (glob_addr g)
+
+let operand_v' layout fname o =
+  ignore fname;
+  operand_v o ~glob_addr:(fun g -> Twill_ir.Layout.global_address layout g)
+
+let binop_v op a b =
+  let u x = Printf.sprintf "$unsigned(%s)" x in
+  match op with
+  | Add -> Printf.sprintf "%s + %s" a b
+  | Sub -> Printf.sprintf "%s - %s" a b
+  | Mul -> Printf.sprintf "%s * %s" a b
+  | And -> Printf.sprintf "%s & %s" a b
+  | Or -> Printf.sprintf "%s | %s" a b
+  | Xor -> Printf.sprintf "%s ^ %s" a b
+  | Shl -> Printf.sprintf "%s << (%s & 31)" a b
+  | Lshr -> Printf.sprintf "%s >> (%s & 31)" (u a) b
+  | Ashr -> Printf.sprintf "%s >>> (%s & 31)" a b
+  | Sdiv -> Printf.sprintf "%s / %s" a b
+  | Srem -> Printf.sprintf "%s %% %s" a b
+  | Udiv -> Printf.sprintf "$signed(%s / %s)" (u a) (u b)
+  | Urem -> Printf.sprintf "$signed(%s %% %s)" (u a) (u b)
+
+let icmp_v op a b =
+  let u x = Printf.sprintf "$unsigned(%s)" x in
+  match op with
+  | Eq -> Printf.sprintf "%s == %s" a b
+  | Ne -> Printf.sprintf "%s != %s" a b
+  | Slt -> Printf.sprintf "%s < %s" a b
+  | Sle -> Printf.sprintf "%s <= %s" a b
+  | Sgt -> Printf.sprintf "%s > %s" a b
+  | Sge -> Printf.sprintf "%s >= %s" a b
+  | Ult -> Printf.sprintf "%s < %s" (u a) (u b)
+  | Ule -> Printf.sprintf "%s <= %s" (u a) (u b)
+  | Ugt -> Printf.sprintf "%s > %s" (u a) (u b)
+  | Uge -> Printf.sprintf "%s >= %s" (u a) (u b)
+
+(* Emits one hardware-thread module. *)
+let emit_hw_thread ?(res = Schedule.default_resources)
+    (layout : Twill_ir.Layout.t) (f : func) : string =
+  recompute_cfg f;
+  let s = Schedule.schedule ~res f in
+  let buf = Buffer.create 8192 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let ov = operand_v' layout f.name in
+  (* micro-state numbering: per block, a contiguous id range *)
+  let micros = Array.make (Vec.length f.blocks) [||] in
+  let base = Array.make (Vec.length f.blocks) 0 in
+  let next = ref 1 (* state 0 = idle/start *) in
+  Vec.iter
+    (fun (b : block) ->
+      let ms = Array.of_list (micros_of_block f s b) in
+      micros.(b.bid) <- ms;
+      base.(b.bid) <- !next;
+      next := !next + Array.length ms)
+    f.blocks;
+  let nstates = !next in
+  let st_done = nstates in
+  let width = max 1 (int_of_float (ceil (log (float_of_int (st_done + 1)) /. log 2.0))) in
+  let args =
+    String.concat ""
+      (List.init f.nparams (fun i ->
+           Printf.sprintf "  input  wire signed [31:0] arg%d,\n" i))
+  in
+  pr "// generated by Twill from function %s\n" f.name;
+  pr "module twill_thread_%s (\n" f.name;
+  pr "  input  wire clk,\n  input  wire rst,\n  input  wire start,\n%s" args;
+  pr "  output reg  done,\n  output reg  signed [31:0] retval,\n";
+  pr "  // HWInterface call port (section 4.4)\n";
+  pr "  output reg  [3:0]  fc_code,\n";
+  pr "  output reg  [7:0]  fc_target,\n";
+  pr "  output reg  signed [31:0] fc_data,\n";
+  pr "  output reg  [31:0] fc_addr,\n";
+  pr "  output reg         fc_valid,\n";
+  pr "  input  wire [3:0]  ret_code,\n";
+  pr "  input  wire signed [31:0] ret_data,\n";
+  pr "  input  wire        ret_valid\n);\n\n";
+  pr "  reg [%d:0] state;\n" (width - 1);
+  iter_insts f (fun i ->
+      if has_result i.kind then pr "  reg signed [31:0] %s;\n" (reg_name i.id));
+  pr "\n  always @(posedge clk) begin\n";
+  pr "    if (rst) begin\n      state <= 0;\n      done <= 1'b0;\n";
+  pr "      fc_valid <= 1'b0;\n    end else begin\n";
+  pr "      case (state)\n";
+  pr "        0: if (start) state <= %d;\n" base.(f.entry);
+  (* edge transition: phi updates then jump to target block's first state *)
+  let emit_edge ~pred ~target =
+    let phis =
+      List.filter_map
+        (fun id ->
+          let i = inst f id in
+          match i.kind with
+          | Phi incoming -> (
+              match List.assoc_opt pred incoming with
+              | Some v -> Some (id, v)
+              | None -> None)
+        | _ -> None)
+        (block f target).insts
+    in
+    (* nonblocking assignment gives parallel-copy semantics for free *)
+    List.iter (fun (id, v) -> pr "          %s <= %s;\n" (reg_name id) (ov v)) phis;
+    pr "          state <= %d;\n" base.(target)
+  in
+  Vec.iter
+    (fun (b : block) ->
+      Array.iteri
+        (fun k m ->
+          let st = base.(b.bid) + k in
+          let next_st = st + 1 in
+          match m with
+          | Comb ids ->
+              (* blocking assignments: operation chaining within a state
+                 must see same-state results (classic FSMD datapath style) *)
+              pr "        %d: begin\n" st;
+              List.iter
+                (fun id ->
+                  let i = inst f id in
+                  match i.kind with
+                  | Binop (op, a, bb) ->
+                      pr "          %s = %s;\n" (reg_name id)
+                        (binop_v op (ov a) (ov bb))
+                  | Icmp (op, a, bb) ->
+                      pr "          %s = (%s) ? 32'sd1 : 32'sd0;\n"
+                        (reg_name id)
+                        (icmp_v op (ov a) (ov bb))
+                  | Select (c, a, bb) ->
+                      pr "          %s = (%s != 0) ? %s : %s;\n" (reg_name id)
+                        (ov c) (ov a) (ov bb)
+                  | Gep (a, idx) ->
+                      pr "          %s = %s + %s;\n" (reg_name id) (ov a)
+                        (ov idx)
+                  | Alloca _ ->
+                      pr "          %s = 32'sd%ld;\n" (reg_name id)
+                        (Twill_ir.Layout.alloca_address layout f.name id)
+                  | Call (callee, _) ->
+                      (* sub-FSM start: modelled as a start-thread call in
+                         this emission (LegUp wires sub-modules directly) *)
+                      pr "          // call %s: sub-FSM handshake elided\n"
+                        callee;
+                      pr "          %s = 32'sd0;\n" (reg_name id)
+                  | _ -> ())
+                ids;
+              pr "          state <= %d;\n        end\n" next_st
+          | Issue id ->
+              let i = inst f id in
+              pr "        %d: begin\n" st;
+              (match i.kind with
+              | Load a ->
+                  pr "          fc_code <= 4'd%d;\n" fc_load;
+                  pr "          fc_addr <= $unsigned(%s);\n" (ov a)
+              | Store (a, v) ->
+                  pr "          fc_code <= 4'd%d;\n" fc_store;
+                  pr "          fc_addr <= $unsigned(%s);\n" (ov a);
+                  pr "          fc_data <= %s;\n" (ov v)
+              | Produce (q, v) ->
+                  pr "          fc_code <= 4'd%d;\n" fc_enqueue;
+                  pr "          fc_target <= 8'd%d;\n" q;
+                  pr "          fc_data <= %s;\n" (ov v)
+              | Consume q ->
+                  pr "          fc_code <= 4'd%d;\n" fc_dequeue;
+                  pr "          fc_target <= 8'd%d;\n" q
+              | Sem_give (sm, n) ->
+                  pr "          fc_code <= 4'd%d;\n" fc_raise;
+                  pr "          fc_target <= 8'd%d;\n" sm;
+                  pr "          fc_data <= 32'sd%d;\n" n
+              | Sem_take (sm, n) ->
+                  pr "          fc_code <= 4'd%d;\n" fc_lower;
+                  pr "          fc_target <= 8'd%d;\n" sm;
+                  pr "          fc_data <= 32'sd%d;\n" n
+              | Print v ->
+                  pr "          fc_code <= 4'd%d;\n" fc_print;
+                  pr "          fc_data <= %s;\n" (ov v)
+              | _ -> ());
+              pr "          fc_valid <= 1'b1;\n";
+              pr "          state <= %d;\n        end\n" next_st
+          | Wait id ->
+              let i = inst f id in
+              pr "        %d: if (ret_valid) begin\n" st;
+              pr "          fc_valid <= 1'b0;\n";
+              if has_result i.kind then
+                pr "          %s <= ret_data;\n" (reg_name id);
+              pr "          state <= %d;\n        end\n" next_st
+          | Term ->
+              pr "        %d: begin\n" st;
+              (match b.term with
+              | Br t -> emit_edge ~pred:b.bid ~target:t
+              | Cond_br (c, t, e) ->
+                  pr "          if (%s != 0) begin\n" (ov c);
+                  emit_edge ~pred:b.bid ~target:t;
+                  pr "          end else begin\n";
+                  emit_edge ~pred:b.bid ~target:e;
+                  pr "          end\n"
+              | Ret v ->
+                  (match v with
+                  | Some v -> pr "          retval <= %s;\n" (ov v)
+                  | None -> pr "          retval <= 32'sd0;\n");
+                  pr "          done <= 1'b1;\n";
+                  pr "          state <= %d;\n" st_done);
+              pr "        end\n")
+        micros.(b.bid))
+    f.blocks;
+  pr "        %d: done <= 1'b1; // halted\n" st_done;
+  pr "        default: state <= 0;\n";
+  pr "      endcase\n    end\n  end\n";
+  pr "endmodule\n";
+  Buffer.contents buf

@@ -1,0 +1,23 @@
+(** Verilog backend for hardware threads (thesis §5.4: LegUp's Verilog
+    emission modified to signal the Twill runtime).
+
+    Each hardware thread becomes one FSM-with-datapath module whose state
+    sequence follows the LegUp-substitute schedule; runtime operations
+    issue through the §4.4 HWInterface call port (one call per cycle) and
+    park in wait states until [ret_valid]; phis resolve on block
+    transitions.  Function codes on the call port: 0 load, 1 store,
+    2 enqueue, 3 dequeue, 4 raise, 5 lower, 6 print. *)
+
+open Twill_ir.Ir
+
+val fc_load : int
+val fc_store : int
+val fc_enqueue : int
+val fc_dequeue : int
+val fc_raise : int
+val fc_lower : int
+val fc_print : int
+
+val emit_hw_thread :
+  ?res:Twill_hls.Schedule.resources -> Twill_ir.Layout.t -> func -> string
+(** One [module twill_thread_<name> (...)]. *)

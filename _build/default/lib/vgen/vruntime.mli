@@ -1,0 +1,39 @@
+(** Verilog generators for the Twill hardware runtime (thesis Chapter 4,
+    Figure 4.1).  The primitive modules are parameterised templates; the
+    system generator instantiates one queue/semaphore/thread interface per
+    element of an extracted design, wired to the two buses. *)
+
+module Dswp = Twill_dswp.Dswp
+
+val queue_module : string
+(** [twill_queue #(WIDTH, DEPTH)] — the FIFO of §4.3: a DEPTH+1 circular
+    buffer whose give-ack is withheld when the extra slot fills, stalling
+    the producer exactly as the thesis describes. *)
+
+val semaphore_module : string
+(** [twill_semaphore #(MAX_COUNT, INITIAL)] — counting semaphore (§4.2)
+    with the minimum 2-cycle lower. *)
+
+val arbiter_module : string
+(** [twill_bus_arbiter #(N)] — §4.1's modified priority decoder: the
+    processor first, then messages to the processor, then the
+    longest-waiting requester. *)
+
+val hw_interface_module : string
+(** [twill_hw_interface] — §4.4: adapts a thread's one-call-per-cycle
+    port onto the module and memory buses without adding request
+    latency. *)
+
+val scheduler_module : string
+(** [twill_scheduler #(NTHREADS, PERIOD)] — the hardware round-robin
+    scheduler that interrupts the processor with the next software-thread
+    id (§4.4). *)
+
+val emit_system : Dswp.threaded -> string
+(** The top-level [twill_system] module: queue/semaphore/thread-interface
+    instances for one extracted design. *)
+
+val emit_design : Dswp.threaded -> string
+(** Everything needed to synthesise the design: runtime primitives, one
+    FSM module per hardware thread ({!Vemit.emit_hw_thread}), and the
+    system top. *)

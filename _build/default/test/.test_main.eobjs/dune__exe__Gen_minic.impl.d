@@ -1,0 +1,1 @@
+test/gen_minic.ml: Buffer List Printf QCheck Random String

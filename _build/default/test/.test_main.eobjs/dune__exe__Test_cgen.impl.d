@@ -1,0 +1,1 @@
+test/test_cgen.ml: Alcotest Array Filename Fmt Gen_minic Int32 List Printf QCheck QCheck_alcotest Str String Sys Twill Twill_cgen Twill_chstone Twill_minic Unix

@@ -1,0 +1,1 @@
+test/test_chstone.ml: Alcotest Chstone Fmt Int32 List Twill Twill_chstone Twill_ir Twill_minic

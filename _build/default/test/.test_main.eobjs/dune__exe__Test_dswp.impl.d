@@ -1,0 +1,1 @@
+test/test_dswp.ml: Alcotest Array Dswp Fmt Gen_minic Int32 Ir List Parexec Partition Pipeline Printf QCheck QCheck_alcotest Threadgen Twill_dswp Twill_ir Twill_minic Twill_passes Twill_pdg

@@ -1,0 +1,1 @@
+test/test_hls.ml: Alcotest Area Array Gen_minic Hashtbl Int32 Ir List Power QCheck QCheck_alcotest Schedule Twill_hls Twill_ir Twill_minic Twill_passes

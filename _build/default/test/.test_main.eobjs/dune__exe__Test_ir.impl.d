@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Fmt Int32 Interp Ir Layout List Printer Str Twill_ir Twill_minic Verify

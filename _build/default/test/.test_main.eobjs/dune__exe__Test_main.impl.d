@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest List Test_cgen Test_chstone Test_dswp Test_hls Test_ir Test_minic Test_passes Test_pdg Test_rtsim Test_vgen

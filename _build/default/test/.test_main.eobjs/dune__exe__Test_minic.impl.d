@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Fmt Int32 Minic Twill_ir Twill_minic

@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Array Dom Fmt Gen_minic Int32 Interp Ir List Loops Pipeline QCheck QCheck_alcotest Ssa_check Twill_ir Twill_minic Twill_passes Unroll

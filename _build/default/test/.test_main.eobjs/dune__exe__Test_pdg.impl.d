@@ -1,0 +1,1 @@
+test/test_pdg.ml: Alcotest Alias Array Effects Ir List Pdg Random Scc Twill_ir Twill_minic Twill_passes Twill_pdg

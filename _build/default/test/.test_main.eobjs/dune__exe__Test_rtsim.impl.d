@@ -1,0 +1,1 @@
+test/test_rtsim.ml: Alcotest Array Bus Fmt Gen_minic Int32 Interp List QCheck QCheck_alcotest Sim Twill Twill_ir Twill_minic Twill_rtsim

@@ -1,0 +1,1 @@
+test/test_vgen.ml: Alcotest Array List Str Twill Twill_chstone Twill_ir Twill_vgen Vcheck Vemit Vruntime

@@ -1,0 +1,125 @@
+(* C-backend tests: emitted C compiled with the host C compiler must
+   observe exactly the reference semantics (prints + return value) —
+   this differentially validates the whole front end and optimiser
+   against a real C toolchain. *)
+
+let gcc_available =
+  Sys.command "which gcc > /dev/null 2>&1" = 0
+
+(* Compiles and runs the harness; returns (prints, ret). *)
+let run_c (csrc : string) : int32 list * int32 =
+  let base = Filename.temp_file "twill" "" in
+  let cfile = base ^ ".c" and exe = base ^ ".exe" in
+  let oc = open_out cfile in
+  output_string oc csrc;
+  close_out oc;
+  let rc =
+    Sys.command
+      (Printf.sprintf "gcc -O1 -fwrapv -o %s %s 2> %s.log"
+         (Filename.quote exe) (Filename.quote cfile) (Filename.quote base))
+  in
+  if rc <> 0 then failwith ("gcc failed, see " ^ base ^ ".log");
+  let ic = Unix.open_process_in (Filename.quote exe) in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  ignore (Unix.close_process_in ic);
+  Sys.remove cfile;
+  Sys.remove exe;
+  (try Sys.remove (base ^ ".log") with Sys_error _ -> ());
+  (try Sys.remove base with Sys_error _ -> ());
+  let lines = List.rev !lines in
+  let rec split acc = function
+    | [] -> failwith "no RET line from emitted C"
+    | l :: rest ->
+        if String.length l > 4 && String.sub l 0 4 = "RET " then begin
+          if rest <> [] then failwith "output after RET";
+          (List.rev acc, Int32.of_string (String.sub l 4 (String.length l - 4)))
+        end
+        else split (Int32.of_string l :: acc) rest
+  in
+  split [] lines
+
+let check_i32 = Alcotest.testable (fun ppf v -> Fmt.pf ppf "%ld" v) Int32.equal
+
+let assert_c_matches ?(optimised = true) src =
+  let r0 = Twill_minic.Minic.run_reference ~fuel:500_000_000 src in
+  let m =
+    if optimised then Twill.compile src else Twill_minic.Minic.compile src
+  in
+  let csrc = Twill_cgen.Cemit.emit_host_harness m in
+  let prints, ret = run_c csrc in
+  Alcotest.(check check_i32) "ret" r0.ret ret;
+  Alcotest.(check (list check_i32)) "prints" r0.prints prints
+
+let guarded name f =
+  Alcotest.test_case name `Slow (fun () ->
+      if gcc_available then f () else Alcotest.skip ())
+
+let unit_tests =
+  [
+    guarded "straight-line arithmetic" (fun () ->
+        assert_c_matches
+          "int main() { int a = 123; int b = a * -7 + (a >> 2); print(b); \
+           return b ^ 0x5a5a; }");
+    guarded "loops, arrays, calls" (fun () ->
+        assert_c_matches
+          "int tbl[8] = {5,3,8,1,9,2,7,4};\n\
+           int find_max(int a[], int n) { int m = a[0]; for (int i = 1; i < \
+           n; i++) if (a[i] > m) m = a[i]; return m; }\n\
+           int main() { print(find_max(tbl, 8)); int s = 0; for (int i = 0; i \
+           < 8; i++) s = s * 10 + tbl[i]; return s; }");
+    guarded "unsigned semantics" (fun () ->
+        assert_c_matches
+          "int main() { uint x = 0xdeadbeef; uint y = x >> 3; int z = (int)(x \
+           / 17) + (int)(y % 1000); print((int)(x > y)); return z; }");
+    guarded "division corner cases" (fun () ->
+        assert_c_matches
+          "int main() { int a = -2147483647 - 1; print(a / 3); print(a % 7); \
+           print(-7 / 2); print(-7 % 2); return 0; }");
+    guarded "unoptimised IR also matches" (fun () ->
+        assert_c_matches ~optimised:false
+          "int main() { int acc = 0; for (int i = 0; i < 37; i++) { if (i % 3 \
+           == 0) acc += i * i; else acc ^= i << 2; } return acc; }");
+    guarded "sw-thread program declares the runtime API" (fun () ->
+        let m = Twill.compile "int main() { return 7; }" in
+        let t = Twill.extract m in
+        let master = t.Twill.Dswp.stages.(t.Twill.Dswp.master) in
+        let c = Twill_cgen.Cemit.emit_sw_program t.Twill.Dswp.modul ~entry:master in
+        List.iter
+          (fun needle ->
+            Alcotest.(check bool) needle true
+              (let re = Str.regexp_string needle in
+               try ignore (Str.search_forward re c 0); true
+               with Not_found -> false))
+          [ "Twill_Enqueue"; "Twill_Dequeue"; "tw_" ^ master ]);
+  ]
+
+let prop_c_backend =
+  QCheck.Test.make ~count:25 ~name:"emitted C == reference (gcc)"
+    Gen_minic.arbitrary (fun src ->
+      if not gcc_available then true
+      else
+        match Twill_minic.Minic.run_reference ~fuel:3_000_000 src with
+        | exception Twill_minic.Ast_interp.Out_of_fuel -> QCheck.assume_fail ()
+        | r0 ->
+            let m = Twill.compile src in
+            let prints, ret = run_c (Twill_cgen.Cemit.emit_host_harness m) in
+            r0.ret = ret && r0.prints = prints)
+
+let chstone_tests =
+  List.map
+    (fun (b : Twill_chstone.Chstone.benchmark) ->
+      guarded ("chstone " ^ b.Twill_chstone.Chstone.name) (fun () ->
+          assert_c_matches b.Twill_chstone.Chstone.source))
+    Twill_chstone.Chstone.all
+
+let suites =
+  [
+    ("cgen:unit", unit_tests);
+    ("cgen:property", [ QCheck_alcotest.to_alcotest prop_c_backend ]);
+    ("cgen:chstone", chstone_tests);
+  ]

@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "twill"
+    (List.concat [
+         Test_ir.suites;
+         Test_minic.suites;
+         Test_passes.suites;
+         Test_pdg.suites;
+         Test_dswp.suites;
+         Test_hls.suites;
+         Test_rtsim.suites;
+         Test_chstone.suites;
+         Test_cgen.suites;
+         Test_vgen.suites;
+       ])

@@ -1,0 +1,250 @@
+(* Front-end tests: lexer, parser, type checker, and the AST-vs-IR
+   differential oracle. *)
+
+open Twill_minic
+
+let check_i32 = Alcotest.testable (fun ppf v -> Fmt.pf ppf "%ld" v) Int32.equal
+
+(* Compile [src] both ways and insist the observable behaviours agree. *)
+let assert_agree ?(fuel = 20_000_000) src =
+  let ref_res = Minic.run_reference ~fuel src in
+  let m = Minic.compile src in
+  let ir_res = Twill_ir.Interp.run ~fuel m in
+  Alcotest.(check check_i32) "return value" ref_res.ret ir_res.ret;
+  Alcotest.(check (list check_i32)) "prints" ref_res.prints ir_res.prints;
+  ir_res
+
+let agree name ?expect src =
+  Alcotest.test_case name `Quick (fun () ->
+      let r = assert_agree src in
+      match expect with
+      | None -> ()
+      | Some v -> Alcotest.(check check_i32) "expected result" v r.ret)
+
+let rejects name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match Minic.compile src with
+      | exception Minic.Error _ -> ()
+      | _ -> Alcotest.fail "expected a front-end error")
+
+let basic_tests =
+  [
+    agree "return constant" ~expect:42l "int main() { return 42; }";
+    agree "arith precedence" ~expect:14l "int main() { return 2 + 3 * 4; }";
+    agree "parens" ~expect:20l "int main() { return (2 + 3) * 4; }";
+    agree "hex literal" ~expect:255l "int main() { return 0xff; }";
+    agree "char literal" ~expect:65l "int main() { return 'A'; }";
+    agree "negative division truncates" ~expect:(-2l)
+      "int main() { return -7 / 3; }";
+    agree "signed remainder" ~expect:(-1l) "int main() { return -7 % 3; }";
+    agree "unsigned division" ~expect:2147483647l
+      "int main() { uint x = 0xfffffffe; return (int)(x / 2); }";
+    agree "unsigned comparison" ~expect:1l
+      "int main() { uint x = 0xffffffff; if (x > 10) return 1; return 0; }";
+    agree "signed comparison of same bits" ~expect:0l
+      "int main() { int x = 0xffffffff; if (x > 10) return 1; return 0; }";
+    agree "arithmetic shift" ~expect:(-1l) "int main() { int x = -16; return x >> 4; }";
+    agree "logical shift" ~expect:268435455l
+      "int main() { uint x = 0xfffffff0; return (int)(x >> 4); }";
+    agree "shift count masked" ~expect:2l "int main() { return 1 << 33; }";
+    agree "bitwise ops" ~expect:10l "int main() { return (12 & 10) | (5 ^ 7) & 6; }";
+    agree "wraparound add" ~expect:Int32.min_int
+      "int main() { int x = 0x7fffffff; return x + 1; }";
+    agree "unary minus and bnot" ~expect:4l "int main() { return -(~5) + -2; }";
+    agree "logical not" ~expect:1l "int main() { return !0; }";
+    agree "ternary" ~expect:7l "int main() { int x = 3; return x > 2 ? 7 : 9; }";
+    agree "comments" ~expect:1l
+      "int main() { // line\n /* block\n comment */ return 1; }";
+    agree "cast selects logical shift" ~expect:134217727l
+      "int main() { int x = -1; return (int)((uint)x >> 5); }";
+    agree "cast selects unsigned compare" ~expect:1l
+      "int main() { int x = -1; if ((uint)x > 100) return 1; return 0; }";
+    agree "cast to int keeps bits" ~expect:(-1l)
+      "int main() { uint x = 0xffffffff; return (int)x; }";
+    agree "cast selects unsigned division" ~expect:2147483647l
+      "int main() { int x = -2; return (int)((uint)x / 2); }";
+  ]
+
+let control_tests =
+  [
+    agree "if else chains" ~expect:3l
+      "int main() { int x = 10; if (x < 5) return 1; else if (x < 8) return 2; \
+       else return 3; }";
+    agree "while sum" ~expect:55l
+      "int main() { int i = 1; int s = 0; while (i <= 10) { s += i; i++; } \
+       return s; }";
+    agree "for sum" ~expect:55l
+      "int main() { int s = 0; for (int i = 1; i <= 10; i++) s += i; return s; }";
+    agree "do while" ~expect:1l
+      "int main() { int i = 0; do { i++; } while (i < 1); return i; }";
+    agree "break" ~expect:5l
+      "int main() { int i; for (i = 0; i < 100; i++) { if (i == 5) break; } \
+       return i; }";
+    agree "continue" ~expect:25l
+      "int main() { int s = 0; for (int i = 0; i < 10; i++) { if (i % 2 == 0) \
+       continue; s += i; } return s; }";
+    agree "nested loops" ~expect:100l
+      "int main() { int s = 0; for (int i = 0; i < 10; i++) for (int j = 0; j \
+       < 10; j++) s++; return s; }";
+    agree "short circuit and skips rhs" ~expect:1l
+      "int g = 0;\n\
+       int touch() { g = 1; return 1; }\n\
+       int main() { int c = 0; if (c && touch()) return 9; return g == 0; }";
+    agree "short circuit or skips rhs" ~expect:1l
+      "int g = 0;\n\
+       int touch() { g = 1; return 1; }\n\
+       int main() { int c = 1; if (c || touch()) return g == 0; return 9; }";
+    agree "empty for clauses" ~expect:10l
+      "int main() { int i = 0; for (;;) { i++; if (i == 10) break; } return i; }";
+    agree "early return in loop" ~expect:4l
+      "int main() { for (int i = 0; i < 10; i++) { if (i * i > 10) return i; } \
+       return -1; }";
+  ]
+
+let data_tests =
+  [
+    agree "local array" ~expect:6l
+      "int main() { int a[3]; a[0] = 1; a[1] = 2; a[2] = 3; return a[0] + a[1] \
+       + a[2]; }";
+    agree "array initializer" ~expect:10l
+      "int main() { int a[4] = {1, 2, 3, 4}; return a[0]+a[1]+a[2]+a[3]; }";
+    agree "array initializer zero fill" ~expect:3l
+      "int main() { int a[4] = {1, 2}; return a[0]+a[1]+a[2]+a[3]; }";
+    agree "local arrays are zeroed" ~expect:0l
+      "int main() { int a[100]; int s = 0; for (int i = 0; i < 100; i++) s += \
+       a[i]; return s; }";
+    agree "2d array" ~expect:12l
+      "int main() { int a[3][4]; for (int i = 0; i < 3; i++) for (int j = 0; j \
+       < 4; j++) a[i][j] = 1; int s = 0; for (int i = 0; i < 3; i++) for (int \
+       j = 0; j < 4; j++) s += a[i][j]; return s; }";
+    agree "2d initializer" ~expect:21l
+      "int main() { int a[2][3] = {{1,2,3},{4,5,6}}; int s = 0; for (int i = \
+       0; i < 2; i++) for (int j = 0; j < 3; j++) s += a[i][j]; return s; }";
+    agree "global scalar" ~expect:8l
+      "int g = 5;\nint main() { g += 3; return g; }";
+    agree "global array with init" ~expect:15l
+      "int tbl[5] = {1,2,3,4,5};\n\
+       int main() { int s = 0; for (int i = 0; i < 5; i++) s += tbl[i]; return \
+       s; }";
+    agree "global flat init of 2d" ~expect:10l
+      "int t[2][2] = {1,2,3,4};\n\
+       int main() { return t[0][0]+t[0][1]+t[1][0]+t[1][1]; }";
+    agree "const-expression global init" ~expect:48l
+      "int g = 3 * (1 << 4);\nint main() { return g; }";
+    agree "shadowing" ~expect:7l
+      "int main() { int x = 3; { int x = 4; { x += 0; } return x + 3; } }";
+    agree "redeclared array in loop is reinitialized" ~expect:30l
+      "int main() { int s = 0; for (int i = 0; i < 10; i++) { int a[2] = {1, \
+       2}; s += a[0] + a[1]; a[0] = 99; } return s; }";
+  ]
+
+let func_tests =
+  [
+    agree "simple call" ~expect:13l
+      "int add(int a, int b) { return a + b; }\n\
+       int main() { return add(6, 7); }";
+    agree "void function side effect" ~expect:3l
+      "int g;\nvoid bump() { g += 1; }\n\
+       int main() { bump(); bump(); bump(); return g; }";
+    agree "array parameter aliases" ~expect:9l
+      "void fill(int a[], int n) { for (int i = 0; i < n; i++) a[i] = i; }\n\
+       int sum(int a[], int n) { int s = 0; for (int i = 0; i < n; i++) s += \
+       a[i]; return s; }\n\
+       int main() { int buf[4]; fill(buf, 4); buf[0] += 3; return sum(buf, 4); }";
+    agree "2d array parameter" ~expect:6l
+      "int trace(int m[][3], int n) { int s = 0; for (int i = 0; i < n; i++) s \
+       += m[i][i]; return s; }\n\
+       int main() { int m[3][3] = {{1,0,0},{0,2,0},{0,0,3}}; return trace(m, \
+       3); }";
+    agree "param mutation is local" ~expect:5l
+      "int f(int x) { x = 99; return 0; }\n\
+       int main() { int x = 5; f(x); return x; }";
+    agree "mutating scalar parameter inside callee" ~expect:10l
+      "int twice(int x) { x = x * 2; return x; }\nint main() { return twice(5); }";
+    agree "call chain" ~expect:21l
+      "int f1(int x) { return x + 1; }\n\
+       int f2(int x) { return f1(x) * 2; }\n\
+       int f3(int x) { return f2(x) + f1(x); }\n\
+       int main() { return f3(6); }";
+    agree "print builtin"
+      "int main() { for (int i = 0; i < 3; i++) print(i * i); return 0; }";
+    agree "global shared across calls" ~expect:20l
+      "int acc = 0;\nvoid add(int v) { acc += v; }\n\
+       int main() { for (int i = 0; i < 5; i++) add(i * 2); return acc; }";
+  ]
+
+let reject_tests =
+  [
+    rejects "undeclared variable" "int main() { return x; }";
+    rejects "undeclared function" "int main() { return f(1); }";
+    rejects "recursion" "int f(int n) { return n == 0 ? 1 : n * f(n - 1); }\nint main() { return f(3); }";
+    rejects "mutual recursion"
+      "int g(int n);\nint f(int n) { return g(n); }\nint g(int n) { return f(n); }\nint main() { return f(1); }";
+    rejects "arity mismatch" "int f(int a, int b) { return a; }\nint main() { return f(1); }";
+    rejects "array as scalar" "int main() { int a[3]; return a; }";
+    rejects "scalar as array" "int main() { int a; return a[0]; }";
+    rejects "index arity" "int main() { int a[2][2]; return a[0]; }";
+    rejects "break outside loop" "int main() { break; return 0; }";
+    rejects "continue outside loop" "int main() { continue; return 0; }";
+    rejects "void in expression" "void f() { }\nint main() { return f() + 1; }";
+    rejects "missing main" "int f() { return 0; }";
+    rejects "main with params" "int main(int x) { return x; }";
+    rejects "duplicate function" "int f() { return 0; }\nint f() { return 1; }\nint main() { return 0; }";
+    rejects "duplicate local" "int main() { int x; int x; return 0; }";
+    rejects "return value from void" "void f() { return 3; }\nint main() { return 0; }";
+    rejects "non-constant global init" "int g();\nint x = g();\nint main() { return 0; }";
+    rejects "void variable" "int main() { void x; return 0; }";
+    rejects "array dim mismatch in call"
+      "int f(int m[][4]) { return m[0][0]; }\nint main() { int m[2][3]; return f(m); }";
+    rejects "parse error" "int main() { return 1 +; }";
+    rejects "lex error" "int main() { return #; }";
+  ]
+
+(* A slightly larger program touching most features at once. *)
+let kitchen_sink =
+  {|
+  const int N = 0; // unused global
+  uint state = 12345;
+  int history[16];
+
+  uint lcg() {
+    state = state * 1103515245 + 12345;
+    return (state >> 16) & 0x7fff;
+  }
+
+  int collatz_len(int n) {
+    int len = 0;
+    while (n != 1 && len < 1000) {
+      if (n % 2 == 0) n = n / 2;
+      else n = 3 * n + 1;
+      len++;
+    }
+    return len;
+  }
+
+  int main() {
+    int best = 0;
+    for (int i = 0; i < 16; i++) {
+      int v = (int)(lcg() % 97) + 2;
+      int l = collatz_len(v);
+      history[i] = l;
+      if (l > best) best = l;
+      print(l);
+    }
+    int sum = 0;
+    for (int i = 0; i < 16; i++) sum += history[i];
+    return best * 1000 + sum % 1000;
+  }
+|}
+
+let integration_tests = [ agree "kitchen sink" kitchen_sink ]
+
+let suites =
+  [
+    ("minic:basic", basic_tests);
+    ("minic:control", control_tests);
+    ("minic:data", data_tests);
+    ("minic:functions", func_tests);
+    ("minic:reject", reject_tests);
+    ("minic:integration", integration_tests);
+  ]

@@ -1,0 +1,164 @@
+(* Runtime-simulator tests: the Chapter 4 timing contracts, determinism,
+   and the headline property — the cycle-accurate simulation observes the
+   sequential program's semantics for random programs and configurations. *)
+
+open Twill_ir
+open Twill_rtsim
+
+let check_i32 = Alcotest.testable (fun ppf v -> Fmt.pf ppf "%ld" v) Int32.equal
+
+let twill_of ?(nstages = 3) src =
+  let opts =
+    {
+      Twill.default_options with
+      partition =
+        { Twill.Partition.default_config with Twill.Partition.nstages = nstages };
+    }
+  in
+  let m = Twill.compile ~opts src in
+  (opts, m, Twill.extract ~opts m)
+
+let simulate ?config ?depth (opts : Twill.options) (t : Twill.Dswp.threaded) =
+  let config =
+    match config with
+    | Some c -> c
+    | None -> (
+        match depth with
+        | None -> Twill.sim_config opts
+        | Some d ->
+            { (Twill.sim_config opts) with Sim.queue_depth_override = Some d })
+  in
+  let threads =
+    Array.mapi
+      (fun s name ->
+        {
+          Sim.tname = name;
+          trole =
+            (match t.Twill.Dswp.roles.(s) with
+            | Twill.Partition.Sw -> Sim.Sw
+            | Twill.Partition.Hw -> Sim.Hw);
+          local_memory = false;
+        })
+      t.Twill.Dswp.stages
+  in
+  Sim.simulate ~config ~master:t.Twill.Dswp.master t.Twill.Dswp.modul ~threads
+    ~queues:t.Twill.Dswp.queues ~nsems:t.Twill.Dswp.nsems ()
+
+let pipeline_src =
+  "int main() { int acc = 0; for (int i = 0; i < 200; i++) { int a = (i * \
+   2654435761) >> 3; int b = (a ^ i) * 5; acc += b >> 2; } return acc; }"
+
+let bus_tests =
+  [
+    Alcotest.test_case "bus grants one message per cycle" `Quick (fun () ->
+        let b = Bus.create "t" in
+        let g1 = Bus.reserve b 10 in
+        let g2 = Bus.reserve b 10 in
+        let g3 = Bus.reserve b 10 in
+        Alcotest.(check (list int)) "distinct consecutive grants" [ 10; 11; 12 ]
+          [ g1; g2; g3 ]);
+    Alcotest.test_case "grants never go backwards" `Quick (fun () ->
+        let b = Bus.create "t" in
+        ignore (Bus.reserve b 5);
+        let g = Bus.reserve b 3 in
+        Alcotest.(check bool) "slot 3 still free" true (g = 3));
+  ]
+
+let timing_tests =
+  [
+    Alcotest.test_case "simulation is deterministic" `Quick (fun () ->
+        let opts, _, t = twill_of pipeline_src in
+        let s1 = simulate opts t and s2 = simulate opts t in
+        Alcotest.(check int) "same makespan" s1.Sim.cycles s2.Sim.cycles;
+        Alcotest.(check check_i32) "same result" s1.Sim.ret s2.Sim.ret);
+    Alcotest.test_case "makespan covers every thread" `Quick (fun () ->
+        let opts, _, t = twill_of pipeline_src in
+        let s = simulate opts t in
+        Array.iter
+          (fun (_, c) ->
+            Alcotest.(check bool) "finish <= makespan" true (c <= s.Sim.cycles))
+          s.Sim.thread_finish;
+        Array.iter
+          (fun (n, b) ->
+            let f = List.assoc n (Array.to_list s.Sim.thread_finish) in
+            Alcotest.(check bool) "busy <= finish" true (b <= f))
+          s.Sim.thread_busy);
+    Alcotest.test_case "queue latency slows the pipeline monotonically" `Quick
+      (fun () ->
+        let opts, _, t = twill_of pipeline_src in
+        let at lat =
+          (simulate
+             ~config:{ (Twill.sim_config opts) with Sim.queue_latency = lat }
+             opts t)
+            .Sim.cycles
+        in
+        let c2 = at 2 and c64 = at 64 and c256 = at 256 in
+        Alcotest.(check bool) "2 <= 64" true (c2 <= c64);
+        Alcotest.(check bool) "64 <= 256" true (c64 <= c256));
+    Alcotest.test_case "deeper queues never hurt (2% tolerance)" `Quick
+      (fun () ->
+        (* arbitration order makes timing only approximately monotone *)
+        let opts, _, t = twill_of pipeline_src in
+        let c1 = (simulate ~depth:1 opts t).Sim.cycles in
+        let c8 = (simulate ~depth:8 opts t).Sim.cycles in
+        let c64 = (simulate ~depth:64 opts t).Sim.cycles in
+        let geq a b = float_of_int a >= 0.98 *. float_of_int b in
+        Alcotest.(check bool) "1 >= 8" true (geq c1 c8);
+        Alcotest.(check bool) "8 >= 64" true (geq c8 c64));
+    Alcotest.test_case "pure SW simulation matches the interpreter's cycles"
+      `Quick (fun () ->
+        let m = Twill.compile pipeline_src in
+        let sim = Twill.run_pure_sw m in
+        let interp = Interp.run m in
+        Alcotest.(check check_i32) "value" interp.Interp.ret sim.Twill.ret;
+        Alcotest.(check int) "cycles" interp.Interp.cycles sim.Twill.cycles);
+    Alcotest.test_case "hardware exploits ILP vs software" `Quick (fun () ->
+        let m = Twill.compile pipeline_src in
+        let sw = Twill.run_pure_sw m and hw = Twill.run_pure_hw m in
+        Alcotest.(check bool) "hw at least 3x faster here" true
+          (hw.Twill.cycles * 3 < sw.Twill.cycles));
+    Alcotest.test_case "queue peaks bounded by depth" `Quick (fun () ->
+        let opts, _, t = twill_of pipeline_src in
+        let s = simulate ~depth:4 opts t in
+        Array.iter
+          (fun p -> Alcotest.(check bool) "peak <= depth" true (p <= 4))
+          s.Sim.queue_peaks);
+  ]
+
+(* the headline property: the timed simulation observes sequential
+   semantics for random programs, stage counts and queue shapes *)
+let prop_sim_sound =
+  QCheck.Test.make ~count:60
+    ~name:"cycle simulation == sequential semantics (random configs)"
+    QCheck.(
+      pair Gen_minic.arbitrary
+        (triple (int_range 1 6) (int_range 1 4) (int_range 2 40)))
+    (fun (src, (nstages, depth_pow, latency)) ->
+      match Twill_minic.Minic.run_reference ~fuel:2_000_000 src with
+      | exception Twill_minic.Ast_interp.Out_of_fuel -> QCheck.assume_fail ()
+      | r0 -> (
+          let opts =
+            {
+              Twill.default_options with
+              partition =
+                {
+                  Twill.Partition.default_config with
+                  Twill.Partition.nstages;
+                };
+              queue_depth = 1 lsl depth_pow;
+              queue_latency = latency;
+            }
+          in
+          let m = Twill.compile ~opts src in
+          let t = Twill.extract ~opts m in
+          match simulate opts t with
+          | s -> r0.ret = s.Sim.ret && r0.prints = s.Sim.prints
+          | exception Sim.Deadlock msg ->
+              QCheck.Test.fail_report ("deadlock: " ^ msg)))
+
+let suites =
+  [
+    ("rtsim:bus", bus_tests);
+    ("rtsim:timing", timing_tests);
+    ("rtsim:property", [ QCheck_alcotest.to_alcotest prop_sim_sound ]);
+  ]

@@ -1,0 +1,127 @@
+(* Verilog-backend tests: structural validity of the generated RTL for
+   the runtime primitives and for every CHStone hardware thread. *)
+
+open Twill_vgen
+
+let check_ok name (src : string) =
+  match Vcheck.check src with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: %s" name e
+
+let contains hay needle =
+  let re = Str.regexp_string needle in
+  try
+    ignore (Str.search_forward re hay 0);
+    true
+  with Not_found -> false
+
+let count hay needle =
+  let re = Str.regexp_string needle in
+  let rec go pos acc =
+    match Str.search_forward re hay pos with
+    | p -> go (p + 1) (acc + 1)
+    | exception Not_found -> acc
+  in
+  go 0 0
+
+let primitive_tests =
+  [
+    Alcotest.test_case "runtime primitives are well formed" `Quick (fun () ->
+        List.iter
+          (fun (n, s) -> check_ok n s)
+          [
+            ("queue", Vruntime.queue_module);
+            ("semaphore", Vruntime.semaphore_module);
+            ("arbiter", Vruntime.arbiter_module);
+            ("hw interface", Vruntime.hw_interface_module);
+            ("scheduler", Vruntime.scheduler_module);
+          ]);
+    Alcotest.test_case "queue implements the size+1 buffer of §4.3" `Quick
+      (fun () ->
+        Alcotest.(check bool) "extra slot" true
+          (contains Vruntime.queue_module "buffer [0:DEPTH]");
+        Alcotest.(check bool) "ack withheld when full" true
+          (contains Vruntime.queue_module "give_ack <= (count < DEPTH)"));
+    Alcotest.test_case "checker rejects broken RTL" `Quick (fun () ->
+        (match Vcheck.check "module m; begin endmodule" with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "unbalanced begin accepted");
+        match Vcheck.check "module m; always @(posedge clk) foo <= 1; endmodule" with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "undeclared assignment accepted");
+  ]
+
+let thread_tests =
+  [
+    Alcotest.test_case "hw thread module for a small kernel" `Quick (fun () ->
+        let m =
+          Twill.compile
+            "int main() { int s = 0; for (int i = 0; i < 32; i++) s += i * i; \
+             return s; }"
+        in
+        let layout = Twill_ir.Layout.build m in
+        let v = Vemit.emit_hw_thread layout (Twill.Ir.find_func m "main") in
+        check_ok "main" v;
+        Alcotest.(check bool) "module name" true
+          (contains v "module twill_thread_main");
+        Alcotest.(check bool) "has FSM" true (contains v "case (state)");
+        Alcotest.(check bool) "call port" true (contains v "fc_valid"));
+    Alcotest.test_case "queue ops drive the call port" `Quick (fun () ->
+        let opts =
+          {
+            Twill.default_options with
+            partition =
+              { Twill.Partition.default_config with Twill.Partition.nstages = 3 };
+          }
+        in
+        let m =
+          Twill.compile ~opts
+            "int main() { int acc = 0; for (int i = 0; i < 100; i++) { int a \
+             = i * 7; int b = (a ^ 3) * 5; acc += b; } return acc; }"
+        in
+        let t = Twill.extract ~opts m in
+        let design = Vruntime.emit_design t in
+        check_ok "design" design;
+        Alcotest.(check bool) "instantiates queues" true
+          (count design "twill_queue #(" >= 1);
+        Alcotest.(check bool) "enqueue code driven" true
+          (contains design "fc_code <= 4'd2"));
+  ]
+
+let system_tests =
+  List.map
+    (fun (b : Twill_chstone.Chstone.benchmark) ->
+      Alcotest.test_case ("chstone design " ^ b.Twill_chstone.Chstone.name)
+        `Slow (fun () ->
+          let opts =
+            {
+              Twill.default_options with
+              partition =
+                { Twill.Partition.default_config with Twill.Partition.nstages = 3 };
+            }
+          in
+          let m = Twill.compile ~opts b.Twill_chstone.Chstone.source in
+          let t = Twill.extract ~opts m in
+          let design = Vruntime.emit_design t in
+          check_ok b.Twill_chstone.Chstone.name design;
+          (* one queue instance per extracted queue (+1: the primitive's
+             own module header) *)
+          Alcotest.(check int) "queue instances"
+            (Array.length t.Twill.Dswp.queues + 1)
+            (count design "twill_queue #(");
+          (* one thread module per hardware stage *)
+          let hw =
+            Array.to_list t.Twill.Dswp.roles
+            |> List.filter (fun r -> r = Twill.Partition.Hw)
+            |> List.length
+          in
+          Alcotest.(check int) "thread modules" hw
+            (count design "module twill_thread_main__dswp_")))
+    Twill_chstone.Chstone.all
+
+let suites =
+  [
+    ("vgen:primitives", primitive_tests);
+    ("vgen:threads", thread_tests);
+    ("vgen:chstone", system_tests);
+  ]
