@@ -17,30 +17,26 @@ let line = String.make 78 '-'
 
 let header title = Printf.printf "\n%s\n%s\n%s\n" line title line
 
-(* Reports are expensive; compute each benchmark once, in parallel
-   domains (the simulations are independent). *)
-let parallel_map (f : 'a -> 'b) (xs : 'a list) : 'b list =
-  let n = Domain.recommended_domain_count () in
-  if n <= 1 || List.length xs <= 1 then List.map f xs
-  else begin
-    let arr = Array.of_list xs in
-    let out = Array.make (Array.length arr) None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let continue_ = ref true in
-      while !continue_ do
-        let i = Atomic.fetch_and_add next 1 in
-        if i >= Array.length arr then continue_ := false
-        else out.(i) <- Some (f arr.(i))
-      done
-    in
-    let domains =
-      List.init (min n (Array.length arr) - 1) (fun _ -> Domain.spawn worker)
-    in
-    worker ();
-    List.iter Domain.join domains;
-    Array.to_list out |> List.map Option.get
-  end
+(* Compiled modules and their block profiles, shared across artifacts:
+   simulation options (queue latency/depth, partition targets) do not
+   affect compilation, and DSWP extraction no longer mutates its input
+   module, so one compile + one instrumented profiling run per benchmark
+   serves every sweep point.  Keyed by benchmark plus a variant tag for
+   the few sweeps that change compilation itself (unrolling). *)
+let module_cache : (string, Twill.Ir.modul * int array) Hashtbl.t =
+  Hashtbl.create 16
+
+let compiled ?(opts = Twill.default_options) ?(tag = "default")
+    (b : C.benchmark) : Twill.Ir.modul * int array =
+  let key = b.C.name ^ "/" ^ tag in
+  match Hashtbl.find_opt module_cache key with
+  | Some mp -> mp
+  | None ->
+      let m = Twill.compile ~opts b.C.source in
+      let p = Twill.profile_blocks ~opts m in
+      let mp = (m, p) in
+      Hashtbl.replace module_cache key mp;
+      mp
 
 let report_cache : (string, Twill.report) Hashtbl.t = Hashtbl.create 8
 
@@ -61,12 +57,13 @@ let report_of (b : C.benchmark) : Twill.report =
       r
 
 let all_reports () =
-  (* warm the cache in parallel on first use *)
+  (* warm the cache in parallel on first use; reports are expensive and
+     the benchmarks are independent *)
   if Hashtbl.length report_cache = 0 then
     List.iter2
       (fun b r -> Hashtbl.replace report_cache b.C.name r)
       C.all
-      (parallel_map compute_report C.all);
+      (Twill.Par.map compute_report C.all);
   List.map (fun b -> (b, report_of b)) C.all
 
 (* ------------------------------------------------------------------ *)
@@ -191,6 +188,8 @@ let split_sweep name =
   let fractions = [ 0.05; 0.1; 0.25; 0.5; 0.75; 0.9 ] in
   Printf.printf "%-8s | %10s %10s %8s\n" "SW split" "cycles" "norm (5%)"
     "queues";
+  (* the split target only affects partitioning: compile and profile once *)
+  let m, profile = compiled b in
   let base = ref 0 in
   List.iter
     (fun f ->
@@ -201,8 +200,7 @@ let split_sweep name =
             { Twill.Partition.default_config with Twill.Partition.sw_fraction = f };
         }
       in
-      let m = Twill.compile ~opts b.C.source in
-      let tw = Twill.run_twill ~opts m in
+      let tw = Twill.run_twill ~opts ~profile m in
       if !base = 0 then base := tw.Twill.scenario.Twill.cycles;
       Printf.printf "%7.0f%% | %10d %10.2f %8d\n" (f *. 100.0)
         tw.Twill.scenario.Twill.cycles
@@ -233,47 +231,10 @@ let forced_pipeline_opts =
     partition = { Twill.Partition.default_config with Twill.Partition.nstages = 3 };
   }
 
-let fig_6_5 () =
-  header
-    "Figure 6.5 — Twill speedup vs queue latency, normalised to 2-cycle \
-     latency (paper: ~27% average slowdown at latency 128; 3-stage pipeline)";
-  let latencies = [ 2; 8; 32; 128 ] in
-  Printf.printf "%-10s |" "benchmark";
-  List.iter (fun l -> Printf.printf " %8s" (Printf.sprintf "lat=%d" l)) latencies;
-  Printf.printf "\n";
-  let sums = Array.make (List.length latencies) 0.0 in
-  List.iter
-    (fun (b : C.benchmark) ->
-      Printf.printf "%-10s |" b.C.name;
-      let base = ref 0 in
-      List.iteri
-        (fun i lat ->
-          let opts = { forced_pipeline_opts with queue_latency = lat } in
-          let m = Twill.compile ~opts b.C.source in
-          let tw = Twill.run_twill ~opts m in
-          if i = 0 then base := tw.Twill.scenario.Twill.cycles;
-          let norm =
-            float_of_int !base /. float_of_int tw.Twill.scenario.Twill.cycles
-          in
-          sums.(i) <- sums.(i) +. norm;
-          Printf.printf " %8.3f" norm)
-        latencies;
-      Printf.printf "\n%!")
-    C.all;
-  Printf.printf "%-10s |" "average";
-  Array.iter
-    (fun s -> Printf.printf " %8.3f" (s /. float_of_int (List.length C.all)))
-    sums;
-  Printf.printf "\n"
-
-(* ------------------------------------------------------------------ *)
-(* Figure 6.6: sensitivity to queue length                             *)
-(* ------------------------------------------------------------------ *)
-
-let simulate_with_depth (t : Twill.Dswp.threaded) opts depth =
-  let config =
-    { (Twill.sim_config opts) with Twill.Sim.queue_depth_override = Some depth }
-  in
+(* Replays one extraction under a different simulator configuration —
+   the latency/depth sweeps vary only the runtime, so the compile,
+   profile and extraction are shared across the sweep points. *)
+let simulate_threaded (t : Twill.Dswp.threaded) config =
   let threads =
     Array.mapi
       (fun s name ->
@@ -291,6 +252,49 @@ let simulate_with_depth (t : Twill.Dswp.threaded) opts depth =
      ~threads ~queues:t.Twill.Dswp.queues ~nsems:t.Twill.Dswp.nsems ())
     .Twill.Sim.cycles
 
+let fig_6_5 () =
+  header
+    "Figure 6.5 — Twill speedup vs queue latency, normalised to 2-cycle \
+     latency (paper: ~27% average slowdown at latency 128; 3-stage pipeline)";
+  let latencies = [ 2; 8; 32; 128 ] in
+  Printf.printf "%-10s |" "benchmark";
+  List.iter (fun l -> Printf.printf " %8s" (Printf.sprintf "lat=%d" l)) latencies;
+  Printf.printf "\n";
+  let sums = Array.make (List.length latencies) 0.0 in
+  List.iter
+    (fun (b : C.benchmark) ->
+      Printf.printf "%-10s |" b.C.name;
+      let opts = forced_pipeline_opts in
+      let m, profile = compiled ~opts b in
+      let t = Twill.extract ~opts ~profile m in
+      let base = ref 0 in
+      List.iteri
+        (fun i lat ->
+          let config =
+            { (Twill.sim_config opts) with Twill.Sim.queue_latency = lat }
+          in
+          let cycles = simulate_threaded t config in
+          if i = 0 then base := cycles;
+          let norm = float_of_int !base /. float_of_int cycles in
+          sums.(i) <- sums.(i) +. norm;
+          Printf.printf " %8.3f" norm)
+        latencies;
+      Printf.printf "\n%!")
+    C.all;
+  Printf.printf "%-10s |" "average";
+  Array.iter
+    (fun s -> Printf.printf " %8.3f" (s /. float_of_int (List.length C.all)))
+    sums;
+  Printf.printf "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6.6: sensitivity to queue length                             *)
+(* ------------------------------------------------------------------ *)
+
+let simulate_with_depth (t : Twill.Dswp.threaded) opts depth =
+  simulate_threaded t
+    { (Twill.sim_config opts) with Twill.Sim.queue_depth_override = Some depth }
+
 let fig_6_6 () =
   header
     "Figure 6.6 — Twill speedup vs queue length, normalised to length 8 \
@@ -304,8 +308,8 @@ let fig_6_6 () =
     (fun (b : C.benchmark) ->
       Printf.printf "%-10s |" b.C.name;
       let opts = forced_pipeline_opts in
-      let m = Twill.compile ~opts b.C.source in
-      let t = Twill.extract ~opts m in
+      let m, profile = compiled ~opts b in
+      let t = Twill.extract ~opts ~profile m in
       let results = List.map (fun d -> (d, simulate_with_depth t opts d)) depths in
       let base = match List.assoc_opt 8 results with Some c -> c | None -> 1 in
       List.iteri
@@ -335,9 +339,11 @@ let ablation () =
     "refine" "static-wt" "k=2" "unroll";
   List.iter
     (fun (b : C.benchmark) ->
+      (* the partitioner variants share one compile + profile; only the
+         unrolling variant changes compilation itself *)
+      let m, profile = compiled b in
       let run opts =
-        let m = Twill.compile ~opts b.C.source in
-        (Twill.run_twill ~opts m).Twill.scenario.Twill.cycles
+        (Twill.run_twill ~opts ~profile m).Twill.scenario.Twill.cycles
       in
       let base = run Twill.default_options in
       let refine =
@@ -350,7 +356,6 @@ let ablation () =
       in
       let static_wt =
         let opts = Twill.default_options in
-        let m = Twill.compile ~opts b.C.source in
         let t =
           Twill.Dswp.run ~config:opts.Twill.partition
             ~queue_depth:opts.Twill.queue_depth m
@@ -365,7 +370,11 @@ let ablation () =
               { Twill.Partition.default_config with Twill.Partition.nstages = 2 };
           }
       in
-      let unrolled = run { Twill.default_options with unroll = true } in
+      let unrolled =
+        let opts = { Twill.default_options with unroll = true } in
+        let m, profile = compiled ~opts ~tag:"unroll" b in
+        (Twill.run_twill ~opts ~profile m).Twill.scenario.Twill.cycles
+      in
       Printf.printf "%-10s | %10d %10d %10d %10d %10d\n%!" b.C.name base
         refine static_wt k2 unrolled)
     C.all
@@ -412,6 +421,30 @@ let bechamel () =
     instances
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable mode for CI and regression tracking                *)
+(* ------------------------------------------------------------------ *)
+
+let json_mode (names : string list) =
+  let bs = match names with [] -> C.all | ns -> List.map C.find ns in
+  let t0 = Unix.gettimeofday () in
+  let rows =
+    List.map
+      (fun (b : C.benchmark) ->
+        let s = Unix.gettimeofday () in
+        let r = report_of b in
+        let e = Unix.gettimeofday () in
+        Printf.sprintf
+          "    {\"benchmark\": %S, \"sw_cycles\": %d, \"hw_cycles\": %d, \
+           \"twill_cycles\": %d, \"speedup_vs_sw\": %.4f, \"wall_time_s\": \
+           %.3f}"
+          b.C.name r.Twill.sw.Twill.cycles r.Twill.hw.Twill.cycles
+          r.Twill.twill.Twill.scenario.Twill.cycles r.Twill.speedup_vs_sw
+          (e -. s))
+      bs
+  in
+  let total = Unix.gettimeofday () -. t0 in
+  Printf.printf "{\n  \"results\": [\n%s\n  ],\n  \"total_wall_time_s\": %.3f\n}\n"
+    (String.concat ",\n" rows) total
 
 let artifacts =
   [
@@ -430,6 +463,7 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   match args with
   | [ "--bechamel" ] -> bechamel ()
+  | "--json" :: names -> json_mode names
   | [] ->
       Printf.printf "Twill reproduction — regenerating all Chapter 6 artifacts\n";
       List.iter (fun (_, f) -> f ()) artifacts

@@ -1,0 +1,71 @@
+(* Deterministic domain-parallelism for independent evaluation scenarios.
+
+   A process-wide slot budget of [recommended_domain_count () - 1] bounds
+   the number of live worker domains no matter how callers nest ([pair]
+   inside [map] inside the benchmark harness): a combinator only spawns a
+   domain when it wins a slot, and otherwise runs the work inline on the
+   calling domain.  Results keep the input order and exceptions are
+   re-raised on the caller, so a parallel run is observationally the same
+   as the sequential one provided the thunks are independent — which is
+   exactly the contract the driver's scenarios satisfy now that DSWP no
+   longer mutates its input module. *)
+
+let slots =
+  Atomic.make (max 0 (Domain.recommended_domain_count () - 1))
+
+let rec try_take () =
+  let n = Atomic.get slots in
+  if n <= 0 then false
+  else if Atomic.compare_and_set slots n (n - 1) then true
+  else try_take ()
+
+let release () = Atomic.incr slots
+let available () = Atomic.get slots
+
+let map (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let results : ('b, exn) result option array = Array.make n None in
+      let run i =
+        results.(i) <- Some (try Ok (f arr.(i)) with e -> Error e)
+      in
+      let doms = ref [] in
+      (* index 0 always runs on the caller, so at least one item makes
+         progress even with an empty budget *)
+      for i = 1 to n - 1 do
+        if try_take () then
+          doms :=
+            Domain.spawn (fun () ->
+                Fun.protect ~finally:release (fun () -> run i))
+            :: !doms
+        else run i
+      done;
+      run 0;
+      List.iter Domain.join !doms;
+      Array.to_list results
+      |> List.map (function
+           | Some (Ok y) -> y
+           | Some (Error e) -> raise e
+           | None -> assert false)
+
+let pair (f : unit -> 'a) (g : unit -> 'b) : 'a * 'b =
+  if try_take () then begin
+    let d =
+      Domain.spawn (fun () ->
+          Fun.protect ~finally:release (fun () ->
+              try Ok (g ()) with e -> Error e))
+    in
+    let a = try Ok (f ()) with e -> Error e in
+    let b = Domain.join d in
+    match (a, b) with
+    | Ok a, Ok b -> (a, b)
+    | Error e, _ | _, Error e -> raise e
+  end
+  else
+    let a = f () in
+    let b = g () in
+    (a, b)

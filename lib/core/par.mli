@@ -1,0 +1,21 @@
+(** Deterministic domain-parallelism for independent work items.
+
+    All combinators share one process-wide slot budget of
+    [Domain.recommended_domain_count () - 1] worker domains; when no slot
+    is free the work runs inline on the caller, so nesting (a {!pair}
+    inside a {!map} inside the benchmark harness) can never oversubscribe
+    the machine.  Results keep the input order and exceptions re-raise on
+    the caller, making a parallel run observationally identical to the
+    sequential one as long as the thunks are independent. *)
+
+val available : unit -> int
+(** Worker-domain slots currently free (informational). *)
+
+val map : ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel [List.map].  The first item always runs on
+    the calling domain.  If several items raise, the lowest-index
+    exception wins. *)
+
+val pair : (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+(** Runs both thunks, the second on a worker domain when a slot is free.
+    Both always run to completion before any exception re-raises. *)

@@ -17,6 +17,7 @@ module Schedule = Twill_hls.Schedule
 module Area = Twill_hls.Area
 module Power = Twill_hls.Power
 module Sim = Twill_rtsim.Sim
+module Par = Par
 
 type options = {
   partition : Partition.config;
@@ -73,15 +74,25 @@ let profile_blocks ?(opts = default_options) (m : Ir.modul) : int array =
   in
   (try
      ignore
-       (Interp.run ~fuel:opts.fuel ~cost:(fun _ _ -> 0) ~term_cost
+       (Interp.run ~fuel:opts.fuel ~cost:Interp.zero_cost ~term_cost
           ~charge_cycles:true m)
    with Interp.Out_of_fuel | Interp.Trap _ -> ());
   counts
 
-(* Optimised module -> extracted threads. *)
-let extract ?(opts = default_options) (m : Ir.modul) : Dswp.threaded =
-  let profile = profile_blocks ~opts m in
-  Dswp.run ~config:opts.partition ~queue_depth:opts.queue_depth ~profile m
+(* Optimised module -> extracted threads.  [?profile] lets callers that
+   extract the same module repeatedly (width auto-tuning, sweeps) reuse
+   one instrumented run instead of re-profiling per extraction;
+   [?prep] additionally reuses the partition-independent analyses. *)
+let extract ?(opts = default_options) ?profile ?prep (m : Ir.modul) :
+    Dswp.threaded =
+  match prep with
+  | Some _ ->
+      Dswp.run ~config:opts.partition ~queue_depth:opts.queue_depth ?prep m
+  | None ->
+      let profile =
+        match profile with Some p -> p | None -> profile_blocks ~opts m
+      in
+      Dswp.run ~config:opts.partition ~queue_depth:opts.queue_depth ~profile m
 
 let sim_config (opts : options) : Sim.config =
   {
@@ -118,7 +129,7 @@ type twill_result = {
 let schedules_for (opts : options) (m : Ir.modul) : (string * Schedule.t) list =
   List.map
     (fun (f : Ir.func) ->
-      (f.Ir.name, Schedule.schedule ~res:opts.resources ~modulo:opts.modulo f))
+      (f.Ir.name, Schedule.cached ~res:opts.resources ~modulo:opts.modulo f))
     m.Ir.funcs
 
 (* Pure software: the whole program on the Microblaze. *)
@@ -176,9 +187,9 @@ let reachable_funcs (m : Ir.modul) (roots : string list) : string list =
   List.iter go roots;
   Hashtbl.fold (fun k () acc -> k :: acc) seen []
 
-(* The Twill hybrid flow. *)
-let run_twill ?(opts = default_options) (m : Ir.modul) : twill_result =
-  let t = extract ~opts m in
+(* Simulation + area/power accounting for an already-extracted pipeline. *)
+let run_twill_threaded ?(opts = default_options) (t : Dswp.threaded) :
+    twill_result =
   let threads =
     Array.mapi
       (fun s name ->
@@ -209,7 +220,7 @@ let run_twill ?(opts = default_options) (m : Ir.modul) : twill_result =
          (fun name ->
            let f = Ir.find_func t.Dswp.modul name in
            Area.of_schedule f
-             (Schedule.schedule ~res:opts.resources ~modulo:opts.modulo f))
+             (Schedule.cached ~res:opts.resources ~modulo:opts.modulo f))
          hw_funcs)
   in
   let runtime_area =
@@ -262,6 +273,11 @@ let run_twill ?(opts = default_options) (m : Ir.modul) : twill_result =
     stats;
   }
 
+(* The Twill hybrid flow. *)
+let run_twill ?(opts = default_options) ?profile ?prep (m : Ir.modul) :
+    twill_result =
+  run_twill_threaded ~opts (extract ~opts ?profile ?prep m)
+
 (* --- full report (one benchmark, all three scenarios) --------------------- *)
 
 type report = {
@@ -281,20 +297,45 @@ exception Self_check_failed of string
    and keeps the best-performing extraction. *)
 let run_twill_auto ?(opts = default_options) ?(widths = [ 2; 3; 4; 5 ])
     (m : Ir.modul) : twill_result =
-  let candidates =
+  (* one instrumented profiling run and one PDG/weights analysis serve
+     every width; widths whose partitions coincide (common on serial
+     kernels, where the partitioner cannot fill the requested stages)
+     share one simulation.  The distinct extractions are independent over
+     a module DSWP no longer mutates, so they evaluate on parallel
+     domains when slots are free. *)
+  let prep = Dswp.prepare ~profile:(profile_blocks ~opts m) m in
+  let opts_of k =
+    { opts with partition = { opts.partition with Partition.nstages = k } }
+  in
+  let keyed =
     List.map
       (fun k ->
-        run_twill
-          ~opts:
-            {
-              opts with
-              partition = { opts.partition with Partition.nstages = k };
-            }
-          m)
+        let t = extract ~opts:(opts_of k) ~prep m in
+        let key =
+          Digest.string
+            (Marshal.to_string
+               ( t.Dswp.partition.Partition.stage_of_node,
+                 t.Dswp.partition.Partition.roles )
+               [])
+        in
+        (key, k, t))
       widths
   in
+  let distinct =
+    List.fold_left
+      (fun acc (key, k, t) ->
+        if List.mem_assoc key acc then acc else (key, (k, t)) :: acc)
+      [] keyed
+    |> List.rev
+  in
+  let simmed =
+    Par.map
+      (fun (key, (k, t)) -> (key, run_twill_threaded ~opts:(opts_of k) t))
+      distinct
+  in
+  let candidates = List.map (fun (key, _, _) -> List.assoc key simmed) keyed in
   match candidates with
-  | [] -> run_twill ~opts m
+  | [] -> run_twill ~opts ~prep m
   | first :: rest ->
       (* prefer deeper pipelines when performance is within 2% — ties go
          to the configuration that actually exploits TLP *)
@@ -314,9 +355,15 @@ let run_twill_auto ?(opts = default_options) ?(widths = [ 2; 3; 4; 5 ])
 let evaluate ?(opts = default_options) ?(auto_stages = true) ~(name : string)
     (src : string) : report =
   let m = compile ~opts src in
-  let sw = run_pure_sw ~opts m in
-  let hw = run_pure_hw ~opts m in
-  let tw = if auto_stages then run_twill_auto ~opts m else run_twill ~opts m in
+  (* the three flows only read [m]; the hybrid (which itself fans out over
+     pipeline widths) overlaps with both baselines when domains are free *)
+  let (sw, hw), tw =
+    Par.pair
+      (fun () ->
+        Par.pair (fun () -> run_pure_sw ~opts m) (fun () -> run_pure_hw ~opts m))
+      (fun () ->
+        if auto_stages then run_twill_auto ~opts m else run_twill ~opts m)
+  in
   if
     sw.ret <> hw.ret || sw.ret <> tw.scenario.ret || sw.prints <> hw.prints
     || sw.prints <> tw.scenario.prints

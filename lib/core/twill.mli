@@ -22,6 +22,9 @@ module Area = Twill_hls.Area
 module Power = Twill_hls.Power
 module Sim = Twill_rtsim.Sim
 
+(** Deterministic domain-parallel evaluation helpers (shared slot budget). *)
+module Par = Par
+
 (** Compilation and evaluation options; [default_options] matches the
     thesis's experimental setup (8-deep 32-bit queues, 2-cycle queue
     latency, one Microblaze, 100 MHz everywhere). *)
@@ -50,8 +53,16 @@ val compile : ?opts:options -> string -> Ir.modul
 val profile_blocks : ?opts:options -> Ir.modul -> int array
 
 (** [extract m] runs the profile-guided DSWP thread extraction on an
-    optimised module (thesis §5.2-5.3). *)
-val extract : ?opts:options -> Ir.modul -> Dswp.threaded
+    optimised module (thesis §5.2-5.3).  Pass [?profile] (from
+    {!profile_blocks}) to reuse one instrumented run across repeated
+    extractions of the same module, or [?prep] (from {!Dswp.prepare}) to
+    additionally reuse the partition-independent analyses. *)
+val extract :
+  ?opts:options ->
+  ?profile:int array ->
+  ?prep:Dswp.prep ->
+  Ir.modul ->
+  Dswp.threaded
 
 (** Simulator configuration corresponding to [opts]. *)
 val sim_config : options -> Sim.config
@@ -85,8 +96,19 @@ val run_pure_sw : ?opts:options -> Ir.modul -> scenario
     BRAM memory (thesis baseline 2). *)
 val run_pure_hw : ?opts:options -> Ir.modul -> scenario
 
-(** The Twill hybrid at the configured pipeline width. *)
-val run_twill : ?opts:options -> Ir.modul -> twill_result
+(** The Twill hybrid at the configured pipeline width.  [?profile] and
+    [?prep] as in {!extract}. *)
+val run_twill :
+  ?opts:options ->
+  ?profile:int array ->
+  ?prep:Dswp.prep ->
+  Ir.modul ->
+  twill_result
+
+(** Simulation plus area/power accounting for an already-extracted
+    pipeline (the back half of {!run_twill}); lets sweeps reuse one
+    extraction across simulator configurations. *)
+val run_twill_threaded : ?opts:options -> Dswp.threaded -> twill_result
 
 (** Tries several pipeline widths and keeps the best (the analogue of the
     thesis's iterated partitioning, §5.2); ties go to deeper pipelines. *)

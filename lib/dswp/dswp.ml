@@ -50,13 +50,30 @@ let protect_calls (f : func) (callee : string) (sid : int) : unit =
       b.insts <- List.rev !out)
     f.blocks
 
-let run ?(config = Partition.default_config) ?(queue_depth = 8) ?profile
-    (m : modul) : threaded =
+(* The width- and split-independent front half of the pipeline: alias
+   analysis, effects, the PDG of [main] and the node weights all depend
+   only on the module and the profile, so drivers sweeping partition
+   configurations compute them once. *)
+type prep = { pmodul : modul; pgraph : Pdg.t; pweights : Weights.t }
+
+let prepare ?profile (m : modul) : prep =
   let alias = Alias.build m in
   let eff = Effects.build alias m in
   let main = find_func m "main" in
   let g = Pdg.build alias eff m main in
   let w = Weights.compute ?profile ~modul:m g in
+  { pmodul = m; pgraph = g; pweights = w }
+
+let run ?(config = Partition.default_config) ?(queue_depth = 8) ?profile ?prep
+    (m : modul) : threaded =
+  let { pgraph = g; pweights = w; _ } =
+    match prep with
+    | Some p ->
+        if p.pmodul != m then
+          invalid_arg "Dswp.run: prep belongs to a different module";
+        p
+    | None -> prepare ?profile m
+  in
   let part = Partition.compute ~config g w in
   let qa = Threadgen.new_qalloc () in
   let gen = Threadgen.generate part qa ~queue_depth in
@@ -66,7 +83,14 @@ let run ?(config = Partition.default_config) ?(queue_depth = 8) ?profile
   Array.iter
     (fun sf -> ignore (Twill_passes.Simplifycfg.run sf))
     gen.Threadgen.stage_funcs;
-  let callees = List.filter (fun f -> f.name <> "main") m.funcs in
+  (* deep-copy the callees: [protect_calls] below rewrites call sites with
+     semaphore pairs, and sharing the records with the input module would
+     leak that mutation into the caller's module — wrong when the caller
+     extracts the same module at several widths, and a data race when
+     scenarios are evaluated on parallel domains *)
+  let callees =
+    List.filter (fun f -> f.name <> "main") m.funcs |> List.map copy_func
+  in
   let m2 =
     {
       funcs = Array.to_list gen.Threadgen.stage_funcs @ callees;

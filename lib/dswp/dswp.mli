@@ -29,14 +29,26 @@ val protect_calls : func -> string -> int -> unit
 (** [protect_calls f callee sid] wraps every call to [callee] inside [f]
     with take/give on semaphore [sid]. *)
 
+type prep
+(** The width- and split-independent front half of extraction: alias
+    analysis, effects, the PDG of [main] and the node weights.  Compute
+    once with {!prepare}, then {!run} any number of partition
+    configurations against it. *)
+
+val prepare : ?profile:int array -> modul -> prep
+(** Runs the analyses shared by every partition configuration of [m]. *)
+
 val run :
   ?config:Partition.config ->
   ?queue_depth:int ->
   ?profile:int array ->
+  ?prep:prep ->
   modul ->
   threaded
 (** Extracts threads from [main].  [profile] supplies measured per-block
     execution counts for the weight heuristic (see
     {!Twill_dswp.Weights.compute}); without it the classic 10{^depth}
-    static estimate is used.  The generated stage functions are verified
-    structurally and for SSA dominance before being returned. *)
+    static estimate is used.  [prep] (from {!prepare} on the same module
+    value — enforced by physical equality) skips the shared analyses and
+    makes [profile] irrelevant.  The generated stage functions are
+    verified structurally and for SSA dominance before being returned. *)

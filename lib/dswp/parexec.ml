@@ -57,6 +57,9 @@ let execute ?(fuel = 100_000_000) ?(max_sem = 64) (t : Dswp.threaded) : result =
     }
   in
   let results = Array.make (Array.length t.Dswp.stages) None in
+  let finished = ref 0 in
+  (* decoded code shared by every stage fiber *)
+  let ictx = Interp.make_context ~layout m in
   (* the run queue holds resumable steps: either a fresh fiber start (which
      installs its own deep handler) or a captured continuation (resumed
      under the handler it was captured beneath) *)
@@ -82,28 +85,24 @@ let execute ?(fuel = 100_000_000) ?(max_sem = 64) (t : Dswp.threaded) : result =
         (start_fiber (fun () ->
              let r =
                Interp.run_shared ~fuel ~layout ~mem ~handlers
-                 ~charge_cycles:false m ~entry:name ~args:[||]
+                 ~charge_cycles:false ~ctx:ictx m ~entry:name ~args:[||]
              in
-             results.(s) <- Some r))
+             results.(s) <- Some r;
+             incr finished))
         runq)
     t.Dswp.stages;
   (* round-robin scheduler with progress-based deadlock detection *)
   while not (Queue.is_empty runq) do
     let n = Queue.length runq in
     let before_ops = !ops in
-    let before_done =
-      Array.fold_left (fun c r -> if r = None then c else c + 1) 0 results
-    in
+    let before_done = !finished in
     for _ = 1 to n do
       (Queue.pop runq) ()
     done;
-    let after_done =
-      Array.fold_left (fun c r -> if r = None then c else c + 1) 0 results
-    in
     if
       (not (Queue.is_empty runq))
       && !ops = before_ops
-      && after_done = before_done
+      && !finished = before_done
     then
       raise
         (Deadlock

@@ -60,6 +60,7 @@ let max_chain_depth = 4
 type t = {
   nstates : int array; (* per block: schedule length (>= 1) *)
   start_state : (int, int) Hashtbl.t; (* inst id -> start state *)
+  start_arr : int array; (* inst id -> start state; -1 = unscheduled *)
   ii : int array; (* per block: initiation interval, 0 = not pipelined *)
   (* peak per-class concurrency across the whole function, for binding *)
   peak : (res_class * int) list;
@@ -293,10 +294,73 @@ let schedule ?(res = default_resources) ?(modulo = true) (f : func) : t =
       end)
     f.blocks;
   let total_states = Array.fold_left ( + ) 0 nstates in
+  let start_arr = Array.make (Vec.length f.insts) (-1) in
+  Hashtbl.iter (fun id s -> if id >= 0 then start_arr.(id) <- s) start_state;
   {
     nstates;
     start_state;
+    start_arr;
     ii;
     peak = Hashtbl.fold (fun k v acc -> (k, v) :: acc) peak [];
     total_states;
   }
+
+(* --- cross-run schedule cache ------------------------------------------- *)
+
+(* [schedule] is a pure function of the IR at call time, but the IR is
+   mutable, so the cache is keyed by *function identity* (physical
+   equality): a transform produces fresh [func] values (see
+   [Ir.copy_func]), never reuses an instance it already scheduled, so a
+   physical key can never serve a stale schedule for mutated code — the
+   invalidation rule is simply "schedule only after the function stopped
+   changing", which every caller (simulator, area accounting, RTL
+   emission) already satisfies.  Guarded by a mutex: scenario evaluation
+   runs in parallel domains. *)
+module Func_key = struct
+  type t = func
+
+  let equal = ( == )
+  let hash (f : func) = Hashtbl.hash f.name
+end
+
+module Func_tbl = Hashtbl.Make (Func_key)
+
+type cache_entry = { eres : resources; emodulo : bool; esched : t }
+
+let cache : cache_entry list ref Func_tbl.t = Func_tbl.create 256
+let cache_mutex = Mutex.create ()
+
+(* Modules are small (tens of functions); the bound only protects
+   pathological long-running sweeps from unbounded growth. *)
+let cache_bound = 4096
+
+let clear_cache () =
+  Mutex.lock cache_mutex;
+  Func_tbl.reset cache;
+  Mutex.unlock cache_mutex
+
+let cached ?(res = default_resources) ?(modulo = true) (f : func) : t =
+  Mutex.lock cache_mutex;
+  let entries = Func_tbl.find_opt cache f in
+  let hit =
+    match entries with
+    | None -> None
+    | Some l ->
+        List.find_opt (fun e -> e.eres = res && e.emodulo = modulo) !l
+  in
+  Mutex.unlock cache_mutex;
+  match hit with
+  | Some e -> e.esched
+  | None ->
+      (* compute outside the lock: schedules are pure, so two domains
+         racing on the same function at worst duplicate work *)
+      let s = schedule ~res ~modulo f in
+      Mutex.lock cache_mutex;
+      (if Func_tbl.length cache > cache_bound then Func_tbl.reset cache);
+      (match Func_tbl.find_opt cache f with
+      | Some l -> l := { eres = res; emodulo = modulo; esched = s } :: !l
+      | None ->
+          Func_tbl.replace cache f
+            (ref [ { eres = res; emodulo = modulo; esched = s } ]));
+      Mutex.unlock cache_mutex;
+      s

@@ -49,9 +49,25 @@ val order_chain_of : kind -> order_chain
 type t = {
   nstates : int array;  (** per block: FSM states (>= 1) *)
   start_state : (int, int) Hashtbl.t;  (** instruction id -> start state *)
+  start_arr : int array;
+      (** instruction id -> start state, [-1] if unscheduled; array twin
+          of [start_state] for the simulator's per-memory-op hot path *)
   ii : int array;  (** per block: initiation interval; 0 = not pipelined *)
   peak : (res_class * int) list;  (** peak concurrency, for binding *)
   total_states : int;
 }
 
 val schedule : ?res:resources -> ?modulo:bool -> func -> t
+
+val cached : ?res:resources -> ?modulo:bool -> func -> t
+(** Like {!schedule}, but memoized across calls in a process-wide,
+    mutex-guarded cache keyed by function *identity* (physical equality)
+    and the scheduling configuration.  Safe because transforms produce
+    fresh [func] values rather than reusing scheduled instances; callers
+    must only schedule functions that are done being mutated.  Used by
+    the runtime simulator, the area accounting and the driver so one
+    function is scheduled once per configuration instead of once per
+    consumer. *)
+
+val clear_cache : unit -> unit
+(** Drops every memoized schedule (tests / long-running sweeps). *)

@@ -5,7 +5,31 @@
    sequential program performs no runtime-primitive operations, so summing
    per-instruction Microblaze costs is exact), and — parameterised with
    queue/semaphore handlers — the execution core of software threads inside
-   the runtime simulator. *)
+   the runtime simulator.
+
+   Two execution engines share one semantics:
+
+   - [Tree]: the original tree-walking interpreter, kept verbatim as the
+     differential-testing oracle (it re-resolves everything on every
+     executed instruction).
+   - [Decoded] (default): a pre-decoded engine.  A one-time per-function
+     decode pass flattens each block into arrays of pre-resolved
+     instructions: operands become direct constant/register/argument
+     accessors (globals fold to their layout addresses), phis are split
+     into per-predecessor parallel-move tables, call targets resolve to
+     function handles once, and the default Microblaze cost of every
+     instruction is pre-computed so the common cost hook is a table
+     lookup instead of a closure dispatch.
+
+   Both engines must agree bit-for-bit on [ret]/[prints]/[executed]/
+   [cycles]; test/test_diff.ml checks this property on random programs.
+
+   Decoded code is a pure function of the IR *at decode time*: a context
+   must be dropped (and rebuilt) if any pass mutates a function after it
+   was decoded — [inst.kind], [block.insts] and [block.term] are all
+   mutable.  Contexts are therefore created per execution session (one per
+   [run]/[run_shared] call, or one shared across the threads of a single
+   simulation), never cached across transformations. *)
 
 open Ir
 
@@ -28,11 +52,18 @@ let no_handlers =
     sem_take = (fun _ _ -> no ());
   }
 
+(* How the decoded engine charges per-instruction cycles: [Cm_table] uses
+   the pre-computed default Microblaze costs, [Cm_zero] charges nothing
+   (the {!zero_cost} sentinel — hardware threads, profiling), [Cm_hook]
+   dispatches to the caller's closure.  Detected by physical equality of
+   the [cost] hook with the exported defaults. *)
+type cost_mode = Cm_table | Cm_zero | Cm_hook
+
 type state = {
   m : modul;
   layout : Layout.t;
   mem : int32 array;
-  mutable cycles : int;
+  cycles : int ref; (* caller-visible via [cycles_cell] *)
   mutable executed : int;
   mutable fuel : int;
   mutable prints : int32 list; (* reversed *)
@@ -40,6 +71,12 @@ type state = {
   cost : func -> inst -> int;
   term_cost : func -> block -> int;
   charge_cycles : bool;
+  cost_mode : cost_mode;
+  (* true when the terminator hook is physically the default *)
+  fast_term : bool;
+  (* invoked on every Load/Store at charge time (before operand
+     evaluation) — the simulator's memory-bus contention point *)
+  mem_hook : (func -> inst -> unit) option;
 }
 
 let to_u64 v = Int64.logand (Int64.of_int32 v) 0xFFFFFFFFL
@@ -93,6 +130,8 @@ let store st addr v =
     raise (Trap (Fmt.str "store out of bounds: %ld" addr))
   else st.mem.(a) <- v
 
+(* --- the tree-walking oracle -------------------------------------------- *)
+
 let rec exec_func st (f : func) (args : int32 array) : int32 =
   let regs = Array.make (Vec.length f.insts) 0l in
   let eval = function
@@ -103,11 +142,14 @@ let rec exec_func st (f : func) (args : int32 array) : int32 =
   in
   let charge i =
     st.executed <- st.executed + 1;
-    if st.charge_cycles then st.cycles <- st.cycles + st.cost f i;
+    if st.charge_cycles then st.cycles := !(st.cycles) + st.cost f i;
     if st.fuel >= 0 then begin
       st.fuel <- st.fuel - 1;
       if st.fuel <= 0 then raise Out_of_fuel
     end
+  in
+  let memh i =
+    match st.mem_hook with Some h -> h f i | None -> ()
   in
   let exec_inst i =
     charge i;
@@ -118,8 +160,12 @@ let rec exec_func st (f : func) (args : int32 array) : int32 =
         regs.(i.id) <- (if eval c <> 0l then eval a else eval b)
     | Alloca _ -> regs.(i.id) <- Layout.alloca_address st.layout f.name i.id
     | Gep (base, idx) -> regs.(i.id) <- Int32.add (eval base) (eval idx)
-    | Load a -> regs.(i.id) <- load st (eval a)
-    | Store (a, v) -> store st (eval a) (eval v)
+    | Load a ->
+        memh i;
+        regs.(i.id) <- load st (eval a)
+    | Store (a, v) ->
+        memh i;
+        store st (eval a) (eval v)
     | Call (name, cargs) ->
         let callee = find_func st.m name in
         regs.(i.id) <- exec_func st callee (Array.map eval cargs)
@@ -159,7 +205,7 @@ let rec exec_func st (f : func) (args : int32 array) : int32 =
     if from >= 0 then enter_block b ~from;
     let non_phis = List.filter (fun id -> not (is_phi (inst f id))) b.insts in
     List.iter (fun id -> exec_inst (inst f id)) non_phis;
-    if st.charge_cycles then st.cycles <- st.cycles + st.term_cost f b;
+    if st.charge_cycles then st.cycles := !(st.cycles) + st.term_cost f b;
     match b.term with
     | Br b' -> run_block b' ~from:bid
     | Cond_br (c, b1, b2) ->
@@ -168,6 +214,304 @@ let rec exec_func st (f : func) (args : int32 array) : int32 =
     | Ret (Some v) -> eval v
   in
   run_block f.entry ~from:(-1)
+
+(* --- the pre-decoded engine --------------------------------------------- *)
+
+(* Pre-resolved operand: a global folds to its layout address at decode
+   time, so evaluation is a constant, a register read or an argument read
+   — no dispatch on the operand's provenance. *)
+type dop = Dcst of int32 | Dreg of int | Darg of int
+
+type dfunc = {
+  dsrc_func : func;
+  dblocks : dblock array; (* indexed by block id *)
+  dentry : int;
+  nregs : int;
+}
+
+and dblock = {
+  dsrc_block : block;
+  body : dinst array; (* non-phi instructions, program order *)
+  dphis : (int * dphi) array; (* predecessor block id -> parallel moves *)
+  phi_ids : int array; (* leading phi ids, for trap messages *)
+  dterm : dterm;
+  dterm_swc : int; (* pre-computed default terminator cost *)
+}
+
+(* The parallel moves a given predecessor edge performs.  [pmoves] is the
+   longest prefix of the block's phis that have an incoming entry for this
+   predecessor; if a phi lacks one, [ptrap] carries the oracle's exact
+   trap, raised after the preceding phis were evaluated and charged (the
+   oracle writes no register in that case, so neither do we). *)
+and dphi = {
+  pdst : int array;
+  psrc : dop array;
+  pinst : inst array; (* original phi instructions, for cost hooks *)
+  pbuf : int32 array; (* scratch: phis read their inputs simultaneously *)
+  ptrap : string option;
+}
+
+and dinst = {
+  isrc : inst; (* original instruction, handed to cost hooks *)
+  dest : int; (* register to write, -1 if none *)
+  swc : int; (* pre-computed default Microblaze cost *)
+  dkind : dexec;
+}
+
+and dexec =
+  | Xbinop of binop * dop * dop
+  | Xicmp of icmp * dop * dop
+  | Xselect of dop * dop * dop
+  | Xconst of int32 (* pre-resolved alloca address *)
+  | Xgep of dop * dop
+  | Xload of dop
+  | Xstore of dop * dop
+  | Xcall of dfunc Lazy.t * dop array
+  | Xprint of dop
+  | Xproduce of int * dop
+  | Xconsume of int
+  | Xsem_give of int * int
+  | Xsem_take of int * int
+  | Xfail of string (* defers a decode-time resolution failure *)
+  | Xnop
+
+and dterm = Tbr of int | Tcond of dop * int * int | Tret_none | Tret of dop
+
+(* Decoded code shared by every thread of one execution session.  Functions
+   decode lazily on first call, so code never reached is never decoded. *)
+type ctx = {
+  cm : modul;
+  clayout : Layout.t;
+  dfuncs : (string, dfunc) Hashtbl.t;
+}
+
+let make_context ~(layout : Layout.t) (m : modul) : ctx =
+  { cm = m; clayout = layout; dfuncs = Hashtbl.create 16 }
+
+let decode_operand (layout : Layout.t) = function
+  | Cst c -> Dcst c
+  | Reg r -> Dreg r
+  | Argv a -> Darg a
+  | Glob g -> Dcst (Layout.global_address layout g)
+
+let rec decode_func (c : ctx) (fname : string) : dfunc =
+  match Hashtbl.find_opt c.dfuncs fname with
+  | Some d -> d
+  | None ->
+      let f = find_func c.cm fname in
+      let dop = decode_operand c.clayout in
+      let decode_inst (i : inst) : dinst =
+        let dkind =
+          match i.kind with
+          | Binop (op, a, b) -> Xbinop (op, dop a, dop b)
+          | Icmp (op, a, b) -> Xicmp (op, dop a, dop b)
+          | Select (cnd, a, b) -> Xselect (dop cnd, dop a, dop b)
+          | Alloca _ -> (
+              match Layout.alloca_address c.clayout f.name i.id with
+              | a -> Xconst a
+              | exception Failure msg -> Xfail msg)
+          | Gep (base, idx) -> Xgep (dop base, dop idx)
+          | Load a -> Xload (dop a)
+          | Store (a, v) -> Xstore (dop a, dop v)
+          | Call (callee, cargs) ->
+              Xcall (lazy (decode_func c callee), Array.map dop cargs)
+          | Phi _ -> assert false (* split into the per-predecessor tables *)
+          | Print v -> Xprint (dop v)
+          | Produce (q, v) -> Xproduce (q, dop v)
+          | Consume q -> Xconsume q
+          | Sem_give (s, n) -> Xsem_give (s, n)
+          | Sem_take (s, n) -> Xsem_take (s, n)
+          | Dead -> Xnop
+        in
+        {
+          isrc = i;
+          dest = (if has_result i.kind then i.id else -1);
+          swc = Costmodel.sw_cost i.kind;
+          dkind;
+        }
+      in
+      let decode_block (b : block) : dblock =
+        (* The oracle resolves only the leading phis at block entry and
+           executes every non-phi in order; a (malformed) phi after a
+           non-phi is skipped entirely.  Mirror that split exactly. *)
+        let rec leading = function
+          | id :: rest when is_phi (inst f id) -> id :: leading rest
+          | _ -> []
+        in
+        let phi_ids = Array.of_list (leading b.insts) in
+        let body =
+          b.insts
+          |> List.filter (fun id -> not (is_phi (inst f id)))
+          |> List.map (fun id -> decode_inst (inst f id))
+          |> Array.of_list
+        in
+        let preds =
+          Array.fold_left
+            (fun acc id ->
+              match (inst f id).kind with
+              | Phi incoming ->
+                  List.fold_left
+                    (fun acc (p, _) -> if List.mem p acc then acc else p :: acc)
+                    acc incoming
+              | _ -> acc)
+            [] phi_ids
+        in
+        let moves_for p : dphi =
+          let dsts = ref [] and srcs = ref [] and insts = ref [] in
+          let trap = ref None in
+          (try
+             Array.iter
+               (fun id ->
+                 let i = inst f id in
+                 match i.kind with
+                 | Phi incoming -> (
+                     match List.assoc_opt p incoming with
+                     | Some o ->
+                         dsts := id :: !dsts;
+                         srcs := dop o :: !srcs;
+                         insts := i :: !insts
+                     | None ->
+                         trap :=
+                           Some
+                             (Fmt.str
+                                "phi %%%d in b%d: no incoming for pred b%d" id
+                                b.bid p);
+                         raise Exit)
+                 | _ -> assert false)
+               phi_ids
+           with Exit -> ());
+          let pdst = Array.of_list (List.rev !dsts) in
+          {
+            pdst;
+            psrc = Array.of_list (List.rev !srcs);
+            pinst = Array.of_list (List.rev !insts);
+            pbuf = Array.make (Array.length pdst) 0l;
+            ptrap = !trap;
+          }
+        in
+        {
+          dsrc_block = b;
+          body;
+          dphis = Array.of_list (List.map (fun p -> (p, moves_for p)) preds);
+          phi_ids;
+          dterm =
+            (match b.term with
+            | Br t -> Tbr t
+            | Cond_br (cnd, t1, t2) -> Tcond (dop cnd, t1, t2)
+            | Ret None -> Tret_none
+            | Ret (Some v) -> Tret (dop v));
+          dterm_swc =
+            (match b.term with
+            | Ret _ -> Costmodel.sw_ret_cost
+            | Br _ | Cond_br _ -> Costmodel.sw_branch_cost);
+        }
+      in
+      let d =
+        {
+          dsrc_func = f;
+          dblocks =
+            Array.init (Vec.length f.blocks) (fun bid ->
+                decode_block (Vec.get f.blocks bid));
+          dentry = f.entry;
+          nregs = Vec.length f.insts;
+        }
+      in
+      Hashtbl.replace c.dfuncs fname d;
+      d
+
+let rec exec_decoded st (d : dfunc) (args : int32 array) : int32 =
+  let f = d.dsrc_func in
+  let regs = Array.make d.nregs 0l in
+  let eval = function
+    | Dcst c -> c
+    | Dreg r -> Array.unsafe_get regs r
+    | Darg a -> args.(a)
+  in
+  let charge i swc =
+    st.executed <- st.executed + 1;
+    if st.charge_cycles then begin
+      match st.cost_mode with
+      | Cm_table -> st.cycles := !(st.cycles) + swc
+      | Cm_zero -> ()
+      | Cm_hook -> st.cycles := !(st.cycles) + st.cost f i
+    end;
+    if st.fuel >= 0 then begin
+      st.fuel <- st.fuel - 1;
+      if st.fuel <= 0 then raise Out_of_fuel
+    end
+  in
+  let enter_phis (b : dblock) ~from =
+    let n = Array.length b.dphis in
+    let rec find k =
+      if k >= n then
+        raise
+          (Trap
+             (Fmt.str "phi %%%d in b%d: no incoming for pred b%d" b.phi_ids.(0)
+                b.dsrc_block.bid from))
+      else
+        let p, m = Array.unsafe_get b.dphis k in
+        if p = from then m else find (k + 1)
+    in
+    let m = find 0 in
+    let k = Array.length m.pdst in
+    for j = 0 to k - 1 do
+      m.pbuf.(j) <- eval m.psrc.(j);
+      charge m.pinst.(j) 0 (* Costmodel.sw_cost (Phi _) = 0 *)
+    done;
+    match m.ptrap with
+    | Some msg -> raise (Trap msg)
+    | None ->
+        for j = 0 to k - 1 do
+          Array.unsafe_set regs m.pdst.(j) m.pbuf.(j)
+        done
+  in
+  let exec_inst (di : dinst) =
+    charge di.isrc di.swc;
+    match di.dkind with
+    | Xbinop (op, a, b) -> regs.(di.dest) <- eval_binop op (eval a) (eval b)
+    | Xicmp (op, a, b) -> regs.(di.dest) <- eval_icmp op (eval a) (eval b)
+    | Xselect (c, a, b) ->
+        regs.(di.dest) <- (if eval c <> 0l then eval a else eval b)
+    | Xconst v -> regs.(di.dest) <- v
+    | Xgep (base, idx) -> regs.(di.dest) <- Int32.add (eval base) (eval idx)
+    | Xload a ->
+        (match st.mem_hook with Some h -> h f di.isrc | None -> ());
+        regs.(di.dest) <- load st (eval a)
+    | Xstore (a, v) ->
+        (match st.mem_hook with Some h -> h f di.isrc | None -> ());
+        store st (eval a) (eval v)
+    | Xcall (callee, cargs) ->
+        regs.(di.dest) <- exec_decoded st (Lazy.force callee) (Array.map eval cargs)
+    | Xprint v -> st.prints <- eval v :: st.prints
+    | Xproduce (q, v) -> st.handlers.produce q (eval v)
+    | Xconsume q -> regs.(di.dest) <- st.handlers.consume q
+    | Xsem_give (s, n) -> st.handlers.sem_give s n
+    | Xsem_take (s, n) -> st.handlers.sem_take s n
+    | Xfail msg -> failwith msg
+    | Xnop -> ()
+  in
+  let rec run_block bid ~from =
+    let b = Array.unsafe_get d.dblocks bid in
+    if from >= 0 && Array.length b.phi_ids > 0 then enter_phis b ~from;
+    let body = b.body in
+    for k = 0 to Array.length body - 1 do
+      exec_inst (Array.unsafe_get body k)
+    done;
+    if st.charge_cycles then
+      st.cycles :=
+        !(st.cycles)
+        + (if st.fast_term then b.dterm_swc else st.term_cost f b.dsrc_block);
+    match b.dterm with
+    | Tbr t -> run_block t ~from:bid
+    | Tcond (c, t1, t2) -> run_block (if eval c <> 0l then t1 else t2) ~from:bid
+    | Tret_none -> 0l
+    | Tret v -> eval v
+  in
+  run_block d.dentry ~from:(-1)
+
+(* --- entry points -------------------------------------------------------- *)
+
+type engine = Decoded | Tree
 
 type result = {
   ret : int32;
@@ -186,16 +530,23 @@ let default_term_cost (_ : func) (b : block) : int =
 
 let default_cost (_ : func) (i : inst) : int = Costmodel.sw_cost i.kind
 
+(* Sentinel: charge nothing per instruction, without a per-instruction
+   closure dispatch in the decoded engine.  Pass this (physically) when
+   timing comes entirely from the terminator hook — hardware threads in
+   the runtime simulator, block-count profiling. *)
+let zero_cost (_ : func) (_ : inst) : int = 0
+
 let run_shared ?(fuel = -1) ~(layout : Layout.t) ~(mem : int32 array)
     ?(handlers = no_handlers) ?(cost = default_cost)
     ?(term_cost = default_term_cost) ?(charge_cycles = true)
-    (m : modul) ~(entry : string) ~(args : int32 array) : result =
+    ?(engine = Decoded) ?ctx ?mem_hook ?cycles_cell (m : modul)
+    ~(entry : string) ~(args : int32 array) : result =
   let st =
     {
       m;
       layout;
       mem;
-      cycles = 0;
+      cycles = (match cycles_cell with Some c -> c | None -> ref 0);
       executed = 0;
       fuel;
       prints = [];
@@ -203,10 +554,34 @@ let run_shared ?(fuel = -1) ~(layout : Layout.t) ~(mem : int32 array)
       cost;
       term_cost;
       charge_cycles;
+      cost_mode =
+        (if cost == default_cost then Cm_table
+         else if cost == zero_cost then Cm_zero
+         else Cm_hook);
+      fast_term = term_cost == default_term_cost;
+      mem_hook;
     }
   in
-  let ret = exec_func st (find_func m entry) args in
-  { ret; cycles = st.cycles; executed = st.executed; prints = List.rev st.prints }
+  let ret =
+    match engine with
+    | Tree -> exec_func st (find_func m entry) args
+    | Decoded ->
+        let c =
+          match ctx with
+          | Some c ->
+              if c.cm != m then
+                invalid_arg "Interp.run_shared: context decodes another module";
+              c
+          | None -> make_context ~layout m
+        in
+        exec_decoded st (decode_func c entry) args
+  in
+  {
+    ret;
+    cycles = !(st.cycles);
+    executed = st.executed;
+    prints = List.rev st.prints;
+  }
 
 let fresh_memory ?(mem_words = 1 lsl 20) (m : modul) : Layout.t * int32 array =
   let layout = Layout.build m in
@@ -218,7 +593,7 @@ let fresh_memory ?(mem_words = 1 lsl 20) (m : modul) : Layout.t * int32 array =
 
 let run ?(fuel = -1) ?(mem_words = 1 lsl 20) ?(handlers = no_handlers)
     ?(cost = default_cost) ?(term_cost = default_term_cost)
-    ?(charge_cycles = true) (m : modul) : result =
+    ?(charge_cycles = true) ?(engine = Decoded) (m : modul) : result =
   let layout, mem = fresh_memory ~mem_words m in
-  run_shared ~fuel ~layout ~mem ~handlers ~cost ~term_cost ~charge_cycles m
-    ~entry:"main" ~args:[||]
+  run_shared ~fuel ~layout ~mem ~handlers ~cost ~term_cost ~charge_cycles
+    ~engine m ~entry:"main" ~args:[||]

@@ -5,7 +5,16 @@
     sequential program performs no runtime-primitive operations, so
     summing per-instruction costs is exact); and — parameterised with
     queue/semaphore handlers and cost hooks — the execution core of both
-    the untimed parallel executor and the cycle-accurate simulator. *)
+    the untimed parallel executor and the cycle-accurate simulator.
+
+    Two engines share one semantics: the original tree-walking
+    interpreter ({!Tree}, the oracle) and the pre-decoded engine
+    ({!Decoded}, the default), which flattens each function once into
+    arrays of pre-resolved instructions — operands become direct
+    accessors, phis split into per-predecessor move tables, call targets
+    resolve to function handles, and default per-instruction costs are
+    pre-computed.  They agree bit-for-bit on [ret], [prints], [executed]
+    and [cycles] (property-checked in test/test_diff.ml). *)
 
 open Ir
 
@@ -32,6 +41,21 @@ val eval_binop : binop -> int32 -> int32 -> int32
 val eval_icmp : icmp -> int32 -> int32 -> int32
 (** 1l / 0l. *)
 
+type engine =
+  | Decoded  (** pre-decoded execution engine (default) *)
+  | Tree  (** original tree-walking oracle, for differential testing *)
+
+type ctx
+(** Decoded code for one module against one layout, shared by every
+    thread of an execution session.  Functions decode lazily on first
+    call.  Decoded code snapshots the IR: drop the context if any pass
+    mutates a function after decoding ([inst.kind], [block.insts] and
+    [block.term] are mutable) — contexts must not outlive transforms. *)
+
+val make_context : layout:Layout.t -> modul -> ctx
+(** A fresh, empty decode context for [m].  Pass it to every
+    {!run_shared} of the same session so threads share decoded code. *)
+
 type result = {
   ret : int32;
   cycles : int;  (** sum of per-instruction + per-terminator costs *)
@@ -45,6 +69,12 @@ val default_term_cost : func -> block -> int
 val default_cost : func -> inst -> int
 (** {!Costmodel.sw_cost} of the instruction. *)
 
+val zero_cost : func -> inst -> int
+(** Always 0 — pass this exact value (recognised by physical equality)
+    when timing comes entirely from the terminator hook; the decoded
+    engine then skips the per-instruction closure dispatch altogether.
+    Used for hardware threads and block-count profiling. *)
+
 val fresh_memory : ?mem_words:int -> modul -> Layout.t * int32 array
 (** Builds the static layout and a zeroed, initialised memory image. *)
 
@@ -56,6 +86,10 @@ val run_shared :
   ?cost:(func -> inst -> int) ->
   ?term_cost:(func -> block -> int) ->
   ?charge_cycles:bool ->
+  ?engine:engine ->
+  ?ctx:ctx ->
+  ?mem_hook:(func -> inst -> unit) ->
+  ?cycles_cell:int ref ->
   modul ->
   entry:string ->
   args:int32 array ->
@@ -64,9 +98,18 @@ val run_shared :
     block for executing DSWP stage functions as concurrent threads over
     one address space.  The cost hooks are invoked per executed
     instruction / per block exit, letting simulators maintain their own
-    clocks. *)
+    clocks.  [ctx] (Decoded engine only) shares decoded code across
+    calls; it must have been built for [m].  [mem_hook] fires on every
+    Load/Store at charge time (before operand evaluation) — the
+    simulator's memory-bus contention point — without paying a
+    per-instruction closure on other operations.  [cycles_cell], when
+    given, is used as the live cycle accumulator, so handler callbacks
+    can read the thread's progress mid-run (the final value also lands
+    in [result.cycles]).
+
+    @raise Invalid_argument if [ctx] was built for a different module. *)
 
 val run : ?fuel:int -> ?mem_words:int -> ?handlers:handlers ->
   ?cost:(func -> inst -> int) -> ?term_cost:(func -> block -> int) ->
-  ?charge_cycles:bool -> modul -> result
+  ?charge_cycles:bool -> ?engine:engine -> modul -> result
 (** [run m] executes [main] on a fresh memory image. *)

@@ -156,6 +156,25 @@ let map_operands_kind g = function
   | Produce (q, a) -> Produce (q, g a)
   | (Alloca _ | Consume _ | Sem_give _ | Sem_take _ | Dead) as k -> k
 
+(* Deep copy: fresh [inst]/[block] records and fresh operand containers, so
+   transforms on the copy (or the original) never alias.  Used by the DSWP
+   driver to keep extraction from mutating the caller's module — a
+   prerequisite for evaluating independent scenarios in parallel. *)
+let copy_func (f : func) : func =
+  let copy_inst (i : inst) : inst =
+    { id = i.id; kind = map_operands_kind (fun o -> o) i.kind; block = i.block }
+  and copy_block (b : block) : block =
+    { bid = b.bid; insts = b.insts; term = b.term; preds = b.preds }
+  in
+  {
+    name = f.name;
+    nparams = f.nparams;
+    insts = Vec.of_list ~dummy:dummy_inst (List.map copy_inst (Vec.to_list f.insts));
+    blocks =
+      Vec.of_list ~dummy:dummy_block (List.map copy_block (Vec.to_list f.blocks));
+    entry = f.entry;
+  }
+
 (* Does the instruction define an SSA value usable as [Reg id]? *)
 let has_result = function
   | Binop _ | Icmp _ | Select _ | Alloca _ | Gep _ | Load _ | Phi _ | Consume _

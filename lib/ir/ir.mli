@@ -94,6 +94,12 @@ val operands_of_kind : kind -> operand list
 val operands : inst -> operand list
 val map_operands_kind : (operand -> operand) -> kind -> kind
 
+val copy_func : func -> func
+(** Deep copy: fresh [inst]/[block] records and fresh operand containers,
+    so transforms on the copy never affect the original (and vice versa).
+    Lets the DSWP driver keep extraction from mutating its input module —
+    a prerequisite for evaluating independent scenarios in parallel. *)
+
 val has_result : kind -> bool
 (** Does the instruction define an SSA value usable as [Reg id]? *)
 

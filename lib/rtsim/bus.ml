@@ -4,24 +4,44 @@
    receives the first free cycle >= t.  Requests are served in simulation
    order, which approximates the priority decoder of the real arbiter
    (the processor wins ties there; contention effects — the 4+n worst
-   case of §4.5 — still emerge from slot exclusion). *)
+   case of §4.5 — still emerge from slot exclusion).
+
+   The granted-cycle set is a growable byte map indexed by cycle: the
+   arbiter sits on the simulator's per-memory-operation hot path, and a
+   linear probe over bytes beats hashing every request (occupancy is at
+   most one grant per cycle, so probe runs stay short). *)
 
 type t = {
   name : string;
-  taken : (int, unit) Hashtbl.t;
+  mutable taken : Bytes.t; (* '\001' = cycle granted *)
   mutable grants : int;
   mutable wait_cycles : int;
 }
 
-let create name = { name; taken = Hashtbl.create 1024; grants = 0; wait_cycles = 0 }
+let create name =
+  { name; taken = Bytes.make 4096 '\000'; grants = 0; wait_cycles = 0 }
+
+let ensure (b : t) (n : int) =
+  let len = Bytes.length b.taken in
+  if n >= len then begin
+    let nlen = max (n + 1) (2 * len) in
+    let nb = Bytes.make nlen '\000' in
+    Bytes.blit b.taken 0 nb 0 len;
+    b.taken <- nb
+  end
 
 (* First free cycle >= t; reserves it. *)
 let reserve (b : t) (t : int) : int =
-  let c = ref (max 0 t) in
-  while Hashtbl.mem b.taken !c do
+  let t0 = max 0 t in
+  ensure b t0;
+  let c = ref t0 in
+  while
+    !c < Bytes.length b.taken && Bytes.unsafe_get b.taken !c <> '\000'
+  do
     incr c
   done;
-  Hashtbl.replace b.taken !c ();
+  ensure b !c;
+  Bytes.unsafe_set b.taken !c '\001';
   b.grants <- b.grants + 1;
-  b.wait_cycles <- b.wait_cycles + (!c - max 0 t);
+  b.wait_cycles <- b.wait_cycles + (!c - t0);
   !c

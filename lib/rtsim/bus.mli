@@ -6,7 +6,7 @@
 
 type t = {
   name : string;
-  taken : (int, unit) Hashtbl.t;
+  mutable taken : Bytes.t;  (** granted-cycle byte map, grown on demand *)
   mutable grants : int;
   mutable wait_cycles : int;  (** total grant - request delay *)
 }

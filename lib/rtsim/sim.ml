@@ -63,7 +63,7 @@ let default_config =
 
 type queue_state = {
   qinfo : Threadgen.queue_info;
-  qdepth : int;
+  qdepth : int; (* normalized >= 1 at construction *)
   items : (int32 * int) Queue.t; (* value, visible time *)
   mutable pushed : int;
   mutable popped : int;
@@ -96,9 +96,10 @@ let simulate ?(config = default_config) ?(master = 0) (m : modul)
     Array.map
       (fun (qi : Threadgen.queue_info) ->
         let qdepth =
-          match config.queue_depth_override with
-          | Some d -> d
-          | None -> qi.Threadgen.depth
+          max 1
+            (match config.queue_depth_override with
+            | Some d -> d
+            | None -> qi.Threadgen.depth)
         in
         {
           qinfo = qi;
@@ -106,7 +107,7 @@ let simulate ?(config = default_config) ?(master = 0) (m : modul)
           items = Queue.create ();
           pushed = 0;
           popped = 0;
-          pop_time = Array.make (max 1 qdepth) 0;
+          pop_time = Array.make qdepth 0;
           peak = 0;
         })
       queues
@@ -118,27 +119,39 @@ let simulate ?(config = default_config) ?(master = 0) (m : modul)
       perform Yield
     done
   in
-  (* schedules for hardware threads, memoized per function *)
+  (* schedules for hardware threads: resolved through the process-wide
+     cache (shared with area accounting and the driver), memoized by name
+     here to avoid the find_func scan and cache lock on the hot path *)
   let schedules : (string, Schedule.t) Hashtbl.t = Hashtbl.create 16 in
   let schedule_of (fname : string) : Schedule.t =
     match Hashtbl.find_opt schedules fname with
     | Some s -> s
     | None ->
         let s =
-          Schedule.schedule ~res:config.resources ~modulo:config.modulo
+          Schedule.cached ~res:config.resources ~modulo:config.modulo
             (find_func m fname)
         in
         Hashtbl.replace schedules fname s;
         s
   in
+  (* decoded code shared by every thread of this simulation *)
+  let ictx = Interp.make_context ~layout m in
   (* per-thread execution contexts *)
   let n = Array.length threads in
   let clocks = Array.make n 0 in
   let busys = Array.make n 0 in
   let results : Interp.result option array = Array.make n None in
-  let make_handlers (ti : int) (spec : thread_spec) : Interp.handlers =
-    let sw = spec.trole = Sw in
-    let queue_overhead = if sw then 0 (* the 5 cycles sit in sw_cost *) else 0 in
+  (* Runtime-primitive handlers over an abstract thread clock.  Hardware
+     threads keep their clock directly in [clocks.(ti)]; software threads
+     run hook-free on the decoded engine's cost tables, so their clock is
+     the interpreter's live cycle cell plus a stall offset maintained
+     here (runtime-primitive operations are the only points where a
+     software thread's clock deviates from its charged cycles). *)
+  let make_handlers (get_clock : unit -> int) (set_clock : int -> unit) :
+      Interp.handlers =
+    (* queue ops carry no extra software overhead here: the 5 interface
+       cycles sit in sw_cost; hardware minimums are the +1/+2 below *)
+    let queue_overhead = 0 in
     {
       Interp.produce =
         (fun q v ->
@@ -147,13 +160,12 @@ let simulate ?(config = default_config) ?(master = 0) (m : modul)
           wait_until (fun () -> st.pushed - st.popped < st.qdepth);
           (* the slot we reuse was freed by the consume [depth] items ago *)
           let slot_free =
-            if st.pushed >= st.qdepth then
-              st.pop_time.(st.pushed mod max 1 st.qdepth)
+            if st.pushed >= st.qdepth then st.pop_time.(st.pushed mod st.qdepth)
             else 0
           in
-          clocks.(ti) <- max clocks.(ti) slot_free;
-          let grant = reserve module_bus clocks.(ti) in
-          clocks.(ti) <- grant + 1 + queue_overhead;
+          set_clock (max (get_clock ()) slot_free);
+          let grant = reserve module_bus (get_clock ()) in
+          set_clock (grant + 1 + queue_overhead);
           Queue.add (v, grant + config.queue_latency) st.items;
           st.pushed <- st.pushed + 1;
           st.peak <- max st.peak (st.pushed - st.popped);
@@ -163,10 +175,10 @@ let simulate ?(config = default_config) ?(master = 0) (m : modul)
           let st = qs.(q) in
           wait_until (fun () -> st.pushed > st.popped);
           let v, visible = Queue.pop st.items in
-          clocks.(ti) <- max clocks.(ti) visible;
-          let grant = reserve module_bus clocks.(ti) in
-          clocks.(ti) <- grant + 1 + queue_overhead;
-          st.pop_time.(st.popped mod max 1 st.qdepth) <- clocks.(ti);
+          set_clock (max (get_clock ()) visible);
+          let grant = reserve module_bus (get_clock ()) in
+          set_clock (grant + 1 + queue_overhead);
+          st.pop_time.(st.popped mod st.qdepth) <- get_clock ();
           st.popped <- st.popped + 1;
           incr ops;
           v);
@@ -174,120 +186,164 @@ let simulate ?(config = default_config) ?(master = 0) (m : modul)
         (fun s k ->
           let st = sems.(s) in
           st.count <- st.count + k;
-          st.free_at <- max st.free_at clocks.(ti);
-          let grant = reserve module_bus clocks.(ti) in
-          clocks.(ti) <- grant + 1;
+          st.free_at <- max st.free_at (get_clock ());
+          let grant = reserve module_bus (get_clock ()) in
+          set_clock (grant + 1);
           incr ops);
       sem_take =
         (fun s k ->
           let st = sems.(s) in
           wait_until (fun () -> st.count >= k);
           st.count <- st.count - k;
-          clocks.(ti) <- max clocks.(ti) st.free_at;
-          let grant = reserve module_bus clocks.(ti) in
-          clocks.(ti) <- grant + 2 (* §4.2: lower takes >= 2 cycles *);
+          set_clock (max (get_clock ()) st.free_at);
+          let grant = reserve module_bus (get_clock ()) in
+          set_clock (grant + 2 (* §4.2: lower takes >= 2 cycles *));
           incr ops)
     }
   in
-  (* timing hooks *)
-  let make_cost (ti : int) (spec : thread_spec) : func -> inst -> int =
-    match spec.trole with
-    | Sw ->
-        fun _ i ->
-          let c = Costmodel.sw_cost i.kind in
-          clocks.(ti) <- clocks.(ti) + c;
-          busys.(ti) <- busys.(ti) + c;
-          c
-    | Hw ->
-        fun f i ->
-          (* block timing is charged at the terminator from the schedule;
-             here only shared-memory-bus contention is added.  The request
-             is issued at the op's scheduled slot within the block, so a
-             thread never contends with its own schedule. *)
-          (match i.kind with
-          | (Load _ | Store _) when not spec.local_memory ->
-              let s = schedule_of f.name in
-              let slot =
-                match Hashtbl.find_opt s.Schedule.start_state i.id with
-                | Some st -> st
-                | None -> 0
-              in
-              let request = clocks.(ti) + slot in
-              let grant = reserve memory_bus request in
-              if grant > request then
-                clocks.(ti) <- clocks.(ti) + (grant - request)
-          | _ -> ());
-          0
+  (* Hardware-thread memory-bus contention, fired by the interpreter on
+     every Load/Store at charge time.  Block timing is charged at the
+     terminator from the schedule; here only shared-memory-bus waits are
+     added.  The request is issued at the op's scheduled slot within the
+     block, so a thread never contends with its own schedule. *)
+  let make_mem_hook (ti : int) (spec : thread_spec) :
+      (func -> inst -> unit) option =
+    if spec.local_memory then None
+    else
+      let cur = ref None in
+      let sched_of (f : func) =
+        match !cur with
+        | Some (n, s) when n == f.name -> s
+        | _ ->
+            let s = schedule_of f.name in
+            cur := Some (f.name, s);
+            s
+      in
+      Some
+        (fun f i ->
+          let s = sched_of f in
+          let sa = s.Schedule.start_arr in
+          let slot =
+            if i.id >= 0 && i.id < Array.length sa && sa.(i.id) >= 0 then
+              sa.(i.id)
+            else 0
+          in
+          let request = clocks.(ti) + slot in
+          let grant = reserve memory_bus request in
+          if grant > request then
+            clocks.(ti) <- clocks.(ti) + (grant - request))
   in
-  let make_term_cost (ti : int) (spec : thread_spec) : func -> block -> int =
-    match spec.trole with
-    | Sw ->
-        fun f b ->
-          let c = Interp.default_term_cost f b in
-          clocks.(ti) <- clocks.(ti) + c;
-          busys.(ti) <- busys.(ti) + c;
-          c
-    | Hw ->
-        let last = ref ("", -1) in
-        fun f b ->
+  let make_term_cost (ti : int) : func -> block -> int =
+    let last = ref ("", -1) in
+    let cur = ref None in
+    let sched_of (f : func) =
+      match !cur with
+      | Some (n, s) when n == f.name -> s
+      | _ ->
           let s = schedule_of f.name in
-          let pipelined =
-            s.Schedule.ii.(b.bid) > 0 && !last = (f.name, b.bid)
-          in
-          let c =
-            if pipelined then s.Schedule.ii.(b.bid)
-            else s.Schedule.nstates.(b.bid)
-          in
-          last := (f.name, b.bid);
-          clocks.(ti) <- clocks.(ti) + c;
-          busys.(ti) <- busys.(ti) + c;
-          c
-  in
-  (* cooperative scheduler (as in Parexec) *)
-  let runq : (unit -> unit) Queue.t = Queue.create () in
-  let start_fiber (body : unit -> unit) () =
-    match_with body ()
-      {
-        retc = (fun () -> ());
-        exnc = (fun e -> raise e);
-        effc =
-          (fun (type a) (eff : a Effect.t) ->
-            match eff with
-            | Yield ->
-                Some
-                  (fun (k : (a, unit) continuation) ->
-                    Queue.add (fun () -> continue k ()) runq)
-            | _ -> None);
-      }
-  in
-  Array.iteri
-    (fun ti spec ->
-      Queue.add
-        (start_fiber (fun () ->
-             let r =
-               Interp.run_shared ~fuel:config.fuel ~layout ~mem
-                 ~handlers:(make_handlers ti spec) ~cost:(make_cost ti spec)
-                 ~term_cost:(make_term_cost ti spec) ~charge_cycles:true m
-                 ~entry:spec.tname ~args:[||]
-             in
-             results.(ti) <- Some r))
-        runq)
-    threads;
-  while not (Queue.is_empty runq) do
-    let k = Queue.length runq in
-    let before = !ops in
-    let done_before =
-      Array.fold_left (fun c r -> if r = None then c else c + 1) 0 results
+          cur := Some (f.name, s);
+          s
     in
-    for _ = 1 to k do
-      (Queue.pop runq) ()
-    done;
-    let done_after =
-      Array.fold_left (fun c r -> if r = None then c else c + 1) 0 results
+    fun f b ->
+      let s = sched_of f in
+      let pipelined = s.Schedule.ii.(b.bid) > 0 && !last = (f.name, b.bid) in
+      let c =
+        if pipelined then s.Schedule.ii.(b.bid) else s.Schedule.nstates.(b.bid)
+      in
+      last := (f.name, b.bid);
+      clocks.(ti) <- clocks.(ti) + c;
+      busys.(ti) <- busys.(ti) + c;
+      c
+  in
+  let finished = ref 0 in
+  if
+    (* Single software thread, no cross-thread runtime state: the
+       simulation degenerates to one interpreter run whose clock equals
+       the interpreter's cycle count (the Sw hooks add exactly the default
+       Microblaze costs and nothing can stall), so skip the fiber
+       machinery and run on the pre-computed cost tables. *)
+    n = 1
+    && threads.(0).trole = Sw
+    && Array.length queues = 0
+    && nsems = 0
+  then begin
+    let r =
+      Interp.run_shared ~fuel:config.fuel ~layout ~mem ~charge_cycles:true
+        ~ctx:ictx m ~entry:threads.(0).tname ~args:[||]
     in
-    if (not (Queue.is_empty runq)) && !ops = before && done_after = done_before
-    then raise (Deadlock (Printf.sprintf "%d threads blocked" (Queue.length runq)))
-  done;
+    clocks.(0) <- r.Interp.cycles;
+    busys.(0) <- r.Interp.cycles;
+    results.(0) <- Some r;
+    incr finished
+  end
+  else begin
+    (* cooperative scheduler (as in Parexec) *)
+    let runq : (unit -> unit) Queue.t = Queue.create () in
+    let start_fiber (body : unit -> unit) () =
+      match_with body ()
+        {
+          retc = (fun () -> ());
+          exnc = (fun e -> raise e);
+          effc =
+            (fun (type a) (eff : a Effect.t) ->
+              match eff with
+              | Yield ->
+                  Some
+                    (fun (k : (a, unit) continuation) ->
+                      Queue.add (fun () -> continue k ()) runq)
+              | _ -> None);
+        }
+    in
+    Array.iteri
+      (fun ti spec ->
+        Queue.add
+          (start_fiber (fun () ->
+               match spec.trole with
+               | Sw ->
+                   (* hook-free: the decoded engine charges Microblaze
+                      costs from its tables into [cell]; [stall] holds the
+                      extra wall-clock the runtime primitives imposed *)
+                   let cell = ref 0 and stall = ref 0 in
+                   let get () = !cell + !stall in
+                   let set c = stall := c - !cell in
+                   let r =
+                     Interp.run_shared ~fuel:config.fuel ~layout ~mem
+                       ~handlers:(make_handlers get set) ~charge_cycles:true
+                       ~ctx:ictx ~cycles_cell:cell m ~entry:spec.tname
+                       ~args:[||]
+                   in
+                   clocks.(ti) <- !cell + !stall;
+                   busys.(ti) <- !cell;
+                   results.(ti) <- Some r;
+                   incr finished
+               | Hw ->
+                   let get () = clocks.(ti) in
+                   let set c = clocks.(ti) <- c in
+                   let r =
+                     Interp.run_shared ~fuel:config.fuel ~layout ~mem
+                       ~handlers:(make_handlers get set)
+                       ~cost:Interp.zero_cost
+                       ~term_cost:(make_term_cost ti) ~charge_cycles:true
+                       ~ctx:ictx ?mem_hook:(make_mem_hook ti spec) m
+                       ~entry:spec.tname ~args:[||]
+                   in
+                   results.(ti) <- Some r;
+                   incr finished))
+          runq)
+      threads;
+    while not (Queue.is_empty runq) do
+      let k = Queue.length runq in
+      let before = !ops in
+      let done_before = !finished in
+      for _ = 1 to k do
+        (Queue.pop runq) ()
+      done;
+      if (not (Queue.is_empty runq)) && !ops = before && !finished = done_before
+      then
+        raise
+          (Deadlock (Printf.sprintf "%d threads blocked" (Queue.length runq)))
+    done
+  end;
   let ret =
     match results.(master) with
     | Some r -> r.Interp.ret
