@@ -327,6 +327,36 @@ let fig_6_6 () =
   Printf.printf "\n"
 
 (* ------------------------------------------------------------------ *)
+(* RTL co-simulation: emitted Verilog vs the rtsim reference           *)
+(* ------------------------------------------------------------------ *)
+
+let cosim () =
+  header
+    "Co-simulation — emitted RTL (vsim) vs rtsim reference (3-stage \
+     pipeline); AGREE = same return value and print trace";
+  Printf.printf "%-10s | %12s %12s %8s | %s\n" "benchmark" "RTL cycles"
+    "model cycles" "ratio" "verdict";
+  let opts = forced_pipeline_opts in
+  let rows =
+    Twill.Par.map
+      (fun (b : C.benchmark) ->
+        let m = Twill.compile ~opts b.C.source in
+        let t = Twill.extract ~opts m in
+        (b.C.name, Twill.cosim ~opts t))
+      C.all
+  in
+  List.iter
+    (fun (name, (r : Twill.Cosim.report)) ->
+      Printf.printf "%-10s | %12d %12d %8.2f | %s\n" name
+        r.Twill.Cosim.rtl_cycles r.Twill.Cosim.model_cycles
+        (float_of_int r.Twill.Cosim.rtl_cycles
+        /. float_of_int (max 1 r.Twill.Cosim.model_cycles))
+        (if r.Twill.Cosim.agree then "AGREE" else "DISAGREE"))
+    rows;
+  if List.exists (fun (_, r) -> not r.Twill.Cosim.agree) rows then
+    failwith "cosim: RTL and model disagree"
+
+(* ------------------------------------------------------------------ *)
 (* Ablations called out in DESIGN.md                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -457,6 +487,7 @@ let artifacts =
     ("fig-6.5", fig_6_5);
     ("fig-6.6", fig_6_6);
     ("ablation", ablation);
+    ("cosim", cosim);
   ]
 
 let () =

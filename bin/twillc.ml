@@ -5,6 +5,8 @@
      twillc threads FILE.c        dump extracted pipeline-stage functions
      twillc bench NAME            run one bundled CHStone benchmark
      twillc list                  list bundled benchmarks
+     twillc emit-verilog FILE.c   emit the design's RTL (-o FILE, --check)
+     twillc cosim NAME|FILE.c     co-simulate the emitted RTL vs rtsim
 
    Options: --stages K, --sw-frac F, --queue-depth D, --queue-latency L,
    --aggressive-inline, --no-auto. *)
@@ -171,11 +173,39 @@ let emit_c_cmd =
       $ no_auto $ file)
 
 let emit_verilog_cmd =
-  let run stages sw_frac qd ql aggr _ path =
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the Verilog to $(docv) instead of standard output.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Run the structural checker over the emitted design and exit \
+             nonzero on failure.")
+  in
+  let run stages sw_frac qd ql aggr _ output check path =
     let opts = mk_opts stages sw_frac qd ql aggr in
     let m = Twill.compile ~opts (read_file path) in
     let t = Twill.extract ~opts m in
-    print_string (Twill_vgen.Vruntime.emit_design t)
+    let design = Twill_vgen.Vruntime.emit_design t in
+    (match output with
+    | None -> print_string design
+    | Some f ->
+        let oc = open_out f in
+        output_string oc design;
+        close_out oc);
+    if check then
+      match Twill_vgen.Vcheck.check design with
+      | Ok () -> Fmt.epr "emit-verilog: check passed@."
+      | Error e ->
+          Fmt.epr "emit-verilog: check failed: %s@."
+            (Twill_vgen.Vcheck.error_to_string e);
+          exit 1
   in
   Cmd.v
     (Cmd.info "emit-verilog"
@@ -184,7 +214,50 @@ let emit_verilog_cmd =
           (Figure 4.1)")
     Term.(
       const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive
-      $ no_auto $ file)
+      $ no_auto $ output $ check $ file)
+
+let cosim_cmd =
+  let vcd =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "vcd" ] ~docv:"PREFIX"
+          ~doc:"Dump one VCD waveform per RTL instance under $(docv).")
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH_OR_FILE")
+  in
+  let run stages sw_frac qd ql aggr _ vcd name =
+    let opts = mk_opts stages sw_frac qd ql aggr in
+    let src =
+      if Sys.file_exists name then read_file name
+      else (Twill_chstone.Chstone.find name).Twill_chstone.Chstone.source
+    in
+    let m = Twill.compile ~opts src in
+    let t = Twill.extract ~opts m in
+    let r = Twill.cosim ~opts ?vcd t in
+    Fmt.pr "== cosim %s ==@." (Filename.basename name);
+    Fmt.pr "RTL (vsim)     : ret=%ld  %8d harness cycles@."
+      r.Twill.Cosim.rtl_ret r.Twill.Cosim.rtl_cycles;
+    Fmt.pr "model (rtsim)  : ret=%ld  %8d cycles@." r.Twill.Cosim.model_ret
+      r.Twill.Cosim.model_cycles;
+    Fmt.pr "prints         : %d (RTL) vs %d (model)@."
+      (List.length r.Twill.Cosim.rtl_prints)
+      (List.length r.Twill.Cosim.model_prints);
+    if r.Twill.Cosim.agree then Fmt.pr "verdict        : AGREE@."
+    else begin
+      Fmt.pr "verdict        : DISAGREE@.";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "cosim"
+       ~doc:
+         "Co-simulate the emitted RTL of a benchmark or mini-C file against \
+          the rtsim reference")
+    Term.(
+      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive
+      $ no_auto $ vcd $ name_arg)
 
 let () =
   let doc = "Twill: hybrid microcontroller-FPGA parallelising compiler" in
@@ -193,5 +266,5 @@ let () =
        (Cmd.group (Cmd.info "twillc" ~doc)
           [
             run_cmd; ir_cmd; threads_cmd; bench_cmd; list_cmd; emit_c_cmd;
-            emit_verilog_cmd;
+            emit_verilog_cmd; cosim_cmd;
           ]))

@@ -17,6 +17,11 @@ module Schedule = Twill_hls.Schedule
 module Area = Twill_hls.Area
 module Power = Twill_hls.Power
 module Sim = Twill_rtsim.Sim
+module Vruntime = Twill_vgen.Vruntime
+module Vcheck = Twill_vgen.Vcheck
+module Vparse = Twill_vsim.Vparse
+module Vsim = Twill_vsim.Vsim
+module Cosim = Twill_vsim.Cosim
 module Par = Par
 
 type options = {
@@ -277,6 +282,10 @@ let run_twill_threaded ?(opts = default_options) (t : Dswp.threaded) :
 let run_twill ?(opts = default_options) ?profile ?prep (m : Ir.modul) :
     twill_result =
   run_twill_threaded ~opts (extract ~opts ?profile ?prep m)
+
+(* RTL co-simulation of an extracted design against the rtsim reference. *)
+let cosim ?(opts = default_options) ?vcd (t : Dswp.threaded) : Cosim.report =
+  Cosim.run_threaded ~config:(sim_config opts) ?vcd t
 
 (* --- full report (one benchmark, all three scenarios) --------------------- *)
 

@@ -21,6 +21,11 @@ module Schedule = Twill_hls.Schedule
 module Area = Twill_hls.Area
 module Power = Twill_hls.Power
 module Sim = Twill_rtsim.Sim
+module Vruntime = Twill_vgen.Vruntime
+module Vcheck = Twill_vgen.Vcheck
+module Vparse = Twill_vsim.Vparse
+module Vsim = Twill_vsim.Vsim
+module Cosim = Twill_vsim.Cosim
 
 (** Deterministic domain-parallel evaluation helpers (shared slot budget). *)
 module Par = Par
@@ -109,6 +114,14 @@ val run_twill :
     pipeline (the back half of {!run_twill}); lets sweeps reuse one
     extraction across simulator configurations. *)
 val run_twill_threaded : ?opts:options -> Dswp.threaded -> twill_result
+
+(** Co-simulates the emitted RTL of an extracted design (hardware threads
+    and runtime primitives elaborated under {!Vsim}) against the
+    cycle-accurate [rtsim] reference, checking that both observe the same
+    return value and print trace.  [vcd] dumps one waveform per RTL
+    instance under that path prefix.
+    @raise Twill_vsim.Cosim.Cosim_error on a stuck co-simulation. *)
+val cosim : ?opts:options -> ?vcd:string -> Dswp.threaded -> Cosim.report
 
 (** Tries several pipeline widths and keeps the best (the analogue of the
     thesis's iterated partitioning, §5.2); ties go to deeper pipelines. *)

@@ -1,10 +1,15 @@
-(* Structural well-formedness checker for emitted Verilog — no simulator
-   is available in the build environment, so generated RTL is validated
-   structurally: balanced module/endmodule, begin/end and case/endcase
-   nesting, and every assigned identifier declared as a reg, wire or
-   port. *)
+(* Structural well-formedness checker for emitted Verilog — generated RTL
+   is validated structurally: balanced module/endmodule, begin/end and
+   case/endcase nesting, and every assigned identifier declared as a reg,
+   wire or port.  Errors carry the line and the offending token so a
+   broken emitter points straight at its output. *)
 
-type error = string
+type error = { line : int; token : string; reason : string }
+
+let error_to_string (e : error) =
+  if e.line = 0 then e.reason
+  else if e.token = "" then Printf.sprintf "line %d: %s" e.line e.reason
+  else Printf.sprintf "line %d: `%s': %s" e.line e.token e.reason
 
 let keywords =
   [
@@ -18,7 +23,8 @@ let is_ident_char c =
   (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
   || c = '_' || c = '$'
 
-(* Strips // and (* ... *) style comments and squashes strings. *)
+(* Strips // and (* ... *) style comments; newlines survive so token
+   positions keep their source lines. *)
 let strip (src : string) : string =
   let b = Buffer.create (String.length src) in
   let n = String.length src in
@@ -29,7 +35,10 @@ let strip (src : string) : string =
     end
     else if !i + 1 < n && src.[!i] = '/' && src.[!i + 1] = '*' then begin
       i := !i + 2;
-      while !i + 1 < n && not (src.[!i] = '*' && src.[!i + 1] = '/') do incr i done;
+      while !i + 1 < n && not (src.[!i] = '*' && src.[!i + 1] = '/') do
+        if src.[!i] = '\n' then Buffer.add_char b '\n';
+        incr i
+      done;
       i := !i + 2
     end
     else begin
@@ -39,43 +48,71 @@ let strip (src : string) : string =
   done;
   Buffer.contents b
 
-let tokens (src : string) : string list =
+(* Tokens paired with their 1-based source line. *)
+let tokens_lines (src : string) : (string * int) list =
   let out = ref [] in
   let n = String.length src in
-  let i = ref 0 in
+  let i = ref 0 and line = ref 1 in
   while !i < n do
     let c = src.[!i] in
-    if is_ident_char c then begin
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if is_ident_char c then begin
       let start = !i in
       while !i < n && is_ident_char src.[!i] do incr i done;
-      out := String.sub src start (!i - start) :: !out
+      out := (String.sub src start (!i - start), !line) :: !out
     end
     else begin
-      if c > ' ' then out := String.make 1 c :: !out;
+      if c > ' ' then out := (String.make 1 c, !line) :: !out;
       incr i
     end
   done;
   List.rev !out
 
+let tokens (src : string) : string list = List.map fst (tokens_lines src)
+
 let check (src : string) : (unit, error) result =
-  let toks = Array.of_list (tokens (strip src)) in
+  let toks = Array.of_list (tokens_lines (strip src)) in
   let n = Array.length toks in
-  let balance = Hashtbl.create 4 in
-  let bump k d = Hashtbl.replace balance k (d + (try Hashtbl.find balance k with Not_found -> 0)) in
+  let tok i = fst toks.(i) and lno i = snd toks.(i) in
+  (* nesting tracked with open-position stacks, so an unbalanced construct
+     reports where it was opened (or where the stray closer sits) *)
+  let stacks = Hashtbl.create 4 in
+  let stack k =
+    match Hashtbl.find_opt stacks k with
+    | Some s -> s
+    | None ->
+        let s = ref [] in
+        Hashtbl.replace stacks k s;
+        s
+  in
   let declared = Hashtbl.create 64 in
   let err = ref None in
-  let fail msg = if !err = None then err := Some msg in
-  let decl_keywords = [ "input"; "output"; "inout"; "wire"; "reg"; "integer"; "parameter"; "localparam" ] in
+  let fail line token reason =
+    if !err = None then err := Some { line; token; reason }
+  in
+  let push k i = stack k := i :: !(stack k) in
+  let pop k closer i =
+    match !(stack k) with
+    | _ :: rest -> stack k := rest
+    | [] -> fail (lno i) closer (Printf.sprintf "%s without a matching %s" closer k)
+  in
+  let decl_keywords =
+    [ "input"; "output"; "inout"; "wire"; "reg"; "integer"; "parameter";
+      "localparam" ]
+  in
   let i = ref 0 in
   while !i < n do
-    let t = toks.(!i) in
+    let t = tok !i in
     (match t with
-    | "module" -> bump "module" 1
-    | "endmodule" -> bump "module" (-1)
-    | "begin" -> bump "begin" 1
-    | "end" -> bump "begin" (-1)
-    | "case" -> bump "case" 1
-    | "endcase" -> bump "case" (-1)
+    | "module" -> push "module" !i
+    | "endmodule" -> pop "module" "endmodule" !i
+    | "begin" -> push "begin" !i
+    | "end" -> pop "begin" "end" !i
+    | "case" -> push "case" !i
+    | "endcase" -> pop "case" "endcase" !i
     | _ -> ());
     (* declarations: every identifier up to the terminating ';' or ')' on
        the same statement (excluding range/width contents) *)
@@ -84,35 +121,39 @@ let check (src : string) : (unit, error) result =
       let depth_sq = ref 0 in
       let stop = ref false in
       while (not !stop) && !j < n do
-        let u = toks.(!j) in
+        let u = tok !j in
         (match u with
         | "[" -> incr depth_sq
         | "]" -> decr depth_sq
-        | ";" | ")" | "," -> if !depth_sq = 0 && (u = ";" || u = ")") then stop := true
+        | ";" | ")" | "," ->
+            if !depth_sq = 0 && (u = ";" || u = ")") then stop := true
         | _ ->
             if
               !depth_sq = 0
               && String.length u > 0
-              && (let c = u.[0] in (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_')
+              && (let c = u.[0] in
+                  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_')
               && not (List.mem u keywords)
             then Hashtbl.replace declared u ());
         incr j
       done
     end;
     (* module names and instance names count as declared contexts *)
-    if t = "module" && !i + 1 < n then Hashtbl.replace declared toks.(!i + 1) ();
+    if t = "module" && !i + 1 < n then Hashtbl.replace declared (tok (!i + 1)) ();
     incr i
   done;
   List.iter
-    (fun k ->
-      match Hashtbl.find_opt balance k with
-      | Some 0 | None -> ()
-      | Some d -> fail (Printf.sprintf "unbalanced %s (%+d)" k d))
-    [ "module"; "begin"; "case" ];
+    (fun (k, closer) ->
+      match !(stack k) with
+      | [] -> ()
+      | opened :: _ ->
+          fail (lno opened) (tok opened)
+            (Printf.sprintf "%s never closed by %s" k closer))
+    [ ("module", "endmodule"); ("begin", "end"); ("case", "endcase") ];
   (* every assignment target must be declared *)
   let i = ref 0 in
   while !i + 1 < n do
-    let t = toks.(!i) and u = toks.(!i + 1) in
+    let t = tok !i and u = tok (!i + 1) in
     let is_ident =
       String.length t > 0
       &&
@@ -122,15 +163,15 @@ let check (src : string) : (unit, error) result =
     if
       is_ident
       && (not (List.mem t keywords))
-      && (u = "=" || (u = "<" && !i + 2 < n && toks.(!i + 2) = "="))
+      && (u = "=" || (u = "<" && !i + 2 < n && tok (!i + 2) = "="))
       && !i > 0
-      && toks.(!i - 1) <> "." (* named port connections *)
-      && toks.(!i - 1) <> "=" && toks.(!i - 1) <> "<"
+      && tok (!i - 1) <> "." (* named port connections *)
+      && tok (!i - 1) <> "=" && tok (!i - 1) <> "<"
     then begin
       (* exclude comparisons (a <= b inside expressions is ambiguous in
          this lexical check; only flag genuinely unknown identifiers) *)
       if not (Hashtbl.mem declared t) then
-        fail (Printf.sprintf "assignment to undeclared identifier %s" t)
+        fail (lno !i) t "assignment to undeclared identifier"
     end;
     incr i
   done;

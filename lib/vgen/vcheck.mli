@@ -1,13 +1,21 @@
-(** Structural well-formedness checker for emitted Verilog — no simulator
-    exists in the build environment, so generated RTL is validated
-    lexically/structurally: balanced [module]/[endmodule],
+(** Structural well-formedness checker for emitted Verilog — validates
+    generated RTL lexically/structurally: balanced [module]/[endmodule],
     [begin]/[end] and [case]/[endcase] nesting, and every assignment
-    target declared as a reg, wire or port. *)
+    target declared as a reg, wire or port.  [lib/vsim] simulates the
+    same subset; this checker stays as the cheap first line of defence
+    and reports precise positions. *)
 
-type error = string
+type error = {
+  line : int;  (** 1-based line of the offending token (0 = whole file) *)
+  token : string;  (** the offending token, or [""] for file-level errors *)
+  reason : string;
+}
+
+val error_to_string : error -> string
+(** ["line L: `tok': reason"], or just the reason for file-level errors. *)
 
 val strip : string -> string
-(** Removes comments. *)
+(** Removes comments, preserving line structure. *)
 
 val tokens : string -> string list
 val check : string -> (unit, error) result

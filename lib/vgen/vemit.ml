@@ -31,6 +31,8 @@ type micro =
   | Comb of int list (* non-blocking instructions sharing a state *)
   | Issue of int (* blocking op: drive the call port *)
   | Wait of int (* park until ret_valid; latch ret_data if it has a result *)
+  | Call_issue of int (* latch args, raise the callee's start *)
+  | Call_wait of int (* park until the callee's done; latch its retval *)
   | Term (* phi updates + branch *)
 
 let is_blocking = function
@@ -38,6 +40,8 @@ let is_blocking = function
   | Sem_take _ ->
       true
   | _ -> false
+
+let is_call = function Call _ -> true | _ -> false
 
 (* Linearise a block into micro-states. *)
 let micros_of_block (f : func) (s : Schedule.t) (b : block) : micro list =
@@ -52,6 +56,10 @@ let micros_of_block (f : func) (s : Schedule.t) (b : block) : micro list =
         else if is_blocking i.kind then begin
           let acc = if cur = [] then acc else Comb (List.rev cur) :: acc in
           go (Wait id :: Issue id :: acc) [] (-1) rest
+        end
+        else if is_call i.kind then begin
+          let acc = if cur = [] then acc else Comb (List.rev cur) :: acc in
+          go (Call_wait id :: Call_issue id :: acc) [] (-1) rest
         end
         else if cur <> [] && slot id = cur_slot then
           go acc (id :: cur) cur_slot rest
@@ -128,6 +136,19 @@ let emit_hw_thread ?(res = Schedule.default_resources)
   let nstates = !next in
   let st_done = nstates in
   let width = max 1 (int_of_float (ceil (log (float_of_int (st_done + 1)) /. log 2.0))) in
+  (* distinct callees, call-site arity: each becomes one sub-FSM instance
+     sharing the parent's call port through a start-selected mux *)
+  let callees = ref [] in
+  iter_insts f (fun i ->
+      match i.kind with
+      | Call (c, cargs) ->
+          if not (List.mem_assoc c !callees) then
+            callees := (c, Array.length cargs) :: !callees
+      | _ -> ());
+  let callees = List.rev !callees in
+  (* with sub-FSMs present the parent drives internal _r copies of the
+     call port; the mux below hands the port to the active callee *)
+  let fcs = if callees = [] then "" else "_r" in
   let args =
     String.concat ""
       (List.init f.nparams (fun i ->
@@ -138,20 +159,77 @@ let emit_hw_thread ?(res = Schedule.default_resources)
   pr "  input  wire clk,\n  input  wire rst,\n  input  wire start,\n%s" args;
   pr "  output reg  done,\n  output reg  signed [31:0] retval,\n";
   pr "  // HWInterface call port (section 4.4)\n";
-  pr "  output reg  [3:0]  fc_code,\n";
-  pr "  output reg  [7:0]  fc_target,\n";
-  pr "  output reg  signed [31:0] fc_data,\n";
-  pr "  output reg  [31:0] fc_addr,\n";
-  pr "  output reg         fc_valid,\n";
+  let fc_kind = if callees = [] then "reg " else "wire" in
+  pr "  output %s [3:0]  fc_code,\n" fc_kind;
+  pr "  output %s [7:0]  fc_target,\n" fc_kind;
+  pr "  output %s signed [31:0] fc_data,\n" fc_kind;
+  pr "  output %s [31:0] fc_addr,\n" fc_kind;
+  pr "  output %s        fc_valid,\n" fc_kind;
   pr "  input  wire [3:0]  ret_code,\n";
   pr "  input  wire signed [31:0] ret_data,\n";
   pr "  input  wire        ret_valid\n);\n\n";
   pr "  reg [%d:0] state;\n" (width - 1);
   iter_insts f (fun i ->
       if has_result i.kind then pr "  reg signed [31:0] %s;\n" (reg_name i.id));
+  if callees <> [] then begin
+    pr "\n  // parent-driven copy of the call port (muxed with callees)\n";
+    pr "  reg [3:0]  fc_code_r;\n";
+    pr "  reg [7:0]  fc_target_r;\n";
+    pr "  reg signed [31:0] fc_data_r;\n";
+    pr "  reg [31:0] fc_addr_r;\n";
+    pr "  reg        fc_valid_r;\n";
+    List.iter
+      (fun (c, arity) ->
+        pr "\n  // sub-FSM for callee %s (section 5.4)\n" c;
+        pr "  reg call_%s_start;\n" c;
+        for i = 0 to arity - 1 do
+          pr "  reg signed [31:0] call_%s_arg%d;\n" c i
+        done;
+        pr "  wire call_%s_done;\n" c;
+        pr "  wire signed [31:0] call_%s_retval;\n" c;
+        pr "  wire [3:0]  call_%s_fc_code;\n" c;
+        pr "  wire [7:0]  call_%s_fc_target;\n" c;
+        pr "  wire signed [31:0] call_%s_fc_data;\n" c;
+        pr "  wire [31:0] call_%s_fc_addr;\n" c;
+        pr "  wire        call_%s_fc_valid;\n" c;
+        pr "  twill_thread_%s call_%s_i (.clk(clk), .rst(rst), \
+             .start(call_%s_start),\n"
+          c c c;
+        for i = 0 to arity - 1 do
+          pr "    .arg%d(call_%s_arg%d),\n" i c i
+        done;
+        pr "    .done(call_%s_done), .retval(call_%s_retval),\n" c c;
+        pr "    .fc_code(call_%s_fc_code), .fc_target(call_%s_fc_target),\n" c c;
+        pr "    .fc_data(call_%s_fc_data), .fc_addr(call_%s_fc_addr), \
+             .fc_valid(call_%s_fc_valid),\n"
+          c c c;
+        pr "    .ret_code(ret_code), .ret_data(ret_data), \
+             .ret_valid(ret_valid));\n")
+      callees;
+    (* only the active callee (start held high) owns the port; the parent
+       blocks in Call_wait meanwhile, so at most one is active *)
+    let mux field =
+      let arms =
+        String.concat ""
+          (List.map
+             (fun (c, _) ->
+               Printf.sprintf "call_%s_start ? call_%s_%s : " c c field)
+             callees)
+      in
+      pr "  assign %s = %s%s_r;\n" field arms field
+    in
+    pr "\n";
+    mux "fc_code";
+    mux "fc_target";
+    mux "fc_data";
+    mux "fc_addr";
+    mux "fc_valid"
+  end;
   pr "\n  always @(posedge clk) begin\n";
   pr "    if (rst) begin\n      state <= 0;\n      done <= 1'b0;\n";
-  pr "      fc_valid <= 1'b0;\n    end else begin\n";
+  pr "      fc_valid%s <= 1'b0;\n" fcs;
+  List.iter (fun (c, _) -> pr "      call_%s_start <= 1'b0;\n" c) callees;
+  pr "    end else begin\n";
   pr "      case (state)\n";
   pr "        0: if (start) state <= %d;\n" base.(f.entry);
   (* edge transition: phi updates then jump to target block's first state *)
@@ -203,12 +281,6 @@ let emit_hw_thread ?(res = Schedule.default_resources)
                   | Alloca _ ->
                       pr "          %s = 32'sd%ld;\n" (reg_name id)
                         (Twill_ir.Layout.alloca_address layout f.name id)
-                  | Call (callee, _) ->
-                      (* sub-FSM start: modelled as a start-thread call in
-                         this emission (LegUp wires sub-modules directly) *)
-                      pr "          // call %s: sub-FSM handshake elided\n"
-                        callee;
-                      pr "          %s = 32'sd0;\n" (reg_name id)
                   | _ -> ())
                 ids;
               pr "          state <= %d;\n        end\n" next_st
@@ -217,39 +289,62 @@ let emit_hw_thread ?(res = Schedule.default_resources)
               pr "        %d: begin\n" st;
               (match i.kind with
               | Load a ->
-                  pr "          fc_code <= 4'd%d;\n" fc_load;
-                  pr "          fc_addr <= $unsigned(%s);\n" (ov a)
+                  pr "          fc_code%s <= 4'd%d;\n" fcs fc_load;
+                  pr "          fc_addr%s <= $unsigned(%s);\n" fcs (ov a)
               | Store (a, v) ->
-                  pr "          fc_code <= 4'd%d;\n" fc_store;
-                  pr "          fc_addr <= $unsigned(%s);\n" (ov a);
-                  pr "          fc_data <= %s;\n" (ov v)
+                  pr "          fc_code%s <= 4'd%d;\n" fcs fc_store;
+                  pr "          fc_addr%s <= $unsigned(%s);\n" fcs (ov a);
+                  pr "          fc_data%s <= %s;\n" fcs (ov v)
               | Produce (q, v) ->
-                  pr "          fc_code <= 4'd%d;\n" fc_enqueue;
-                  pr "          fc_target <= 8'd%d;\n" q;
-                  pr "          fc_data <= %s;\n" (ov v)
+                  pr "          fc_code%s <= 4'd%d;\n" fcs fc_enqueue;
+                  pr "          fc_target%s <= 8'd%d;\n" fcs q;
+                  pr "          fc_data%s <= %s;\n" fcs (ov v)
               | Consume q ->
-                  pr "          fc_code <= 4'd%d;\n" fc_dequeue;
-                  pr "          fc_target <= 8'd%d;\n" q
+                  pr "          fc_code%s <= 4'd%d;\n" fcs fc_dequeue;
+                  pr "          fc_target%s <= 8'd%d;\n" fcs q
               | Sem_give (sm, n) ->
-                  pr "          fc_code <= 4'd%d;\n" fc_raise;
-                  pr "          fc_target <= 8'd%d;\n" sm;
-                  pr "          fc_data <= 32'sd%d;\n" n
+                  pr "          fc_code%s <= 4'd%d;\n" fcs fc_raise;
+                  pr "          fc_target%s <= 8'd%d;\n" fcs sm;
+                  pr "          fc_data%s <= 32'sd%d;\n" fcs n
               | Sem_take (sm, n) ->
-                  pr "          fc_code <= 4'd%d;\n" fc_lower;
-                  pr "          fc_target <= 8'd%d;\n" sm;
-                  pr "          fc_data <= 32'sd%d;\n" n
+                  pr "          fc_code%s <= 4'd%d;\n" fcs fc_lower;
+                  pr "          fc_target%s <= 8'd%d;\n" fcs sm;
+                  pr "          fc_data%s <= 32'sd%d;\n" fcs n
               | Print v ->
-                  pr "          fc_code <= 4'd%d;\n" fc_print;
-                  pr "          fc_data <= %s;\n" (ov v)
+                  pr "          fc_code%s <= 4'd%d;\n" fcs fc_print;
+                  pr "          fc_data%s <= %s;\n" fcs (ov v)
               | _ -> ());
-              pr "          fc_valid <= 1'b1;\n";
+              pr "          fc_valid%s <= 1'b1;\n" fcs;
               pr "          state <= %d;\n        end\n" next_st
           | Wait id ->
               let i = inst f id in
               pr "        %d: if (ret_valid) begin\n" st;
-              pr "          fc_valid <= 1'b0;\n";
+              pr "          fc_valid%s <= 1'b0;\n" fcs;
               if has_result i.kind then
                 pr "          %s <= ret_data;\n" (reg_name id);
+              pr "          state <= %d;\n        end\n" next_st
+          | Call_issue id ->
+              let i = inst f id in
+              let callee, cargs =
+                match i.kind with
+                | Call (c, cargs) -> (c, cargs)
+                | _ -> assert false
+              in
+              pr "        %d: begin\n" st;
+              Array.iteri
+                (fun k a -> pr "          call_%s_arg%d <= %s;\n" callee k (ov a))
+                cargs;
+              pr "          call_%s_start <= 1'b1;\n" callee;
+              pr "          state <= %d;\n        end\n" next_st
+          | Call_wait id ->
+              let i = inst f id in
+              let callee =
+                match i.kind with Call (c, _) -> c | _ -> assert false
+              in
+              pr "        %d: if (call_%s_done) begin\n" st callee;
+              pr "          call_%s_start <= 1'b0;\n" callee;
+              if has_result i.kind then
+                pr "          %s <= call_%s_retval;\n" (reg_name id) callee;
               pr "          state <= %d;\n        end\n" next_st
           | Term ->
               pr "        %d: begin\n" st;
@@ -270,7 +365,14 @@ let emit_hw_thread ?(res = Schedule.default_resources)
               pr "        end\n")
         micros.(b.bid))
     f.blocks;
-  pr "        %d: done <= 1'b1; // halted\n" st_done;
+  (* halted: hold [done] until the caller drops [start], then rearm so
+     the module is callable again as a sub-FSM *)
+  pr "        %d: begin\n" st_done;
+  pr "          done <= 1'b1;\n";
+  pr "          if (!start) begin\n";
+  pr "            done <= 1'b0;\n";
+  pr "            state <= 0;\n";
+  pr "          end\n        end\n";
   pr "        default: state <= 0;\n";
   pr "      endcase\n    end\n  end\n";
   pr "endmodule\n";

@@ -32,12 +32,14 @@ module twill_queue #(
   reg [$clog2(DEPTH+1):0] head;
   reg [$clog2(DEPTH+1):0] tail;
   reg [$clog2(DEPTH+2):0] count;
+  reg give_pend; // an extra-slot give awaiting its delayed ack
 
   always @(posedge clk) begin
     if (rst) begin
       head <= 0;
       tail <= 0;
       count <= 0;
+      give_pend <= 1'b0;
       give_ack <= 1'b0;
       take_ack <= 1'b0;
     end else begin
@@ -46,15 +48,22 @@ module twill_queue #(
       if (give_valid && count <= DEPTH) begin
         buffer[tail] <= give_data;
         tail <= (tail == DEPTH) ? 0 : tail + 1;
-        count <= count + 1;
+        give_pend <= (count >= DEPTH); // extra-slot push: stall the producer
         give_ack <= (count < DEPTH); // withhold the ack on the extra slot
       end
       if (take_valid && count != 0) begin
         take_data <= buffer[head];
         head <= (head == DEPTH) ? 0 : head + 1;
-        count <= count - 1;
         take_ack <= 1'b1;
+        // a freed slot releases the stalled producer (section 4.3)
+        if (give_pend || (give_valid && count == DEPTH)) begin
+          give_pend <= 1'b0;
+          give_ack <= 1'b1;
+        end
       end
+      // one combined update so a simultaneous give+take keeps the count
+      count <= count + ((give_valid && count <= DEPTH) ? 1 : 0)
+                     - ((take_valid && count != 0) ? 1 : 0);
     end
   end
 endmodule
@@ -82,12 +91,11 @@ module twill_semaphore #(
       take_ack <= 1'b0;
     end else begin
       take_ack <= 1'b0;
-      if (give_valid && count + give_count <= MAX_COUNT)
-        count <= count + give_count;
-      if (take_valid && count >= take_count) begin
-        count <= count - take_count;
+      if (take_valid && count >= take_count)
         take_ack <= 1'b1;  // minimum two-cycle lower, as in section 4.2
-      end
+      // one combined update so a simultaneous give+take keeps the count
+      count <= count + ((give_valid && count + give_count <= MAX_COUNT) ? give_count : 0)
+                     - ((take_valid && count >= take_count) ? take_count : 0);
     end
   end
 endmodule
@@ -350,13 +358,21 @@ let emit_design (t : Dswp.threaded) : string =
   Buffer.add_string buf "\n";
   Buffer.add_string buf scheduler_module;
   Buffer.add_string buf "\n";
+  (* hardware threads plus the transitive closure of their callees: each
+     non-inlined callee becomes a sub-FSM module the parent instantiates *)
+  let emitted = Hashtbl.create 16 in
+  let rec emit_thread name =
+    if not (Hashtbl.mem emitted name) then begin
+      Hashtbl.replace emitted name ();
+      let f = Twill_ir.Ir.find_func t.Dswp.modul name in
+      List.iter emit_thread (Dswp.callees_of f);
+      Buffer.add_string buf (Vemit.emit_hw_thread layout f);
+      Buffer.add_string buf "\n"
+    end
+  in
   Array.iteri
     (fun s name ->
-      if t.Dswp.roles.(s) = Twill_dswp.Partition.Hw then begin
-        let f = Twill_ir.Ir.find_func t.Dswp.modul name in
-        Buffer.add_string buf (Vemit.emit_hw_thread layout f);
-        Buffer.add_string buf "\n"
-      end)
+      if t.Dswp.roles.(s) = Twill_dswp.Partition.Hw then emit_thread name)
     t.Dswp.stages;
   Buffer.add_string buf (emit_system t);
   Buffer.contents buf

@@ -1,0 +1,622 @@
+(* Co-simulation of emitted RTL against the rtsim reference.
+
+   The differential drivers below check the Chapter-4 primitive
+   contracts cycle-by-cycle against reference models written from the
+   spec (not from the RTL): §4.3 size+1 queue with the withheld/late
+   give-ack, §4.2 counting semaphore with a registered (two-cycle)
+   lower acknowledgement, §4.1 processor-first arbitration.
+
+   [run_threaded] closes the loop on whole designs: every hardware
+   stage is an elaborated Vsim instance of its emitted module, queues
+   and semaphores are RTL instances, and the harness stands in for the
+   remaining blocks of Figure 4.1 — module bus (one op/cycle, processor
+   first, then lowest stage), memory bus (one load/store per cycle on
+   the shared memory image), HWInterface reply path, and the processor:
+   software stages run as interpreter fibers whose runtime-primitive
+   operations go through the same RTL queues/semaphores.  Each
+   hardware-thread call-port request follows the §4.4 protocol: the
+   thread raises fc_valid, the harness registers one in-flight
+   operation, performs it over the buses, and answers with a one-cycle
+   ret_valid pulse. *)
+
+open Effect
+open Effect.Deep
+module Sim = Twill_rtsim.Sim
+module Interp = Twill_ir.Interp
+module Dswp = Twill_dswp.Dswp
+module Partition = Twill_dswp.Partition
+module Threadgen = Twill_dswp.Threadgen
+module Vruntime = Twill_vgen.Vruntime
+
+exception Cosim_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Cosim_error s)) fmt
+
+let primitives_design =
+  lazy
+    (Vparse.parse
+       (String.concat "\n"
+          [ Vruntime.queue_module; Vruntime.semaphore_module;
+            Vruntime.arbiter_module ]))
+
+(* ---- per-primitive differential drivers --------------------------------- *)
+
+let diff_queue ?(width = 32) ~seed ~depth ~ops () : int =
+  let rng = Random.State.make [| seed |] in
+  let q =
+    Vsim.instantiate
+      ~overrides:[ ("WIDTH", width); ("DEPTH", depth) ]
+      (Lazy.force primitives_design) "twill_queue"
+  in
+  Vsim.poke q "rst" 1;
+  Vsim.step q;
+  Vsim.poke q "rst" 0;
+  (* reference model straight from §4.3 *)
+  let fifo = Queue.create () in
+  let occ = ref 0 and pend = ref false in
+  let completed = ref 0 and next_v = ref 1 in
+  let cycle = ref 0 in
+  while !completed < ops && !cycle < (ops * 40) + 100 do
+    incr cycle;
+    let gave =
+      (not !pend) && !next_v <= ops && Random.State.int rng 2 = 0
+    in
+    let v = !next_v land ((1 lsl width) - 1) in
+    if gave then begin
+      Vsim.poke q "give_valid" 1;
+      Vsim.poke q "give_data" v
+    end
+    else Vsim.poke q "give_valid" 0;
+    (* occasionally pulse take on an empty queue: must not ack *)
+    let took = Random.State.int rng 3 = 0 in
+    Vsim.poke q "take_valid" (if took then 1 else 0);
+    let occ_pre = !occ and pend_pre = !pend in
+    Vsim.step q;
+    let accept = gave (* the handshake never gives while stalled *) in
+    let take_ok = took && occ_pre > 0 in
+    let exp_give_ack =
+      (gave && occ_pre < depth)
+      || (take_ok && (pend_pre || (gave && occ_pre >= depth)))
+    in
+    if accept then begin
+      Queue.add v fifo;
+      incr next_v
+    end;
+    occ := occ_pre + (if accept then 1 else 0) - (if take_ok then 1 else 0);
+    pend :=
+      (if take_ok then false
+       else if gave then occ_pre >= depth
+       else pend_pre);
+    if Vsim.peek q "give_ack" <> Bool.to_int exp_give_ack then
+      fail "queue cycle %d: give_ack=%d expected %b (occ=%d pend=%b)" !cycle
+        (Vsim.peek q "give_ack") exp_give_ack occ_pre pend_pre;
+    if Vsim.peek q "take_ack" <> Bool.to_int take_ok then
+      fail "queue cycle %d: take_ack=%d expected %b (occ=%d)" !cycle
+        (Vsim.peek q "take_ack") take_ok occ_pre;
+    if take_ok then begin
+      let expected = Queue.pop fifo in
+      let got = Vsim.peek q "take_data" in
+      if got <> expected then
+        fail "queue cycle %d: dequeued %d, FIFO order says %d" !cycle got
+          expected;
+      incr completed
+    end;
+    if accept then incr completed;
+    if Vsim.peek q "count" <> !occ then
+      fail "queue cycle %d: count=%d model occupancy %d" !cycle
+        (Vsim.peek q "count") !occ
+  done;
+  if !completed < ops then fail "queue driver stalled after %d ops" !completed;
+  !completed
+
+let diff_semaphore ~seed ~max_count ~initial ~ops () : int =
+  let rng = Random.State.make [| seed |] in
+  let s =
+    Vsim.instantiate
+      ~overrides:[ ("MAX_COUNT", max_count); ("INITIAL", initial) ]
+      (Lazy.force primitives_design) "twill_semaphore"
+  in
+  Vsim.poke s "rst" 1;
+  Vsim.step s;
+  Vsim.poke s "rst" 0;
+  Vsim.poke s "give_count" 1;
+  Vsim.poke s "take_count" 1;
+  let count = ref initial and completed = ref 0 in
+  let prev_ack = ref false in
+  for cycle = 1 to ops do
+    let gv = Random.State.int rng 2 = 0 and tv = Random.State.int rng 2 = 0 in
+    Vsim.poke s "give_valid" (Bool.to_int gv);
+    Vsim.poke s "take_valid" (Bool.to_int tv);
+    (* §4.2 two-cycle lower: the ack is registered — poking take_valid
+       must not make it visible before the clock edge *)
+    if Vsim.peek s "take_ack" <> Bool.to_int !prev_ack then
+      fail "semaphore cycle %d: take_ack combinationally visible" cycle;
+    let pre = !count in
+    Vsim.step s;
+    let give_ok = gv && pre + 1 <= max_count in
+    let take_ok = tv && pre >= 1 in
+    count := pre + (if give_ok then 1 else 0) - (if take_ok then 1 else 0);
+    if Vsim.peek s "take_ack" <> Bool.to_int take_ok then
+      fail "semaphore cycle %d: take_ack=%d expected %b (count=%d)" cycle
+        (Vsim.peek s "take_ack") take_ok pre;
+    if Vsim.peek s "count" <> !count then
+      fail "semaphore cycle %d: count=%d model %d" cycle
+        (Vsim.peek s "count") !count;
+    prev_ack := take_ok;
+    if give_ok then incr completed;
+    if take_ok then incr completed
+  done;
+  !completed
+
+let diff_arbiter ~seed ~n ~cycles () : int =
+  let rng = Random.State.make [| seed |] in
+  let a =
+    Vsim.instantiate
+      ~overrides:[ ("N", n) ]
+      (Lazy.force primitives_design) "twill_bus_arbiter"
+  in
+  Vsim.poke a "rst" 1;
+  Vsim.step a;
+  Vsim.poke a "rst" 0;
+  for cycle = 1 to cycles do
+    let req = Random.State.int rng (1 lsl n) in
+    let tp = Random.State.int rng (1 lsl n) in
+    let pr_ = Random.State.int rng 4 = 0 in
+    Vsim.poke a "request" req;
+    Vsim.poke a "to_proc" tp;
+    Vsim.poke a "proc_request" (Bool.to_int pr_);
+    Vsim.step a;
+    let exp_grant, exp_proc =
+      if pr_ then (0, 1)
+      else begin
+        let best = ref (-1) in
+        for i = 0 to n - 1 do
+          if !best = -1 && req land (1 lsl i) <> 0 && tp land (1 lsl i) <> 0
+          then best := i
+        done;
+        for i = 0 to n - 1 do
+          if !best = -1 && req land (1 lsl i) <> 0 then best := i
+        done;
+        ((if !best >= 0 then 1 lsl !best else 0), 0)
+      end
+    in
+    if Vsim.peek a "grant" <> exp_grant || Vsim.peek a "proc_grant" <> exp_proc
+    then
+      fail
+        "arbiter cycle %d: grant=%d/proc=%d expected %d/%d (req=%d tp=%d pr=%b)"
+        cycle (Vsim.peek a "grant")
+        (Vsim.peek a "proc_grant")
+        exp_grant exp_proc req tp pr_
+  done;
+  cycles
+
+(* ---- whole-design co-simulation ----------------------------------------- *)
+
+type report = {
+  rtl_ret : int32;
+  rtl_prints : int32 list;
+  rtl_cycles : int;
+  model_ret : int32;
+  model_prints : int32 list;
+  model_cycles : int;
+  agree : bool;
+}
+
+type _ Effect.t += Yield : unit Effect.t
+
+type opkind =
+  | OLoad of int
+  | OStore of int * int
+  | OQgive of int * int
+  | OQtake of int
+  | OSgive of int * int
+  | OStake of int * int
+  | OPrint of int
+
+type phase =
+  | Wait_bus (* registered, waiting for a bus slot *)
+  | Pulse_sent (* valid pulse went out this edge; check the ack next *)
+  | Await_ack (* accepted extra-slot give waiting for its late ack *)
+  | Reply of int (* ret_valid being pulsed with this data *)
+
+type pend = { mutable ph : phase; op : opkind }
+
+let fc_name code =
+  match code with
+  | 0 -> "load"
+  | 1 -> "store"
+  | 2 -> "enqueue"
+  | 3 -> "dequeue"
+  | 4 -> "raise"
+  | 5 -> "lower"
+  | 6 -> "print"
+  | c -> Printf.sprintf "fc_%d" c
+
+let run_threaded ?config ?(fuel_cycles = 2_000_000) ?vcd (t : Dswp.threaded) :
+    report =
+  (* --- the reference: cycle-accurate rtsim hybrid simulation --- *)
+  let threads =
+    Array.mapi
+      (fun s name ->
+        {
+          Sim.tname = name;
+          trole = (match t.Dswp.roles.(s) with Partition.Hw -> Sim.Hw | Partition.Sw -> Sim.Sw);
+          local_memory = false;
+        })
+      t.Dswp.stages
+  in
+  let stats =
+    Sim.simulate ?config ~master:t.Dswp.master t.Dswp.modul ~threads
+      ~queues:t.Dswp.queues ~nsems:t.Dswp.nsems ()
+  in
+  (* --- the RTL side --- *)
+  let design = Vparse.parse (Vruntime.emit_design t) in
+  let nstages = Array.length t.Dswp.stages in
+  let is_hw s = t.Dswp.roles.(s) = Partition.Hw in
+  let layout, mem = Interp.fresh_memory t.Dswp.modul in
+  let ictx = Interp.make_context ~layout t.Dswp.modul in
+  let thr = Array.make nstages None in
+  let instances = ref [] in
+  Array.iteri
+    (fun s name ->
+      if is_hw s then begin
+        let i = Vsim.instantiate design ("twill_thread_" ^ name) in
+        thr.(s) <- Some i;
+        instances := (Printf.sprintf "t%d_%s" s name, i) :: !instances
+      end)
+    t.Dswp.stages;
+  let qdepth = Hashtbl.create 8 and qinst = Hashtbl.create 8 in
+  Array.iter
+    (fun (q : Threadgen.queue_info) ->
+      let depth = max 1 q.Threadgen.depth in
+      let i =
+        Vsim.instantiate
+          ~overrides:[ ("WIDTH", q.Threadgen.width_bits); ("DEPTH", depth) ]
+          design "twill_queue"
+      in
+      Hashtbl.replace qdepth q.Threadgen.qid depth;
+      Hashtbl.replace qinst q.Threadgen.qid i;
+      instances := (Printf.sprintf "q%d" q.Threadgen.qid, i) :: !instances)
+    t.Dswp.queues;
+  let sems =
+    Array.init t.Dswp.nsems (fun k ->
+        let i =
+          Vsim.instantiate
+            ~overrides:[ ("MAX_COUNT", 1); ("INITIAL", 1) ]
+            design "twill_semaphore"
+        in
+        instances := (Printf.sprintf "s%d" k, i) :: !instances;
+        i)
+  in
+  let instances = List.rev !instances in
+  let queue_of qid =
+    match Hashtbl.find_opt qinst qid with
+    | Some i -> i
+    | None -> fail "operation on unknown queue %d" qid
+  in
+  (* reset everything, then hold every thread's start high *)
+  List.iter
+    (fun (_, i) ->
+      Vsim.poke i "rst" 1;
+      Vsim.step i;
+      Vsim.poke i "rst" 0)
+    instances;
+  Array.iter (function Some i -> Vsim.poke i "start" 1 | None -> ()) thr;
+  let dumpers =
+    match vcd with
+    | None -> []
+    | Some base ->
+        List.map
+          (fun (label, i) -> Vsim.Vcd.create i (base ^ "." ^ label ^ ".vcd"))
+          instances
+  in
+  (* --- harness state --- *)
+  let preq : pend option array = Array.make nstages None in
+  let sw_results : int32 option array = Array.make nstages None in
+  let results : Interp.result option array = Array.make nstages None in
+  let prints_rev : int32 list ref array = Array.init nstages (fun _ -> ref []) in
+  let pulses : (Vsim.t * string) list ref = ref [] in
+  let replied : int list ref = ref [] in
+  let progress = ref true in
+  let pulse i sig_ v =
+    Vsim.poke i sig_ v;
+    pulses := (i, sig_) :: !pulses
+  in
+  let complete s d =
+    progress := true;
+    match preq.(s) with
+    | None -> assert false
+    | Some p ->
+        if is_hw s then begin
+          p.ph <- Reply d;
+          let i = Option.get thr.(s) in
+          Vsim.poke i "ret_valid" 1;
+          Vsim.poke i "ret_data" d;
+          replied := s :: !replied
+        end
+        else begin
+          sw_results.(s) <- Some (Int32.of_int d);
+          preq.(s) <- None
+        end
+  in
+  (* --- software stages as interpreter fibers (as in rtsim) --- *)
+  let runq : (unit -> unit) Queue.t = Queue.create () in
+  let wait_until cond =
+    while not (cond ()) do
+      perform Yield
+    done
+  in
+  let post s op =
+    (match preq.(s) with
+    | Some _ -> fail "stage %d posted an op with one in flight" s
+    | None -> ());
+    sw_results.(s) <- None;
+    preq.(s) <- Some { ph = Wait_bus; op };
+    progress := true;
+    wait_until (fun () -> sw_results.(s) <> None);
+    Option.get sw_results.(s)
+  in
+  let handlers s : Interp.handlers =
+    {
+      Interp.produce = (fun q v -> ignore (post s (OQgive (q, Int32.to_int v))));
+      consume = (fun q -> post s (OQtake q));
+      sem_give = (fun sm k -> ignore (post s (OSgive (sm, k))));
+      sem_take = (fun sm k -> ignore (post s (OStake (sm, k))));
+    }
+  in
+  let start_fiber (body : unit -> unit) () =
+    match_with body ()
+      {
+        retc = (fun () -> ());
+        exnc = (fun e -> raise e);
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Yield ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    Queue.add (fun () -> continue k ()) runq)
+            | _ -> None);
+      }
+  in
+  Array.iteri
+    (fun s name ->
+      if not (is_hw s) then
+        Queue.add
+          (start_fiber (fun () ->
+               let r =
+                 Interp.run_shared ~layout ~mem ~handlers:(handlers s)
+                   ~ctx:ictx t.Dswp.modul ~entry:name ~args:[||]
+               in
+               results.(s) <- Some r;
+               progress := true))
+          runq)
+    t.Dswp.stages;
+  (* --- operation plumbing --- *)
+  let mem_words = Array.length mem in
+  let issue s (p : pend) ~mem_free ~bus_free =
+    (* returns (mem_free, bus_free) after possibly consuming a slot *)
+    match p.op with
+    | OLoad addr ->
+        if not mem_free then (mem_free, bus_free)
+        else begin
+          if addr < 0 || addr >= mem_words then
+            fail "stage %d: load of address %d out of memory" s addr;
+          complete s (Int32.to_int mem.(addr));
+          (false, bus_free)
+        end
+    | OStore (addr, v) ->
+        if not mem_free then (mem_free, bus_free)
+        else begin
+          if addr < 0 || addr >= mem_words then
+            fail "stage %d: store to address %d out of memory" s addr;
+          mem.(addr) <- Int32.of_int v;
+          complete s 0;
+          (false, bus_free)
+        end
+    | OPrint v ->
+        if not bus_free then (mem_free, bus_free)
+        else begin
+          prints_rev.(s) := Int32.of_int v :: !(prints_rev.(s));
+          complete s 0;
+          (mem_free, false)
+        end
+    | OQgive (qid, v) ->
+        let qi = queue_of qid in
+        if (not bus_free) || Vsim.peek qi "count" > Hashtbl.find qdepth qid
+        then (mem_free, bus_free)
+        else begin
+          pulse qi "give_valid" 1;
+          Vsim.poke qi "give_data" v;
+          p.ph <- Pulse_sent;
+          (mem_free, false)
+        end
+    | OQtake qid ->
+        let qi = queue_of qid in
+        if (not bus_free) || Vsim.peek qi "count" < 1 then (mem_free, bus_free)
+        else begin
+          pulse qi "take_valid" 1;
+          p.ph <- Pulse_sent;
+          (mem_free, false)
+        end
+    | OSgive (sm, k) ->
+        let si = sems.(sm) in
+        if not bus_free then (mem_free, bus_free)
+        else begin
+          pulse si "give_valid" 1;
+          Vsim.poke si "give_count" k;
+          p.ph <- Pulse_sent;
+          (mem_free, false)
+        end
+    | OStake (sm, k) ->
+        let si = sems.(sm) in
+        if (not bus_free) || Vsim.peek si "count" < k then (mem_free, bus_free)
+        else begin
+          pulse si "take_valid" 1;
+          Vsim.poke si "take_count" k;
+          p.ph <- Pulse_sent;
+          (mem_free, false)
+        end
+  in
+  let check_ack s (p : pend) =
+    match (p.ph, p.op) with
+    | Pulse_sent, OQgive (qid, _) ->
+        if Vsim.peek (queue_of qid) "give_ack" = 1 then complete s 0
+        else p.ph <- Await_ack
+    | Await_ack, OQgive (qid, _) ->
+        if Vsim.peek (queue_of qid) "give_ack" = 1 then complete s 0
+    | Pulse_sent, OQtake qid ->
+        let qi = queue_of qid in
+        if Vsim.peek qi "take_ack" = 1 then
+          complete s (Vsim.peek qi "take_data")
+        else p.ph <- Wait_bus
+    | Pulse_sent, OSgive _ -> complete s 0
+    | Pulse_sent, OStake (sm, _) ->
+        if Vsim.peek sems.(sm) "take_ack" = 1 then complete s 0
+        else p.ph <- Wait_bus
+    | _ -> ()
+  in
+  (* stage order on the module bus: the processor (all software stages,
+     §4.1 "the processor always wins") first, then hardware by index *)
+  let bus_order =
+    List.filter (fun s -> not (is_hw s)) (List.init nstages Fun.id)
+    @ List.filter is_hw (List.init nstages Fun.id)
+  in
+  let hw_stages = List.filter is_hw (List.init nstages Fun.id) in
+  let finished () =
+    Array.for_all
+      (fun s -> s)
+      (Array.init nstages (fun s ->
+           if is_hw s then
+             Vsim.peek (Option.get thr.(s)) "done" = 1 && preq.(s) = None
+           else results.(s) <> None))
+  in
+  let hw_done_seen = Array.make nstages false in
+  let cycle = ref 0 and last_progress = ref 0 in
+  (* --- the clock loop --- *)
+  (try
+     while not (finished ()) do
+       if !cycle >= fuel_cycles then
+         fail "co-simulation out of fuel after %d cycles" !cycle;
+       if !progress then last_progress := !cycle;
+       progress := false;
+       if !cycle - !last_progress > 50_000 then begin
+         let stuck =
+           String.concat ", "
+             (List.filter_map
+                (fun s ->
+                  match preq.(s) with
+                  | Some p ->
+                      Some
+                        (Printf.sprintf "stage %d %s" s
+                           (match p.op with
+                           | OLoad _ -> "load"
+                           | OStore _ -> "store"
+                           | OQgive (q, _) -> Printf.sprintf "enqueue q%d" q
+                           | OQtake q -> Printf.sprintf "dequeue q%d" q
+                           | OSgive (m, _) -> Printf.sprintf "raise s%d" m
+                           | OStake (m, _) -> Printf.sprintf "lower s%d" m
+                           | OPrint _ -> "print"))
+                  | None -> None)
+                (List.init nstages Fun.id))
+         in
+         fail "co-simulation stuck at cycle %d (pending: %s)" !cycle
+           (if stuck = "" then "none" else stuck)
+       end;
+       incr cycle;
+       (* (a) run every runnable software fiber once *)
+       let k = Queue.length runq in
+       for _ = 1 to k do
+         (Queue.pop runq) ()
+       done;
+       (* (b) advance in-flight ops on last edge's acks, then grant buses *)
+       Array.iteri
+         (fun s p -> match p with Some p -> check_ack s p | None -> ())
+         preq;
+       let mem_free = ref true and bus_free = ref true in
+       List.iter
+         (fun s ->
+           match preq.(s) with
+           | Some p when p.ph = Wait_bus ->
+               let m, b = issue s p ~mem_free:!mem_free ~bus_free:!bus_free in
+               mem_free := m;
+               bus_free := b
+           | _ -> ())
+         bus_order;
+       (* (c) one clock edge everywhere *)
+       List.iter (fun (_, i) -> Vsim.step i) instances;
+       List.iter Vsim.Vcd.sample dumpers;
+       (* (d) drop the one-cycle pulses and replies; register new requests *)
+       List.iter (fun (i, sig_) -> Vsim.poke i sig_ 0) !pulses;
+       pulses := [];
+       List.iter
+         (fun s ->
+           Vsim.poke (Option.get thr.(s)) "ret_valid" 0;
+           preq.(s) <- None;
+           progress := true)
+         !replied;
+       replied := [];
+       List.iter
+         (fun s ->
+           let i = Option.get thr.(s) in
+           if (not hw_done_seen.(s)) && Vsim.peek i "done" = 1 then begin
+             hw_done_seen.(s) <- true;
+             progress := true
+           end;
+           if preq.(s) = None && Vsim.peek i "fc_valid" = 1 then begin
+             let code = Vsim.peek i "fc_code" in
+             let target = Vsim.peek i "fc_target" in
+             let data = Vsim.peek i "fc_data" in
+             let addr = Vsim.peek i "fc_addr" in
+             let op =
+               match code with
+               | 0 -> OLoad addr
+               | 1 -> OStore (addr, data)
+               | 2 -> OQgive (target, data)
+               | 3 -> OQtake target
+               | 4 -> OSgive (target, data)
+               | 5 -> OStake (target, data)
+               | 6 -> OPrint data
+               | c -> fail "stage %d issued unsupported %s" s (fc_name c)
+             in
+             preq.(s) <- Some { ph = Wait_bus; op };
+             progress := true
+           end)
+         hw_stages
+     done
+   with e ->
+     List.iter Vsim.Vcd.close dumpers;
+     raise e);
+  List.iter Vsim.Vcd.close dumpers;
+  (* --- collect the verdict --- *)
+  let rtl_ret =
+    if is_hw t.Dswp.master then
+      Int32.of_int (Vsim.peek (Option.get thr.(t.Dswp.master)) "retval")
+    else
+      match results.(t.Dswp.master) with
+      | Some r -> r.Interp.ret
+      | None -> fail "master stage did not finish"
+  in
+  let rtl_prints =
+    let per_stage =
+      List.init nstages (fun s ->
+          if is_hw s then List.rev !(prints_rev.(s))
+          else
+            match results.(s) with
+            | Some r -> r.Interp.prints
+            | None -> [])
+    in
+    match List.filter (fun p -> p <> []) per_stage with
+    | [] -> []
+    | [ p ] -> p
+    | _ -> fail "cosim: prints scattered across threads"
+  in
+  {
+    rtl_ret;
+    rtl_prints;
+    rtl_cycles = !cycle;
+    model_ret = stats.Sim.ret;
+    model_prints = stats.Sim.prints;
+    model_cycles = stats.Sim.cycles;
+    agree = rtl_ret = stats.Sim.ret && rtl_prints = stats.Sim.prints;
+  }

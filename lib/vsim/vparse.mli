@@ -1,0 +1,74 @@
+(** Lexer and parser for exactly the Verilog subset emitted by
+    {!Twill_vgen.Vemit} and {!Twill_vgen.Vruntime}: modules with
+    parameters, [reg]/[wire] declarations with widths and memories,
+    [assign], [always @(posedge clk)] processes with blocking and
+    nonblocking assignments, [case]/[if]/[for], the usual operator zoo
+    (arith, compare, shift, concatenation, ternary, [$signed]/
+    [$unsigned]/[$clog2]), and module instantiation with named ports
+    and parameter overrides.  Every node carries its source line so
+    downstream errors point at the offending RTL. *)
+
+exception Parse_error of string * int
+(** [(message, line)]. *)
+
+type expr =
+  | Num of int * int * bool  (** value, width (0 = unsized), signed *)
+  | Id of string
+  | Index of string * expr  (** memory element or bit select *)
+  | Unop of string * expr  (** "-", "!", "~" *)
+  | Binop of string * expr * expr
+  | Ternary of expr * expr * expr
+  | Concat of expr list
+  | Sysfun of string * expr  (** "$unsigned", "$signed", "$clog2" *)
+
+type lval = { base : string; index : expr option; lline : int }
+
+type stmt =
+  | Block of stmt list
+  | If of expr * stmt * stmt option
+  | Case of expr * (expr list * stmt) list * stmt option
+      (** scrutinee, arms, default *)
+  | For of lval * expr * expr * lval * expr * stmt
+      (** init lval/expr, condition, step lval/expr, body *)
+  | Assign of lval * bool * expr  (** lval, nonblocking?, rhs *)
+
+type net_kind = Wire | Reg | Integer
+type port_dir = In | Out | Local
+
+type decl = {
+  dname : string;
+  dsigned : bool;
+  drange : (expr * expr) option;  (** vector [msb:lsb] *)
+  darray : (expr * expr) option;  (** memory [lo:hi] *)
+  dkind : net_kind;
+  dport : port_dir;
+  dline : int;
+}
+
+type item =
+  | Decl of decl
+  | Param of string * expr  (** [localparam]/body [parameter] *)
+  | Cassign of lval * expr
+  | Always of string * stmt  (** posedge clock name, body *)
+  | Instance of {
+      imod : string;
+      iname : string;
+      iparams : (string * expr) list;
+      iports : (string * expr option) list;
+      iline : int;
+    }
+
+type modul = {
+  mname : string;
+  mparams : (string * expr) list;  (** parameter defaults, in order *)
+  mitems : item list;  (** ports included as [Decl] with [dport] set *)
+  mline : int;
+}
+
+type design = modul list
+
+val parse : string -> design
+(** @raise Parse_error on anything outside the emitted subset. *)
+
+val find_module : design -> string -> modul
+(** @raise Not_found *)

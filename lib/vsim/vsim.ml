@@ -1,0 +1,779 @@
+(* Elaborator + two-phase cycle simulator for the emitted Verilog subset.
+
+   Elaboration flattens the instance hierarchy into one net table
+   (dotted names) plus flat lists of continuous assigns and always
+   bodies, constant-folding parameters, localparams and ranges.  Port
+   connections become continuous assigns: inputs are driven by the
+   parent-scope expression, outputs drive the parent net.
+
+   Everything compiles to closures over two stores: [vals] for scalars
+   and [mems] for memories.  The value invariant is canonical form —
+   signed nets hold sign-extended OCaml ints, unsigned nets hold masked
+   non-negative ints — so comparisons and arithmetic on converted
+   operands are plain int operations.  Expression typing follows the
+   Verilog rules the emitters rely on: context width is the max of the
+   operand widths, signedness is the conjunction, shifts take the left
+   operand's type, concatenation is self-determined and unsigned. *)
+
+module P = Vparse
+
+exception Elab_error of string * int
+exception Sim_error of string
+
+let mask_bits w v = if w >= 62 then v else v land ((1 lsl w) - 1)
+
+let canon w sg v =
+  if w >= 62 then v
+  else
+    let m = v land ((1 lsl w) - 1) in
+    if sg && m land (1 lsl (w - 1)) <> 0 then m - (1 lsl w) else m
+
+let clog2 n =
+  let rec go acc v = if v >= n then acc else go (acc + 1) (v * 2) in
+  if n <= 1 then 0 else go 0 1
+
+(* constant folding for parameters, ranges and case labels *)
+let rec ceval (env : (string, int) Hashtbl.t) (e : P.expr) (line : int) : int =
+  match e with
+  | P.Num (v, w, sg) -> if w = 0 then v else canon w sg v
+  | P.Id x -> (
+      match Hashtbl.find_opt env x with
+      | Some v -> v
+      | None -> raise (Elab_error ("not a constant: " ^ x, line)))
+  | P.Unop ("-", a) -> -ceval env a line
+  | P.Unop ("!", a) -> if ceval env a line = 0 then 1 else 0
+  | P.Unop ("~", a) -> lnot (ceval env a line)
+  | P.Unop (op, _) -> raise (Elab_error ("bad constant operator " ^ op, line))
+  | P.Binop (op, a, b) -> (
+      let x = ceval env a line and y = ceval env b line in
+      match op with
+      | "+" -> x + y
+      | "-" -> x - y
+      | "*" -> x * y
+      | "/" -> if y = 0 then 0 else x / y
+      | "%" -> if y = 0 then 0 else x mod y
+      | "&" -> x land y
+      | "|" -> x lor y
+      | "^" -> x lxor y
+      | "<<" -> x lsl y
+      | ">>" -> x lsr y
+      | ">>>" -> x asr y
+      | "==" -> Bool.to_int (x = y)
+      | "!=" -> Bool.to_int (x <> y)
+      | "<" -> Bool.to_int (x < y)
+      | "<=" -> Bool.to_int (x <= y)
+      | ">" -> Bool.to_int (x > y)
+      | ">=" -> Bool.to_int (x >= y)
+      | "&&" -> Bool.to_int (x <> 0 && y <> 0)
+      | "||" -> Bool.to_int (x <> 0 || y <> 0)
+      | op -> raise (Elab_error ("bad constant operator " ^ op, line)))
+  | P.Ternary (c, a, b) ->
+      if ceval env c line <> 0 then ceval env a line else ceval env b line
+  | P.Sysfun ("$clog2", a) -> clog2 (ceval env a line)
+  | P.Sysfun (("$signed" | "$unsigned"), a) -> ceval env a line
+  | _ -> raise (Elab_error ("not a constant expression", line))
+
+(* ---- elaborated design -------------------------------------------------- *)
+
+type net = { nname : string; w : int; sg : bool; asize : int (* 0 = scalar *) }
+
+type pending =
+  | Pscalar of int * int (* net, raw value *)
+  | Pelem of int * int * int (* net, element, raw value *)
+  | Pbit of int * int * int (* net, bit, raw value *)
+
+type t = {
+  nets : net array;
+  index : (string, int) Hashtbl.t;
+  vals : int array;
+  mems : int array array;
+  assigns : (unit -> bool) array; (* continuous; return [changed] *)
+  procs : (unit -> unit) array; (* always bodies, declaration order *)
+  pq : pending list ref; (* nonblocking queue, reversed *)
+  mutable cyc : int;
+}
+
+type scope = { spfx : string; senv : (string, int) Hashtbl.t }
+
+type flat_assign = {
+  (* destination and source may live in different scopes (port connects) *)
+  dsc : scope;
+  dlv : P.lval;
+  rsc : scope;
+  rhs : P.expr;
+  aline : int;
+}
+
+(* ---- pass 1: flatten the hierarchy, declaring every net ----------------- *)
+
+let flatten (design : P.design) (top : string) (overrides : (string * int) list)
+    =
+  let nets = ref [] and nnets = ref 0 in
+  let index = Hashtbl.create 512 in
+  let cassigns = ref [] and procs = ref [] in
+  let add_net name w sg asize line =
+    if Hashtbl.mem index name then
+      raise (Elab_error ("duplicate net " ^ name, line));
+    Hashtbl.replace index name !nnets;
+    nets := { nname = name; w; sg; asize } :: !nets;
+    incr nnets
+  in
+  let port_dir (m : P.modul) (p : string) (line : int) : P.port_dir =
+    let rec go = function
+      | P.Decl d :: _ when d.P.dname = p && d.P.dport <> P.Local -> d.P.dport
+      | _ :: rest -> go rest
+      | [] ->
+          raise
+            (Elab_error
+               (Printf.sprintf "module %s has no port %s" m.P.mname p, line))
+    in
+    go m.P.mitems
+  in
+  let rec instmod (m : P.modul) (prefix : string)
+      (pvals : (string * int) list) : scope =
+    let env = Hashtbl.create 16 in
+    List.iter
+      (fun (p, dflt) ->
+        let v =
+          match List.assoc_opt p pvals with
+          | Some v -> v
+          | None -> ceval env dflt m.P.mline
+        in
+        Hashtbl.replace env p v)
+      m.P.mparams;
+    List.iter
+      (fun (p, _) ->
+        if not (List.mem_assoc p m.P.mparams) then
+          raise
+            (Elab_error
+               (Printf.sprintf "module %s has no parameter %s" m.P.mname p,
+                m.P.mline)))
+      pvals;
+    let scope = { spfx = prefix; senv = env } in
+    List.iter
+      (fun (it : P.item) ->
+        match it with
+        | P.Decl d ->
+            let w, sg =
+              match d.P.dkind with
+              | P.Integer -> (32, true)
+              | _ -> (
+                  match d.P.drange with
+                  | None -> (1, d.P.dsigned)
+                  | Some (msb, lsb) ->
+                      let msb = ceval env msb d.P.dline
+                      and lsb = ceval env lsb d.P.dline in
+                      if lsb <> 0 || msb < 0 then
+                        raise (Elab_error ("unsupported range", d.P.dline));
+                      (msb + 1, d.P.dsigned))
+            in
+            let asize =
+              match d.P.darray with
+              | None -> 0
+              | Some (lo, hi) ->
+                  let lo = ceval env lo d.P.dline
+                  and hi = ceval env hi d.P.dline in
+                  if lo <> 0 || hi < lo then
+                    raise (Elab_error ("unsupported array bounds", d.P.dline));
+                  hi + 1
+            in
+            add_net (prefix ^ d.P.dname) w sg asize d.P.dline
+        | P.Param (n, e) -> Hashtbl.replace env n (ceval env e m.P.mline)
+        | P.Cassign (lv, rhs) ->
+            cassigns :=
+              { dsc = scope; dlv = lv; rsc = scope; rhs; aline = lv.P.lline }
+              :: !cassigns
+        | P.Always (_clk, body) -> procs := (scope, body) :: !procs
+        | P.Instance { imod; iname; iparams; iports; iline } ->
+            let cm =
+              try P.find_module design imod
+              with Not_found ->
+                raise (Elab_error ("unknown module " ^ imod, iline))
+            in
+            let pvals' =
+              List.map (fun (p, e) -> (p, ceval env e iline)) iparams
+            in
+            let cscope = instmod cm (prefix ^ iname ^ ".") pvals' in
+            List.iter
+              (fun (p, conn) ->
+                match conn with
+                | None -> ()
+                | Some e -> (
+                    match port_dir cm p iline with
+                    | P.In ->
+                        cassigns :=
+                          {
+                            dsc = cscope;
+                            dlv = { P.base = p; index = None; lline = iline };
+                            rsc = scope;
+                            rhs = e;
+                            aline = iline;
+                          }
+                          :: !cassigns
+                    | P.Out -> (
+                        match e with
+                        | P.Id x ->
+                            cassigns :=
+                              {
+                                dsc = scope;
+                                dlv =
+                                  { P.base = x; index = None; lline = iline };
+                                rsc = cscope;
+                                rhs = P.Id p;
+                                aline = iline;
+                              }
+                              :: !cassigns
+                        | _ ->
+                            raise
+                              (Elab_error
+                                 ( "output port " ^ p
+                                   ^ " must connect to a plain net",
+                                   iline )))
+                    | P.Local -> assert false))
+              iports)
+      m.P.mitems;
+    scope
+  in
+  let tm =
+    try P.find_module design top
+    with Not_found -> raise (Elab_error ("unknown module " ^ top, 0))
+  in
+  ignore (instmod tm "" overrides);
+  ( Array.of_list (List.rev !nets),
+    index,
+    List.rev !cassigns,
+    List.rev !procs )
+
+(* ---- pass 2: compile everything to closures ----------------------------- *)
+
+type cexpr = { cw : int; cs : bool; ev : unit -> int }
+
+let instantiate ?(overrides = []) (design : P.design) (top : string) : t =
+  let nets, index, cassigns, procs = flatten design top overrides in
+  let n = Array.length nets in
+  let vals = Array.make n 0 in
+  let mems =
+    Array.map
+      (fun nt -> if nt.asize > 0 then Array.make nt.asize 0 else [||])
+      nets
+  in
+  let pq : pending list ref = ref [] in
+  let resolve (sc : scope) (name : string) (line : int) : int =
+    match Hashtbl.find_opt index (sc.spfx ^ name) with
+    | Some i -> i
+    | None -> raise (Elab_error ("unknown net " ^ sc.spfx ^ name, line))
+  in
+  (* conversion into a context type: canonical in, canonical out *)
+  let conv wr sr (x : cexpr) =
+    let ev = x.ev in
+    if x.cw = wr && x.cs = sr then ev else fun () -> canon wr sr (ev ())
+  in
+  let rec comp (sc : scope) (e : P.expr) : cexpr =
+    match e with
+    | P.Num (v, w, sg) ->
+        if w = 0 then { cw = 32; cs = true; ev = (fun () -> v) }
+        else
+          let c = canon w sg v in
+          { cw = w; cs = sg; ev = (fun () -> c) }
+    | P.Id x -> (
+        match Hashtbl.find_opt sc.senv x with
+        | Some v -> { cw = 32; cs = true; ev = (fun () -> v) }
+        | None ->
+            let i = resolve sc x 0 in
+            let nt = nets.(i) in
+            if nt.asize > 0 then
+              raise (Elab_error ("memory read without index: " ^ nt.nname, 0));
+            { cw = nt.w; cs = nt.sg; ev = (fun () -> vals.(i)) })
+    | P.Index (x, ie) -> (
+        let i = resolve sc x 0 in
+        let nt = nets.(i) in
+        let ci = comp sc ie in
+        let iev = ci.ev in
+        if nt.asize > 0 then
+          let mem = mems.(i) and asize = nt.asize in
+          {
+            cw = nt.w;
+            cs = nt.sg;
+            ev =
+              (fun () ->
+                let j = iev () in
+                if j < 0 || j >= asize then 0 else mem.(j));
+          }
+        else
+          let w = nt.w in
+          {
+            cw = 1;
+            cs = false;
+            ev =
+              (fun () ->
+                let b = iev () in
+                if b < 0 || b >= w then 0
+                else (mask_bits w vals.(i) lsr b) land 1);
+          })
+    | P.Unop ("-", a) ->
+        let ca = comp sc a in
+        let wr = max ca.cw 32 and sr = ca.cs in
+        let e = conv wr sr ca in
+        { cw = wr; cs = sr; ev = (fun () -> canon wr sr (-e ())) }
+    | P.Unop ("!", a) ->
+        let e = (comp sc a).ev in
+        { cw = 1; cs = false; ev = (fun () -> if e () = 0 then 1 else 0) }
+    | P.Unop ("~", a) ->
+        let ca = comp sc a in
+        let wr = ca.cw and sr = ca.cs in
+        let e = ca.ev in
+        { cw = wr; cs = sr; ev = (fun () -> canon wr sr (lnot (e ()))) }
+    | P.Unop (op, _) -> raise (Elab_error ("unknown operator " ^ op, 0))
+    | P.Binop ((("&&" | "||") as op), a, b) ->
+        let ea = (comp sc a).ev and eb = (comp sc b).ev in
+        let ev =
+          if op = "&&" then fun () ->
+            if ea () <> 0 && eb () <> 0 then 1 else 0
+          else fun () -> if ea () <> 0 || eb () <> 0 then 1 else 0
+        in
+        { cw = 1; cs = false; ev }
+    | P.Binop ((("<" | "<=" | ">" | ">=" | "==" | "!=") as op), a, b) ->
+        let ca = comp sc a and cb = comp sc b in
+        let wr = max ca.cw cb.cw and sr = ca.cs && cb.cs in
+        let ea = conv wr sr ca and eb = conv wr sr cb in
+        let cmp : int -> int -> bool =
+          match op with
+          | "<" -> ( < )
+          | "<=" -> ( <= )
+          | ">" -> ( > )
+          | ">=" -> ( >= )
+          | "==" -> ( = )
+          | _ -> ( <> )
+        in
+        {
+          cw = 1;
+          cs = false;
+          ev = (fun () -> if cmp (ea ()) (eb ()) then 1 else 0);
+        }
+    | P.Binop ((("<<" | ">>" | ">>>") as op), a, b) ->
+        let ca = comp sc a and cb = comp sc b in
+        let wr = ca.cw and sr = ca.cs in
+        let ea = ca.ev and eb = cb.ev in
+        let ev =
+          match op with
+          | "<<" ->
+              fun () ->
+                let amt = eb () in
+                if amt < 0 || amt >= 62 then 0
+                else canon wr sr (mask_bits wr (ea ()) lsl amt)
+          | ">>" ->
+              fun () ->
+                let amt = eb () in
+                if amt < 0 || amt >= wr then 0
+                else canon wr sr (mask_bits wr (ea ()) lsr amt)
+          | _ ->
+              (* >>> arithmetic only matters for signed operands *)
+              fun () ->
+                let amt = eb () in
+                let amt = if amt < 0 then 62 else min amt 62 in
+                if sr then canon wr sr (ea () asr amt)
+                else if amt >= wr then 0
+                else canon wr sr (mask_bits wr (ea ()) lsr amt)
+        in
+        { cw = wr; cs = sr; ev }
+    | P.Binop (op, a, b) ->
+        let ca = comp sc a and cb = comp sc b in
+        let wr = max ca.cw cb.cw and sr = ca.cs && cb.cs in
+        let ea = conv wr sr ca and eb = conv wr sr cb in
+        let f : int -> int -> int =
+          match op with
+          | "+" -> ( + )
+          | "-" -> ( - )
+          | "*" -> ( * )
+          | "/" -> fun x y -> if y = 0 then 0 else x / y
+          | "%" -> fun x y -> if y = 0 then 0 else x mod y
+          | "&" -> ( land )
+          | "|" -> ( lor )
+          | "^" -> ( lxor )
+          | op -> raise (Elab_error ("unknown operator " ^ op, 0))
+        in
+        { cw = wr; cs = sr; ev = (fun () -> canon wr sr (f (ea ()) (eb ()))) }
+    | P.Ternary (c, a, b) ->
+        let ec = (comp sc c).ev in
+        let ca = comp sc a and cb = comp sc b in
+        let wr = max ca.cw cb.cw and sr = ca.cs && cb.cs in
+        let ea = conv wr sr ca and eb = conv wr sr cb in
+        { cw = wr; cs = sr; ev = (fun () -> if ec () <> 0 then ea () else eb ()) }
+    | P.Concat es ->
+        let cs_ = List.map (comp sc) es in
+        let wr = List.fold_left (fun acc c -> acc + c.cw) 0 cs_ in
+        let parts = Array.of_list cs_ in
+        {
+          cw = wr;
+          cs = false;
+          ev =
+            (fun () ->
+              let acc = ref 0 in
+              Array.iter
+                (fun c -> acc := (!acc lsl c.cw) lor mask_bits c.cw (c.ev ()))
+                parts;
+              !acc);
+        }
+    | P.Sysfun ("$unsigned", a) ->
+        let ca = comp sc a in
+        let ev = ca.ev and w = ca.cw in
+        { cw = w; cs = false; ev = (fun () -> mask_bits w (ev ())) }
+    | P.Sysfun ("$signed", a) ->
+        let ca = comp sc a in
+        let ev = ca.ev and w = ca.cw in
+        { cw = w; cs = true; ev = (fun () -> canon w true (ev ())) }
+    | P.Sysfun ("$clog2", a) ->
+        let ev = (comp sc a).ev in
+        { cw = 32; cs = true; ev = (fun () -> clog2 (ev ())) }
+    | P.Sysfun (f, _) -> raise (Elab_error ("unknown system function " ^ f, 0))
+  in
+  (* destination helpers: blocking write-through and nonblocking schedule *)
+  let write_scalar i v =
+    let nt = nets.(i) in
+    vals.(i) <- canon nt.w nt.sg v
+  in
+  let write_elem i j v line =
+    let nt = nets.(i) in
+    if j < 0 || j >= nt.asize then
+      raise
+        (Sim_error
+           (Printf.sprintf "line %d: %s[%d] out of range" line nt.nname j));
+    mems.(i).(j) <- canon nt.w nt.sg v
+  in
+  let write_bit i b v line =
+    let nt = nets.(i) in
+    if b < 0 || b >= nt.w then
+      raise
+        (Sim_error
+           (Printf.sprintf "line %d: %s[%d] bit out of range" line nt.nname b));
+    let cur = mask_bits nt.w vals.(i) in
+    let cur = if v land 1 <> 0 then cur lor (1 lsl b) else cur land lnot (1 lsl b) in
+    vals.(i) <- canon nt.w nt.sg cur
+  in
+  let compile_assign ~(blocking : bool) (dsc : scope) (lv : P.lval)
+      (rhs : cexpr) : unit -> unit =
+    let i = resolve dsc lv.P.base lv.P.lline in
+    let nt = nets.(i) in
+    let line = lv.P.lline in
+    match (lv.P.index, nt.asize > 0) with
+    | None, true ->
+        raise (Elab_error ("memory write without index: " ^ nt.nname, line))
+    | None, false ->
+        let ev = rhs.ev in
+        if blocking then fun () -> write_scalar i (ev ())
+        else fun () -> pq := Pscalar (i, ev ()) :: !pq
+    | Some ie, true ->
+        let iev = (comp dsc ie).ev and ev = rhs.ev in
+        if blocking then fun () -> write_elem i (iev ()) (ev ()) line
+        else fun () -> pq := Pelem (i, iev (), ev ()) :: !pq
+    | Some ie, false ->
+        let iev = (comp dsc ie).ev and ev = rhs.ev in
+        if blocking then fun () -> write_bit i (iev ()) (ev ()) line
+        else fun () -> pq := Pbit (i, iev (), ev ()) :: !pq
+  in
+  let rec cstmt (sc : scope) (s : P.stmt) : unit -> unit =
+    match s with
+    | P.Block ss ->
+        let cs_ = Array.of_list (List.map (cstmt sc) ss) in
+        fun () -> Array.iter (fun f -> f ()) cs_
+    | P.If (c, th, el) -> (
+        let ec = (comp sc c).ev in
+        let ct = cstmt sc th in
+        match el with
+        | None -> fun () -> if ec () <> 0 then ct ()
+        | Some e ->
+            let ce = cstmt sc e in
+            fun () -> if ec () <> 0 then ct () else ce ())
+    | P.Case (scrut, arms, dflt) -> (
+        let cscrut = comp sc scrut in
+        let cdflt =
+          match dflt with Some d -> cstmt sc d | None -> fun () -> ()
+        in
+        (* the emitted cases use constant labels: dispatch through a table *)
+        let const_label l =
+          try Some (ceval sc.senv l 0) with Elab_error _ -> None
+        in
+        let all_const =
+          List.for_all (fun (ls, _) -> List.for_all (fun l -> const_label l <> None) ls) arms
+        in
+        if all_const then begin
+          let wr =
+            List.fold_left
+              (fun acc (ls, _) ->
+                List.fold_left
+                  (fun acc l ->
+                    match l with P.Num (_, w, _) when w > 0 -> max acc w | _ -> max acc 32)
+                  acc ls)
+              cscrut.cw arms
+          in
+          let sr =
+            cscrut.cs
+            && List.for_all
+                 (fun (ls, _) ->
+                   List.for_all
+                     (fun l ->
+                       match l with P.Num (_, w, sg) when w > 0 -> sg | _ -> true)
+                     ls)
+                 arms
+          in
+          let tbl = Hashtbl.create 64 in
+          List.iter
+            (fun (ls, st) ->
+              let f = cstmt sc st in
+              List.iter
+                (fun l ->
+                  match const_label l with
+                  | Some v ->
+                      let k = canon wr sr v in
+                      if not (Hashtbl.mem tbl k) then Hashtbl.replace tbl k f
+                  | None -> ())
+                ls)
+            arms;
+          let escr = conv wr sr cscrut in
+          fun () ->
+            match Hashtbl.find_opt tbl (escr ()) with
+            | Some f -> f ()
+            | None -> cdflt ()
+        end
+        else
+          (* general fallback: linear scan with == semantics *)
+          let carms =
+            List.map
+              (fun (ls, st) ->
+                let lcs =
+                  List.map
+                    (fun l ->
+                      let cl = comp sc l in
+                      let wr = max cscrut.cw cl.cw and sr = cscrut.cs && cl.cs in
+                      let es = conv wr sr cscrut and el = conv wr sr cl in
+                      fun () -> es () = el ())
+                    ls
+                in
+                (lcs, cstmt sc st))
+              arms
+          in
+          fun () ->
+            let rec go = function
+              | [] -> cdflt ()
+              | (lcs, f) :: rest ->
+                  if List.exists (fun p -> p ()) lcs then f () else go rest
+            in
+            go carms)
+    | P.For (ilv, ie, cond, slv, se, body) ->
+        let init = compile_assign ~blocking:true sc ilv (comp sc ie) in
+        let ec = (comp sc cond).ev in
+        let stepf = compile_assign ~blocking:true sc slv (comp sc se) in
+        let cbody = cstmt sc body in
+        fun () ->
+          init ();
+          let iters = ref 0 in
+          while ec () <> 0 do
+            incr iters;
+            if !iters > 1_000_000 then
+              raise (Sim_error "for loop exceeded 1e6 iterations");
+            cbody ();
+            stepf ()
+          done
+    | P.Assign (lv, nonblocking, rhs) ->
+        compile_assign ~blocking:(not nonblocking) sc lv (comp sc rhs)
+  in
+  let compile_cassign (fa : flat_assign) : unit -> bool =
+    let rhs = comp fa.rsc fa.rhs in
+    let i = resolve fa.dsc fa.dlv.P.base fa.aline in
+    let nt = nets.(i) in
+    match (fa.dlv.P.index, nt.asize > 0) with
+    | None, false ->
+        let ev = rhs.ev in
+        let w = nt.w and sg = nt.sg in
+        fun () ->
+          let v = canon w sg (ev ()) in
+          if vals.(i) <> v then begin
+            vals.(i) <- v;
+            true
+          end
+          else false
+    | Some ie, true ->
+        let iev = (comp fa.dsc ie).ev and ev = rhs.ev in
+        let line = fa.aline in
+        fun () ->
+          let j = iev () in
+          let nt = nets.(i) in
+          if j < 0 || j >= nt.asize then
+            raise
+              (Sim_error
+                 (Printf.sprintf "line %d: assign %s[%d] out of range" line
+                    nt.nname j));
+          let v = canon nt.w nt.sg (ev ()) in
+          if mems.(i).(j) <> v then begin
+            mems.(i).(j) <- v;
+            true
+          end
+          else false
+    | Some ie, false ->
+        let iev = (comp fa.dsc ie).ev and ev = rhs.ev in
+        let line = fa.aline in
+        fun () ->
+          let b = iev () and v = ev () in
+          let before = vals.(i) in
+          write_bit i b v line;
+          vals.(i) <> before
+    | None, true ->
+        raise (Elab_error ("assign to memory without index", fa.aline))
+  in
+  let assigns = Array.of_list (List.map compile_cassign cassigns) in
+  let procs =
+    Array.of_list (List.map (fun (sc, body) -> cstmt sc body) procs)
+  in
+  { nets; index; vals; mems; assigns; procs; pq; cyc = 0 }
+
+(* ---- simulation --------------------------------------------------------- *)
+
+let settle (t : t) =
+  let changed = ref true and iters = ref 0 in
+  while !changed do
+    changed := false;
+    Array.iter (fun f -> if f () then changed := true) t.assigns;
+    incr iters;
+    if !iters > 10_000 then
+      raise (Sim_error "combinational loop: settle did not converge")
+  done
+
+let commit (t : t) =
+  let apply = function
+    | Pscalar (i, v) ->
+        let nt = t.nets.(i) in
+        t.vals.(i) <- canon nt.w nt.sg v
+    | Pelem (i, j, v) ->
+        let nt = t.nets.(i) in
+        if j < 0 || j >= nt.asize then
+          raise
+            (Sim_error (Printf.sprintf "%s[%d] out of range" nt.nname j));
+        t.mems.(i).(j) <- canon nt.w nt.sg v
+    | Pbit (i, b, v) ->
+        let nt = t.nets.(i) in
+        if b >= 0 && b < nt.w then begin
+          let cur = mask_bits nt.w t.vals.(i) in
+          let cur =
+            if v land 1 <> 0 then cur lor (1 lsl b)
+            else cur land lnot (1 lsl b)
+          in
+          t.vals.(i) <- canon nt.w nt.sg cur
+        end
+  in
+  let q = List.rev !(t.pq) in
+  t.pq := [];
+  List.iter apply q
+
+let step (t : t) =
+  settle t;
+  Array.iter (fun f -> f ()) t.procs;
+  commit t;
+  settle t;
+  t.cyc <- t.cyc + 1
+
+let find (t : t) (name : string) : int =
+  match Hashtbl.find_opt t.index name with
+  | Some i -> i
+  | None -> raise (Sim_error ("no such net: " ^ name))
+
+let poke (t : t) (name : string) (v : int) =
+  let i = find t name in
+  let nt = t.nets.(i) in
+  if nt.asize > 0 then raise (Sim_error ("poke of memory net " ^ name));
+  t.vals.(i) <- canon nt.w nt.sg v
+
+let peek (t : t) (name : string) : int =
+  let i = find t name in
+  if t.nets.(i).asize > 0 then raise (Sim_error ("peek of memory net " ^ name));
+  t.vals.(i)
+
+let peek_elem (t : t) (name : string) (j : int) : int =
+  let i = find t name in
+  let nt = t.nets.(i) in
+  if nt.asize = 0 then raise (Sim_error (name ^ " is not a memory"));
+  if j < 0 || j >= nt.asize then
+    raise (Sim_error (Printf.sprintf "%s[%d] out of range" name j));
+  t.mems.(i).(j)
+
+let net_width (t : t) (name : string) : int = t.nets.(find t name).w
+let has_net (t : t) (name : string) : bool = Hashtbl.mem t.index name
+let cycles (t : t) : int = t.cyc
+
+(* ---- VCD dumping -------------------------------------------------------- *)
+
+module Vcd = struct
+  type dumper = {
+    oc : out_channel;
+    sim : t;
+    scalars : int array; (* net ids with asize = 0 *)
+    codes : string array; (* VCD short identifiers, indexed like scalars *)
+    last : int array;
+    mutable closed : bool;
+  }
+
+  let code_of k =
+    (* printable-ascii identifier, base 94 starting at '!' *)
+    let rec go k acc =
+      let c = Char.chr (33 + (k mod 94)) in
+      let acc = String.make 1 c ^ acc in
+      if k < 94 then acc else go ((k / 94) - 1) acc
+    in
+    go k ""
+
+  let sanitize name =
+    String.map (fun c -> if c = '.' then '_' else c) name
+
+  let emit_value oc (nt : net) v code =
+    if nt.w = 1 then Printf.fprintf oc "%d%s\n" (v land 1) code
+    else begin
+      let m = mask_bits nt.w v in
+      let b = Bytes.make nt.w '0' in
+      for k = 0 to nt.w - 1 do
+        if (m lsr (nt.w - 1 - k)) land 1 = 1 then Bytes.set b k '1'
+      done;
+      Printf.fprintf oc "b%s %s\n" (Bytes.to_string b) code
+    end
+
+  let create (sim : t) (path : string) : dumper =
+    let oc = open_out path in
+    let scalars =
+      Array.of_list
+        (List.filter
+           (fun i -> sim.nets.(i).asize = 0)
+           (List.init (Array.length sim.nets) Fun.id))
+    in
+    let codes = Array.mapi (fun k _ -> code_of k) scalars in
+    Printf.fprintf oc "$timescale 1ns $end\n$scope module top $end\n";
+    Array.iteri
+      (fun k i ->
+        let nt = sim.nets.(i) in
+        Printf.fprintf oc "$var wire %d %s %s $end\n" nt.w codes.(k)
+          (sanitize nt.nname))
+      scalars;
+    Printf.fprintf oc "$upscope $end\n$enddefinitions $end\n$dumpvars\n";
+    let last = Array.make (Array.length scalars) 0 in
+    Array.iteri
+      (fun k i ->
+        last.(k) <- sim.vals.(i);
+        emit_value oc sim.nets.(i) sim.vals.(i) codes.(k))
+      scalars;
+    Printf.fprintf oc "$end\n";
+    { oc; sim; scalars; codes; last; closed = false }
+
+  let sample (d : dumper) =
+    Printf.fprintf d.oc "#%d\n" d.sim.cyc;
+    Array.iteri
+      (fun k i ->
+        let v = d.sim.vals.(i) in
+        if v <> d.last.(k) then begin
+          d.last.(k) <- v;
+          emit_value d.oc d.sim.nets.(i) v d.codes.(k)
+        end)
+      d.scalars
+
+  let close (d : dumper) =
+    if not d.closed then begin
+      d.closed <- true;
+      close_out d.oc
+    end
+end

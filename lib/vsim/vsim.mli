@@ -1,0 +1,73 @@
+(** Event-driven cycle simulator for the Verilog subset emitted by
+    {!Twill_vgen.Vemit} and {!Twill_vgen.Vruntime}.
+
+    {!instantiate} elaborates a parsed design: the instance hierarchy is
+    flattened (child nets get dotted names, ["queue_0.count"]), parameters
+    and ranges are constant-folded, and port connections become continuous
+    assigns.  {!step} advances one clock cycle with two-phase semantics:
+    settle the combinational fixpoint, execute every [always @(posedge)]
+    body in declaration order (blocking assignments write through
+    immediately; nonblocking assignments evaluate their right-hand side
+    and queue), commit the nonblocking queue in program order (bit- and
+    element-selects read-modify-write at commit time), then settle again.
+
+    Values are plain OCaml ints in canonical form: signed nets are
+    sign-extended, unsigned nets are masked to their width.  The widest
+    net the emitters produce is the 44-bit bus message, so everything
+    fits a native int. *)
+
+exception Elab_error of string * int
+(** [(message, source line)] — raised during {!instantiate}. *)
+
+exception Sim_error of string
+(** Runtime failure: combinational loop, out-of-range memory write,
+    unbounded [for] loop, or an unknown net in {!poke}/{!peek}. *)
+
+type t
+
+val instantiate :
+  ?overrides:(string * int) list -> Vparse.design -> string -> t
+(** [instantiate design top] elaborates module [top] (found by name in
+    [design]) with its parameters optionally [overrides]-ridden.  The top
+    module's ports become plain nets: drive inputs with {!poke}, read
+    outputs with {!peek}.  All registers start at 0; drive the design's
+    reset input high for a cycle to apply declared reset values. *)
+
+val step : t -> unit
+(** Advance one clock cycle (all [always @(posedge ...)] blocks fire —
+    the emitted designs are single-clock, so the clock itself is not
+    modelled as a net). *)
+
+val poke : t -> string -> int -> unit
+(** Set a scalar net; the value is canonicalised to the net's type.
+    Meaningful for top-level inputs (anything with a continuous driver
+    is overwritten at the next settle). *)
+
+val peek : t -> string -> int
+(** Read a scalar net's canonical value. *)
+
+val peek_elem : t -> string -> int -> int
+(** Read one element of a memory net. *)
+
+val net_width : t -> string -> int
+(** Declared bit width of a net. @raise Sim_error if unknown. *)
+
+val has_net : t -> string -> bool
+val cycles : t -> int
+
+(** VCD waveform dumping for debugging: scalar nets only (memories are
+    skipped), one timestep per {!step}. *)
+module Vcd : sig
+  type dumper
+
+  val create : t -> string -> dumper
+  (** [create sim path] opens [path], writes the VCD header and the
+      initial [$dumpvars] section.  Dots in flattened net names are
+      rewritten to underscores for viewer compatibility. *)
+
+  val sample : dumper -> unit
+  (** Record the nets that changed since the last sample; call once
+      after each {!step}. *)
+
+  val close : dumper -> unit
+end

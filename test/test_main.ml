@@ -12,4 +12,5 @@ let () =
          Test_chstone.suites;
          Test_cgen.suites;
          Test_vgen.suites;
+         Test_vsim.suites;
        ])

@@ -6,7 +6,7 @@ open Twill_vgen
 let check_ok name (src : string) =
   match Vcheck.check src with
   | Ok () -> ()
-  | Error e -> Alcotest.failf "%s: %s" name e
+  | Error e -> Alcotest.failf "%s: %s" name (Vcheck.error_to_string e)
 
 let contains hay needle =
   let re = Str.regexp_string needle in
@@ -43,12 +43,26 @@ let primitive_tests =
         Alcotest.(check bool) "ack withheld when full" true
           (contains Vruntime.queue_module "give_ack <= (count < DEPTH)"));
     Alcotest.test_case "checker rejects broken RTL" `Quick (fun () ->
-        (match Vcheck.check "module m; begin endmodule" with
-        | Error _ -> ()
+        (match Vcheck.check "module m;\nbegin endmodule" with
+        | Error e ->
+            Alcotest.(check int) "line of the open begin" 2 e.Vcheck.line;
+            Alcotest.(check string) "offending token" "begin" e.Vcheck.token
         | Ok () -> Alcotest.fail "unbalanced begin accepted");
-        match Vcheck.check "module m; always @(posedge clk) foo <= 1; endmodule" with
-        | Error _ -> ()
+        match
+          Vcheck.check "module m;\nalways @(posedge clk)\n  foo <= 1;\nendmodule"
+        with
+        | Error e ->
+            Alcotest.(check int) "line of the bad target" 3 e.Vcheck.line;
+            Alcotest.(check string) "offending token" "foo" e.Vcheck.token;
+            Alcotest.(check bool) "message carries position" true
+              (contains (Vcheck.error_to_string e) "line 3")
         | Ok () -> Alcotest.fail "undeclared assignment accepted");
+    Alcotest.test_case "checker reports stray closers" `Quick (fun () ->
+        match Vcheck.check "module m;\nend\nendmodule" with
+        | Error e ->
+            Alcotest.(check int) "line of the stray end" 2 e.Vcheck.line;
+            Alcotest.(check string) "offending token" "end" e.Vcheck.token
+        | Ok () -> Alcotest.fail "stray end accepted");
   ]
 
 let thread_tests =
@@ -116,7 +130,25 @@ let system_tests =
             |> List.length
           in
           Alcotest.(check int) "thread modules" hw
-            (count design "module twill_thread_main__dswp_")))
+            (count design "module twill_thread_main__dswp_");
+          (* the full design parses under the vsim front end, and every
+             callee reachable from a hardware stage has its sub-FSM
+             module emitted exactly once *)
+          let parsed = Twill.Vparse.parse design in
+          let hw_roots =
+            Array.to_list t.Twill.Dswp.stages
+            |> List.filteri (fun s _ ->
+                   t.Twill.Dswp.roles.(s) = Twill.Partition.Hw)
+          in
+          List.iter
+            (fun name ->
+              ignore
+                (Twill.Vparse.find_module parsed ("twill_thread_" ^ name));
+              Alcotest.(check int)
+                ("one module for " ^ name)
+                1
+                (count design ("module twill_thread_" ^ name ^ " (")))
+            (Twill.reachable_funcs t.Twill.Dswp.modul hw_roots)))
     Twill_chstone.Chstone.all
 
 let suites =
