@@ -330,30 +330,34 @@ let fig_6_6 () =
 (* RTL co-simulation: emitted Verilog vs the rtsim reference           *)
 (* ------------------------------------------------------------------ *)
 
+let cosim_rows ?engine () =
+  let opts = forced_pipeline_opts in
+  Twill.Par.map
+    (fun (b : C.benchmark) ->
+      let s = Unix.gettimeofday () in
+      let m = Twill.compile ~opts b.C.source in
+      let t = Twill.extract ~opts m in
+      let r = Twill.cosim ~opts ?engine t in
+      (b.C.name, r, Unix.gettimeofday () -. s))
+    C.all
+
 let cosim () =
   header
     "Co-simulation — emitted RTL (vsim) vs rtsim reference (3-stage \
      pipeline); AGREE = same return value and print trace";
-  Printf.printf "%-10s | %12s %12s %8s | %s\n" "benchmark" "RTL cycles"
-    "model cycles" "ratio" "verdict";
-  let opts = forced_pipeline_opts in
-  let rows =
-    Twill.Par.map
-      (fun (b : C.benchmark) ->
-        let m = Twill.compile ~opts b.C.source in
-        let t = Twill.extract ~opts m in
-        (b.C.name, Twill.cosim ~opts t))
-      C.all
-  in
+  Printf.printf "%-10s | %12s %12s %8s | %-9s %7s | %s\n" "benchmark"
+    "RTL cycles" "model cycles" "ratio" "engine" "wall(s)" "verdict";
+  let rows = cosim_rows () in
   List.iter
-    (fun (name, (r : Twill.Cosim.report)) ->
-      Printf.printf "%-10s | %12d %12d %8.2f | %s\n" name
+    (fun (name, (r : Twill.Cosim.report), wall) ->
+      Printf.printf "%-10s | %12d %12d %8.2f | %-9s %7.3f | %s\n" name
         r.Twill.Cosim.rtl_cycles r.Twill.Cosim.model_cycles
         (float_of_int r.Twill.Cosim.rtl_cycles
         /. float_of_int (max 1 r.Twill.Cosim.model_cycles))
+        r.Twill.Cosim.rtl_engine wall
         (if r.Twill.Cosim.agree then "AGREE" else "DISAGREE"))
     rows;
-  if List.exists (fun (_, r) -> not r.Twill.Cosim.agree) rows then
+  if List.exists (fun (_, r, _) -> not r.Twill.Cosim.agree) rows then
     failwith "cosim: RTL and model disagree"
 
 (* ------------------------------------------------------------------ *)
@@ -476,6 +480,22 @@ let json_mode (names : string list) =
   Printf.printf "{\n  \"results\": [\n%s\n  ],\n  \"total_wall_time_s\": %.3f\n}\n"
     (String.concat ",\n" rows) total
 
+let json_cosim (engine : Twill.Vsim.engine option) =
+  let t0 = Unix.gettimeofday () in
+  let rows =
+    List.map
+      (fun (name, (r : Twill.Cosim.report), wall) ->
+        Printf.sprintf
+          "    {\"benchmark\": %S, \"engine\": %S, \"rtl_cycles\": %d, \
+           \"model_cycles\": %d, \"agree\": %b, \"wall_time_s\": %.3f}"
+          name r.Twill.Cosim.rtl_engine r.Twill.Cosim.rtl_cycles
+          r.Twill.Cosim.model_cycles r.Twill.Cosim.agree wall)
+      (cosim_rows ?engine ())
+  in
+  let total = Unix.gettimeofday () -. t0 in
+  Printf.printf "{\n  \"results\": [\n%s\n  ],\n  \"total_wall_time_s\": %.3f\n}\n"
+    (String.concat ",\n" rows) total
+
 let artifacts =
   [
     ("table-6.1", table_6_1);
@@ -495,6 +515,11 @@ let () =
   match args with
   | [ "--bechamel" ] -> bechamel ()
   | "--json" :: names -> json_mode names
+  | [ "--json-cosim" ] -> json_cosim None
+  | [ "--json-cosim"; "--engine"; "levelized" ] ->
+      json_cosim (Some Twill.Vsim.Levelized)
+  | [ "--json-cosim"; "--engine"; "fixpoint" ] ->
+      json_cosim (Some Twill.Vsim.Fixpoint)
   | [] ->
       Printf.printf "Twill reproduction — regenerating all Chapter 6 artifacts\n";
       List.iter (fun (_, f) -> f ()) artifacts

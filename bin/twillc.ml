@@ -224,10 +224,23 @@ let cosim_cmd =
       & info [ "vcd" ] ~docv:"PREFIX"
           ~doc:"Dump one VCD waveform per RTL instance under $(docv).")
   in
+  let engine =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("auto", None); ("levelized", Some Twill.Vsim.Levelized);
+               ("fixpoint", Some Twill.Vsim.Fixpoint) ])
+          None
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Vsim scheduling engine: $(b,levelized), $(b,fixpoint), or \
+             $(b,auto) (levelized with fixpoint fallback).")
+  in
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH_OR_FILE")
   in
-  let run stages sw_frac qd ql aggr _ vcd name =
+  let run stages sw_frac qd ql aggr _ vcd engine name =
     let opts = mk_opts stages sw_frac qd ql aggr in
     let src =
       if Sys.file_exists name then read_file name
@@ -235,8 +248,9 @@ let cosim_cmd =
     in
     let m = Twill.compile ~opts src in
     let t = Twill.extract ~opts m in
-    let r = Twill.cosim ~opts ?vcd t in
+    let r = Twill.cosim ~opts ?engine ?vcd t in
     Fmt.pr "== cosim %s ==@." (Filename.basename name);
+    Fmt.pr "engine         : %s@." r.Twill.Cosim.rtl_engine;
     Fmt.pr "RTL (vsim)     : ret=%ld  %8d harness cycles@."
       r.Twill.Cosim.rtl_ret r.Twill.Cosim.rtl_cycles;
     Fmt.pr "model (rtsim)  : ret=%ld  %8d cycles@." r.Twill.Cosim.model_ret
@@ -257,7 +271,7 @@ let cosim_cmd =
           the rtsim reference")
     Term.(
       const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive
-      $ no_auto $ vcd $ name_arg)
+      $ no_auto $ vcd $ engine $ name_arg)
 
 let () =
   let doc = "Twill: hybrid microcontroller-FPGA parallelising compiler" in

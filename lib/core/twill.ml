@@ -284,8 +284,9 @@ let run_twill ?(opts = default_options) ?profile ?prep (m : Ir.modul) :
   run_twill_threaded ~opts (extract ~opts ?profile ?prep m)
 
 (* RTL co-simulation of an extracted design against the rtsim reference. *)
-let cosim ?(opts = default_options) ?vcd (t : Dswp.threaded) : Cosim.report =
-  Cosim.run_threaded ~config:(sim_config opts) ?vcd t
+let cosim ?(opts = default_options) ?engine ?vcd (t : Dswp.threaded) :
+    Cosim.report =
+  Cosim.run_threaded ~config:(sim_config opts) ?engine ?vcd t
 
 (* --- full report (one benchmark, all three scenarios) --------------------- *)
 

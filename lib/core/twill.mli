@@ -118,10 +118,13 @@ val run_twill_threaded : ?opts:options -> Dswp.threaded -> twill_result
 (** Co-simulates the emitted RTL of an extracted design (hardware threads
     and runtime primitives elaborated under {!Vsim}) against the
     cycle-accurate [rtsim] reference, checking that both observe the same
-    return value and print trace.  [vcd] dumps one waveform per RTL
-    instance under that path prefix.
+    return value and print trace.  [engine] forces the Vsim scheduling
+    engine (default: levelized with automatic fixpoint fallback).  [vcd]
+    dumps one waveform per RTL instance under that path prefix.
     @raise Twill_vsim.Cosim.Cosim_error on a stuck co-simulation. *)
-val cosim : ?opts:options -> ?vcd:string -> Dswp.threaded -> Cosim.report
+val cosim :
+  ?opts:options -> ?engine:Vsim.engine -> ?vcd:string -> Dswp.threaded ->
+  Cosim.report
 
 (** Tries several pipeline widths and keeps the best (the analogue of the
     thesis's iterated partitioning, §5.2); ties go to deeper pipelines. *)

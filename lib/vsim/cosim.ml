@@ -48,6 +48,11 @@ let diff_queue ?(width = 32) ~seed ~depth ~ops () : int =
       ~overrides:[ ("WIDTH", width); ("DEPTH", depth) ]
       (Lazy.force primitives_design) "twill_queue"
   in
+  (* resolve the bus nets once; the driver loop is all O(1) accesses *)
+  let h_gv = Vsim.handle q "give_valid" and h_gd = Vsim.handle q "give_data" in
+  let h_tv = Vsim.handle q "take_valid" and h_gack = Vsim.handle q "give_ack" in
+  let h_tack = Vsim.handle q "take_ack" and h_td = Vsim.handle q "take_data" in
+  let h_count = Vsim.handle q "count" in
   Vsim.poke q "rst" 1;
   Vsim.step q;
   Vsim.poke q "rst" 0;
@@ -63,13 +68,13 @@ let diff_queue ?(width = 32) ~seed ~depth ~ops () : int =
     in
     let v = !next_v land ((1 lsl width) - 1) in
     if gave then begin
-      Vsim.poke q "give_valid" 1;
-      Vsim.poke q "give_data" v
+      Vsim.poke_h q h_gv 1;
+      Vsim.poke_h q h_gd v
     end
-    else Vsim.poke q "give_valid" 0;
+    else Vsim.poke_h q h_gv 0;
     (* occasionally pulse take on an empty queue: must not ack *)
     let took = Random.State.int rng 3 = 0 in
-    Vsim.poke q "take_valid" (if took then 1 else 0);
+    Vsim.poke_h q h_tv (if took then 1 else 0);
     let occ_pre = !occ and pend_pre = !pend in
     Vsim.step q;
     let accept = gave (* the handshake never gives while stalled *) in
@@ -87,24 +92,24 @@ let diff_queue ?(width = 32) ~seed ~depth ~ops () : int =
       (if take_ok then false
        else if gave then occ_pre >= depth
        else pend_pre);
-    if Vsim.peek q "give_ack" <> Bool.to_int exp_give_ack then
+    if Vsim.peek_h q h_gack <> Bool.to_int exp_give_ack then
       fail "queue cycle %d: give_ack=%d expected %b (occ=%d pend=%b)" !cycle
-        (Vsim.peek q "give_ack") exp_give_ack occ_pre pend_pre;
-    if Vsim.peek q "take_ack" <> Bool.to_int take_ok then
+        (Vsim.peek_h q h_gack) exp_give_ack occ_pre pend_pre;
+    if Vsim.peek_h q h_tack <> Bool.to_int take_ok then
       fail "queue cycle %d: take_ack=%d expected %b (occ=%d)" !cycle
-        (Vsim.peek q "take_ack") take_ok occ_pre;
+        (Vsim.peek_h q h_tack) take_ok occ_pre;
     if take_ok then begin
       let expected = Queue.pop fifo in
-      let got = Vsim.peek q "take_data" in
+      let got = Vsim.peek_h q h_td in
       if got <> expected then
         fail "queue cycle %d: dequeued %d, FIFO order says %d" !cycle got
           expected;
       incr completed
     end;
     if accept then incr completed;
-    if Vsim.peek q "count" <> !occ then
+    if Vsim.peek_h q h_count <> !occ then
       fail "queue cycle %d: count=%d model occupancy %d" !cycle
-        (Vsim.peek q "count") !occ
+        (Vsim.peek_h q h_count) !occ
   done;
   if !completed < ops then fail "queue driver stalled after %d ops" !completed;
   !completed
@@ -116,6 +121,8 @@ let diff_semaphore ~seed ~max_count ~initial ~ops () : int =
       ~overrides:[ ("MAX_COUNT", max_count); ("INITIAL", initial) ]
       (Lazy.force primitives_design) "twill_semaphore"
   in
+  let h_gv = Vsim.handle s "give_valid" and h_tv = Vsim.handle s "take_valid" in
+  let h_tack = Vsim.handle s "take_ack" and h_count = Vsim.handle s "count" in
   Vsim.poke s "rst" 1;
   Vsim.step s;
   Vsim.poke s "rst" 0;
@@ -125,23 +132,23 @@ let diff_semaphore ~seed ~max_count ~initial ~ops () : int =
   let prev_ack = ref false in
   for cycle = 1 to ops do
     let gv = Random.State.int rng 2 = 0 and tv = Random.State.int rng 2 = 0 in
-    Vsim.poke s "give_valid" (Bool.to_int gv);
-    Vsim.poke s "take_valid" (Bool.to_int tv);
+    Vsim.poke_h s h_gv (Bool.to_int gv);
+    Vsim.poke_h s h_tv (Bool.to_int tv);
     (* §4.2 two-cycle lower: the ack is registered — poking take_valid
        must not make it visible before the clock edge *)
-    if Vsim.peek s "take_ack" <> Bool.to_int !prev_ack then
+    if Vsim.peek_h s h_tack <> Bool.to_int !prev_ack then
       fail "semaphore cycle %d: take_ack combinationally visible" cycle;
     let pre = !count in
     Vsim.step s;
     let give_ok = gv && pre + 1 <= max_count in
     let take_ok = tv && pre >= 1 in
     count := pre + (if give_ok then 1 else 0) - (if take_ok then 1 else 0);
-    if Vsim.peek s "take_ack" <> Bool.to_int take_ok then
+    if Vsim.peek_h s h_tack <> Bool.to_int take_ok then
       fail "semaphore cycle %d: take_ack=%d expected %b (count=%d)" cycle
-        (Vsim.peek s "take_ack") take_ok pre;
-    if Vsim.peek s "count" <> !count then
+        (Vsim.peek_h s h_tack) take_ok pre;
+    if Vsim.peek_h s h_count <> !count then
       fail "semaphore cycle %d: count=%d model %d" cycle
-        (Vsim.peek s "count") !count;
+        (Vsim.peek_h s h_count) !count;
     prev_ack := take_ok;
     if give_ok then incr completed;
     if take_ok then incr completed
@@ -155,6 +162,10 @@ let diff_arbiter ~seed ~n ~cycles () : int =
       ~overrides:[ ("N", n) ]
       (Lazy.force primitives_design) "twill_bus_arbiter"
   in
+  let h_req = Vsim.handle a "request" and h_tp = Vsim.handle a "to_proc" in
+  let h_pr = Vsim.handle a "proc_request" in
+  let h_grant = Vsim.handle a "grant" in
+  let h_pgrant = Vsim.handle a "proc_grant" in
   Vsim.poke a "rst" 1;
   Vsim.step a;
   Vsim.poke a "rst" 0;
@@ -162,9 +173,9 @@ let diff_arbiter ~seed ~n ~cycles () : int =
     let req = Random.State.int rng (1 lsl n) in
     let tp = Random.State.int rng (1 lsl n) in
     let pr_ = Random.State.int rng 4 = 0 in
-    Vsim.poke a "request" req;
-    Vsim.poke a "to_proc" tp;
-    Vsim.poke a "proc_request" (Bool.to_int pr_);
+    Vsim.poke_h a h_req req;
+    Vsim.poke_h a h_tp tp;
+    Vsim.poke_h a h_pr (Bool.to_int pr_);
     Vsim.step a;
     let exp_grant, exp_proc =
       if pr_ then (0, 1)
@@ -180,15 +191,97 @@ let diff_arbiter ~seed ~n ~cycles () : int =
         ((if !best >= 0 then 1 lsl !best else 0), 0)
       end
     in
-    if Vsim.peek a "grant" <> exp_grant || Vsim.peek a "proc_grant" <> exp_proc
+    if
+      Vsim.peek_h a h_grant <> exp_grant
+      || Vsim.peek_h a h_pgrant <> exp_proc
     then
       fail
         "arbiter cycle %d: grant=%d/proc=%d expected %d/%d (req=%d tp=%d pr=%b)"
-        cycle (Vsim.peek a "grant")
-        (Vsim.peek a "proc_grant")
+        cycle (Vsim.peek_h a h_grant)
+        (Vsim.peek_h a h_pgrant)
         exp_grant exp_proc req tp pr_
   done;
   cycles
+
+(* ---- engine differential: levelized vs fixpoint oracle ------------------ *)
+
+let diff_engines ?(overrides = []) ?(cycles = 500) ~seed
+    (design : Vparse.design) (top : string) : int =
+  let a = Vsim.instantiate ~engine:Vsim.Levelized ~overrides design top in
+  let b = Vsim.instantiate ~engine:Vsim.Fixpoint ~overrides design top in
+  let rng = Random.State.make [| seed |] in
+  let inputs =
+    List.map
+      (fun nm -> (Vsim.handle a nm, Vsim.handle b nm, Vsim.net_width a nm))
+      (Vsim.top_inputs a)
+  in
+  let rand_bits w =
+    if w <= 30 then Random.State.int rng (1 lsl w)
+    else
+      let v =
+        (Random.State.bits rng lsl 30) lor Random.State.bits rng
+      in
+      if w >= 60 then v else v land ((1 lsl w) - 1)
+  in
+  let va = Filename.temp_file "vsim_lev" ".vcd"
+  and vb = Filename.temp_file "vsim_fix" ".vcd" in
+  let da = Vsim.Vcd.create a va and db = Vsim.Vcd.create b vb in
+  let cleanup () =
+    Vsim.Vcd.close da;
+    Vsim.Vcd.close db;
+    Sys.remove va;
+    Sys.remove vb
+  in
+  let completed = ref 0 in
+  (try
+     for cyc = 1 to cycles do
+       List.iter
+         (fun (ha, hb, w) ->
+           let v = rand_bits w in
+           Vsim.poke_h a ha v;
+           Vsim.poke_h b hb v)
+         inputs;
+       (* runtime failures (out-of-range writes under random stimulus)
+          are part of the contract too: both engines must raise the same
+          error at the same cycle *)
+       let ra = try Vsim.step a; None with Vsim.Sim_error m -> Some m in
+       let rb = try Vsim.step b; None with Vsim.Sim_error m -> Some m in
+       match (ra, rb) with
+       | None, None ->
+           Vsim.Vcd.sample da;
+           Vsim.Vcd.sample db;
+           (match Vsim.compare_state a b with
+           | Some d -> fail "%s cycle %d: engines diverge: %s" top cyc d
+           | None -> ());
+           completed := cyc
+       | Some ma, Some mb ->
+           if ma <> mb then
+             fail "%s cycle %d: engines raise differently: %S vs %S" top cyc
+               ma mb;
+           raise Exit
+       | Some m, None ->
+           fail "%s cycle %d: only the levelized engine raised: %s" top cyc m
+       | None, Some m ->
+           fail "%s cycle %d: only the fixpoint engine raised: %s" top cyc m
+     done
+   with
+  | Exit -> ()
+  | e ->
+      cleanup ();
+      raise e);
+  Vsim.Vcd.close da;
+  Vsim.Vcd.close db;
+  let read_all p =
+    let ic = open_in_bin p in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let wa = read_all va and wb = read_all vb in
+  Sys.remove va;
+  Sys.remove vb;
+  if wa <> wb then fail "%s: VCD dumps differ between engines" top;
+  !completed
 
 (* ---- whole-design co-simulation ----------------------------------------- *)
 
@@ -196,6 +289,7 @@ type report = {
   rtl_ret : int32;
   rtl_prints : int32 list;
   rtl_cycles : int;
+  rtl_engine : string; (* "levelized" | "fixpoint" | "mixed" *)
   model_ret : int32;
   model_prints : int32 list;
   model_cycles : int;
@@ -232,8 +326,45 @@ let fc_name code =
   | 6 -> "print"
   | c -> Printf.sprintf "fc_%d" c
 
-let run_threaded ?config ?(fuel_cycles = 2_000_000) ?vcd (t : Dswp.threaded) :
-    report =
+(* per-instance handle bundles: every net the harness pokes or peeks in
+   its per-cycle loop, resolved once at elaboration *)
+type qh = {
+  qi : Vsim.t;
+  q_depth : int;
+  q_gv : Vsim.handle;
+  q_gd : Vsim.handle;
+  q_tv : Vsim.handle;
+  q_gack : Vsim.handle;
+  q_tack : Vsim.handle;
+  q_td : Vsim.handle;
+  q_count : Vsim.handle;
+}
+
+type sh = {
+  si : Vsim.t;
+  s_gv : Vsim.handle;
+  s_gc : Vsim.handle;
+  s_tv : Vsim.handle;
+  s_tc : Vsim.handle;
+  s_tack : Vsim.handle;
+  s_count : Vsim.handle;
+}
+
+type th = {
+  ti : Vsim.t;
+  t_done : Vsim.handle;
+  t_fcv : Vsim.handle;
+  t_fcc : Vsim.handle;
+  t_fct : Vsim.handle;
+  t_fcd : Vsim.handle;
+  t_fca : Vsim.handle;
+  t_rv : Vsim.handle;
+  t_rd : Vsim.handle;
+  t_retval : Vsim.handle;
+}
+
+let run_threaded ?config ?engine ?(fuel_cycles = 2_000_000) ?vcd
+    (t : Dswp.threaded) : report =
   (* --- the reference: cycle-accurate rtsim hybrid simulation --- *)
   let threads =
     Array.mapi
@@ -255,40 +386,77 @@ let run_threaded ?config ?(fuel_cycles = 2_000_000) ?vcd (t : Dswp.threaded) :
   let is_hw s = t.Dswp.roles.(s) = Partition.Hw in
   let layout, mem = Interp.fresh_memory t.Dswp.modul in
   let ictx = Interp.make_context ~layout t.Dswp.modul in
-  let thr = Array.make nstages None in
+  let thr : th option array = Array.make nstages None in
   let instances = ref [] in
   Array.iteri
     (fun s name ->
       if is_hw s then begin
-        let i = Vsim.instantiate design ("twill_thread_" ^ name) in
-        thr.(s) <- Some i;
+        let i = Vsim.instantiate ?engine design ("twill_thread_" ^ name) in
+        thr.(s) <-
+          Some
+            {
+              ti = i;
+              t_done = Vsim.handle i "done";
+              t_fcv = Vsim.handle i "fc_valid";
+              t_fcc = Vsim.handle i "fc_code";
+              t_fct = Vsim.handle i "fc_target";
+              t_fcd = Vsim.handle i "fc_data";
+              t_fca = Vsim.handle i "fc_addr";
+              t_rv = Vsim.handle i "ret_valid";
+              t_rd = Vsim.handle i "ret_data";
+              t_retval = Vsim.handle i "retval";
+            };
         instances := (Printf.sprintf "t%d_%s" s name, i) :: !instances
       end)
     t.Dswp.stages;
-  let qdepth = Hashtbl.create 8 and qinst = Hashtbl.create 8 in
+  let qinst : (int, qh) Hashtbl.t = Hashtbl.create 8 in
   Array.iter
     (fun (q : Threadgen.queue_info) ->
       let depth = max 1 q.Threadgen.depth in
       let i =
-        Vsim.instantiate
+        Vsim.instantiate ?engine
           ~overrides:[ ("WIDTH", q.Threadgen.width_bits); ("DEPTH", depth) ]
           design "twill_queue"
       in
-      Hashtbl.replace qdepth q.Threadgen.qid depth;
-      Hashtbl.replace qinst q.Threadgen.qid i;
+      Hashtbl.replace qinst q.Threadgen.qid
+        {
+          qi = i;
+          q_depth = depth;
+          q_gv = Vsim.handle i "give_valid";
+          q_gd = Vsim.handle i "give_data";
+          q_tv = Vsim.handle i "take_valid";
+          q_gack = Vsim.handle i "give_ack";
+          q_tack = Vsim.handle i "take_ack";
+          q_td = Vsim.handle i "take_data";
+          q_count = Vsim.handle i "count";
+        };
       instances := (Printf.sprintf "q%d" q.Threadgen.qid, i) :: !instances)
     t.Dswp.queues;
   let sems =
     Array.init t.Dswp.nsems (fun k ->
         let i =
-          Vsim.instantiate
+          Vsim.instantiate ?engine
             ~overrides:[ ("MAX_COUNT", 1); ("INITIAL", 1) ]
             design "twill_semaphore"
         in
         instances := (Printf.sprintf "s%d" k, i) :: !instances;
-        i)
+        {
+          si = i;
+          s_gv = Vsim.handle i "give_valid";
+          s_gc = Vsim.handle i "give_count";
+          s_tv = Vsim.handle i "take_valid";
+          s_tc = Vsim.handle i "take_count";
+          s_tack = Vsim.handle i "take_ack";
+          s_count = Vsim.handle i "count";
+        })
   in
   let instances = List.rev !instances in
+  let rtl_engine =
+    let engs = List.map (fun (_, i) -> Vsim.engine_of i) instances in
+    if List.for_all (fun e -> e = Vsim.Levelized) engs then "levelized"
+    else if List.for_all (fun e -> e = Vsim.Fixpoint) engs then "fixpoint"
+    else "mixed"
+  in
   let queue_of qid =
     match Hashtbl.find_opt qinst qid with
     | Some i -> i
@@ -301,7 +469,7 @@ let run_threaded ?config ?(fuel_cycles = 2_000_000) ?vcd (t : Dswp.threaded) :
       Vsim.step i;
       Vsim.poke i "rst" 0)
     instances;
-  Array.iter (function Some i -> Vsim.poke i "start" 1 | None -> ()) thr;
+  Array.iter (function Some h -> Vsim.poke h.ti "start" 1 | None -> ()) thr;
   let dumpers =
     match vcd with
     | None -> []
@@ -315,12 +483,12 @@ let run_threaded ?config ?(fuel_cycles = 2_000_000) ?vcd (t : Dswp.threaded) :
   let sw_results : int32 option array = Array.make nstages None in
   let results : Interp.result option array = Array.make nstages None in
   let prints_rev : int32 list ref array = Array.init nstages (fun _ -> ref []) in
-  let pulses : (Vsim.t * string) list ref = ref [] in
+  let pulses : (Vsim.t * Vsim.handle) list ref = ref [] in
   let replied : int list ref = ref [] in
   let progress = ref true in
-  let pulse i sig_ v =
-    Vsim.poke i sig_ v;
-    pulses := (i, sig_) :: !pulses
+  let pulse i h v =
+    Vsim.poke_h i h v;
+    pulses := (i, h) :: !pulses
   in
   let complete s d =
     progress := true;
@@ -329,9 +497,9 @@ let run_threaded ?config ?(fuel_cycles = 2_000_000) ?vcd (t : Dswp.threaded) :
     | Some p ->
         if is_hw s then begin
           p.ph <- Reply d;
-          let i = Option.get thr.(s) in
-          Vsim.poke i "ret_valid" 1;
-          Vsim.poke i "ret_data" d;
+          let h = Option.get thr.(s) in
+          Vsim.poke_h h.ti h.t_rv 1;
+          Vsim.poke_h h.ti h.t_rd d;
           replied := s :: !replied
         end
         else begin
@@ -422,38 +590,40 @@ let run_threaded ?config ?(fuel_cycles = 2_000_000) ?vcd (t : Dswp.threaded) :
           (mem_free, false)
         end
     | OQgive (qid, v) ->
-        let qi = queue_of qid in
-        if (not bus_free) || Vsim.peek qi "count" > Hashtbl.find qdepth qid
-        then (mem_free, bus_free)
+        let q = queue_of qid in
+        if (not bus_free) || Vsim.peek_h q.qi q.q_count > q.q_depth then
+          (mem_free, bus_free)
         else begin
-          pulse qi "give_valid" 1;
-          Vsim.poke qi "give_data" v;
+          pulse q.qi q.q_gv 1;
+          Vsim.poke_h q.qi q.q_gd v;
           p.ph <- Pulse_sent;
           (mem_free, false)
         end
     | OQtake qid ->
-        let qi = queue_of qid in
-        if (not bus_free) || Vsim.peek qi "count" < 1 then (mem_free, bus_free)
+        let q = queue_of qid in
+        if (not bus_free) || Vsim.peek_h q.qi q.q_count < 1 then
+          (mem_free, bus_free)
         else begin
-          pulse qi "take_valid" 1;
+          pulse q.qi q.q_tv 1;
           p.ph <- Pulse_sent;
           (mem_free, false)
         end
     | OSgive (sm, k) ->
-        let si = sems.(sm) in
+        let sh = sems.(sm) in
         if not bus_free then (mem_free, bus_free)
         else begin
-          pulse si "give_valid" 1;
-          Vsim.poke si "give_count" k;
+          pulse sh.si sh.s_gv 1;
+          Vsim.poke_h sh.si sh.s_gc k;
           p.ph <- Pulse_sent;
           (mem_free, false)
         end
     | OStake (sm, k) ->
-        let si = sems.(sm) in
-        if (not bus_free) || Vsim.peek si "count" < k then (mem_free, bus_free)
+        let sh = sems.(sm) in
+        if (not bus_free) || Vsim.peek_h sh.si sh.s_count < k then
+          (mem_free, bus_free)
         else begin
-          pulse si "take_valid" 1;
-          Vsim.poke si "take_count" k;
+          pulse sh.si sh.s_tv 1;
+          Vsim.poke_h sh.si sh.s_tc k;
           p.ph <- Pulse_sent;
           (mem_free, false)
         end
@@ -461,18 +631,21 @@ let run_threaded ?config ?(fuel_cycles = 2_000_000) ?vcd (t : Dswp.threaded) :
   let check_ack s (p : pend) =
     match (p.ph, p.op) with
     | Pulse_sent, OQgive (qid, _) ->
-        if Vsim.peek (queue_of qid) "give_ack" = 1 then complete s 0
+        let q = queue_of qid in
+        if Vsim.peek_h q.qi q.q_gack = 1 then complete s 0
         else p.ph <- Await_ack
     | Await_ack, OQgive (qid, _) ->
-        if Vsim.peek (queue_of qid) "give_ack" = 1 then complete s 0
+        let q = queue_of qid in
+        if Vsim.peek_h q.qi q.q_gack = 1 then complete s 0
     | Pulse_sent, OQtake qid ->
-        let qi = queue_of qid in
-        if Vsim.peek qi "take_ack" = 1 then
-          complete s (Vsim.peek qi "take_data")
+        let q = queue_of qid in
+        if Vsim.peek_h q.qi q.q_tack = 1 then
+          complete s (Vsim.peek_h q.qi q.q_td)
         else p.ph <- Wait_bus
     | Pulse_sent, OSgive _ -> complete s 0
     | Pulse_sent, OStake (sm, _) ->
-        if Vsim.peek sems.(sm) "take_ack" = 1 then complete s 0
+        let sh = sems.(sm) in
+        if Vsim.peek_h sh.si sh.s_tack = 1 then complete s 0
         else p.ph <- Wait_bus
     | _ -> ()
   in
@@ -488,7 +661,8 @@ let run_threaded ?config ?(fuel_cycles = 2_000_000) ?vcd (t : Dswp.threaded) :
       (fun s -> s)
       (Array.init nstages (fun s ->
            if is_hw s then
-             Vsim.peek (Option.get thr.(s)) "done" = 1 && preq.(s) = None
+             let h = Option.get thr.(s) in
+             Vsim.peek_h h.ti h.t_done = 1 && preq.(s) = None
            else results.(s) <> None))
   in
   let hw_done_seen = Array.make nstages false in
@@ -547,27 +721,28 @@ let run_threaded ?config ?(fuel_cycles = 2_000_000) ?vcd (t : Dswp.threaded) :
        List.iter (fun (_, i) -> Vsim.step i) instances;
        List.iter Vsim.Vcd.sample dumpers;
        (* (d) drop the one-cycle pulses and replies; register new requests *)
-       List.iter (fun (i, sig_) -> Vsim.poke i sig_ 0) !pulses;
+       List.iter (fun (i, h) -> Vsim.poke_h i h 0) !pulses;
        pulses := [];
        List.iter
          (fun s ->
-           Vsim.poke (Option.get thr.(s)) "ret_valid" 0;
+           let h = Option.get thr.(s) in
+           Vsim.poke_h h.ti h.t_rv 0;
            preq.(s) <- None;
            progress := true)
          !replied;
        replied := [];
        List.iter
          (fun s ->
-           let i = Option.get thr.(s) in
-           if (not hw_done_seen.(s)) && Vsim.peek i "done" = 1 then begin
+           let h = Option.get thr.(s) in
+           if (not hw_done_seen.(s)) && Vsim.peek_h h.ti h.t_done = 1 then begin
              hw_done_seen.(s) <- true;
              progress := true
            end;
-           if preq.(s) = None && Vsim.peek i "fc_valid" = 1 then begin
-             let code = Vsim.peek i "fc_code" in
-             let target = Vsim.peek i "fc_target" in
-             let data = Vsim.peek i "fc_data" in
-             let addr = Vsim.peek i "fc_addr" in
+           if preq.(s) = None && Vsim.peek_h h.ti h.t_fcv = 1 then begin
+             let code = Vsim.peek_h h.ti h.t_fcc in
+             let target = Vsim.peek_h h.ti h.t_fct in
+             let data = Vsim.peek_h h.ti h.t_fcd in
+             let addr = Vsim.peek_h h.ti h.t_fca in
              let op =
                match code with
                | 0 -> OLoad addr
@@ -591,7 +766,8 @@ let run_threaded ?config ?(fuel_cycles = 2_000_000) ?vcd (t : Dswp.threaded) :
   (* --- collect the verdict --- *)
   let rtl_ret =
     if is_hw t.Dswp.master then
-      Int32.of_int (Vsim.peek (Option.get thr.(t.Dswp.master)) "retval")
+      let h = Option.get thr.(t.Dswp.master) in
+      Int32.of_int (Vsim.peek_h h.ti h.t_retval)
     else
       match results.(t.Dswp.master) with
       | Some r -> r.Interp.ret
@@ -615,6 +791,7 @@ let run_threaded ?config ?(fuel_cycles = 2_000_000) ?vcd (t : Dswp.threaded) :
     rtl_ret;
     rtl_prints;
     rtl_cycles = !cycle;
+    rtl_engine;
     model_ret = stats.Sim.ret;
     model_prints = stats.Sim.prints;
     model_cycles = stats.Sim.cycles;

@@ -49,12 +49,33 @@ val diff_arbiter : seed:int -> n:int -> cycles:int -> unit -> int
     checks processor-first priority, the to-processor class, and
     one-hot index-order grants each cycle.  Returns cycles checked. *)
 
+(** {1 Engine differential} *)
+
+val diff_engines :
+  ?overrides:(string * int) list ->
+  ?cycles:int ->
+  seed:int ->
+  Vparse.design ->
+  string ->
+  int
+(** [diff_engines ~seed design top] elaborates [top] twice — once with
+    the levelized scheduler, once with the fixpoint oracle — drives both
+    with the same seeded random values on every top-level input each
+    cycle, and asserts identical net and memory state after every step
+    plus byte-identical VCD dumps at the end.  A runtime [Sim_error]
+    under random stimulus must be raised identically by both engines
+    (the run then stops early).  Returns the number of cycles compared.
+    @raise Cosim_error on any divergence. *)
+
 (** {1 Whole-design co-simulation} *)
 
 type report = {
   rtl_ret : int32;
   rtl_prints : int32 list;
   rtl_cycles : int;  (** harness clock cycles until every thread halted *)
+  rtl_engine : string;
+      (** scheduling engine the RTL instances ran under:
+          ["levelized"], ["fixpoint"] or ["mixed"] *)
   model_ret : int32;
   model_prints : int32 list;
   model_cycles : int;  (** rtsim hybrid makespan *)
@@ -63,13 +84,15 @@ type report = {
 
 val run_threaded :
   ?config:Twill_rtsim.Sim.config ->
+  ?engine:Vsim.engine ->
   ?fuel_cycles:int ->
   ?vcd:string ->
   Twill_dswp.Dswp.threaded ->
   report
 (** Runs the rtsim hybrid simulation (software/hardware roles from the
     partition) and the RTL co-simulation of the same design, and
-    compares them.  [vcd], when given, dumps one waveform file per RTL
-    instance under that path prefix.
+    compares them.  [engine] forces the {!Vsim} scheduling engine for
+    every RTL instance (default: automatic).  [vcd], when given, dumps
+    one waveform file per RTL instance under that path prefix.
     @raise Cosim_error if the co-simulation gets stuck (no progress) or
     exceeds [fuel_cycles]. *)

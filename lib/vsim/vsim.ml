@@ -13,9 +13,20 @@
    operands are plain int operations.  Expression typing follows the
    Verilog rules the emitters rely on: context width is the max of the
    operand widths, signedness is the conjunction, shifts take the left
-   operand's type, concatenation is self-determined and unsigned. *)
+   operand's type, concatenation is self-determined and unsigned.
+
+   Two scheduling engines share those closures.  The levelized engine
+   (default) topologically sorts the continuous assigns by their
+   read/write net sets at elaboration and keeps a dirty worklist seeded
+   by every effective net write (poke, blocking write, nonblocking
+   commit), so a settle evaluates each affected assign exactly once in
+   rank order and a quiescent design settles in O(1).  The fixpoint
+   engine re-evaluates every assign to convergence; it is the
+   differential oracle and the automatic fallback for designs whose
+   assign graph has a combinational cycle. *)
 
 module P = Vparse
+module Vec = Twill_ir.Vec
 
 exception Elab_error of string * int
 exception Sim_error of string
@@ -82,14 +93,50 @@ type pending =
   | Pelem of int * int * int (* net, element, raw value *)
   | Pbit of int * int * int (* net, bit, raw value *)
 
+type engine = Levelized | Fixpoint
+
+(* Levelized scheduler state: [lrun] holds the assign closures in rank
+   (topological) order, [lnfan] maps a net to the rank positions of the
+   assigns reading it, [lwnet.(p)] is position [p]'s destination net.
+   [lqueued]/[lnq]/[lqmin] form the assign dirty worklist: positions
+   marked between settles are drained by one forward sweep, and marks
+   made during a sweep always land ahead of the cursor because readers
+   rank strictly after writers.
+
+   Always bodies are activity-gated the same way: a proc is a
+   deterministic function of the nets it reads (its state registers
+   included), so it only needs to run at an edge if one of those nets
+   changed since its last run.  [pnfan] maps a net to the procs reading
+   it and [pqueued] holds the per-proc run flags; an idle primitive
+   (inputs and state unchanged) costs O(#procs) flag checks per cycle
+   instead of re-executing its always body. *)
+type lev = {
+  lrun : (unit -> bool) array;
+  lwnet : int array;
+  lnfan : int array array;
+  pnfan : int array array;
+  lqueued : bool array;
+  pqueued : bool array;
+  mutable lnq : int;
+  mutable lqmin : int;
+}
+
+type engine_state =
+  | Elev of lev
+  | Efix of (unit -> bool) array (* declaration order; run to fixpoint *)
+
 type t = {
   nets : net array;
   index : (string, int) Hashtbl.t;
   vals : int array;
   mems : int array array;
-  assigns : (unit -> bool) array; (* continuous; return [changed] *)
+  eng : engine_state;
+  engv : engine;
   procs : (unit -> unit) array; (* always bodies, declaration order *)
-  pq : pending list ref; (* nonblocking queue, reversed *)
+  pq : pending Vec.t; (* nonblocking queue, program order *)
+  touch : int -> unit; (* net changed: seed the dirty worklist *)
+  sdirty : bool ref; (* some net changed since the last settle *)
+  tinputs : string list; (* top module's input ports, declaration order *)
   mutable cyc : int;
 }
 
@@ -111,6 +158,7 @@ let flatten (design : P.design) (top : string) (overrides : (string * int) list)
   let nets = ref [] and nnets = ref 0 in
   let index = Hashtbl.create 512 in
   let cassigns = ref [] and procs = ref [] in
+  let inputs = ref [] in
   let add_net name w sg asize line =
     if Hashtbl.mem index name then
       raise (Elab_error ("duplicate net " ^ name, line));
@@ -177,7 +225,9 @@ let flatten (design : P.design) (top : string) (overrides : (string * int) list)
                     raise (Elab_error ("unsupported array bounds", d.P.dline));
                   hi + 1
             in
-            add_net (prefix ^ d.P.dname) w sg asize d.P.dline
+            add_net (prefix ^ d.P.dname) w sg asize d.P.dline;
+            if prefix = "" && d.P.dport = P.In && asize = 0 then
+              inputs := d.P.dname :: !inputs
         | P.Param (n, e) -> Hashtbl.replace env n (ceval env e m.P.mline)
         | P.Cassign (lv, rhs) ->
             cassigns :=
@@ -242,14 +292,16 @@ let flatten (design : P.design) (top : string) (overrides : (string * int) list)
   ( Array.of_list (List.rev !nets),
     index,
     List.rev !cassigns,
-    List.rev !procs )
+    List.rev !procs,
+    List.rev !inputs )
 
 (* ---- pass 2: compile everything to closures ----------------------------- *)
 
 type cexpr = { cw : int; cs : bool; ev : unit -> int }
 
-let instantiate ?(overrides = []) (design : P.design) (top : string) : t =
-  let nets, index, cassigns, procs = flatten design top overrides in
+let instantiate ?engine ?(overrides = []) (design : P.design) (top : string) :
+    t =
+  let nets, index, cassigns, procs, tinputs = flatten design top overrides in
   let n = Array.length nets in
   let vals = Array.make n 0 in
   let mems =
@@ -257,7 +309,11 @@ let instantiate ?(overrides = []) (design : P.design) (top : string) : t =
       (fun nt -> if nt.asize > 0 then Array.make nt.asize 0 else [||])
       nets
   in
-  let pq : pending list ref = ref [] in
+  let pq : pending Vec.t = Vec.create ~dummy:(Pscalar (0, 0)) in
+  (* the scheduling hooks are tied after the engine is built; until then
+     the closures below see a no-op worklist *)
+  let sdirty = ref true in
+  let touch_ref : (int -> unit) ref = ref (fun _ -> ()) in
   let resolve (sc : scope) (name : string) (line : int) : int =
     match Hashtbl.find_opt index (sc.spfx ^ name) with
     | Some i -> i
@@ -427,10 +483,16 @@ let instantiate ?(overrides = []) (design : P.design) (top : string) : t =
         { cw = 32; cs = true; ev = (fun () -> clog2 (ev ())) }
     | P.Sysfun (f, _) -> raise (Elab_error ("unknown system function " ^ f, 0))
   in
-  (* destination helpers: blocking write-through and nonblocking schedule *)
+  (* destination helpers: blocking write-through and nonblocking schedule;
+     every effective change seeds the dirty worklist *)
   let write_scalar i v =
     let nt = nets.(i) in
-    vals.(i) <- canon nt.w nt.sg v
+    let v = canon nt.w nt.sg v in
+    if vals.(i) <> v then begin
+      vals.(i) <- v;
+      sdirty := true;
+      !touch_ref i
+    end
   in
   let write_elem i j v line =
     let nt = nets.(i) in
@@ -438,7 +500,12 @@ let instantiate ?(overrides = []) (design : P.design) (top : string) : t =
       raise
         (Sim_error
            (Printf.sprintf "line %d: %s[%d] out of range" line nt.nname j));
-    mems.(i).(j) <- canon nt.w nt.sg v
+    let v = canon nt.w nt.sg v in
+    if mems.(i).(j) <> v then begin
+      mems.(i).(j) <- v;
+      sdirty := true;
+      !touch_ref i
+    end
   in
   let write_bit i b v line =
     let nt = nets.(i) in
@@ -448,7 +515,12 @@ let instantiate ?(overrides = []) (design : P.design) (top : string) : t =
            (Printf.sprintf "line %d: %s[%d] bit out of range" line nt.nname b));
     let cur = mask_bits nt.w vals.(i) in
     let cur = if v land 1 <> 0 then cur lor (1 lsl b) else cur land lnot (1 lsl b) in
-    vals.(i) <- canon nt.w nt.sg cur
+    let v = canon nt.w nt.sg cur in
+    if vals.(i) <> v then begin
+      vals.(i) <- v;
+      sdirty := true;
+      !touch_ref i
+    end
   in
   let compile_assign ~(blocking : bool) (dsc : scope) (lv : P.lval)
       (rhs : cexpr) : unit -> unit =
@@ -461,15 +533,15 @@ let instantiate ?(overrides = []) (design : P.design) (top : string) : t =
     | None, false ->
         let ev = rhs.ev in
         if blocking then fun () -> write_scalar i (ev ())
-        else fun () -> pq := Pscalar (i, ev ()) :: !pq
+        else fun () -> ignore (Vec.push pq (Pscalar (i, ev ())))
     | Some ie, true ->
         let iev = (comp dsc ie).ev and ev = rhs.ev in
         if blocking then fun () -> write_elem i (iev ()) (ev ()) line
-        else fun () -> pq := Pelem (i, iev (), ev ()) :: !pq
+        else fun () -> ignore (Vec.push pq (Pelem (i, iev (), ev ())))
     | Some ie, false ->
         let iev = (comp dsc ie).ev and ev = rhs.ev in
         if blocking then fun () -> write_bit i (iev ()) (ev ()) line
-        else fun () -> pq := Pbit (i, iev (), ev ()) :: !pq
+        else fun () -> ignore (Vec.push pq (Pbit (i, iev (), ev ())))
   in
   let rec cstmt (sc : scope) (s : P.stmt) : unit -> unit =
     match s with
@@ -620,35 +692,253 @@ let instantiate ?(overrides = []) (design : P.design) (top : string) : t =
     | None, true ->
         raise (Elab_error ("assign to memory without index", fa.aline))
   in
-  let assigns = Array.of_list (List.map compile_cassign cassigns) in
-  let procs =
-    Array.of_list (List.map (fun (sc, body) -> cstmt sc body) procs)
+  let cass_arr = Array.of_list cassigns in
+  let na = Array.length cass_arr in
+  let closures = Array.map compile_cassign cass_arr in
+  let proc_srcs = Array.of_list procs in
+  let procs = Array.map (fun (sc, body) -> cstmt sc body) proc_srcs in
+  let nprocs = Array.length procs in
+  (* ---- levelization: read/write net sets, ranks, fanout lists ---- *)
+  let expr_reads (sc : scope) (line : int) (acc : int list ref) =
+    let rec go (e : P.expr) =
+      match e with
+      | P.Num _ -> ()
+      | P.Id x ->
+          if not (Hashtbl.mem sc.senv x) then acc := resolve sc x line :: !acc
+      | P.Index (x, ie) ->
+          go ie;
+          acc := resolve sc x line :: !acc
+      | P.Unop (_, a) | P.Sysfun (_, a) -> go a
+      | P.Binop (_, a, b) ->
+          go a;
+          go b
+      | P.Ternary (c, a, b) ->
+          go c;
+          go a;
+          go b
+      | P.Concat es -> List.iter go es
+    in
+    go
   in
-  { nets; index; vals; mems; assigns; procs; pq; cyc = 0 }
+  let reads_of (fa : flat_assign) : int list =
+    let acc = ref [] in
+    expr_reads fa.rsc fa.aline acc fa.rhs;
+    (match fa.dlv.P.index with
+    | Some ie -> expr_reads fa.dsc fa.aline acc ie
+    | None -> ());
+    List.sort_uniq compare !acc
+  in
+  (* every net an always body's behaviour depends on: rhs expressions,
+     conditions, case scrutinees and labels, destination indices.  The
+     body is a deterministic function of these, so an edge at which none
+     of them changed since the proc's last run can skip it. *)
+  let proc_reads ((sc, body) : scope * P.stmt) : int list =
+    let acc = ref [] in
+    let goe = expr_reads sc 0 acc in
+    let golv (lv : P.lval) =
+      match lv.P.index with Some ie -> goe ie | None -> ()
+    in
+    let rec gos (s : P.stmt) =
+      match s with
+      | P.Block ss -> List.iter gos ss
+      | P.If (c, th, el) ->
+          goe c;
+          gos th;
+          Option.iter gos el
+      | P.Case (scrut, arms, dflt) ->
+          goe scrut;
+          List.iter
+            (fun (ls, st) ->
+              List.iter goe ls;
+              gos st)
+            arms;
+          Option.iter gos dflt
+      | P.For (ilv, ie, cond, slv, se, fbody) ->
+          golv ilv;
+          goe ie;
+          goe cond;
+          golv slv;
+          goe se;
+          gos fbody
+      | P.Assign (lv, _, rhs) ->
+          golv lv;
+          goe rhs
+    in
+    gos body;
+    List.sort_uniq compare !acc
+  in
+  let wnet =
+    Array.map (fun fa -> resolve fa.dsc fa.dlv.P.base fa.aline) cass_arr
+  in
+  let readers = Array.make n [] in
+  Array.iteri
+    (fun a fa ->
+      List.iter (fun r -> readers.(r) <- a :: readers.(r)) (reads_of fa))
+    cass_arr;
+  let preaders = Array.make n [] in
+  Array.iteri
+    (fun k pr ->
+      List.iter (fun r -> preaders.(r) <- k :: preaders.(r)) (proc_reads pr))
+    proc_srcs;
+  let build_lev () : lev option =
+    (* Kahn over the writer→reader multigraph; a leftover node means a
+       combinational cycle (self-reads included) *)
+    let indeg = Array.make na 0 in
+    Array.iter
+      (fun d -> List.iter (fun a -> indeg.(a) <- indeg.(a) + 1) readers.(d))
+      wnet;
+    let rank = Array.make na 0 in
+    let q = Queue.create () in
+    Array.iteri (fun a d -> if d = 0 then Queue.add a q) indeg;
+    let seen = ref 0 in
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      incr seen;
+      List.iter
+        (fun v ->
+          if rank.(u) + 1 > rank.(v) then rank.(v) <- rank.(u) + 1;
+          indeg.(v) <- indeg.(v) - 1;
+          if indeg.(v) = 0 then Queue.add v q)
+        readers.(wnet.(u))
+    done;
+    if !seen < na then None
+    else begin
+      (* rank order, declaration order within a rank (ties do not affect
+         results on a DAG, but keep the sweep deterministic) *)
+      let order = Array.init na Fun.id in
+      Array.sort
+        (fun a b ->
+          if rank.(a) <> rank.(b) then compare rank.(a) rank.(b)
+          else compare a b)
+        order;
+      let pos = Array.make na 0 in
+      Array.iteri (fun p a -> pos.(a) <- p) order;
+      let lnfan =
+        Array.map
+          (fun rs ->
+            Array.of_list
+              (List.sort_uniq compare (List.map (fun a -> pos.(a)) rs)))
+          readers
+      in
+      let lrun = Array.map (fun a -> closures.(a)) order in
+      let lwnet = Array.map (fun a -> wnet.(a)) order in
+      let pnfan =
+        Array.map
+          (fun ps -> Array.of_list (List.sort_uniq compare ps))
+          preaders
+      in
+      Some
+        {
+          lrun;
+          lwnet;
+          lnfan;
+          pnfan;
+          lqueued = Array.make na true;
+          pqueued = Array.make nprocs true;
+          lnq = na;
+          lqmin = 0;
+        }
+    end
+  in
+  let eng, engv =
+    match engine with
+    | Some Fixpoint -> (Efix closures, Fixpoint)
+    | Some Levelized -> (
+        match build_lev () with
+        | Some l -> (Elev l, Levelized)
+        | None ->
+            raise
+              (Sim_error
+                 ("combinational loop: " ^ top ^ " cannot be levelized")))
+    | None -> (
+        match build_lev () with
+        | Some l -> (Elev l, Levelized)
+        | None -> (Efix closures, Fixpoint))
+  in
+  let touch =
+    match eng with
+    | Efix _ -> fun _ -> ()
+    | Elev lev ->
+        fun i ->
+          let fan = lev.lnfan.(i) in
+          for k = 0 to Array.length fan - 1 do
+            let p = fan.(k) in
+            if not lev.lqueued.(p) then begin
+              lev.lqueued.(p) <- true;
+              lev.lnq <- lev.lnq + 1;
+              if p < lev.lqmin then lev.lqmin <- p
+            end
+          done;
+          let pf = lev.pnfan.(i) in
+          for k = 0 to Array.length pf - 1 do
+            lev.pqueued.(pf.(k)) <- true
+          done
+  in
+  touch_ref := touch;
+  { nets; index; vals; mems; eng; engv; procs; pq; touch; sdirty; tinputs;
+    cyc = 0 }
 
 (* ---- simulation --------------------------------------------------------- *)
 
 let settle (t : t) =
-  let changed = ref true and iters = ref 0 in
-  while !changed do
-    changed := false;
-    Array.iter (fun f -> if f () then changed := true) t.assigns;
-    incr iters;
-    if !iters > 10_000 then
-      raise (Sim_error "combinational loop: settle did not converge")
-  done
+  match t.eng with
+  | Efix assigns ->
+      if !(t.sdirty) then begin
+        let changed = ref true and iters = ref 0 in
+        while !changed do
+          changed := false;
+          Array.iter (fun f -> if f () then changed := true) assigns;
+          incr iters;
+          if !iters > 10_000 then
+            raise (Sim_error "combinational loop: settle did not converge")
+        done;
+        t.sdirty := false
+      end
+  | Elev lev ->
+      if lev.lnq > 0 then begin
+        let np = Array.length lev.lrun in
+        let p = ref lev.lqmin in
+        while lev.lnq > 0 do
+          if !p >= np then
+            raise (Sim_error "levelized scheduler: worklist out of order");
+          if lev.lqueued.(!p) then begin
+            lev.lqueued.(!p) <- false;
+            lev.lnq <- lev.lnq - 1;
+            (* on change, mark the dest net's reader assigns (always
+               ranked after the cursor) and reader procs *)
+            if lev.lrun.(!p) () then t.touch lev.lwnet.(!p)
+          end;
+          incr p
+        done;
+        lev.lqmin <- max_int
+      end;
+      t.sdirty := false
 
 let commit (t : t) =
-  let apply = function
+  (* apply in program order, counting only effective writes so a
+     quiescent commit leaves the worklist empty and the second settle
+     of the cycle is skipped *)
+  let np = Vec.length t.pq in
+  for k = 0 to np - 1 do
+    match Vec.get t.pq k with
     | Pscalar (i, v) ->
         let nt = t.nets.(i) in
-        t.vals.(i) <- canon nt.w nt.sg v
+        let v = canon nt.w nt.sg v in
+        if t.vals.(i) <> v then begin
+          t.vals.(i) <- v;
+          t.sdirty := true;
+          t.touch i
+        end
     | Pelem (i, j, v) ->
         let nt = t.nets.(i) in
         if j < 0 || j >= nt.asize then
-          raise
-            (Sim_error (Printf.sprintf "%s[%d] out of range" nt.nname j));
-        t.mems.(i).(j) <- canon nt.w nt.sg v
+          raise (Sim_error (Printf.sprintf "%s[%d] out of range" nt.nname j));
+        let v = canon nt.w nt.sg v in
+        if t.mems.(i).(j) <> v then begin
+          t.mems.(i).(j) <- v;
+          t.sdirty := true;
+          t.touch i
+        end
     | Pbit (i, b, v) ->
         let nt = t.nets.(i) in
         if b >= 0 && b < nt.w then begin
@@ -657,16 +947,34 @@ let commit (t : t) =
             if v land 1 <> 0 then cur lor (1 lsl b)
             else cur land lnot (1 lsl b)
           in
-          t.vals.(i) <- canon nt.w nt.sg cur
+          let v = canon nt.w nt.sg cur in
+          if t.vals.(i) <> v then begin
+            t.vals.(i) <- v;
+            t.sdirty := true;
+            t.touch i
+          end
         end
-  in
-  let q = List.rev !(t.pq) in
-  t.pq := [];
-  List.iter apply q
+  done;
+  Vec.clear t.pq
 
 let step (t : t) =
   settle t;
-  Array.iter (fun f -> f ()) t.procs;
+  (match t.eng with
+  | Efix _ ->
+      (* oracle semantics: every always body fires on every edge *)
+      Array.iter (fun f -> f ()) t.procs
+  | Elev lev ->
+      (* activity-gated: run only the procs whose read nets changed
+         since their last run, in declaration order.  The flag is
+         cleared before the body so effective self-writes (blocking
+         assigns the proc itself reads) conservatively requeue it. *)
+      let procs = t.procs in
+      for k = 0 to Array.length procs - 1 do
+        if lev.pqueued.(k) then begin
+          lev.pqueued.(k) <- false;
+          procs.(k) ()
+        end
+      done);
   commit t;
   settle t;
   t.cyc <- t.cyc + 1
@@ -676,28 +984,74 @@ let find (t : t) (name : string) : int =
   | Some i -> i
   | None -> raise (Sim_error ("no such net: " ^ name))
 
-let poke (t : t) (name : string) (v : int) =
-  let i = find t name in
-  let nt = t.nets.(i) in
-  if nt.asize > 0 then raise (Sim_error ("poke of memory net " ^ name));
-  t.vals.(i) <- canon nt.w nt.sg v
+(* ---- handles: resolve the name once, O(1) access per cycle -------------- *)
 
-let peek (t : t) (name : string) : int =
-  let i = find t name in
-  if t.nets.(i).asize > 0 then raise (Sim_error ("peek of memory net " ^ name));
-  t.vals.(i)
+type handle = int
+
+let handle (t : t) (name : string) : handle = find t name
+
+let poke_h (t : t) (h : handle) (v : int) =
+  let nt = t.nets.(h) in
+  if nt.asize > 0 then raise (Sim_error ("poke of memory net " ^ nt.nname));
+  let v = canon nt.w nt.sg v in
+  if t.vals.(h) <> v then begin
+    t.vals.(h) <- v;
+    t.sdirty := true;
+    t.touch h
+  end
+
+let peek_h (t : t) (h : handle) : int =
+  if t.nets.(h).asize > 0 then
+    raise (Sim_error ("peek of memory net " ^ t.nets.(h).nname));
+  t.vals.(h)
+
+let peek_elem_h (t : t) (h : handle) (j : int) : int =
+  let nt = t.nets.(h) in
+  if nt.asize = 0 then raise (Sim_error (nt.nname ^ " is not a memory"));
+  if j < 0 || j >= nt.asize then
+    raise (Sim_error (Printf.sprintf "%s[%d] out of range" nt.nname j));
+  t.mems.(h).(j)
+
+let poke (t : t) (name : string) (v : int) = poke_h t (find t name) v
+let peek (t : t) (name : string) : int = peek_h t (find t name)
 
 let peek_elem (t : t) (name : string) (j : int) : int =
-  let i = find t name in
-  let nt = t.nets.(i) in
-  if nt.asize = 0 then raise (Sim_error (name ^ " is not a memory"));
-  if j < 0 || j >= nt.asize then
-    raise (Sim_error (Printf.sprintf "%s[%d] out of range" name j));
-  t.mems.(i).(j)
+  peek_elem_h t (find t name) j
 
 let net_width (t : t) (name : string) : int = t.nets.(find t name).w
 let has_net (t : t) (name : string) : bool = Hashtbl.mem t.index name
 let cycles (t : t) : int = t.cyc
+let engine_of (t : t) : engine = t.engv
+let top_inputs (t : t) : string list = t.tinputs
+
+let compare_state (a : t) (b : t) : string option =
+  if Array.length a.nets <> Array.length b.nets then
+    Some "net tables differ in size"
+  else begin
+    let r = ref None in
+    (try
+       for i = 0 to Array.length a.nets - 1 do
+         if a.vals.(i) <> b.vals.(i) then begin
+           r :=
+             Some
+               (Printf.sprintf "%s: %d vs %d" a.nets.(i).nname a.vals.(i)
+                  b.vals.(i));
+           raise Exit
+         end;
+         let ma = a.mems.(i) and mb = b.mems.(i) in
+         for j = 0 to Array.length ma - 1 do
+           if ma.(j) <> mb.(j) then begin
+             r :=
+               Some
+                 (Printf.sprintf "%s[%d]: %d vs %d" a.nets.(i).nname j ma.(j)
+                    mb.(j));
+             raise Exit
+           end
+         done
+       done
+     with Exit -> ());
+    !r
+  end
 
 (* ---- VCD dumping -------------------------------------------------------- *)
 

@@ -25,13 +25,35 @@ exception Sim_error of string
 
 type t
 
+(** Scheduling engine for the continuous assigns.
+
+    [Levelized] (the default) topologically sorts the assigns by their
+    read/write net sets at elaboration and evaluates, via a dirty-net
+    worklist, only the assigns whose inputs actually changed — each at
+    most once per settle, in rank order.  [Fixpoint] is the original
+    engine: re-evaluate every assign until quiescence.  It is kept as
+    the differential oracle and as the automatic fallback when the
+    assign graph has a combinational cycle (which the levelized engine
+    cannot order).  Both engines produce identical per-cycle net values
+    on the single-driver designs the emitters produce. *)
+type engine = Levelized | Fixpoint
+
 val instantiate :
-  ?overrides:(string * int) list -> Vparse.design -> string -> t
+  ?engine:engine -> ?overrides:(string * int) list -> Vparse.design ->
+  string -> t
 (** [instantiate design top] elaborates module [top] (found by name in
     [design]) with its parameters optionally [overrides]-ridden.  The top
     module's ports become plain nets: drive inputs with {!poke}, read
     outputs with {!peek}.  All registers start at 0; drive the design's
-    reset input high for a cycle to apply declared reset values. *)
+    reset input high for a cycle to apply declared reset values.
+
+    Without [engine] the levelized scheduler is chosen, falling back to
+    the fixpoint oracle if the assign graph is cyclic; passing
+    [~engine:Levelized] explicitly instead raises [Sim_error] on a
+    cyclic design. *)
+
+val engine_of : t -> engine
+(** The engine actually in use (reports the fallback). *)
 
 val step : t -> unit
 (** Advance one clock cycle (all [always @(posedge ...)] blocks fire —
@@ -40,8 +62,9 @@ val step : t -> unit
 
 val poke : t -> string -> int -> unit
 (** Set a scalar net; the value is canonicalised to the net's type.
-    Meaningful for top-level inputs (anything with a continuous driver
-    is overwritten at the next settle). *)
+    Only meaningful for nets without a continuous driver (top-level
+    inputs and registers) — poking a continuously-driven net is
+    engine-dependent and unsupported. *)
 
 val peek : t -> string -> int
 (** Read a scalar net's canonical value. *)
@@ -49,11 +72,41 @@ val peek : t -> string -> int
 val peek_elem : t -> string -> int -> int
 (** Read one element of a memory net. *)
 
+(** {2 Handles}
+
+    A handle resolves the flattened net name once; the per-cycle
+    accessors below are then O(1) array accesses.  Harness inner loops
+    (the co-simulation drivers poke/peek the same bus nets every cycle)
+    should use these instead of the string API. *)
+
+type handle
+
+val handle : t -> string -> handle
+(** @raise Sim_error if the net does not exist. *)
+
+val poke_h : t -> handle -> int -> unit
+(** {!poke} through a handle; an effective change feeds the levelized
+    engine's dirty worklist. *)
+
+val peek_h : t -> handle -> int
+val peek_elem_h : t -> handle -> int -> int
+
 val net_width : t -> string -> int
 (** Declared bit width of a net. @raise Sim_error if unknown. *)
 
 val has_net : t -> string -> bool
 val cycles : t -> int
+
+val top_inputs : t -> string list
+(** The top module's scalar input ports, in declaration order — the
+    nets a differential driver may freely poke. *)
+
+val compare_state : t -> t -> string option
+(** [compare_state a b] compares every net (and memory element) of two
+    instances elaborated from the same design; [None] if identical,
+    otherwise a description of the first mismatch.  Used by the
+    engine-differential suite to pit {!Levelized} against the
+    {!Fixpoint} oracle cycle by cycle. *)
 
 (** VCD waveform dumping for debugging: scalar nets only (memories are
     skipped), one timestep per {!step}. *)

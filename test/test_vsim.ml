@@ -228,6 +228,122 @@ let diff_tests =
           [ (1, 1); (2, 3); (5, 6) ]);
   ]
 
+(* --- levelized engine vs fixpoint oracle --------------------------------- *)
+
+let emitted_design src =
+  let m = Twill.compile ~opts:opts3 src in
+  let t = Twill.extract ~opts:opts3 m in
+  Vparse.parse (Twill.Vruntime.emit_design t)
+
+let diff_all_modules ?(cycles = 200) ~seed (d : Vparse.design) =
+  List.iter
+    (fun (m : Vparse.modul) ->
+      (* parameterized primitives get their defaults; every emitted
+         module elaborates stand-alone *)
+      ignore (Cosim.diff_engines ~cycles ~seed d m.Vparse.mname))
+    d
+
+let engine_tests =
+  [
+    Alcotest.test_case "primitives lockstep under random stimulus" `Quick
+      (fun () ->
+        let d =
+          Vparse.parse
+            (String.concat "\n"
+               [
+                 Twill.Vruntime.queue_module; Twill.Vruntime.semaphore_module;
+                 Twill.Vruntime.arbiter_module;
+               ])
+        in
+        List.iter
+          (fun (seed, ov) ->
+            ignore
+              (Cosim.diff_engines ~overrides:ov ~cycles:500 ~seed d
+                 "twill_queue"))
+          [ (11, [ ("WIDTH", 8); ("DEPTH", 2) ]);
+            (12, [ ("WIDTH", 16); ("DEPTH", 5) ]) ];
+        ignore
+          (Cosim.diff_engines
+             ~overrides:[ ("MAX_COUNT", 3); ("INITIAL", 1) ]
+             ~cycles:500 ~seed:13 d "twill_semaphore");
+        ignore
+          (Cosim.diff_engines ~overrides:[ ("N", 4) ] ~cycles:500 ~seed:14 d
+             "twill_bus_arbiter"));
+    Alcotest.test_case "random netlists lockstep (generated programs)" `Quick
+      (fun () ->
+        List.iter
+          (fun seed ->
+            let src = Gen_minic.gen (Random.State.make [| seed |]) in
+            match emitted_design src with
+            | d -> diff_all_modules ~cycles:120 ~seed d
+            | exception _ ->
+                (* a generated program the pipeline rejects is not an
+                   engine question; skip it *)
+                ())
+          [ 101; 202; 303 ]);
+    Alcotest.test_case "handles agree with the string API" `Quick (fun () ->
+        let d =
+          Vparse.parse
+            "module m (input wire clk, input wire [7:0] x,\n\
+            \  output reg [7:0] y);\n\
+            \  always @(posedge clk) y <= x + 1;\nendmodule"
+        in
+        let i = Vsim.instantiate d "m" in
+        let hx = Vsim.handle i "x" and hy = Vsim.handle i "y" in
+        Vsim.poke_h i hx 41;
+        Vsim.step i;
+        Alcotest.(check int) "peek_h" 42 (Vsim.peek_h i hy);
+        Alcotest.(check int) "peek" 42 (Vsim.peek i "y"));
+    Alcotest.test_case "whole-design cosim identical under both engines"
+      `Quick (fun () ->
+        let src =
+          "int main() { int acc = 0; for (int i = 0; i < 80; i++) { int a = \
+           (i * 2654435761) >> 3; acc += (a ^ i) >> 2; } return acc; }"
+        in
+        let m = Twill.compile ~opts:opts3 src in
+        let t = Twill.extract ~opts:opts3 m in
+        let rl = Twill.cosim ~opts:opts3 ~engine:Vsim.Levelized t in
+        let rf = Twill.cosim ~opts:opts3 ~engine:Vsim.Fixpoint t in
+        Alcotest.(check string) "levelized ran" "levelized" rl.Cosim.rtl_engine;
+        Alcotest.(check string) "fixpoint ran" "fixpoint" rf.Cosim.rtl_engine;
+        Alcotest.(check int32) "same return" rl.Cosim.rtl_ret rf.Cosim.rtl_ret;
+        Alcotest.(check int) "same cycle count" rl.Cosim.rtl_cycles
+          rf.Cosim.rtl_cycles;
+        Alcotest.(check bool) "both agree with rtsim" true
+          (rl.Cosim.agree && rf.Cosim.agree));
+    Alcotest.test_case "combinational cycle raises / falls back" `Quick
+      (fun () ->
+        let d =
+          Vparse.parse
+            "module m (input wire x, output wire a);\n\
+            \  wire b;\n\
+            \  assign a = ~b;\n\
+            \  assign b = a & x;\nendmodule"
+        in
+        (* forcing the levelized engine on a cyclic graph is an error *)
+        (match Vsim.instantiate ~engine:Vsim.Levelized d "m" with
+        | exception Vsim.Sim_error _ -> ()
+        | _ -> Alcotest.fail "cyclic design levelized");
+        (* the default falls back to the fixpoint oracle... *)
+        let i = Vsim.instantiate d "m" in
+        Alcotest.(check bool) "fell back" true
+          (Vsim.engine_of i = Vsim.Fixpoint);
+        (* ...which still detects the oscillation at runtime *)
+        Vsim.poke i "x" 1;
+        match Vsim.step i with
+        | exception Vsim.Sim_error _ -> ()
+        | () -> Alcotest.fail "oscillating loop settled");
+  ]
+
+let chstone_engine_tests =
+  List.map
+    (fun name ->
+      Alcotest.test_case ("chstone engines lockstep " ^ name) `Slow (fun () ->
+          let b = Twill_chstone.Chstone.find name in
+          let d = emitted_design b.Twill_chstone.Chstone.source in
+          diff_all_modules ~cycles:150 ~seed:7 d))
+    [ "mips"; "adpcm"; "aes"; "blowfish"; "gsm"; "jpeg"; "motion"; "sha" ]
+
 let cosim_small src =
   let m = Twill.compile ~opts:opts3 src in
   let t = Twill.extract ~opts:opts3 m in
@@ -320,6 +436,7 @@ let suites =
     ("vsim:semantics", sem_tests);
     ("vsim:contracts", contract_tests);
     ("vsim:differential", diff_tests);
+    ("vsim:engines", engine_tests @ chstone_engine_tests);
     ("vsim:cosim", cosim_tests);
     ("vsim:chstone", chstone_cosim_tests);
   ]
