@@ -361,6 +361,43 @@ let cosim () =
     failwith "cosim: RTL and model disagree"
 
 (* ------------------------------------------------------------------ *)
+(* Differential fuzzing throughput (EXPERIMENTS.md)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Oracle throughput at each --max-stage limit: how many random
+   programs per second the whole-stack differential oracle sustains.
+   The case counts shrink as the stages deepen — one vsim case
+   elaborates and co-simulates the full emitted RTL twice (both
+   scheduling engines). *)
+let fuzz () =
+  header
+    "Differential fuzzing — oracle throughput per --max-stage (seed 11); a \
+     divergence anywhere here is a miscompilation";
+  Printf.printf "%-9s | %6s %8s %8s | %s\n" "max-stage" "cases" "wall(s)"
+    "cases/s" "result";
+  List.iter
+    (fun (limit, cases) ->
+      let s0 = Unix.gettimeofday () in
+      let s = Twill_fuzz.Campaign.run ~limit ~seed:11 ~cases () in
+      let dt = Unix.gettimeofday () -. s0 in
+      Printf.printf "%-9s | %6d %8.2f %8.1f | agreed %d, skipped %d, diverged %d\n"
+        (Twill_fuzz.Oracle.limit_to_string limit)
+        cases dt
+        (float_of_int cases /. dt)
+        s.Twill_fuzz.Campaign.s_agreed
+        (List.length s.Twill_fuzz.Campaign.s_skipped)
+        (List.length s.Twill_fuzz.Campaign.s_repros);
+      if s.Twill_fuzz.Campaign.s_repros <> [] then
+        failwith "fuzz: differential oracle found a divergence")
+    [
+      (Twill_fuzz.Oracle.L_ast, 100);
+      (Twill_fuzz.Oracle.L_ir, 100);
+      (Twill_fuzz.Oracle.L_opt, 60);
+      (Twill_fuzz.Oracle.L_rtsim, 60);
+      (Twill_fuzz.Oracle.L_vsim, 6);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Ablations called out in DESIGN.md                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -508,6 +545,7 @@ let artifacts =
     ("fig-6.6", fig_6_6);
     ("ablation", ablation);
     ("cosim", cosim);
+    ("fuzz", fuzz);
   ]
 
 let () =

@@ -7,6 +7,7 @@
      twillc list                  list bundled benchmarks
      twillc emit-verilog FILE.c   emit the design's RTL (-o FILE, --check)
      twillc cosim NAME|FILE.c     co-simulate the emitted RTL vs rtsim
+     twillc fuzz --seed N         differential fuzzing across the stack
 
    Options: --stages K, --sw-frac F, --queue-depth D, --queue-latency L,
    --aggressive-inline, --no-auto. *)
@@ -273,6 +274,113 @@ let cosim_cmd =
       const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive
       $ no_auto $ vcd $ engine $ name_arg)
 
+let fuzz_cmd =
+  let module F = Twill_fuzz in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Campaign seed.")
+  in
+  let cases =
+    Arg.(
+      value & opt int 100
+      & info [ "cases" ] ~doc:"Number of generated programs.")
+  in
+  let max_stage =
+    Arg.(
+      value
+      & opt
+          (enum
+             (List.map
+                (fun l -> (F.Oracle.limit_to_string l, l))
+                F.Oracle.all_limits))
+          F.Oracle.L_vsim
+      & info [ "max-stage" ] ~docv:"STAGE"
+          ~doc:
+            "Deepest observation point to compare: $(b,ast), $(b,ir), \
+             $(b,opt), $(b,rtsim) or $(b,vsim) (the default; RTL \
+             co-simulation, much slower per case).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Write minimized repros and a MANIFEST into $(docv).")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"DIR"
+          ~doc:
+            "Instead of generating cases, re-run every repro in $(docv) and \
+             report which still diverge.")
+  in
+  let break_pass =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "break-pass" ] ~docv:"PASS"
+          ~doc:
+            "Plant a deliberate miscompilation after the named pipeline \
+             stage (fault-injection demo; see $(b,--max-stage opt)).")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Exit nonzero if any divergence is found (or, with \
+             $(b,--replay), if any repro went stale).")
+  in
+  let run seed cases limit out replay break_pass strict =
+    match replay with
+    | Some dir ->
+        let rs = F.Campaign.replay ~dir () in
+        List.iter
+          (fun (r : F.Campaign.replay_result) ->
+            Fmt.pr "%-18s %s  (%s)@." r.F.Campaign.rp_file
+              (if r.F.Campaign.rp_still_diverges then "DIVERGES" else "agrees")
+              r.F.Campaign.rp_detail)
+          rs;
+        let stale =
+          List.filter (fun r -> not r.F.Campaign.rp_still_diverges) rs
+        in
+        Fmt.pr "replayed %d repro(s), %d stale@." (List.length rs)
+          (List.length stale);
+        if strict && stale <> [] then exit 1
+    | None ->
+        (match break_pass with
+        | Some p when not (List.mem p Twill.Pipeline.stage_names) ->
+            Fmt.epr "fuzz: unknown pass %S (stages: %s)@." p
+              (String.concat ", " Twill.Pipeline.stage_names);
+            exit 2
+        | _ -> ());
+        let opts = { Twill.default_options with pipeline_break = break_pass } in
+        let t0 = Unix.gettimeofday () in
+        let s = F.Campaign.run ~opts ~limit ~seed ~cases () in
+        let dt = Unix.gettimeofday () -. t0 in
+        print_string (F.Campaign.summary_to_string s);
+        (match out with
+        | Some dir ->
+            let files = F.Campaign.write_corpus ?break_pass ~dir s in
+            Fmt.pr "  corpus: %d file(s) in %s@." (List.length files) dir
+        | None -> ());
+        (* timing goes to stderr so stdout stays reproducible *)
+        Fmt.epr "fuzz: %d cases in %.1fs (%.1f cases/sec)@." cases dt
+          (float_of_int cases /. dt);
+        if strict && s.F.Campaign.s_repros <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differentially fuzz the whole stack: random mini-C programs \
+          through every observation point (AST, IR, each optimisation \
+          prefix, rtsim, RTL co-simulation), with shrinking and pass \
+          bisection of any divergence")
+    Term.(
+      const run $ seed $ cases $ max_stage $ out $ replay $ break_pass
+      $ strict)
+
 let () =
   let doc = "Twill: hybrid microcontroller-FPGA parallelising compiler" in
   exit
@@ -280,5 +388,5 @@ let () =
        (Cmd.group (Cmd.info "twillc" ~doc)
           [
             run_cmd; ir_cmd; threads_cmd; bench_cmd; list_cmd; emit_c_cmd;
-            emit_verilog_cmd; cosim_cmd;
+            emit_verilog_cmd; cosim_cmd; fuzz_cmd;
           ]))

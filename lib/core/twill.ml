@@ -35,6 +35,7 @@ type options = {
   modulo : bool;
   bus_contention : bool;
   fuel : int;
+  pipeline_break : string option;
 }
 
 let default_options =
@@ -49,22 +50,24 @@ let default_options =
     modulo = true;
     bus_contention = true;
     fuel = 300_000_000;
+    pipeline_break = None;
   }
 
 (* --- compilation -------------------------------------------------------- *)
 
+let pipeline_options (opts : options) : Pipeline.options =
+  {
+    Pipeline.default with
+    inline_aggressive = opts.inline_aggressive;
+    inline_threshold = opts.inline_threshold;
+    unroll = opts.unroll;
+    break_pass = opts.pipeline_break;
+  }
+
 (* mini-C source -> optimised IR module. *)
 let compile ?(opts = default_options) (src : string) : Ir.modul =
   let m = Minic.compile src in
-  Pipeline.run
-    ~opts:
-      {
-        Pipeline.default with
-        inline_aggressive = opts.inline_aggressive;
-        inline_threshold = opts.inline_threshold;
-        unroll = opts.unroll;
-      }
-    m;
+  Pipeline.run ~opts:(pipeline_options opts) m;
   m
 
 (* One instrumented interpreter run collecting per-block execution counts
@@ -392,3 +395,98 @@ let evaluate ?(opts = default_options) ?(auto_stages = true) ~(name : string)
     speedup_vs_hw = fdiv hw.cycles tw.scenario.cycles;
     hw_speedup_vs_sw = fdiv sw.cycles hw.cycles;
   }
+
+(* --- unified per-stage observation (the fuzzing oracle's probes) --------- *)
+
+(* Every layer of the stack that claims observational equivalence with
+   the source program is one observation point: the typed-AST reference
+   interpreter, both IR interpreter engines on the raw module, the
+   module after each prefix of the pass pipeline, the partitioned
+   cycle-accurate rtsim execution, and vsim RTL co-simulation under
+   either scheduling engine.  [observe] runs one point over one source
+   string and reduces the run to the observables the thesis's
+   correctness argument is about: return value + print trace. *)
+
+type observation = { obs_ret : int32; obs_prints : int32 list }
+
+type obs_stage =
+  | Obs_ast  (* typed-AST reference interpreter *)
+  | Obs_ir of Interp.engine  (* raw (unoptimised) IR *)
+  | Obs_opt of int * Interp.engine  (* after the first k pipeline stages *)
+  | Obs_rtsim  (* partitioned cycle-accurate simulation *)
+  | Obs_vsim of Vsim.engine  (* RTL co-simulation of the emitted design *)
+
+type obs_outcome =
+  | Obs_ok of observation
+  | Obs_skip of string  (* ran out of budget; not a verdict *)
+  | Obs_error of string  (* the stage failed outright *)
+
+let engine_suffix = function Interp.Decoded -> "" | Interp.Tree -> "-tree"
+
+let obs_stage_name = function
+  | Obs_ast -> "ast"
+  | Obs_ir e -> "ir" ^ engine_suffix e
+  | Obs_opt (k, e) ->
+      let pass =
+        if k <= 0 then "none"
+        else List.nth Pipeline.stage_names (min k Pipeline.nstages - 1)
+      in
+      Printf.sprintf "opt[%s]%s" pass (engine_suffix e)
+  | Obs_rtsim -> "rtsim"
+  | Obs_vsim Vsim.Levelized -> "vsim-levelized"
+  | Obs_vsim Vsim.Fixpoint -> "vsim-fixpoint"
+
+let obs_stages : obs_stage list =
+  [ Obs_ast; Obs_ir Interp.Tree; Obs_ir Interp.Decoded ]
+  @ List.init Pipeline.nstages (fun k -> Obs_opt (k + 1, Interp.Decoded))
+  @ [ Obs_opt (Pipeline.nstages, Interp.Tree); Obs_rtsim;
+      Obs_vsim Vsim.Levelized; Obs_vsim Vsim.Fixpoint ]
+
+let contains_substr ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let observe ?(opts = default_options) ~(stage : obs_stage) (src : string) :
+    obs_outcome =
+  try
+    match stage with
+    | Obs_ast ->
+        let r = Minic.run_reference ~fuel:opts.fuel src in
+        Obs_ok
+          {
+            obs_ret = r.Twill_minic.Ast_interp.ret;
+            obs_prints = r.Twill_minic.Ast_interp.prints;
+          }
+    | Obs_ir engine ->
+        let m = Minic.compile src in
+        let r = Interp.run ~fuel:opts.fuel ~engine m in
+        Obs_ok { obs_ret = r.Interp.ret; obs_prints = r.Interp.prints }
+    | Obs_opt (k, engine) ->
+        let m = Minic.compile src in
+        Pipeline.run_prefix ~opts:(pipeline_options opts) k m;
+        let r = Interp.run ~fuel:opts.fuel ~engine m in
+        Obs_ok { obs_ret = r.Interp.ret; obs_prints = r.Interp.prints }
+    | Obs_rtsim ->
+        let m = compile ~opts src in
+        let t = extract ~opts m in
+        let r = run_twill_threaded ~opts t in
+        Obs_ok { obs_ret = r.scenario.ret; obs_prints = r.scenario.prints }
+    | Obs_vsim engine ->
+        let m = compile ~opts src in
+        let t = extract ~opts m in
+        let r = Cosim.run_threaded ~config:(sim_config opts) ~engine t in
+        Obs_ok { obs_ret = r.Cosim.rtl_ret; obs_prints = r.Cosim.rtl_prints }
+  with
+  | Minic.Error msg -> Obs_error ("compile: " ^ msg)
+  | Twill_minic.Ast_interp.Out_of_fuel | Interp.Out_of_fuel ->
+      Obs_skip "out of fuel"
+  | Twill_minic.Ast_interp.Trap msg | Interp.Trap msg ->
+      Obs_error ("trap: " ^ msg)
+  | Sim.Deadlock msg -> Obs_error ("deadlock: " ^ msg)
+  | Cosim.Cosim_error msg ->
+      if contains_substr ~sub:"out of fuel" msg then Obs_skip msg
+      else Obs_error ("cosim: " ^ msg)
+  | Twill_vsim.Vsim.Sim_error msg -> Obs_error ("vsim: " ^ msg)
+  | Failure msg -> Obs_error ("failure: " ^ msg)
+  | Invalid_argument msg -> Obs_error ("invalid: " ^ msg)

@@ -44,6 +44,10 @@ type options = {
   modulo : bool;  (** enable the modulo scheduler *)
   bus_contention : bool;  (** model 1-message-per-cycle buses *)
   fuel : int;  (** simulation instruction budget *)
+  pipeline_break : string option;
+      (** fault injection: deliberately miscompile after the named
+          pipeline stage (the fuzzer's planted-bug hook; see
+          {!Pipeline.options}) *)
 }
 
 val default_options : options
@@ -148,7 +152,41 @@ exception Self_check_failed of string
     [auto_stages] (default true) enables width auto-tuning. *)
 val evaluate : ?opts:options -> ?auto_stages:bool -> name:string -> string -> report
 
+(** {1 Unified per-stage observation}
+
+    Every layer of the stack that claims observational equivalence with
+    the source program is one observation point; the differential fuzzer
+    ([lib/fuzz]) compares them pairwise.  [observe] runs a single point
+    over a source string and reduces the run to return value + print
+    trace. *)
+
+type observation = { obs_ret : int32; obs_prints : int32 list }
+
+type obs_stage =
+  | Obs_ast  (** typed-AST reference interpreter *)
+  | Obs_ir of Interp.engine  (** raw (unoptimised) IR *)
+  | Obs_opt of int * Interp.engine
+      (** after the first [k] stages of {!Pipeline.stage_names} *)
+  | Obs_rtsim  (** partitioned cycle-accurate simulation *)
+  | Obs_vsim of Vsim.engine  (** RTL co-simulation of the emitted design *)
+
+type obs_outcome =
+  | Obs_ok of observation
+  | Obs_skip of string  (** ran out of budget; not a verdict *)
+  | Obs_error of string  (** the stage failed outright *)
+
+val obs_stage_name : obs_stage -> string
+
+val obs_stages : obs_stage list
+(** All observation points in pipeline order (the fuzzer's full stack). *)
+
+val observe : ?opts:options -> stage:obs_stage -> string -> obs_outcome
+(** Runs one observation point over one source program.  Out-of-fuel
+    runs are [Obs_skip]; traps, deadlocks and harness failures are
+    [Obs_error]; no exception escapes. *)
+
 (**/**)
 
+val pipeline_options : options -> Pipeline.options
 val reachable_funcs : Ir.modul -> string list -> string list
 val schedules_for : options -> Ir.modul -> (string * Schedule.t) list

@@ -1,0 +1,52 @@
+(* Pass bisection: given a program whose optimised IR diverges from its
+   unoptimised IR, find the first pipeline stage that introduces the
+   divergence.
+
+   The pass pipeline is an ordered list of named stages
+   ({!Twill.Pipeline.stage_names}) and {!Twill.observe} can evaluate
+   the program after any prefix of it ([Obs_opt (k, _)]), so the search
+   compares each prefix against the raw-IR baseline and reports the
+   first stage whose output misbehaves.  The scan is linear rather than
+   a binary search on purpose: a later stage may mask or transform an
+   earlier divergence, so "first bad prefix" is only well-defined by
+   checking every prefix in order — and with eight stages the cost is
+   irrelevant next to a single rtsim run. *)
+
+open Twill
+
+type report = {
+  bad_pass : string;  (** first stage whose prefix diverges *)
+  bad_index : int;  (** 1-based prefix length of that stage *)
+  baseline : observation;  (** raw-IR behaviour *)
+  broken : observation;  (** behaviour after the bad prefix *)
+}
+
+(* [first_bad_pass ?opts src] assumes raw IR is good and the full
+   pipeline (or some prefix) is bad; [None] means no pipeline stage
+   changes the observable behaviour — the divergence, if any, is
+   introduced downstream (partitioning, RTL) or does not exist. *)
+let first_bad_pass ?(opts = default_options) (src : string) : report option =
+  match observe ~opts ~stage:(Obs_ir Interp.Decoded) src with
+  | Obs_skip _ | Obs_error _ -> None
+  | Obs_ok baseline ->
+      let rec scan k =
+        if k > Pipeline.nstages then None
+        else
+          match observe ~opts ~stage:(Obs_opt (k, Interp.Decoded)) src with
+          | Obs_ok o when not (Oracle.obs_equal baseline o) ->
+              Some
+                {
+                  bad_pass = List.nth Pipeline.stage_names (k - 1);
+                  bad_index = k;
+                  baseline;
+                  broken = o;
+                }
+          | Obs_ok _ | Obs_skip _ | Obs_error _ -> scan (k + 1)
+      in
+      scan 1
+
+let report_to_string (r : report) =
+  Printf.sprintf "pass %d/%d (%s): %s -> %s" r.bad_index Pipeline.nstages
+    r.bad_pass
+    (Oracle.observation_to_string r.baseline)
+    (Oracle.observation_to_string r.broken)

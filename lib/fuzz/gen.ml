@@ -1,0 +1,389 @@
+(* Random structured mini-C program generator — the front of the
+   whole-stack differential fuzzer.
+
+   Programs are generated as typed ASTs (not text) so the shrinker can
+   mutate them structurally; [Ast_pp] prints candidates for the front
+   end.  Programs are terminating by construction (bounded loops, no
+   recursion, masked array indices, division guarded against zero), so
+   they can be executed by every layer of the stack — AST interpreter,
+   IR interpreter, optimised IR, partitioned rtsim simulation and vsim
+   RTL co-simulation — and the observable behaviour (return value +
+   print trace) compared.
+
+   This grammar used to live in [test/gen_minic.ml] as a text emitter;
+   the test harness now shares this one implementation. *)
+
+open Twill_minic.Ast
+
+type env = {
+  rst : Random.State.t;
+  mutable scalars : string list; (* in-scope scalar variables *)
+  mutable arrays : (string * int) list; (* in-scope arrays, power-of-2 sizes *)
+  mutable arrays2 : (string * int * int) list; (* 2-D arrays (pow-2 dims) *)
+  mutable loop_vars : string list;
+  mutable fresh : int;
+  mutable funcs : (string * int * bool) list;
+  (* callable helpers: name, scalar arity, takes a trailing array arg *)
+  mutable budget : int; (* remaining statements to generate *)
+}
+
+let rnd env n = Random.State.int env.rst n
+let pick env l = List.nth l (rnd env (List.length l))
+let num n = Enum (Int32.of_int n)
+
+let fresh env prefix =
+  env.fresh <- env.fresh + 1;
+  Printf.sprintf "%s%d" prefix env.fresh
+
+(* index masked to the array bound: e & (size-1) *)
+let masked e size = Ebin (Band, e, num (size - 1))
+
+(* --- expressions ------------------------------------------------------- *)
+
+let rec gen_expr env depth : expr =
+  let atoms =
+    [
+      (fun () -> num (rnd env 64));
+      (fun () -> num (rnd env 1000 - 500));
+      (fun () -> num (rnd env 0xffff));
+      (fun () ->
+        if env.scalars = [] then num (rnd env 9)
+        else Evar (pick env env.scalars));
+      (fun () ->
+        if env.loop_vars = [] then num (rnd env 9)
+        else Evar (pick env env.loop_vars));
+    ]
+  in
+  if depth <= 0 then (pick env atoms) ()
+  else
+    match rnd env 10 with
+    | 0 | 1 | 2 -> (pick env atoms) ()
+    | 3 ->
+        (* array read with masked index; sometimes 2-D *)
+        if env.arrays2 <> [] && rnd env 3 = 0 then begin
+          let name, d1, d2 = pick env env.arrays2 in
+          let i1 = masked (gen_expr env (depth - 1)) d1 in
+          let i2 = masked (gen_expr env (depth - 1)) d2 in
+          Eindex (name, [ i1; i2 ])
+        end
+        else if env.arrays = [] then (pick env atoms) ()
+        else begin
+          let name, size = pick env env.arrays in
+          Eindex (name, [ masked (gen_expr env (depth - 1)) size ])
+        end
+    | 4 ->
+        let op = pick env [ Badd; Bsub; Bmul; Band; Bor; Bxor ] in
+        let a = gen_expr env (depth - 1) in
+        Ebin (op, a, gen_expr env (depth - 1))
+    | 5 ->
+        (* guarded division / remainder *)
+        let op = pick env [ Bdiv; Bmod ] in
+        let a = gen_expr env (depth - 1) in
+        Ebin (op, a, Ebin (Bor, gen_expr env (depth - 1), num 1))
+    | 6 ->
+        let op = pick env [ Bshl; Bshr ] in
+        Ebin (op, gen_expr env (depth - 1), num (rnd env 8))
+    | 7 ->
+        let op =
+          pick env [ Blt; Ble; Bgt; Bge; Beq; Bne; Bland; Blor ]
+        in
+        let a = gen_expr env (depth - 1) in
+        Ebin (op, a, gen_expr env (depth - 1))
+    | 8 ->
+        let u = pick env [ Uneg; Ubnot; Ulnot ] in
+        Eun (u, gen_expr env (depth - 1))
+    | _ ->
+        if env.funcs = [] || depth < 2 then (pick env atoms) ()
+        else begin
+          let name, arity, wants_array = pick env env.funcs in
+          let args = List.init arity (fun _ -> gen_expr env (depth - 1)) in
+          let args =
+            if wants_array && env.arrays <> [] then
+              args @ [ Evar (fst (pick env env.arrays)) ]
+            else if wants_array then args @ [ Evar "shared_buf" ]
+            else args
+          in
+          Ecall (name, args)
+        end
+
+let gen_cond env = gen_expr env 2
+
+(* --- statements -------------------------------------------------------- *)
+
+let scalar_lv v = { lname = v; lindex = [] }
+
+let rec gen_stmt env ~depth ~in_loop : stmt option =
+  if env.budget <= 0 then None
+  else begin
+    env.budget <- env.budget - 1;
+    match rnd env 12 with
+    | 0 | 1 ->
+        (* new scalar *)
+        let ty = pick env [ Tint; Tint; Tuint ] in
+        let v = fresh env "x" in
+        let e = gen_expr env 2 in
+        env.scalars <- v :: env.scalars;
+        Some (Sdecl { dname = v; dty = ty; ddims = []; dinit = Some (Iexpr e) })
+    | 2 | 3 ->
+        if env.scalars = [] then
+          Some (Sexpr (Ecall ("print", [ gen_expr env 2 ])))
+        else begin
+          let v = pick env env.scalars in
+          let rhs = gen_expr env 2 in
+          let rhs =
+            match rnd env 5 with
+            | 0 | 1 -> rhs
+            | 2 -> Ebin (Badd, Evar v, rhs)
+            | 3 -> Ebin (Bsub, Evar v, rhs)
+            | _ -> Ebin (Bxor, Evar v, rhs)
+          in
+          Some (Sassign (scalar_lv v, rhs))
+        end
+    | 4 ->
+        if env.arrays2 <> [] && rnd env 3 = 0 then begin
+          let name, d1, d2 = pick env env.arrays2 in
+          let i1 = masked (gen_expr env 1) d1 in
+          let i2 = masked (gen_expr env 1) d2 in
+          Some (Sassign ({ lname = name; lindex = [ i1; i2 ] }, gen_expr env 2))
+        end
+        else if env.arrays = [] then
+          Some (Sexpr (Ecall ("print", [ gen_expr env 2 ])))
+        else begin
+          let name, size = pick env env.arrays in
+          let i = masked (gen_expr env 1) size in
+          Some (Sassign ({ lname = name; lindex = [ i ] }, gen_expr env 2))
+        end
+    | 5 ->
+        let c = gen_cond env in
+        let then_ = Sblock (gen_block env ~depth ~in_loop) in
+        let else_ =
+          if rnd env 2 = 0 then Some (Sblock (gen_block env ~depth ~in_loop))
+          else None
+        in
+        Some (Sif (c, then_, else_))
+    | 6 | 7 when depth < 2 ->
+        let i = fresh env "i" in
+        let bound = 1 + rnd env 8 in
+        let saved = env.loop_vars in
+        env.loop_vars <- i :: env.loop_vars;
+        let body = gen_block env ~depth:(depth + 1) ~in_loop:true in
+        env.loop_vars <- saved;
+        Some
+          (Sfor
+             ( Some (Sdecl { dname = i; dty = Tint; ddims = []; dinit = Some (Iexpr (num 0)) }),
+               Some (Ebin (Blt, Evar i, num bound)),
+               Some (Sassign (scalar_lv i, Ebin (Badd, Evar i, num 1))),
+               Sblock body ))
+    | 8 when depth < 2 ->
+        (* the counter bump leads the body so a generated [continue]
+           cannot skip it — loops stay bounded by construction *)
+        if rnd env 2 = 0 then begin
+          (* bounded while, counter scoped in an enclosing block *)
+          let w = fresh env "w" in
+          let bound = 1 + rnd env 6 in
+          let saved = env.loop_vars in
+          env.loop_vars <- w :: env.loop_vars;
+          let body = gen_block env ~depth:(depth + 1) ~in_loop:true in
+          env.loop_vars <- saved;
+          let bump = Sassign (scalar_lv w, Ebin (Badd, Evar w, num 1)) in
+          Some
+            (Sblock
+               [
+                 Sdecl { dname = w; dty = Tint; ddims = []; dinit = Some (Iexpr (num 0)) };
+                 Swhile
+                   (Ebin (Blt, Evar w, num bound), Sblock (bump :: body));
+               ])
+        end
+        else begin
+          (* bounded do-while *)
+          let w = fresh env "d" in
+          let bound = 1 + rnd env 5 in
+          let saved = env.loop_vars in
+          env.loop_vars <- w :: env.loop_vars;
+          let body = gen_block env ~depth:(depth + 1) ~in_loop:true in
+          env.loop_vars <- saved;
+          let bump = Sassign (scalar_lv w, Ebin (Badd, Evar w, num 1)) in
+          Some
+            (Sblock
+               [
+                 Sdecl { dname = w; dty = Tint; ddims = []; dinit = Some (Iexpr (num 0)) };
+                 Sdo
+                   (Sblock (bump :: body), Ebin (Blt, Evar w, num bound));
+               ])
+        end
+    | 9 when in_loop ->
+        Some (Sif (gen_cond env, (if rnd env 2 = 0 then Sbreak else Scont), None))
+    | 10 -> Some (Sexpr (Ecall ("print", [ gen_expr env 2 ])))
+    | _ ->
+        if env.funcs = [] then
+          Some (Sexpr (Ecall ("print", [ gen_expr env 1 ])))
+        else begin
+          let name, arity, wants_array = pick env env.funcs in
+          let args = List.init arity (fun _ -> gen_expr env 2) in
+          let args =
+            if wants_array && env.arrays <> [] then
+              args @ [ Evar (fst (pick env env.arrays)) ]
+            else if wants_array then args @ [ Evar "shared_buf" ]
+            else args
+          in
+          Some (Sexpr (Ecall (name, args)))
+        end
+  end
+
+and gen_block env ~depth ~in_loop : stmt list =
+  (* declarations must not escape the block they are generated in *)
+  let saved_scalars = env.scalars and saved_arrays = env.arrays in
+  let n = 1 + rnd env 3 in
+  let out = ref [] in
+  for _ = 1 to n do
+    match gen_stmt env ~depth ~in_loop with
+    | Some s -> out := s :: !out
+    | None -> ()
+  done;
+  env.scalars <- saved_scalars;
+  env.arrays <- saved_arrays;
+  List.rev !out
+
+(* --- whole programs ---------------------------------------------------- *)
+
+let gen_function env ~name ~arity ~use_globals ~array_param : func =
+  let params =
+    List.init arity (fun k ->
+        { pname = Printf.sprintf "p%d" k; pty = Tint; pdims = None })
+  in
+  let params =
+    if array_param then
+      params @ [ { pname = "ap"; pty = Tint; pdims = Some [ 0 ] } ]
+    else params
+  in
+  let saved_scalars = env.scalars and saved_arrays = env.arrays in
+  let saved_arrays2 = env.arrays2 in
+  env.scalars <-
+    List.init arity (fun k -> Printf.sprintf "p%d" k)
+    @ (if use_globals then saved_scalars else []);
+  if not use_globals then env.arrays <- [];
+  env.arrays2 <- (if use_globals then saved_arrays2 else []);
+  (* the array parameter is callable with any generated array, all of
+     which have at least 4 elements *)
+  if array_param then env.arrays <- ("ap", 4) :: env.arrays;
+  let body = gen_block env ~depth:0 ~in_loop:false in
+  let body = body @ [ Sret (Some (gen_expr env 2)) ] in
+  env.scalars <- saved_scalars;
+  env.arrays <- saved_arrays;
+  env.arrays2 <- saved_arrays2;
+  { fname = name; fret = Tint; fparams = params; fbody = body }
+
+let program_rst (rst : Random.State.t) : program =
+  let env =
+    {
+      rst;
+      scalars = [];
+      arrays = [];
+      arrays2 = [];
+      loop_vars = [];
+      fresh = 0;
+      funcs = [];
+      budget = 30 + Random.State.int rst 40;
+    }
+  in
+  let tops = ref [] in
+  let push t = tops := t :: !tops in
+  (* a fallback array so array-parameter calls always have an argument *)
+  push
+    (Tglobal
+       {
+         dname = "shared_buf";
+         dty = Tint;
+         ddims = [ 8 ];
+         dinit =
+           Some (Ilist (List.init 8 (fun k -> Iexpr (num (k + 1)))));
+       });
+  (* globals *)
+  let nglob = rnd env 3 in
+  let globals_s = ref [] and globals_a = ref [ ("shared_buf", 8) ] in
+  let globals_a2 = ref [] in
+  for _ = 1 to nglob do
+    match rnd env 3 with
+    | 0 ->
+        let g = fresh env "g" in
+        let ty = pick env [ Tint; Tuint ] in
+        push
+          (Tglobal
+             { dname = g; dty = ty; ddims = []; dinit = Some (Iexpr (num (rnd env 100))) });
+        globals_s := g :: !globals_s
+    | 1 ->
+        let g = fresh env "t" in
+        let size = pick env [ 4; 8; 16 ] in
+        push
+          (Tglobal
+             {
+               dname = g;
+               dty = Tint;
+               ddims = [ size ];
+               dinit =
+                 Some
+                   (Ilist (List.init size (fun _ -> Iexpr (num (rnd env 256)))));
+             });
+        globals_a := (g, size) :: !globals_a
+    | _ ->
+        let g = fresh env "m" in
+        let d1 = pick env [ 2; 4 ] and d2 = pick env [ 2; 4 ] in
+        push (Tglobal { dname = g; dty = Tint; ddims = [ d1; d2 ]; dinit = None });
+        globals_a2 := (g, d1, d2) :: !globals_a2
+  done;
+  env.scalars <- !globals_s;
+  env.arrays <- !globals_a;
+  env.arrays2 <- !globals_a2;
+  (* helper functions; each may call previously defined helpers *)
+  let nfun = rnd env 3 in
+  let funcs = ref [] in
+  for k = 1 to nfun do
+    let name = Printf.sprintf "f%d" k in
+    let arity = rnd env 3 in
+    let array_param = rnd env 3 = 0 in
+    env.funcs <- !funcs;
+    push
+      (Tfunc
+         (gen_function env ~name ~arity ~use_globals:(rnd env 2 = 0)
+            ~array_param));
+    funcs := (name, arity, array_param) :: !funcs
+  done;
+  env.funcs <- !funcs;
+  (* main *)
+  env.scalars <- !globals_s;
+  env.arrays <- !globals_a;
+  env.arrays2 <- !globals_a2;
+  env.budget <- max env.budget 10;
+  let body = gen_block env ~depth:0 ~in_loop:false in
+  (* fold observable state into the return value *)
+  let folds =
+    List.map (fun g -> Evar g) !globals_s
+    @ List.map (fun (g, n) -> Eindex (g, [ num (n - 1) ])) !globals_a
+  in
+  let ret =
+    match folds with
+    | [] -> gen_expr env 2
+    | _ ->
+        List.fold_left
+          (fun acc e -> Ebin (Bxor, acc, e))
+          (gen_expr env 1) folds
+  in
+  push
+    (Tfunc
+       {
+         fname = "main";
+         fret = Tint;
+         fparams = [];
+         fbody = body @ [ Sret (Some ret) ];
+       });
+  List.rev !tops
+
+(* Derives the independent per-case RNG for case [index] of a campaign:
+   every case is reproducible from (campaign seed, index) alone, so a
+   fleet of workers can generate cases in any order and still agree. *)
+let case_state ~seed index = Random.State.make [| 0x7411; seed; index |]
+
+let program ~seed ~index : program = program_rst (case_state ~seed index)
+
+let program_string_rst (rst : Random.State.t) : string =
+  Twill_minic.Ast_pp.program_to_string (program_rst rst)

@@ -1,0 +1,165 @@
+(* Greedy delta-debugging shrinker over the typed mini-C AST.
+
+   Given a program on which [pred] holds (for the fuzzer: "this program
+   still exposes the divergence"), repeatedly tries structurally smaller
+   candidates and keeps any on which [pred] still holds.  Candidates
+   that no longer compile are rejected by the predicate itself — the
+   oracle reports them as skipped, not diverging — so every pass can
+   propose rewrites blindly without tracking scoping or types.
+
+   Shrinking passes, applied to a fixpoint (bounded by [max_tests]
+   predicate evaluations):
+     - drop whole top-level items (helper functions, globals);
+     - delete individual statements;
+     - unwrap compound statements (keep a branch of an [if], a loop's
+       body without the loop, a block's contents);
+     - collapse expressions to [0] or to one of their own subterms;
+     - shrink integer constants toward zero (which also tightens loop
+       bounds, since bounds are literals).
+
+   Every accepted rewrite strictly decreases the node count — or, for
+   the constant pass, a constant's magnitude — so each round
+   terminates; rounds repeat until none of the passes improves. *)
+
+open Twill_minic.Ast
+module M = Twill_minic.Ast_map
+
+type stats = {
+  tests : int;  (** predicate evaluations spent *)
+  rounds : int;
+  size_before : int;  (** node count (statements + expressions) *)
+  size_after : int;
+}
+
+(* Replacement statement lists that are strictly smaller than [s]. *)
+let unwrap_candidates (s : stmt) : stmt list list =
+  match s with
+  | Sblock ss -> [ ss ]
+  | Sif (_, t, None) -> [ [ t ] ]
+  | Sif (_, t, Some e) -> [ [ t ]; [ e ]; [ t; e ] ]
+  | Swhile (_, b) -> [ [ b ] ]
+  | Sdo (b, _) -> [ [ b ] ]
+  | Sfor (init, _, _, b) -> [ Option.to_list init @ [ b ]; [ b ] ]
+  | _ -> []
+
+(* Strictly smaller expressions to try in place of [e]. *)
+let collapse_candidates (e : expr) : expr list =
+  match e with
+  | Enum _ | Evar _ -> []
+  | _ -> Enum 0l :: M.immediate_subexprs e
+
+let stmt_at (p : program) (k : int) : stmt option =
+  let found = ref None in
+  ignore
+    (M.rewrite_stmt_at p k (fun s ->
+         found := Some s;
+         [ s ]));
+  !found
+
+let shrink ?(max_tests = 3000) ~(pred : program -> bool) (p0 : program) :
+    program * stats =
+  let tests = ref 0 in
+  let budget () = !tests < max_tests in
+  let check cand =
+    incr tests;
+    pred cand
+  in
+  let p = ref p0 in
+  let rounds = ref 0 in
+  let size_before = M.size p0 in
+  (* Accepts [cand] iff it is strictly smaller and still interesting. *)
+  let accept cand =
+    if M.size cand < M.size !p && check cand then begin
+      p := cand;
+      true
+    end
+    else false
+  in
+  let changed = ref true in
+  while !changed && budget () do
+    incr rounds;
+    changed := false;
+    (* drop top-level items ([main] must stay); acceptance is on the
+       top-level count, not the node count — an empty helper has no
+       statements yet is still worth deleting *)
+    let i = ref 0 in
+    while !i < List.length !p && budget () do
+      let is_main =
+        match List.nth !p !i with
+        | Tfunc f -> f.fname = "main"
+        | Tglobal _ -> false
+      in
+      let cand = List.filteri (fun j _ -> j <> !i) !p in
+      if (not is_main) && check cand then begin
+        p := cand;
+        changed := true
+      end
+      else incr i
+    done;
+    (* delete statements; on success the same index addresses the next
+       statement of the rebuilt program, so only advance on failure *)
+    let k = ref 1 in
+    while !k <= M.count_stmts !p && budget () do
+      if accept (M.rewrite_stmt_at !p !k (fun _ -> [])) then changed := true
+      else incr k
+    done;
+    (* unwrap compound statements *)
+    let k = ref 1 in
+    while !k <= M.count_stmts !p && budget () do
+      let cands =
+        match stmt_at !p !k with
+        | Some s -> unwrap_candidates s
+        | None -> []
+      in
+      let accepted =
+        List.exists
+          (fun ss -> budget () && accept (M.rewrite_stmt_at !p !k (fun _ -> ss)))
+          cands
+      in
+      if accepted then changed := true else incr k
+    done;
+    (* collapse expressions to 0 or to a subterm *)
+    let k = ref 1 in
+    while !k <= M.count_exprs !p && budget () do
+      let cands =
+        match M.expr_at !p !k with
+        | Some e -> collapse_candidates e
+        | None -> []
+      in
+      let accepted =
+        List.exists
+          (fun e -> budget () && accept (M.rewrite_expr_at !p !k (fun _ -> e)))
+          cands
+      in
+      if accepted then changed := true else incr k
+    done;
+    (* shrink constants toward zero (size is unchanged, so this pass
+       accepts on decreasing magnitude instead) *)
+    let mag n = Int64.abs (Int64.of_int32 n) in
+    let k = ref 1 in
+    while !k <= M.count_exprs !p && budget () do
+      let rec shrink_const () =
+        match M.expr_at !p !k with
+        | Some (Enum n) when n <> 0l && budget () ->
+            let try_to m =
+              mag m < mag n
+              &&
+              let cand = M.rewrite_expr_at !p !k (fun _ -> Enum m) in
+              if check cand then begin
+                p := cand;
+                changed := true;
+                true
+              end
+              else false
+            in
+            (* straight to zero if possible, else keep halving *)
+            if (not (try_to 0l)) && try_to (Int32.div n 2l) then
+              shrink_const ()
+        | _ -> ()
+      in
+      shrink_const ();
+      incr k
+    done
+  done;
+  ( !p,
+    { tests = !tests; rounds = !rounds; size_before; size_after = M.size !p } )

@@ -1,0 +1,167 @@
+(* Structural rewriting hooks over the mini-C AST.
+
+   The fuzzer's delta-debugging shrinker needs to address "the k-th
+   statement" or "the k-th expression" of a whole program and rewrite
+   just that node: statements and expressions are numbered by one
+   deterministic preorder walk, and [rewrite_stmt_at]/[rewrite_expr_at]
+   rebuild the program with a single substitution at the requested
+   index.  A statement rewrite may fan out to any number of replacement
+   statements (the empty list deletes the node; in a position that
+   requires exactly one statement the list is re-wrapped in a block).
+   Replacements are not re-visited, so indices always refer to the
+   original program and one call performs exactly one rewrite. *)
+
+open Ast
+
+(* --- expression walk ---------------------------------------------------- *)
+
+let immediate_subexprs (e : expr) : expr list =
+  match e with
+  | Enum _ | Evar _ -> []
+  | Eindex (_, idx) -> idx
+  | Ebin (_, a, b) -> [ a; b ]
+  | Eun (_, a) -> [ a ]
+  | Ecall (_, args) -> args
+  | Econd (c, a, b) -> [ c; a; b ]
+  | Ecast (_, a) -> [ a ]
+
+(* One engine serves counting and rewriting: [hit] is called with each
+   node's index and returns [Some e'] to substitute (stopping descent)
+   or [None] to keep walking into the original node. *)
+let walk_expr (counter : int ref) (hit : int -> expr -> expr option)
+    (e : expr) : expr =
+  let rec go e =
+    incr counter;
+    match hit !counter e with
+    | Some e' -> e'
+    | None -> (
+        match e with
+        | Enum _ | Evar _ -> e
+        | Eindex (v, idx) -> Eindex (v, List.map go idx)
+        | Ebin (op, a, b) ->
+            let a = go a in
+            Ebin (op, a, go b)
+        | Eun (op, a) -> Eun (op, go a)
+        | Ecall (f, args) -> Ecall (f, List.map go args)
+        | Econd (c, a, b) ->
+            let c = go c in
+            let a = go a in
+            Econd (c, a, go b)
+        | Ecast (ty, a) -> Ecast (ty, go a))
+  in
+  go e
+
+let rec walk_init counter hit (i : init) : init =
+  match i with
+  | Iexpr e -> Iexpr (walk_expr counter hit e)
+  | Ilist is -> Ilist (List.map (walk_init counter hit) is)
+
+let walk_decl counter hit (d : decl) : decl =
+  { d with dinit = Option.map (walk_init counter hit) d.dinit }
+
+let walk_lvalue counter hit (lv : lvalue) : lvalue =
+  { lv with lindex = List.map (walk_expr counter hit) lv.lindex }
+
+(* --- statement walk ----------------------------------------------------- *)
+
+(* [expr_hit] rewrites expressions encountered inside statements (the
+   identity when only statements are being addressed); [stmt_hit]
+   returns [Some ss] to splice a replacement in, [None] to descend. *)
+let walk_program ~(stmt_counter : int ref)
+    ~(stmt_hit : int -> stmt -> stmt list option)
+    ~(expr_counter : int ref) ~(expr_hit : int -> expr -> expr option)
+    (p : program) : program =
+  let ehit e = walk_expr expr_counter expr_hit e in
+  let rec go_list ss = List.concat_map go_splice ss
+  and go_splice s =
+    incr stmt_counter;
+    match stmt_hit !stmt_counter s with
+    | Some replacement -> replacement
+    | None -> [ descend s ]
+  and go_one s =
+    match go_splice s with
+    | [ s' ] -> s'
+    | ss -> Sblock ss
+  and go_opt s =
+    match s with
+    | None -> None
+    | Some s -> (
+        match go_splice s with
+        | [] -> None
+        | [ s' ] -> Some s'
+        | ss -> Some (Sblock ss))
+  and descend s =
+    match s with
+    | Sblock ss -> Sblock (go_list ss)
+    | Sif (c, t, e) -> Sif (ehit c, go_one t, go_opt e)
+    | Swhile (c, b) -> Swhile (ehit c, go_one b)
+    | Sdo (b, c) -> Sdo (go_one b, ehit c)
+    | Sfor (init, cond, step, b) ->
+        let init = go_opt init in
+        let cond = Option.map ehit cond in
+        let step = go_opt step in
+        Sfor (init, cond, step, go_one b)
+    | Sret e -> Sret (Option.map ehit e)
+    | Sbreak | Scont -> s
+    | Sdecl d -> Sdecl (walk_decl expr_counter expr_hit d)
+    | Sassign (lv, e) -> Sassign (walk_lvalue expr_counter expr_hit lv, ehit e)
+    | Sexpr e -> Sexpr (ehit e)
+  in
+  List.map
+    (fun top ->
+      match top with
+      | Tglobal d -> Tglobal (walk_decl expr_counter expr_hit d)
+      | Tfunc f -> Tfunc { f with fbody = go_list f.fbody })
+    p
+
+let no_stmt_hit _ _ = None
+let no_expr_hit _ _ = None
+
+let count_stmts (p : program) : int =
+  let sc = ref 0 and ec = ref 0 in
+  ignore
+    (walk_program ~stmt_counter:sc ~stmt_hit:no_stmt_hit ~expr_counter:ec
+       ~expr_hit:no_expr_hit p);
+  !sc
+
+let count_exprs (p : program) : int =
+  let sc = ref 0 and ec = ref 0 in
+  ignore
+    (walk_program ~stmt_counter:sc ~stmt_hit:no_stmt_hit ~expr_counter:ec
+       ~expr_hit:no_expr_hit p);
+  !ec
+
+(* Node count (statements + expressions): the shrinker's size metric. *)
+let size (p : program) : int =
+  let sc = ref 0 and ec = ref 0 in
+  ignore
+    (walk_program ~stmt_counter:sc ~stmt_hit:no_stmt_hit ~expr_counter:ec
+       ~expr_hit:no_expr_hit p);
+  !sc + !ec
+
+(* Replaces the statement with preorder index [k] (1-based) by [f s];
+   an empty result deletes it. *)
+let rewrite_stmt_at (p : program) (k : int) (f : stmt -> stmt list) : program =
+  let sc = ref 0 and ec = ref 0 in
+  walk_program ~stmt_counter:sc
+    ~stmt_hit:(fun i s -> if i = k then Some (f s) else None)
+    ~expr_counter:ec ~expr_hit:no_expr_hit p
+
+(* Replaces the expression with preorder index [k] (1-based) by [f e]. *)
+let rewrite_expr_at (p : program) (k : int) (f : expr -> expr) : program =
+  let sc = ref 0 and ec = ref 0 in
+  walk_program ~stmt_counter:sc ~stmt_hit:no_stmt_hit ~expr_counter:ec
+    ~expr_hit:(fun i e -> if i = k then Some (f e) else None)
+    p
+
+(* Reads the expression at index [k], if any. *)
+let expr_at (p : program) (k : int) : expr option =
+  let found = ref None in
+  let sc = ref 0 and ec = ref 0 in
+  ignore
+    (walk_program ~stmt_counter:sc ~stmt_hit:no_stmt_hit ~expr_counter:ec
+       ~expr_hit:(fun i e ->
+         if i = k then found := Some e;
+         None)
+       p);
+  !found

@@ -1,0 +1,139 @@
+(* Pretty-printer from the mini-C AST back to concrete syntax.
+
+   The fuzzing subsystem generates, mutates and shrinks programs as
+   typed ASTs; this printer closes the loop so every candidate runs
+   through the same front door as hand-written sources (lexer, parser,
+   typechecker), and minimized repros persist as ordinary .c files.
+   Printing is conservative — every composite expression is
+   parenthesized — so [parse (program_to_string p)] always yields a
+   program with the same semantics as [p] (operator shape may differ,
+   e.g. a negative literal re-parses as a unary negation). *)
+
+open Ast
+
+let ty_name = function Tint -> "int" | Tuint -> "uint" | Tvoid -> "void"
+
+let unop_name = function Uneg -> "-" | Ubnot -> "~" | Ulnot -> "!"
+
+(* Int32.min_int has no in-range positive magnitude, so it prints in
+   hex (the lexer wraps 0x80000000 to the negative value). *)
+let num_to_string (n : int32) : string =
+  if n = Int32.min_int then "0x80000000"
+  else if Int32.compare n 0l < 0 then Printf.sprintf "(-%ld)" (Int32.neg n)
+  else Int32.to_string n
+
+let rec expr_to_string (e : expr) : string =
+  match e with
+  | Enum n -> num_to_string n
+  | Evar v -> v
+  | Eindex (v, idx) ->
+      v
+      ^ String.concat ""
+          (List.map (fun i -> "[" ^ expr_to_string i ^ "]") idx)
+  | Ebin (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_name op)
+        (expr_to_string b)
+  | Eun (op, a) -> Printf.sprintf "(%s(%s))" (unop_name op) (expr_to_string a)
+  | Ecall (f, args) ->
+      Printf.sprintf "%s(%s)" f
+        (String.concat ", " (List.map expr_to_string args))
+  | Econd (c, a, b) ->
+      Printf.sprintf "(%s ? %s : %s)" (expr_to_string c) (expr_to_string a)
+        (expr_to_string b)
+  | Ecast (ty, a) ->
+      Printf.sprintf "((%s)(%s))" (ty_name ty) (expr_to_string a)
+
+let rec init_to_string = function
+  | Iexpr e -> expr_to_string e
+  | Ilist is -> "{" ^ String.concat ", " (List.map init_to_string is) ^ "}"
+
+let decl_to_string (d : decl) : string =
+  let dims =
+    String.concat "" (List.map (fun n -> Printf.sprintf "[%d]" n) d.ddims)
+  in
+  let init =
+    match d.dinit with
+    | None -> ""
+    | Some i -> " = " ^ init_to_string i
+  in
+  Printf.sprintf "%s %s%s%s" (ty_name d.dty) d.dname dims init
+
+let lvalue_to_string (lv : lvalue) : string =
+  lv.lname
+  ^ String.concat ""
+      (List.map (fun i -> "[" ^ expr_to_string i ^ "]") lv.lindex)
+
+(* Statements legal in a for-loop's init/step slot print without the
+   trailing semicolon. *)
+let simple_to_string (s : stmt) : string =
+  match s with
+  | Sdecl d -> decl_to_string d
+  | Sassign (lv, e) ->
+      Printf.sprintf "%s = %s" (lvalue_to_string lv) (expr_to_string e)
+  | Sexpr e -> expr_to_string e
+  | _ -> invalid_arg "Ast_pp: not a simple statement"
+
+let rec stmt_to_buf buf ~indent (s : stmt) : unit =
+  let pad = String.make indent ' ' in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string buf (pad ^ l ^ "\n")) fmt in
+  match s with
+  | Sblock ss ->
+      line "{";
+      List.iter (stmt_to_buf buf ~indent:(indent + 2)) ss;
+      line "}"
+  | Sif (c, t, e) ->
+      line "if (%s)" (expr_to_string c);
+      stmt_to_buf buf ~indent:(indent + 2) t;
+      (match e with
+      | None -> ()
+      | Some e ->
+          line "else";
+          stmt_to_buf buf ~indent:(indent + 2) e)
+  | Swhile (c, b) ->
+      line "while (%s)" (expr_to_string c);
+      stmt_to_buf buf ~indent:(indent + 2) b
+  | Sdo (b, c) ->
+      line "do";
+      stmt_to_buf buf ~indent:(indent + 2) b;
+      line "while (%s);" (expr_to_string c)
+  | Sfor (init, cond, step, b) ->
+      line "for (%s; %s; %s)"
+        (match init with None -> "" | Some s -> simple_to_string s)
+        (match cond with None -> "" | Some e -> expr_to_string e)
+        (match step with None -> "" | Some s -> simple_to_string s);
+      stmt_to_buf buf ~indent:(indent + 2) b
+  | Sret None -> line "return;"
+  | Sret (Some e) -> line "return %s;" (expr_to_string e)
+  | Sbreak -> line "break;"
+  | Scont -> line "continue;"
+  | Sdecl d -> line "%s;" (decl_to_string d)
+  | Sassign (lv, e) ->
+      line "%s = %s;" (lvalue_to_string lv) (expr_to_string e)
+  | Sexpr e -> line "%s;" (expr_to_string e)
+
+let param_to_string (p : param) : string =
+  match p.pdims with
+  | None -> Printf.sprintf "%s %s" (ty_name p.pty) p.pname
+  | Some dims ->
+      let dim n = if n = 0 then "[]" else Printf.sprintf "[%d]" n in
+      Printf.sprintf "%s %s%s" (ty_name p.pty) p.pname
+        (String.concat "" (List.map dim dims))
+
+let func_to_buf buf (f : func) : unit =
+  Buffer.add_string buf
+    (Printf.sprintf "%s %s(%s) {\n" (ty_name f.fret) f.fname
+       (String.concat ", " (List.map param_to_string f.fparams)));
+  List.iter (stmt_to_buf buf ~indent:2) f.fbody;
+  Buffer.add_string buf "}\n"
+
+let program_to_string (p : program) : string =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun top ->
+      match top with
+      | Tglobal d -> Buffer.add_string buf (decl_to_string d ^ ";\n")
+      | Tfunc f ->
+          Buffer.add_char buf '\n';
+          func_to_buf buf f)
+    p;
+  Buffer.contents buf

@@ -1,7 +1,15 @@
 (* Pass manager: the standard optimisation pipeline mirroring the pass
    list the thesis runs before DSWP ("mem2reg", "mergereturn",
    "simplifycfg", "inline", "gvn", "adce", "loop-simplify", then the
-   custom globals pass). *)
+   custom globals pass).
+
+   The pipeline is exposed as an ordered list of named stages so the
+   differential fuzzer can observe the program after every prefix and
+   bisect a divergence to the first stage that introduces it
+   ([run_prefix]); [run] is exactly the full prefix.  [break_pass]
+   plants a deliberate miscompilation after the named stage — the
+   fuzzing test-bench uses it to prove the whole oracle/shrinker/
+   bisection loop catches a broken pass. *)
 
 open Twill_ir.Ir
 
@@ -11,6 +19,9 @@ type options = {
   globals_to_args : bool;
   unroll : bool; (* full-unroll small constant-trip loops (LegUp-style) *)
   check : bool; (* verify SSA between stages; on in tests *)
+  break_pass : string option;
+  (* fault injection for the fuzzer's planted-bug tests: after the named
+     stage runs, the module is deliberately miscompiled *)
 }
 
 let default = {
@@ -19,6 +30,7 @@ let default = {
   globals_to_args = true;
   unroll = false;
   check = false;
+  break_pass = None;
 }
 
 let per_function_cleanup (f : func) =
@@ -37,25 +49,103 @@ let per_function_cleanup (f : func) =
 
 let verify_if opts m = if opts.check then Ssa_check.check_modul m
 
+(* The deliberate miscompilation: XOR every return value of [main] with
+   a nonzero constant.  Always changes the observable return (x ^ c <> x
+   for c <> 0), never the print trace, and stays SSA-valid, so a planted
+   bug is caught by every downstream observation point. *)
+let sabotage (m : modul) : unit =
+  match List.find_opt (fun f -> f.name = "main") m.funcs with
+  | None -> ()
+  | Some f ->
+      for bid = 0 to Twill_ir.Vec.length f.blocks - 1 do
+        let b = block f bid in
+        match b.term with
+        | Ret (Some op) ->
+            let id = append_inst f bid (Binop (Xor, op, Cst 0x5Al)) in
+            b.term <- Ret (Some (Reg id))
+        | _ -> ()
+      done
+
+(* One named stage of the pipeline.  [verify] marks the SSA checkpoints
+   of the historical monolithic [run] (kept at the same boundaries). *)
+type stage = {
+  sname : string;
+  verify : bool;
+  apply : options -> modul -> unit;
+}
+
+let cleanup_fixpoint _ (m : modul) = List.iter per_function_cleanup m.funcs
+
+let stages : stage list =
+  [
+    {
+      sname = "simplifycfg";
+      verify = false;
+      apply = (fun _ m -> List.iter (fun f -> ignore (Simplifycfg.run f)) m.funcs);
+    };
+    {
+      sname = "mem2reg";
+      verify = false;
+      apply = (fun _ m -> List.iter (fun f -> ignore (Mem2reg.run f)) m.funcs);
+    };
+    { sname = "cleanup"; verify = true; apply = cleanup_fixpoint };
+    {
+      sname = "unroll";
+      verify = true;
+      apply =
+        (fun opts m ->
+          if opts.unroll then begin
+            List.iter (fun f -> ignore (Unroll.run f)) m.funcs;
+            List.iter per_function_cleanup m.funcs
+          end);
+    };
+    {
+      sname = "inline";
+      verify = false;
+      apply =
+        (fun opts m ->
+          ignore
+            (Inline.run ~aggressive:opts.inline_aggressive
+               ~threshold:opts.inline_threshold m);
+          List.iter per_function_cleanup m.funcs);
+    };
+    {
+      sname = "dce-calls";
+      verify = true;
+      apply = (fun _ m -> List.iter (fun f -> ignore (Dce.run_with_calls m f)) m.funcs);
+    };
+    {
+      sname = "preheaders";
+      verify = true;
+      apply = (fun _ m -> List.iter (fun f -> ignore (Loops.ensure_preheaders f)) m.funcs);
+    };
+    {
+      sname = "globals2args";
+      verify = true;
+      apply =
+        (fun opts m ->
+          if opts.globals_to_args then begin
+            ignore (Globals2args.run m);
+            List.iter (fun f -> ignore (Dce.run f)) m.funcs
+          end);
+    };
+  ]
+
+let stage_names : string list = List.map (fun s -> s.sname) stages
+let nstages : int = List.length stages
+
+(* Runs the first [k] stages (0 <= k <= nstages) in place. *)
+let run_prefix ?(opts = default) (k : int) (m : modul) : unit =
+  if k < 0 || k > nstages then
+    invalid_arg (Printf.sprintf "Pipeline.run_prefix: %d stages" k);
+  List.iteri
+    (fun i s ->
+      if i < k then begin
+        s.apply opts m;
+        if opts.break_pass = Some s.sname then sabotage m;
+        if s.verify then verify_if opts m
+      end)
+    stages
+
 (* Runs the standard pipeline in place. *)
-let run ?(opts = default) (m : modul) : unit =
-  List.iter per_function_cleanup m.funcs;
-  verify_if opts m;
-  if opts.unroll then begin
-    List.iter (fun f -> ignore (Unroll.run f)) m.funcs;
-    List.iter per_function_cleanup m.funcs;
-    verify_if opts m
-  end;
-  ignore
-    (Inline.run ~aggressive:opts.inline_aggressive
-       ~threshold:opts.inline_threshold m);
-  List.iter per_function_cleanup m.funcs;
-  List.iter (fun f -> ignore (Dce.run_with_calls m f)) m.funcs;
-  verify_if opts m;
-  List.iter (fun f -> ignore (Loops.ensure_preheaders f)) m.funcs;
-  verify_if opts m;
-  if opts.globals_to_args then begin
-    ignore (Globals2args.run m);
-    List.iter (fun f -> ignore (Dce.run f)) m.funcs;
-    verify_if opts m
-  end
+let run ?(opts = default) (m : modul) : unit = run_prefix ~opts nstages m

@@ -2,7 +2,11 @@
     list the thesis runs before DSWP (§5.1: "mem2reg", "simplifycfg",
     "inline", "gvn", "adce", "loop-simplify", then the custom globals
     pass), with the LegUp-style if-conversion and loop-invariant code
-    motion that feed the HLS scheduler. *)
+    motion that feed the HLS scheduler.
+
+    The pipeline is an ordered list of named stages so the differential
+    fuzzer can observe the program after every prefix ([run_prefix]) and
+    bisect a divergence to the first stage that introduces it. *)
 
 open Twill_ir.Ir
 
@@ -12,6 +16,10 @@ type options = {
   globals_to_args : bool;  (** run the thesis's custom globals pass *)
   unroll : bool;  (** LegUp-style full unrolling of small counted loops *)
   check : bool;  (** verify SSA between stages (tests) *)
+  break_pass : string option;
+      (** fault injection for the fuzzer's planted-bug tests: after the
+          named stage runs, [main]'s return value is deliberately
+          miscompiled (XORed with a nonzero constant) *)
 }
 
 val default : options
@@ -21,6 +29,16 @@ val per_function_cleanup : func -> unit
     if-conversion / GVN / LICM to a fixpoint. *)
 
 val verify_if : options -> modul -> unit
+
+val stage_names : string list
+(** Names of the pipeline stages, in execution order. *)
+
+val nstages : int
+(** [List.length stage_names]. *)
+
+val run_prefix : ?opts:options -> int -> modul -> unit
+(** [run_prefix k m] runs the first [k] stages (0 <= k <= [nstages]) in
+    place; [run_prefix nstages] is exactly [run]. *)
 
 val run : ?opts:options -> modul -> unit
 (** The full pipeline, in place: per-function cleanup, inlining, call-able

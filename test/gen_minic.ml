@@ -1,304 +1,11 @@
-(* Random structured mini-C program generator.
+(* Random mini-C programs for the differential tests.
 
-   Programs are terminating by construction (bounded loops, no recursion,
-   masked array indices, division guarded against zero), so they can be
-   executed by every layer of the stack — AST interpreter, IR interpreter,
-   optimised IR, and the full Twill partitioned simulation — and the
-   observable behaviour (return value + print trace) compared. *)
+   The grammar lives in the fuzzer ({!Twill_fuzz.Gen}), which generates
+   typed ASTs so its shrinker can rewrite them structurally; the test
+   suite consumes the same generator through this shim — one grammar,
+   shared by `dune runtest` and `twillc fuzz`. *)
 
-type env = {
-  rst : Random.State.t;
-  buf : Buffer.t;
-  mutable scalars : string list; (* in-scope scalar variables *)
-  mutable arrays : (string * int) list; (* in-scope arrays, power-of-2 sizes *)
-  mutable arrays2 : (string * int * int) list; (* 2-D arrays (pow-2 dims) *)
-  mutable loop_vars : string list;
-  mutable fresh : int;
-  mutable funcs : (string * int * bool) list;
-  (* callable helpers: name, scalar arity, takes a trailing array arg *)
-  mutable budget : int; (* remaining statements to emit *)
-}
-
-let rnd env n = Random.State.int env.rst n
-let pick env l = List.nth l (rnd env (List.length l))
-let emit env fmt = Printf.ksprintf (fun s -> Buffer.add_string env.buf s) fmt
-
-let fresh env prefix =
-  env.fresh <- env.fresh + 1;
-  Printf.sprintf "%s%d" prefix env.fresh
-
-(* --- expressions ------------------------------------------------------- *)
-
-let rec gen_expr env depth : string =
-  let atoms =
-    [
-      (fun () -> string_of_int (rnd env 64));
-      (fun () -> string_of_int (rnd env 1000 - 500));
-      (fun () -> Printf.sprintf "0x%x" (rnd env 0xffff));
-      (fun () ->
-        if env.scalars = [] then string_of_int (rnd env 9)
-        else pick env env.scalars);
-      (fun () ->
-        if env.loop_vars = [] then string_of_int (rnd env 9)
-        else pick env env.loop_vars);
-    ]
-  in
-  if depth <= 0 then (pick env atoms) ()
-  else
-    match rnd env 10 with
-    | 0 | 1 | 2 -> (pick env atoms) ()
-    | 3 ->
-        (* array read with masked index; sometimes 2-D *)
-        if env.arrays2 <> [] && rnd env 3 = 0 then begin
-          let name, d1, d2 = pick env env.arrays2 in
-          Printf.sprintf "%s[(%s) & %d][(%s) & %d]" name
-            (gen_expr env (depth - 1)) (d1 - 1)
-            (gen_expr env (depth - 1)) (d2 - 1)
-        end
-        else if env.arrays = [] then (pick env atoms) ()
-        else begin
-          let name, size = pick env env.arrays in
-          Printf.sprintf "%s[(%s) & %d]" name (gen_expr env (depth - 1)) (size - 1)
-        end
-    | 4 ->
-        let op = pick env [ "+"; "-"; "*"; "&"; "|"; "^" ] in
-        Printf.sprintf "(%s %s %s)" (gen_expr env (depth - 1)) op
-          (gen_expr env (depth - 1))
-    | 5 ->
-        (* guarded division / remainder *)
-        let op = pick env [ "/"; "%" ] in
-        Printf.sprintf "(%s %s ((%s) | 1))" (gen_expr env (depth - 1)) op
-          (gen_expr env (depth - 1))
-    | 6 ->
-        let op = pick env [ "<<"; ">>" ] in
-        Printf.sprintf "(%s %s %d)" (gen_expr env (depth - 1)) op (rnd env 8)
-    | 7 ->
-        let op = pick env [ "<"; "<="; ">"; ">="; "=="; "!="; "&&"; "||" ] in
-        Printf.sprintf "(%s %s %s)" (gen_expr env (depth - 1)) op
-          (gen_expr env (depth - 1))
-    | 8 ->
-        let u = pick env [ "-"; "~"; "!" ] in
-        Printf.sprintf "(%s(%s))" u (gen_expr env (depth - 1))
-    | _ ->
-        if env.funcs = [] || depth < 2 then (pick env atoms) ()
-        else begin
-          let name, arity, wants_array = pick env env.funcs in
-          let args = List.init arity (fun _ -> gen_expr env (depth - 1)) in
-          let args =
-            if wants_array && env.arrays <> [] then
-              args @ [ fst (pick env env.arrays) ]
-            else if wants_array then args @ [ "shared_buf" ]
-            else args
-          in
-          Printf.sprintf "%s(%s)" name (String.concat ", " args)
-        end
-
-let gen_cond env = gen_expr env 2
-
-(* --- statements -------------------------------------------------------- *)
-
-let rec gen_stmt env ~indent ~depth ~in_loop =
-  if env.budget <= 0 then ()
-  else begin
-    env.budget <- env.budget - 1;
-    let pad = String.make indent ' ' in
-    match rnd env 12 with
-    | 0 | 1 ->
-        (* new scalar *)
-        let ty = pick env [ "int"; "int"; "uint" ] in
-        let v = fresh env "x" in
-        emit env "%s%s %s = %s;\n" pad ty v (gen_expr env 2);
-        env.scalars <- v :: env.scalars
-    | 2 | 3 ->
-        if env.scalars = [] then
-          emit env "%sprint(%s);\n" pad (gen_expr env 2)
-        else begin
-          let v = pick env env.scalars in
-          let op = pick env [ ""; ""; "+"; "-"; "^" ] in
-          emit env "%s%s %s= %s;\n" pad v op (gen_expr env 2)
-        end
-    | 4 ->
-        if env.arrays2 <> [] && rnd env 3 = 0 then begin
-          let name, d1, d2 = pick env env.arrays2 in
-          emit env "%s%s[(%s) & %d][(%s) & %d] = %s;\n" pad name
-            (gen_expr env 1) (d1 - 1) (gen_expr env 1) (d2 - 1)
-            (gen_expr env 2)
-        end
-        else if env.arrays = [] then emit env "%sprint(%s);\n" pad (gen_expr env 2)
-        else begin
-          let name, size = pick env env.arrays in
-          emit env "%s%s[(%s) & %d] = %s;\n" pad name (gen_expr env 1)
-            (size - 1) (gen_expr env 2)
-        end
-    | 5 ->
-        emit env "%sif (%s) {\n" pad (gen_cond env);
-        gen_block env ~indent:(indent + 2) ~depth ~in_loop;
-        if rnd env 2 = 0 then begin
-          emit env "%s} else {\n" pad;
-          gen_block env ~indent:(indent + 2) ~depth ~in_loop
-        end;
-        emit env "%s}\n" pad
-    | 6 | 7 when depth < 2 ->
-        let i = fresh env "i" in
-        let bound = 1 + rnd env 8 in
-        emit env "%sfor (int %s = 0; %s < %d; %s++) {\n" pad i i bound i;
-        let saved = env.loop_vars in
-        env.loop_vars <- i :: env.loop_vars;
-        gen_block env ~indent:(indent + 2) ~depth:(depth + 1) ~in_loop:true;
-        env.loop_vars <- saved;
-        emit env "%s}\n" pad
-    | 8 when depth < 2 ->
-        if rnd env 2 = 0 then begin
-          (* bounded while *)
-          let w = fresh env "w" in
-          let bound = 1 + rnd env 6 in
-          emit env "%s{ int %s = 0; while (%s < %d) {\n" pad w w bound;
-          let saved = env.loop_vars in
-          env.loop_vars <- w :: env.loop_vars;
-          gen_block env ~indent:(indent + 2) ~depth:(depth + 1) ~in_loop:true;
-          env.loop_vars <- saved;
-          emit env "%s  %s++;\n%s} }\n" pad w pad
-        end
-        else begin
-          (* bounded do-while *)
-          let w = fresh env "d" in
-          let bound = 1 + rnd env 5 in
-          emit env "%s{ int %s = 0; do {\n" pad w;
-          let saved = env.loop_vars in
-          env.loop_vars <- w :: env.loop_vars;
-          gen_block env ~indent:(indent + 2) ~depth:(depth + 1) ~in_loop:true;
-          env.loop_vars <- saved;
-          emit env "%s  %s++;\n%s} while (%s < %d); }\n" pad w pad w bound
-        end
-    | 9 when in_loop ->
-        emit env "%sif (%s) %s;\n" pad (gen_cond env)
-          (pick env [ "break"; "continue" ])
-    | 10 ->
-        emit env "%sprint(%s);\n" pad (gen_expr env 2)
-    | _ ->
-        if env.funcs = [] then emit env "%sprint(%s);\n" pad (gen_expr env 1)
-        else begin
-          let name, arity, wants_array = pick env env.funcs in
-          let args = List.init arity (fun _ -> gen_expr env 2) in
-          let args =
-            if wants_array && env.arrays <> [] then
-              args @ [ fst (pick env env.arrays) ]
-            else if wants_array then args @ [ "shared_buf" ]
-            else args
-          in
-          emit env "%s%s(%s);\n" pad name (String.concat ", " args)
-        end
-  end
-
-and gen_block env ~indent ~depth ~in_loop =
-  (* declarations must not escape the block they are emitted in *)
-  let saved_scalars = env.scalars and saved_arrays = env.arrays in
-  let n = 1 + rnd env 3 in
-  for _ = 1 to n do
-    gen_stmt env ~indent ~depth ~in_loop
-  done;
-  env.scalars <- saved_scalars;
-  env.arrays <- saved_arrays
-
-(* --- whole programs ---------------------------------------------------- *)
-
-let gen_function env ~name ~arity ~use_globals ~array_param =
-  let params = List.init arity (fun k -> Printf.sprintf "int p%d" k) in
-  let params =
-    if array_param then params @ [ "int ap[]" ] else params
-  in
-  emit env "int %s(%s) {\n" name (String.concat ", " params);
-  let saved_scalars = env.scalars and saved_arrays = env.arrays in
-  let saved_arrays2 = env.arrays2 in
-  env.scalars <-
-    List.init arity (fun k -> Printf.sprintf "p%d" k)
-    @ (if use_globals then saved_scalars else []);
-  if not use_globals then env.arrays <- [];
-  env.arrays2 <- (if use_globals then saved_arrays2 else []);
-  (* the array parameter is callable with any generated array, all of
-     which have at least 4 elements *)
-  if array_param then env.arrays <- ("ap", 4) :: env.arrays;
-  gen_block env ~indent:2 ~depth:0 ~in_loop:false;
-  emit env "  return %s;\n}\n\n" (gen_expr env 2);
-  env.scalars <- saved_scalars;
-  env.arrays <- saved_arrays;
-  env.arrays2 <- saved_arrays2
-
-let gen_program_rst rst : string =
-  let env =
-    {
-      rst;
-      buf = Buffer.create 1024;
-      scalars = [];
-      arrays = [];
-      arrays2 = [];
-      loop_vars = [];
-      fresh = 0;
-      funcs = [];
-      budget = 30 + Random.State.int rst 40;
-    }
-  in
-  (* a fallback array so array-parameter calls always have an argument *)
-  emit env "int shared_buf[8] = {1, 2, 3, 4, 5, 6, 7, 8};\n";
-  (* globals *)
-  let nglob = rnd env 3 in
-  let globals_s = ref [] and globals_a = ref [ ("shared_buf", 8) ] in
-  let globals_a2 = ref [] in
-  for _ = 1 to nglob do
-    match rnd env 3 with
-    | 0 ->
-        let g = fresh env "g" in
-        emit env "%s %s = %d;\n" (pick env [ "int"; "uint" ]) g (rnd env 100);
-        globals_s := g :: !globals_s
-    | 1 ->
-        let g = fresh env "t" in
-        let size = pick env [ 4; 8; 16 ] in
-        let vals = List.init size (fun _ -> string_of_int (rnd env 256)) in
-        emit env "int %s[%d] = {%s};\n" g size (String.concat ", " vals);
-        globals_a := (g, size) :: !globals_a
-    | _ ->
-        let g = fresh env "m" in
-        let d1 = pick env [ 2; 4 ] and d2 = pick env [ 2; 4 ] in
-        emit env "int %s[%d][%d];\n" g d1 d2;
-        globals_a2 := (g, d1, d2) :: !globals_a2
-  done;
-  emit env "\n";
-  env.scalars <- !globals_s;
-  env.arrays <- !globals_a;
-  env.arrays2 <- !globals_a2;
-  (* helper functions; each may call previously defined helpers *)
-  let nfun = rnd env 3 in
-  let funcs = ref [] in
-  for k = 1 to nfun do
-    let name = Printf.sprintf "f%d" k in
-    let arity = rnd env 3 in
-    let array_param = rnd env 3 = 0 in
-    env.funcs <- !funcs;
-    gen_function env ~name ~arity ~use_globals:(rnd env 2 = 0) ~array_param;
-    funcs := (name, arity, array_param) :: !funcs
-  done;
-  env.funcs <- !funcs;
-  (* main *)
-  env.scalars <- !globals_s;
-  env.arrays <- !globals_a;
-  env.arrays2 <- !globals_a2;
-  emit env "int main() {\n";
-  env.budget <- max env.budget 10;
-  gen_block env ~indent:2 ~depth:0 ~in_loop:false;
-  (* fold observable state into the return value *)
-  let folds =
-    List.map (fun g -> g) !globals_s
-    @ List.map (fun (g, n) -> Printf.sprintf "%s[%d]" g (n - 1)) !globals_a
-  in
-  let ret =
-    match folds with
-    | [] -> gen_expr env 2
-    | _ -> String.concat " ^ " (gen_expr env 1 :: folds)
-  in
-  emit env "  return %s;\n}\n" ret;
-  Buffer.contents env.buf
-
-let gen : string QCheck.Gen.t = fun rst -> gen_program_rst rst
+let gen : string QCheck.Gen.t = Twill_fuzz.Gen.program_string_rst
 
 (* Arbitrary with a trivial printer (the program text itself). *)
 let arbitrary : string QCheck.arbitrary =

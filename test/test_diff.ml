@@ -15,6 +15,18 @@ let opts = { Pipeline.default with check = true }
    so a big budget makes skipped cases dominate the suite's runtime. *)
 let fuel = 2_000_000
 
+(* Skipped cases are silent by design (QCheck discards them), which
+   would also silently gut the suite if the generator drifted toward
+   mostly non-terminating programs.  Count them and report at the end;
+   the [skip budget] case fails outright if skips outnumber half the
+   generated cases. *)
+let attempts = ref 0
+let skips = ref 0
+
+let skip_case () : 'a =
+  incr skips;
+  QCheck.assume_fail ()
+
 type obs = {
   ret : int32;
   cycles : int;
@@ -41,7 +53,7 @@ let run_engine engine m =
 let agree (name : string) (m : Ir.modul) : bool =
   let d =
     try run_engine Interp.Decoded m
-    with Interp.Out_of_fuel -> QCheck.assume_fail ()
+    with Interp.Out_of_fuel -> skip_case ()
   in
   let t =
     try run_engine Interp.Tree m
@@ -74,6 +86,7 @@ let prop_engines_agree =
   QCheck.Test.make ~count:200
     ~name:"decoded engine == tree oracle (raw and optimised)"
     Gen_minic.arbitrary (fun src ->
+      incr attempts;
       let raw = Twill_minic.Minic.compile src in
       let opt = Twill_minic.Minic.compile src in
       Pipeline.run ~opts opt;
@@ -85,19 +98,33 @@ let prop_engines_agree_hooks =
   QCheck.Test.make ~count:60
     ~name:"decoded engine == tree oracle under cost hooks"
     Gen_minic.arbitrary (fun src ->
+      incr attempts;
       let m = Twill_minic.Minic.compile src in
       let cost (_ : Ir.func) (i : Ir.inst) = 1 + (i.Ir.id land 3) in
       let go engine =
         match Interp.run ~fuel ~engine ~cost m with
         | r -> Ok (obs_of r)
         | exception Interp.Trap msg -> Error msg
-        | exception Interp.Out_of_fuel -> QCheck.assume_fail ()
+        | exception Interp.Out_of_fuel -> skip_case ()
       in
       go Interp.Decoded = go Interp.Tree)
+
+(* Runs after the properties above (Alcotest keeps declaration order):
+   reports how many generated cases the suite actually exercised and
+   fails if more than half were discarded out-of-fuel. *)
+let skip_report () =
+  let a = !attempts and s = !skips in
+  Printf.printf "diff: %d generated cases, %d skipped out of fuel (%.1f%%)\n"
+    a s
+    (if a = 0 then 0.0 else 100.0 *. float_of_int s /. float_of_int a);
+  Alcotest.(check bool)
+    "at most half of the generated cases may skip" true
+    (2 * s <= a)
 
 let suites =
   [
     ( "diff:engine",
       List.map QCheck_alcotest.to_alcotest
-        [ prop_engines_agree; prop_engines_agree_hooks ] );
+        [ prop_engines_agree; prop_engines_agree_hooks ]
+      @ [ Alcotest.test_case "skip budget" `Quick skip_report ] );
   ]

@@ -1,0 +1,203 @@
+(* The fuzzing subsystem's own test-bench: fixed-seed determinism,
+   generator validity, a clean-stack differential sweep, and — via the
+   pipeline's fault-injection hook — proof that the whole
+   oracle/shrinker/bisection loop actually catches a broken pass,
+   minimizes the repro, and names the right stage. *)
+
+module F = Twill_fuzz
+module Campaign = F.Campaign
+module Oracle = F.Oracle
+
+let broken pass =
+  { Twill.default_options with Twill.pipeline_break = Some pass }
+
+(* --- determinism -------------------------------------------------------- *)
+
+(* The same (seed, index) must always yield the same program: corpus
+   entries name their seed and the whole campaign replays from it. *)
+let test_gen_deterministic () =
+  for index = 0 to 9 do
+    let a =
+      Twill_minic.Ast_pp.program_to_string (F.Gen.program ~seed:42 ~index)
+    in
+    let b =
+      Twill_minic.Ast_pp.program_to_string (F.Gen.program ~seed:42 ~index)
+    in
+    Alcotest.(check string) "same (seed, index), same program" a b
+  done;
+  let a = Twill_minic.Ast_pp.program_to_string (F.Gen.program ~seed:1 ~index:0) in
+  let b = Twill_minic.Ast_pp.program_to_string (F.Gen.program ~seed:2 ~index:0) in
+  Alcotest.(check bool) "different seeds differ" true (a <> b)
+
+(* Two identical campaigns — planted bug included, so repros, shrinking
+   and bisection all run — must report and persist byte-identical
+   results. *)
+let test_campaign_deterministic () =
+  let go () =
+    Campaign.run ~opts:(broken "inline") ~limit:Oracle.L_opt ~seed:7 ~cases:3
+      ()
+  in
+  let s1 = go () and s2 = go () in
+  Alcotest.(check string)
+    "identical summaries"
+    (Campaign.summary_to_string s1)
+    (Campaign.summary_to_string s2);
+  let dir tag =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "twill-fuzz-det-%d-%s" (Unix.getpid ()) tag)
+  in
+  let d1 = dir "a" and d2 = dir "b" in
+  let f1 = Campaign.write_corpus ~break_pass:"inline" ~dir:d1 s1 in
+  let f2 = Campaign.write_corpus ~break_pass:"inline" ~dir:d2 s2 in
+  Alcotest.(check (list string)) "same corpus files" f1 f2;
+  List.iter
+    (fun name ->
+      Alcotest.(check string)
+        (name ^ " identical")
+        (Campaign.read_file (Filename.concat d1 name))
+        (Campaign.read_file (Filename.concat d2 name)))
+    f1
+
+(* --- generator validity ------------------------------------------------- *)
+
+(* Every generated program must compile and terminate under the AST
+   reference: a skip here is a generator defect (the campaign tolerates
+   them, the generator should not produce them). *)
+let test_generator_valid () =
+  let s = Campaign.run ~limit:Oracle.L_ast ~seed:11 ~cases:50 () in
+  Alcotest.(check int) "no skipped cases" 0 (List.length s.Campaign.s_skipped);
+  Alcotest.(check int) "no divergences" 0 (List.length s.Campaign.s_repros)
+
+(* --- the stack is clean ------------------------------------------------- *)
+
+(* A short real sweep through optimisation and partitioned simulation:
+   any repro is a genuine miscompilation. *)
+let test_stack_agrees () =
+  let s = Campaign.run ~limit:Oracle.L_rtsim ~seed:23 ~cases:15 () in
+  (match s.Campaign.s_repros with
+  | [] -> ()
+  | r :: _ ->
+      Alcotest.failf "stack diverged on case %d: %s" r.Campaign.r_case
+        (Oracle.divergence_to_string r.Campaign.r_divergence));
+  Alcotest.(check bool)
+    "most cases produced a verdict" true
+    (2 * List.length s.Campaign.s_skipped <= s.Campaign.s_cases)
+
+(* --- planted bug: oracle, shrinker, bisection --------------------------- *)
+
+let test_planted_bug_caught () =
+  let opts = broken "inline" in
+  let s = Campaign.run ~opts ~limit:Oracle.L_opt ~seed:7 ~cases:3 () in
+  Alcotest.(check int) "every case diverges" 3
+    (List.length s.Campaign.s_repros);
+  List.iter
+    (fun (r : Campaign.repro) ->
+      (* shrinker soundness: smaller, and still diverging *)
+      Alcotest.(check bool) "shrunk no larger than original" true
+        (r.Campaign.r_shrunk_size <= r.Campaign.r_original_size);
+      (match Oracle.diverges ~opts ~limit:Oracle.L_opt r.Campaign.r_shrunk_src with
+      | Some _ -> ()
+      | None -> Alcotest.fail "shrunk repro no longer diverges");
+      (* minimized repro is genuinely small *)
+      let lines =
+        List.length
+          (List.filter
+             (fun l -> String.trim l <> "")
+             (String.split_on_char '\n' r.Campaign.r_shrunk_src))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "repro under 25 lines (got %d)" lines)
+        true (lines < 25);
+      (* bisection names the sabotaged pass *)
+      Alcotest.(check (option string))
+        "first bad pass" (Some "inline") r.Campaign.r_first_bad_pass)
+    s.Campaign.s_repros
+
+(* The bisection must follow the planted bug around, not just always
+   say "inline". *)
+let test_bisection_tracks_pass () =
+  List.iter
+    (fun pass ->
+      let opts = broken pass in
+      let src =
+        Twill_minic.Ast_pp.program_to_string (F.Gen.program ~seed:7 ~index:0)
+      in
+      match F.Bisect.first_bad_pass ~opts src with
+      | Some r ->
+          Alcotest.(check string) "bisected to the sabotaged pass" pass
+            r.F.Bisect.bad_pass
+      | None -> Alcotest.failf "bisection missed the bug planted in %s" pass)
+    [ "simplifycfg"; "mem2reg"; "cleanup"; "inline"; "globals2args" ]
+
+(* --- corpus round trip -------------------------------------------------- *)
+
+let test_corpus_replay () =
+  let opts = broken "mem2reg" in
+  let s = Campaign.run ~opts ~limit:Oracle.L_opt ~seed:5 ~cases:2 () in
+  Alcotest.(check bool) "found repros" true (s.Campaign.s_repros <> []);
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "twill-fuzz-replay-%d" (Unix.getpid ()))
+  in
+  let files = Campaign.write_corpus ~break_pass:"mem2reg" ~dir s in
+  Alcotest.(check bool) "manifest + repros written" true
+    (List.length files = 1 + List.length s.Campaign.s_repros);
+  (* replay re-reads limit and break-pass from the repro headers *)
+  let rs = Campaign.replay ~dir () in
+  Alcotest.(check int) "all repros replayed" (List.length s.Campaign.s_repros)
+    (List.length rs);
+  List.iter
+    (fun (r : Campaign.replay_result) ->
+      Alcotest.(check bool)
+        (r.Campaign.rp_file ^ " still diverges")
+        true r.Campaign.rp_still_diverges)
+    rs;
+  (* the same corpus written without its break-pass header replays
+     against the healthy pipeline — every repro must show up stale *)
+  let clean_dir = dir ^ "-clean" in
+  ignore (Campaign.write_corpus ~dir:clean_dir s);
+  List.iter
+    (fun (r : Campaign.replay_result) ->
+      Alcotest.(check bool)
+        (r.Campaign.rp_file ^ " goes stale without the planted bug")
+        false r.Campaign.rp_still_diverges)
+    (Campaign.replay ~dir:clean_dir ())
+
+(* A repro file is a well-formed mini-C program: the oracle accepts it
+   directly (comments and all). *)
+let test_repro_is_parseable () =
+  let opts = broken "inline" in
+  let s = Campaign.run ~opts ~limit:Oracle.L_opt ~seed:7 ~cases:1 () in
+  match s.Campaign.s_repros with
+  | [] -> Alcotest.fail "expected a repro"
+  | r :: _ -> (
+      let text = Campaign.repro_to_string ~break_pass:"inline" r in
+      match Twill.observe ~stage:Twill.Obs_ast text with
+      | Twill.Obs_ok _ -> ()
+      | Twill.Obs_skip m | Twill.Obs_error m ->
+          Alcotest.failf "repro text does not stand alone: %s" m)
+
+let suites =
+  [
+    ( "fuzz",
+      [
+        Alcotest.test_case "generator is deterministic" `Quick
+          test_gen_deterministic;
+        Alcotest.test_case "campaign and corpus are deterministic" `Quick
+          test_campaign_deterministic;
+        Alcotest.test_case "generated programs are valid" `Quick
+          test_generator_valid;
+        Alcotest.test_case "whole stack agrees on a clean build" `Quick
+          test_stack_agrees;
+        Alcotest.test_case "planted bug: caught, shrunk, bisected" `Quick
+          test_planted_bug_caught;
+        Alcotest.test_case "bisection tracks the broken pass" `Quick
+          test_bisection_tracks_pass;
+        Alcotest.test_case "corpus writes and replays" `Quick
+          test_corpus_replay;
+        Alcotest.test_case "repro files stand alone" `Quick
+          test_repro_is_parseable;
+      ] );
+  ]

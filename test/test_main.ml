@@ -13,4 +13,5 @@ let () =
          Test_cgen.suites;
          Test_vgen.suites;
          Test_vsim.suites;
+         Test_fuzz.suites;
        ])

@@ -63,6 +63,25 @@ let primitive_tests =
             Alcotest.(check int) "line of the stray end" 2 e.Vcheck.line;
             Alcotest.(check string) "offending token" "end" e.Vcheck.token
         | Ok () -> Alcotest.fail "stray end accepted");
+    Alcotest.test_case "checker reports never-closed constructs" `Quick
+      (fun () ->
+        (* the diagnostic points at the opener, not end-of-file *)
+        (match Vcheck.check "// head\nmodule m;\nwire x;\n" with
+        | Error e ->
+            Alcotest.(check int) "line of the open module" 2 e.Vcheck.line;
+            Alcotest.(check string) "offending token" "module" e.Vcheck.token;
+            Alcotest.(check bool) "names the missing closer" true
+              (contains e.Vcheck.reason "endmodule")
+        | Ok () -> Alcotest.fail "unclosed module accepted");
+        match
+          Vcheck.check
+            "module m;\nalways @(posedge clk)\n  case (x)\n  endcase\n\
+             endcase\nendmodule"
+        with
+        | Error e ->
+            Alcotest.(check int) "line of the stray endcase" 5 e.Vcheck.line;
+            Alcotest.(check string) "offending token" "endcase" e.Vcheck.token
+        | Ok () -> Alcotest.fail "stray endcase accepted");
   ]
 
 let thread_tests =

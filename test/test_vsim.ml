@@ -12,6 +12,13 @@ let opts3 =
       { Twill.Partition.default_config with Twill.Partition.nstages = 3 };
   }
 
+(* Parsing must fail, and the diagnostic must point at [line]. *)
+let expect_parse_error ~line src =
+  match Vparse.parse src with
+  | exception Vparse.Parse_error (msg, l) ->
+      Alcotest.(check int) (Printf.sprintf "line of %S" msg) line l
+  | _ -> Alcotest.failf "malformed source accepted: %s" src
+
 let parser_tests =
   [
     Alcotest.test_case "primitives parse" `Quick (fun () ->
@@ -42,6 +49,24 @@ let parser_tests =
         let i = Vsim.instantiate d "m" in
         Vsim.step i;
         Alcotest.(check int) "constant fold" 7 (Vsim.peek i "y"));
+    (* negative paths: every rejection must name the offending line *)
+    Alcotest.test_case "malformed module header carries the line" `Quick
+      (fun () ->
+        expect_parse_error ~line:2 "// header\nmodule (input wire clk);\nendmodule";
+        expect_parse_error ~line:2 "module m (\n  inout wire clk\n);\nendmodule");
+    Alcotest.test_case "bad literals carry the line" `Quick (fun () ->
+        (* unknown base, non-digits for the base, and a literal cut off
+           at end of input *)
+        expect_parse_error ~line:2
+          "module m (output wire y);\n  assign y = 8'q7;\nendmodule";
+        expect_parse_error ~line:2
+          "module m (output wire y);\n  assign y = 16'hzz;\nendmodule";
+        expect_parse_error ~line:2 "module m (output wire y);\n  assign y = 8'");
+    Alcotest.test_case "bad range carries the line" `Quick (fun () ->
+        expect_parse_error ~line:2
+          "module m (\n  output wire [7:] y\n);\nendmodule";
+        expect_parse_error ~line:3
+          "module m (output wire y);\n  reg\n    [:0] t;\nendmodule");
   ]
 
 let sem_tests =
