@@ -341,24 +341,80 @@ let cosim_rows ?engine () =
       (b.C.name, r, Unix.gettimeofday () -. s))
     C.all
 
+(* per-engine rows over one extraction per kernel (fanned out across the
+   Par domain pool): the compile+extract cost is paid once, so the
+   per-engine walls measure the simulators alone; a pair of engines
+   disagreeing on cycle counts fails the artifact *)
+let cosim_engines =
+  [ ("compiled", Twill.Vsim.Compiled); ("levelized", Twill.Vsim.Levelized) ]
+
+let cosim_engine_rows () =
+  let opts = forced_pipeline_opts in
+  Twill.Par.map
+    (fun (b : C.benchmark) ->
+      let m = Twill.compile ~opts b.C.source in
+      let t = Twill.extract ~opts m in
+      ( b.C.name,
+        List.map
+          (fun (en, e) ->
+            let s = Unix.gettimeofday () in
+            let r = Twill.cosim ~opts ~engine:e t in
+            (en, r, Unix.gettimeofday () -. s))
+          cosim_engines ))
+    C.all
+
+let cosim_cross_check rows =
+  (* verdict per kernel: every engine must agree with the model AND
+     report the same harness cycle count as every other engine *)
+  List.map
+    (fun (name, per) ->
+      let _, (r0 : Twill.Cosim.report), _ = List.hd per in
+      let cycles_agree =
+        List.for_all
+          (fun (_, (r : Twill.Cosim.report), _) ->
+            r.Twill.Cosim.rtl_cycles = r0.Twill.Cosim.rtl_cycles)
+          per
+      in
+      let model_agree =
+        List.for_all
+          (fun (_, (r : Twill.Cosim.report), _) -> r.Twill.Cosim.agree)
+          per
+      in
+      (name, per, cycles_agree, model_agree))
+    rows
+
 let cosim () =
   header
     "Co-simulation — emitted RTL (vsim) vs rtsim reference (3-stage \
-     pipeline); AGREE = same return value and print trace";
-  Printf.printf "%-10s | %12s %12s %8s | %-9s %7s | %s\n" "benchmark"
-    "RTL cycles" "model cycles" "ratio" "engine" "wall(s)" "verdict";
-  let rows = cosim_rows () in
+     pipeline); AGREE = same return value, print trace, and per-engine \
+     cycle counts";
+  Printf.printf "%-10s | %12s %12s %8s |" "benchmark" "RTL cycles"
+    "model cycles" "ratio";
   List.iter
-    (fun (name, (r : Twill.Cosim.report), wall) ->
-      Printf.printf "%-10s | %12d %12d %8.2f | %-9s %7.3f | %s\n" name
-        r.Twill.Cosim.rtl_cycles r.Twill.Cosim.model_cycles
-        (float_of_int r.Twill.Cosim.rtl_cycles
-        /. float_of_int (max 1 r.Twill.Cosim.model_cycles))
-        r.Twill.Cosim.rtl_engine wall
-        (if r.Twill.Cosim.agree then "AGREE" else "DISAGREE"))
+    (fun (en, _) -> Printf.printf " %12s" (en ^ "(s)"))
+    cosim_engines;
+  Printf.printf " %8s | %s\n" "speedup" "verdict";
+  let rows = cosim_cross_check (cosim_engine_rows ()) in
+  List.iter
+    (fun (name, per, cycles_agree, model_agree) ->
+      let _, (r0 : Twill.Cosim.report), w0 = List.hd per in
+      Printf.printf "%-10s | %12d %12d %8.2f |" name r0.Twill.Cosim.rtl_cycles
+        r0.Twill.Cosim.model_cycles
+        (float_of_int r0.Twill.Cosim.rtl_cycles
+        /. float_of_int (max 1 r0.Twill.Cosim.model_cycles));
+      List.iter (fun (_, _, w) -> Printf.printf " %12.3f" w) per;
+      let _, _, wlast = List.nth per (List.length per - 1) in
+      Printf.printf " %7.2fx | %s\n" (wlast /. w0)
+        (if not model_agree then "DISAGREE"
+         else if not cycles_agree then "CYCLES-DIFFER"
+         else "AGREE"))
     rows;
-  if List.exists (fun (_, r, _) -> not r.Twill.Cosim.agree) rows then
-    failwith "cosim: RTL and model disagree"
+  if
+    List.exists
+      (fun (_, _, cycles_agree, model_agree) ->
+        not (cycles_agree && model_agree))
+      rows
+  then failwith "cosim: engines disagree"
 
 (* ------------------------------------------------------------------ *)
 (* Differential fuzzing throughput (EXPERIMENTS.md)                    *)
@@ -367,8 +423,8 @@ let cosim () =
 (* Oracle throughput at each --max-stage limit: how many random
    programs per second the whole-stack differential oracle sustains.
    The case counts shrink as the stages deepen — one vsim case
-   elaborates and co-simulates the full emitted RTL twice (both
-   scheduling engines). *)
+   elaborates and co-simulates the full emitted RTL twice (the compiled
+   engine plus its levelized differential oracle). *)
 let fuzz () =
   header
     "Differential fuzzing — oracle throughput per --max-stage (seed 11); a \
@@ -517,21 +573,79 @@ let json_mode (names : string list) =
   Printf.printf "{\n  \"results\": [\n%s\n  ],\n  \"total_wall_time_s\": %.3f\n}\n"
     (String.concat ",\n" rows) total
 
+let cosim_row_json name (r : Twill.Cosim.report) wall =
+  Printf.sprintf
+    "    {\"benchmark\": %S, \"engine\": %S, \"rtl_cycles\": %d, \
+     \"model_cycles\": %d, \"agree\": %b, \"wall_time_s\": %.3f}"
+    name r.Twill.Cosim.rtl_engine r.Twill.Cosim.rtl_cycles
+    r.Twill.Cosim.model_cycles r.Twill.Cosim.agree wall
+
+(* BENCH_cosim.json: per-engine cosim walls with the cross-engine cycle
+   check, plus the vsim-stage fuzz throughput, so the perf trajectory is
+   machine-readable.  Exits nonzero if any engine pair disagrees. *)
 let json_cosim (engine : Twill.Vsim.engine option) =
   let t0 = Unix.gettimeofday () in
-  let rows =
-    List.map
-      (fun (name, (r : Twill.Cosim.report), wall) ->
-        Printf.sprintf
-          "    {\"benchmark\": %S, \"engine\": %S, \"rtl_cycles\": %d, \
-           \"model_cycles\": %d, \"agree\": %b, \"wall_time_s\": %.3f}"
-          name r.Twill.Cosim.rtl_engine r.Twill.Cosim.rtl_cycles
-          r.Twill.Cosim.model_cycles r.Twill.Cosim.agree wall)
-      (cosim_rows ?engine ())
-  in
-  let total = Unix.gettimeofday () -. t0 in
-  Printf.printf "{\n  \"results\": [\n%s\n  ],\n  \"total_wall_time_s\": %.3f\n}\n"
-    (String.concat ",\n" rows) total
+  match engine with
+  | Some _ ->
+      (* single forced engine: plain per-kernel rows *)
+      let rows =
+        List.map
+          (fun (name, r, wall) -> cosim_row_json name r wall)
+          (cosim_rows ?engine ())
+      in
+      let total = Unix.gettimeofday () -. t0 in
+      Printf.printf
+        "{\n  \"results\": [\n%s\n  ],\n  \"total_wall_time_s\": %.3f\n}\n"
+        (String.concat ",\n" rows) total
+  | None ->
+      let rows = cosim_cross_check (cosim_engine_rows ()) in
+      let row_json =
+        List.concat_map
+          (fun (name, per, _, _) ->
+            List.map (fun (_, r, w) -> cosim_row_json name r w) per)
+          rows
+      in
+      let all_ok =
+        List.for_all (fun (_, _, c, m) -> c && m) rows
+      in
+      let wall_of en =
+        List.fold_left
+          (fun acc (_, per, _, _) ->
+            List.fold_left
+              (fun acc (e, _, w) -> if e = en then acc +. w else acc)
+              acc per)
+          0.0 rows
+      in
+      let w_compiled = wall_of "compiled" and w_lev = wall_of "levelized" in
+      let fs = Unix.gettimeofday () in
+      let fuzz_cases = 6 in
+      let s =
+        Twill_fuzz.Campaign.run ~limit:Twill_fuzz.Oracle.L_vsim ~seed:11
+          ~cases:fuzz_cases ()
+      in
+      let fw = Unix.gettimeofday () -. fs in
+      let diverged = List.length s.Twill_fuzz.Campaign.s_repros in
+      let total = Unix.gettimeofday () -. t0 in
+      Printf.printf
+        "{\n\
+        \  \"results\": [\n\
+         %s\n\
+        \  ],\n\
+        \  \"cycles_agree\": %b,\n\
+        \  \"wall_compiled_s\": %.3f,\n\
+        \  \"wall_levelized_s\": %.3f,\n\
+        \  \"speedup_levelized_over_compiled\": %.2f,\n\
+        \  \"fuzz\": {\"max_stage\": \"vsim\", \"seed\": 11, \"cases\": %d, \
+         \"wall_time_s\": %.3f, \"cases_per_s\": %.2f, \"diverged\": %d},\n\
+        \  \"total_wall_time_s\": %.3f\n\
+         }\n"
+        (String.concat ",\n" row_json)
+        all_ok w_compiled w_lev
+        (if w_compiled > 0.0 then w_lev /. w_compiled else 0.0)
+        fuzz_cases fw
+        (float_of_int fuzz_cases /. fw)
+        diverged total;
+      if (not all_ok) || diverged > 0 then exit 1
 
 let artifacts =
   [
@@ -554,6 +668,8 @@ let () =
   | [ "--bechamel" ] -> bechamel ()
   | "--json" :: names -> json_mode names
   | [ "--json-cosim" ] -> json_cosim None
+  | [ "--json-cosim"; "--engine"; "compiled" ] ->
+      json_cosim (Some Twill.Vsim.Compiled)
   | [ "--json-cosim"; "--engine"; "levelized" ] ->
       json_cosim (Some Twill.Vsim.Levelized)
   | [ "--json-cosim"; "--engine"; "fixpoint" ] ->

@@ -230,13 +230,16 @@ let cosim_cmd =
       value
       & opt
           (enum
-             [ ("auto", None); ("levelized", Some Twill.Vsim.Levelized);
+             [ ("auto", None); ("compiled", Some Twill.Vsim.Compiled);
+               ("levelized", Some Twill.Vsim.Levelized);
                ("fixpoint", Some Twill.Vsim.Fixpoint) ])
           None
       & info [ "engine" ] ~docv:"ENGINE"
           ~doc:
-            "Vsim scheduling engine: $(b,levelized), $(b,fixpoint), or \
-             $(b,auto) (levelized with fixpoint fallback).")
+            "Vsim scheduling engine: $(b,compiled), $(b,levelized), \
+             $(b,fixpoint), or $(b,auto) (compiled with fixpoint fallback \
+             on combinational loops).  The run report shows the engine \
+             actually used.")
   in
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH_OR_FILE")

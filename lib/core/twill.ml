@@ -402,12 +402,117 @@ let evaluate ?(opts = default_options) ?(auto_stages = true) ~(name : string)
    the source program is one observation point: the typed-AST reference
    interpreter, both IR interpreter engines on the raw module, the
    module after each prefix of the pass pipeline, the partitioned
-   cycle-accurate rtsim execution, and vsim RTL co-simulation under
-   either scheduling engine.  [observe] runs one point over one source
+   cycle-accurate rtsim execution, and vsim RTL co-simulation under a
+   chosen scheduling engine (the default fuzz set pits the compiled
+   engine against its levelized oracle).  [observe] runs one point over
+   one source
    string and reduces the run to the observables the thesis's
    correctness argument is about: return value + print trace. *)
 
 type observation = { obs_ret : int32; obs_prints : int32 list }
+
+(* The oracle observes one source string at every stage, scanning the
+   pass prefixes in ascending order before reaching rtsim and the
+   cosims.  Two one-entry per-domain memos keep that scan linear:
+
+   - [opt_prep] holds the module after the first [odone] pipeline
+     stages; observing prefix k >= odone applies only stages
+     [odone, k) instead of re-compiling and re-running the whole
+     prefix ([Pipeline.run_range] splits exactly like that).  Sound
+     because passes are deterministic in-place transforms and
+     [Interp.run] builds its decode context per call without mutating
+     the module (interp.ml header).
+   - [obs_prep] holds the optimised-and-extracted pipeline shared by
+     the last three stages (rtsim, then one cosim per vsim engine).
+
+   Per-domain because the fuzz campaign fans cases out over a [Par]
+   pool; one entry because each case's stages are scanned
+   consecutively within a domain. *)
+type opt_prep = {
+  osrc : string;
+  oopts : Pipeline.options;
+  mutable odone : int;  (* pipeline stages applied to [om] so far *)
+  om : Ir.modul;
+  mutable oruns : (Interp.engine * int * Interp.result) list;
+      (* interpreter observations of [om] in its current state, keyed
+         by (engine, fuel); flushed whenever a stage changes [om].
+         Interpretation is deterministic, so when [run_range] reports
+         that the new stages of a prefix were all no-ops, the previous
+         prefix's observation is the current one. *)
+}
+
+let opt_prep_memo : opt_prep option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let opt_prep ~opts (k : int) (src : string) : opt_prep =
+  let popts = pipeline_options opts in
+  let memo = Domain.DLS.get opt_prep_memo in
+  match !memo with
+  | Some p when String.equal p.osrc src && p.oopts = popts && p.odone <= k ->
+      if Pipeline.run_range ~opts:popts p.odone k p.om then p.oruns <- [];
+      p.odone <- k;
+      p
+  | _ ->
+      let m = Minic.compile src in
+      Pipeline.run_prefix ~opts:popts k m;
+      let p = { osrc = src; oopts = popts; odone = k; om = m; oruns = [] } in
+      memo := Some p;
+      p
+
+let opt_interp ~opts (k : int) (engine : Interp.engine) (src : string) :
+    Interp.result =
+  let p = opt_prep ~opts k src in
+  match
+    List.find_opt (fun (e, fuel, _) -> e = engine && fuel = opts.fuel) p.oruns
+  with
+  | Some (_, _, r) -> r
+  | None ->
+      let r = Interp.run ~fuel:opts.fuel ~engine p.om in
+      p.oruns <- (engine, opts.fuel, r) :: p.oruns;
+      r
+
+type obs_prep = {
+  prep_src : string;
+  prep_opts : options;
+  prep_t : Dswp.threaded;
+  prep_design : Vparse.design Lazy.t;
+      (* emitted+parsed Verilog of [prep_t]; lazy because the rtsim
+         stage populates the memo without needing it, shared because
+         elaboration only reads it (one parse serves both engines) *)
+}
+
+let obs_prep_memo : obs_prep option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let obs_prep ~opts (src : string) : obs_prep =
+  let memo = Domain.DLS.get obs_prep_memo in
+  match !memo with
+  | Some p when String.equal p.prep_src src && p.prep_opts = opts -> p
+  | _ ->
+      (* extraction mutates the module in place, so once the prefix
+         memo's module is promoted to the full pipeline and handed
+         over, the prefix memo must stop serving it *)
+      let m =
+        let popts = pipeline_options opts in
+        let omemo = Domain.DLS.get opt_prep_memo in
+        match !omemo with
+        | Some p when String.equal p.osrc src && p.oopts = popts ->
+            ignore (Pipeline.run_range ~opts:popts p.odone Pipeline.nstages p.om);
+            omemo := None;
+            p.om
+        | _ -> compile ~opts src
+      in
+      let t = extract ~opts m in
+      let p =
+        {
+          prep_src = src;
+          prep_opts = opts;
+          prep_t = t;
+          prep_design = lazy (Vparse.parse (Vruntime.emit_design t));
+        }
+      in
+      memo := Some p;
+      p
 
 type obs_stage =
   | Obs_ast  (* typed-AST reference interpreter *)
@@ -433,14 +538,13 @@ let obs_stage_name = function
       in
       Printf.sprintf "opt[%s]%s" pass (engine_suffix e)
   | Obs_rtsim -> "rtsim"
-  | Obs_vsim Vsim.Levelized -> "vsim-levelized"
-  | Obs_vsim Vsim.Fixpoint -> "vsim-fixpoint"
+  | Obs_vsim e -> "vsim-" ^ Vsim.engine_name e
 
 let obs_stages : obs_stage list =
   [ Obs_ast; Obs_ir Interp.Tree; Obs_ir Interp.Decoded ]
   @ List.init Pipeline.nstages (fun k -> Obs_opt (k + 1, Interp.Decoded))
   @ [ Obs_opt (Pipeline.nstages, Interp.Tree); Obs_rtsim;
-      Obs_vsim Vsim.Levelized; Obs_vsim Vsim.Fixpoint ]
+      Obs_vsim Vsim.Compiled; Obs_vsim Vsim.Levelized ]
 
 let contains_substr ~sub s =
   let n = String.length s and m = String.length sub in
@@ -459,23 +563,25 @@ let observe ?(opts = default_options) ~(stage : obs_stage) (src : string) :
             obs_prints = r.Twill_minic.Ast_interp.prints;
           }
     | Obs_ir engine ->
-        let m = Minic.compile src in
-        let r = Interp.run ~fuel:opts.fuel ~engine m in
+        let r = opt_interp ~opts 0 engine src in
         Obs_ok { obs_ret = r.Interp.ret; obs_prints = r.Interp.prints }
     | Obs_opt (k, engine) ->
-        let m = Minic.compile src in
-        Pipeline.run_prefix ~opts:(pipeline_options opts) k m;
-        let r = Interp.run ~fuel:opts.fuel ~engine m in
+        let r = opt_interp ~opts k engine src in
         Obs_ok { obs_ret = r.Interp.ret; obs_prints = r.Interp.prints }
     | Obs_rtsim ->
-        let m = compile ~opts src in
-        let t = extract ~opts m in
-        let r = run_twill_threaded ~opts t in
+        let p = obs_prep ~opts src in
+        let r = run_twill_threaded ~opts p.prep_t in
         Obs_ok { obs_ret = r.scenario.ret; obs_prints = r.scenario.prints }
     | Obs_vsim engine ->
-        let m = compile ~opts src in
-        let t = extract ~opts m in
-        let r = Cosim.run_threaded ~config:(sim_config opts) ~engine t in
+        let p = obs_prep ~opts src in
+        (* [~model:false]: the oracle compares every stage against the
+           AST reference itself, and rtsim is its own observation point
+           — re-running the reference inside the cosim would only
+           duplicate work the chain already did. *)
+        let r =
+          Cosim.run_threaded ~config:(sim_config opts) ~engine ~model:false
+            ~design:(Lazy.force p.prep_design) p.prep_t
+        in
         Obs_ok { obs_ret = r.Cosim.rtl_ret; obs_prints = r.Cosim.rtl_prints }
   with
   | Minic.Error msg -> Obs_error ("compile: " ^ msg)

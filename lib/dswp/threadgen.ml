@@ -350,9 +350,14 @@ let generate (part : Partition.t) (qa : qalloc) ~(queue_depth : int) : gen =
   List.iter
     (fun c ->
       let width_bits =
+        (* a channel is 1 bit only when the value it carries is known
+           boolean: tokens (always literal 1) and comparison results.
+           A branch condition can be any integer (mini-C [if (x)]), and
+           the consumer re-tests [!= 0], so truncating a non-Icmp cond
+           to 1 bit would flip branches on even values. *)
         match c.ckind with
-        | `Token | `Cond -> 1
-        | `Data | `Ret -> (
+        | `Token -> 1
+        | `Cond | `Data | `Ret -> (
             match (inst f c.cdef).kind with Icmp _ -> 1 | _ -> 32)
       in
       let purpose =

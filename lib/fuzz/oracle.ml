@@ -15,7 +15,8 @@
 open Twill
 
 (* How far down the stack to go.  Later stages are much slower (vsim
-   co-simulation elaborates and simulates the emitted RTL), so the
+   co-simulation elaborates and simulates the emitted RTL — under the
+   compiled engine and its levelized differential oracle), so the
    campaign driver exposes this as [--max-stage]. *)
 type limit = L_ast | L_ir | L_opt | L_rtsim | L_vsim
 

@@ -583,17 +583,34 @@ let run_shared ?(fuel = -1) ~(layout : Layout.t) ~(mem : int32 array)
     prints = List.rev st.prints;
   }
 
-let fresh_memory ?(mem_words = 1 lsl 20) (m : modul) : Layout.t * int32 array =
+(* Default memory: the static image (globals + allocas) rounded up with
+   power-of-two headroom, capped at the historical 4 MB.  The emitted C
+   runtime sizes its memory to the image exactly (cemit.ml) and every
+   flow is cross-checked bit-identically against it, so no legitimate
+   access lands beyond [words_used] — the headroom only preserves the
+   silent-read/write behaviour for mildly out-of-range indices.  Sizing
+   to the program matters because every simulation run zeroes a fresh
+   image: at a fixed 4 MB the memset dominated whole fuzz-oracle
+   observations of small programs. *)
+let default_mem_words (layout : Layout.t) : int =
+  let cap = 1 lsl 20 in
+  let rec up n = if n >= layout.words_used * 4 || n >= cap then n else up (n * 2) in
+  up (1 lsl 14)
+
+let fresh_memory ?mem_words (m : modul) : Layout.t * int32 array =
   let layout = Layout.build m in
+  let mem_words =
+    match mem_words with Some w -> w | None -> default_mem_words layout
+  in
   if layout.words_used > mem_words then
     raise (Trap "memory image larger than memory");
   let mem = Array.make mem_words 0l in
   Layout.init_memory layout m mem;
   (layout, mem)
 
-let run ?(fuel = -1) ?(mem_words = 1 lsl 20) ?(handlers = no_handlers)
+let run ?(fuel = -1) ?mem_words ?(handlers = no_handlers)
     ?(cost = default_cost) ?(term_cost = default_term_cost)
     ?(charge_cycles = true) ?(engine = Decoded) (m : modul) : result =
-  let layout, mem = fresh_memory ~mem_words m in
+  let layout, mem = fresh_memory ?mem_words m in
   run_shared ~fuel ~layout ~mem ~handlers ~cost ~term_cost ~charge_cycles
     ~engine m ~entry:"main" ~args:[||]

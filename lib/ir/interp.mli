@@ -76,7 +76,11 @@ val zero_cost : func -> inst -> int
     Used for hardware threads and block-count profiling. *)
 
 val fresh_memory : ?mem_words:int -> modul -> Layout.t * int32 array
-(** Builds the static layout and a zeroed, initialised memory image. *)
+(** Builds the static layout and a zeroed, initialised memory image.
+    [mem_words] defaults to the image size rounded up with power-of-two
+    headroom (capped at the historical 4 MB) — every simulation flow
+    shares this default, so out-of-image behaviour stays consistent
+    across them. *)
 
 val run_shared :
   ?fuel:int ->

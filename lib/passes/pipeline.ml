@@ -33,9 +33,9 @@ let default = {
   break_pass = None;
 }
 
-let per_function_cleanup (f : func) =
-  ignore (Simplifycfg.run f);
-  ignore (Mem2reg.run f);
+let per_function_cleanup (f : func) : bool =
+  let changed = ref (Simplifycfg.run f) in
+  if Mem2reg.run f then changed := true;
   let continue_ = ref true in
   while !continue_ do
     let c1 = Constfold.run f in
@@ -44,8 +44,19 @@ let per_function_cleanup (f : func) =
     let c4 = Ifconv.run f in
     let c5 = Gvn.run f in
     let c6 = Licm.run f in
-    continue_ := c1 || c2 || c3 || c4 || c5 || c6
-  done
+    continue_ := c1 || c2 || c3 || c4 || c5 || c6;
+    if !continue_ then changed := true
+  done;
+  !changed
+
+(* Applies [pass] to every element without short-circuiting, reporting
+   whether any application changed anything. *)
+let any pass xs =
+  List.fold_left
+    (fun acc x ->
+      let c = pass x in
+      c || acc)
+    false xs
 
 let verify_if opts m = if opts.check then Ssa_check.check_modul m
 
@@ -67,26 +78,32 @@ let sabotage (m : modul) : unit =
       done
 
 (* One named stage of the pipeline.  [verify] marks the SSA checkpoints
-   of the historical monolithic [run] (kept at the same boundaries). *)
+   of the historical monolithic [run] (kept at the same boundaries).
+   [apply] reports whether it changed the module, and a [false] must be
+   trustworthy: the fuzz oracle skips re-interpreting a prefix whose
+   new stages all report no change.  The flags are the same ones the
+   cleanup fixpoint already terminates on, so an under-report would be
+   a pre-existing pass bug — and the rtsim/vsim stages re-execute the
+   fully-optimised module for real in any case. *)
 type stage = {
   sname : string;
   verify : bool;
-  apply : options -> modul -> unit;
+  apply : options -> modul -> bool;
 }
 
-let cleanup_fixpoint _ (m : modul) = List.iter per_function_cleanup m.funcs
+let cleanup_fixpoint _ (m : modul) = any per_function_cleanup m.funcs
 
 let stages : stage list =
   [
     {
       sname = "simplifycfg";
       verify = false;
-      apply = (fun _ m -> List.iter (fun f -> ignore (Simplifycfg.run f)) m.funcs);
+      apply = (fun _ m -> any Simplifycfg.run m.funcs);
     };
     {
       sname = "mem2reg";
       verify = false;
-      apply = (fun _ m -> List.iter (fun f -> ignore (Mem2reg.run f)) m.funcs);
+      apply = (fun _ m -> any Mem2reg.run m.funcs);
     };
     { sname = "cleanup"; verify = true; apply = cleanup_fixpoint };
     {
@@ -94,58 +111,76 @@ let stages : stage list =
       verify = true;
       apply =
         (fun opts m ->
-          if opts.unroll then begin
-            List.iter (fun f -> ignore (Unroll.run f)) m.funcs;
-            List.iter per_function_cleanup m.funcs
-          end);
+          opts.unroll
+          &&
+          let c = any Unroll.run m.funcs in
+          let c' = any per_function_cleanup m.funcs in
+          c || c');
     };
     {
       sname = "inline";
       verify = false;
       apply =
         (fun opts m ->
-          ignore
-            (Inline.run ~aggressive:opts.inline_aggressive
-               ~threshold:opts.inline_threshold m);
-          List.iter per_function_cleanup m.funcs);
+          let c =
+            Inline.run ~aggressive:opts.inline_aggressive
+              ~threshold:opts.inline_threshold m
+          in
+          let c' = any per_function_cleanup m.funcs in
+          c || c');
     };
     {
       sname = "dce-calls";
       verify = true;
-      apply = (fun _ m -> List.iter (fun f -> ignore (Dce.run_with_calls m f)) m.funcs);
+      apply = (fun _ m -> any (Dce.run_with_calls m) m.funcs);
     };
     {
       sname = "preheaders";
       verify = true;
-      apply = (fun _ m -> List.iter (fun f -> ignore (Loops.ensure_preheaders f)) m.funcs);
+      apply = (fun _ m -> any Loops.ensure_preheaders m.funcs);
     };
     {
       sname = "globals2args";
       verify = true;
       apply =
         (fun opts m ->
-          if opts.globals_to_args then begin
-            ignore (Globals2args.run m);
-            List.iter (fun f -> ignore (Dce.run f)) m.funcs
-          end);
+          opts.globals_to_args
+          &&
+          let c = Globals2args.run m in
+          let c' = any Dce.run m.funcs in
+          c || c');
     };
   ]
 
 let stage_names : string list = List.map (fun s -> s.sname) stages
 let nstages : int = List.length stages
 
-(* Runs the first [k] stages (0 <= k <= nstages) in place. *)
-let run_prefix ?(opts = default) (k : int) (m : modul) : unit =
-  if k < 0 || k > nstages then
-    invalid_arg (Printf.sprintf "Pipeline.run_prefix: %d stages" k);
+(* Runs stages with indices in [k0, k1) in place.  Running a prefix in
+   two steps — [run_range 0 j] then [run_range j k] — is identical to
+   [run_range 0 k]: each stage is an in-place transform of the module,
+   so only where the loop is cut differs.  The fuzz oracle leans on
+   this to observe every prefix of the pipeline while applying each
+   pass once. *)
+let run_range ?(opts = default) (k0 : int) (k1 : int) (m : modul) : bool =
+  if k0 < 0 || k1 > nstages || k0 > k1 then
+    invalid_arg (Printf.sprintf "Pipeline.run_range: [%d, %d)" k0 k1);
+  let changed = ref false in
   List.iteri
     (fun i s ->
-      if i < k then begin
-        s.apply opts m;
-        if opts.break_pass = Some s.sname then sabotage m;
+      if k0 <= i && i < k1 then begin
+        if s.apply opts m then changed := true;
+        if opts.break_pass = Some s.sname then begin
+          sabotage m;
+          changed := true
+        end;
         if s.verify then verify_if opts m
       end)
-    stages
+    stages;
+  !changed
+
+(* Runs the first [k] stages (0 <= k <= nstages) in place. *)
+let run_prefix ?(opts = default) (k : int) (m : modul) : unit =
+  ignore (run_range ~opts 0 k m)
 
 (* Runs the standard pipeline in place. *)
 let run ?(opts = default) (m : modul) : unit = run_prefix ~opts nstages m

@@ -24,9 +24,10 @@ type options = {
 
 val default : options
 
-val per_function_cleanup : func -> unit
+val per_function_cleanup : func -> bool
 (** simplify-CFG + mem2reg, then constant folding / DCE / simplify /
-    if-conversion / GVN / LICM to a fixpoint. *)
+    if-conversion / GVN / LICM to a fixpoint.  Returns whether anything
+    changed. *)
 
 val verify_if : options -> modul -> unit
 
@@ -35,6 +36,16 @@ val stage_names : string list
 
 val nstages : int
 (** [List.length stage_names]. *)
+
+val run_range : ?opts:options -> int -> int -> modul -> bool
+(** [run_range k0 k1 m] runs the stages with indices in [\[k0, k1)] in
+    place.  Splitting a prefix — [run_range 0 j] then [run_range j k] —
+    is identical to running it in one go, which lets an incremental
+    caller (the fuzz oracle) observe every prefix while applying each
+    pass exactly once.  Returns whether any stage changed the module
+    (a [break_pass] sabotage counts as a change); [false] means the
+    module — and hence any observation of it — is exactly as before the
+    call. *)
 
 val run_prefix : ?opts:options -> int -> modul -> unit
 (** [run_prefix k m] runs the first [k] stages (0 <= k <= [nstages]) in

@@ -203,17 +203,26 @@ let diff_arbiter ~seed ~n ~cycles () : int =
   done;
   cycles
 
-(* ---- engine differential: levelized vs fixpoint oracle ------------------ *)
+(* ---- engine differential: compiled vs levelized vs fixpoint ------------- *)
 
 let diff_engines ?(overrides = []) ?(cycles = 500) ~seed
     (design : Vparse.design) (top : string) : int =
-  let a = Vsim.instantiate ~engine:Vsim.Levelized ~overrides design top in
-  let b = Vsim.instantiate ~engine:Vsim.Fixpoint ~overrides design top in
+  (* all three engines under the same stimulus: the compiled engine's
+     optimiser is checked against the naive levelized closures, and both
+     against the fixpoint semantic oracle — state, raised errors, and
+     VCD bytes must agree pairwise every cycle *)
+  let sims =
+    Array.map
+      (fun e -> (Vsim.engine_name e, Vsim.instantiate ~engine:e ~overrides design top))
+      [| Vsim.Compiled; Vsim.Levelized; Vsim.Fixpoint |]
+  in
+  let _, s0 = sims.(0) in
   let rng = Random.State.make [| seed |] in
   let inputs =
     List.map
-      (fun nm -> (Vsim.handle a nm, Vsim.handle b nm, Vsim.net_width a nm))
-      (Vsim.top_inputs a)
+      (fun nm ->
+        (Array.map (fun (_, s) -> Vsim.handle s nm) sims, Vsim.net_width s0 nm))
+      (Vsim.top_inputs s0)
   in
   let rand_bits w =
     if w <= 30 then Random.State.int rng (1 lsl w)
@@ -223,64 +232,80 @@ let diff_engines ?(overrides = []) ?(cycles = 500) ~seed
       in
       if w >= 60 then v else v land ((1 lsl w) - 1)
   in
-  let va = Filename.temp_file "vsim_lev" ".vcd"
-  and vb = Filename.temp_file "vsim_fix" ".vcd" in
-  let da = Vsim.Vcd.create a va and db = Vsim.Vcd.create b vb in
+  let paths =
+    Array.map (fun (nm, _) -> Filename.temp_file ("vsim_" ^ nm) ".vcd") sims
+  in
+  let dumpers =
+    Array.mapi (fun k (_, s) -> Vsim.Vcd.create s paths.(k)) sims
+  in
   let cleanup () =
-    Vsim.Vcd.close da;
-    Vsim.Vcd.close db;
-    Sys.remove va;
-    Sys.remove vb
+    Array.iter Vsim.Vcd.close dumpers;
+    Array.iter Sys.remove paths
   in
   let completed = ref 0 in
   (try
      for cyc = 1 to cycles do
        List.iter
-         (fun (ha, hb, w) ->
+         (fun (hs, w) ->
            let v = rand_bits w in
-           Vsim.poke_h a ha v;
-           Vsim.poke_h b hb v)
+           Array.iteri (fun k h -> Vsim.poke_h (snd sims.(k)) h v) hs)
          inputs;
        (* runtime failures (out-of-range writes under random stimulus)
-          are part of the contract too: both engines must raise the same
+          are part of the contract too: every engine must raise the same
           error at the same cycle *)
-       let ra = try Vsim.step a; None with Vsim.Sim_error m -> Some m in
-       let rb = try Vsim.step b; None with Vsim.Sim_error m -> Some m in
-       match (ra, rb) with
-       | None, None ->
-           Vsim.Vcd.sample da;
-           Vsim.Vcd.sample db;
-           (match Vsim.compare_state a b with
-           | Some d -> fail "%s cycle %d: engines diverge: %s" top cyc d
-           | None -> ());
-           completed := cyc
-       | Some ma, Some mb ->
-           if ma <> mb then
-             fail "%s cycle %d: engines raise differently: %S vs %S" top cyc
-               ma mb;
-           raise Exit
-       | Some m, None ->
-           fail "%s cycle %d: only the levelized engine raised: %s" top cyc m
-       | None, Some m ->
-           fail "%s cycle %d: only the fixpoint engine raised: %s" top cyc m
+       let outcome =
+         Array.map
+           (fun (_, s) -> try Vsim.step s; None with Vsim.Sim_error m -> Some m)
+           sims
+       in
+       let check_pair i j =
+         let ni, _ = sims.(i) and nj, _ = sims.(j) in
+         match (outcome.(i), outcome.(j)) with
+         | None, None -> ()
+         | Some mi, Some mj ->
+             if mi <> mj then
+               fail "%s cycle %d: %s/%s raise differently: %S vs %S" top cyc
+                 ni nj mi mj
+         | Some m, None ->
+             fail "%s cycle %d: only the %s engine raised: %s" top cyc ni m
+         | None, Some m ->
+             fail "%s cycle %d: only the %s engine raised: %s" top cyc nj m
+       in
+       check_pair 0 1;
+       check_pair 1 2;
+       check_pair 0 2;
+       if outcome.(0) <> None then raise Exit;
+       Array.iter Vsim.Vcd.sample dumpers;
+       for i = 0 to Array.length sims - 1 do
+         for j = i + 1 to Array.length sims - 1 do
+           let ni, si = sims.(i) and nj, sj = sims.(j) in
+           match Vsim.compare_state si sj with
+           | Some d ->
+               fail "%s cycle %d: %s/%s engines diverge: %s" top cyc ni nj d
+           | None -> ()
+         done
+       done;
+       completed := cyc
      done
    with
   | Exit -> ()
   | e ->
       cleanup ();
       raise e);
-  Vsim.Vcd.close da;
-  Vsim.Vcd.close db;
+  Array.iter Vsim.Vcd.close dumpers;
   let read_all p =
     let ic = open_in_bin p in
     let s = really_input_string ic (in_channel_length ic) in
     close_in ic;
     s
   in
-  let wa = read_all va and wb = read_all vb in
-  Sys.remove va;
-  Sys.remove vb;
-  if wa <> wb then fail "%s: VCD dumps differ between engines" top;
+  let waves = Array.map read_all paths in
+  Array.iter Sys.remove paths;
+  for k = 1 to Array.length waves - 1 do
+    if waves.(k) <> waves.(0) then
+      fail "%s: VCD dumps differ between %s and %s engines" top (fst sims.(0))
+        (fst sims.(k))
+  done;
   !completed
 
 (* ---- whole-design co-simulation ----------------------------------------- *)
@@ -289,14 +314,22 @@ type report = {
   rtl_ret : int32;
   rtl_prints : int32 list;
   rtl_cycles : int;
-  rtl_engine : string; (* "levelized" | "fixpoint" | "mixed" *)
+  rtl_engine : string;
+      (* "compiled" | "levelized" | "fixpoint" | "mixed", plus a
+         " (comb-loop fallback)" suffix when a compiled/default request
+         had to drop to the fixpoint engine *)
   model_ret : int32;
   model_prints : int32 list;
   model_cycles : int;
   agree : bool;
 }
 
-type _ Effect.t += Yield : unit Effect.t
+(* A blocked software fiber parks itself with the condition it is
+   waiting on; the scheduler polls the condition (a cheap, allocation-
+   free closure call) once per cycle and resumes the one-shot
+   continuation only when it holds, instead of the fiber re-performing
+   an effect — and re-allocating its continuation — every cycle. *)
+type _ Effect.t += Wait : (unit -> bool) -> unit Effect.t
 
 type opkind =
   | OLoad of int
@@ -364,24 +397,38 @@ type th = {
 }
 
 let run_threaded ?config ?engine ?(fuel_cycles = 2_000_000) ?vcd
-    (t : Dswp.threaded) : report =
-  (* --- the reference: cycle-accurate rtsim hybrid simulation --- *)
-  let threads =
-    Array.mapi
-      (fun s name ->
-        {
-          Sim.tname = name;
-          trole = (match t.Dswp.roles.(s) with Partition.Hw -> Sim.Hw | Partition.Sw -> Sim.Sw);
-          local_memory = false;
-        })
-      t.Dswp.stages
-  in
+    ?(model = true) ?design (t : Dswp.threaded) : report =
+  (* --- the reference: cycle-accurate rtsim hybrid simulation.
+     [~model:false] skips it for callers that own the comparison
+     themselves (the fuzz oracle checks every stage against the AST
+     reference); the report's model_* fields then mirror the RTL run
+     and [agree] is vacuously true. --- *)
   let stats =
-    Sim.simulate ?config ~master:t.Dswp.master t.Dswp.modul ~threads
-      ~queues:t.Dswp.queues ~nsems:t.Dswp.nsems ()
+    if not model then None
+    else
+      let threads =
+        Array.mapi
+          (fun s name ->
+            {
+              Sim.tname = name;
+              trole = (match t.Dswp.roles.(s) with Partition.Hw -> Sim.Hw | Partition.Sw -> Sim.Sw);
+              local_memory = false;
+            })
+          t.Dswp.stages
+      in
+      Some
+        (Sim.simulate ?config ~master:t.Dswp.master t.Dswp.modul ~threads
+           ~queues:t.Dswp.queues ~nsems:t.Dswp.nsems ())
   in
   (* --- the RTL side --- *)
-  let design = Vparse.parse (Vruntime.emit_design t) in
+  let design =
+    (* instantiation only reads the parsed AST (primitives_design above
+       is elaborated many times over), so a caller running the same
+       threaded program under several engines can parse once and share *)
+    match design with
+    | Some d -> d
+    | None -> Vparse.parse (Vruntime.emit_design t)
+  in
   let nstages = Array.length t.Dswp.stages in
   let is_hw s = t.Dswp.roles.(s) = Partition.Hw in
   let layout, mem = Interp.fresh_memory t.Dswp.modul in
@@ -452,10 +499,20 @@ let run_threaded ?config ?engine ?(fuel_cycles = 2_000_000) ?vcd
   in
   let instances = List.rev !instances in
   let rtl_engine =
-    let engs = List.map (fun (_, i) -> Vsim.engine_of i) instances in
-    if List.for_all (fun e -> e = Vsim.Levelized) engs then "levelized"
-    else if List.for_all (fun e -> e = Vsim.Fixpoint) engs then "fixpoint"
-    else "mixed"
+    let requested =
+      match engine with Some e -> e | None -> Vsim.Compiled
+    in
+    match List.map (fun (_, i) -> Vsim.engine_of i) instances with
+    | [] -> Vsim.engine_name requested
+    | engs ->
+        let base =
+          match List.sort_uniq compare engs with
+          | [ e ] -> Vsim.engine_name e
+          | _ -> "mixed"
+        in
+        if requested <> Vsim.Fixpoint && List.mem Vsim.Fixpoint engs then
+          base ^ " (comb-loop fallback)"
+        else base
   in
   let queue_of qid =
     match Hashtbl.find_opt qinst qid with
@@ -509,9 +566,13 @@ let run_threaded ?config ?engine ?(fuel_cycles = 2_000_000) ?vcd
   in
   (* --- software stages as interpreter fibers (as in rtsim) --- *)
   let runq : (unit -> unit) Queue.t = Queue.create () in
+  let parked : ((unit -> bool) * (unit, unit) Effect.Deep.continuation) list ref
+      =
+    ref []
+  in
   let wait_until cond =
     while not (cond ()) do
-      perform Yield
+      perform (Wait cond)
     done
   in
   let post s op =
@@ -540,10 +601,10 @@ let run_threaded ?config ?engine ?(fuel_cycles = 2_000_000) ?vcd
         effc =
           (fun (type a) (eff : a Effect.t) ->
             match eff with
-            | Yield ->
+            | Wait cond ->
                 Some
                   (fun (k : (a, unit) continuation) ->
-                    Queue.add (fun () -> continue k ()) runq)
+                    parked := (cond, k) :: !parked)
             | _ -> None);
       }
   in
@@ -657,16 +718,43 @@ let run_threaded ?config ?engine ?(fuel_cycles = 2_000_000) ?vcd
   in
   let hw_stages = List.filter is_hw (List.init nstages Fun.id) in
   let finished () =
-    Array.for_all
-      (fun s -> s)
-      (Array.init nstages (fun s ->
-           if is_hw s then
-             let h = Option.get thr.(s) in
-             Vsim.peek_h h.ti h.t_done = 1 && preq.(s) = None
-           else results.(s) <> None))
+    (* allocation-free: this runs at the top of every cycle *)
+    let ok = ref true in
+    let s = ref 0 in
+    while !ok && !s < nstages do
+      (match thr.(!s) with
+      | Some h -> ok := Vsim.peek_h h.ti h.t_done = 1 && preq.(!s) = None
+      | None -> ok := results.(!s) <> None);
+      incr s
+    done;
+    !ok
   in
   let hw_done_seen = Array.make nstages false in
   let cycle = ref 0 and last_progress = ref 0 in
+  (* hoisted per-cycle workers so the loop body allocates nothing on
+     quiescent cycles *)
+  let wake_parked () =
+    match !parked with
+    | [] -> ()
+    | ps ->
+        let still = ref [] in
+        List.iter
+          (fun ((cond, k) as p) ->
+            if cond () then Queue.add (fun () -> continue k ()) runq
+            else still := p :: !still)
+          ps;
+        parked := !still
+  in
+  let check_acks s p = match p with Some p -> check_ack s p | None -> () in
+  let mem_free = ref true and bus_free = ref true in
+  let grant s =
+    match preq.(s) with
+    | Some p when p.ph = Wait_bus ->
+        let m, b = issue s p ~mem_free:!mem_free ~bus_free:!bus_free in
+        mem_free := m;
+        bus_free := b
+    | _ -> ()
+  in
   (* --- the clock loop --- *)
   (try
      while not (finished ()) do
@@ -698,25 +786,17 @@ let run_threaded ?config ?engine ?(fuel_cycles = 2_000_000) ?vcd
            (if stuck = "" then "none" else stuck)
        end;
        incr cycle;
-       (* (a) run every runnable software fiber once *)
+       (* (a) wake fibers whose wait condition now holds, run each once *)
+       wake_parked ();
        let k = Queue.length runq in
        for _ = 1 to k do
          (Queue.pop runq) ()
        done;
        (* (b) advance in-flight ops on last edge's acks, then grant buses *)
-       Array.iteri
-         (fun s p -> match p with Some p -> check_ack s p | None -> ())
-         preq;
-       let mem_free = ref true and bus_free = ref true in
-       List.iter
-         (fun s ->
-           match preq.(s) with
-           | Some p when p.ph = Wait_bus ->
-               let m, b = issue s p ~mem_free:!mem_free ~bus_free:!bus_free in
-               mem_free := m;
-               bus_free := b
-           | _ -> ())
-         bus_order;
+       Array.iteri check_acks preq;
+       mem_free := true;
+       bus_free := true;
+       List.iter grant bus_order;
        (* (c) one clock edge everywhere *)
        List.iter (fun (_, i) -> Vsim.step i) instances;
        List.iter Vsim.Vcd.sample dumpers;
@@ -787,13 +867,26 @@ let run_threaded ?config ?engine ?(fuel_cycles = 2_000_000) ?vcd
     | [ p ] -> p
     | _ -> fail "cosim: prints scattered across threads"
   in
-  {
-    rtl_ret;
-    rtl_prints;
-    rtl_cycles = !cycle;
-    rtl_engine;
-    model_ret = stats.Sim.ret;
-    model_prints = stats.Sim.prints;
-    model_cycles = stats.Sim.cycles;
-    agree = rtl_ret = stats.Sim.ret && rtl_prints = stats.Sim.prints;
-  }
+  (match stats with
+  | Some stats ->
+      {
+        rtl_ret;
+        rtl_prints;
+        rtl_cycles = !cycle;
+        rtl_engine;
+        model_ret = stats.Sim.ret;
+        model_prints = stats.Sim.prints;
+        model_cycles = stats.Sim.cycles;
+        agree = rtl_ret = stats.Sim.ret && rtl_prints = stats.Sim.prints;
+      }
+  | None ->
+      {
+        rtl_ret;
+        rtl_prints;
+        rtl_cycles = !cycle;
+        rtl_engine;
+        model_ret = rtl_ret;
+        model_prints = rtl_prints;
+        model_cycles = !cycle;
+        agree = true;
+      })

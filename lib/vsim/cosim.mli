@@ -58,13 +58,14 @@ val diff_engines :
   Vparse.design ->
   string ->
   int
-(** [diff_engines ~seed design top] elaborates [top] twice — once with
-    the levelized scheduler, once with the fixpoint oracle — drives both
-    with the same seeded random values on every top-level input each
-    cycle, and asserts identical net and memory state after every step
-    plus byte-identical VCD dumps at the end.  A runtime [Sim_error]
-    under random stimulus must be raised identically by both engines
-    (the run then stops early).  Returns the number of cycles compared.
+(** [diff_engines ~seed design top] elaborates [top] three times — with
+    the compiled engine, its naive levelized oracle, and the fixpoint
+    semantic oracle — drives all of them with the same seeded random
+    values on every top-level input each cycle, and asserts pairwise
+    identical net and memory state after every step plus byte-identical
+    VCD dumps at the end.  A runtime [Sim_error] under random stimulus
+    must be raised identically by every engine (the run then stops
+    early).  Returns the number of cycles compared.
     @raise Cosim_error on any divergence. *)
 
 (** {1 Whole-design co-simulation} *)
@@ -74,8 +75,10 @@ type report = {
   rtl_prints : int32 list;
   rtl_cycles : int;  (** harness clock cycles until every thread halted *)
   rtl_engine : string;
-      (** scheduling engine the RTL instances ran under:
-          ["levelized"], ["fixpoint"] or ["mixed"] *)
+      (** scheduling engine the RTL instances ran under: ["compiled"],
+          ["levelized"], ["fixpoint"] or ["mixed"], with a
+          [" (comb-loop fallback)"] suffix when a compiled/default
+          request had to drop to the fixpoint engine *)
   model_ret : int32;
   model_prints : int32 list;
   model_cycles : int;  (** rtsim hybrid makespan *)
@@ -87,12 +90,23 @@ val run_threaded :
   ?engine:Vsim.engine ->
   ?fuel_cycles:int ->
   ?vcd:string ->
+  ?model:bool ->
+  ?design:Vparse.design ->
   Twill_dswp.Dswp.threaded ->
   report
 (** Runs the rtsim hybrid simulation (software/hardware roles from the
     partition) and the RTL co-simulation of the same design, and
     compares them.  [engine] forces the {!Vsim} scheduling engine for
-    every RTL instance (default: automatic).  [vcd], when given, dumps
+    every RTL instance (default: compiled, with automatic comb-loop
+    fallback).  [vcd], when given, dumps
     one waveform file per RTL instance under that path prefix.
+    [model] (default true) controls the rtsim reference run: with
+    [~model:false] only the RTL side executes — for callers that
+    compare the result against their own reference (the fuzz oracle
+    checks every stage against the AST interpreter) — and the report's
+    [model_*] fields mirror the RTL run with [agree] vacuously true.
+    [design], when given, must be the parsed emitted Verilog of [t] —
+    elaboration only reads it, so a caller observing the same program
+    under several engines can parse once and share.
     @raise Cosim_error if the co-simulation gets stuck (no progress) or
     exceeds [fuel_cycles]. *)

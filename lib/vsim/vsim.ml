@@ -15,15 +15,29 @@
    operand widths, signedness is the conjunction, shifts take the left
    operand's type, concatenation is self-determined and unsigned.
 
-   Two scheduling engines share those closures.  The levelized engine
-   (default) topologically sorts the continuous assigns by their
-   read/write net sets at elaboration and keeps a dirty worklist seeded
-   by every effective net write (poke, blocking write, nonblocking
-   commit), so a settle evaluates each affected assign exactly once in
-   rank order and a quiescent design settles in O(1).  The fixpoint
-   engine re-evaluates every assign to convergence; it is the
-   differential oracle and the automatic fallback for designs whose
-   assign graph has a combinational cycle. *)
+   Three scheduling engines share the two stores.  The compiled engine
+   (default) runs the levelized schedule over closures produced by an
+   optimising compiler: constant subexpressions are folded at
+   elaboration (the fold evaluates the very closure it replaces, so a
+   folded value can never disagree with the unfolded one), canonical
+   conversions become pre-masked closures instead of recomputing
+   [(1 lsl w) - 1] per evaluation, constant indices resolve their
+   bounds checks at compile time, dense constant-label case statements
+   dispatch through a flat thunk array instead of a hashtable, and
+   destination writers are specialised per net.  The levelized engine
+   uses the same rank-order/dirty-worklist scheduler but keeps the
+   naive closure compiler, so it doubles as the differential oracle
+   for the optimising compiler.  The fixpoint engine re-evaluates
+   every assign to convergence; it is the semantic oracle and the
+   automatic fallback for designs whose assign graph has a
+   combinational cycle (an explicitly requested [Compiled] engine
+   falls back too; [Levelized] raises instead).
+
+   The levelized scheduler topologically sorts the continuous assigns
+   by their read/write net sets at elaboration and keeps a dirty
+   worklist seeded by every effective net write (poke, blocking write,
+   nonblocking commit), so a settle evaluates each affected assign
+   exactly once in rank order and a quiescent design settles in O(1). *)
 
 module P = Vparse
 module Vec = Twill_ir.Vec
@@ -88,12 +102,31 @@ let rec ceval (env : (string, int) Hashtbl.t) (e : P.expr) (line : int) : int =
 
 type net = { nname : string; w : int; sg : bool; asize : int (* 0 = scalar *) }
 
-type pending =
-  | Pscalar of int * int (* net, raw value *)
-  | Pelem of int * int * int (* net, element, raw value *)
-  | Pbit of int * int * int (* net, bit, raw value *)
+(* Nonblocking-assign queue: a flat int array with four slots per entry
+   ([kind; net; index; raw value], kind 0 = scalar, 1 = element, 2 =
+   bit) so the hot enqueue path in always bodies allocates nothing. *)
+type pqueue = { mutable pbuf : int array; mutable plen : int (* entries *) }
 
-type engine = Levelized | Fixpoint
+let pq_push (q : pqueue) kind i j v =
+  let off = q.plen * 4 in
+  if off + 4 > Array.length q.pbuf then begin
+    let nb = Array.make (max 256 (2 * Array.length q.pbuf)) 0 in
+    Array.blit q.pbuf 0 nb 0 off;
+    q.pbuf <- nb
+  end;
+  let b = q.pbuf in
+  b.(off) <- kind;
+  b.(off + 1) <- i;
+  b.(off + 2) <- j;
+  b.(off + 3) <- v;
+  q.plen <- q.plen + 1
+
+type engine = Compiled | Levelized | Fixpoint
+
+let engine_name = function
+  | Compiled -> "compiled"
+  | Levelized -> "levelized"
+  | Fixpoint -> "fixpoint"
 
 (* Levelized scheduler state: [lrun] holds the assign closures in rank
    (topological) order, [lnfan] maps a net to the rank positions of the
@@ -119,6 +152,7 @@ type lev = {
   pqueued : bool array;
   mutable lnq : int;
   mutable lqmin : int;
+  mutable pnq : int; (* #procs queued: a zero makes a whole step a no-op *)
 }
 
 type engine_state =
@@ -133,7 +167,7 @@ type t = {
   eng : engine_state;
   engv : engine;
   procs : (unit -> unit) array; (* always bodies, declaration order *)
-  pq : pending Vec.t; (* nonblocking queue, program order *)
+  pq : pqueue; (* nonblocking queue, program order *)
   touch : int -> unit; (* net changed: seed the dirty worklist *)
   sdirty : bool ref; (* some net changed since the last settle *)
   tinputs : string list; (* top module's input ports, declaration order *)
@@ -297,7 +331,33 @@ let flatten (design : P.design) (top : string) (overrides : (string * int) list)
 
 (* ---- pass 2: compile everything to closures ----------------------------- *)
 
-type cexpr = { cw : int; cs : bool; ev : unit -> int }
+(* [cst] is the compile-time value of a constant subexpression (always
+   exactly what [ev ()] returns); only the optimising compiler consults
+   it.  The naive compiler still records it at the leaves so the two
+   compilers share one expression type. *)
+type cexpr = { cw : int; cs : bool; ev : unit -> int; cst : int option }
+
+(* specialised canonicalisers: the mask, sign bit and 2^w are computed
+   once per compile site instead of once per evaluation *)
+let canon_fn w sg : int -> int =
+  if w >= 62 then Fun.id
+  else begin
+    let m = (1 lsl w) - 1 in
+    if sg then begin
+      let sb = 1 lsl (w - 1) and top = 1 lsl w in
+      fun v ->
+        let x = v land m in
+        if x land sb <> 0 then x - top else x
+    end
+    else fun v -> v land m
+  end
+
+let mask_fn w : int -> int =
+  if w >= 62 then Fun.id
+  else begin
+    let m = (1 lsl w) - 1 in
+    fun v -> v land m
+  end
 
 let instantiate ?engine ?(overrides = []) (design : P.design) (top : string) :
     t =
@@ -309,7 +369,14 @@ let instantiate ?engine ?(overrides = []) (design : P.design) (top : string) :
       (fun nt -> if nt.asize > 0 then Array.make nt.asize 0 else [||])
       nets
   in
-  let pq : pending Vec.t = Vec.create ~dummy:(Pscalar (0, 0)) in
+  let pq = { pbuf = Array.make 1024 0; plen = 0 } in
+  (* which closure compiler to use: the optimising one for [Compiled]
+     (the default), the naive one for the two oracle engines *)
+  let copt =
+    match engine with
+    | Some (Levelized | Fixpoint) -> false
+    | Some Compiled | None -> true
+  in
   (* the scheduling hooks are tied after the engine is built; until then
      the closures below see a no-op worklist *)
   let sdirty = ref true in
@@ -322,72 +389,168 @@ let instantiate ?engine ?(overrides = []) (design : P.design) (top : string) :
   (* conversion into a context type: canonical in, canonical out *)
   let conv wr sr (x : cexpr) =
     let ev = x.ev in
-    if x.cw = wr && x.cs = sr then ev else fun () -> canon wr sr (ev ())
+    if x.cw = wr && x.cs = sr then ev
+    else if copt then
+      match x.cst with
+      | Some c ->
+          let c = canon wr sr c in
+          fun () -> c
+      | None ->
+          let cf = canon_fn wr sr in
+          fun () -> cf (ev ())
+    else fun () -> canon wr sr (ev ())
+  in
+  let cconst cw cs c = { cw; cs; ev = (fun () -> c); cst = Some c } in
+  (* Fold an operator node whose operands are all constants by
+     evaluating, at elaboration, the very closure it would otherwise
+     become at runtime: expression closures are pure (net reads are the
+     only effects, and a node with all-constant operands reads no nets),
+     so the folded value cannot disagree with the unfolded engine. *)
+  let fold (ops : cexpr list) (ce : cexpr) : cexpr =
+    if copt && List.for_all (fun o -> o.cst <> None) ops then
+      cconst ce.cw ce.cs (ce.ev ())
+    else ce
   in
   let rec comp (sc : scope) (e : P.expr) : cexpr =
     match e with
     | P.Num (v, w, sg) ->
-        if w = 0 then { cw = 32; cs = true; ev = (fun () -> v) }
+        if w = 0 then { cw = 32; cs = true; ev = (fun () -> v); cst = Some v }
         else
           let c = canon w sg v in
-          { cw = w; cs = sg; ev = (fun () -> c) }
+          { cw = w; cs = sg; ev = (fun () -> c); cst = Some c }
     | P.Id x -> (
         match Hashtbl.find_opt sc.senv x with
-        | Some v -> { cw = 32; cs = true; ev = (fun () -> v) }
+        | Some v -> { cw = 32; cs = true; ev = (fun () -> v); cst = Some v }
         | None ->
             let i = resolve sc x 0 in
             let nt = nets.(i) in
             if nt.asize > 0 then
               raise (Elab_error ("memory read without index: " ^ nt.nname, 0));
-            { cw = nt.w; cs = nt.sg; ev = (fun () -> vals.(i)) })
+            { cw = nt.w; cs = nt.sg; ev = (fun () -> vals.(i)); cst = None })
     | P.Index (x, ie) -> (
         let i = resolve sc x 0 in
         let nt = nets.(i) in
         let ci = comp sc ie in
         let iev = ci.ev in
-        if nt.asize > 0 then
+        if nt.asize > 0 then begin
           let mem = mems.(i) and asize = nt.asize in
-          {
-            cw = nt.w;
-            cs = nt.sg;
-            ev =
-              (fun () ->
-                let j = iev () in
-                if j < 0 || j >= asize then 0 else mem.(j));
-          }
-        else
+          match (copt, ci.cst) with
+          | true, Some j ->
+              (* constant element index: bounds resolved at compile *)
+              if j < 0 || j >= asize then cconst nt.w nt.sg 0
+              else
+                { cw = nt.w; cs = nt.sg; ev = (fun () -> mem.(j)); cst = None }
+          | _ ->
+              {
+                cw = nt.w;
+                cs = nt.sg;
+                ev =
+                  (fun () ->
+                    let j = iev () in
+                    if j < 0 || j >= asize then 0 else mem.(j));
+                cst = None;
+              }
+        end
+        else begin
           let w = nt.w in
-          {
-            cw = 1;
-            cs = false;
-            ev =
-              (fun () ->
-                let b = iev () in
-                if b < 0 || b >= w then 0
-                else (mask_bits w vals.(i) lsr b) land 1);
-          })
+          match (copt, ci.cst) with
+          | true, Some b ->
+              if b < 0 || b >= w then cconst 1 false 0
+              else if not nt.sg then
+                (* unsigned canonical values are already masked *)
+                {
+                  cw = 1;
+                  cs = false;
+                  ev = (fun () -> (vals.(i) lsr b) land 1);
+                  cst = None;
+                }
+              else
+                let mf = mask_fn w in
+                {
+                  cw = 1;
+                  cs = false;
+                  ev = (fun () -> (mf vals.(i) lsr b) land 1);
+                  cst = None;
+                }
+          | true, None ->
+              let mf = mask_fn w in
+              {
+                cw = 1;
+                cs = false;
+                ev =
+                  (fun () ->
+                    let b = iev () in
+                    if b < 0 || b >= w then 0 else (mf vals.(i) lsr b) land 1);
+                cst = None;
+              }
+          | false, _ ->
+              {
+                cw = 1;
+                cs = false;
+                ev =
+                  (fun () ->
+                    let b = iev () in
+                    if b < 0 || b >= w then 0
+                    else (mask_bits w vals.(i) lsr b) land 1);
+                cst = None;
+              }
+        end)
     | P.Unop ("-", a) ->
         let ca = comp sc a in
         let wr = max ca.cw 32 and sr = ca.cs in
         let e = conv wr sr ca in
-        { cw = wr; cs = sr; ev = (fun () -> canon wr sr (-e ())) }
+        let ce =
+          if copt then begin
+            let cf = canon_fn wr sr in
+            { cw = wr; cs = sr; ev = (fun () -> cf (-e ())); cst = None }
+          end
+          else
+            {
+              cw = wr;
+              cs = sr;
+              ev = (fun () -> canon wr sr (-e ()));
+              cst = None;
+            }
+        in
+        fold [ ca ] ce
     | P.Unop ("!", a) ->
-        let e = (comp sc a).ev in
-        { cw = 1; cs = false; ev = (fun () -> if e () = 0 then 1 else 0) }
+        let ca = comp sc a in
+        let e = ca.ev in
+        fold [ ca ]
+          {
+            cw = 1;
+            cs = false;
+            ev = (fun () -> if e () = 0 then 1 else 0);
+            cst = None;
+          }
     | P.Unop ("~", a) ->
         let ca = comp sc a in
         let wr = ca.cw and sr = ca.cs in
         let e = ca.ev in
-        { cw = wr; cs = sr; ev = (fun () -> canon wr sr (lnot (e ()))) }
+        let ce =
+          if copt then begin
+            let cf = canon_fn wr sr in
+            { cw = wr; cs = sr; ev = (fun () -> cf (lnot (e ()))); cst = None }
+          end
+          else
+            {
+              cw = wr;
+              cs = sr;
+              ev = (fun () -> canon wr sr (lnot (e ())));
+              cst = None;
+            }
+        in
+        fold [ ca ] ce
     | P.Unop (op, _) -> raise (Elab_error ("unknown operator " ^ op, 0))
     | P.Binop ((("&&" | "||") as op), a, b) ->
-        let ea = (comp sc a).ev and eb = (comp sc b).ev in
+        let ca = comp sc a and cb = comp sc b in
+        let ea = ca.ev and eb = cb.ev in
         let ev =
           if op = "&&" then fun () ->
             if ea () <> 0 && eb () <> 0 then 1 else 0
           else fun () -> if ea () <> 0 || eb () <> 0 then 1 else 0
         in
-        { cw = 1; cs = false; ev }
+        fold [ ca; cb ] { cw = 1; cs = false; ev; cst = None }
     | P.Binop ((("<" | "<=" | ">" | ">=" | "==" | "!=") as op), a, b) ->
         let ca = comp sc a and cb = comp sc b in
         let wr = max ca.cw cb.cw and sr = ca.cs && cb.cs in
@@ -401,86 +564,235 @@ let instantiate ?engine ?(overrides = []) (design : P.design) (top : string) :
           | "==" -> ( = )
           | _ -> ( <> )
         in
-        {
-          cw = 1;
-          cs = false;
-          ev = (fun () -> if cmp (ea ()) (eb ()) then 1 else 0);
-        }
+        fold [ ca; cb ]
+          {
+            cw = 1;
+            cs = false;
+            ev = (fun () -> if cmp (ea ()) (eb ()) then 1 else 0);
+            cst = None;
+          }
     | P.Binop ((("<<" | ">>" | ">>>") as op), a, b) ->
         let ca = comp sc a and cb = comp sc b in
         let wr = ca.cw and sr = ca.cs in
         let ea = ca.ev and eb = cb.ev in
-        let ev =
-          match op with
-          | "<<" ->
-              fun () ->
-                let amt = eb () in
-                if amt < 0 || amt >= 62 then 0
-                else canon wr sr (mask_bits wr (ea ()) lsl amt)
-          | ">>" ->
-              fun () ->
-                let amt = eb () in
-                if amt < 0 || amt >= wr then 0
-                else canon wr sr (mask_bits wr (ea ()) lsr amt)
-          | _ ->
-              (* >>> arithmetic only matters for signed operands *)
-              fun () ->
-                let amt = eb () in
+        let mk ev = { cw = wr; cs = sr; ev; cst = None } in
+        let ce =
+          if copt then begin
+            let cf = canon_fn wr sr and mf = mask_fn wr in
+            match (op, cb.cst) with
+            | "<<", Some amt ->
+                if amt < 0 || amt >= 62 then mk (fun () -> 0)
+                else mk (fun () -> cf (mf (ea ()) lsl amt))
+            | "<<", None ->
+                mk (fun () ->
+                    let amt = eb () in
+                    if amt < 0 || amt >= 62 then 0
+                    else cf (mf (ea ()) lsl amt))
+            | ">>", Some amt ->
+                if amt < 0 || amt >= wr then mk (fun () -> 0)
+                else mk (fun () -> cf (mf (ea ()) lsr amt))
+            | ">>", None ->
+                mk (fun () ->
+                    let amt = eb () in
+                    if amt < 0 || amt >= wr then 0
+                    else cf (mf (ea ()) lsr amt))
+            | _, Some amt ->
                 let amt = if amt < 0 then 62 else min amt 62 in
-                if sr then canon wr sr (ea () asr amt)
-                else if amt >= wr then 0
-                else canon wr sr (mask_bits wr (ea ()) lsr amt)
+                if sr then mk (fun () -> cf (ea () asr amt))
+                else if amt >= wr then mk (fun () -> 0)
+                else mk (fun () -> cf (mf (ea ()) lsr amt))
+            | _, None ->
+                mk (fun () ->
+                    let amt = eb () in
+                    let amt = if amt < 0 then 62 else min amt 62 in
+                    if sr then cf (ea () asr amt)
+                    else if amt >= wr then 0
+                    else cf (mf (ea ()) lsr amt))
+          end
+          else
+            mk
+              (match op with
+              | "<<" ->
+                  fun () ->
+                    let amt = eb () in
+                    if amt < 0 || amt >= 62 then 0
+                    else canon wr sr (mask_bits wr (ea ()) lsl amt)
+              | ">>" ->
+                  fun () ->
+                    let amt = eb () in
+                    if amt < 0 || amt >= wr then 0
+                    else canon wr sr (mask_bits wr (ea ()) lsr amt)
+              | _ ->
+                  (* >>> arithmetic only matters for signed operands *)
+                  fun () ->
+                    let amt = eb () in
+                    let amt = if amt < 0 then 62 else min amt 62 in
+                    if sr then canon wr sr (ea () asr amt)
+                    else if amt >= wr then 0
+                    else canon wr sr (mask_bits wr (ea ()) lsr amt))
         in
-        { cw = wr; cs = sr; ev }
+        fold [ ca; cb ] ce
     | P.Binop (op, a, b) ->
         let ca = comp sc a and cb = comp sc b in
         let wr = max ca.cw cb.cw and sr = ca.cs && cb.cs in
         let ea = conv wr sr ca and eb = conv wr sr cb in
-        let f : int -> int -> int =
-          match op with
-          | "+" -> ( + )
-          | "-" -> ( - )
-          | "*" -> ( * )
-          | "/" -> fun x y -> if y = 0 then 0 else x / y
-          | "%" -> fun x y -> if y = 0 then 0 else x mod y
-          | "&" -> ( land )
-          | "|" -> ( lor )
-          | "^" -> ( lxor )
-          | op -> raise (Elab_error ("unknown operator " ^ op, 0))
+        let ce =
+          if copt then begin
+            let cf = canon_fn wr sr in
+            let ev =
+              match op with
+              | "+" -> fun () -> cf (ea () + eb ())
+              | "-" -> fun () -> cf (ea () - eb ())
+              | "*" -> fun () -> cf (ea () * eb ())
+              | "/" ->
+                  fun () ->
+                    let y = eb () in
+                    if y = 0 then 0 else cf (ea () / y)
+              | "%" ->
+                  fun () ->
+                    let y = eb () in
+                    if y = 0 then 0 else cf (ea () mod y)
+              | "&" -> fun () -> cf (ea () land eb ())
+              | "|" -> fun () -> cf (ea () lor eb ())
+              | "^" -> fun () -> cf (ea () lxor eb ())
+              | op -> raise (Elab_error ("unknown operator " ^ op, 0))
+            in
+            { cw = wr; cs = sr; ev; cst = None }
+          end
+          else begin
+            let f : int -> int -> int =
+              match op with
+              | "+" -> ( + )
+              | "-" -> ( - )
+              | "*" -> ( * )
+              | "/" -> fun x y -> if y = 0 then 0 else x / y
+              | "%" -> fun x y -> if y = 0 then 0 else x mod y
+              | "&" -> ( land )
+              | "|" -> ( lor )
+              | "^" -> ( lxor )
+              | op -> raise (Elab_error ("unknown operator " ^ op, 0))
+            in
+            {
+              cw = wr;
+              cs = sr;
+              ev = (fun () -> canon wr sr (f (ea ()) (eb ())));
+              cst = None;
+            }
+          end
         in
-        { cw = wr; cs = sr; ev = (fun () -> canon wr sr (f (ea ()) (eb ()))) }
+        fold [ ca; cb ] ce
     | P.Ternary (c, a, b) ->
-        let ec = (comp sc c).ev in
+        let cc = comp sc c in
+        let ec = cc.ev in
         let ca = comp sc a and cb = comp sc b in
         let wr = max ca.cw cb.cw and sr = ca.cs && cb.cs in
         let ea = conv wr sr ca and eb = conv wr sr cb in
-        { cw = wr; cs = sr; ev = (fun () -> if ec () <> 0 then ea () else eb ()) }
+        if copt && cc.cst <> None then begin
+          (* statically taken branch; both branches are pure *)
+          let taken = Option.get cc.cst <> 0 in
+          fold
+            [ (if taken then ca else cb) ]
+            {
+              cw = wr;
+              cs = sr;
+              ev = (if taken then ea else eb);
+              cst = None;
+            }
+        end
+        else
+          {
+            cw = wr;
+            cs = sr;
+            ev = (fun () -> if ec () <> 0 then ea () else eb ());
+            cst = None;
+          }
     | P.Concat es ->
         let cs_ = List.map (comp sc) es in
         let wr = List.fold_left (fun acc c -> acc + c.cw) 0 cs_ in
-        let parts = Array.of_list cs_ in
-        {
-          cw = wr;
-          cs = false;
-          ev =
-            (fun () ->
-              let acc = ref 0 in
-              Array.iter
-                (fun c -> acc := (!acc lsl c.cw) lor mask_bits c.cw (c.ev ()))
-                parts;
-              !acc);
-        }
+        let ce =
+          if copt then begin
+            let parts =
+              Array.of_list (List.map (fun c -> (c.cw, mask_fn c.cw, c.ev)) cs_)
+            in
+            match parts with
+            | [| (_, mfa, ea); (wb, mfb, eb) |] ->
+                {
+                  cw = wr;
+                  cs = false;
+                  ev = (fun () -> (mfa (ea ()) lsl wb) lor mfb (eb ()));
+                  cst = None;
+                }
+            | _ ->
+                {
+                  cw = wr;
+                  cs = false;
+                  ev =
+                    (fun () ->
+                      let acc = ref 0 in
+                      Array.iter
+                        (fun (w, mf, ev) -> acc := (!acc lsl w) lor mf (ev ()))
+                        parts;
+                      !acc);
+                  cst = None;
+                }
+          end
+          else begin
+            let parts = Array.of_list cs_ in
+            {
+              cw = wr;
+              cs = false;
+              ev =
+                (fun () ->
+                  let acc = ref 0 in
+                  Array.iter
+                    (fun c ->
+                      acc := (!acc lsl c.cw) lor mask_bits c.cw (c.ev ()))
+                    parts;
+                  !acc);
+              cst = None;
+            }
+          end
+        in
+        fold cs_ ce
     | P.Sysfun ("$unsigned", a) ->
         let ca = comp sc a in
         let ev = ca.ev and w = ca.cw in
-        { cw = w; cs = false; ev = (fun () -> mask_bits w (ev ())) }
+        let ce =
+          if copt then begin
+            let mf = mask_fn w in
+            { cw = w; cs = false; ev = (fun () -> mf (ev ())); cst = None }
+          end
+          else
+            {
+              cw = w;
+              cs = false;
+              ev = (fun () -> mask_bits w (ev ()));
+              cst = None;
+            }
+        in
+        fold [ ca ] ce
     | P.Sysfun ("$signed", a) ->
         let ca = comp sc a in
         let ev = ca.ev and w = ca.cw in
-        { cw = w; cs = true; ev = (fun () -> canon w true (ev ())) }
+        let ce =
+          if copt then begin
+            let cf = canon_fn w true in
+            { cw = w; cs = true; ev = (fun () -> cf (ev ())); cst = None }
+          end
+          else
+            {
+              cw = w;
+              cs = true;
+              ev = (fun () -> canon w true (ev ()));
+              cst = None;
+            }
+        in
+        fold [ ca ] ce
     | P.Sysfun ("$clog2", a) ->
-        let ev = (comp sc a).ev in
-        { cw = 32; cs = true; ev = (fun () -> clog2 (ev ())) }
+        let ca = comp sc a in
+        let ev = ca.ev in
+        fold [ ca ]
+          { cw = 32; cs = true; ev = (fun () -> clog2 (ev ())); cst = None }
     | P.Sysfun (f, _) -> raise (Elab_error ("unknown system function " ^ f, 0))
   in
   (* destination helpers: blocking write-through and nonblocking schedule;
@@ -532,16 +844,45 @@ let instantiate ?engine ?(overrides = []) (design : P.design) (top : string) :
         raise (Elab_error ("memory write without index: " ^ nt.nname, line))
     | None, false ->
         let ev = rhs.ev in
-        if blocking then fun () -> write_scalar i (ev ())
-        else fun () -> ignore (Vec.push pq (Pscalar (i, ev ())))
+        if blocking then
+          if copt then begin
+            (* specialized writer: canon closure + net fields resolved *)
+            let cf = canon_fn nt.w nt.sg in
+            fun () ->
+              let v = cf (ev ()) in
+              if vals.(i) <> v then begin
+                vals.(i) <- v;
+                sdirty := true;
+                !touch_ref i
+              end
+          end
+          else fun () -> write_scalar i (ev ())
+        else fun () -> pq_push pq 0 i 0 (ev ())
     | Some ie, true ->
         let iev = (comp dsc ie).ev and ev = rhs.ev in
-        if blocking then fun () -> write_elem i (iev ()) (ev ()) line
-        else fun () -> ignore (Vec.push pq (Pelem (i, iev (), ev ())))
+        if blocking then
+          if copt then begin
+            let cf = canon_fn nt.w nt.sg in
+            let asize = nt.asize and mem = mems.(i) and nname = nt.nname in
+            fun () ->
+              let j = iev () in
+              if j < 0 || j >= asize then
+                raise
+                  (Sim_error
+                     (Printf.sprintf "line %d: %s[%d] out of range" line nname j));
+              let v = cf (ev ()) in
+              if mem.(j) <> v then begin
+                mem.(j) <- v;
+                sdirty := true;
+                !touch_ref i
+              end
+          end
+          else fun () -> write_elem i (iev ()) (ev ()) line
+        else fun () -> pq_push pq 1 i (iev ()) (ev ())
     | Some ie, false ->
         let iev = (comp dsc ie).ev and ev = rhs.ev in
         if blocking then fun () -> write_bit i (iev ()) (ev ()) line
-        else fun () -> ignore (Vec.push pq (Pbit (i, iev (), ev ())))
+        else fun () -> pq_push pq 2 i (iev ()) (ev ())
   in
   let rec cstmt (sc : scope) (s : P.stmt) : unit -> unit =
     match s with
@@ -549,13 +890,19 @@ let instantiate ?engine ?(overrides = []) (design : P.design) (top : string) :
         let cs_ = Array.of_list (List.map (cstmt sc) ss) in
         fun () -> Array.iter (fun f -> f ()) cs_
     | P.If (c, th, el) -> (
-        let ec = (comp sc c).ev in
+        let cc = comp sc c in
+        let ec = cc.ev in
         let ct = cstmt sc th in
         match el with
-        | None -> fun () -> if ec () <> 0 then ct ()
+        | None ->
+            if copt && cc.cst <> None then
+              if Option.get cc.cst <> 0 then ct else fun () -> ()
+            else fun () -> if ec () <> 0 then ct ()
         | Some e ->
             let ce = cstmt sc e in
-            fun () -> if ec () <> 0 then ct () else ce ())
+            if copt && cc.cst <> None then
+              if Option.get cc.cst <> 0 then ct else ce
+            else fun () -> if ec () <> 0 then ct () else ce ())
     | P.Case (scrut, arms, dflt) -> (
         let cscrut = comp sc scrut in
         let cdflt =
@@ -588,7 +935,8 @@ let instantiate ?engine ?(overrides = []) (design : P.design) (top : string) :
                      ls)
                  arms
           in
-          let tbl = Hashtbl.create 64 in
+          (* first occurrence of a label wins, matching scan order *)
+          let entries = ref [] and seen = Hashtbl.create 64 in
           List.iter
             (fun (ls, st) ->
               let f = cstmt sc st in
@@ -597,15 +945,36 @@ let instantiate ?engine ?(overrides = []) (design : P.design) (top : string) :
                   match const_label l with
                   | Some v ->
                       let k = canon wr sr v in
-                      if not (Hashtbl.mem tbl k) then Hashtbl.replace tbl k f
+                      if not (Hashtbl.mem seen k) then begin
+                        Hashtbl.replace seen k ();
+                        entries := (k, f) :: !entries
+                      end
                   | None -> ())
                 ls)
             arms;
+          let entries = List.rev !entries in
           let escr = conv wr sr cscrut in
-          fun () ->
-            match Hashtbl.find_opt tbl (escr ()) with
-            | Some f -> f ()
-            | None -> cdflt ()
+          let lo = List.fold_left (fun a (k, _) -> min a k) max_int entries
+          and hi = List.fold_left (fun a (k, _) -> max a k) min_int entries in
+          if
+            copt && entries <> []
+            && hi - lo < (4 * List.length entries) + 64
+          then begin
+            (* dense constant labels (FSM state dispatch): flat thunk table *)
+            let tbl = Array.make (hi - lo + 1) cdflt in
+            List.iter (fun (k, f) -> tbl.(k - lo) <- f) entries;
+            fun () ->
+              let v = escr () in
+              if v >= lo && v <= hi then tbl.(v - lo) () else cdflt ()
+          end
+          else begin
+            let tbl = Hashtbl.create 64 in
+            List.iter (fun (k, f) -> Hashtbl.replace tbl k f) entries;
+            fun () ->
+              match Hashtbl.find_opt tbl (escr ()) with
+              | Some f -> f ()
+              | None -> cdflt ()
+          end
         end
         else
           (* general fallback: linear scan with == semantics *)
@@ -656,31 +1025,61 @@ let instantiate ?engine ?(overrides = []) (design : P.design) (top : string) :
     match (fa.dlv.P.index, nt.asize > 0) with
     | None, false ->
         let ev = rhs.ev in
-        let w = nt.w and sg = nt.sg in
-        fun () ->
-          let v = canon w sg (ev ()) in
-          if vals.(i) <> v then begin
-            vals.(i) <- v;
-            true
-          end
-          else false
+        if copt then begin
+          let cf = canon_fn nt.w nt.sg in
+          fun () ->
+            let v = cf (ev ()) in
+            if vals.(i) <> v then begin
+              vals.(i) <- v;
+              true
+            end
+            else false
+        end
+        else begin
+          let w = nt.w and sg = nt.sg in
+          fun () ->
+            let v = canon w sg (ev ()) in
+            if vals.(i) <> v then begin
+              vals.(i) <- v;
+              true
+            end
+            else false
+        end
     | Some ie, true ->
         let iev = (comp fa.dsc ie).ev and ev = rhs.ev in
         let line = fa.aline in
-        fun () ->
-          let j = iev () in
-          let nt = nets.(i) in
-          if j < 0 || j >= nt.asize then
-            raise
-              (Sim_error
-                 (Printf.sprintf "line %d: assign %s[%d] out of range" line
-                    nt.nname j));
-          let v = canon nt.w nt.sg (ev ()) in
-          if mems.(i).(j) <> v then begin
-            mems.(i).(j) <- v;
-            true
-          end
-          else false
+        if copt then begin
+          let cf = canon_fn nt.w nt.sg in
+          let asize = nt.asize and mem = mems.(i) and nname = nt.nname in
+          fun () ->
+            let j = iev () in
+            if j < 0 || j >= asize then
+              raise
+                (Sim_error
+                   (Printf.sprintf "line %d: assign %s[%d] out of range" line
+                      nname j));
+            let v = cf (ev ()) in
+            if mem.(j) <> v then begin
+              mem.(j) <- v;
+              true
+            end
+            else false
+        end
+        else
+          fun () ->
+            let j = iev () in
+            let nt = nets.(i) in
+            if j < 0 || j >= nt.asize then
+              raise
+                (Sim_error
+                   (Printf.sprintf "line %d: assign %s[%d] out of range" line
+                      nt.nname j));
+            let v = canon nt.w nt.sg (ev ()) in
+            if mems.(i).(j) <> v then begin
+              mems.(i).(j) <- v;
+              true
+            end
+            else false
     | Some ie, false ->
         let iev = (comp fa.dsc ie).ev and ev = rhs.ev in
         let line = fa.aline in
@@ -837,6 +1236,7 @@ let instantiate ?engine ?(overrides = []) (design : P.design) (top : string) :
           pqueued = Array.make nprocs true;
           lnq = na;
           lqmin = 0;
+          pnq = nprocs;
         }
     end
   in
@@ -850,9 +1250,11 @@ let instantiate ?engine ?(overrides = []) (design : P.design) (top : string) :
             raise
               (Sim_error
                  ("combinational loop: " ^ top ^ " cannot be levelized")))
-    | None -> (
+    | Some Compiled | None -> (
+        (* comb-loop fallback: fixpoint over the same (optimised)
+           closures; engine_of reports the engine actually running *)
         match build_lev () with
-        | Some l -> (Elev l, Levelized)
+        | Some l -> (Elev l, Compiled)
         | None -> (Efix closures, Fixpoint))
   in
   let touch =
@@ -871,7 +1273,11 @@ let instantiate ?engine ?(overrides = []) (design : P.design) (top : string) :
           done;
           let pf = lev.pnfan.(i) in
           for k = 0 to Array.length pf - 1 do
-            lev.pqueued.(pf.(k)) <- true
+            let q = pf.(k) in
+            if not lev.pqueued.(q) then begin
+              lev.pqueued.(q) <- true;
+              lev.pnq <- lev.pnq + 1
+            end
           done
   in
   touch_ref := touch;
@@ -879,6 +1285,7 @@ let instantiate ?engine ?(overrides = []) (design : P.design) (top : string) :
     cyc = 0 }
 
 (* ---- simulation --------------------------------------------------------- *)
+
 
 let settle (t : t) =
   match t.eng with
@@ -918,10 +1325,14 @@ let commit (t : t) =
   (* apply in program order, counting only effective writes so a
      quiescent commit leaves the worklist empty and the second settle
      of the cycle is skipped *)
-  let np = Vec.length t.pq in
-  for k = 0 to np - 1 do
-    match Vec.get t.pq k with
-    | Pscalar (i, v) ->
+  let q = t.pq in
+  let b = q.pbuf in
+  for k = 0 to q.plen - 1 do
+    let off = k * 4 in
+    let i = b.(off + 1) in
+    match b.(off) with
+    | 0 ->
+        let v = b.(off + 3) in
         let nt = t.nets.(i) in
         let v = canon nt.w nt.sg v in
         if t.vals.(i) <> v then begin
@@ -929,7 +1340,8 @@ let commit (t : t) =
           t.sdirty := true;
           t.touch i
         end
-    | Pelem (i, j, v) ->
+    | 1 ->
+        let j = b.(off + 2) and v = b.(off + 3) in
         let nt = t.nets.(i) in
         if j < 0 || j >= nt.asize then
           raise (Sim_error (Printf.sprintf "%s[%d] out of range" nt.nname j));
@@ -939,13 +1351,14 @@ let commit (t : t) =
           t.sdirty := true;
           t.touch i
         end
-    | Pbit (i, b, v) ->
+    | _ ->
+        let bi = b.(off + 2) and v = b.(off + 3) in
         let nt = t.nets.(i) in
-        if b >= 0 && b < nt.w then begin
+        if bi >= 0 && bi < nt.w then begin
           let cur = mask_bits nt.w t.vals.(i) in
           let cur =
-            if v land 1 <> 0 then cur lor (1 lsl b)
-            else cur land lnot (1 lsl b)
+            if v land 1 <> 0 then cur lor (1 lsl bi)
+            else cur land lnot (1 lsl bi)
           in
           let v = canon nt.w nt.sg cur in
           if t.vals.(i) <> v then begin
@@ -955,29 +1368,40 @@ let commit (t : t) =
           end
         end
   done;
-  Vec.clear t.pq
+  q.plen <- 0
 
 let step (t : t) =
-  settle t;
-  (match t.eng with
-  | Efix _ ->
-      (* oracle semantics: every always body fires on every edge *)
-      Array.iter (fun f -> f ()) t.procs
-  | Elev lev ->
-      (* activity-gated: run only the procs whose read nets changed
-         since their last run, in declaration order.  The flag is
-         cleared before the body so effective self-writes (blocking
-         assigns the proc itself reads) conservatively requeue it. *)
-      let procs = t.procs in
-      for k = 0 to Array.length procs - 1 do
-        if lev.pqueued.(k) then begin
-          lev.pqueued.(k) <- false;
-          procs.(k) ()
-        end
-      done);
-  commit t;
-  settle t;
-  t.cyc <- t.cyc + 1
+  match t.eng with
+  | Elev lev when lev.lnq = 0 && lev.pnq = 0 ->
+      (* quiescent instance: nothing is dirty and no proc would fire —
+         the whole edge is a no-op apart from the clock itself.  The
+         nonblocking queue is necessarily empty here (it only fills
+         while a proc body runs within [step]). *)
+      t.cyc <- t.cyc + 1
+  | _ ->
+      settle t;
+      (match t.eng with
+      | Efix _ ->
+          (* oracle semantics: every always body fires on every edge *)
+          Array.iter (fun f -> f ()) t.procs
+      | Elev lev ->
+          (* activity-gated: run only the procs whose read nets changed
+             since their last run, in declaration order.  The flag is
+             cleared before the body so effective self-writes (blocking
+             assigns the proc itself reads) conservatively requeue it. *)
+          if lev.pnq > 0 then begin
+            let procs = t.procs in
+            for k = 0 to Array.length procs - 1 do
+              if lev.pqueued.(k) then begin
+                lev.pqueued.(k) <- false;
+                lev.pnq <- lev.pnq - 1;
+                procs.(k) ()
+              end
+            done
+          end);
+      commit t;
+      settle t;
+      t.cyc <- t.cyc + 1
 
 let find (t : t) (name : string) : int =
   match Hashtbl.find_opt t.index name with
@@ -1058,6 +1482,7 @@ let compare_state (a : t) (b : t) : string option =
 module Vcd = struct
   type dumper = {
     oc : out_channel;
+    buf : Buffer.t; (* staged bytes, flushed once per timestep *)
     sim : t;
     scalars : int array; (* net ids with asize = 0 *)
     codes : string array; (* VCD short identifiers, indexed like scalars *)
@@ -1077,19 +1502,30 @@ module Vcd = struct
   let sanitize name =
     String.map (fun c -> if c = '.' then '_' else c) name
 
-  let emit_value oc (nt : net) v code =
-    if nt.w = 1 then Printf.fprintf oc "%d%s\n" (v land 1) code
+  let emit_value buf (nt : net) v code =
+    if nt.w = 1 then begin
+      Buffer.add_char buf (if v land 1 = 1 then '1' else '0');
+      Buffer.add_string buf code;
+      Buffer.add_char buf '\n'
+    end
     else begin
       let m = mask_bits nt.w v in
-      let b = Bytes.make nt.w '0' in
-      for k = 0 to nt.w - 1 do
-        if (m lsr (nt.w - 1 - k)) land 1 = 1 then Bytes.set b k '1'
+      Buffer.add_char buf 'b';
+      for k = nt.w - 1 downto 0 do
+        Buffer.add_char buf (if (m lsr k) land 1 = 1 then '1' else '0')
       done;
-      Printf.fprintf oc "b%s %s\n" (Bytes.to_string b) code
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf code;
+      Buffer.add_char buf '\n'
     end
+
+  let flush (d : dumper) =
+    Buffer.output_buffer d.oc d.buf;
+    Buffer.clear d.buf
 
   let create (sim : t) (path : string) : dumper =
     let oc = open_out path in
+    let buf = Buffer.create 65536 in
     let scalars =
       Array.of_list
         (List.filter
@@ -1097,37 +1533,43 @@ module Vcd = struct
            (List.init (Array.length sim.nets) Fun.id))
     in
     let codes = Array.mapi (fun k _ -> code_of k) scalars in
-    Printf.fprintf oc "$timescale 1ns $end\n$scope module top $end\n";
+    Buffer.add_string buf "$timescale 1ns $end\n$scope module top $end\n";
     Array.iteri
       (fun k i ->
         let nt = sim.nets.(i) in
-        Printf.fprintf oc "$var wire %d %s %s $end\n" nt.w codes.(k)
+        Printf.bprintf buf "$var wire %d %s %s $end\n" nt.w codes.(k)
           (sanitize nt.nname))
       scalars;
-    Printf.fprintf oc "$upscope $end\n$enddefinitions $end\n$dumpvars\n";
+    Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n$dumpvars\n";
     let last = Array.make (Array.length scalars) 0 in
     Array.iteri
       (fun k i ->
         last.(k) <- sim.vals.(i);
-        emit_value oc sim.nets.(i) sim.vals.(i) codes.(k))
+        emit_value buf sim.nets.(i) sim.vals.(i) codes.(k))
       scalars;
-    Printf.fprintf oc "$end\n";
-    { oc; sim; scalars; codes; last; closed = false }
+    Buffer.add_string buf "$end\n";
+    let d = { oc; buf; sim; scalars; codes; last; closed = false } in
+    flush d;
+    d
 
   let sample (d : dumper) =
-    Printf.fprintf d.oc "#%d\n" d.sim.cyc;
+    Buffer.add_char d.buf '#';
+    Buffer.add_string d.buf (string_of_int d.sim.cyc);
+    Buffer.add_char d.buf '\n';
     Array.iteri
       (fun k i ->
         let v = d.sim.vals.(i) in
         if v <> d.last.(k) then begin
           d.last.(k) <- v;
-          emit_value d.oc d.sim.nets.(i) v d.codes.(k)
+          emit_value d.buf d.sim.nets.(i) v d.codes.(k)
         end)
-      d.scalars
+      d.scalars;
+    flush d
 
   let close (d : dumper) =
     if not d.closed then begin
       d.closed <- true;
+      flush d;
       close_out d.oc
     end
 end

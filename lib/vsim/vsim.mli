@@ -25,18 +25,26 @@ exception Sim_error of string
 
 type t
 
-(** Scheduling engine for the continuous assigns.
+(** Scheduling/compilation engine for the design.
 
-    [Levelized] (the default) topologically sorts the assigns by their
-    read/write net sets at elaboration and evaluates, via a dirty-net
-    worklist, only the assigns whose inputs actually changed — each at
-    most once per settle, in rank order.  [Fixpoint] is the original
-    engine: re-evaluate every assign until quiescence.  It is kept as
-    the differential oracle and as the automatic fallback when the
-    assign graph has a combinational cycle (which the levelized engine
-    cannot order).  Both engines produce identical per-cycle net values
-    on the single-driver designs the emitters produce. *)
-type engine = Levelized | Fixpoint
+    [Compiled] (the default) runs the levelized dirty-net worklist over
+    closures built by an optimising compiler: operand trees with only
+    constant leaves are folded at elaboration, canonicalisation masks
+    and array bounds with constant indices are precomputed, dense
+    constant [case] labels dispatch through a flat thunk table, and
+    destination writers are specialised per net.  [Levelized] is the
+    same scheduler over naively-compiled closures (one [canon] call per
+    node) — kept as the differential oracle for the optimiser.
+    [Fixpoint] is the original engine: re-evaluate every assign until
+    quiescence; kept as the semantic oracle and as the automatic
+    fallback when the assign graph has a combinational cycle (which
+    the levelized rank order cannot express).  All three engines
+    produce identical per-cycle net values and VCD bytes on the
+    single-driver designs the emitters produce. *)
+type engine = Compiled | Levelized | Fixpoint
+
+val engine_name : engine -> string
+(** ["compiled"], ["levelized"], ["fixpoint"]. *)
 
 val instantiate :
   ?engine:engine -> ?overrides:(string * int) list -> Vparse.design ->
@@ -47,8 +55,9 @@ val instantiate :
     outputs with {!peek}.  All registers start at 0; drive the design's
     reset input high for a cycle to apply declared reset values.
 
-    Without [engine] the levelized scheduler is chosen, falling back to
-    the fixpoint oracle if the assign graph is cyclic; passing
+    Without [engine] (or with [~engine:Compiled]) the compiled engine
+    is chosen, falling back to the fixpoint oracle if the assign graph
+    is cyclic — {!engine_of} reports the fallback; passing
     [~engine:Levelized] explicitly instead raises [Sim_error] on a
     cyclic design. *)
 
@@ -105,8 +114,8 @@ val compare_state : t -> t -> string option
 (** [compare_state a b] compares every net (and memory element) of two
     instances elaborated from the same design; [None] if identical,
     otherwise a description of the first mismatch.  Used by the
-    engine-differential suite to pit {!Levelized} against the
-    {!Fixpoint} oracle cycle by cycle. *)
+    engine-differential suite to pit the three engines against each
+    other pairwise, cycle by cycle. *)
 
 (** VCD waveform dumping for debugging: scalar nets only (memories are
     skipped), one timestep per {!step}. *)

@@ -98,6 +98,27 @@ let structure_tests =
                 true
                 (q.Threadgen.src_stage <= q.Threadgen.dst_stage))
           t.Dswp.queues);
+    Alcotest.test_case "cond channel width follows its payload" `Quick
+      (fun () ->
+        (* fuzz-found (seed 11, case 9): a branch condition that is a
+           raw integer rather than a comparison result must cross a
+           full-width queue — a 1-bit cond channel truncates even
+           values to 0 and flips the branch in RTL *)
+        let t =
+          compile_and_partition
+            "int main() { int w4 = 0; while (w4 < 3) { w4 = w4 + 1; if (w4) \
+             continue; print(0); } }"
+        in
+        let conds =
+          Array.to_list t.Dswp.queues
+          |> List.filter (fun (q : Threadgen.queue_info) ->
+                 q.Threadgen.purpose = "cond")
+        in
+        Alcotest.(check bool) "split produced cond channels" true (conds <> []);
+        Alcotest.(check bool) "non-boolean cond crosses full width" true
+          (List.exists
+             (fun (q : Threadgen.queue_info) -> q.Threadgen.width_bits = 32)
+             conds));
     Alcotest.test_case "channels never loop back to their source" `Quick
       (fun () ->
         let t = compile_and_partition (snd (List.nth corpus 2)) in

@@ -73,6 +73,48 @@ let test_generator_valid () =
 
 (* A short real sweep through optimisation and partitioned simulation:
    any repro is a genuine miscompilation. *)
+(* The oracle scans pass prefixes through a per-domain incremental memo
+   (apply only the new stages, reuse the interpreter result when they
+   were all no-ops).  Every memoized prefix observation must equal the
+   from-scratch compile + run_prefix + interpret it replaces — on a
+   clean build and with a planted bug, whose sabotage must invalidate
+   the reuse. *)
+let test_prefix_memo_matches_fresh () =
+  let srcs =
+    List.map
+      (fun index ->
+        Twill_minic.Ast_pp.program_to_string (F.Gen.program ~seed:31 ~index))
+      [ 0; 1; 2 ]
+  in
+  List.iter
+    (fun opts ->
+      List.iter
+        (fun src ->
+          for k = 0 to Twill_passes.Pipeline.nstages do
+            let fresh =
+              let m = Twill_minic.Minic.compile src in
+              Twill_passes.Pipeline.run_prefix
+                ~opts:
+                  {
+                    Twill_passes.Pipeline.default with
+                    break_pass = opts.Twill.pipeline_break;
+                  }
+                k m;
+              Twill_ir.Interp.run m
+            in
+            match
+              Twill.observe ~opts ~stage:(Twill.Obs_opt (k, Twill_ir.Interp.Decoded)) src
+            with
+            | Twill.Obs_ok o ->
+                Alcotest.(check int32) "ret" fresh.Twill_ir.Interp.ret o.Twill.obs_ret;
+                Alcotest.(check (list int32))
+                  "prints" fresh.Twill_ir.Interp.prints o.Twill.obs_prints
+            | Twill.Obs_skip m | Twill.Obs_error m ->
+                Alcotest.fail ("prefix observation failed: " ^ m)
+          done)
+        srcs)
+    [ Twill.default_options; broken "cleanup" ]
+
 let test_stack_agrees () =
   let s = Campaign.run ~limit:Oracle.L_rtsim ~seed:23 ~cases:15 () in
   (match s.Campaign.s_repros with
@@ -189,6 +231,8 @@ let suites =
           test_campaign_deterministic;
         Alcotest.test_case "generated programs are valid" `Quick
           test_generator_valid;
+        Alcotest.test_case "prefix memo matches from-scratch observation"
+          `Quick test_prefix_memo_matches_fresh;
         Alcotest.test_case "whole stack agrees on a clean build" `Quick
           test_stack_agrees;
         Alcotest.test_case "planted bug: caught, shrunk, bisected" `Quick

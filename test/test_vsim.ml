@@ -253,7 +253,7 @@ let diff_tests =
           [ (1, 1); (2, 3); (5, 6) ]);
   ]
 
-(* --- levelized engine vs fixpoint oracle --------------------------------- *)
+(* --- three-way engine differential: compiled / levelized / fixpoint ------ *)
 
 let emitted_design src =
   let m = Twill.compile ~opts:opts3 src in
@@ -319,7 +319,7 @@ let engine_tests =
         Vsim.step i;
         Alcotest.(check int) "peek_h" 42 (Vsim.peek_h i hy);
         Alcotest.(check int) "peek" 42 (Vsim.peek i "y"));
-    Alcotest.test_case "whole-design cosim identical under both engines"
+    Alcotest.test_case "whole-design cosim identical under all three engines"
       `Quick (fun () ->
         let src =
           "int main() { int acc = 0; for (int i = 0; i < 80; i++) { int a = \
@@ -327,15 +327,23 @@ let engine_tests =
         in
         let m = Twill.compile ~opts:opts3 src in
         let t = Twill.extract ~opts:opts3 m in
+        let rc = Twill.cosim ~opts:opts3 ~engine:Vsim.Compiled t in
         let rl = Twill.cosim ~opts:opts3 ~engine:Vsim.Levelized t in
         let rf = Twill.cosim ~opts:opts3 ~engine:Vsim.Fixpoint t in
+        Alcotest.(check string) "compiled ran" "compiled" rc.Cosim.rtl_engine;
         Alcotest.(check string) "levelized ran" "levelized" rl.Cosim.rtl_engine;
         Alcotest.(check string) "fixpoint ran" "fixpoint" rf.Cosim.rtl_engine;
-        Alcotest.(check int32) "same return" rl.Cosim.rtl_ret rf.Cosim.rtl_ret;
-        Alcotest.(check int) "same cycle count" rl.Cosim.rtl_cycles
-          rf.Cosim.rtl_cycles;
-        Alcotest.(check bool) "both agree with rtsim" true
-          (rl.Cosim.agree && rf.Cosim.agree));
+        let rd = Twill.cosim ~opts:opts3 t in
+        Alcotest.(check string) "default is compiled" "compiled"
+          rd.Cosim.rtl_engine;
+        List.iter
+          (fun (r : Cosim.report) ->
+            Alcotest.(check int32) "same return" rc.Cosim.rtl_ret
+              r.Cosim.rtl_ret;
+            Alcotest.(check int) "same cycle count" rc.Cosim.rtl_cycles
+              r.Cosim.rtl_cycles;
+            Alcotest.(check bool) "agrees with rtsim" true r.Cosim.agree)
+          [ rc; rl; rf; rd ]);
     Alcotest.test_case "combinational cycle raises / falls back" `Quick
       (fun () ->
         let d =
@@ -349,10 +357,14 @@ let engine_tests =
         (match Vsim.instantiate ~engine:Vsim.Levelized d "m" with
         | exception Vsim.Sim_error _ -> ()
         | _ -> Alcotest.fail "cyclic design levelized");
-        (* the default falls back to the fixpoint oracle... *)
+        (* the default and the explicit compiled engine fall back to the
+           fixpoint oracle, visibly via engine_of... *)
         let i = Vsim.instantiate d "m" in
-        Alcotest.(check bool) "fell back" true
+        Alcotest.(check bool) "default fell back" true
           (Vsim.engine_of i = Vsim.Fixpoint);
+        let ic = Vsim.instantiate ~engine:Vsim.Compiled d "m" in
+        Alcotest.(check bool) "compiled fell back" true
+          (Vsim.engine_of ic = Vsim.Fixpoint);
         (* ...which still detects the oscillation at runtime *)
         Vsim.poke i "x" 1;
         match Vsim.step i with
@@ -423,6 +435,20 @@ let cosim_tests =
         end;
         let r = Twill.cosim ~opts t in
         Alcotest.(check bool) "agree" true r.Cosim.agree);
+    Alcotest.test_case "non-boolean branch condition crosses full width"
+      `Quick (fun () ->
+        (* fuzz-found (seed 11, case 9): the loop counter itself is the
+           branch condition, so the forwarded cond channel carries a
+           full integer; a 1-bit cond queue truncated w4=2 to 0 and
+           executed the dead print exactly once in RTL *)
+        let r =
+          cosim_small
+            "int main() { int w4 = 0; while (w4 < 3) { w4 = w4 + 1; if (w4) \
+             continue; print(0); } }"
+        in
+        Alcotest.(check bool) "agree" true r.Cosim.agree;
+        Alcotest.(check int) "dead print stays dead" 0
+          (List.length r.Cosim.rtl_prints));
     Alcotest.test_case "twill_system elaborates" `Quick (fun () ->
         let m =
           Twill.compile ~opts:opts3
