@@ -417,6 +417,119 @@ let cosim () =
   then failwith "cosim: engines disagree"
 
 (* ------------------------------------------------------------------ *)
+(* rtsim engines: interpreted oracle vs compiled (BENCH_rtsim.json)    *)
+(* ------------------------------------------------------------------ *)
+
+let rtsim_stats (t : Twill.Dswp.threaded) config engine : Twill.Sim.stats =
+  let threads =
+    Array.mapi
+      (fun s name ->
+        {
+          Twill.Sim.tname = name;
+          trole =
+            (match t.Twill.Dswp.roles.(s) with
+            | Twill.Partition.Sw -> Twill.Sim.Sw
+            | Twill.Partition.Hw -> Twill.Sim.Hw);
+          local_memory = false;
+        })
+      t.Twill.Dswp.stages
+  in
+  Twill.Sim.simulate ~config ~master:t.Twill.Dswp.master ~engine
+    t.Twill.Dswp.modul ~threads ~queues:t.Twill.Dswp.queues
+    ~nsems:t.Twill.Dswp.nsems ()
+
+(* Per-kernel interpreted-vs-compiled rtsim: stats must be identical
+   (structural equality over the whole record); walls are the min of
+   [reps] runs after one untimed warm-up, so the process-wide schedule
+   cache and decode work are paid before either engine is timed. *)
+let rtsim_engine_rows ?(reps = 3) () =
+  let opts = forced_pipeline_opts in
+  List.map
+    (fun (b : C.benchmark) ->
+      let m, profile = compiled ~opts b in
+      let t = Twill.extract ~opts ~profile m in
+      let config = Twill.sim_config opts in
+      ignore (rtsim_stats t config Twill.Sim.Interpreted);
+      let time engine =
+        let best_stats = ref None and best = ref infinity in
+        for _ = 1 to reps do
+          let s0 = Unix.gettimeofday () in
+          let st = rtsim_stats t config engine in
+          let w = Unix.gettimeofday () -. s0 in
+          if w < !best then best := w;
+          best_stats := Some st
+        done;
+        (Option.get !best_stats, !best)
+      in
+      let si, wi = time Twill.Sim.Interpreted in
+      let sc, wc = time Twill.Sim.Compiled in
+      (b.C.name, si, wi, sc, wc, si = sc))
+    C.all
+
+let rtsim_engines () =
+  header
+    "rtsim engines — interpreted oracle vs compiled (3-stage pipeline); \
+     IDENTICAL = every stats field equal (ret, cycles, queue peaks, bus \
+     waits)";
+  Printf.printf "%-10s | %10s | %12s %12s %8s | %s\n" "benchmark" "cycles"
+    "interp(s)" "compiled(s)" "speedup" "verdict";
+  let rows = rtsim_engine_rows () in
+  let twi = ref 0.0 and twc = ref 0.0 in
+  List.iter
+    (fun (name, (si : Twill.Sim.stats), wi, _, wc, same) ->
+      twi := !twi +. wi;
+      twc := !twc +. wc;
+      Printf.printf "%-10s | %10d | %12.4f %12.4f %7.2fx | %s\n" name
+        si.Twill.Sim.cycles wi wc (wi /. wc)
+        (if same then "IDENTICAL" else "DIFFER"))
+    rows;
+  Printf.printf "total: interpreted %.3fs, compiled %.3fs, speedup %.2fx\n"
+    !twi !twc (!twi /. !twc);
+  if List.exists (fun (_, _, _, _, _, same) -> not same) rows then
+    failwith "rtsim: engines disagree"
+
+(* BENCH_rtsim.json: per-kernel cycles and walls for both engines, so
+   future PRs diff the rtsim perf trajectory.  Exits nonzero if any
+   stats field differs between the engines. *)
+let json_rtsim () =
+  let t0 = Unix.gettimeofday () in
+  let rows = rtsim_engine_rows () in
+  let row_json =
+    List.map
+      (fun (name, (si : Twill.Sim.stats), wi, (_ : Twill.Sim.stats), wc, same) ->
+        Printf.sprintf
+          "    {\"benchmark\": %S, \"cycles\": %d, \"executed\": %d, \
+           \"wall_interpreted_s\": %.4f, \"wall_compiled_s\": %.4f, \
+           \"speedup\": %.2f, \"stats_identical\": %b}"
+          name si.Twill.Sim.cycles si.Twill.Sim.executed wi wc (wi /. wc) same)
+      rows
+  in
+  let twi =
+    List.fold_left (fun acc (_, _, wi, _, _, _) -> acc +. wi) 0.0 rows
+  in
+  let twc =
+    List.fold_left (fun acc (_, _, _, _, wc, _) -> acc +. wc) 0.0 rows
+  in
+  let all_same = List.for_all (fun (_, _, _, _, _, same) -> same) rows in
+  let total = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "{\n\
+    \  \"results\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"stats_identical\": %b,\n\
+    \  \"wall_interpreted_s\": %.3f,\n\
+    \  \"wall_compiled_s\": %.3f,\n\
+    \  \"speedup_compiled_over_interpreted\": %.2f,\n\
+    \  \"total_wall_time_s\": %.3f\n\
+     }\n"
+    (String.concat ",\n" row_json)
+    all_same twi twc
+    (if twc > 0.0 then twi /. twc else 0.0)
+    total;
+  if not all_same then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Differential fuzzing throughput (EXPERIMENTS.md)                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -659,6 +772,7 @@ let artifacts =
     ("fig-6.6", fig_6_6);
     ("ablation", ablation);
     ("cosim", cosim);
+    ("rtsim", rtsim_engines);
     ("fuzz", fuzz);
   ]
 
@@ -668,6 +782,7 @@ let () =
   | [ "--bechamel" ] -> bechamel ()
   | "--json" :: names -> json_mode names
   | [ "--json-cosim" ] -> json_cosim None
+  | [ "--json-rtsim" ] -> json_rtsim ()
   | [ "--json-cosim"; "--engine"; "compiled" ] ->
       json_cosim (Some Twill.Vsim.Compiled)
   | [ "--json-cosim"; "--engine"; "levelized" ] ->

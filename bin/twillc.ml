@@ -384,6 +384,145 @@ let fuzz_cmd =
       const run $ seed $ cases $ max_stage $ out $ replay $ break_pass
       $ strict)
 
+(* --- twilld client: `twillc daemon ...` --------------------------------- *)
+
+module Serve_json = Twill_serve.Json
+module Serve_client = Twill_serve.Client
+module Serve_server = Twill_serve.Server
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/twilld.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"twilld Unix-domain socket path.")
+
+(* a kernel name from the bundled CHStone registry, or a mini-C file *)
+let source_of (what : string) : string =
+  if Sys.file_exists what then read_file what
+  else (Twill_chstone.Chstone.find what).Twill_chstone.Chstone.source
+
+let with_client socket f =
+  let c = Serve_client.connect ~retries:100 socket in
+  Fun.protect ~finally:(fun () -> Serve_client.close c) (fun () -> f c)
+
+let daemon_ping_cmd =
+  let run socket =
+    with_client socket (fun c ->
+        let r = Serve_client.request c (Serve_json.Obj [ ("cmd", Serve_json.Str "ping") ]) in
+        Fmt.pr "%s@." (Serve_json.to_string r);
+        if Serve_json.bool_field "ok" r <> Some true then exit 1)
+  in
+  Cmd.v (Cmd.info "ping" ~doc:"Probe a running twilld") Term.(const run $ socket_arg)
+
+let daemon_stats_cmd =
+  let run socket =
+    with_client socket (fun c ->
+        Fmt.pr "%s@."
+          (Serve_json.to_string
+             (Serve_client.request c (Serve_json.Obj [ ("cmd", Serve_json.Str "stats") ]))))
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Print twilld cache/request counters")
+    Term.(const run $ socket_arg)
+
+let daemon_stop_cmd =
+  let run socket =
+    with_client socket (fun c ->
+        Fmt.pr "%s@."
+          (Serve_json.to_string
+             (Serve_client.request c (Serve_json.Obj [ ("cmd", Serve_json.Str "stop") ]))))
+  in
+  Cmd.v (Cmd.info "stop" ~doc:"Shut a running twilld down")
+    Term.(const run $ socket_arg)
+
+let simulate_req stages qd ql what =
+  Serve_json.Obj
+    [
+      ("cmd", Serve_json.Str "simulate");
+      ("src", Serve_json.Str (source_of what));
+      ("nstages", Serve_json.Int stages);
+      ("queue_depth", Serve_json.Int qd);
+      ("queue_latency", Serve_json.Int ql);
+    ]
+
+let daemon_simulate_cmd =
+  let run socket stages qd ql what =
+    with_client socket (fun c ->
+        let r = Serve_client.request c (simulate_req stages qd ql what) in
+        Fmt.pr "%s@." (Serve_json.to_string r);
+        if Serve_json.bool_field "ok" r <> Some true then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Simulate a kernel (bundled name or mini-C file) through twilld")
+    Term.(
+      const run $ socket_arg $ stages $ queue_depth $ queue_latency
+      $ Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME|FILE"))
+
+let daemon_check_cmd =
+  let run socket stages qd ql whats =
+    (* the CI smoke: every daemon response must be byte-identical to the
+       same request handled in-process (zero-worker local server) *)
+    let local = Serve_server.create ~workers:0 () in
+    let failures = ref 0 in
+    with_client socket (fun c ->
+        List.iter
+          (fun what ->
+            let req = simulate_req stages qd ql what in
+            let remote = Serve_json.to_string (Serve_client.request c req) in
+            let here = Serve_json.to_string (Serve_server.handle local req) in
+            if remote = here then Fmt.pr "%-10s OK %s@." what remote
+            else begin
+              incr failures;
+              Fmt.pr "%-10s MISMATCH@.  daemon:     %s@.  in-process: %s@."
+                what remote here
+            end)
+          whats);
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Simulate kernels through twilld and assert the responses are \
+          byte-identical to in-process results (exit 1 on any mismatch)")
+    Term.(
+      const run $ socket_arg $ stages $ queue_depth $ queue_latency
+      $ Arg.(non_empty & pos_all string [] & info [] ~docv:"NAME|FILE..."))
+
+let daemon_bench_cmd =
+  let run socket stages qd ql what iters =
+    with_client socket (fun c ->
+        let req = simulate_req stages qd ql what in
+        let t0 = Unix.gettimeofday () in
+        ignore (Serve_client.request c req);
+        let cold = Unix.gettimeofday () -. t0 in
+        let t1 = Unix.gettimeofday () in
+        for _ = 1 to iters do
+          ignore (Serve_client.request c req)
+        done;
+        let warm = (Unix.gettimeofday () -. t1) /. float_of_int iters in
+        Fmt.pr
+          "first request %.1f ms, warm request %.3f ms (x%d), speedup %.0fx@."
+          (cold *. 1e3) (warm *. 1e3) iters (cold /. warm))
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Measure cold-vs-warm twilld request latency for one kernel")
+    Term.(
+      const run $ socket_arg $ stages $ queue_depth $ queue_latency
+      $ Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME|FILE")
+      $ Arg.(value & opt int 20 & info [ "iters" ] ~doc:"Warm iterations."))
+
+let daemon_cmd =
+  Cmd.group
+    (Cmd.info "daemon"
+       ~doc:
+         "Talk to a running twilld (persistent compile/simulate service); \
+          start one with the twilld executable")
+    [
+      daemon_ping_cmd; daemon_stats_cmd; daemon_stop_cmd; daemon_simulate_cmd;
+      daemon_check_cmd; daemon_bench_cmd;
+    ]
+
 let () =
   let doc = "Twill: hybrid microcontroller-FPGA parallelising compiler" in
   exit
@@ -391,5 +530,5 @@ let () =
        (Cmd.group (Cmd.info "twillc" ~doc)
           [
             run_cmd; ir_cmd; threads_cmd; bench_cmd; list_cmd; emit_c_cmd;
-            emit_verilog_cmd; cosim_cmd; fuzz_cmd;
+            emit_verilog_cmd; cosim_cmd; fuzz_cmd; daemon_cmd;
           ]))

@@ -19,3 +19,30 @@ val map : ('a -> 'b) -> 'a list -> 'b list
 val pair : (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
 (** Runs both thunks, the second on a worker domain when a slot is free.
     Both always run to completion before any exception re-raises. *)
+
+type pool
+(** A persistent worker pool for long-lived servers: domains are spawned
+    once (against the same process-wide slot budget, so a pool plus
+    nested {!map}/{!pair} calls cannot oversubscribe) and kept alive
+    across jobs, which preserves per-domain state — the driver's
+    [Domain.DLS]-keyed preparation memos — between requests. *)
+
+val pool : ?workers:int -> unit -> pool
+(** Spawns up to [workers] (default: the full remaining slot budget)
+    worker domains.  Fewer — possibly zero — are spawned when the budget
+    is short; the pool still works, see {!pool_map}. *)
+
+val pool_workers : pool -> int
+(** Worker domains actually spawned (informational). *)
+
+val pool_map : pool -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map over the pool.  The calling thread
+    runs the first item inline and then helps drain the job queue, so a
+    zero-worker pool degrades to a sequential map rather than blocking.
+    Safe to call from several threads at once — jobs interleave on the
+    shared queue.  If several items raise, the lowest-index exception
+    wins. *)
+
+val pool_shutdown : pool -> unit
+(** Signals the workers to exit, joins them and releases their slots.
+    The pool must not be used afterwards. *)

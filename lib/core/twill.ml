@@ -587,6 +587,7 @@ let observe ?(opts = default_options) ~(stage : obs_stage) (src : string) :
   | Minic.Error msg -> Obs_error ("compile: " ^ msg)
   | Twill_minic.Ast_interp.Out_of_fuel | Interp.Out_of_fuel ->
       Obs_skip "out of fuel"
+  | Sim.Out_of_fuel msg -> Obs_skip ("out of fuel: " ^ msg)
   | Twill_minic.Ast_interp.Trap msg | Interp.Trap msg ->
       Obs_error ("trap: " ^ msg)
   | Sim.Deadlock msg -> Obs_error ("deadlock: " ^ msg)

@@ -52,6 +52,18 @@ let no_handlers =
     sem_take = (fun _ _ -> no ());
   }
 
+(* Pre-bound runtime-primitive handlers: one closure per queue/semaphore
+   id instead of one closure taking the id.  A caller that has already
+   specialised its handler state per channel (the compiled rtsim engine)
+   skips the id dispatch and the per-op channel-state lookup entirely;
+   the arrays are indexed by the ids appearing in the IR. *)
+type fast_handlers = {
+  fproduce : (int32 -> unit) array; (* per queue *)
+  fconsume : (unit -> int32) array; (* per queue *)
+  fsem_give : (int -> unit) array; (* per semaphore; arg = count *)
+  fsem_take : (int -> unit) array; (* per semaphore; arg = count *)
+}
+
 (* How the decoded engine charges per-instruction cycles: [Cm_table] uses
    the pre-computed default Microblaze costs, [Cm_zero] charges nothing
    (the {!zero_cost} sentinel — hardware threads, profiling), [Cm_hook]
@@ -68,6 +80,7 @@ type state = {
   mutable fuel : int;
   mutable prints : int32 list; (* reversed *)
   handlers : handlers;
+  fast : fast_handlers option; (* pre-bound per-channel closures, if any *)
   cost : func -> inst -> int;
   term_cost : func -> block -> int;
   charge_cycles : bool;
@@ -171,10 +184,23 @@ let rec exec_func st (f : func) (args : int32 array) : int32 =
         regs.(i.id) <- exec_func st callee (Array.map eval cargs)
     | Phi _ -> assert false (* handled at block entry *)
     | Print v -> st.prints <- eval v :: st.prints
-    | Produce (q, v) -> st.handlers.produce q (eval v)
-    | Consume q -> regs.(i.id) <- st.handlers.consume q
-    | Sem_give (s, n) -> st.handlers.sem_give s n
-    | Sem_take (s, n) -> st.handlers.sem_take s n
+    | Produce (q, v) -> (
+        match st.fast with
+        | Some fh -> fh.fproduce.(q) (eval v)
+        | None -> st.handlers.produce q (eval v))
+    | Consume q ->
+        regs.(i.id) <-
+          (match st.fast with
+          | Some fh -> fh.fconsume.(q) ()
+          | None -> st.handlers.consume q)
+    | Sem_give (s, n) -> (
+        match st.fast with
+        | Some fh -> fh.fsem_give.(s) n
+        | None -> st.handlers.sem_give s n)
+    | Sem_take (s, n) -> (
+        match st.fast with
+        | Some fh -> fh.fsem_take.(s) n
+        | None -> st.handlers.sem_take s n)
     | Dead -> ()
   in
   (* Phis of a block read their incoming values simultaneously. *)
@@ -231,12 +257,24 @@ type dfunc = {
 
 and dblock = {
   dsrc_block : block;
-  body : dinst array; (* non-phi instructions, program order *)
+  groups : dgroup array; (* non-phi instructions, program order *)
+  nbody : int; (* total non-phi instructions, batched into [executed] *)
   dphis : (int * dphi) array; (* predecessor block id -> parallel moves *)
   phi_ids : int array; (* leading phi ids, for trap messages *)
   dterm : dterm;
   dterm_swc : int; (* pre-computed default terminator cost *)
 }
+
+(* Charging granularity.  A [Grun] is a maximal run of instructions that
+   can neither trap nor observe the clock (arithmetic, compares, selects,
+   geps, constants — divisions excluded, they trap on zero): its cycle,
+   executed and fuel accounting collapses to one batched charge with a
+   pre-summed cost, because nothing inside the run can witness the
+   intermediate counter values.  Anything observable — memory (traps,
+   bus hooks), calls, prints, queue/semaphore primitives, divisions —
+   is a [Gone] and is charged exactly as the oracle does, one
+   instruction at a time. *)
+and dgroup = Grun of dinst array * int (* pre-summed default cost *) | Gone of dinst
 
 (* The parallel moves a given predecessor edge performs.  [pmoves] is the
    longest prefix of the block's phis that have an incoming entry for this
@@ -249,6 +287,10 @@ and dphi = {
   pinst : inst array; (* original phi instructions, for cost hooks *)
   pbuf : int32 array; (* scratch: phis read their inputs simultaneously *)
   ptrap : string option;
+  (* no phi reads a register another phi of this edge writes (reading
+     your own destination is fine) — the simultaneous-move buffer can be
+     skipped and the moves performed in one direct pass *)
+  pindep : bool;
 }
 
 and dinst = {
@@ -260,12 +302,23 @@ and dinst = {
 
 and dexec =
   | Xbinop of binop * dop * dop
+  | Xbinop_rr of binop * int * int (* both operands registers *)
+  | Xbinop_rc of binop * int * int32 (* register, constant *)
+  | Xbinop_cr of binop * int32 * int (* constant, register *)
   | Xicmp of icmp * dop * dop
+  | Xicmp_rr of icmp * int * int
+  | Xicmp_rc of icmp * int * int32
   | Xselect of dop * dop * dop
+  | Xselect_rrr of int * int * int
   | Xconst of int32 (* pre-resolved alloca address *)
   | Xgep of dop * dop
+  | Xgep_rr of int * int
+  | Xgep_rc of int * int32
+  | Xgep_cr of int32 * int
   | Xload of dop
+  | Xload_r of int
   | Xstore of dop * dop
+  | Xstore_rr of int * int
   | Xcall of dfunc Lazy.t * dop array
   | Xprint of dop
   | Xproduce of int * dop
@@ -275,7 +328,12 @@ and dexec =
   | Xfail of string (* defers a decode-time resolution failure *)
   | Xnop
 
-and dterm = Tbr of int | Tcond of dop * int * int | Tret_none | Tret of dop
+and dterm =
+  | Tbr of int
+  | Tcond of dop * int * int
+  | Tcond_r of int * int * int (* register condition *)
+  | Tret_none
+  | Tret of dop
 
 (* Decoded code shared by every thread of one execution session.  Functions
    decode lazily on first call, so code never reached is never decoded. *)
@@ -303,16 +361,37 @@ let rec decode_func (c : ctx) (fname : string) : dfunc =
       let decode_inst (i : inst) : dinst =
         let dkind =
           match i.kind with
-          | Binop (op, a, b) -> Xbinop (op, dop a, dop b)
-          | Icmp (op, a, b) -> Xicmp (op, dop a, dop b)
-          | Select (cnd, a, b) -> Xselect (dop cnd, dop a, dop b)
+          | Binop (op, a, b) -> (
+              match (dop a, dop b) with
+              | Dreg x, Dreg y -> Xbinop_rr (op, x, y)
+              | Dreg x, Dcst c -> Xbinop_rc (op, x, c)
+              | Dcst c, Dreg y -> Xbinop_cr (op, c, y)
+              | da, db -> Xbinop (op, da, db))
+          | Icmp (op, a, b) -> (
+              match (dop a, dop b) with
+              | Dreg x, Dreg y -> Xicmp_rr (op, x, y)
+              | Dreg x, Dcst c -> Xicmp_rc (op, x, c)
+              | da, db -> Xicmp (op, da, db))
+          | Select (cnd, a, b) -> (
+              match (dop cnd, dop a, dop b) with
+              | Dreg c, Dreg x, Dreg y -> Xselect_rrr (c, x, y)
+              | dc, da, db -> Xselect (dc, da, db))
           | Alloca _ -> (
               match Layout.alloca_address c.clayout f.name i.id with
               | a -> Xconst a
               | exception Failure msg -> Xfail msg)
-          | Gep (base, idx) -> Xgep (dop base, dop idx)
-          | Load a -> Xload (dop a)
-          | Store (a, v) -> Xstore (dop a, dop v)
+          | Gep (base, idx) -> (
+              match (dop base, dop idx) with
+              | Dreg x, Dreg y -> Xgep_rr (x, y)
+              | Dreg x, Dcst c -> Xgep_rc (x, c)
+              | Dcst c, Dreg y -> Xgep_cr (c, y)
+              | db, di -> Xgep (db, di))
+          | Load a -> (
+              match dop a with Dreg x -> Xload_r x | da -> Xload da)
+          | Store (a, v) -> (
+              match (dop a, dop v) with
+              | Dreg x, Dreg y -> Xstore_rr (x, y)
+              | da, dv -> Xstore (da, dv))
           | Call (callee, cargs) ->
               Xcall (lazy (decode_func c callee), Array.map dop cargs)
           | Phi _ -> assert false (* split into the per-predecessor tables *)
@@ -343,8 +422,39 @@ let rec decode_func (c : ctx) (fname : string) : dfunc =
           b.insts
           |> List.filter (fun id -> not (is_phi (inst f id)))
           |> List.map (fun id -> decode_inst (inst f id))
-          |> Array.of_list
         in
+        let batchable (di : dinst) =
+          match di.dkind with
+          | Xbinop ((Sdiv | Srem | Udiv | Urem), _, _)
+          | Xbinop_rr ((Sdiv | Srem | Udiv | Urem), _, _)
+          | Xbinop_rc ((Sdiv | Srem | Udiv | Urem), _, _)
+          | Xbinop_cr ((Sdiv | Srem | Udiv | Urem), _, _) ->
+              false
+          | Xbinop _ | Xbinop_rr _ | Xbinop_rc _ | Xbinop_cr _ | Xicmp _
+          | Xicmp_rr _ | Xicmp_rc _ | Xselect _ | Xselect_rrr _ | Xconst _
+          | Xgep _ | Xgep_rr _ | Xgep_rc _ | Xgep_cr _ | Xnop ->
+              true
+          | Xload _ | Xload_r _ | Xstore _ | Xstore_rr _ | Xcall _ | Xprint _
+          | Xproduce _ | Xconsume _ | Xsem_give _ | Xsem_take _ | Xfail _ ->
+              false
+        in
+        let rec group acc run = function
+          | di :: rest when batchable di -> group acc (di :: run) rest
+          | rest ->
+              let acc =
+                match run with
+                | [] -> acc
+                | _ ->
+                    let arr = Array.of_list (List.rev run) in
+                    let swc = Array.fold_left (fun s i -> s + i.swc) 0 arr in
+                    Grun (arr, swc) :: acc
+              in
+              (match rest with
+              | [] -> List.rev acc
+              | di :: rest' -> group (Gone di :: acc) [] rest')
+        in
+        let groups = Array.of_list (group [] [] body) in
+        let nbody = List.length body in
         let preds =
           Array.fold_left
             (fun acc id ->
@@ -381,23 +491,40 @@ let rec decode_func (c : ctx) (fname : string) : dfunc =
                phi_ids
            with Exit -> ());
           let pdst = Array.of_list (List.rev !dsts) in
+          let psrc = Array.of_list (List.rev !srcs) in
+          let pindep =
+            Array.for_all
+              (fun j ->
+                match psrc.(j) with
+                | Dreg r ->
+                    Array.for_all
+                      (fun k -> k = j || pdst.(k) <> r)
+                      (Array.init (Array.length pdst) Fun.id)
+                | Dcst _ | Darg _ -> true)
+              (Array.init (Array.length psrc) Fun.id)
+          in
           {
             pdst;
-            psrc = Array.of_list (List.rev !srcs);
+            psrc;
             pinst = Array.of_list (List.rev !insts);
             pbuf = Array.make (Array.length pdst) 0l;
             ptrap = !trap;
+            pindep;
           }
         in
         {
           dsrc_block = b;
-          body;
+          groups;
+          nbody;
           dphis = Array.of_list (List.map (fun p -> (p, moves_for p)) preds);
           phi_ids;
           dterm =
             (match b.term with
             | Br t -> Tbr t
-            | Cond_br (cnd, t1, t2) -> Tcond (dop cnd, t1, t2)
+            | Cond_br (cnd, t1, t2) -> (
+                match dop cnd with
+                | Dreg r -> Tcond_r (r, t1, t2)
+                | dc -> Tcond (dc, t1, t2))
             | Ret None -> Tret_none
             | Ret (Some v) -> Tret (dop v));
           dterm_swc =
@@ -427,8 +554,11 @@ let rec exec_decoded st (d : dfunc) (args : int32 array) : int32 =
     | Dreg r -> Array.unsafe_get regs r
     | Darg a -> args.(a)
   in
+  (* [executed] is only ever read after a run completes (no handler or
+     hook sees it mid-flight), so it is batched per block and per phi
+     prefix rather than counted per instruction; cycles and fuel keep
+     instruction granularity except inside provably unobservable runs. *)
   let charge i swc =
-    st.executed <- st.executed + 1;
     if st.charge_cycles then begin
       match st.cost_mode with
       | Cm_table -> st.cycles := !(st.cycles) + swc
@@ -437,6 +567,22 @@ let rec exec_decoded st (d : dfunc) (args : int32 array) : int32 =
     end;
     if st.fuel >= 0 then begin
       st.fuel <- st.fuel - 1;
+      if st.fuel <= 0 then raise Out_of_fuel
+    end
+  in
+  (* One batched charge for [n] instructions of pre-summed cost [swc]:
+     exact because nothing inside a [Grun] (or a phi prefix) can trap,
+     emit, or read the clock before the run completes — the intermediate
+     counter values are unobservable.  Never used in [Cm_hook] mode (the
+     hook must see every instruction). *)
+  let charge_run n swc =
+    if st.charge_cycles then begin
+      match st.cost_mode with
+      | Cm_table -> st.cycles := !(st.cycles) + swc
+      | Cm_zero | Cm_hook -> ()
+    end;
+    if st.fuel >= 0 then begin
+      st.fuel <- st.fuel - n;
       if st.fuel <= 0 then raise Out_of_fuel
     end
   in
@@ -454,20 +600,69 @@ let rec exec_decoded st (d : dfunc) (args : int32 array) : int32 =
     in
     let m = find 0 in
     let k = Array.length m.pdst in
-    for j = 0 to k - 1 do
-      m.pbuf.(j) <- eval m.psrc.(j);
-      charge m.pinst.(j) 0 (* Costmodel.sw_cost (Phi _) = 0 *)
-    done;
-    match m.ptrap with
-    | Some msg -> raise (Trap msg)
-    | None ->
-        for j = 0 to k - 1 do
-          Array.unsafe_set regs m.pdst.(j) m.pbuf.(j)
-        done
+    st.executed <- st.executed + k;
+    if m.pindep && m.ptrap = None && st.cost_mode != Cm_hook then begin
+      charge_run k 0;
+      for j = 0 to k - 1 do
+        Array.unsafe_set regs
+          (Array.unsafe_get m.pdst j)
+          (eval (Array.unsafe_get m.psrc j))
+      done
+    end
+    else begin
+      (match st.cost_mode with
+      | Cm_hook ->
+          for j = 0 to k - 1 do
+            m.pbuf.(j) <- eval m.psrc.(j);
+            charge m.pinst.(j) 0 (* Costmodel.sw_cost (Phi _) = 0 *)
+          done
+      | Cm_table | Cm_zero ->
+          charge_run k 0;
+          for j = 0 to k - 1 do
+            m.pbuf.(j) <- eval m.psrc.(j)
+          done);
+      match m.ptrap with
+      | Some msg -> raise (Trap msg)
+      | None ->
+          for j = 0 to k - 1 do
+            Array.unsafe_set regs m.pdst.(j) m.pbuf.(j)
+          done
+    end
   in
-  let exec_inst (di : dinst) =
-    charge di.isrc di.swc;
+  let exec_op (di : dinst) =
     match di.dkind with
+    | Xbinop_rr (op, a, b) ->
+        Array.unsafe_set regs di.dest
+          (eval_binop op (Array.unsafe_get regs a) (Array.unsafe_get regs b))
+    | Xbinop_rc (op, a, c) ->
+        Array.unsafe_set regs di.dest
+          (eval_binop op (Array.unsafe_get regs a) c)
+    | Xbinop_cr (op, c, b) ->
+        Array.unsafe_set regs di.dest
+          (eval_binop op c (Array.unsafe_get regs b))
+    | Xicmp_rr (op, a, b) ->
+        Array.unsafe_set regs di.dest
+          (eval_icmp op (Array.unsafe_get regs a) (Array.unsafe_get regs b))
+    | Xicmp_rc (op, a, c) ->
+        Array.unsafe_set regs di.dest
+          (eval_icmp op (Array.unsafe_get regs a) c)
+    | Xgep_rr (a, b) ->
+        Array.unsafe_set regs di.dest
+          (Int32.add (Array.unsafe_get regs a) (Array.unsafe_get regs b))
+    | Xgep_rc (a, c) ->
+        Array.unsafe_set regs di.dest (Int32.add (Array.unsafe_get regs a) c)
+    | Xgep_cr (c, b) ->
+        Array.unsafe_set regs di.dest (Int32.add c (Array.unsafe_get regs b))
+    | Xselect_rrr (c, a, b) ->
+        Array.unsafe_set regs di.dest
+          (if Array.unsafe_get regs c <> 0l then Array.unsafe_get regs a
+           else Array.unsafe_get regs b)
+    | Xload_r a ->
+        (match st.mem_hook with Some h -> h f di.isrc | None -> ());
+        Array.unsafe_set regs di.dest (load st (Array.unsafe_get regs a))
+    | Xstore_rr (a, v) ->
+        (match st.mem_hook with Some h -> h f di.isrc | None -> ());
+        store st (Array.unsafe_get regs a) (Array.unsafe_get regs v)
     | Xbinop (op, a, b) -> regs.(di.dest) <- eval_binop op (eval a) (eval b)
     | Xicmp (op, a, b) -> regs.(di.dest) <- eval_icmp op (eval a) (eval b)
     | Xselect (c, a, b) ->
@@ -483,19 +678,53 @@ let rec exec_decoded st (d : dfunc) (args : int32 array) : int32 =
     | Xcall (callee, cargs) ->
         regs.(di.dest) <- exec_decoded st (Lazy.force callee) (Array.map eval cargs)
     | Xprint v -> st.prints <- eval v :: st.prints
-    | Xproduce (q, v) -> st.handlers.produce q (eval v)
-    | Xconsume q -> regs.(di.dest) <- st.handlers.consume q
-    | Xsem_give (s, n) -> st.handlers.sem_give s n
-    | Xsem_take (s, n) -> st.handlers.sem_take s n
+    | Xproduce (q, v) -> (
+        match st.fast with
+        | Some fh -> (Array.unsafe_get fh.fproduce q) (eval v)
+        | None -> st.handlers.produce q (eval v))
+    | Xconsume q ->
+        regs.(di.dest) <-
+          (match st.fast with
+          | Some fh -> (Array.unsafe_get fh.fconsume q) ()
+          | None -> st.handlers.consume q)
+    | Xsem_give (s, n) -> (
+        match st.fast with
+        | Some fh -> (Array.unsafe_get fh.fsem_give s) n
+        | None -> st.handlers.sem_give s n)
+    | Xsem_take (s, n) -> (
+        match st.fast with
+        | Some fh -> (Array.unsafe_get fh.fsem_take s) n
+        | None -> st.handlers.sem_take s n)
     | Xfail msg -> failwith msg
     | Xnop -> ()
+  in
+  let exec_inst (di : dinst) =
+    charge di.isrc di.swc;
+    exec_op di
+  in
+  let hook_mode = st.cost_mode == Cm_hook in
+  let exec_group (g : dgroup) =
+    match g with
+    | Gone di -> exec_inst di
+    | Grun (run, swc) ->
+        if hook_mode then
+          for k = 0 to Array.length run - 1 do
+            exec_inst (Array.unsafe_get run k)
+          done
+        else begin
+          charge_run (Array.length run) swc;
+          for k = 0 to Array.length run - 1 do
+            exec_op (Array.unsafe_get run k)
+          done
+        end
   in
   let rec run_block bid ~from =
     let b = Array.unsafe_get d.dblocks bid in
     if from >= 0 && Array.length b.phi_ids > 0 then enter_phis b ~from;
-    let body = b.body in
-    for k = 0 to Array.length body - 1 do
-      exec_inst (Array.unsafe_get body k)
+    st.executed <- st.executed + b.nbody;
+    let gs = b.groups in
+    for k = 0 to Array.length gs - 1 do
+      exec_group (Array.unsafe_get gs k)
     done;
     if st.charge_cycles then
       st.cycles :=
@@ -503,6 +732,8 @@ let rec exec_decoded st (d : dfunc) (args : int32 array) : int32 =
         + (if st.fast_term then b.dterm_swc else st.term_cost f b.dsrc_block);
     match b.dterm with
     | Tbr t -> run_block t ~from:bid
+    | Tcond_r (r, t1, t2) ->
+        run_block (if Array.unsafe_get regs r <> 0l then t1 else t2) ~from:bid
     | Tcond (c, t1, t2) -> run_block (if eval c <> 0l then t1 else t2) ~from:bid
     | Tret_none -> 0l
     | Tret v -> eval v
@@ -537,7 +768,7 @@ let default_cost (_ : func) (i : inst) : int = Costmodel.sw_cost i.kind
 let zero_cost (_ : func) (_ : inst) : int = 0
 
 let run_shared ?(fuel = -1) ~(layout : Layout.t) ~(mem : int32 array)
-    ?(handlers = no_handlers) ?(cost = default_cost)
+    ?(handlers = no_handlers) ?fast_handlers ?(cost = default_cost)
     ?(term_cost = default_term_cost) ?(charge_cycles = true)
     ?(engine = Decoded) ?ctx ?mem_hook ?cycles_cell (m : modul)
     ~(entry : string) ~(args : int32 array) : result =
@@ -551,6 +782,7 @@ let run_shared ?(fuel = -1) ~(layout : Layout.t) ~(mem : int32 array)
       fuel;
       prints = [];
       handlers;
+      fast = fast_handlers;
       cost;
       term_cost;
       charge_cycles;

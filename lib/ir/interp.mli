@@ -34,6 +34,20 @@ type handlers = {
 
 val no_handlers : handlers
 
+(** Pre-bound per-channel handlers: one closure per queue/semaphore id
+    (indexed by the ids appearing in the IR) instead of one closure
+    taking the id.  When passed to {!run_shared}, runtime-primitive
+    operations dispatch directly through these arrays — no id argument,
+    no per-op channel-state lookup — which is how the compiled rtsim
+    engine binds queue state, bus and thread clock into each channel's
+    closure once at elaboration. *)
+type fast_handlers = {
+  fproduce : (int32 -> unit) array;  (** per queue *)
+  fconsume : (unit -> int32) array;  (** per queue *)
+  fsem_give : (int -> unit) array;  (** per semaphore; arg = count *)
+  fsem_take : (int -> unit) array;  (** per semaphore; arg = count *)
+}
+
 val eval_binop : binop -> int32 -> int32 -> int32
 (** C semantics on 32 bits: wraparound arithmetic, truncating signed
     division, shift counts masked to 5 bits. @raise Trap on /0. *)
@@ -87,6 +101,7 @@ val run_shared :
   layout:Layout.t ->
   mem:int32 array ->
   ?handlers:handlers ->
+  ?fast_handlers:fast_handlers ->
   ?cost:(func -> inst -> int) ->
   ?term_cost:(func -> block -> int) ->
   ?charge_cycles:bool ->
@@ -102,7 +117,9 @@ val run_shared :
     block for executing DSWP stage functions as concurrent threads over
     one address space.  The cost hooks are invoked per executed
     instruction / per block exit, letting simulators maintain their own
-    clocks.  [ctx] (Decoded engine only) shares decoded code across
+    clocks.  [fast_handlers], when given, takes precedence over
+    [handlers] for every runtime-primitive operation (see
+    {!fast_handlers}).  [ctx] (Decoded engine only) shares decoded code across
     calls; it must have been built for [m].  [mem_hook] fires on every
     Load/Store at charge time (before operand evaluation) — the
     simulator's memory-bus contention point — without paying a

@@ -16,10 +16,11 @@ type t = {
   mutable taken : Bytes.t; (* '\001' = cycle granted *)
   mutable grants : int;
   mutable wait_cycles : int;
+  mutable low : int; (* every cycle < low is granted *)
 }
 
 let create name =
-  { name; taken = Bytes.make 4096 '\000'; grants = 0; wait_cycles = 0 }
+  { name; taken = Bytes.make 4096 '\000'; grants = 0; wait_cycles = 0; low = 0 }
 
 let ensure (b : t) (n : int) =
   let len = Bytes.length b.taken in
@@ -30,18 +31,34 @@ let ensure (b : t) (n : int) =
     b.taken <- nb
   end
 
-(* First free cycle >= t; reserves it. *)
+(* First free cycle >= t; reserves it.
+
+   Grants are only ever added, so [low] — the frontier below which every
+   cycle is granted — is monotone; a request below it can start probing at
+   [low] (the first free cycle >= t equals the first free cycle >= low)
+   instead of rescanning the saturated prefix.  Under heavy contention this
+   turns the quadratic dense-prefix scan into an amortized O(1) probe. *)
 let reserve (b : t) (t : int) : int =
   let t0 = max 0 t in
-  ensure b t0;
-  let c = ref t0 in
-  while
-    !c < Bytes.length b.taken && Bytes.unsafe_get b.taken !c <> '\000'
-  do
-    incr c
-  done;
+  let start = if t0 < b.low then b.low else t0 in
+  ensure b start;
+  (* [taken] cannot change inside the probe loop (growth only happens in
+     [ensure]), so hoist the buffer and its length out of it *)
+  let buf = b.taken in
+  let len = Bytes.length buf in
+  let c = ref start in
+  while !c < len && Bytes.unsafe_get buf !c <> '\000' do incr c done;
   ensure b !c;
   Bytes.unsafe_set b.taken !c '\001';
+  if start = b.low then begin
+    (* the scan proved [low, c) granted and we just granted [c]: jump the
+       frontier past c and then past the run of grants it now heads *)
+    let buf = b.taken in
+    let len = Bytes.length buf in
+    let l = ref (!c + 1) in
+    while !l < len && Bytes.unsafe_get buf !l <> '\000' do incr l done;
+    b.low <- !l
+  end;
   b.grants <- b.grants + 1;
   b.wait_cycles <- b.wait_cycles + (!c - t0);
   !c

@@ -9,6 +9,7 @@ type t = {
   mutable taken : Bytes.t;  (** granted-cycle byte map, grown on demand *)
   mutable grants : int;
   mutable wait_cycles : int;  (** total grant - request delay *)
+  mutable low : int;  (** every cycle < low is granted *)
 }
 
 val create : string -> t

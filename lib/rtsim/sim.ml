@@ -19,7 +19,37 @@
      which also covers the 2-cycle write-update coherency window of
      §4.5); producers stall on full queues exactly like the size+1
      circular buffer described in §4.3.
-   - Semaphores: counting, with FIFO-ish grant times (§4.2). *)
+   - Semaphores: counting, with FIFO-ish grant times (§4.2).
+
+   Two execution engines share this timing model (the same discipline as
+   the interpreter's Tree/Decoded pair and vsim's engine family):
+
+   - [Interpreted] (the oracle): the original spin scheduler.  Handlers
+     are one record per thread dispatching on the channel id, hardware
+     terminator costs resolve their schedule through a name-keyed
+     hashtable, and every blocked fiber is resumed once per scheduler
+     round just to re-check its wait condition.
+   - [Compiled] (default): runtime-primitive handlers are specialised at
+     elaboration into one closure per (thread x channel) — queue state,
+     ring buffer, bus, latency and the thread's clock accessors are
+     pre-bound, and the interpreter dispatches through
+     {!Interp.fast_handlers} arrays with no id argument.  Queue storage
+     is a preallocated ring (no per-item allocation).  Hardware
+     terminator and memory-bus hooks resolve [nstates]/[ii]/[start_arr]
+     into flat per-function arrays at elaboration (physical-equality
+     memo, no hashtable and no tuple allocation per block exit).  The
+     scheduler parks blocked fibers on per-queue/per-semaphore wait
+     lists and only re-runs them when a producer/consumer/give touches
+     the channel they wait on.
+
+   The compiled scheduler cycles a ring of thread slots in index order
+   and runs every ready thread at its turn; because the interpreted
+   run queue is a FIFO that re-enqueues each fiber after every yield,
+   both engines resume productive work in the same global order, so bus
+   arbitration (which grants in call order) and therefore every stats
+   field is byte-identical across engines — [diff_engines] enforces
+   exactly that, and the rtsim:engines suite plus the fuzz oracle keep
+   it checked. *)
 
 open Effect
 open Effect.Deep
@@ -32,8 +62,13 @@ module Threadgen = Twill_dswp.Threadgen
 type _ Effect.t += Yield : unit Effect.t
 
 exception Deadlock of string
+exception Out_of_fuel of string
 
 type role = Sw | Hw
+
+type engine = Interpreted | Compiled
+
+let engine_name = function Interpreted -> "interpreted" | Compiled -> "compiled"
 
 type thread_spec = {
   tname : string; (* entry function *)
@@ -61,18 +96,6 @@ let default_config =
     fuel = 300_000_000;
   }
 
-type queue_state = {
-  qinfo : Threadgen.queue_info;
-  qdepth : int; (* normalized >= 1 at construction *)
-  items : (int32 * int) Queue.t; (* value, visible time *)
-  mutable pushed : int;
-  mutable popped : int;
-  pop_time : int array; (* ring of the last [qdepth] consume times *)
-  mutable peak : int;
-}
-
-type sem_state = { mutable count : int; mutable free_at : int }
-
 type stats = {
   ret : int32;
   prints : int32 list;
@@ -85,39 +108,132 @@ type stats = {
   memory_bus_waits : int;
 }
 
-let simulate ?(config = default_config) ?(master = 0) (m : modul)
-    ~(threads : thread_spec array) ~(queues : Threadgen.queue_info array)
-    ~(nsems : int) () : stats =
+(* What a parked thread is waiting on — carried into the [Deadlock]
+   message so a stuck simulation names every blocked thread's channel. *)
+type blocked_on =
+  | Not_blocked
+  | On_queue_full of int
+  | On_queue_empty of int
+  | On_sem of int * int (* semaphore id, count needed *)
+
+let blocked_on_to_string = function
+  | Not_blocked -> "runnable"
+  | On_queue_full q -> Printf.sprintf "queue %d full" q
+  | On_queue_empty q -> Printf.sprintf "queue %d empty" q
+  | On_sem (s, k) -> Printf.sprintf "semaphore %d (needs %d)" s k
+
+(* One deadlock message format shared by both engines: every unfinished
+   thread with the channel it blocks on. *)
+let deadlock_message (threads : thread_spec array) (finished : bool array)
+    (blocked : blocked_on array) : string =
+  let parts = ref [] in
+  for ti = Array.length threads - 1 downto 0 do
+    if not finished.(ti) then
+      parts :=
+        Printf.sprintf "t%d %s: %s" ti threads.(ti).tname
+          (blocked_on_to_string blocked.(ti))
+        :: !parts
+  done;
+  Printf.sprintf "%d thread(s) blocked (%s)"
+    (List.length !parts)
+    (String.concat "; " !parts)
+
+(* Deterministic cross-thread print merge: the master thread's trace
+   first (it carries the program's observable output in every design the
+   extractor produces — the print chain is pinned into one SCC), then
+   any other printing thread in thread-index order.  When exactly one
+   thread prints, this is that thread's trace verbatim, which is the
+   program order. *)
+let merge_prints ~(master : int) (results : Interp.result option array) :
+    int32 list =
+  let prints_of ti =
+    match results.(ti) with Some r -> r.Interp.prints | None -> []
+  in
+  let rest = ref [] in
+  for ti = Array.length results - 1 downto 0 do
+    if ti <> master then
+      match prints_of ti with [] -> () | p -> rest := p :: !rest
+  done;
+  prints_of master @ List.concat !rest
+
+(* --- shared per-simulation state ----------------------------------------- *)
+
+type queue_state = {
+  qdepth : int; (* normalized >= 1 at construction *)
+  (* interpreted oracle: in-flight items as (value, visible time),
+     stored in the straightforward FIFO the original engine used *)
+  items : (int32 * int) Queue.t;
+  (* compiled engine: the same in-flight window as ring buffers indexed
+     by counter mod depth — value and visible time of the [qdepth]
+     in-flight items, no per-item allocation *)
+  ring_val : int32 array;
+  ring_vis : int array;
+  (* both engines: consume times of the last [qdepth] pops (the slot a
+     producer reuses was freed by the consume [depth] items ago) *)
+  pop_time : int array;
+  mutable pushed : int;
+  mutable popped : int;
+  mutable peak : int;
+  (* compiled engine: threads parked on this queue *)
+  wl_full : int list ref; (* producers waiting for space *)
+  wl_empty : int list ref; (* consumers waiting for data *)
+}
+
+type sem_state = {
+  mutable count : int;
+  mutable free_at : int;
+  wl_sem : int list ref; (* takers waiting for count *)
+}
+
+(* Compiled-engine arbitration: [Bus.reserve] with the common case —
+   first probe free, map already big enough — peeled into the caller.
+   The grant sequence is identical; the fallback handles collisions and
+   growth. *)
+let[@inline] bus_grab (bus : Bus.t) (t : int) : int =
+  let buf = bus.Bus.taken in
+  if t < Bytes.length buf && Bytes.unsafe_get buf t = '\000' then begin
+    Bytes.unsafe_set buf t '\001';
+    bus.Bus.grants <- bus.Bus.grants + 1;
+    if t = bus.Bus.low then bus.Bus.low <- t + 1;
+    t
+  end
+  else Bus.reserve bus t
+
+let make_queues (config : config) (queues : Threadgen.queue_info array) :
+    queue_state array =
+  Array.map
+    (fun (qi : Threadgen.queue_info) ->
+      let qdepth =
+        max 1
+          (match config.queue_depth_override with
+          | Some d -> d
+          | None -> qi.Threadgen.depth)
+      in
+      {
+        qdepth;
+        items = Queue.create ();
+        ring_val = Array.make qdepth 0l;
+        ring_vis = Array.make qdepth 0;
+        pop_time = Array.make qdepth 0;
+        pushed = 0;
+        popped = 0;
+        peak = 0;
+        wl_full = ref [];
+        wl_empty = ref [];
+      })
+    queues
+
+let simulate ?(config = default_config) ?(master = 0) ?(engine = Compiled)
+    (m : modul) ~(threads : thread_spec array)
+    ~(queues : Threadgen.queue_info array) ~(nsems : int) () : stats =
   let layout, mem = Interp.fresh_memory m in
   let module_bus = Bus.create "module" in
   let memory_bus = Bus.create "memory" in
   let reserve bus t = if config.bus_contention then Bus.reserve bus t else t in
-  let qs =
-    Array.map
-      (fun (qi : Threadgen.queue_info) ->
-        let qdepth =
-          max 1
-            (match config.queue_depth_override with
-            | Some d -> d
-            | None -> qi.Threadgen.depth)
-        in
-        {
-          qinfo = qi;
-          qdepth;
-          items = Queue.create ();
-          pushed = 0;
-          popped = 0;
-          pop_time = Array.make qdepth 0;
-          peak = 0;
-        })
-      queues
-  in
-  let sems = Array.init (max 1 nsems) (fun _ -> { count = 1; free_at = 0 }) in
-  let ops = ref 0 in
-  let wait_until cond =
-    while not (cond ()) do
-      perform Yield
-    done
+  let qs = make_queues config queues in
+  let sems =
+    Array.init (max 1 nsems) (fun _ ->
+        { count = 1; free_at = 0; wl_sem = ref [] })
   in
   (* schedules for hardware threads: resolved through the process-wide
      cache (shared with area accounting and the driver), memoized by name
@@ -141,121 +257,19 @@ let simulate ?(config = default_config) ?(master = 0) (m : modul)
   let clocks = Array.make n 0 in
   let busys = Array.make n 0 in
   let results : Interp.result option array = Array.make n None in
-  (* Runtime-primitive handlers over an abstract thread clock.  Hardware
-     threads keep their clock directly in [clocks.(ti)]; software threads
-     run hook-free on the decoded engine's cost tables, so their clock is
-     the interpreter's live cycle cell plus a stall offset maintained
-     here (runtime-primitive operations are the only points where a
-     software thread's clock deviates from its charged cycles). *)
-  let make_handlers (get_clock : unit -> int) (set_clock : int -> unit) :
-      Interp.handlers =
-    (* queue ops carry no extra software overhead here: the 5 interface
-       cycles sit in sw_cost; hardware minimums are the +1/+2 below *)
-    let queue_overhead = 0 in
-    {
-      Interp.produce =
-        (fun q v ->
-          let st = qs.(q) in
-          (* block while the queue is full (size+1 buffer semantics) *)
-          wait_until (fun () -> st.pushed - st.popped < st.qdepth);
-          (* the slot we reuse was freed by the consume [depth] items ago *)
-          let slot_free =
-            if st.pushed >= st.qdepth then st.pop_time.(st.pushed mod st.qdepth)
-            else 0
-          in
-          set_clock (max (get_clock ()) slot_free);
-          let grant = reserve module_bus (get_clock ()) in
-          set_clock (grant + 1 + queue_overhead);
-          Queue.add (v, grant + config.queue_latency) st.items;
-          st.pushed <- st.pushed + 1;
-          st.peak <- max st.peak (st.pushed - st.popped);
-          incr ops);
-      consume =
-        (fun q ->
-          let st = qs.(q) in
-          wait_until (fun () -> st.pushed > st.popped);
-          let v, visible = Queue.pop st.items in
-          set_clock (max (get_clock ()) visible);
-          let grant = reserve module_bus (get_clock ()) in
-          set_clock (grant + 1 + queue_overhead);
-          st.pop_time.(st.popped mod st.qdepth) <- get_clock ();
-          st.popped <- st.popped + 1;
-          incr ops;
-          v);
-      sem_give =
-        (fun s k ->
-          let st = sems.(s) in
-          st.count <- st.count + k;
-          st.free_at <- max st.free_at (get_clock ());
-          let grant = reserve module_bus (get_clock ()) in
-          set_clock (grant + 1);
-          incr ops);
-      sem_take =
-        (fun s k ->
-          let st = sems.(s) in
-          wait_until (fun () -> st.count >= k);
-          st.count <- st.count - k;
-          set_clock (max (get_clock ()) st.free_at);
-          let grant = reserve module_bus (get_clock ()) in
-          set_clock (grant + 2 (* §4.2: lower takes >= 2 cycles *));
-          incr ops)
-    }
+  let finished = Array.make n false in
+  let blocked = Array.make n Not_blocked in
+  let nfinished = ref 0 in
+  let finish ti r =
+    results.(ti) <- Some r;
+    finished.(ti) <- true;
+    incr nfinished
   in
-  (* Hardware-thread memory-bus contention, fired by the interpreter on
-     every Load/Store at charge time.  Block timing is charged at the
-     terminator from the schedule; here only shared-memory-bus waits are
-     added.  The request is issued at the op's scheduled slot within the
-     block, so a thread never contends with its own schedule. *)
-  let make_mem_hook (ti : int) (spec : thread_spec) :
-      (func -> inst -> unit) option =
-    if spec.local_memory then None
-    else
-      let cur = ref None in
-      let sched_of (f : func) =
-        match !cur with
-        | Some (n, s) when n == f.name -> s
-        | _ ->
-            let s = schedule_of f.name in
-            cur := Some (f.name, s);
-            s
-      in
-      Some
-        (fun f i ->
-          let s = sched_of f in
-          let sa = s.Schedule.start_arr in
-          let slot =
-            if i.id >= 0 && i.id < Array.length sa && sa.(i.id) >= 0 then
-              sa.(i.id)
-            else 0
-          in
-          let request = clocks.(ti) + slot in
-          let grant = reserve memory_bus request in
-          if grant > request then
-            clocks.(ti) <- clocks.(ti) + (grant - request))
+  let out_of_fuel ti =
+    Out_of_fuel
+      (Printf.sprintf "thread t%d %s exhausted the %d-instruction budget" ti
+         threads.(ti).tname config.fuel)
   in
-  let make_term_cost (ti : int) : func -> block -> int =
-    let last = ref ("", -1) in
-    let cur = ref None in
-    let sched_of (f : func) =
-      match !cur with
-      | Some (n, s) when n == f.name -> s
-      | _ ->
-          let s = schedule_of f.name in
-          cur := Some (f.name, s);
-          s
-    in
-    fun f b ->
-      let s = sched_of f in
-      let pipelined = s.Schedule.ii.(b.bid) > 0 && !last = (f.name, b.bid) in
-      let c =
-        if pipelined then s.Schedule.ii.(b.bid) else s.Schedule.nstates.(b.bid)
-      in
-      last := (f.name, b.bid);
-      clocks.(ti) <- clocks.(ti) + c;
-      busys.(ti) <- busys.(ti) + c;
-      c
-  in
-  let finished = ref 0 in
   if
     (* Single software thread, no cross-thread runtime state: the
        simulation degenerates to one interpreter run whose clock equals
@@ -268,112 +282,632 @@ let simulate ?(config = default_config) ?(master = 0) (m : modul)
     && nsems = 0
   then begin
     let r =
-      Interp.run_shared ~fuel:config.fuel ~layout ~mem ~charge_cycles:true
-        ~ctx:ictx m ~entry:threads.(0).tname ~args:[||]
+      try
+        Interp.run_shared ~fuel:config.fuel ~layout ~mem ~charge_cycles:true
+          ~ctx:ictx m ~entry:threads.(0).tname ~args:[||]
+      with Interp.Out_of_fuel -> raise (out_of_fuel 0)
     in
     clocks.(0) <- r.Interp.cycles;
     busys.(0) <- r.Interp.cycles;
-    results.(0) <- Some r;
-    incr finished
+    finish 0 r
   end
   else begin
-    (* cooperative scheduler (as in Parexec) *)
-    let runq : (unit -> unit) Queue.t = Queue.create () in
-    let start_fiber (body : unit -> unit) () =
-      match_with body ()
-        {
-          retc = (fun () -> ());
-          exnc = (fun e -> raise e);
-          effc =
-            (fun (type a) (eff : a Effect.t) ->
-              match eff with
-              | Yield ->
-                  Some
-                    (fun (k : (a, unit) continuation) ->
-                      Queue.add (fun () -> continue k ()) runq)
-              | _ -> None);
-        }
+    (* Hardware-thread memory-bus contention, fired by the interpreter on
+       every Load/Store at charge time.  Block timing is charged at the
+       terminator from the schedule; here only shared-memory-bus waits are
+       added.  The request is issued at the op's scheduled slot within the
+       block, so a thread never contends with its own schedule. *)
+    let make_mem_hook (ti : int) (spec : thread_spec) :
+        (func -> inst -> unit) option =
+      if spec.local_memory then None
+      else
+        let cur = ref None in
+        let sched_of (f : func) =
+          match !cur with
+          | Some (n, s) when n == f.name -> s
+          | _ ->
+              let s = schedule_of f.name in
+              cur := Some (f.name, s);
+              s
+        in
+        Some
+          (fun f i ->
+            let s = sched_of f in
+            let sa = s.Schedule.start_arr in
+            let slot =
+              if i.id >= 0 && i.id < Array.length sa && sa.(i.id) >= 0 then
+                sa.(i.id)
+              else 0
+            in
+            let request = clocks.(ti) + slot in
+            let grant = reserve memory_bus request in
+            if grant > request then
+              clocks.(ti) <- clocks.(ti) + (grant - request))
     in
-    Array.iteri
-      (fun ti spec ->
-        Queue.add
-          (start_fiber (fun () ->
-               match spec.trole with
-               | Sw ->
-                   (* hook-free: the decoded engine charges Microblaze
-                      costs from its tables into [cell]; [stall] holds the
-                      extra wall-clock the runtime primitives imposed *)
-                   let cell = ref 0 and stall = ref 0 in
-                   let get () = !cell + !stall in
-                   let set c = stall := c - !cell in
-                   let r =
-                     Interp.run_shared ~fuel:config.fuel ~layout ~mem
-                       ~handlers:(make_handlers get set) ~charge_cycles:true
-                       ~ctx:ictx ~cycles_cell:cell m ~entry:spec.tname
-                       ~args:[||]
-                   in
-                   clocks.(ti) <- !cell + !stall;
-                   busys.(ti) <- !cell;
-                   results.(ti) <- Some r;
-                   incr finished
-               | Hw ->
-                   let get () = clocks.(ti) in
-                   let set c = clocks.(ti) <- c in
-                   let r =
-                     Interp.run_shared ~fuel:config.fuel ~layout ~mem
-                       ~handlers:(make_handlers get set)
-                       ~cost:Interp.zero_cost
-                       ~term_cost:(make_term_cost ti) ~charge_cycles:true
-                       ~ctx:ictx ?mem_hook:(make_mem_hook ti spec) m
-                       ~entry:spec.tname ~args:[||]
-                   in
-                   results.(ti) <- Some r;
-                   incr finished))
-          runq)
-      threads;
-    while not (Queue.is_empty runq) do
-      let k = Queue.length runq in
-      let before = !ops in
-      let done_before = !finished in
-      for _ = 1 to k do
-        (Queue.pop runq) ()
-      done;
-      if (not (Queue.is_empty runq)) && !ops = before && !finished = done_before
-      then
-        raise
-          (Deadlock (Printf.sprintf "%d threads blocked" (Queue.length runq)))
-    done
+    match engine with
+    | Interpreted ->
+        (* ---- the interpreted oracle: spin scheduler, id-dispatching
+           handlers, schedule lookups on the hot path ---- *)
+        let ops = ref 0 in
+        let wait_until ti why cond =
+          while not (cond ()) do
+            blocked.(ti) <- why;
+            perform Yield
+          done;
+          blocked.(ti) <- Not_blocked
+        in
+        (* Runtime-primitive handlers over an abstract thread clock.
+           Hardware threads keep their clock directly in [clocks.(ti)];
+           software threads run hook-free on the decoded engine's cost
+           tables, so their clock is the interpreter's live cycle cell
+           plus a stall offset maintained here (runtime-primitive
+           operations are the only points where a software thread's clock
+           deviates from its charged cycles). *)
+        let make_handlers (ti : int) (get_clock : unit -> int)
+            (set_clock : int -> unit) : Interp.handlers =
+          (* queue ops carry no extra software overhead here: the 5
+             interface cycles sit in sw_cost; hardware minimums are the
+             +1/+2 below *)
+          let queue_overhead = 0 in
+          {
+            Interp.produce =
+              (fun q v ->
+                let st = qs.(q) in
+                (* block while the queue is full (size+1 buffer semantics) *)
+                wait_until ti (On_queue_full q) (fun () ->
+                    st.pushed - st.popped < st.qdepth);
+                (* the slot we reuse was freed by the consume [depth]
+                   items ago *)
+                let slot_free =
+                  if st.pushed >= st.qdepth then
+                    st.pop_time.(st.pushed mod st.qdepth)
+                  else 0
+                in
+                set_clock (max (get_clock ()) slot_free);
+                let grant = reserve module_bus (get_clock ()) in
+                set_clock (grant + 1 + queue_overhead);
+                Queue.add (v, grant + config.queue_latency) st.items;
+                st.pushed <- st.pushed + 1;
+                st.peak <- max st.peak (st.pushed - st.popped);
+                incr ops);
+            consume =
+              (fun q ->
+                let st = qs.(q) in
+                wait_until ti (On_queue_empty q) (fun () ->
+                    st.pushed > st.popped);
+                let v, visible = Queue.pop st.items in
+                set_clock (max (get_clock ()) visible);
+                let grant = reserve module_bus (get_clock ()) in
+                set_clock (grant + 1 + queue_overhead);
+                st.pop_time.(st.popped mod st.qdepth) <- get_clock ();
+                st.popped <- st.popped + 1;
+                incr ops;
+                v);
+            sem_give =
+              (fun s k ->
+                let st = sems.(s) in
+                st.count <- st.count + k;
+                st.free_at <- max st.free_at (get_clock ());
+                let grant = reserve module_bus (get_clock ()) in
+                set_clock (grant + 1);
+                incr ops);
+            sem_take =
+              (fun s k ->
+                let st = sems.(s) in
+                wait_until ti (On_sem (s, k)) (fun () -> st.count >= k);
+                st.count <- st.count - k;
+                set_clock (max (get_clock ()) st.free_at);
+                let grant = reserve module_bus (get_clock ()) in
+                set_clock (grant + 2 (* §4.2: lower takes >= 2 cycles *));
+                incr ops)
+          }
+        in
+        let make_term_cost (ti : int) : func -> block -> int =
+          let last = ref ("", -1) in
+          let cur = ref None in
+          let sched_of (f : func) =
+            match !cur with
+            | Some (n, s) when n == f.name -> s
+            | _ ->
+                let s = schedule_of f.name in
+                cur := Some (f.name, s);
+                s
+          in
+          fun f b ->
+            let s = sched_of f in
+            let pipelined =
+              s.Schedule.ii.(b.bid) > 0 && !last = (f.name, b.bid)
+            in
+            let c =
+              if pipelined then s.Schedule.ii.(b.bid)
+              else s.Schedule.nstates.(b.bid)
+            in
+            last := (f.name, b.bid);
+            clocks.(ti) <- clocks.(ti) + c;
+            busys.(ti) <- busys.(ti) + c;
+            c
+        in
+        (* cooperative scheduler (as in Parexec) *)
+        let runq : (unit -> unit) Queue.t = Queue.create () in
+        let start_fiber (body : unit -> unit) () =
+          match_with body ()
+            {
+              retc = (fun () -> ());
+              exnc = (fun e -> raise e);
+              effc =
+                (fun (type a) (eff : a Effect.t) ->
+                  match eff with
+                  | Yield ->
+                      Some
+                        (fun (k : (a, unit) continuation) ->
+                          Queue.add (fun () -> continue k ()) runq)
+                  | _ -> None);
+            }
+        in
+        Array.iteri
+          (fun ti spec ->
+            Queue.add
+              (start_fiber (fun () ->
+                   match spec.trole with
+                   | Sw ->
+                       (* hook-free: the decoded engine charges Microblaze
+                          costs from its tables into [cell]; [stall] holds
+                          the extra wall-clock the runtime primitives
+                          imposed *)
+                       let cell = ref 0 and stall = ref 0 in
+                       let get () = !cell + !stall in
+                       let set c = stall := c - !cell in
+                       let r =
+                         try
+                           Interp.run_shared ~fuel:config.fuel ~layout ~mem
+                             ~handlers:(make_handlers ti get set)
+                             ~charge_cycles:true ~ctx:ictx ~cycles_cell:cell m
+                             ~entry:spec.tname ~args:[||]
+                         with Interp.Out_of_fuel -> raise (out_of_fuel ti)
+                       in
+                       clocks.(ti) <- !cell + !stall;
+                       busys.(ti) <- !cell;
+                       finish ti r
+                   | Hw ->
+                       let get () = clocks.(ti) in
+                       let set c = clocks.(ti) <- c in
+                       let r =
+                         try
+                           Interp.run_shared ~fuel:config.fuel ~layout ~mem
+                             ~handlers:(make_handlers ti get set)
+                             ~cost:Interp.zero_cost
+                             ~term_cost:(make_term_cost ti) ~charge_cycles:true
+                             ~ctx:ictx ?mem_hook:(make_mem_hook ti spec) m
+                             ~entry:spec.tname ~args:[||]
+                         with Interp.Out_of_fuel -> raise (out_of_fuel ti)
+                       in
+                       finish ti r))
+              runq)
+          threads;
+        while not (Queue.is_empty runq) do
+          let k = Queue.length runq in
+          let before = !ops in
+          let done_before = !nfinished in
+          for _ = 1 to k do
+            (Queue.pop runq) ()
+          done;
+          if
+            (not (Queue.is_empty runq))
+            && !ops = before
+            && !nfinished = done_before
+          then raise (Deadlock (deadlock_message threads finished blocked))
+        done
+    | Compiled ->
+        (* ---- the compiled engine: per-channel pre-bound closures and a
+           parked-fiber scheduler over per-channel wait lists ---- *)
+        let nq = Array.length queues in
+        let nsems_arr = Array.length sems in
+        (* thread ring: [pending.(ti)] resumes the thread (fiber start or
+           parked continuation), [ready] gates its ring turn *)
+        let pending : (unit -> unit) option array = Array.make n None in
+        let ready = Array.make n true in
+        let running = ref 0 in
+        let module E = struct
+          type _ Effect.t +=
+            | Park : blocked_on * int list ref -> unit Effect.t
+        end in
+        let wake (wl : int list ref) =
+          match !wl with
+          | [] -> ()
+          | l ->
+              wl := [];
+              List.iter
+                (fun ti ->
+                  ready.(ti) <- true;
+                  blocked.(ti) <- Not_blocked)
+                l
+        in
+        (* Park until [cond] holds, registering on [wl]; re-checks on
+           every wake (another thread may have consumed the event). *)
+        let wait_park why (wl : int list ref) cond =
+          while not (cond ()) do
+            perform (E.Park (why, wl))
+          done
+        in
+        (* Bus arbitration resolved at elaboration into a direct
+           [bus_grab] fast path ([mb_on] is an immutable local, so the
+           branch predicts perfectly; contention off skips arbitration
+           entirely). *)
+        let mb_on = config.bus_contention in
+        (* Runtime-primitive handlers, specialised per (role x channel x
+           config): queue ring, bus, latency and the thread clock are
+           pre-bound, so an op neither indexes the channel table nor
+           calls through an abstract get/set clock pair.  A software
+           thread's clock is the interpreter's live cycle cell plus a
+           stall offset; [cell] cannot advance during one handler call
+           (no instructions retire mid-primitive), so the get/set
+           algebra folds into plain arithmetic on a snapshot.  A
+           hardware thread's clock lives in [clocks.(ti)].  The
+           arithmetic is identical to the interpreted handlers —
+           byte-identical stats are the contract. *)
+        let make_fast_sw (cell : int ref) (stall : int ref) :
+            Interp.fast_handlers =
+          let produce_q (st : queue_state) q =
+            let depth = st.qdepth in
+            let lat = config.queue_latency in
+            let wl_empty = st.wl_empty and wl_full = st.wl_full in
+            fun v ->
+              if st.pushed - st.popped >= depth then
+                wait_park (On_queue_full q) wl_full (fun () ->
+                    st.pushed - st.popped < depth);
+              let slot = st.pushed mod depth in
+              let slot_free =
+                if st.pushed >= depth then Array.unsafe_get st.pop_time slot
+                else 0
+              in
+              let cell0 = !cell in
+              let clk = cell0 + !stall in
+              let clk = if clk < slot_free then slot_free else clk in
+              let grant = if mb_on then bus_grab module_bus clk else clk in
+              stall := grant + 1 - cell0;
+              Array.unsafe_set st.ring_val slot v;
+              Array.unsafe_set st.ring_vis slot (grant + lat);
+              st.pushed <- st.pushed + 1;
+              let sz = st.pushed - st.popped in
+              if sz > st.peak then st.peak <- sz;
+              wake wl_empty
+          in
+          let consume_q (st : queue_state) q =
+            let depth = st.qdepth in
+            let wl_empty = st.wl_empty and wl_full = st.wl_full in
+            fun () ->
+              if st.pushed <= st.popped then
+                wait_park (On_queue_empty q) wl_empty (fun () ->
+                    st.pushed > st.popped);
+              let slot = st.popped mod depth in
+              let v = Array.unsafe_get st.ring_val slot in
+              let vis = Array.unsafe_get st.ring_vis slot in
+              let cell0 = !cell in
+              let clk = cell0 + !stall in
+              let clk = if clk < vis then vis else clk in
+              let grant = if mb_on then bus_grab module_bus clk else clk in
+              let t1 = grant + 1 in
+              stall := t1 - cell0;
+              Array.unsafe_set st.pop_time slot t1;
+              st.popped <- st.popped + 1;
+              wake wl_full;
+              v
+          in
+          let give_s (st : sem_state) =
+            fun k ->
+              st.count <- st.count + k;
+              let cell0 = !cell in
+              let clk = cell0 + !stall in
+              if clk > st.free_at then st.free_at <- clk;
+              let grant = if mb_on then bus_grab module_bus clk else clk in
+              stall := grant + 1 - cell0;
+              wake st.wl_sem
+          in
+          let take_s (st : sem_state) s =
+            fun k ->
+              if st.count < k then
+                wait_park (On_sem (s, k)) st.wl_sem (fun () -> st.count >= k);
+              st.count <- st.count - k;
+              let cell0 = !cell in
+              let clk = cell0 + !stall in
+              let clk = if clk < st.free_at then st.free_at else clk in
+              let grant = if mb_on then bus_grab module_bus clk else clk in
+              stall := grant + 2 - cell0 (* §4.2: lower takes >= 2 cycles *)
+          in
+          {
+            Interp.fproduce = Array.init nq (fun q -> produce_q qs.(q) q);
+            fconsume = Array.init nq (fun q -> consume_q qs.(q) q);
+            fsem_give = Array.init nsems_arr (fun s -> give_s sems.(s));
+            fsem_take = Array.init nsems_arr (fun s -> take_s sems.(s) s);
+          }
+        in
+        let make_fast_hw (ti : int) : Interp.fast_handlers =
+          let produce_q (st : queue_state) q =
+            let depth = st.qdepth in
+            let lat = config.queue_latency in
+            let wl_empty = st.wl_empty and wl_full = st.wl_full in
+            fun v ->
+              if st.pushed - st.popped >= depth then
+                wait_park (On_queue_full q) wl_full (fun () ->
+                    st.pushed - st.popped < depth);
+              let slot = st.pushed mod depth in
+              let slot_free =
+                if st.pushed >= depth then Array.unsafe_get st.pop_time slot
+                else 0
+              in
+              let clk = Array.unsafe_get clocks ti in
+              let clk = if clk < slot_free then slot_free else clk in
+              let grant = if mb_on then bus_grab module_bus clk else clk in
+              Array.unsafe_set clocks ti (grant + 1);
+              Array.unsafe_set st.ring_val slot v;
+              Array.unsafe_set st.ring_vis slot (grant + lat);
+              st.pushed <- st.pushed + 1;
+              let sz = st.pushed - st.popped in
+              if sz > st.peak then st.peak <- sz;
+              wake wl_empty
+          in
+          let consume_q (st : queue_state) q =
+            let depth = st.qdepth in
+            let wl_empty = st.wl_empty and wl_full = st.wl_full in
+            fun () ->
+              if st.pushed <= st.popped then
+                wait_park (On_queue_empty q) wl_empty (fun () ->
+                    st.pushed > st.popped);
+              let slot = st.popped mod depth in
+              let v = Array.unsafe_get st.ring_val slot in
+              let vis = Array.unsafe_get st.ring_vis slot in
+              let clk = Array.unsafe_get clocks ti in
+              let clk = if clk < vis then vis else clk in
+              let grant = if mb_on then bus_grab module_bus clk else clk in
+              let t1 = grant + 1 in
+              Array.unsafe_set clocks ti t1;
+              Array.unsafe_set st.pop_time slot t1;
+              st.popped <- st.popped + 1;
+              wake wl_full;
+              v
+          in
+          let give_s (st : sem_state) =
+            fun k ->
+              st.count <- st.count + k;
+              let clk = Array.unsafe_get clocks ti in
+              if clk > st.free_at then st.free_at <- clk;
+              let grant = if mb_on then bus_grab module_bus clk else clk in
+              Array.unsafe_set clocks ti (grant + 1);
+              wake st.wl_sem
+          in
+          let take_s (st : sem_state) s =
+            fun k ->
+              if st.count < k then
+                wait_park (On_sem (s, k)) st.wl_sem (fun () -> st.count >= k);
+              st.count <- st.count - k;
+              let clk = Array.unsafe_get clocks ti in
+              let clk = if clk < st.free_at then st.free_at else clk in
+              let grant = if mb_on then bus_grab module_bus clk else clk in
+              Array.unsafe_set clocks ti
+                (grant + 2 (* §4.2: lower takes >= 2 cycles *))
+          in
+          {
+            Interp.fproduce = Array.init nq (fun q -> produce_q qs.(q) q);
+            fconsume = Array.init nq (fun q -> consume_q qs.(q) q);
+            fsem_give = Array.init nsems_arr (fun s -> give_s sems.(s));
+            fsem_take = Array.init nsems_arr (fun s -> take_s sems.(s) s);
+          }
+        in
+        (* Hardware terminator costs over flat per-function arrays,
+           resolved once at first entry (the schedule itself comes from
+           the process-wide cache); steady state is one physical-equality
+           check, two array reads and no allocation per block exit. *)
+        let make_term_cost_c (ti : int) : func -> block -> int =
+          let cur_f : func option ref = ref None in
+          let cur_ii = ref [||] in
+          let cur_ns = ref [||] in
+          let last_bid = ref (-1) in
+          fun f b ->
+            (match !cur_f with
+            | Some g when g == f -> ()
+            | _ ->
+                let s = schedule_of f.name in
+                cur_f := Some f;
+                cur_ii := s.Schedule.ii;
+                cur_ns := s.Schedule.nstates;
+                (* a function change breaks any pipelined streak, exactly
+                   like the interpreted engine's (name, bid) key *)
+                last_bid := -1);
+            let bid = b.bid in
+            let ii = Array.unsafe_get !cur_ii bid in
+            let c =
+              if ii > 0 && !last_bid = bid then ii
+              else Array.unsafe_get !cur_ns bid
+            in
+            last_bid := bid;
+            clocks.(ti) <- clocks.(ti) + c;
+            busys.(ti) <- busys.(ti) + c;
+            c
+        in
+        (* Per-function issue slots, clamped to [0, nregs) once per
+           function so the per-op path is a single unchecked read (an
+           instruction id is always < the function's register count). *)
+        let slot_arrays : (string, int array) Hashtbl.t = Hashtbl.create 16 in
+        let slots_of (f : func) : int array =
+          match Hashtbl.find_opt slot_arrays f.name with
+          | Some sl -> sl
+          | None ->
+              let sa = (schedule_of f.name).Schedule.start_arr in
+              let sl =
+                Array.init (Twill_ir.Vec.length f.insts) (fun id ->
+                    if id < Array.length sa && sa.(id) >= 0 then sa.(id) else 0)
+              in
+              Hashtbl.replace slot_arrays f.name sl;
+              sl
+        in
+        let make_mem_hook_c (ti : int) (spec : thread_spec) :
+            (func -> inst -> unit) option =
+          (* contention off makes every grant echo its request — the hook
+             would be pure overhead, so don't install one *)
+          if spec.local_memory || not mb_on then None
+          else
+            let cur_f : func option ref = ref None in
+            let cur_sl = ref [||] in
+            Some
+              (fun f i ->
+                (match !cur_f with
+                | Some g when g == f -> ()
+                | _ ->
+                    cur_f := Some f;
+                    cur_sl := slots_of f);
+                let request =
+                  Array.unsafe_get clocks ti + Array.unsafe_get !cur_sl i.id
+                in
+                let grant = bus_grab memory_bus request in
+                if grant > request then
+                  clocks.(ti) <- clocks.(ti) + (grant - request))
+        in
+        let start_fiber (body : unit -> unit) () =
+          match_with body ()
+            {
+              retc = (fun () -> ());
+              exnc = (fun e -> raise e);
+              effc =
+                (fun (type a) (eff : a Effect.t) ->
+                  match eff with
+                  | E.Park (why, wl) ->
+                      Some
+                        (fun (k : (a, unit) continuation) ->
+                          let ti = !running in
+                          blocked.(ti) <- why;
+                          ready.(ti) <- false;
+                          pending.(ti) <- Some (fun () -> continue k ());
+                          wl := ti :: !wl)
+                  | _ -> None);
+            }
+        in
+        Array.iteri
+          (fun ti spec ->
+            pending.(ti) <-
+              Some
+                (start_fiber (fun () ->
+                     match spec.trole with
+                     | Sw ->
+                         let cell = ref 0 and stall = ref 0 in
+                         let r =
+                           try
+                             Interp.run_shared ~fuel:config.fuel ~layout ~mem
+                               ~fast_handlers:(make_fast_sw cell stall)
+                               ~charge_cycles:true ~ctx:ictx ~cycles_cell:cell
+                               m ~entry:spec.tname ~args:[||]
+                           with Interp.Out_of_fuel -> raise (out_of_fuel ti)
+                         in
+                         clocks.(ti) <- !cell + !stall;
+                         busys.(ti) <- !cell;
+                         finish ti r
+                     | Hw ->
+                         let r =
+                           try
+                             Interp.run_shared ~fuel:config.fuel ~layout ~mem
+                               ~fast_handlers:(make_fast_hw ti)
+                               ~cost:Interp.zero_cost
+                               ~term_cost:(make_term_cost_c ti)
+                               ~charge_cycles:true ~ctx:ictx
+                               ?mem_hook:(make_mem_hook_c ti spec) m
+                               ~entry:spec.tname ~args:[||]
+                           with Interp.Out_of_fuel -> raise (out_of_fuel ti)
+                         in
+                         finish ti r)))
+          threads;
+        (* ring scheduler: cycle thread slots in index order, running
+           each ready thread at its turn; [n] consecutive skips with
+           unfinished threads means nothing can ever wake — deadlock *)
+        let cur = ref 0 in
+        let idle_scan = ref 0 in
+        while !nfinished < n do
+          (if ready.(!cur) then
+             match pending.(!cur) with
+             | Some resume ->
+                 idle_scan := -1;
+                 pending.(!cur) <- None;
+                 running := !cur;
+                 resume ()
+             | None ->
+                 (* finished thread: its slot stays ready but empty *)
+                 ());
+          cur := (!cur + 1) mod n;
+          incr idle_scan;
+          if !idle_scan > n && !nfinished < n then
+            raise (Deadlock (deadlock_message threads finished blocked))
+        done
   end;
   let ret =
     match results.(master) with
     | Some r -> r.Interp.ret
     | None -> raise (Deadlock "master thread did not finish")
   in
-  let prints =
-    let printing =
-      Array.to_list results
-      |> List.filter_map (function
-           | Some r when r.Interp.prints <> [] -> Some r.Interp.prints
-           | _ -> None)
-    in
-    match printing with
-    | [] -> []
-    | [ p ] -> p
-    | _ -> failwith "rtsim: prints scattered across threads"
-  in
-  let executed =
-    Array.fold_left
-      (fun acc r -> match r with Some r -> acc + r.Interp.executed | None -> acc)
-      0 results
-  in
   {
     ret;
-    prints;
+    prints = merge_prints ~master results;
     cycles = Array.fold_left max 0 clocks;
     thread_finish = Array.mapi (fun i spec -> (spec.tname, clocks.(i))) threads;
     thread_busy = Array.mapi (fun i spec -> (spec.tname, busys.(i))) threads;
-    executed;
+    executed =
+      Array.fold_left
+        (fun acc r ->
+          match r with Some r -> acc + r.Interp.executed | None -> acc)
+        0 results;
     queue_peaks = Array.map (fun q -> q.peak) qs;
     module_bus_waits = module_bus.Bus.wait_cycles;
     memory_bus_waits = memory_bus.Bus.wait_cycles;
   }
+
+(* --- differential engine check ------------------------------------------- *)
+
+exception Engine_mismatch of string
+
+let stats_mismatch (a : stats) (b : stats) : string option =
+  let check name fmt x y acc =
+    match acc with
+    | Some _ -> acc
+    | None -> if x = y then None else Some (Printf.sprintf "%s: %s vs %s" name (fmt x) (fmt y))
+  in
+  let istr = string_of_int in
+  None
+  |> check "ret" Int32.to_string a.ret b.ret
+  |> check "prints"
+       (fun p -> String.concat ";" (List.map Int32.to_string p))
+       a.prints b.prints
+  |> check "cycles" istr a.cycles b.cycles
+  |> check "executed" istr a.executed b.executed
+  |> check "module_bus_waits" istr a.module_bus_waits b.module_bus_waits
+  |> check "memory_bus_waits" istr a.memory_bus_waits b.memory_bus_waits
+  |> check "queue_peaks"
+       (fun q ->
+         String.concat "," (List.map string_of_int (Array.to_list q)))
+       a.queue_peaks b.queue_peaks
+  |> check "thread_finish"
+       (fun t ->
+         String.concat ","
+           (List.map
+              (fun (n, c) -> Printf.sprintf "%s=%d" n c)
+              (Array.to_list t)))
+       a.thread_finish b.thread_finish
+  |> check "thread_busy"
+       (fun t ->
+         String.concat ","
+           (List.map
+              (fun (n, c) -> Printf.sprintf "%s=%d" n c)
+              (Array.to_list t)))
+       a.thread_busy b.thread_busy
+
+let diff_engines ?config ?master (m : modul) ~(threads : thread_spec array)
+    ~(queues : Threadgen.queue_info array) ~(nsems : int) () : stats =
+  let interp =
+    simulate ?config ?master ~engine:Interpreted m ~threads ~queues ~nsems ()
+  in
+  let compiled =
+    simulate ?config ?master ~engine:Compiled m ~threads ~queues ~nsems ()
+  in
+  (match stats_mismatch interp compiled with
+  | None -> ()
+  | Some d ->
+      raise
+        (Engine_mismatch
+           (Printf.sprintf "rtsim engines disagree (interpreted vs compiled) on %s" d)));
+  compiled

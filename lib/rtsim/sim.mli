@@ -11,16 +11,37 @@
     write-update coherency window), 5-cycle processor stream operations,
     per-instruction Microblaze costs for software threads, and
     schedule-derived FSM state counts (with modulo-scheduling initiation
-    intervals) for hardware threads. *)
+    intervals) for hardware threads.
+
+    Two engines share the timing model: [Interpreted] (the original
+    spin-scheduler oracle — record handlers dispatching on channel ids,
+    schedule lookups per block exit, blocked fibers re-run every round)
+    and [Compiled] (the default — runtime-primitive handlers specialised
+    into pre-bound per-channel closures at elaboration, flat
+    per-function schedule arrays, ring-buffer queue storage, and a
+    scheduler that parks blocked fibers on per-channel wait lists).
+    Both engines produce byte-identical {!stats}; {!diff_engines} and
+    the rtsim:engines suite enforce it. *)
 
 open Twill_ir.Ir
 module Threadgen = Twill_dswp.Threadgen
 
 exception Deadlock of string
 (** Raised when no thread can make progress (cannot happen for designs
-    produced by {!Twill_dswp.Dswp.run}; property-tested). *)
+    produced by {!Twill_dswp.Dswp.run}; property-tested).  The message
+    names every unfinished thread and the queue/semaphore it is blocked
+    on. *)
+
+exception Out_of_fuel of string
+(** A thread exhausted [config.fuel]; the message names the thread. *)
 
 type role = Sw  (** software on the Microblaze *) | Hw  (** FPGA thread *)
+
+type engine =
+  | Interpreted  (** spin scheduler + record handlers (the oracle) *)
+  | Compiled  (** pre-bound closures + parked-fiber wait lists (default) *)
+
+val engine_name : engine -> string
 
 type thread_spec = {
   tname : string;  (** entry function *)
@@ -35,7 +56,7 @@ type config = {
   resources : Twill_hls.Schedule.resources;
   modulo : bool;
   bus_contention : bool;
-  fuel : int;
+  fuel : int;  (** per-thread instruction budget *)
 }
 
 val default_config : config
@@ -43,6 +64,8 @@ val default_config : config
 type stats = {
   ret : int32;  (** the master thread's return value *)
   prints : int32 list;
+      (** deterministic merge: the master thread's trace first, then any
+          other printing thread in thread-index order *)
   cycles : int;  (** makespan over all threads *)
   thread_finish : (string * int) array;
   thread_busy : (string * int) array;  (** non-waiting cycles per thread *)
@@ -55,6 +78,7 @@ type stats = {
 val simulate :
   ?config:config ->
   ?master:int ->
+  ?engine:engine ->
   modul ->
   threads:thread_spec array ->
   queues:Threadgen.queue_info array ->
@@ -63,4 +87,23 @@ val simulate :
   stats
 (** Runs every thread to completion over one shared memory image and
     returns the timing/behaviour statistics.  [master] selects the thread
-    whose return value is the program result (default 0). *)
+    whose return value is the program result (default 0).  [engine]
+    defaults to [Compiled].
+    @raise Deadlock when no thread can make progress.
+    @raise Out_of_fuel when a thread exceeds [config.fuel]. *)
+
+exception Engine_mismatch of string
+(** The two engines disagreed on some stats field — a simulator bug. *)
+
+val diff_engines :
+  ?config:config ->
+  ?master:int ->
+  modul ->
+  threads:thread_spec array ->
+  queues:Threadgen.queue_info array ->
+  nsems:int ->
+  unit ->
+  stats
+(** Runs both engines and checks the full {!stats} records for
+    equality; returns the compiled engine's stats.
+    @raise Engine_mismatch on any difference. *)

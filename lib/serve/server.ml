@@ -1,0 +1,374 @@
+(* twilld: the persistent compile/simulate service.
+
+   Protocol: line-delimited JSON over a Unix-domain socket.  Each line
+   is one request object `{"cmd": ..., ...}`; the response is one JSON
+   object on one line, echoing the request's "id" field when present.
+   Commands:
+
+     ping                          liveness probe
+     stats                         cache/request counters
+     stop                          shut the daemon down
+     compile  src [opts]           parse + optimise + extract; summary
+     schedule src [opts]           HLS schedules of every HW stage
+     simulate src [opts] [engine]  cycle-accurate stats of the design
+     batch    reqs:[...]           fan the sub-requests over the pool
+
+   opts (all optional): nstages, queue_depth, queue_latency, fuel.
+
+   Requests are cached by content hash — Digest of the source text plus
+   the canonicalised options (plus the engine, for simulate) — so a
+   repeated request is served from memory without re-elaborating; the
+   cache holds the elaborated design itself, so a simulate after a
+   compile of the same source reuses the extraction.  Two batching
+   paths: an explicit `batch` request fans its sub-requests over the
+   {!Par.pool} workers, and the per-connection reader drains every
+   complete line already buffered on the socket and processes them as
+   one implicit batch, so a client that pipelines N requests without
+   waiting gets pool parallelism for free. *)
+
+module Sim = Twill_rtsim.Sim
+module Schedule = Twill_hls.Schedule
+
+type elab = {
+  e_modul : Twill.Ir.modul;
+  e_threaded : Twill.Dswp.threaded;
+  e_opts : Twill.options;
+}
+
+type t = {
+  mu : Mutex.t;
+  elabs : (string, elab) Hashtbl.t; (* digest -> elaborated design *)
+  sims : (string, Json.t) Hashtbl.t; (* digest+engine -> response body *)
+  mutable requests : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable stopping : bool;
+  pool : Twill.Par.pool;
+  started : float;
+  mutable listen_fd : Unix.file_descr option;
+}
+
+let create ?workers () : t =
+  {
+    mu = Mutex.create ();
+    elabs = Hashtbl.create 64;
+    sims = Hashtbl.create 64;
+    requests = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    stopping = false;
+    pool = Twill.Par.pool ?workers ();
+    started = Unix.gettimeofday ();
+    listen_fd = None;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* --- request decoding ---------------------------------------------------- *)
+
+let options_of_req (j : Json.t) : Twill.options =
+  let base = Twill.default_options in
+  let get k d = Option.value (Json.int_field k j) ~default:d in
+  {
+    base with
+    partition =
+      {
+        Twill.Partition.default_config with
+        Twill.Partition.nstages =
+          get "nstages" base.Twill.partition.Twill.Partition.nstages;
+      };
+    queue_depth = get "queue_depth" base.Twill.queue_depth;
+    queue_latency = get "queue_latency" base.Twill.queue_latency;
+    fuel = get "fuel" base.Twill.fuel;
+  }
+
+(* the cache key: source text + every option the result depends on *)
+let elab_digest (src : string) (opts : Twill.options) : string =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "%s\x00n=%d;qd=%d;ql=%d;fuel=%d" src
+          opts.Twill.partition.Twill.Partition.nstages opts.Twill.queue_depth
+          opts.Twill.queue_latency opts.Twill.fuel))
+
+let engine_of_req (j : Json.t) : Sim.engine =
+  match Json.str_field "engine" j with
+  | Some "interpreted" -> Sim.Interpreted
+  | Some "compiled" | None -> Sim.Compiled
+  | Some other -> failwith ("unknown engine: " ^ other)
+
+let elaborate (t : t) (j : Json.t) : string * elab =
+  let src =
+    match Json.str_field "src" j with
+    | Some s -> s
+    | None -> failwith "missing src"
+  in
+  let opts = options_of_req j in
+  let digest = elab_digest src opts in
+  match locked t (fun () -> Hashtbl.find_opt t.elabs digest) with
+  | Some e ->
+      locked t (fun () -> t.cache_hits <- t.cache_hits + 1);
+      (digest, e)
+  | None ->
+      locked t (fun () -> t.cache_misses <- t.cache_misses + 1);
+      let m = Twill.compile ~opts src in
+      let threaded = Twill.extract ~opts m in
+      let e = { e_modul = m; e_threaded = threaded; e_opts = opts } in
+      locked t (fun () ->
+          (* a concurrent request may have raced us here; keep the first
+             entry so every later request shares one design *)
+          match Hashtbl.find_opt t.elabs digest with
+          | Some e0 -> Hashtbl.replace t.elabs digest e0
+          | None -> Hashtbl.replace t.elabs digest e);
+      (digest, locked t (fun () -> Hashtbl.find t.elabs digest))
+
+(* --- command handlers ----------------------------------------------------- *)
+
+let thread_specs (td : Twill.Dswp.threaded) : Sim.thread_spec array =
+  Array.mapi
+    (fun s name ->
+      {
+        Sim.tname = name;
+        trole =
+          (match td.Twill.Dswp.roles.(s) with
+          | Twill.Partition.Sw -> Sim.Sw
+          | Twill.Partition.Hw -> Sim.Hw);
+        local_memory = false;
+      })
+    td.Twill.Dswp.stages
+
+let handle_compile (t : t) (j : Json.t) : Json.t =
+  let digest, e = elaborate t j in
+  let td = e.e_threaded in
+  let funcs = List.length e.e_modul.Twill.Ir.funcs in
+  let insts =
+    List.fold_left
+      (fun acc (f : Twill.Ir.func) -> acc + Twill.Ir.num_live_insts f)
+      0 e.e_modul.Twill.Ir.funcs
+  in
+  Json.Obj
+    [
+      ("ok", Json.Bool true);
+      ("digest", Json.Str digest);
+      ("funcs", Json.Int funcs);
+      ("insts", Json.Int insts);
+      ("stages", Json.Int (Array.length td.Twill.Dswp.stages));
+      ("queues", Json.Int (Array.length td.Twill.Dswp.queues));
+      ("sems", Json.Int td.Twill.Dswp.nsems);
+    ]
+
+let handle_schedule (t : t) (j : Json.t) : Json.t =
+  let digest, e = elaborate t j in
+  let scheds = Twill.schedules_for e.e_opts e.e_modul in
+  Json.Obj
+    [
+      ("ok", Json.Bool true);
+      ("digest", Json.Str digest);
+      ( "schedules",
+        Json.List
+          (List.map
+             (fun (name, (s : Schedule.t)) ->
+               Json.Obj
+                 [
+                   ("func", Json.Str name);
+                   ("states", Json.Int s.Schedule.total_states);
+                   ( "min_ii",
+                     Json.Int
+                       (Array.fold_left
+                          (fun acc ii -> if ii > 0 then min acc ii else acc)
+                          0 s.Schedule.ii) );
+                 ])
+             scheds) );
+    ]
+
+let handle_simulate (t : t) (j : Json.t) : Json.t =
+  let engine = engine_of_req j in
+  let digest, e = elaborate t j in
+  let key = digest ^ ":" ^ Sim.engine_name engine in
+  match locked t (fun () -> Hashtbl.find_opt t.sims key) with
+  | Some body ->
+      locked t (fun () -> t.cache_hits <- t.cache_hits + 1);
+      body
+  | None ->
+      locked t (fun () -> t.cache_misses <- t.cache_misses + 1);
+      let td = e.e_threaded in
+      let config = Twill.sim_config e.e_opts in
+      let s =
+        Sim.simulate ~config ~master:td.Twill.Dswp.master ~engine
+          td.Twill.Dswp.modul ~threads:(thread_specs td)
+          ~queues:td.Twill.Dswp.queues ~nsems:td.Twill.Dswp.nsems ()
+      in
+      let body =
+        Json.Obj
+          [
+            ("ok", Json.Bool true);
+            ("digest", Json.Str digest);
+            ("engine", Json.Str (Sim.engine_name engine));
+            ("ret", Json.Int (Int32.to_int s.Sim.ret));
+            ("cycles", Json.Int s.Sim.cycles);
+            ("executed", Json.Int s.Sim.executed);
+            ( "prints",
+              Json.List
+                (List.map (fun p -> Json.Int (Int32.to_int p)) s.Sim.prints)
+            );
+            ( "queue_peaks",
+              Json.List
+                (Array.to_list
+                   (Array.map (fun p -> Json.Int p) s.Sim.queue_peaks)) );
+            ("module_bus_waits", Json.Int s.Sim.module_bus_waits);
+            ("memory_bus_waits", Json.Int s.Sim.memory_bus_waits);
+          ]
+      in
+      locked t (fun () -> Hashtbl.replace t.sims key body);
+      body
+
+let handle_stats (t : t) : Json.t =
+  locked t (fun () ->
+      Json.Obj
+        [
+          ("ok", Json.Bool true);
+          ("requests", Json.Int t.requests);
+          ("cache_hits", Json.Int t.cache_hits);
+          ("cache_misses", Json.Int t.cache_misses);
+          ("elaborations", Json.Int (Hashtbl.length t.elabs));
+          ("simulations", Json.Int (Hashtbl.length t.sims));
+          ("workers", Json.Int (Twill.Par.pool_workers t.pool));
+          ("pid", Json.Int (Unix.getpid ()));
+          ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started));
+        ])
+
+let rec handle (t : t) (j : Json.t) : Json.t =
+  locked t (fun () -> t.requests <- t.requests + 1);
+  let resp =
+    try
+      match Json.str_field "cmd" j with
+      | Some "ping" ->
+          Json.Obj
+            [
+              ("ok", Json.Bool true);
+              ("pong", Json.Bool true);
+              ("pid", Json.Int (Unix.getpid ()));
+            ]
+      | Some "stats" -> handle_stats t
+      | Some "stop" ->
+          locked t (fun () -> t.stopping <- true);
+          Json.Obj [ ("ok", Json.Bool true); ("stopping", Json.Bool true) ]
+      | Some "compile" -> handle_compile t j
+      | Some "schedule" -> handle_schedule t j
+      | Some "simulate" -> handle_simulate t j
+      | Some "batch" -> (
+          match Json.list_field "reqs" j with
+          | Some reqs ->
+              let results = Twill.Par.pool_map t.pool (handle t) reqs in
+              Json.Obj
+                [ ("ok", Json.Bool true); ("results", Json.List results) ]
+          | None -> failwith "batch: missing reqs")
+      | Some other -> failwith ("unknown cmd: " ^ other)
+      | None -> failwith "missing cmd"
+    with e ->
+      Json.Obj
+        [
+          ("ok", Json.Bool false);
+          ("error", Json.Str (Printexc.to_string e));
+        ]
+  in
+  (* echo the client's correlation id, if any *)
+  match (Json.find "id" j, resp) with
+  | Some id, Json.Obj kvs -> Json.Obj (("id", id) :: kvs)
+  | _ -> resp
+
+let handle_line (t : t) (line : string) : string =
+  let resp =
+    match Json.of_string line with
+    | j -> handle t j
+    | exception Json.Parse_error msg ->
+        Json.Obj
+          [ ("ok", Json.Bool false); ("error", Json.Str ("parse: " ^ msg)) ]
+  in
+  Json.to_string resp
+
+(* --- connection loop ------------------------------------------------------ *)
+
+let write_all fd (s : string) =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+(* Reads from [fd] into a private buffer and returns all complete lines
+   it can: one blocking read, then everything already buffered.  This is
+   the implicit batch — a pipelining client's backlog arrives as one
+   list.  Returns [] on EOF. *)
+let read_lines =
+  let chunk_len = 65536 in
+  fun (buf : Buffer.t) fd ->
+    let chunk = Bytes.create chunk_len in
+    let split_complete () =
+      let s = Buffer.contents buf in
+      match String.rindex_opt s '\n' with
+      | None -> []
+      | Some last ->
+          Buffer.clear buf;
+          Buffer.add_string buf
+            (String.sub s (last + 1) (String.length s - last - 1));
+          String.split_on_char '\n' (String.sub s 0 last)
+          |> List.filter (fun l -> String.trim l <> "")
+    in
+    let rec go () =
+      match split_complete () with
+      | _ :: _ as lines -> lines
+      | [] -> (
+          match Unix.read fd chunk 0 chunk_len with
+          | 0 -> []
+          | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              go ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+    in
+    go ()
+
+let serve_connection (t : t) fd =
+  let buf = Buffer.create 4096 in
+  let rec loop () =
+    match read_lines buf fd with
+    | [] -> () (* EOF *)
+    | [ line ] ->
+        write_all fd (handle_line t line ^ "\n");
+        if not t.stopping then loop ()
+    | lines ->
+        (* implicit batch: fan the backlog over the pool, answer in order *)
+        let resps = Twill.Par.pool_map t.pool (handle_line t) lines in
+        write_all fd (String.concat "\n" resps ^ "\n");
+        if not t.stopping then loop ()
+  in
+  (try loop () with _ -> ());
+  (try Unix.close fd with _ -> ());
+  if t.stopping then
+    (* wake the accept loop so the daemon can exit *)
+    match t.listen_fd with
+    | Some lfd -> ( try Unix.close lfd with _ -> ())
+    | None -> ()
+
+let serve (t : t) ~(socket : string) : unit =
+  (try Unix.unlink socket with _ -> ());
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX socket);
+  Unix.listen lfd 64;
+  t.listen_fd <- Some lfd;
+  let rec accept_loop () =
+    match Unix.accept lfd with
+    | fd, _ ->
+        ignore (Thread.create (fun () -> serve_connection t fd) ());
+        if not t.stopping then accept_loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+    | exception Unix.Unix_error (_, _, _) when t.stopping -> ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close lfd with _ -> ());
+      (try Unix.unlink socket with _ -> ());
+      Twill.Par.pool_shutdown t.pool)
+    accept_loop

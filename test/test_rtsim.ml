@@ -156,9 +156,150 @@ let prop_sim_sound =
           | exception Sim.Deadlock msg ->
               QCheck.Test.fail_report ("deadlock: " ^ msg)))
 
+(* --- engine equivalence: interpreted vs compiled ------------------------ *)
+
+let thread_specs (t : Twill.Dswp.threaded) =
+  Array.mapi
+    (fun s name ->
+      {
+        Sim.tname = name;
+        trole =
+          (match t.Twill.Dswp.roles.(s) with
+          | Twill.Partition.Sw -> Sim.Sw
+          | Twill.Partition.Hw -> Sim.Hw);
+        local_memory = false;
+      })
+    t.Twill.Dswp.stages
+
+let diff_engines ?config (opts : Twill.options) (t : Twill.Dswp.threaded) =
+  let config =
+    match config with Some c -> c | None -> Twill.sim_config opts
+  in
+  Sim.diff_engines ~config ~master:t.Twill.Dswp.master t.Twill.Dswp.modul
+    ~threads:(thread_specs t) ~queues:t.Twill.Dswp.queues
+    ~nsems:t.Twill.Dswp.nsems ()
+
+let contains_substr ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let engines_tests =
+  List.map
+    (fun (b : Twill_chstone.Chstone.benchmark) ->
+      Alcotest.test_case
+        ("chstone engines lockstep " ^ b.Twill_chstone.Chstone.name)
+        `Slow
+        (fun () ->
+          let src = b.Twill_chstone.Chstone.source in
+          let opts = Twill.default_options in
+          let m = Twill.compile ~opts src in
+          let t = Twill.extract ~opts m in
+          (* diff_engines raises Engine_mismatch naming the first
+             differing stats field *)
+          ignore (diff_engines opts t)))
+    Twill_chstone.Chstone.all
+  @ [
+      Alcotest.test_case "fuzz cases lockstep (50 random programs)" `Slow
+        (fun () ->
+          let checked = ref 0 in
+          for index = 0 to 49 do
+            let src =
+              Twill_minic.Ast_pp.program_to_string
+                (Twill_fuzz.Gen.program ~seed:6 ~index)
+            in
+            let opts =
+              {
+                Twill.default_options with
+                partition =
+                  {
+                    Twill.Partition.default_config with
+                    Twill.Partition.nstages = 1 + (index mod 6);
+                  };
+                queue_depth = 1 lsl (index mod 5);
+                queue_latency = 1 + (index mod 7);
+              }
+            in
+            let m = Twill.compile ~opts src in
+            let t = Twill.extract ~opts m in
+            let config =
+              { (Twill.sim_config opts) with Sim.fuel = 3_000_000 }
+            in
+            match diff_engines ~config opts t with
+            | _ -> incr checked
+            | exception Sim.Out_of_fuel _ -> () (* budget skip, not a verdict *)
+          done;
+          (* the budget skips must stay the exception, not the rule *)
+          Alcotest.(check bool)
+            (Printf.sprintf "most cases checked (%d/50)" !checked)
+            true (!checked >= 40));
+      Alcotest.test_case "prints from several threads merge deterministically"
+        `Quick
+        (fun () ->
+          (* both threads print: the master's whole trace must come
+             first, then thread 1's, in thread-index order (regression:
+             this used to abort with "prints scattered across threads") *)
+          let src =
+            "int aux() { print(100); print(101); return 0; } int main() { \
+             print(1); print(2); return aux(); }"
+          in
+          (* unoptimised lowering: the optimiser would inline [aux] away *)
+          let m = Twill_minic.Minic.compile src in
+          let threads =
+            [|
+              { Sim.tname = "main"; trole = Sim.Sw; local_memory = false };
+              { Sim.tname = "aux"; trole = Sim.Sw; local_memory = false };
+            |]
+          in
+          let expected = [ 1l; 2l; 100l; 101l; 100l; 101l ] in
+          List.iter
+            (fun engine ->
+              let s =
+                Sim.simulate ~engine m ~threads ~queues:[||] ~nsems:0 ()
+              in
+              Alcotest.(check (list check_i32))
+                ("merged prints, " ^ Sim.engine_name engine)
+                expected s.Sim.prints)
+            [ Sim.Interpreted; Sim.Compiled ]);
+      Alcotest.test_case "deadlock names the blocked thread and channel"
+        `Quick
+        (fun () ->
+          (* run only the consumer stage of a pipeline: its first consume
+             blocks forever, and the Deadlock message must say which
+             thread waits on which queue — identically in both engines *)
+          let opts, _, t = twill_of pipeline_src in
+          let specs = thread_specs t in
+          let lone = [| specs.(Array.length specs - 1) |] in
+          let msg_of engine =
+            match
+              Sim.simulate ~config:(Twill.sim_config opts) ~engine
+                t.Twill.Dswp.modul ~threads:lone ~queues:t.Twill.Dswp.queues
+                ~nsems:t.Twill.Dswp.nsems ()
+            with
+            | _ -> Alcotest.fail "expected a deadlock"
+            | exception Sim.Deadlock msg -> msg
+          in
+          let mi = msg_of Sim.Interpreted and mc = msg_of Sim.Compiled in
+          Alcotest.(check string) "same message in both engines" mi mc;
+          Alcotest.(check bool) "names the thread" true
+            (contains_substr ~sub:lone.(0).Sim.tname mi);
+          Alcotest.(check bool) "names the queue wait" true
+            (contains_substr ~sub:"queue" mi && contains_substr ~sub:"empty" mi));
+      Alcotest.test_case "out of fuel names the thread" `Quick (fun () ->
+          let opts, _, t = twill_of pipeline_src in
+          let config = { (Twill.sim_config opts) with Sim.fuel = 50 } in
+          match simulate ~config opts t with
+          | _ -> Alcotest.fail "expected out-of-fuel"
+          | exception Sim.Out_of_fuel msg ->
+              Alcotest.(check bool) "names a thread" true
+                (contains_substr ~sub:"t0" msg
+                && contains_substr ~sub:"instruction budget" msg));
+    ]
+
 let suites =
   [
     ("rtsim:bus", bus_tests);
     ("rtsim:timing", timing_tests);
+    ("rtsim:engines", engines_tests);
     ("rtsim:property", [ QCheck_alcotest.to_alcotest prop_sim_sound ]);
   ]
