@@ -271,7 +271,7 @@ let fig_6_5 () =
       List.iteri
         (fun i lat ->
           let config =
-            { (Twill.sim_config opts) with Twill.Sim.queue_latency = lat }
+            Twill.sim_config { opts with Twill.queue_latency = lat }
           in
           let cycles = simulate_threaded t config in
           if i = 0 then base := cycles;
@@ -293,7 +293,7 @@ let fig_6_5 () =
 
 let simulate_with_depth (t : Twill.Dswp.threaded) opts depth =
   simulate_threaded t
-    { (Twill.sim_config opts) with Twill.Sim.queue_depth_override = Some depth }
+    (Twill.sim_config { opts with Twill.queue_depth_override = Some depth })
 
 let fig_6_6 () =
   header
@@ -760,6 +760,22 @@ let json_cosim (engine : Twill.Vsim.engine option) =
         diverged total;
       if (not all_ok) || diverged > 0 then exit 1
 
+(* BENCH_dse.json: the committed design-space sweep — default grid,
+   fixed seed, rendered by the deterministic lib/dse printer, so the
+   file must reproduce byte-for-byte on any machine.  Wall-clock goes to
+   stderr only. *)
+let json_dse () =
+  let t0 = Unix.gettimeofday () in
+  let s = Twill_dse.Dse.run Twill_dse.Grid.default in
+  let wall = Unix.gettimeofday () -. t0 in
+  print_string (Twill_dse.Dse.json_of_sweep s);
+  let r = s.Twill_dse.Dse.reuse in
+  Printf.eprintf
+    "dse: %d points, %d compiles (%d prefix-reused), %d extractions, \
+     %.1fs wall\n"
+    r.Twill_dse.Dse.points r.Twill_dse.Dse.compiles
+    r.Twill_dse.Dse.prefix_reused r.Twill_dse.Dse.extractions wall
+
 let artifacts =
   [
     ("table-6.1", table_6_1);
@@ -783,6 +799,7 @@ let () =
   | "--json" :: names -> json_mode names
   | [ "--json-cosim" ] -> json_cosim None
   | [ "--json-rtsim" ] -> json_rtsim ()
+  | [ "--json-dse" ] -> json_dse ()
   | [ "--json-cosim"; "--engine"; "compiled" ] ->
       json_cosim (Some Twill.Vsim.Compiled)
   | [ "--json-cosim"; "--engine"; "levelized" ] ->

@@ -8,6 +8,7 @@
      twillc emit-verilog FILE.c   emit the design's RTL (-o FILE, --check)
      twillc cosim NAME|FILE.c     co-simulate the emitted RTL vs rtsim
      twillc fuzz --seed N         differential fuzzing across the stack
+     twillc dse [--grid SPEC]     design-space sweep -> Pareto frontier
 
    Options: --stages K, --sw-frac F, --queue-depth D, --queue-latency L,
    --aggressive-inline, --no-auto. *)
@@ -387,6 +388,126 @@ let fuzz_cmd =
 (* --- twilld client: `twillc daemon ...` --------------------------------- *)
 
 module Serve_json = Twill_serve.Json
+(* ------------------------------------------------------------------ *)
+(* dse: design-space sweeps                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Dse_grid = Twill_dse.Grid
+module Dse_pareto = Twill_dse.Pareto
+module Dse = Twill_dse.Dse
+
+let grid_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "grid" ] ~docv:"SPEC"
+        ~doc:
+          "Grid spec, e.g. $(b,kernels=mips,sha;queue_latency=2,8,32); \
+           unnamed axes keep the default sweep's values.")
+
+let sample_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "sample" ] ~docv:"N" ~doc:"Evaluate a deterministic N-point subset.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Sampling seed.")
+
+let shards_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "shards" ] ~docv:"K"
+        ~doc:
+          "Round-robin the sweep into K domain-parallel shards (0: one task \
+           per extraction group).  Results are identical either way.")
+
+let dse_cmd =
+  let run grid_spec sample seed shards json out cold =
+    let grid =
+      if grid_spec = "" then Dse_grid.default
+      else
+        match Dse_grid.parse grid_spec with
+        | Ok g -> g
+        | Error e ->
+            Fmt.epr "bad --grid: %s@." e;
+            exit 2
+    in
+    let t0 = Unix.gettimeofday () in
+    let s = Dse.run ~shards ~seed ?sample grid in
+    let wall = Unix.gettimeofday () -. t0 in
+    let r = s.Dse.reuse in
+    Fmt.epr
+      "%d points in %.2fs (%.0f/s): %d compiles (%d full, %d prefix-reused), \
+       %d extractions, %d simulations; compile hit-rate %.1f%%, extract \
+       hit-rate %.1f%%@."
+      r.Dse.points wall
+      (float_of_int r.Dse.points /. wall)
+      r.Dse.compiles r.Dse.full_compiles r.Dse.prefix_reused r.Dse.extractions
+      r.Dse.simulations
+      (100.0 *. Dse.hit_rate ~paid:r.Dse.compiles ~total:r.Dse.points)
+      (100.0 *. Dse.hit_rate ~paid:r.Dse.extractions ~total:r.Dse.points);
+    if cold then begin
+      let t1 = Unix.gettimeofday () in
+      let c = Dse.run_cold ~seed ?sample grid in
+      let cold_wall = Unix.gettimeofday () -. t1 in
+      let same = Dse.results_digest c.Dse.results = Dse.results_digest s.Dse.results in
+      Fmt.epr
+        "cold (no reuse): %.2fs — incremental speedup %.1fx, results %s@."
+        cold_wall (cold_wall /. wall)
+        (if same then "identical" else "DIVERGED");
+      if not same then exit 1
+    end;
+    if json then begin
+      let body = Dse.json_of_sweep s in
+      match out with
+      | None -> print_string body
+      | Some path ->
+          let oc = open_out path in
+          output_string oc body;
+          close_out oc;
+          Fmt.epr "wrote %s@." path
+    end
+    else begin
+      Fmt.pr "Pareto frontier (%d of %d points):@." (List.length s.Dse.frontier)
+        (List.length s.Dse.results);
+      Fmt.pr "  %-34s %10s %8s %10s@." "point" "cycles" "LUTs" "power";
+      List.iter
+        (fun (res : Dse_pareto.result) ->
+          let m = res.Dse_pareto.metrics in
+          Fmt.pr "  %-34s %10d %8d %8.1fmW@."
+            (Dse_grid.point_label res.Dse_pareto.point)
+            m.Dse_pareto.cycles m.Dse_pareto.luts m.Dse_pareto.power_mw)
+        s.Dse.frontier;
+      Fmt.pr "sensitivity (mean slowdown vs axis baseline):@.";
+      List.iter
+        (fun (sv : Dse_pareto.sensitivity) ->
+          Fmt.pr "  %-14s = %-6s %6.3fx  (min %.3f, max %.3f, n=%d)@."
+            sv.Dse_pareto.axis sv.Dse_pareto.value sv.Dse_pareto.mean_slowdown
+            sv.Dse_pareto.min_slowdown sv.Dse_pareto.max_slowdown
+            sv.Dse_pareto.n)
+        s.Dse.sensitivities
+    end
+  in
+  Cmd.v
+    (Cmd.info "dse"
+       ~doc:
+         "Sweep a design-space grid (kernel x partition x queue x engine) \
+          with incremental compile/extract reuse and report the Pareto \
+          frontier over (cycles, LUTs, power)")
+    Term.(
+      const run $ grid_arg $ sample_arg $ seed_arg $ shards_arg
+      $ Arg.(value & flag & info [ "json" ] ~doc:"Emit the sweep as JSON.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "out" ] ~docv:"FILE" ~doc:"Write the JSON to FILE.")
+      $ Arg.(
+          value & flag
+          & info [ "cold" ]
+              ~doc:
+                "Also run the sweep without any reuse and report the \
+                 incremental engine's speedup (exits 1 if results differ)."))
+
 module Serve_client = Twill_serve.Client
 module Serve_server = Twill_serve.Server
 
@@ -512,6 +633,30 @@ let daemon_bench_cmd =
       $ Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME|FILE")
       $ Arg.(value & opt int 20 & info [ "iters" ] ~doc:"Warm iterations."))
 
+let daemon_dse_cmd =
+  let run socket grid_spec sample seed =
+    with_client socket (fun c ->
+        let req =
+          Serve_json.Obj
+            (("cmd", Serve_json.Str "dse")
+            :: (if grid_spec = "" then []
+                else [ ("grid", Serve_json.Str grid_spec) ])
+            @ (match sample with
+              | None -> []
+              | Some n -> [ ("sample", Serve_json.Int n) ])
+            @ [ ("seed", Serve_json.Int seed) ])
+        in
+        let r = Serve_client.request c req in
+        Fmt.pr "%s@." (Serve_json.to_string r);
+        if Serve_json.bool_field "ok" r <> Some true then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "dse"
+       ~doc:
+         "Run a design-space sweep on twilld; repeated sweeps reuse the \
+          daemon's persistent elaboration cache")
+    Term.(const run $ socket_arg $ grid_arg $ sample_arg $ seed_arg)
+
 let daemon_cmd =
   Cmd.group
     (Cmd.info "daemon"
@@ -520,7 +665,7 @@ let daemon_cmd =
           start one with the twilld executable")
     [
       daemon_ping_cmd; daemon_stats_cmd; daemon_stop_cmd; daemon_simulate_cmd;
-      daemon_check_cmd; daemon_bench_cmd;
+      daemon_check_cmd; daemon_bench_cmd; daemon_dse_cmd;
     ]
 
 let () =
@@ -530,5 +675,5 @@ let () =
        (Cmd.group (Cmd.info "twillc" ~doc)
           [
             run_cmd; ir_cmd; threads_cmd; bench_cmd; list_cmd; emit_c_cmd;
-            emit_verilog_cmd; cosim_cmd; fuzz_cmd; daemon_cmd;
+            emit_verilog_cmd; cosim_cmd; fuzz_cmd; dse_cmd; daemon_cmd;
           ]))

@@ -27,6 +27,7 @@ module Par = Par
 type options = {
   partition : Partition.config;
   queue_depth : int;
+  queue_depth_override : int option;
   queue_latency : int;
   inline_aggressive : bool;
   inline_threshold : int;
@@ -35,6 +36,7 @@ type options = {
   modulo : bool;
   bus_contention : bool;
   fuel : int;
+  sim_engine : Sim.engine;
   pipeline_break : string option;
 }
 
@@ -42,6 +44,7 @@ let default_options =
   {
     partition = Partition.default_config;
     queue_depth = 8; (* the thesis runs everything with 8x32 queues *)
+    queue_depth_override = None;
     queue_latency = 2;
     inline_aggressive = false;
     inline_threshold = 60;
@@ -50,6 +53,7 @@ let default_options =
     modulo = true;
     bus_contention = true;
     fuel = 300_000_000;
+    sim_engine = Sim.Compiled;
     pipeline_break = None;
   }
 
@@ -105,11 +109,12 @@ let extract ?(opts = default_options) ?profile ?prep (m : Ir.modul) :
 let sim_config (opts : options) : Sim.config =
   {
     Sim.queue_latency = opts.queue_latency;
-    queue_depth_override = None;
+    queue_depth_override = opts.queue_depth_override;
     resources = opts.resources;
     modulo = opts.modulo;
     bus_contention = opts.bus_contention;
     fuel = opts.fuel;
+    engine = opts.sim_engine;
   }
 
 (* --- the three evaluation scenarios -------------------------------------- *)

@@ -36,6 +36,10 @@ module Par = Par
 type options = {
   partition : Partition.config;  (** pipeline width and split target *)
   queue_depth : int;  (** slots per queue (thesis: 8) *)
+  queue_depth_override : int option;
+      (** simulation-time depth override for every queue; [None] keeps
+          each queue's extracted depth.  Sweeping it re-simulates an
+          extraction without re-extracting (Figure 6.6, the DSE engine) *)
   queue_latency : int;  (** give->visible cycles (thesis: 2) *)
   inline_aggressive : bool;  (** inline every call before DSWP *)
   inline_threshold : int;  (** size bound for default inlining *)
@@ -44,6 +48,7 @@ type options = {
   modulo : bool;  (** enable the modulo scheduler *)
   bus_contention : bool;  (** model 1-message-per-cycle buses *)
   fuel : int;  (** simulation instruction budget *)
+  sim_engine : Sim.engine;  (** rtsim engine used by every flow *)
   pipeline_break : string option;
       (** fault injection: deliberately miscompile after the named
           pipeline stage (the fuzzer's planted-bug hook; see

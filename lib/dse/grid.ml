@@ -1,0 +1,237 @@
+(* Design-space grid: the axes of the Chapter-6 sensitivity studies as
+   one first-class value.  A grid is the cartesian product of
+
+     kernel        x  (bundled CHStone benchmark)
+     unroll        x  (compile-level: LegUp-style full unrolling)
+     nstages       x  (partition: targeted pipeline width)
+     sw_frac       x  (partition: software master work share)
+     queue_depth   x  (simulation-level depth override, Figure 6.6)
+     queue_latency x  (give->visible latency, Figure 6.5)
+     engine           (rtsim engine)
+
+   enumerated in exactly that nesting order, innermost last, so a
+   point list is deterministic and stable across runs, machines and
+   shardings.  Axes are grouped by evaluation level: [unroll] changes
+   compilation, [nstages]/[sw_frac] change extraction, the rest only
+   re-simulate — the DSE engine exploits that grouping for incremental
+   reuse (see dse.ml). *)
+
+module Sim = Twill_rtsim.Sim
+
+type t = {
+  kernels : string list;
+  unrolls : bool list;
+  nstages : int list;
+  sw_fracs : float list;
+  queue_depths : int list;
+  queue_latencies : int list;
+  engines : Sim.engine list;
+}
+
+type point = {
+  kernel : string;
+  unroll : bool;
+  nstages : int;
+  sw_frac : float;
+  queue_depth : int;
+  queue_latency : int;
+  engine : Sim.engine;
+}
+
+(* The committed-benchmark grid (BENCH_dse.json): four kernels, both
+   compile variants, three pipeline widths, the thesis's queue depth and
+   latency sweeps — 600 points over 24 extractions and 8 compiles. *)
+let default =
+  {
+    kernels = [ "mips"; "sha"; "gsm"; "motion" ];
+    unrolls = [ false; true ];
+    nstages = [ 2; 3; 4 ];
+    sw_fracs = [ 0.002 ];
+    queue_depths = [ 1; 2; 4; 8; 32 ];
+    queue_latencies = [ 2; 4; 8; 32; 128 ];
+    engines = [ Sim.Compiled ];
+  }
+
+let npoints (g : t) : int =
+  List.length g.kernels * List.length g.unrolls * List.length g.nstages
+  * List.length g.sw_fracs * List.length g.queue_depths
+  * List.length g.queue_latencies * List.length g.engines
+
+let points (g : t) : point list =
+  List.concat_map
+    (fun kernel ->
+      List.concat_map
+        (fun unroll ->
+          List.concat_map
+            (fun nstages ->
+              List.concat_map
+                (fun sw_frac ->
+                  List.concat_map
+                    (fun queue_depth ->
+                      List.concat_map
+                        (fun queue_latency ->
+                          List.map
+                            (fun engine ->
+                              {
+                                kernel;
+                                unroll;
+                                nstages;
+                                sw_frac;
+                                queue_depth;
+                                queue_latency;
+                                engine;
+                              })
+                            g.engines)
+                        g.queue_latencies)
+                    g.queue_depths)
+                g.sw_fracs)
+            g.nstages)
+        g.unrolls)
+    g.kernels
+
+(* --- spec strings -------------------------------------------------------- *)
+
+(* "kernels=mips,sha;nstages=2,3;queue_latency=2,8,32" — unnamed axes
+   keep their [default] values, so a spec only says what it sweeps. *)
+
+let float_str (f : float) : string =
+  (* shortest decimal form that round-trips; %g never emits exponents in
+     the sw_frac range we use and parses back exactly *)
+  Printf.sprintf "%g" f
+
+let engine_str = Sim.engine_name
+
+let engine_of_string = function
+  | "compiled" -> Ok Sim.Compiled
+  | "interpreted" -> Ok Sim.Interpreted
+  | other -> Error (Printf.sprintf "unknown engine %S" other)
+
+let to_spec (g : t) : string =
+  let ints = List.map string_of_int in
+  let axis name vals = name ^ "=" ^ String.concat "," vals in
+  String.concat ";"
+    [
+      axis "kernels" g.kernels;
+      axis "unroll" (List.map string_of_bool g.unrolls);
+      axis "nstages" (ints g.nstages);
+      axis "sw_frac" (List.map float_str g.sw_fracs);
+      axis "queue_depth" (ints g.queue_depths);
+      axis "queue_latency" (ints g.queue_latencies);
+      axis "engine" (List.map engine_str g.engines);
+    ]
+
+let split_commas (s : string) : string list =
+  String.split_on_char ',' s
+  |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+
+let parse_axis (type a) (name : string) (parse1 : string -> (a, string) result)
+    (raw : string) : (a list, string) result =
+  let rec go acc = function
+    | [] ->
+        if acc = [] then Error (Printf.sprintf "axis %s: empty" name)
+        else Ok (List.rev acc)
+    | v :: rest -> (
+        match parse1 v with
+        | Ok x -> go (x :: acc) rest
+        | Error e -> Error (Printf.sprintf "axis %s: %s" name e))
+  in
+  go [] (split_commas raw)
+
+let int1 s =
+  match int_of_string_opt s with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "bad integer %S" s)
+
+let float1 s =
+  match float_of_string_opt s with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "bad float %S" s)
+
+let bool1 s =
+  match bool_of_string_opt s with
+  | Some b -> Ok b
+  | None -> Error (Printf.sprintf "bad bool %S" s)
+
+let parse ?(base = default) (spec : string) : (t, string) result =
+  let ( let* ) = Result.bind in
+  let entries =
+    String.split_on_char ';' spec
+    |> List.map String.trim
+    |> List.filter (fun x -> x <> "")
+  in
+  List.fold_left
+    (fun acc entry ->
+      let* g = acc in
+      match String.index_opt entry '=' with
+      | None -> Error (Printf.sprintf "bad axis %S (want name=v1,v2,...)" entry)
+      | Some i -> (
+          let name = String.trim (String.sub entry 0 i) in
+          let raw =
+            String.sub entry (i + 1) (String.length entry - i - 1)
+          in
+          match name with
+          | "kernels" | "kernel" ->
+              let* ks = parse_axis "kernels" (fun s -> Ok s) raw in
+              Ok { g with kernels = ks }
+          | "unroll" ->
+              let* us = parse_axis "unroll" bool1 raw in
+              Ok { g with unrolls = us }
+          | "nstages" | "stages" ->
+              let* ns = parse_axis "nstages" int1 raw in
+              Ok { g with nstages = ns }
+          | "sw_frac" | "sw-frac" ->
+              let* fs = parse_axis "sw_frac" float1 raw in
+              Ok { g with sw_fracs = fs }
+          | "queue_depth" | "queue-depth" | "depth" ->
+              let* ds = parse_axis "queue_depth" int1 raw in
+              Ok { g with queue_depths = ds }
+          | "queue_latency" | "queue-latency" | "latency" ->
+              let* ls = parse_axis "queue_latency" int1 raw in
+              Ok { g with queue_latencies = ls }
+          | "engine" | "engines" ->
+              let* es = parse_axis "engine" engine_of_string raw in
+              Ok { g with engines = es }
+          | other -> Error (Printf.sprintf "unknown axis %S" other)))
+    (Ok base) entries
+
+(* --- deterministic sampling ---------------------------------------------- *)
+
+(* Fisher-Yates over the index space with an explicit PRNG state, then
+   re-sorted, so a sampled grid is a grid-order-preserving subset that
+   depends only on (seed, n, length). *)
+let sample ~seed n (ps : point list) : point list =
+  let len = List.length ps in
+  if n >= len then ps
+  else begin
+    let st = Random.State.make [| 0x75EED; seed |] in
+    let idx = Array.init len (fun i -> i) in
+    for i = 0 to n - 1 do
+      let j = i + Random.State.int st (len - i) in
+      let t = idx.(i) in
+      idx.(i) <- idx.(j);
+      idx.(j) <- t
+    done;
+    let keep = Array.sub idx 0 n in
+    Array.sort compare keep;
+    let arr = Array.of_list ps in
+    Array.to_list (Array.map (fun i -> arr.(i)) keep)
+  end
+
+(* --- keys and labels ------------------------------------------------------ *)
+
+(* Axes grouped by evaluation level: points sharing a [compile_key]
+   share one pass-pipeline run, points sharing an [extract_key] share
+   one DSWP extraction; only the remaining (sim-level) axes force a
+   fresh cycle-accurate simulation. *)
+
+let compile_key (p : point) : string * bool = (p.kernel, p.unroll)
+
+let extract_key (p : point) : string * bool * int * float =
+  (p.kernel, p.unroll, p.nstages, p.sw_frac)
+
+let point_label (p : point) : string =
+  Printf.sprintf "%s%s k=%d f=%s d=%d l=%d %s" p.kernel
+    (if p.unroll then "+unroll" else "")
+    p.nstages (float_str p.sw_frac) p.queue_depth p.queue_latency
+    (engine_str p.engine)

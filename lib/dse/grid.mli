@@ -1,0 +1,64 @@
+(** Design-space grids: the axes of the thesis's Chapter-6 sensitivity
+    studies as one first-class value, enumerated in a deterministic
+    order so sweeps are reproducible across runs, machines and
+    shardings. *)
+
+module Sim = Twill_rtsim.Sim
+
+type t = {
+  kernels : string list;  (** bundled CHStone benchmark names *)
+  unrolls : bool list;  (** compile level: full loop unrolling *)
+  nstages : int list;  (** partition level: targeted pipeline width *)
+  sw_fracs : float list;  (** partition level: master work share *)
+  queue_depths : int list;  (** sim level: depth override (Fig. 6.6) *)
+  queue_latencies : int list;  (** sim level: queue latency (Fig. 6.5) *)
+  engines : Sim.engine list;  (** sim level: rtsim engine *)
+}
+
+(** One evaluated configuration. *)
+type point = {
+  kernel : string;
+  unroll : bool;
+  nstages : int;
+  sw_frac : float;
+  queue_depth : int;
+  queue_latency : int;
+  engine : Sim.engine;
+}
+
+val default : t
+(** The committed-benchmark grid: 4 kernels x 2 unroll x 3 widths x
+    5 depths x 5 latencies = 600 points over 24 extractions. *)
+
+val npoints : t -> int
+
+val points : t -> point list
+(** Cartesian enumeration, kernels outermost / engines innermost. *)
+
+val parse : ?base:t -> string -> (t, string) result
+(** ["kernels=mips,sha;queue_latency=2,8,32"] — axes absent from the
+    spec keep their [base] (default: {!default}) values.  Accepted axis
+    names: [kernels], [unroll], [nstages], [sw_frac], [queue_depth],
+    [queue_latency], [engine] (plus common aliases). *)
+
+val to_spec : t -> string
+(** Canonical spec string listing every axis; [parse (to_spec g)]
+    re-reads [g] exactly. *)
+
+val sample : seed:int -> int -> point list -> point list
+(** Deterministic grid-order-preserving subset of size [n] (identity
+    when [n] covers the list). *)
+
+val compile_key : point -> string * bool
+(** Axes that change compilation; points sharing it share one pass
+    pipeline run. *)
+
+val extract_key : point -> string * bool * int * float
+(** Axes that change DSWP extraction; points sharing it share one
+    extraction and differ only in simulator configuration. *)
+
+val point_label : point -> string
+
+val float_str : float -> string
+val engine_str : Sim.engine -> string
+val engine_of_string : string -> (Sim.engine, string) result

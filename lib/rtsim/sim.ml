@@ -84,6 +84,7 @@ type config = {
   modulo : bool;
   bus_contention : bool;
   fuel : int;
+  engine : engine; (* default engine; [simulate ?engine] overrides *)
 }
 
 let default_config =
@@ -94,6 +95,7 @@ let default_config =
     modulo = true;
     bus_contention = true;
     fuel = 300_000_000;
+    engine = Compiled;
   }
 
 type stats = {
@@ -223,9 +225,10 @@ let make_queues (config : config) (queues : Threadgen.queue_info array) :
       })
     queues
 
-let simulate ?(config = default_config) ?(master = 0) ?(engine = Compiled)
+let simulate ?(config = default_config) ?(master = 0) ?engine
     (m : modul) ~(threads : thread_spec array)
     ~(queues : Threadgen.queue_info array) ~(nsems : int) () : stats =
+  let engine = match engine with Some e -> e | None -> config.engine in
   let layout, mem = Interp.fresh_memory m in
   let module_bus = Bus.create "module" in
   let memory_bus = Bus.create "memory" in

@@ -57,6 +57,10 @@ type config = {
   modulo : bool;
   bus_contention : bool;
   fuel : int;  (** per-thread instruction budget *)
+  engine : engine;
+      (** engine used when {!simulate} is not given [?engine] explicitly,
+          so sweeps (the DSE subsystem, the bench harness) configure one
+          record instead of threading a separate engine argument *)
 }
 
 val default_config : config
@@ -88,7 +92,7 @@ val simulate :
 (** Runs every thread to completion over one shared memory image and
     returns the timing/behaviour statistics.  [master] selects the thread
     whose return value is the program result (default 0).  [engine]
-    defaults to [Compiled].
+    defaults to [config.engine] ([Compiled] in {!default_config}).
     @raise Deadlock when no thread can make progress.
     @raise Out_of_fuel when a thread exceeds [config.fuel]. *)
 

@@ -262,5 +262,11 @@ let int_field k j =
 let bool_field k j =
   match find k j with Some (Bool b) -> Some b | _ -> None
 
+let float_field k j =
+  match find k j with
+  | Some (Float f) -> Some f
+  | Some (Int i) -> Some (float_of_int i)
+  | _ -> None
+
 let list_field k j =
   match find k j with Some (List l) -> Some l | _ -> None

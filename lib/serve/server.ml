@@ -11,15 +11,22 @@
      compile  src [opts]           parse + optimise + extract; summary
      schedule src [opts]           HLS schedules of every HW stage
      simulate src [opts] [engine]  cycle-accurate stats of the design
+     dse      [grid] [sample,seed] design-space sweep over the cache
      batch    reqs:[...]           fan the sub-requests over the pool
 
-   opts (all optional): nstages, queue_depth, queue_latency, fuel.
+   opts (all optional): nstages, sw_frac, unroll, queue_depth,
+   queue_depth_override, queue_latency, fuel.
 
-   Requests are cached by content hash — Digest of the source text plus
-   the canonicalised options (plus the engine, for simulate) — so a
-   repeated request is served from memory without re-elaborating; the
-   cache holds the elaborated design itself, so a simulate after a
-   compile of the same source reuses the extraction.  Two batching
+   Requests are cached by content hash at two levels mirroring the
+   evaluation pipeline: the elaboration cache is keyed by the source
+   text plus the options extraction depends on (nstages, sw_frac,
+   unroll, queue_depth), while simulation-level knobs (engine, latency,
+   depth override, fuel) only key the response cache — so requests that
+   differ in simulator configuration alone share one extracted design.
+   That split is what makes the `dse` command cheap: a sweep touches
+   each distinct extraction once and re-simulates it per point, and a
+   repeated sweep finds every extraction already cached.  Cache hits and
+   misses are also counted per request kind (see `stats`).  Two batching
    paths: an explicit `batch` request fans its sub-requests over the
    {!Par.pool} workers, and the per-connection reader drains every
    complete line already buffered on the socket and processes them as
@@ -42,6 +49,8 @@ type t = {
   mutable requests : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  kind_hits : (string, int) Hashtbl.t; (* request kind -> cache hits *)
+  kind_misses : (string, int) Hashtbl.t;
   mutable stopping : bool;
   pool : Twill.Par.pool;
   started : float;
@@ -56,6 +65,8 @@ let create ?workers () : t =
     requests = 0;
     cache_hits = 0;
     cache_misses = 0;
+    kind_hits = Hashtbl.create 8;
+    kind_misses = Hashtbl.create 8;
     stopping = false;
     pool = Twill.Par.pool ?workers ();
     started = Unix.gettimeofday ();
@@ -65,6 +76,20 @@ let create ?workers () : t =
 let locked t f =
   Mutex.lock t.mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let bump tbl kind =
+  Hashtbl.replace tbl kind
+    (1 + Option.value (Hashtbl.find_opt tbl kind) ~default:0)
+
+let cache_hit t ~kind =
+  locked t (fun () ->
+      t.cache_hits <- t.cache_hits + 1;
+      bump t.kind_hits kind)
+
+let cache_miss t ~kind =
+  locked t (fun () ->
+      t.cache_misses <- t.cache_misses + 1;
+      bump t.kind_misses kind)
 
 (* --- request decoding ---------------------------------------------------- *)
 
@@ -78,19 +103,44 @@ let options_of_req (j : Json.t) : Twill.options =
         Twill.Partition.default_config with
         Twill.Partition.nstages =
           get "nstages" base.Twill.partition.Twill.Partition.nstages;
+        sw_fraction =
+          Option.value
+            (Json.float_field "sw_frac" j)
+            ~default:
+              base.Twill.partition.Twill.Partition.sw_fraction;
       };
+    unroll = Option.value (Json.bool_field "unroll" j) ~default:base.Twill.unroll;
     queue_depth = get "queue_depth" base.Twill.queue_depth;
+    queue_depth_override =
+      (match Json.int_field "queue_depth_override" j with
+      | Some d -> Some d
+      | None -> base.Twill.queue_depth_override);
     queue_latency = get "queue_latency" base.Twill.queue_latency;
     fuel = get "fuel" base.Twill.fuel;
   }
 
-(* the cache key: source text + every option the result depends on *)
+(* elaboration cache key: source text + every option extraction depends
+   on.  Simulation-level knobs (engine, latency, depth override, fuel)
+   deliberately excluded — they key the response cache instead, so
+   requests differing only in simulator configuration share one design. *)
 let elab_digest (src : string) (opts : Twill.options) : string =
   Digest.to_hex
     (Digest.string
-       (Printf.sprintf "%s\x00n=%d;qd=%d;ql=%d;fuel=%d" src
-          opts.Twill.partition.Twill.Partition.nstages opts.Twill.queue_depth
-          opts.Twill.queue_latency opts.Twill.fuel))
+       (Printf.sprintf "%s\x00n=%d;f=%h;u=%b;qd=%d" src
+          opts.Twill.partition.Twill.Partition.nstages
+          opts.Twill.partition.Twill.Partition.sw_fraction
+          opts.Twill.unroll opts.Twill.queue_depth))
+
+(* simulation response cache key: the elaboration plus every knob that
+   only changes the simulator run *)
+let sim_key (digest : string) (opts : Twill.options) (engine : Sim.engine) :
+    string =
+  Printf.sprintf "%s:%s;ql=%d;qdo=%s;fuel=%d" digest (Sim.engine_name engine)
+    opts.Twill.queue_latency
+    (match opts.Twill.queue_depth_override with
+    | None -> "-"
+    | Some d -> string_of_int d)
+    opts.Twill.fuel
 
 let engine_of_req (j : Json.t) : Sim.engine =
   match Json.str_field "engine" j with
@@ -98,20 +148,15 @@ let engine_of_req (j : Json.t) : Sim.engine =
   | Some "compiled" | None -> Sim.Compiled
   | Some other -> failwith ("unknown engine: " ^ other)
 
-let elaborate (t : t) (j : Json.t) : string * elab =
-  let src =
-    match Json.str_field "src" j with
-    | Some s -> s
-    | None -> failwith "missing src"
-  in
-  let opts = options_of_req j in
+let elaborate_src (t : t) ~(kind : string) ~(src : string)
+    ~(opts : Twill.options) : string * elab =
   let digest = elab_digest src opts in
   match locked t (fun () -> Hashtbl.find_opt t.elabs digest) with
   | Some e ->
-      locked t (fun () -> t.cache_hits <- t.cache_hits + 1);
+      cache_hit t ~kind;
       (digest, e)
   | None ->
-      locked t (fun () -> t.cache_misses <- t.cache_misses + 1);
+      cache_miss t ~kind;
       let m = Twill.compile ~opts src in
       let threaded = Twill.extract ~opts m in
       let e = { e_modul = m; e_threaded = threaded; e_opts = opts } in
@@ -122,6 +167,14 @@ let elaborate (t : t) (j : Json.t) : string * elab =
           | Some e0 -> Hashtbl.replace t.elabs digest e0
           | None -> Hashtbl.replace t.elabs digest e);
       (digest, locked t (fun () -> Hashtbl.find t.elabs digest))
+
+let elaborate (t : t) ~(kind : string) (j : Json.t) : string * elab =
+  let src =
+    match Json.str_field "src" j with
+    | Some s -> s
+    | None -> failwith "missing src"
+  in
+  elaborate_src t ~kind ~src ~opts:(options_of_req j)
 
 (* --- command handlers ----------------------------------------------------- *)
 
@@ -139,7 +192,7 @@ let thread_specs (td : Twill.Dswp.threaded) : Sim.thread_spec array =
     td.Twill.Dswp.stages
 
 let handle_compile (t : t) (j : Json.t) : Json.t =
-  let digest, e = elaborate t j in
+  let digest, e = elaborate t ~kind:"compile" j in
   let td = e.e_threaded in
   let funcs = List.length e.e_modul.Twill.Ir.funcs in
   let insts =
@@ -159,7 +212,7 @@ let handle_compile (t : t) (j : Json.t) : Json.t =
     ]
 
 let handle_schedule (t : t) (j : Json.t) : Json.t =
-  let digest, e = elaborate t j in
+  let digest, e = elaborate t ~kind:"schedule" j in
   let scheds = Twill.schedules_for e.e_opts e.e_modul in
   Json.Obj
     [
@@ -184,16 +237,19 @@ let handle_schedule (t : t) (j : Json.t) : Json.t =
 
 let handle_simulate (t : t) (j : Json.t) : Json.t =
   let engine = engine_of_req j in
-  let digest, e = elaborate t j in
-  let key = digest ^ ":" ^ Sim.engine_name engine in
+  (* sim-level options come from *this* request, not from whichever
+     request first elaborated the design *)
+  let opts = options_of_req j in
+  let digest, e = elaborate t ~kind:"simulate" j in
+  let key = sim_key digest opts engine in
   match locked t (fun () -> Hashtbl.find_opt t.sims key) with
   | Some body ->
-      locked t (fun () -> t.cache_hits <- t.cache_hits + 1);
+      cache_hit t ~kind:"simulate";
       body
   | None ->
-      locked t (fun () -> t.cache_misses <- t.cache_misses + 1);
+      cache_miss t ~kind:"simulate";
       let td = e.e_threaded in
-      let config = Twill.sim_config e.e_opts in
+      let config = Twill.sim_config opts in
       let s =
         Sim.simulate ~config ~master:td.Twill.Dswp.master ~engine
           td.Twill.Dswp.modul ~threads:(thread_specs td)
@@ -223,14 +279,138 @@ let handle_simulate (t : t) (j : Json.t) : Json.t =
       locked t (fun () -> Hashtbl.replace t.sims key body);
       body
 
+(* --- dse: a design-space sweep over the daemon's caches ------------------- *)
+
+module Grid = Twill_dse.Grid
+module Pareto = Twill_dse.Pareto
+module Dse = Twill_dse.Dse
+
+let result_json (r : Pareto.result) : Json.t =
+  let p = r.Pareto.point and m = r.Pareto.metrics in
+  Json.Obj
+    [
+      ("kernel", Json.Str p.Grid.kernel);
+      ("unroll", Json.Bool p.Grid.unroll);
+      ("nstages", Json.Int p.Grid.nstages);
+      ("sw_frac", Json.Float p.Grid.sw_frac);
+      ("queue_depth", Json.Int p.Grid.queue_depth);
+      ("queue_latency", Json.Int p.Grid.queue_latency);
+      ("engine", Json.Str (Grid.engine_str p.Grid.engine));
+      ("cycles", Json.Int m.Pareto.cycles);
+      ("luts", Json.Int m.Pareto.luts);
+      ("power_mw", Json.Float m.Pareto.power_mw);
+    ]
+
+let sensitivity_json (s : Pareto.sensitivity) : Json.t =
+  Json.Obj
+    [
+      ("axis", Json.Str s.Pareto.axis);
+      ("value", Json.Str s.Pareto.value);
+      ("n", Json.Int s.Pareto.n);
+      ("mean_slowdown", Json.Float s.Pareto.mean_slowdown);
+      ("min_slowdown", Json.Float s.Pareto.min_slowdown);
+      ("max_slowdown", Json.Float s.Pareto.max_slowdown);
+    ]
+
+(* stable grouping by key, preserving first-occurrence order *)
+let group_by key xs =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun x ->
+      let k = key x in
+      match Hashtbl.find_opt tbl k with
+      | Some cell -> cell := x :: !cell
+      | None ->
+          Hashtbl.replace tbl k (ref [ x ]);
+          order := k :: !order)
+    xs;
+  List.rev_map (fun k -> (k, List.rev !(Hashtbl.find tbl k))) !order
+  |> List.rev
+
+(* One sweep request: each extraction group resolves through the
+   persistent elaboration cache (so a repeated or overlapping sweep
+   re-simulates without re-extracting), groups fan out over the pool,
+   and the response carries the frontier, per-axis sensitivities and the
+   reuse counters.  Grid axes that change extraction line up with
+   [elab_digest] by construction: every dse point leaves [queue_depth]
+   at its default and sweeps depth via the simulation-level override. *)
+let handle_dse (t : t) (j : Json.t) : Json.t =
+  let grid =
+    match Json.str_field "grid" j with
+    | None -> Grid.default
+    | Some spec -> (
+        match Grid.parse spec with
+        | Ok g -> g
+        | Error e -> failwith ("grid: " ^ e))
+  in
+  let seed = Option.value (Json.int_field "seed" j) ~default:42 in
+  let pts =
+    let all = Grid.points grid in
+    match Json.int_field "sample" j with
+    | None -> all
+    | Some n -> Grid.sample ~seed n all
+  in
+  let cached0 = locked t (fun () -> Hashtbl.length t.elabs) in
+  let indexed = List.mapi (fun i p -> (i, p)) pts in
+  let groups = group_by (fun (_, p) -> Grid.extract_key p) indexed in
+  let eval_group (_, ipts) =
+    let _, p0 = List.hd ipts in
+    let opts0 = Dse.opts_of_point p0 in
+    let src = Dse.source_of_kernel p0.Grid.kernel in
+    let _, e = elaborate_src t ~kind:"dse" ~src ~opts:opts0 in
+    List.map
+      (fun (i, p) ->
+        ( i,
+          {
+            Pareto.point = p;
+            metrics = Dse.eval_threaded (Dse.opts_of_point p) e.e_threaded;
+          } ))
+      ipts
+  in
+  let results =
+    List.concat (Twill.Par.pool_map t.pool eval_group groups)
+    |> List.sort (fun (i, _) (j, _) -> compare i j)
+    |> List.map snd
+  in
+  let cached1 = locked t (fun () -> Hashtbl.length t.elabs) in
+  Json.Obj
+    [
+      ("ok", Json.Bool true);
+      ("points", Json.Int (List.length results));
+      ("extractions", Json.Int (List.length groups));
+      ("elabs_reused", Json.Int (List.length groups - (cached1 - cached0)));
+      ("frontier", Json.List (List.map result_json (Pareto.frontier results)));
+      ( "sensitivity",
+        Json.List (List.map sensitivity_json (Pareto.sensitivities grid results))
+      );
+    ]
+
 let handle_stats (t : t) : Json.t =
   locked t (fun () ->
+      let kinds =
+        Hashtbl.fold (fun k _ acc -> k :: acc) t.kind_hits []
+        @ Hashtbl.fold (fun k _ acc -> k :: acc) t.kind_misses []
+        |> List.sort_uniq compare
+      in
+      let count tbl k = Option.value (Hashtbl.find_opt tbl k) ~default:0 in
       Json.Obj
         [
           ("ok", Json.Bool true);
           ("requests", Json.Int t.requests);
           ("cache_hits", Json.Int t.cache_hits);
           ("cache_misses", Json.Int t.cache_misses);
+          ( "by_kind",
+            Json.Obj
+              (List.map
+                 (fun k ->
+                   ( k,
+                     Json.Obj
+                       [
+                         ("hits", Json.Int (count t.kind_hits k));
+                         ("misses", Json.Int (count t.kind_misses k));
+                       ] ))
+                 kinds) );
           ("elaborations", Json.Int (Hashtbl.length t.elabs));
           ("simulations", Json.Int (Hashtbl.length t.sims));
           ("workers", Json.Int (Twill.Par.pool_workers t.pool));
@@ -257,6 +437,7 @@ let rec handle (t : t) (j : Json.t) : Json.t =
       | Some "compile" -> handle_compile t j
       | Some "schedule" -> handle_schedule t j
       | Some "simulate" -> handle_simulate t j
+      | Some "dse" -> handle_dse t j
       | Some "batch" -> (
           match Json.list_field "reqs" j with
           | Some reqs ->

@@ -1,0 +1,286 @@
+(* The design-space exploration subsystem: grid enumeration and spec
+   round-trips, deterministic sampling, Pareto dominance/frontier
+   properties, options plumbing (queue depth override, latency, engine),
+   and the two headline determinism guarantees — same seed means a
+   byte-identical rendered sweep, and a sharded sweep is identical to a
+   sequential one. *)
+
+module Grid = Twill_dse.Grid
+module Pareto = Twill_dse.Pareto
+module Dse = Twill_dse.Dse
+module Sim = Twill_rtsim.Sim
+
+(* --- grids ---------------------------------------------------------------- *)
+
+let test_default_grid () =
+  Alcotest.(check int) "committed grid size" 600 (Grid.npoints Grid.default);
+  Alcotest.(check int)
+    "enumeration matches npoints" (Grid.npoints Grid.default)
+    (List.length (Grid.points Grid.default));
+  Alcotest.(check bool)
+    ">= 4 kernels" true
+    (List.length Grid.default.Grid.kernels >= 4)
+
+let test_spec_roundtrip () =
+  match Grid.parse (Grid.to_spec Grid.default) with
+  | Error e -> Alcotest.failf "re-parse failed: %s" e
+  | Ok g ->
+      Alcotest.(check string)
+        "spec round-trips" (Grid.to_spec Grid.default) (Grid.to_spec g)
+
+let test_parse_partial () =
+  match Grid.parse "kernels=mips,sha; latency=2,8" with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok g ->
+      Alcotest.(check (list string)) "kernels" [ "mips"; "sha" ] g.Grid.kernels;
+      Alcotest.(check (list int)) "latencies" [ 2; 8 ] g.Grid.queue_latencies;
+      Alcotest.(check (list int))
+        "depths kept from default" Grid.default.Grid.queue_depths
+        g.Grid.queue_depths
+
+let test_parse_errors () =
+  let bad s =
+    match Grid.parse s with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "unknown axis" true (bad "wat=1");
+  Alcotest.(check bool) "bad int" true (bad "nstages=two");
+  Alcotest.(check bool) "bad engine" true (bad "engine=quantum");
+  Alcotest.(check bool) "empty axis" true (bad "nstages=")
+
+let test_sample_deterministic () =
+  let pts = Grid.points Grid.default in
+  let a = Grid.sample ~seed:7 50 pts in
+  let b = Grid.sample ~seed:7 50 pts in
+  Alcotest.(check int) "size" 50 (List.length a);
+  Alcotest.(check bool) "same seed, same sample" true (a = b);
+  let c = Grid.sample ~seed:8 50 pts in
+  Alcotest.(check bool) "different seed differs" true (a <> c);
+  (* order-preserving subset: filtering the full list by membership
+     reproduces the sample *)
+  Alcotest.(check bool)
+    "grid order preserved" true
+    (List.filter (fun p -> List.mem p a) pts = a);
+  Alcotest.(check bool)
+    "n >= len is identity" true
+    (Grid.sample ~seed:7 10_000 pts == pts)
+
+(* --- pareto --------------------------------------------------------------- *)
+
+let m ?(luts = 100) ?(power = 10.0) cycles =
+  {
+    Pareto.cycles;
+    luts;
+    dsps = 0;
+    brams = 0;
+    power_mw = power;
+    executed = 0;
+  }
+
+let pt =
+  {
+    Grid.kernel = "x";
+    unroll = false;
+    nstages = 2;
+    sw_frac = 0.002;
+    queue_depth = 8;
+    queue_latency = 2;
+    engine = Sim.Compiled;
+  }
+
+let r metrics = { Pareto.point = pt; metrics }
+
+let test_dominance () =
+  Alcotest.(check bool) "strictly better" true
+    (Pareto.dominates (m 10) (m 20));
+  Alcotest.(check bool) "equal dominates nothing" false
+    (Pareto.dominates (m 10) (m 10));
+  Alcotest.(check bool) "trade-off does not dominate" false
+    (Pareto.dominates (m ~luts:50 20) (m ~luts:100 10));
+  Alcotest.(check bool) "one axis better, rest equal" true
+    (Pareto.dominates (m ~power:5.0 10) (m ~power:10.0 10))
+
+let test_frontier () =
+  let rs = [ r (m ~luts:100 10); r (m ~luts:50 20); r (m ~luts:200 15) ] in
+  let f = Pareto.frontier rs in
+  Alcotest.(check int) "dominated point dropped" 2 (List.length f);
+  (* ties collapse to the earliest *)
+  let tied = [ r (m 10); r (m 10); r (m 5) ] in
+  Alcotest.(check int) "ties collapse" 1 (List.length (Pareto.frontier tied));
+  (* frontier of a frontier is itself *)
+  Alcotest.(check bool) "idempotent" true (Pareto.frontier f = f)
+
+let test_frontier_nondominated =
+  QCheck.Test.make ~name:"frontier points are mutually non-dominated"
+    ~count:50
+    QCheck.(list_of_size (Gen.int_range 0 30) (triple small_nat small_nat small_nat))
+    (fun triples ->
+      let rs =
+        List.map
+          (fun (c, l, p) ->
+            r (m ~luts:l ~power:(float_of_int p) (c + 1)))
+          triples
+      in
+      let f = Pareto.frontier rs in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              a == b || not (Pareto.dominates a.Pareto.metrics b.Pareto.metrics))
+            f)
+        f)
+
+(* --- options plumbing (satellite: depth override / latency / engine) ------ *)
+
+let test_options_plumbing () =
+  let p = { pt with Grid.queue_depth = 3; queue_latency = 17 } in
+  let opts = Dse.opts_of_point p in
+  let cfg = Twill.sim_config opts in
+  Alcotest.(check (option int))
+    "depth override plumbed" (Some 3)
+    cfg.Twill.Sim.queue_depth_override;
+  Alcotest.(check int) "latency plumbed" 17 cfg.Twill.Sim.queue_latency;
+  Alcotest.(check bool) "engine plumbed" true
+    (cfg.Twill.Sim.engine = Sim.Compiled)
+
+(* The two engines must agree through the new config-level default. *)
+let test_engines_agree () =
+  let src = Dse.source_of_kernel "mips" in
+  let opts e = { Twill.default_options with Twill.sim_engine = e } in
+  let run e =
+    let o = opts e in
+    let t = Twill.extract ~opts:o (Twill.compile ~opts:o src) in
+    (Twill.run_twill_threaded ~opts:o t).Twill.scenario
+  in
+  let a = run Sim.Compiled and b = run Sim.Interpreted in
+  Alcotest.(check int) "same cycles" a.Twill.cycles b.Twill.cycles;
+  Alcotest.(check int32) "same result" a.Twill.ret b.Twill.ret
+
+(* --- sweeps --------------------------------------------------------------- *)
+
+(* small but multi-level: 2 kernels x 2 widths x 2 depths x 2 latencies *)
+let small_grid =
+  {
+    Grid.default with
+    Grid.kernels = [ "mips"; "sha" ];
+    unrolls = [ false ];
+    nstages = [ 2; 3 ];
+    queue_depths = [ 1; 8 ];
+    queue_latencies = [ 2; 32 ];
+  }
+
+let test_sweep_deterministic () =
+  let a = Dse.run ~seed:5 small_grid in
+  let b = Dse.run ~seed:5 small_grid in
+  Alcotest.(check string)
+    "same seed, byte-identical JSON" (Dse.json_of_sweep a)
+    (Dse.json_of_sweep b)
+
+let test_sweep_sharded_equal () =
+  let a = Dse.run small_grid in
+  let b = Dse.run ~shards:3 small_grid in
+  let c = Dse.run ~shards:7 small_grid in
+  Alcotest.(check string)
+    "3 shards = sequential" (Dse.json_of_sweep a) (Dse.json_of_sweep b);
+  Alcotest.(check string)
+    "7 shards (more than groups) = sequential" (Dse.json_of_sweep a)
+    (Dse.json_of_sweep c)
+
+(* incremental reuse must not change results: the cold path recompiles
+   everything per point, the warm path shares prefixes and extractions *)
+let test_sweep_warm_equals_cold () =
+  let g = { small_grid with Grid.kernels = [ "mips" ]; unrolls = [ false; true ] } in
+  let warm = Dse.run g and cold = Dse.run_cold g in
+  Alcotest.(check string)
+    "identical results" (Dse.results_digest warm.Dse.results)
+    (Dse.results_digest cold.Dse.results);
+  Alcotest.(check int)
+    "warm shares compiles" 2 warm.Dse.reuse.Dse.compiles;
+  Alcotest.(check int)
+    "warm pays one full prefix" 1 warm.Dse.reuse.Dse.full_compiles;
+  Alcotest.(check int)
+    "cold pays everything" warm.Dse.reuse.Dse.points
+    cold.Dse.reuse.Dse.compiles
+
+(* the twilld handler, in-process: a dse request answers with a frontier
+   and a repeated one reuses every cached elaboration *)
+let test_server_dse () =
+  let module Server = Twill_serve.Server in
+  let module Json = Twill_serve.Json in
+  let t = Server.create ~workers:0 () in
+  let req =
+    Json.Obj
+      [
+        ("cmd", Json.Str "dse");
+        ("grid", Json.Str "kernels=mips;queue_latency=2,32;queue_depth=1,8");
+        ("seed", Json.Int 1);
+      ]
+  in
+  let r1 = Server.handle t req in
+  Alcotest.(check (option bool)) "ok" (Some true) (Json.bool_field "ok" r1);
+  (* 1 kernel x 2 unroll x 3 nstages x 2 depths x 2 latencies *)
+  Alcotest.(check (option int))
+    "all points evaluated" (Some 24)
+    (Json.int_field "points" r1);
+  Alcotest.(check (option int))
+    "first sweep elaborates" (Some 0)
+    (Json.int_field "elabs_reused" r1);
+  Alcotest.(check bool) "frontier present" true
+    (Json.list_field "frontier" r1 <> Some [] && Json.mem "frontier" r1);
+  let r2 = Server.handle t req in
+  Alcotest.(check (option int))
+    "repeat sweep reuses every elaboration"
+    (Json.int_field "extractions" r2)
+    (Json.int_field "elabs_reused" r2);
+  (* identical results; only the reuse counter differs *)
+  let strip = function
+    | Json.Obj kvs ->
+        Json.Obj (List.filter (fun (k, _) -> k <> "elabs_reused") kvs)
+    | j -> j
+  in
+  Alcotest.(check string)
+    "identical results modulo reuse counter"
+    (Json.to_string (strip r1))
+    (Json.to_string (strip r2))
+
+let test_sweep_shape () =
+  let s = Dse.run ~sample:10 ~seed:3 small_grid in
+  Alcotest.(check int) "sampled size" 10 (List.length s.Dse.results);
+  Alcotest.(check bool) "frontier non-empty" true (s.Dse.frontier <> []);
+  Alcotest.(check bool)
+    "frontier is a subset" true
+    (List.for_all (fun r -> List.memq r s.Dse.results) s.Dse.frontier);
+  (* every sensitivity baseline row averages to exactly 1.0 *)
+  List.iter
+    (fun sv ->
+      if sv.Pareto.value = "2" && sv.Pareto.axis = "queue_latency" then
+        Alcotest.(check (float 1e-9)) "baseline slowdown" 1.0
+          sv.Pareto.mean_slowdown)
+    (Dse.run small_grid).Dse.sensitivities
+
+let suites =
+  [
+    ( "dse.grid",
+      [
+        Alcotest.test_case "default grid" `Quick test_default_grid;
+        Alcotest.test_case "spec round-trip" `Quick test_spec_roundtrip;
+        Alcotest.test_case "partial spec" `Quick test_parse_partial;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "sampling" `Quick test_sample_deterministic;
+      ] );
+    ( "dse.pareto",
+      [
+        Alcotest.test_case "dominance" `Quick test_dominance;
+        Alcotest.test_case "frontier" `Quick test_frontier;
+        QCheck_alcotest.to_alcotest test_frontier_nondominated;
+      ] );
+    ( "dse.sweep",
+      [
+        Alcotest.test_case "options plumbing" `Quick test_options_plumbing;
+        Alcotest.test_case "engines agree" `Slow test_engines_agree;
+        Alcotest.test_case "deterministic" `Slow test_sweep_deterministic;
+        Alcotest.test_case "sharded = sequential" `Slow test_sweep_sharded_equal;
+        Alcotest.test_case "warm = cold" `Slow test_sweep_warm_equals_cold;
+        Alcotest.test_case "server dse request" `Slow test_server_dse;
+        Alcotest.test_case "shape" `Slow test_sweep_shape;
+      ] );
+  ]

@@ -14,4 +14,5 @@ let () =
          Test_vgen.suites;
          Test_vsim.suites;
          Test_fuzz.suites;
+         Test_dse.suites;
        ])
