@@ -776,6 +776,142 @@ let json_dse () =
     r.Twill_dse.Dse.points r.Twill_dse.Dse.compiles
     r.Twill_dse.Dse.prefix_reused r.Twill_dse.Dse.extractions wall
 
+(* BENCH_comm.json: the committed communication-optimizer study — every
+   bundled kernel at the paper's queue-sensitivity operating point
+   (3-stage pipeline, 2-deep queues), comparing the unoptimized pipeline
+   against each comm pass alone and all four together, so per-pass cycle
+   attribution is machine-readable.  Everything on stdout is an integer
+   from the simulator or the pass reports, so the file reproduces
+   byte-for-byte on any machine; wall-clock goes to stderr.  Exits
+   nonzero if any variant changes observable behaviour or the full pass
+   set regresses the aggregate cycle count. *)
+let json_comm () =
+  let t0 = Unix.gettimeofday () in
+  let opts0 = { forced_pipeline_opts with Twill.queue_depth = 2 } in
+  let variants =
+    ("none", Twill.Comm.none)
+    :: List.map
+         (fun pass ->
+           match Twill.Comm.parse pass with
+           | Ok c -> (pass, c)
+           | Error e -> failwith ("json_comm: " ^ e))
+         Twill.Comm.pass_names
+    @ [ ("all", Twill.Comm.all) ]
+  in
+  let rows =
+    Twill.Par.map
+      (fun (b : C.benchmark) ->
+        (* one compile + profile + DSWP preparation per kernel; each
+           variant re-extracts (the passes rewrite the channel graph) *)
+        let m = Twill.compile ~opts:opts0 b.C.source in
+        let profile = Twill.profile_blocks ~opts:opts0 m in
+        let prep = Twill.Dswp.prepare ~profile m in
+        let per =
+          List.map
+            (fun (vn, c) ->
+              let opts = { opts0 with Twill.comm = c } in
+              let t, rep = Twill.extract_comm ~opts ~prep m in
+              let r = Twill.run_twill_threaded ~opts t in
+              (vn, rep, r))
+            variants
+        in
+        (b.C.name, per))
+      C.all
+  in
+  let base_of per =
+    match per with
+    | (_, _, (r : Twill.twill_result)) :: _ -> r
+    | [] -> failwith "json_comm: no variants"
+  in
+  let behaviour_ok =
+    List.for_all
+      (fun (_, per) ->
+        let b = base_of per in
+        List.for_all
+          (fun (_, _, (r : Twill.twill_result)) ->
+            r.Twill.scenario.Twill.ret = b.Twill.scenario.Twill.ret
+            && r.Twill.scenario.Twill.prints = b.Twill.scenario.Twill.prints)
+          per)
+      rows
+  in
+  let row_json (name, per) =
+    let base = (base_of per).Twill.scenario.Twill.cycles in
+    let vjson =
+      List.map
+        (fun (vn, (rep : Twill.Comm.report), (r : Twill.twill_result)) ->
+          Printf.sprintf
+            "      {\"comm\": %S, \"cycles\": %d, \"delta\": %d, \
+             \"luts\": %d, \"merged\": %d, \"resized\": %d, \"bursts\": \
+             %d, \"licm_hoists\": %d}"
+            vn r.Twill.scenario.Twill.cycles
+            (r.Twill.scenario.Twill.cycles - base)
+            r.Twill.scenario.Twill.area.Twill.Area.luts
+            (List.length rep.Twill.Comm.merges)
+            (List.length rep.Twill.Comm.resizes)
+            (List.length rep.Twill.Comm.burst_qids)
+            rep.Twill.Comm.licm_hoists)
+        per
+    in
+    Printf.sprintf "    {\"benchmark\": %S, \"variants\": [\n%s\n    ]}" name
+      (String.concat ",\n" vjson)
+  in
+  (* aggregate cycles per variant across all kernels *)
+  let agg =
+    List.map
+      (fun (vn, _) ->
+        let cycles =
+          List.fold_left
+            (fun acc (_, per) ->
+              let _, _, (r : Twill.twill_result) =
+                List.find (fun (n, _, _) -> n = vn) per
+              in
+              acc + r.Twill.scenario.Twill.cycles)
+            0 rows
+        in
+        (vn, cycles))
+      variants
+  in
+  let base_total = List.assoc "none" agg in
+  let all_total = List.assoc "all" agg in
+  let agg_json =
+    List.map
+      (fun (vn, cycles) ->
+        Printf.sprintf
+          "    {\"comm\": %S, \"cycles\": %d, \"delta\": %d}" vn cycles
+          (cycles - base_total))
+      agg
+  in
+  Printf.printf
+    "{\n\
+    \  \"schema\": \"twill-comm-v1\",\n\
+    \  \"operating_point\": {\"nstages\": 3, \"queue_depth\": 2, \
+     \"queue_latency\": %d},\n\
+    \  \"results\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"aggregate\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"behaviour_identical\": %b\n\
+     }\n"
+    Twill.default_options.Twill.queue_latency
+    (String.concat ",\n" (List.map row_json rows))
+    (String.concat ",\n" agg_json)
+    behaviour_ok;
+  Printf.eprintf "comm: %d kernels x %d variants, aggregate %d -> %d \
+                  (%+d cycles), %.1fs wall\n"
+    (List.length rows) (List.length variants) base_total all_total
+    (all_total - base_total)
+    (Unix.gettimeofday () -. t0);
+  if not behaviour_ok then begin
+    Printf.eprintf "comm: behaviour diverged under a comm pass\n";
+    exit 1
+  end;
+  if all_total >= base_total then begin
+    Printf.eprintf "comm: full pass set failed to reduce aggregate cycles\n";
+    exit 1
+  end
+
 let artifacts =
   [
     ("table-6.1", table_6_1);
@@ -800,6 +936,7 @@ let () =
   | [ "--json-cosim" ] -> json_cosim None
   | [ "--json-rtsim" ] -> json_rtsim ()
   | [ "--json-dse" ] -> json_dse ()
+  | [ "--json-comm" ] -> json_comm ()
   | [ "--json-cosim"; "--engine"; "compiled" ] ->
       json_cosim (Some Twill.Vsim.Compiled)
   | [ "--json-cosim"; "--engine"; "levelized" ] ->

@@ -7,11 +7,12 @@
      twillc list                  list bundled benchmarks
      twillc emit-verilog FILE.c   emit the design's RTL (-o FILE, --check)
      twillc cosim NAME|FILE.c     co-simulate the emitted RTL vs rtsim
+     twillc comm-report NAME      profile + optimize the DSWP channel graph
      twillc fuzz --seed N         differential fuzzing across the stack
      twillc dse [--grid SPEC]     design-space sweep -> Pareto frontier
 
    Options: --stages K, --sw-frac F, --queue-depth D, --queue-latency L,
-   --aggressive-inline, --no-auto. *)
+   --aggressive-inline, --comm-opt PASSES, --no-auto. *)
 
 open Cmdliner
 
@@ -22,7 +23,14 @@ let read_file path =
   close_in ic;
   s
 
-let mk_opts stages sw_frac queue_depth queue_latency aggressive =
+let comm_of_spec spec =
+  match Twill.Comm.parse spec with
+  | Ok c -> c
+  | Error e ->
+      Fmt.epr "bad --comm-opt: %s@." e;
+      exit 2
+
+let mk_opts stages sw_frac queue_depth queue_latency aggressive comm_spec =
   {
     Twill.default_options with
     partition =
@@ -34,6 +42,7 @@ let mk_opts stages sw_frac queue_depth queue_latency aggressive =
     queue_depth;
     queue_latency;
     inline_aggressive = aggressive;
+    comm = comm_of_spec comm_spec;
   }
 
 let stages =
@@ -57,6 +66,15 @@ let aggressive =
   Arg.(
     value & flag
     & info [ "aggressive-inline" ] ~doc:"Inline every call before DSWP.")
+
+let comm_opt =
+  Arg.(
+    value & opt string ""
+    & info [ "comm-opt" ] ~docv:"PASSES"
+        ~doc:
+          "Communication-pattern optimizer passes (comma-separated subset \
+           of $(b,licm),$(b,merge),$(b,size),$(b,burst), or $(b,all)); \
+           default: none.")
 
 let no_auto =
   Arg.(
@@ -85,8 +103,8 @@ let print_report (r : Twill.report) =
     r.Twill.twill.Twill.nsems
 
 let run_cmd =
-  let run stages sw_frac qd ql aggr no_auto path =
-    let opts = mk_opts stages sw_frac qd ql aggr in
+  let run stages sw_frac qd ql aggr comm_spec no_auto path =
+    let opts = mk_opts stages sw_frac qd ql aggr comm_spec in
     let src = read_file path in
     let r =
       Twill.evaluate ~opts ~auto_stages:(not no_auto)
@@ -96,23 +114,23 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile and evaluate a mini-C file")
     Term.(
-      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive
+      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive $ comm_opt
       $ no_auto $ file)
 
 let ir_cmd =
-  let run stages sw_frac qd ql aggr _ path =
-    let opts = mk_opts stages sw_frac qd ql aggr in
+  let run stages sw_frac qd ql aggr comm_spec _ path =
+    let opts = mk_opts stages sw_frac qd ql aggr comm_spec in
     let m = Twill.compile ~opts (read_file path) in
     Fmt.pr "%s@." (Twill_ir.Printer.modul_to_string m)
   in
   Cmd.v (Cmd.info "ir" ~doc:"Dump the optimised IR")
     Term.(
-      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive
+      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive $ comm_opt
       $ no_auto $ file)
 
 let threads_cmd =
-  let run stages sw_frac qd ql aggr _ path =
-    let opts = mk_opts stages sw_frac qd ql aggr in
+  let run stages sw_frac qd ql aggr comm_spec _ path =
+    let opts = mk_opts stages sw_frac qd ql aggr comm_spec in
     let m = Twill.compile ~opts (read_file path) in
     let t = Twill.extract ~opts m in
     Array.iteri
@@ -129,15 +147,19 @@ let threads_cmd =
     Fmt.pr "queues:@.";
     Array.iter
       (fun (q : Twill.Threadgen.queue_info) ->
-        Fmt.pr "  q%d %s %dx%db stage %d -> %d@." q.Twill.Threadgen.qid
+        Fmt.pr "  q%d %s %dx%db stage %d -> %d%s%s@." q.Twill.Threadgen.qid
           q.Twill.Threadgen.purpose q.Twill.Threadgen.depth
           q.Twill.Threadgen.width_bits q.Twill.Threadgen.src_stage
-          q.Twill.Threadgen.dst_stage)
+          q.Twill.Threadgen.dst_stage
+          (match q.Twill.Threadgen.merged_into with
+          | Some t -> Printf.sprintf " (merged into q%d)" t
+          | None -> "")
+          (if q.Twill.Threadgen.burst then " (burst)" else ""))
       t.Twill.Dswp.queues
   in
   Cmd.v (Cmd.info "threads" ~doc:"Dump the extracted pipeline threads")
     Term.(
-      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive
+      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive $ comm_opt
       $ no_auto $ file)
 
 let bench_cmd =
@@ -160,8 +182,8 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List bundled benchmarks") Term.(const run $ const ())
 
 let emit_c_cmd =
-  let run stages sw_frac qd ql aggr _ path =
-    let opts = mk_opts stages sw_frac qd ql aggr in
+  let run stages sw_frac qd ql aggr comm_spec _ path =
+    let opts = mk_opts stages sw_frac qd ql aggr comm_spec in
     let m = Twill.compile ~opts (read_file path) in
     let t = Twill.extract ~opts m in
     let master = t.Twill.Dswp.stages.(t.Twill.Dswp.master) in
@@ -171,7 +193,7 @@ let emit_c_cmd =
     (Cmd.info "emit-c"
        ~doc:"Emit the software master thread as C against the Twill runtime API")
     Term.(
-      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive
+      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive $ comm_opt
       $ no_auto $ file)
 
 let emit_verilog_cmd =
@@ -190,8 +212,8 @@ let emit_verilog_cmd =
             "Run the structural checker over the emitted design and exit \
              nonzero on failure.")
   in
-  let run stages sw_frac qd ql aggr _ output check path =
-    let opts = mk_opts stages sw_frac qd ql aggr in
+  let run stages sw_frac qd ql aggr comm_spec _ output check path =
+    let opts = mk_opts stages sw_frac qd ql aggr comm_spec in
     let m = Twill.compile ~opts (read_file path) in
     let t = Twill.extract ~opts m in
     let design = Twill_vgen.Vruntime.emit_design t in
@@ -215,7 +237,7 @@ let emit_verilog_cmd =
          "Emit the hardware threads and the runtime system as Verilog \
           (Figure 4.1)")
     Term.(
-      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive
+      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive $ comm_opt
       $ no_auto $ output $ check $ file)
 
 let cosim_cmd =
@@ -245,8 +267,8 @@ let cosim_cmd =
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH_OR_FILE")
   in
-  let run stages sw_frac qd ql aggr _ vcd engine name =
-    let opts = mk_opts stages sw_frac qd ql aggr in
+  let run stages sw_frac qd ql aggr comm_spec _ vcd engine name =
+    let opts = mk_opts stages sw_frac qd ql aggr comm_spec in
     let src =
       if Sys.file_exists name then read_file name
       else (Twill_chstone.Chstone.find name).Twill_chstone.Chstone.source
@@ -275,8 +297,57 @@ let cosim_cmd =
          "Co-simulate the emitted RTL of a benchmark or mini-C file against \
           the rtsim reference")
     Term.(
-      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive
+      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive $ comm_opt
       $ no_auto $ vcd $ engine $ name_arg)
+
+let comm_report_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH_OR_FILE")
+  in
+  let run stages sw_frac qd ql aggr comm_spec _ name =
+    let comm_spec = if comm_spec = "" then "all" else comm_spec in
+    let opts = mk_opts stages sw_frac qd ql aggr comm_spec in
+    let src =
+      if Sys.file_exists name then read_file name
+      else (Twill_chstone.Chstone.find name).Twill_chstone.Chstone.source
+    in
+    let m = Twill.compile ~opts src in
+    let s = Twill.comm_summarize ~opts m in
+    Fmt.pr "== comm-report %s ==@." (Filename.basename name);
+    List.iter (Fmt.pr "%s@.") (Twill.Comm.report_lines s.Twill.comm_rep);
+    Fmt.pr "seed profile (unoptimized extraction):@.";
+    Fmt.pr "  %-4s %-6s %8s %8s %9s %9s %7s %4s %6s@." "qid" "kind" "prod"
+      "cons" "stallF" "stallE" "busW" "peak" "runs2+";
+    Array.iteri
+      (fun qid (p : Twill.Sim.queue_profile) ->
+        if p.Twill.Sim.qp_produces > 0 then
+          let q = s.Twill.comm_queues.(qid) in
+          let runs =
+            Array.fold_left ( + ) 0
+              (Array.sub p.Twill.Sim.qp_prod_bursts 1
+                 (Array.length p.Twill.Sim.qp_prod_bursts - 1))
+          in
+          Fmt.pr "  q%-3d %-6s %8d %8d %9d %9d %7d %4d %6d@." qid
+            q.Twill.Threadgen.purpose p.Twill.Sim.qp_produces
+            p.Twill.Sim.qp_consumes p.Twill.Sim.qp_stall_full
+            p.Twill.Sim.qp_stall_empty p.Twill.Sim.qp_bus_waits
+            p.Twill.Sim.qp_peak runs)
+      s.Twill.comm_profile;
+    Fmt.pr "cycles         : %d (base) -> %d (optimized), delta %+d@."
+      s.Twill.comm_base_cycles s.Twill.comm_opt_cycles
+      (s.Twill.comm_opt_cycles - s.Twill.comm_base_cycles)
+  in
+  Cmd.v
+    (Cmd.info "comm-report"
+       ~doc:
+         "Profile the DSWP channel graph of a benchmark or mini-C file and \
+          show what the communication optimizer ($(b,--comm-opt), default \
+          $(b,all)) does to it: per-channel occupancy/stall/burst counters, \
+          pass actions, and the base-vs-optimized cycle counts")
+    Term.(
+      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive
+      $ comm_opt
+      $ no_auto $ name_arg)
 
 let fuzz_cmd =
   let module F = Twill_fuzz in
@@ -657,6 +728,36 @@ let daemon_dse_cmd =
           daemon's persistent elaboration cache")
     Term.(const run $ socket_arg $ grid_arg $ sample_arg $ seed_arg)
 
+let daemon_comm_cmd =
+  let run socket stages qd ql comm_spec what =
+    let comm_spec = if comm_spec = "" then "all" else comm_spec in
+    (* validate locally for a friendly error before shipping the spec *)
+    ignore (comm_of_spec comm_spec);
+    with_client socket (fun c ->
+        let req =
+          Serve_json.Obj
+            [
+              ("cmd", Serve_json.Str "comm");
+              ("src", Serve_json.Str (source_of what));
+              ("nstages", Serve_json.Int stages);
+              ("queue_depth", Serve_json.Int qd);
+              ("queue_latency", Serve_json.Int ql);
+              ("comm", Serve_json.Str comm_spec);
+            ]
+        in
+        let r = Serve_client.request c req in
+        Fmt.pr "%s@." (Serve_json.to_string r);
+        if Serve_json.bool_field "ok" r <> Some true then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "comm"
+       ~doc:
+         "Run the communication-pattern report for a kernel through twilld \
+          (digest-cached like every other daemon request)")
+    Term.(
+      const run $ socket_arg $ stages $ queue_depth $ queue_latency $ comm_opt
+      $ Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME|FILE"))
+
 let daemon_cmd =
   Cmd.group
     (Cmd.info "daemon"
@@ -665,7 +766,7 @@ let daemon_cmd =
           start one with the twilld executable")
     [
       daemon_ping_cmd; daemon_stats_cmd; daemon_stop_cmd; daemon_simulate_cmd;
-      daemon_check_cmd; daemon_bench_cmd; daemon_dse_cmd;
+      daemon_check_cmd; daemon_bench_cmd; daemon_dse_cmd; daemon_comm_cmd;
     ]
 
 let () =
@@ -675,5 +776,6 @@ let () =
        (Cmd.group (Cmd.info "twillc" ~doc)
           [
             run_cmd; ir_cmd; threads_cmd; bench_cmd; list_cmd; emit_c_cmd;
-            emit_verilog_cmd; cosim_cmd; fuzz_cmd; dse_cmd; daemon_cmd;
+            emit_verilog_cmd; cosim_cmd; comm_report_cmd; fuzz_cmd; dse_cmd;
+            daemon_cmd;
           ]))

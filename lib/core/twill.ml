@@ -17,6 +17,7 @@ module Schedule = Twill_hls.Schedule
 module Area = Twill_hls.Area
 module Power = Twill_hls.Power
 module Sim = Twill_rtsim.Sim
+module Comm = Twill_comm.Comm
 module Vruntime = Twill_vgen.Vruntime
 module Vcheck = Twill_vgen.Vcheck
 module Vparse = Twill_vsim.Vparse
@@ -38,6 +39,7 @@ type options = {
   fuel : int;
   sim_engine : Sim.engine;
   pipeline_break : string option;
+  comm : Comm.config;  (* communication-pattern optimizer passes *)
 }
 
 let default_options =
@@ -55,6 +57,7 @@ let default_options =
     fuel = 300_000_000;
     sim_engine = Sim.Compiled;
     pipeline_break = None;
+    comm = Comm.none; (* seed behaviour: every pass off *)
   }
 
 (* --- compilation -------------------------------------------------------- *)
@@ -91,21 +94,6 @@ let profile_blocks ?(opts = default_options) (m : Ir.modul) : int array =
    with Interp.Out_of_fuel | Interp.Trap _ -> ());
   counts
 
-(* Optimised module -> extracted threads.  [?profile] lets callers that
-   extract the same module repeatedly (width auto-tuning, sweeps) reuse
-   one instrumented run instead of re-profiling per extraction;
-   [?prep] additionally reuses the partition-independent analyses. *)
-let extract ?(opts = default_options) ?profile ?prep (m : Ir.modul) :
-    Dswp.threaded =
-  match prep with
-  | Some _ ->
-      Dswp.run ~config:opts.partition ~queue_depth:opts.queue_depth ?prep m
-  | None ->
-      let profile =
-        match profile with Some p -> p | None -> profile_blocks ~opts m
-      in
-      Dswp.run ~config:opts.partition ~queue_depth:opts.queue_depth ~profile m
-
 let sim_config (opts : options) : Sim.config =
   {
     Sim.queue_latency = opts.queue_latency;
@@ -116,6 +104,64 @@ let sim_config (opts : options) : Sim.config =
     fuel = opts.fuel;
     engine = opts.sim_engine;
   }
+
+let thread_specs (t : Dswp.threaded) : Sim.thread_spec array =
+  Array.mapi
+    (fun s name ->
+      {
+        Sim.tname = name;
+        trole =
+          (match t.Dswp.roles.(s) with
+          | Partition.Sw -> Sim.Sw
+          | Partition.Hw -> Sim.Hw);
+        local_memory = false;
+      })
+    t.Dswp.stages
+
+(* Optimised module -> extracted threads, with the communication-pattern
+   optimizer ([opts.comm]) applied on the way out: condition-channel
+   LICM happens inside extraction itself, and when the "size"/"burst"
+   passes need a profile, a seed simulation of the unoptimized pipeline
+   collects the per-channel occupancy/stall/burst counters first.
+   [?profile] lets callers that extract the same module repeatedly
+   (width auto-tuning, sweeps) reuse one instrumented run instead of
+   re-profiling per extraction; [?prep] additionally reuses the
+   partition-independent analyses. *)
+let extract_comm ?(opts = default_options) ?profile ?prep (m : Ir.modul) :
+    Dswp.threaded * Comm.report =
+  let licm_conds = opts.comm.Comm.licm in
+  let t =
+    match prep with
+    | Some _ ->
+        Dswp.run ~config:opts.partition ~queue_depth:opts.queue_depth
+          ~licm_conds ?prep m
+    | None ->
+        let profile =
+          match profile with Some p -> p | None -> profile_blocks ~opts m
+        in
+        Dswp.run ~config:opts.partition ~queue_depth:opts.queue_depth
+          ~licm_conds ~profile m
+  in
+  let qprofile =
+    if Comm.needs_profile opts.comm then
+      try
+        let stats =
+          Sim.simulate ~config:(sim_config opts) ~master:t.Dswp.master
+            t.Dswp.modul ~threads:(thread_specs t) ~queues:t.Dswp.queues
+            ~nsems:t.Dswp.nsems ()
+        in
+        Some stats.Sim.queue_profiles
+      with Sim.Deadlock _ | Sim.Out_of_fuel _ ->
+        (* the profile-guided passes degrade gracefully without a seed
+           profile; behaviour bugs still surface in the real run *)
+        None
+    else None
+  in
+  let report = Comm.apply ~config:opts.comm ?profile:qprofile t in
+  (t, report)
+
+let extract ?opts ?profile ?prep (m : Ir.modul) : Dswp.threaded =
+  fst (extract_comm ?opts ?profile ?prep m)
 
 (* --- the three evaluation scenarios -------------------------------------- *)
 
@@ -203,19 +249,7 @@ let reachable_funcs (m : Ir.modul) (roots : string list) : string list =
 (* Simulation + area/power accounting for an already-extracted pipeline. *)
 let run_twill_threaded ?(opts = default_options) (t : Dswp.threaded) :
     twill_result =
-  let threads =
-    Array.mapi
-      (fun s name ->
-        {
-          Sim.tname = name;
-          trole =
-            (match t.Dswp.roles.(s) with
-            | Partition.Sw -> Sim.Sw
-            | Partition.Hw -> Sim.Hw);
-          local_memory = false;
-        })
-      t.Dswp.stages
-  in
+  let threads = thread_specs t in
   let stats =
     Sim.simulate ~config:(sim_config opts) ~master:t.Dswp.master t.Dswp.modul
       ~threads ~queues:t.Dswp.queues ~nsems:t.Dswp.nsems ()
@@ -240,6 +274,10 @@ let run_twill_threaded ?(opts = default_options) (t : Dswp.threaded) :
     Area.of_runtime
       ~queues:
         (Array.to_list t.Dswp.queues
+        (* merged channels share the survivor's FIFO — no fabric of
+           their own (the merge pass's area win) *)
+        |> List.filter (fun (q : Threadgen.queue_info) ->
+               q.Threadgen.merged_into = None)
         |> List.map (fun (q : Threadgen.queue_info) ->
                (q.Threadgen.width_bits, q.Threadgen.depth)))
       ~nsems:t.Dswp.nsems ~n_hw_threads:(List.length hw_roots)
@@ -290,6 +328,37 @@ let run_twill_threaded ?(opts = default_options) (t : Dswp.threaded) :
 let run_twill ?(opts = default_options) ?profile ?prep (m : Ir.modul) :
     twill_result =
   run_twill_threaded ~opts (extract ~opts ?profile ?prep m)
+
+(* --- communication-pattern report (twillc comm-report, twilld "comm") ----- *)
+
+type comm_summary = {
+  comm_rep : Comm.report;  (* what each enabled pass did *)
+  comm_profile : Sim.queue_profile array;
+      (* seed profile of the *unoptimized* extraction, indexed by qid —
+         the evidence the passes acted on *)
+  comm_queues : Threadgen.queue_info array;  (* post-optimization channels *)
+  comm_base_cycles : int;  (* unoptimized pipeline *)
+  comm_opt_cycles : int;  (* with [opts.comm] applied *)
+}
+
+(* Extracts [m] twice — once with every comm pass off (the baseline whose
+   profile and cycle count anchor the report) and once under [opts.comm]
+   — and simulates both.  One instrumented profiling run serves both
+   extractions. *)
+let comm_summarize ?(opts = default_options) (m : Ir.modul) : comm_summary =
+  let profile = profile_blocks ~opts m in
+  let base_opts = { opts with comm = Comm.none } in
+  let tb = extract ~opts:base_opts ~profile m in
+  let base = run_twill_threaded ~opts:base_opts tb in
+  let t, rep = extract_comm ~opts ~profile m in
+  let r = run_twill_threaded ~opts t in
+  {
+    comm_rep = rep;
+    comm_profile = base.stats.Sim.queue_profiles;
+    comm_queues = t.Dswp.queues;
+    comm_base_cycles = base.scenario.cycles;
+    comm_opt_cycles = r.scenario.cycles;
+  }
 
 (* RTL co-simulation of an extracted design against the rtsim reference. *)
 let cosim ?(opts = default_options) ?engine ?vcd (t : Dswp.threaded) :

@@ -21,6 +21,7 @@ module Schedule = Twill_hls.Schedule
 module Area = Twill_hls.Area
 module Power = Twill_hls.Power
 module Sim = Twill_rtsim.Sim
+module Comm = Twill_comm.Comm
 module Vruntime = Twill_vgen.Vruntime
 module Vcheck = Twill_vgen.Vcheck
 module Vparse = Twill_vsim.Vparse
@@ -53,6 +54,9 @@ type options = {
       (** fault injection: deliberately miscompile after the named
           pipeline stage (the fuzzer's planted-bug hook; see
           {!Pipeline.options}) *)
+  comm : Comm.config;
+      (** communication-pattern optimizer passes applied at extraction
+          ([twillc --comm-opt]); {!Comm.none} in [default_options] *)
 }
 
 val default_options : options
@@ -78,8 +82,23 @@ val extract :
   Ir.modul ->
   Dswp.threaded
 
+(** Like {!extract}, also returning the communication optimizer's
+    report: which of the [opts.comm] passes ran and what each did
+    (channels hoisted/merged, queues re-sized, burst flags).  When the
+    profile-guided passes are enabled this runs one seed simulation of
+    the unoptimized pipeline to collect {!Sim.queue_profile}s first. *)
+val extract_comm :
+  ?opts:options ->
+  ?profile:int array ->
+  ?prep:Dswp.prep ->
+  Ir.modul ->
+  Dswp.threaded * Comm.report
+
 (** Simulator configuration corresponding to [opts]. *)
 val sim_config : options -> Sim.config
+
+(** Per-stage simulator thread specs of an extracted pipeline. *)
+val thread_specs : Dswp.threaded -> Sim.thread_spec array
 
 (** One evaluated execution flow. *)
 type scenario = {
@@ -123,6 +142,21 @@ val run_twill :
     pipeline (the back half of {!run_twill}); lets sweeps reuse one
     extraction across simulator configurations. *)
 val run_twill_threaded : ?opts:options -> Dswp.threaded -> twill_result
+
+(** Everything [twillc comm-report] (and the [twilld] "comm" request)
+    shows: the unoptimized extraction's per-channel profile, the pass
+    report under [opts.comm], the post-optimization channel table and
+    the base-vs-optimized cycle counts. *)
+type comm_summary = {
+  comm_rep : Comm.report;
+  comm_profile : Sim.queue_profile array;
+      (** seed profile of the unoptimized extraction, indexed by qid *)
+  comm_queues : Threadgen.queue_info array;  (** post-optimization *)
+  comm_base_cycles : int;
+  comm_opt_cycles : int;
+}
+
+val comm_summarize : ?opts:options -> Ir.modul -> comm_summary
 
 (** Co-simulates the emitted RTL of an extracted design (hardware threads
     and runtime primitives elaborated under {!Vsim}) against the

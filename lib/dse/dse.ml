@@ -14,7 +14,9 @@
                like that, so an incremental compile is identical to a
                cold one).
      extract   one profile + DSWP preparation per compile, one
-               extraction per (nstages, sw_frac) on top of it.
+               extraction per (nstages, sw_frac, comm[, queue_depth])
+               on top of it (depth joins the key only when comm passes
+               rewrite extracted queue sizes; see [Grid.extract_key]).
      simulate  every point pays only its own cycle-accurate simulation;
                depth/latency/engine live in [Sim.config], so a sim-level
                point is one [Twill.run_twill_threaded] call.
@@ -32,19 +34,36 @@ module C = Twill_chstone.Chstone
 let source_of_kernel (name : string) : string = (C.find name).C.source
 
 let opts_of_point (p : Grid.point) : Twill.options =
-  {
-    Twill.default_options with
-    partition =
-      {
-        Twill.Partition.default_config with
-        Twill.Partition.nstages = p.Grid.nstages;
-        sw_fraction = p.Grid.sw_frac;
-      };
-    unroll = p.Grid.unroll;
-    queue_depth_override = Some p.Grid.queue_depth;
-    queue_latency = p.Grid.queue_latency;
-    sim_engine = p.Grid.engine;
-  }
+  let comm =
+    match Twill.Comm.parse p.Grid.comm with
+    | Ok c -> c
+    | Error e -> invalid_arg ("dse: comm axis: " ^ e)
+  in
+  let base =
+    {
+      Twill.default_options with
+      partition =
+        {
+          Twill.Partition.default_config with
+          Twill.Partition.nstages = p.Grid.nstages;
+          sw_fraction = p.Grid.sw_frac;
+        };
+      unroll = p.Grid.unroll;
+      queue_latency = p.Grid.queue_latency;
+      sim_engine = p.Grid.engine;
+      comm;
+    }
+  in
+  if Twill.Comm.enabled comm then
+    (* comm passes rewrite real queue depths at extraction (auto-sizing,
+       capacity-merging), so the depth axis moves to the extraction
+       level: no simulation-time override masking the rewritten sizes *)
+    {
+      base with
+      Twill.queue_depth = p.Grid.queue_depth;
+      queue_depth_override = None;
+    }
+  else { base with Twill.queue_depth_override = Some p.Grid.queue_depth }
 
 (* Simulation + objective projection of one already-extracted design
    under one point's simulator configuration. *)
@@ -284,13 +303,13 @@ let result_line (r : Pareto.result) : string =
   Printf.sprintf
     "{\"kernel\": %S, \"unroll\": %b, \"nstages\": %d, \"sw_frac\": %s, \
      \"queue_depth\": %d, \"queue_latency\": %d, \"engine\": %S, \
-     \"cycles\": %d, \"luts\": %d, \"dsps\": %d, \"brams\": %d, \
-     \"power_mw\": %.6f, \"executed\": %d}"
+     \"comm\": %S, \"cycles\": %d, \"luts\": %d, \"dsps\": %d, \
+     \"brams\": %d, \"power_mw\": %.6f, \"executed\": %d}"
     p.Grid.kernel p.Grid.unroll p.Grid.nstages
     (Grid.float_str p.Grid.sw_frac)
     p.Grid.queue_depth p.Grid.queue_latency
     (Grid.engine_str p.Grid.engine)
-    m.Pareto.cycles m.Pareto.luts m.Pareto.dsps m.Pareto.brams
+    p.Grid.comm m.Pareto.cycles m.Pareto.luts m.Pareto.dsps m.Pareto.brams
     m.Pareto.power_mw m.Pareto.executed
 
 (* one digest covers the full result set, so the committed file pins

@@ -7,16 +7,21 @@
      sw_frac       x  (partition: software master work share)
      queue_depth   x  (simulation-level depth override, Figure 6.6)
      queue_latency x  (give->visible latency, Figure 6.5)
-     engine           (rtsim engine)
+     engine        x  (rtsim engine)
+     comm             (communication-optimizer pass set, lib/comm)
 
    enumerated in exactly that nesting order, innermost last, so a
    point list is deterministic and stable across runs, machines and
    shardings.  Axes are grouped by evaluation level: [unroll] changes
-   compilation, [nstages]/[sw_frac] change extraction, the rest only
-   re-simulate — the DSE engine exploits that grouping for incremental
-   reuse (see dse.ml). *)
+   compilation, [nstages]/[sw_frac]/[comm] change extraction, the rest
+   only re-simulate — the DSE engine exploits that grouping for
+   incremental reuse (see dse.ml).  One wrinkle: when [comm] enables
+   profile-guided passes, [queue_depth] becomes an extraction-level
+   axis too (the auto-sizing pass must see real per-queue depths, not
+   the simulation-time override), which [extract_key] accounts for. *)
 
 module Sim = Twill_rtsim.Sim
+module Comm = Twill_comm.Comm
 
 type t = {
   kernels : string list;
@@ -26,6 +31,7 @@ type t = {
   queue_depths : int list;
   queue_latencies : int list;
   engines : Sim.engine list;
+  comms : string list;
 }
 
 type point = {
@@ -36,6 +42,7 @@ type point = {
   queue_depth : int;
   queue_latency : int;
   engine : Sim.engine;
+  comm : string;
 }
 
 (* The committed-benchmark grid (BENCH_dse.json): four kernels, both
@@ -50,12 +57,14 @@ let default =
     queue_depths = [ 1; 2; 4; 8; 32 ];
     queue_latencies = [ 2; 4; 8; 32; 128 ];
     engines = [ Sim.Compiled ];
+    comms = [ "none" ];
   }
 
 let npoints (g : t) : int =
   List.length g.kernels * List.length g.unrolls * List.length g.nstages
   * List.length g.sw_fracs * List.length g.queue_depths
   * List.length g.queue_latencies * List.length g.engines
+  * List.length g.comms
 
 let points (g : t) : point list =
   List.concat_map
@@ -70,17 +79,21 @@ let points (g : t) : point list =
                     (fun queue_depth ->
                       List.concat_map
                         (fun queue_latency ->
-                          List.map
+                          List.concat_map
                             (fun engine ->
-                              {
-                                kernel;
-                                unroll;
-                                nstages;
-                                sw_frac;
-                                queue_depth;
-                                queue_latency;
-                                engine;
-                              })
+                              List.map
+                                (fun comm ->
+                                  {
+                                    kernel;
+                                    unroll;
+                                    nstages;
+                                    sw_frac;
+                                    queue_depth;
+                                    queue_latency;
+                                    engine;
+                                    comm;
+                                  })
+                                g.comms)
                             g.engines)
                         g.queue_latencies)
                     g.queue_depths)
@@ -106,6 +119,12 @@ let engine_of_string = function
   | "interpreted" -> Ok Sim.Interpreted
   | other -> Error (Printf.sprintf "unknown engine %S" other)
 
+(* comm axis values are canonicalized pass-set spec strings ("none",
+   "merge", "licm,merge,size,burst", ...): parse then re-show, so two
+   spellings of the same set are one grid value. *)
+let comm_of_string (s : string) : (string, string) result =
+  Result.map Comm.show (Comm.parse s)
+
 let to_spec (g : t) : string =
   let ints = List.map string_of_int in
   let axis name vals = name ^ "=" ^ String.concat "," vals in
@@ -118,6 +137,11 @@ let to_spec (g : t) : string =
       axis "queue_depth" (ints g.queue_depths);
       axis "queue_latency" (ints g.queue_latencies);
       axis "engine" (List.map engine_str g.engines);
+      (* "+" joins passes inside one value; "," separates axis values *)
+      axis "comm"
+        (List.map
+           (String.map (fun c -> if c = ',' then '+' else c))
+           g.comms);
     ]
 
 let split_commas (s : string) : string list =
@@ -192,6 +216,16 @@ let parse ?(base = default) (spec : string) : (t, string) result =
           | "engine" | "engines" ->
               let* es = parse_axis "engine" engine_of_string raw in
               Ok { g with engines = es }
+          | "comm" | "comms" | "comm_opt" | "comm-opt" ->
+              (* comma is the list separator here, so one axis value is
+                 one pass name; multi-pass sets use "+": "merge+size" *)
+              let comm1 s =
+                comm_of_string
+                  (String.concat ","
+                     (String.split_on_char '+' s |> List.map String.trim))
+              in
+              let* cs = parse_axis "comm" comm1 raw in
+              Ok { g with comms = cs }
           | other -> Error (Printf.sprintf "unknown axis %S" other)))
     (Ok base) entries
 
@@ -227,11 +261,26 @@ let sample ~seed n (ps : point list) : point list =
 
 let compile_key (p : point) : string * bool = (p.kernel, p.unroll)
 
-let extract_key (p : point) : string * bool * int * float =
-  (p.kernel, p.unroll, p.nstages, p.sw_frac)
+(* When profile-guided comm passes run, queue depth is baked into the
+   extraction (the sizing pass reads and rewrites real queue depths), so
+   it joins the extraction key; plain points keep depth sim-level (0
+   here) and sweep it via the simulation-time override. *)
+let comm_extracts (comm : string) : bool =
+  match Comm.parse comm with
+  | Ok c -> Comm.enabled c
+  | Error _ -> false
+
+let extract_key (p : point) : string * bool * int * float * string * int =
+  ( p.kernel,
+    p.unroll,
+    p.nstages,
+    p.sw_frac,
+    p.comm,
+    if comm_extracts p.comm then p.queue_depth else 0 )
 
 let point_label (p : point) : string =
-  Printf.sprintf "%s%s k=%d f=%s d=%d l=%d %s" p.kernel
+  Printf.sprintf "%s%s k=%d f=%s d=%d l=%d %s%s" p.kernel
     (if p.unroll then "+unroll" else "")
     p.nstages (float_str p.sw_frac) p.queue_depth p.queue_latency
     (engine_str p.engine)
+    (if p.comm = "none" then "" else " comm=" ^ p.comm)

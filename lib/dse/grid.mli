@@ -4,6 +4,7 @@
     shardings. *)
 
 module Sim = Twill_rtsim.Sim
+module Comm = Twill_comm.Comm
 
 type t = {
   kernels : string list;  (** bundled CHStone benchmark names *)
@@ -13,6 +14,10 @@ type t = {
   queue_depths : int list;  (** sim level: depth override (Fig. 6.6) *)
   queue_latencies : int list;  (** sim level: queue latency (Fig. 6.5) *)
   engines : Sim.engine list;  (** sim level: rtsim engine *)
+  comms : string list;
+      (** extraction level: canonical comm-optimizer pass-set specs
+          ({!Comm.show} forms, e.g. ["none"], ["merge"],
+          ["licm,merge,size,burst"]) *)
 }
 
 (** One evaluated configuration. *)
@@ -24,11 +29,13 @@ type point = {
   queue_depth : int;
   queue_latency : int;
   engine : Sim.engine;
+  comm : string;
 }
 
 val default : t
 (** The committed-benchmark grid: 4 kernels x 2 unroll x 3 widths x
-    5 depths x 5 latencies = 600 points over 24 extractions. *)
+    5 depths x 5 latencies (comm off) = 600 points over 24
+    extractions. *)
 
 val npoints : t -> int
 
@@ -39,7 +46,10 @@ val parse : ?base:t -> string -> (t, string) result
 (** ["kernels=mips,sha;queue_latency=2,8,32"] — axes absent from the
     spec keep their [base] (default: {!default}) values.  Accepted axis
     names: [kernels], [unroll], [nstages], [sw_frac], [queue_depth],
-    [queue_latency], [engine] (plus common aliases). *)
+    [queue_latency], [engine], [comm] (plus common aliases).  Comm
+    values join passes with ["+"] (["comm=none,merge+size,all"]) since
+    [","] separates axis values; each is canonicalized via
+    {!Comm.parse}/{!Comm.show}. *)
 
 val to_spec : t -> string
 (** Canonical spec string listing every axis; [parse (to_spec g)]
@@ -53,9 +63,12 @@ val compile_key : point -> string * bool
 (** Axes that change compilation; points sharing it share one pass
     pipeline run. *)
 
-val extract_key : point -> string * bool * int * float
+val extract_key : point -> string * bool * int * float * string * int
 (** Axes that change DSWP extraction; points sharing it share one
-    extraction and differ only in simulator configuration. *)
+    extraction and differ only in simulator configuration.  The final
+    component is [queue_depth] when the point's comm passes are enabled
+    (auto-sizing bakes depth into the extraction) and [0] otherwise
+    (depth stays a sim-level override). *)
 
 val point_label : point -> string
 

@@ -74,28 +74,42 @@ let axes : (string * (Grid.point -> string) * (Grid.point -> string)) list =
     ( "queue_latency",
       (fun pt -> string_of_int pt.Grid.queue_latency),
       fun pt ->
-        p "%s|%b|%d|%s|%d|%s" pt.Grid.kernel pt.Grid.unroll pt.Grid.nstages
+        p "%s|%b|%d|%s|%d|%s|%s" pt.Grid.kernel pt.Grid.unroll
+          pt.Grid.nstages
           (Grid.float_str pt.Grid.sw_frac) pt.Grid.queue_depth
-          (Grid.engine_str pt.Grid.engine) );
+          (Grid.engine_str pt.Grid.engine)
+          pt.Grid.comm );
     ( "queue_depth",
       (fun pt -> string_of_int pt.Grid.queue_depth),
       fun pt ->
-        p "%s|%b|%d|%s|%d|%s" pt.Grid.kernel pt.Grid.unroll pt.Grid.nstages
+        p "%s|%b|%d|%s|%d|%s|%s" pt.Grid.kernel pt.Grid.unroll
+          pt.Grid.nstages
           (Grid.float_str pt.Grid.sw_frac) pt.Grid.queue_latency
-          (Grid.engine_str pt.Grid.engine) );
+          (Grid.engine_str pt.Grid.engine)
+          pt.Grid.comm );
     ( "nstages",
       (fun pt -> string_of_int pt.Grid.nstages),
       fun pt ->
-        p "%s|%b|%s|%d|%d|%s" pt.Grid.kernel pt.Grid.unroll
+        p "%s|%b|%s|%d|%d|%s|%s" pt.Grid.kernel pt.Grid.unroll
           (Grid.float_str pt.Grid.sw_frac) pt.Grid.queue_depth
           pt.Grid.queue_latency
-          (Grid.engine_str pt.Grid.engine) );
+          (Grid.engine_str pt.Grid.engine)
+          pt.Grid.comm );
     ( "unroll",
       (fun pt -> string_of_bool pt.Grid.unroll),
       fun pt ->
-        p "%s|%d|%s|%d|%d|%s" pt.Grid.kernel pt.Grid.nstages
+        p "%s|%d|%s|%d|%d|%s|%s" pt.Grid.kernel pt.Grid.nstages
           (Grid.float_str pt.Grid.sw_frac) pt.Grid.queue_depth
           pt.Grid.queue_latency
+          (Grid.engine_str pt.Grid.engine)
+          pt.Grid.comm );
+    ( "comm",
+      (fun pt -> pt.Grid.comm),
+      fun pt ->
+        p "%s|%b|%d|%s|%d|%d|%s" pt.Grid.kernel pt.Grid.unroll
+          pt.Grid.nstages
+          (Grid.float_str pt.Grid.sw_frac)
+          pt.Grid.queue_depth pt.Grid.queue_latency
           (Grid.engine_str pt.Grid.engine) );
   ]
 
@@ -105,6 +119,7 @@ let axis_values (g : Grid.t) (axis : string) : string list =
   | "queue_depth" -> List.map string_of_int g.Grid.queue_depths
   | "nstages" -> List.map string_of_int g.Grid.nstages
   | "unroll" -> List.map string_of_bool g.Grid.unrolls
+  | "comm" -> g.Grid.comms
   | _ -> []
 
 let sensitivities (g : Grid.t) (rs : result list) : sensitivity list =

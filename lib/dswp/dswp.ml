@@ -19,6 +19,7 @@ type threaded = {
   nsems : int;
   sem_callees : (string * int) list; (* callee protected by semaphore id *)
   partition : Partition.t;
+  comm_licm_hoists : int; (* condition channels hoisted by ~licm_conds *)
 }
 
 (* Direct callees of a function. *)
@@ -64,8 +65,8 @@ let prepare ?profile (m : modul) : prep =
   let w = Weights.compute ?profile ~modul:m g in
   { pmodul = m; pgraph = g; pweights = w }
 
-let run ?(config = Partition.default_config) ?(queue_depth = 8) ?profile ?prep
-    (m : modul) : threaded =
+let run ?(config = Partition.default_config) ?(queue_depth = 8)
+    ?(licm_conds = false) ?profile ?prep (m : modul) : threaded =
   let { pgraph = g; pweights = w; _ } =
     match prep with
     | Some p ->
@@ -76,7 +77,7 @@ let run ?(config = Partition.default_config) ?(queue_depth = 8) ?profile ?prep
   in
   let part = Partition.compute ~config g w in
   let qa = Threadgen.new_qalloc () in
-  let gen = Threadgen.generate part qa ~queue_depth in
+  let gen = Threadgen.generate ~licm_conds part qa ~queue_depth in
   (* clean each stage's pruned skeleton: empty blocks merge or thread away,
      collapsed conditional branches fold — this is what keeps a stage's FSM
      from paying a state per irrelevant basic block *)
@@ -136,4 +137,5 @@ let run ?(config = Partition.default_config) ?(queue_depth = 8) ?profile ?prep
     nsems = !nsems;
     sem_callees = !sem_callees;
     partition = part;
+    comm_licm_hoists = gen.Threadgen.licm_hoists;
   }

@@ -20,6 +20,8 @@ type threaded = {
   nsems : int;  (** semaphores protecting shared callees *)
   sem_callees : (string * int) list;  (** callee -> semaphore id *)
   partition : Partition.t;  (** the underlying SCC assignment *)
+  comm_licm_hoists : int;
+      (** condition channels hoisted to preheaders by [~licm_conds] *)
 }
 
 val callees_of : func -> string list
@@ -41,6 +43,7 @@ val prepare : ?profile:int array -> modul -> prep
 val run :
   ?config:Partition.config ->
   ?queue_depth:int ->
+  ?licm_conds:bool ->
   ?profile:int array ->
   ?prep:prep ->
   modul ->

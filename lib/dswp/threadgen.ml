@@ -35,11 +35,22 @@ module Dom = Twill_passes.Dom
 
 type queue_info = {
   qid : int;
-  width_bits : int;
-  depth : int;
+  mutable width_bits : int;
+  mutable depth : int;
   src_stage : int;
   dst_stage : int;
   purpose : string; (* "data" | "cond" | "token" | "ret" *)
+  (* communication-optimizer metadata (lib/comm).  [site_block] is the
+     original program block holding the channel's produce/consume site
+     (-1 when unknown): channels between the same stage pair whose ops
+     sit in the same original block are emitted in one canonical order
+     by both endpoint stages, which is what makes merging them into one
+     physical queue legal.  [burst] marks queues whose back-to-back
+     produces ride a single multi-word bus transaction; [merged_into]
+     points at the physical queue that absorbed this channel. *)
+  site_block : int;
+  mutable burst : bool;
+  mutable merged_into : int option;
 }
 
 (* Queue-id allocator shared across all functions of a module. *)
@@ -47,11 +58,21 @@ type qalloc = { mutable next : int; mutable infos : queue_info list }
 
 let new_qalloc () = { next = 0; infos = [] }
 
-let alloc_queue qa ~width_bits ~depth ~src ~dst ~purpose =
+let alloc_queue ?(site = -1) qa ~width_bits ~depth ~src ~dst ~purpose =
   let qid = qa.next in
   qa.next <- qa.next + 1;
   qa.infos <-
-    { qid; width_bits; depth; src_stage = src; dst_stage = dst; purpose }
+    {
+      qid;
+      width_bits;
+      depth;
+      src_stage = src;
+      dst_stage = dst;
+      purpose;
+      site_block = site;
+      burst = false;
+      merged_into = None;
+    }
     :: qa.infos;
   qid
 
@@ -68,11 +89,12 @@ type chan = {
   corig : int list; (* original use blocks this channel serves *)
 }
 
-type gen = { stage_funcs : func array; nstages : int }
+type gen = { stage_funcs : func array; nstages : int; licm_hoists : int }
 
 let stage_name base s = Printf.sprintf "%s__dswp_%d" base s
 
-let generate (part : Partition.t) (qa : qalloc) ~(queue_depth : int) : gen =
+let generate ?(licm_conds = false) (part : Partition.t) (qa : qalloc)
+    ~(queue_depth : int) : gen =
   let g = part.Partition.g in
   let f = g.Pdg.func in
   let k = part.Partition.nstages in
@@ -318,6 +340,7 @@ let generate (part : Partition.t) (qa : qalloc) ~(queue_depth : int) : gen =
     base_chans;
   ignore delivered_by_data;
   let cond_chans = ref [] in
+  let licm_hoists = ref 0 in
   Vec.iter
     (fun (b : block) ->
       match b.term with
@@ -329,7 +352,35 @@ let generate (part : Partition.t) (qa : qalloc) ~(queue_depth : int) : gen =
               && relevant.(s).(b.bid)
               && retarget s t1 <> retarget s t2
               && not (Hashtbl.mem data_delivers (r, s, b.bid))
-            then
+            then begin
+              (* Communication LICM (lib/comm's "licm" pass): a branch
+                 condition defined outside the branch's loop is the same
+                 value on every iteration, so the transfer hoists to the
+                 loop preheader — one produce/consume per loop entry
+                 instead of one per iteration, removing the redundant
+                 per-iteration consumes.  Both endpoints move to the same
+                 new point (the ordinary [hoist_site] climb data channels
+                 already take), so the same-point discipline — and with
+                 it count matching and deadlock freedom — is preserved.
+                 The hoisted site must already be relevant to both
+                 endpoint stages: relevance closed before condition
+                 channels exist, so a site only they would force stays
+                 un-hoisted rather than re-opening the closure. *)
+              let hb, hp =
+                if licm_conds then begin
+                  let hb, hp = hoist_site ~needs_value:true r b.bid max_int in
+                  if
+                    hb <> b.bid
+                    && relevant.(owner).(hb)
+                    && relevant.(s).(hb)
+                  then begin
+                    incr licm_hoists;
+                    (hb, hp)
+                  end
+                  else (b.bid, max_int)
+                end
+                else (b.bid, max_int)
+              in
               cond_chans :=
                 {
                   cq = -1;
@@ -337,11 +388,12 @@ let generate (part : Partition.t) (qa : qalloc) ~(queue_depth : int) : gen =
                   ckind = `Cond;
                   csrc = owner;
                   cdst = s;
-                  cblock = b.bid;
-                  cpos = max_int;
+                  cblock = hb;
+                  cpos = hp;
                   corig = [ b.bid ];
                 }
                 :: !cond_chans
+            end
           done
       | _ -> ())
     f.blocks;
@@ -368,8 +420,8 @@ let generate (part : Partition.t) (qa : qalloc) ~(queue_depth : int) : gen =
         | `Ret -> "ret"
       in
       c.cq <-
-        alloc_queue qa ~width_bits ~depth:queue_depth ~src:c.csrc ~dst:c.cdst
-          ~purpose)
+        alloc_queue ~site:c.cblock qa ~width_bits ~depth:queue_depth
+          ~src:c.csrc ~dst:c.cdst ~purpose)
     chans;
   (* site index: (block, pos) -> channels, canonically ordered *)
   let site_chans : (int * int, chan list) Hashtbl.t = Hashtbl.create 64 in
@@ -529,4 +581,4 @@ let generate (part : Partition.t) (qa : qalloc) ~(queue_depth : int) : gen =
     fs
   in
   let stage_funcs = Array.init k emit_stage in
-  { stage_funcs; nstages = k }
+  { stage_funcs; nstages = k; licm_hoists = !licm_hoists }

@@ -11,11 +11,23 @@ open Twill_ir.Ir
 
 type queue_info = {
   qid : int;
-  width_bits : int;  (** 1 for conditions/tokens, 32 for data (§4.3) *)
-  depth : int;
+  mutable width_bits : int;
+      (** 1 for conditions/tokens, 32 for data (§4.3); widened when the
+          comm optimizer merges channels of different widths *)
+  mutable depth : int;  (** re-sized by the comm optimizer's "size" pass *)
   src_stage : int;
   dst_stage : int;
   purpose : string;  (** ["data"], ["cond"], ["token"] or ["ret"] *)
+  site_block : int;
+      (** original block of the produce/consume site (-1 if unknown);
+          channels between the same stage pair sharing a site block are
+          emitted in one canonical order by both stages, the legality
+          basis for the comm optimizer's channel merging *)
+  mutable burst : bool;
+      (** back-to-back produces ride one multi-word bus transaction *)
+  mutable merged_into : int option;
+      (** physical queue that absorbed this channel (its ops were
+          rewritten there; no instance is emitted for this id) *)
 }
 
 (** Queue-id allocator shared across all functions of a module. *)
@@ -24,6 +36,7 @@ type qalloc = { mutable next : int; mutable infos : queue_info list }
 val new_qalloc : unit -> qalloc
 
 val alloc_queue :
+  ?site:int ->
   qalloc ->
   width_bits:int ->
   depth:int ->
@@ -32,9 +45,20 @@ val alloc_queue :
   purpose:string ->
   int
 
-type gen = { stage_funcs : func array; nstages : int }
+type gen = {
+  stage_funcs : func array;
+  nstages : int;
+  licm_hoists : int;
+      (** condition channels whose site was hoisted to a loop preheader
+          by [~licm_conds] (the comm optimizer's "licm" action count) *)
+}
 
 val stage_name : string -> int -> string
 (** [stage_name f s] is the generated name ["<f>__dswp_<s>"]. *)
 
-val generate : Partition.t -> qalloc -> queue_depth:int -> gen
+val generate : ?licm_conds:bool -> Partition.t -> qalloc -> queue_depth:int -> gen
+(** [~licm_conds:true] enables communication LICM for branch-condition
+    channels: a condition defined outside the branch's loop hoists its
+    produce/consume pair to the loop preheader (one transfer per entry
+    instead of one per iteration), exactly like the loop-matching climb
+    data channels already take.  Default [false] (the seed behaviour). *)

@@ -116,7 +116,7 @@ let rec gen_stmt env ~depth ~in_loop : stmt option =
   if env.budget <= 0 then None
   else begin
     env.budget <- env.budget - 1;
-    match rnd env 12 with
+    match rnd env 13 with
     | 0 | 1 ->
         (* new scalar *)
         let ty = pick env [ Tint; Tint; Tuint ] in
@@ -214,6 +214,25 @@ let rec gen_stmt env ~depth ~in_loop : stmt option =
     | 9 when in_loop ->
         Some (Sif (gen_cond env, (if rnd env 2 = 0 then Sbreak else Scont), None))
     | 10 -> Some (Sexpr (Ecall ("print", [ gen_expr env 2 ])))
+    | 11 when in_loop && env.scalars <> [] ->
+        (* multi-produce loop body: a run of back-to-back updates to
+           in-scope accumulators.  Under DSWP each cross-stage use
+           becomes its own channel produced at one site, which is
+           exactly the adjacent-produce pattern the communication
+           optimizer's merge and burst passes rewrite. *)
+        let n = 2 + rnd env 3 in
+        let stmts =
+          List.init n (fun _ ->
+              let v = pick env env.scalars in
+              let rhs =
+                match rnd env 3 with
+                | 0 -> Ebin (Badd, Evar v, gen_expr env 1)
+                | 1 -> Ebin (Bxor, Evar v, gen_expr env 1)
+                | _ -> Ebin (Bsub, Evar v, gen_expr env 1)
+              in
+              Sassign (scalar_lv v, rhs))
+        in
+        Some (Sblock stmts)
     | _ ->
         if env.funcs = [] then
           Some (Sexpr (Ecall ("print", [ gen_expr env 1 ])))

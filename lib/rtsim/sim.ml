@@ -98,6 +98,27 @@ let default_config =
     engine = Compiled;
   }
 
+(* Per-channel communication profile, the input of the lib/comm
+   optimizer.  Counters are updated with identical arithmetic by both
+   engines' handlers (the same contract as every other stats field;
+   [stats_mismatch] compares them, so the rtsim:engines suite enforces
+   byte-identity).  Histograms are event-sampled: occupancy is recorded
+   after every produce (post-push) and consume (post-pop), burst runs
+   count maximal chains of operations whose start clock equals the
+   previous operation's end clock on the same queue (i.e. back-to-back
+   on the producing/consuming thread). *)
+type queue_profile = {
+  qp_produces : int;
+  qp_consumes : int;
+  qp_stall_full : int; (* producer cycles waiting for a free slot *)
+  qp_stall_empty : int; (* consumer cycles waiting for visibility *)
+  qp_bus_waits : int; (* module-bus arbitration cycles of this queue's ops *)
+  qp_peak : int; (* high-water occupancy *)
+  qp_occ_hist : int array; (* index = occupancy 0..depth, event-sampled *)
+  qp_prod_bursts : int array; (* index = run length - 1, last = >= 8 *)
+  qp_cons_bursts : int array;
+}
+
 type stats = {
   ret : int32;
   prints : int32 list;
@@ -106,6 +127,7 @@ type stats = {
   thread_busy : (string * int) array;
   executed : int;
   queue_peaks : int array;
+  queue_profiles : queue_profile array;
   module_bus_waits : int;
   memory_bus_waits : int;
 }
@@ -179,6 +201,23 @@ type queue_state = {
   (* compiled engine: threads parked on this queue *)
   wl_full : int list ref; (* producers waiting for space *)
   wl_empty : int list ref; (* consumers waiting for data *)
+  (* burst coalescing (lib/comm): a produce whose start clock equals the
+     previous produce's end clock rides the same multi-word bus
+     transaction and skips arbitration *)
+  allow_burst : bool;
+  (* profiling counters; see [queue_profile] *)
+  mutable p_produces : int;
+  mutable p_consumes : int;
+  mutable p_stall_full : int;
+  mutable p_stall_empty : int;
+  mutable p_bus_waits : int;
+  occ_hist : int array;
+  prod_bursts : int array;
+  cons_bursts : int array;
+  mutable p_run : int; (* current produce burst run; 0 = none yet *)
+  mutable p_last_end : int; (* end clock of the last produce; -1 = none *)
+  mutable c_run : int;
+  mutable c_last_end : int;
 }
 
 type sem_state = {
@@ -222,8 +261,84 @@ let make_queues (config : config) (queues : Threadgen.queue_info array) :
         peak = 0;
         wl_full = ref [];
         wl_empty = ref [];
+        allow_burst = qi.Threadgen.burst;
+        p_produces = 0;
+        p_consumes = 0;
+        p_stall_full = 0;
+        p_stall_empty = 0;
+        p_bus_waits = 0;
+        occ_hist = Array.make (qdepth + 1) 0;
+        prod_bursts = Array.make 8 0;
+        cons_bursts = Array.make 8 0;
+        p_run = 0;
+        p_last_end = -1;
+        c_run = 0;
+        c_last_end = -1;
       })
     queues
+
+(* --- per-channel profiling ------------------------------------------------ *)
+
+(* Both engines call these with the same (clk0, clk, grant) triple —
+   thread clock at op entry, after the queue-state wait (slot-free /
+   visibility), and after arbitration — so the counters are
+   byte-identical by the same argument as every other stats field.
+   Called after the push/pop counters move, so the sampled occupancy is
+   the post-op one. *)
+
+let[@inline] burst_bucket (n : int) : int = if n >= 8 then 7 else n - 1
+
+let[@inline] prof_produce (st : queue_state) ~clk0 ~clk ~grant =
+  st.p_produces <- st.p_produces + 1;
+  st.p_stall_full <- st.p_stall_full + (clk - clk0);
+  st.p_bus_waits <- st.p_bus_waits + (grant - clk);
+  let occ = st.pushed - st.popped in
+  st.occ_hist.(occ) <- st.occ_hist.(occ) + 1;
+  (if clk = st.p_last_end then st.p_run <- st.p_run + 1
+   else begin
+     (if st.p_run > 0 then
+        let i = burst_bucket st.p_run in
+        st.prod_bursts.(i) <- st.prod_bursts.(i) + 1);
+     st.p_run <- 1
+   end);
+  st.p_last_end <- grant + 1
+
+let[@inline] prof_consume (st : queue_state) ~clk0 ~clk ~grant =
+  st.p_consumes <- st.p_consumes + 1;
+  st.p_stall_empty <- st.p_stall_empty + (clk - clk0);
+  st.p_bus_waits <- st.p_bus_waits + (grant - clk);
+  let occ = st.pushed - st.popped in
+  st.occ_hist.(occ) <- st.occ_hist.(occ) + 1;
+  (if clk = st.c_last_end then st.c_run <- st.c_run + 1
+   else begin
+     (if st.c_run > 0 then
+        let i = burst_bucket st.c_run in
+        st.cons_bursts.(i) <- st.cons_bursts.(i) + 1);
+     st.c_run <- 1
+   end);
+  st.c_last_end <- grant + 1
+
+(* Close the open burst runs (end of simulation) and snapshot. *)
+let profile_of (st : queue_state) : queue_profile =
+  (if st.p_run > 0 then
+     let i = burst_bucket st.p_run in
+     st.prod_bursts.(i) <- st.prod_bursts.(i) + 1);
+  st.p_run <- 0;
+  (if st.c_run > 0 then
+     let i = burst_bucket st.c_run in
+     st.cons_bursts.(i) <- st.cons_bursts.(i) + 1);
+  st.c_run <- 0;
+  {
+    qp_produces = st.p_produces;
+    qp_consumes = st.p_consumes;
+    qp_stall_full = st.p_stall_full;
+    qp_stall_empty = st.p_stall_empty;
+    qp_bus_waits = st.p_bus_waits;
+    qp_peak = st.peak;
+    qp_occ_hist = Array.copy st.occ_hist;
+    qp_prod_bursts = Array.copy st.prod_bursts;
+    qp_cons_bursts = Array.copy st.cons_bursts;
+  }
 
 let simulate ?(config = default_config) ?(master = 0) ?engine
     (m : modul) ~(threads : thread_spec array)
@@ -366,12 +481,19 @@ let simulate ?(config = default_config) ?(master = 0) ?engine
                     st.pop_time.(st.pushed mod st.qdepth)
                   else 0
                 in
-                set_clock (max (get_clock ()) slot_free);
-                let grant = reserve module_bus (get_clock ()) in
+                let clk0 = get_clock () in
+                let clk = if clk0 < slot_free then slot_free else clk0 in
+                (* burst coalescing: a back-to-back produce rides the
+                   previous one's bus transaction, no new arbitration *)
+                let grant =
+                  if st.allow_burst && clk = st.p_last_end then clk
+                  else reserve module_bus clk
+                in
                 set_clock (grant + 1 + queue_overhead);
                 Queue.add (v, grant + config.queue_latency) st.items;
                 st.pushed <- st.pushed + 1;
                 st.peak <- max st.peak (st.pushed - st.popped);
+                prof_produce st ~clk0 ~clk ~grant;
                 incr ops);
             consume =
               (fun q ->
@@ -379,11 +501,13 @@ let simulate ?(config = default_config) ?(master = 0) ?engine
                 wait_until ti (On_queue_empty q) (fun () ->
                     st.pushed > st.popped);
                 let v, visible = Queue.pop st.items in
-                set_clock (max (get_clock ()) visible);
-                let grant = reserve module_bus (get_clock ()) in
+                let clk0 = get_clock () in
+                let clk = if clk0 < visible then visible else clk0 in
+                let grant = reserve module_bus clk in
                 set_clock (grant + 1 + queue_overhead);
                 st.pop_time.(st.popped mod st.qdepth) <- get_clock ();
                 st.popped <- st.popped + 1;
+                prof_consume st ~clk0 ~clk ~grant;
                 incr ops;
                 v);
             sem_give =
@@ -564,15 +688,20 @@ let simulate ?(config = default_config) ?(master = 0) ?engine
                 else 0
               in
               let cell0 = !cell in
-              let clk = cell0 + !stall in
-              let clk = if clk < slot_free then slot_free else clk in
-              let grant = if mb_on then bus_grab module_bus clk else clk in
+              let clk0 = cell0 + !stall in
+              let clk = if clk0 < slot_free then slot_free else clk0 in
+              let grant =
+                if st.allow_burst && clk = st.p_last_end then clk
+                else if mb_on then bus_grab module_bus clk
+                else clk
+              in
               stall := grant + 1 - cell0;
               Array.unsafe_set st.ring_val slot v;
               Array.unsafe_set st.ring_vis slot (grant + lat);
               st.pushed <- st.pushed + 1;
               let sz = st.pushed - st.popped in
               if sz > st.peak then st.peak <- sz;
+              prof_produce st ~clk0 ~clk ~grant;
               wake wl_empty
           in
           let consume_q (st : queue_state) q =
@@ -586,13 +715,14 @@ let simulate ?(config = default_config) ?(master = 0) ?engine
               let v = Array.unsafe_get st.ring_val slot in
               let vis = Array.unsafe_get st.ring_vis slot in
               let cell0 = !cell in
-              let clk = cell0 + !stall in
-              let clk = if clk < vis then vis else clk in
+              let clk0 = cell0 + !stall in
+              let clk = if clk0 < vis then vis else clk0 in
               let grant = if mb_on then bus_grab module_bus clk else clk in
               let t1 = grant + 1 in
               stall := t1 - cell0;
               Array.unsafe_set st.pop_time slot t1;
               st.popped <- st.popped + 1;
+              prof_consume st ~clk0 ~clk ~grant;
               wake wl_full;
               v
           in
@@ -638,15 +768,20 @@ let simulate ?(config = default_config) ?(master = 0) ?engine
                 if st.pushed >= depth then Array.unsafe_get st.pop_time slot
                 else 0
               in
-              let clk = Array.unsafe_get clocks ti in
-              let clk = if clk < slot_free then slot_free else clk in
-              let grant = if mb_on then bus_grab module_bus clk else clk in
+              let clk0 = Array.unsafe_get clocks ti in
+              let clk = if clk0 < slot_free then slot_free else clk0 in
+              let grant =
+                if st.allow_burst && clk = st.p_last_end then clk
+                else if mb_on then bus_grab module_bus clk
+                else clk
+              in
               Array.unsafe_set clocks ti (grant + 1);
               Array.unsafe_set st.ring_val slot v;
               Array.unsafe_set st.ring_vis slot (grant + lat);
               st.pushed <- st.pushed + 1;
               let sz = st.pushed - st.popped in
               if sz > st.peak then st.peak <- sz;
+              prof_produce st ~clk0 ~clk ~grant;
               wake wl_empty
           in
           let consume_q (st : queue_state) q =
@@ -659,13 +794,14 @@ let simulate ?(config = default_config) ?(master = 0) ?engine
               let slot = st.popped mod depth in
               let v = Array.unsafe_get st.ring_val slot in
               let vis = Array.unsafe_get st.ring_vis slot in
-              let clk = Array.unsafe_get clocks ti in
-              let clk = if clk < vis then vis else clk in
+              let clk0 = Array.unsafe_get clocks ti in
+              let clk = if clk0 < vis then vis else clk0 in
               let grant = if mb_on then bus_grab module_bus clk else clk in
               let t1 = grant + 1 in
               Array.unsafe_set clocks ti t1;
               Array.unsafe_set st.pop_time slot t1;
               st.popped <- st.popped + 1;
+              prof_consume st ~clk0 ~clk ~grant;
               wake wl_full;
               v
           in
@@ -856,6 +992,7 @@ let simulate ?(config = default_config) ?(master = 0) ?engine
           match r with Some r -> acc + r.Interp.executed | None -> acc)
         0 results;
     queue_peaks = Array.map (fun q -> q.peak) qs;
+    queue_profiles = Array.map profile_of qs;
     module_bus_waits = module_bus.Bus.wait_cycles;
     memory_bus_waits = memory_bus.Bus.wait_cycles;
   }
@@ -884,6 +1021,20 @@ let stats_mismatch (a : stats) (b : stats) : string option =
        (fun q ->
          String.concat "," (List.map string_of_int (Array.to_list q)))
        a.queue_peaks b.queue_peaks
+  |> check "queue_profiles"
+       (fun ps ->
+         let hist h =
+           String.concat "," (List.map string_of_int (Array.to_list h))
+         in
+         String.concat "|"
+           (List.map
+              (fun p ->
+                Printf.sprintf "p=%d c=%d sf=%d se=%d bw=%d pk=%d occ=[%s] pb=[%s] cb=[%s]"
+                  p.qp_produces p.qp_consumes p.qp_stall_full p.qp_stall_empty
+                  p.qp_bus_waits p.qp_peak (hist p.qp_occ_hist)
+                  (hist p.qp_prod_bursts) (hist p.qp_cons_bursts))
+              (Array.to_list ps)))
+       a.queue_profiles b.queue_profiles
   |> check "thread_finish"
        (fun t ->
          String.concat ","

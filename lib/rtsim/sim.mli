@@ -65,6 +65,25 @@ type config = {
 
 val default_config : config
 
+type queue_profile = {
+  qp_produces : int;
+  qp_consumes : int;
+  qp_stall_full : int;  (** producer cycles waiting for a free slot *)
+  qp_stall_empty : int;  (** consumer cycles waiting for visibility *)
+  qp_bus_waits : int;  (** module-bus arbitration cycles of this queue's ops *)
+  qp_peak : int;  (** high-water occupancy *)
+  qp_occ_hist : int array;
+      (** index = occupancy [0..depth], sampled after every op *)
+  qp_prod_bursts : int array;
+      (** distribution of back-to-back produce run lengths; index =
+          length - 1, last bucket = >= 8 *)
+  qp_cons_bursts : int array;
+}
+(** Per-channel communication profile (occupancy, stalls, burst shapes)
+    — the input of the lib/comm optimizer.  Updated with identical
+    arithmetic by both engines; {!diff_engines} compares it field by
+    field like every other stats component. *)
+
 type stats = {
   ret : int32;  (** the master thread's return value *)
   prints : int32 list;
@@ -75,6 +94,7 @@ type stats = {
   thread_busy : (string * int) array;  (** non-waiting cycles per thread *)
   executed : int;
   queue_peaks : int array;  (** high-water occupancy per queue *)
+  queue_profiles : queue_profile array;  (** per-channel comm profile *)
   module_bus_waits : int;  (** arbitration wait cycles *)
   memory_bus_waits : int;
 }

@@ -11,22 +11,28 @@
      compile  src [opts]           parse + optimise + extract; summary
      schedule src [opts]           HLS schedules of every HW stage
      simulate src [opts] [engine]  cycle-accurate stats of the design
+     comm     src [opts] [comm]    communication-optimizer report
      dse      [grid] [sample,seed] design-space sweep over the cache
      batch    reqs:[...]           fan the sub-requests over the pool
 
    opts (all optional): nstages, sw_frac, unroll, queue_depth,
-   queue_depth_override, queue_latency, fuel.
+   queue_depth_override, queue_latency, fuel, comm (a pass spec like
+   "merge,size").
 
    Requests are cached by content hash at two levels mirroring the
    evaluation pipeline: the elaboration cache is keyed by the source
    text plus the options extraction depends on (nstages, sw_frac,
-   unroll, queue_depth), while simulation-level knobs (engine, latency,
-   depth override, fuel) only key the response cache — so requests that
-   differ in simulator configuration alone share one extracted design.
-   That split is what makes the `dse` command cheap: a sweep touches
-   each distinct extraction once and re-simulates it per point, and a
-   repeated sweep finds every extraction already cached.  Cache hits and
-   misses are also counted per request kind (see `stats`).  Two batching
+   unroll, queue_depth, comm), while simulation-level knobs (engine,
+   latency, depth override, fuel) only key the response cache — so
+   requests that differ in simulator configuration alone share one
+   extracted design.  That split is what makes the `dse` command cheap:
+   a sweep touches each distinct extraction once and re-simulates it per
+   point, and a repeated sweep finds every extraction already cached.
+   Cache hits and misses are also counted per request kind *and cache
+   level* — "simulate:elab" vs "simulate:sim" — so `stats` shows which
+   level a request kind actually hit instead of lumping both bumps under
+   one key (a `bench` loop that misses elaboration once and then hits
+   the response cache reads as 1 elab miss + N sim hits).  Two batching
    paths: an explicit `batch` request fans its sub-requests over the
    {!Par.pool} workers, and the per-connection reader drains every
    complete line already buffered on the socket and processes them as
@@ -40,6 +46,7 @@ type elab = {
   e_modul : Twill.Ir.modul;
   e_threaded : Twill.Dswp.threaded;
   e_opts : Twill.options;
+  e_comm : Twill.Comm.report; (* what the comm optimizer did at extraction *)
 }
 
 type t = {
@@ -117,6 +124,13 @@ let options_of_req (j : Json.t) : Twill.options =
       | None -> base.Twill.queue_depth_override);
     queue_latency = get "queue_latency" base.Twill.queue_latency;
     fuel = get "fuel" base.Twill.fuel;
+    comm =
+      (match Json.str_field "comm" j with
+      | None -> base.Twill.comm
+      | Some spec -> (
+          match Twill.Comm.parse spec with
+          | Ok c -> c
+          | Error e -> failwith ("comm: " ^ e)));
   }
 
 (* elaboration cache key: source text + every option extraction depends
@@ -126,10 +140,11 @@ let options_of_req (j : Json.t) : Twill.options =
 let elab_digest (src : string) (opts : Twill.options) : string =
   Digest.to_hex
     (Digest.string
-       (Printf.sprintf "%s\x00n=%d;f=%h;u=%b;qd=%d" src
+       (Printf.sprintf "%s\x00n=%d;f=%h;u=%b;qd=%d;comm=%s" src
           opts.Twill.partition.Twill.Partition.nstages
           opts.Twill.partition.Twill.Partition.sw_fraction
-          opts.Twill.unroll opts.Twill.queue_depth))
+          opts.Twill.unroll opts.Twill.queue_depth
+          (Twill.Comm.show opts.Twill.comm)))
 
 (* simulation response cache key: the elaboration plus every knob that
    only changes the simulator run *)
@@ -151,6 +166,10 @@ let engine_of_req (j : Json.t) : Sim.engine =
 let elaborate_src (t : t) ~(kind : string) ~(src : string)
     ~(opts : Twill.options) : string * elab =
   let digest = elab_digest src opts in
+  (* the per-kind counter names the cache level too: an elaboration
+     hit/miss for a simulate request is "simulate:elab", distinct from
+     the response-level "simulate:sim" bump *)
+  let kind = kind ^ ":elab" in
   match locked t (fun () -> Hashtbl.find_opt t.elabs digest) with
   | Some e ->
       cache_hit t ~kind;
@@ -158,8 +177,10 @@ let elaborate_src (t : t) ~(kind : string) ~(src : string)
   | None ->
       cache_miss t ~kind;
       let m = Twill.compile ~opts src in
-      let threaded = Twill.extract ~opts m in
-      let e = { e_modul = m; e_threaded = threaded; e_opts = opts } in
+      let threaded, report = Twill.extract_comm ~opts m in
+      let e =
+        { e_modul = m; e_threaded = threaded; e_opts = opts; e_comm = report }
+      in
       locked t (fun () ->
           (* a concurrent request may have raced us here; keep the first
              entry so every later request shares one design *)
@@ -244,10 +265,10 @@ let handle_simulate (t : t) (j : Json.t) : Json.t =
   let key = sim_key digest opts engine in
   match locked t (fun () -> Hashtbl.find_opt t.sims key) with
   | Some body ->
-      cache_hit t ~kind:"simulate";
+      cache_hit t ~kind:"simulate:sim";
       body
   | None ->
-      cache_miss t ~kind:"simulate";
+      cache_miss t ~kind:"simulate:sim";
       let td = e.e_threaded in
       let config = Twill.sim_config opts in
       let s =
@@ -279,6 +300,70 @@ let handle_simulate (t : t) (j : Json.t) : Json.t =
       locked t (fun () -> Hashtbl.replace t.sims key body);
       body
 
+(* The communication-optimizer report: elaborates the design twice
+   through the persistent cache — once with every pass off (the
+   baseline) and once under the request's "comm" spec (default: all
+   passes) — simulates both, and reports the pass actions next to the
+   base-vs-optimized cycle counts.  Both elaborations and the response
+   are digest-keyed, so a repeated report (or a simulate request for the
+   same design) is a pure cache hit. *)
+let handle_comm (t : t) (j : Json.t) : Json.t =
+  let engine = engine_of_req j in
+  let opts =
+    let o = options_of_req j in
+    if Json.str_field "comm" j = None then { o with comm = Twill.Comm.all }
+    else o
+  in
+  let src =
+    match Json.str_field "src" j with
+    | Some s -> s
+    | None -> failwith "missing src"
+  in
+  let base_opts = { opts with comm = Twill.Comm.none } in
+  let digest, e = elaborate_src t ~kind:"comm" ~src ~opts in
+  let base_digest, base_e = elaborate_src t ~kind:"comm" ~src ~opts:base_opts in
+  let key = "comm:" ^ sim_key digest opts engine in
+  match locked t (fun () -> Hashtbl.find_opt t.sims key) with
+  | Some body ->
+      cache_hit t ~kind:"comm:sim";
+      body
+  | None ->
+      cache_miss t ~kind:"comm:sim";
+      let run (e : elab) sim_opts =
+        let td = e.e_threaded in
+        Sim.simulate
+          ~config:(Twill.sim_config sim_opts)
+          ~master:td.Twill.Dswp.master ~engine td.Twill.Dswp.modul
+          ~threads:(thread_specs td) ~queues:td.Twill.Dswp.queues
+          ~nsems:td.Twill.Dswp.nsems ()
+      in
+      let sb = run base_e base_opts in
+      let so = run e opts in
+      let r = e.e_comm in
+      let body =
+        Json.Obj
+          [
+            ("ok", Json.Bool true);
+            ("digest", Json.Str digest);
+            ("base_digest", Json.Str base_digest);
+            ("comm", Json.Str (Twill.Comm.show r.Twill.Comm.rconfig));
+            ( "ran",
+              Json.List
+                (List.map (fun p -> Json.Str p) r.Twill.Comm.ran) );
+            ("licm_hoists", Json.Int r.Twill.Comm.licm_hoists);
+            ("merged", Json.Int (List.length r.Twill.Comm.merges));
+            ("resized", Json.Int (List.length r.Twill.Comm.resizes));
+            ("bursts", Json.Int (List.length r.Twill.Comm.burst_qids));
+            ("ret", Json.Int (Int32.to_int so.Sim.ret));
+            ("base_ret", Json.Int (Int32.to_int sb.Sim.ret));
+            ("base_cycles", Json.Int sb.Sim.cycles);
+            ("cycles", Json.Int so.Sim.cycles);
+            ("delta", Json.Int (so.Sim.cycles - sb.Sim.cycles));
+          ]
+      in
+      locked t (fun () -> Hashtbl.replace t.sims key body);
+      body
+
 (* --- dse: a design-space sweep over the daemon's caches ------------------- *)
 
 module Grid = Twill_dse.Grid
@@ -296,6 +381,7 @@ let result_json (r : Pareto.result) : Json.t =
       ("queue_depth", Json.Int p.Grid.queue_depth);
       ("queue_latency", Json.Int p.Grid.queue_latency);
       ("engine", Json.Str (Grid.engine_str p.Grid.engine));
+      ("comm", Json.Str p.Grid.comm);
       ("cycles", Json.Int m.Pareto.cycles);
       ("luts", Json.Int m.Pareto.luts);
       ("power_mw", Json.Float m.Pareto.power_mw);
@@ -333,8 +419,10 @@ let group_by key xs =
    re-simulates without re-extracting), groups fan out over the pool,
    and the response carries the frontier, per-axis sensitivities and the
    reuse counters.  Grid axes that change extraction line up with
-   [elab_digest] by construction: every dse point leaves [queue_depth]
-   at its default and sweeps depth via the simulation-level override. *)
+   [elab_digest] by construction: a comm-off point leaves [queue_depth]
+   at its default and sweeps depth via the simulation-level override,
+   while a comm-enabled point bakes depth into the extraction (and so
+   into the digest) because the sizing pass rewrites queue depths. *)
 let handle_dse (t : t) (j : Json.t) : Json.t =
   let grid =
     match Json.str_field "grid" j with
@@ -437,6 +525,7 @@ let rec handle (t : t) (j : Json.t) : Json.t =
       | Some "compile" -> handle_compile t j
       | Some "schedule" -> handle_schedule t j
       | Some "simulate" -> handle_simulate t j
+      | Some "comm" -> handle_comm t j
       | Some "dse" -> handle_dse t j
       | Some "batch" -> (
           match Json.list_field "reqs" j with

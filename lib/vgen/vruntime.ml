@@ -267,31 +267,47 @@ let emit_system (t : Dswp.threaded) : string =
     Array.to_list t.Dswp.stages
     |> List.filteri (fun s _ -> t.Dswp.roles.(s) = Twill_dswp.Partition.Hw)
   in
+  let physical =
+    Array.to_list t.Dswp.queues
+    |> List.filter (fun (q : Threadgen.queue_info) ->
+           q.Threadgen.merged_into = None)
+  in
   pr "// Twill top-level runtime system (Figure 4.1), generated\n";
-  pr "// %d hardware threads, %d queues, %d semaphores\n"
-    (List.length hw_stages)
+  pr "// %d hardware threads, %d queues (%d channels), %d semaphores\n"
+    (List.length hw_stages) (List.length physical)
     (Array.length t.Dswp.queues)
     t.Dswp.nsems;
   pr "module twill_system (\n  input wire clk,\n  input wire rst,\n";
   pr "  output wire done,\n  output wire [31:0] retval\n);\n\n";
   Array.iter
     (fun (q : Threadgen.queue_info) ->
-      pr "  // %s queue, stage %d -> %d\n" q.Threadgen.purpose
-        q.Threadgen.src_stage q.Threadgen.dst_stage;
-      pr "  wire q%d_give_valid, q%d_give_ack, q%d_take_valid, q%d_take_ack;\n"
-        q.Threadgen.qid q.Threadgen.qid q.Threadgen.qid q.Threadgen.qid;
-      pr "  wire [%d:0] q%d_give_data, q%d_take_data;\n"
-        (q.Threadgen.width_bits - 1) q.Threadgen.qid q.Threadgen.qid;
-      pr
-        "  twill_queue #(.WIDTH(%d), .DEPTH(%d)) queue_%d (.clk(clk), \
-         .rst(rst),\n\
-        \    .give_valid(q%d_give_valid), .give_data(q%d_give_data), \
-         .give_ack(q%d_give_ack),\n\
-        \    .take_valid(q%d_take_valid), .take_data(q%d_take_data), \
-         .take_ack(q%d_take_ack));\n\n"
-        q.Threadgen.width_bits q.Threadgen.depth q.Threadgen.qid
-        q.Threadgen.qid q.Threadgen.qid q.Threadgen.qid q.Threadgen.qid
-        q.Threadgen.qid q.Threadgen.qid)
+      match q.Threadgen.merged_into with
+      | Some tgt ->
+          (* the comm optimizer rewrote this channel's operations onto a
+             shared physical queue; no instance to emit *)
+          pr "  // %s channel q%d merged into queue_%d (comm-opt)\n\n"
+            q.Threadgen.purpose q.Threadgen.qid tgt
+      | None ->
+          pr "  // %s queue, stage %d -> %d%s\n" q.Threadgen.purpose
+            q.Threadgen.src_stage q.Threadgen.dst_stage
+            (if q.Threadgen.burst then " (burst-coalesced bus transactions)"
+             else "");
+          pr
+            "  wire q%d_give_valid, q%d_give_ack, q%d_take_valid, \
+             q%d_take_ack;\n"
+            q.Threadgen.qid q.Threadgen.qid q.Threadgen.qid q.Threadgen.qid;
+          pr "  wire [%d:0] q%d_give_data, q%d_take_data;\n"
+            (q.Threadgen.width_bits - 1) q.Threadgen.qid q.Threadgen.qid;
+          pr
+            "  twill_queue #(.WIDTH(%d), .DEPTH(%d)) queue_%d (.clk(clk), \
+             .rst(rst),\n\
+            \    .give_valid(q%d_give_valid), .give_data(q%d_give_data), \
+             .give_ack(q%d_give_ack),\n\
+            \    .take_valid(q%d_take_valid), .take_data(q%d_take_data), \
+             .take_ack(q%d_take_ack));\n\n"
+            q.Threadgen.width_bits q.Threadgen.depth q.Threadgen.qid
+            q.Threadgen.qid q.Threadgen.qid q.Threadgen.qid q.Threadgen.qid
+            q.Threadgen.qid q.Threadgen.qid)
     t.Dswp.queues;
   for s = 0 to t.Dswp.nsems - 1 do
     pr "  wire s%d_give_valid, s%d_take_valid, s%d_take_ack;\n" s s s;

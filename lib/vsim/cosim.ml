@@ -459,6 +459,9 @@ let run_threaded ?config ?engine ?(fuel_cycles = 2_000_000) ?vcd
   let qinst : (int, qh) Hashtbl.t = Hashtbl.create 8 in
   Array.iter
     (fun (q : Threadgen.queue_info) ->
+      (* merged channels have no operations left (the comm optimizer
+         rewrote them onto the surviving queue) and no RTL instance *)
+      if q.Threadgen.merged_into = None then begin
       let depth = max 1 q.Threadgen.depth in
       let i =
         Vsim.instantiate ?engine
@@ -477,7 +480,8 @@ let run_threaded ?config ?engine ?(fuel_cycles = 2_000_000) ?vcd
           q_td = Vsim.handle i "take_data";
           q_count = Vsim.handle i "count";
         };
-      instances := (Printf.sprintf "q%d" q.Threadgen.qid, i) :: !instances)
+      instances := (Printf.sprintf "q%d" q.Threadgen.qid, i) :: !instances
+      end)
     t.Dswp.queues;
   let sems =
     Array.init t.Dswp.nsems (fun k ->

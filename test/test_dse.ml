@@ -45,7 +45,52 @@ let test_parse_errors () =
   Alcotest.(check bool) "unknown axis" true (bad "wat=1");
   Alcotest.(check bool) "bad int" true (bad "nstages=two");
   Alcotest.(check bool) "bad engine" true (bad "engine=quantum");
+  Alcotest.(check bool) "bad comm pass" true (bad "comm=merge+wat");
   Alcotest.(check bool) "empty axis" true (bad "nstages=")
+
+(* comm axis values: "+"-joined pass sets, canonicalized through
+   Comm.parse/show so spelling and order don't multiply grid values *)
+let test_parse_comm_axis () =
+  (match Grid.parse "comm=none,merge+size,all" with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok g ->
+      Alcotest.(check (list string))
+        "canonical comm values"
+        [ "none"; "merge,size"; "licm,merge,size,burst" ]
+        g.Grid.comms);
+  (* order-insensitive canonicalization: one grid value either way *)
+  match (Grid.parse "comm=size+merge", Grid.parse "comm=merge+size") with
+  | Ok a, Ok b ->
+      Alcotest.(check (list string)) "order canonical" a.Grid.comms b.Grid.comms
+  | _ -> Alcotest.fail "comm specs failed to parse"
+
+(* depth joins the extraction key exactly when comm passes are enabled
+   (the sizing pass bakes depth into the extraction) *)
+let test_comm_extract_key () =
+  let base =
+    {
+      Grid.kernel = "x";
+      unroll = false;
+      nstages = 2;
+      sw_frac = 0.002;
+      queue_depth = 4;
+      queue_latency = 2;
+      engine = Sim.Compiled;
+      comm = "none";
+    }
+  in
+  let deeper = { base with Grid.queue_depth = 32 } in
+  Alcotest.(check bool)
+    "comm-off points share extraction across depths" true
+    (Grid.extract_key base = Grid.extract_key deeper);
+  let cbase = { base with Grid.comm = "merge,size" } in
+  let cdeeper = { deeper with Grid.comm = "merge,size" } in
+  Alcotest.(check bool)
+    "comm-on points split extraction by depth" true
+    (Grid.extract_key cbase <> Grid.extract_key cdeeper);
+  Alcotest.(check bool)
+    "comm value itself splits extraction" true
+    (Grid.extract_key base <> Grid.extract_key cbase)
 
 let test_sample_deterministic () =
   let pts = Grid.points Grid.default in
@@ -85,6 +130,7 @@ let pt =
     queue_depth = 8;
     queue_latency = 2;
     engine = Sim.Compiled;
+    comm = "none";
   }
 
 let r metrics = { Pareto.point = pt; metrics }
@@ -140,7 +186,16 @@ let test_options_plumbing () =
     cfg.Twill.Sim.queue_depth_override;
   Alcotest.(check int) "latency plumbed" 17 cfg.Twill.Sim.queue_latency;
   Alcotest.(check bool) "engine plumbed" true
-    (cfg.Twill.Sim.engine = Sim.Compiled)
+    (cfg.Twill.Sim.engine = Sim.Compiled);
+  (* a comm-enabled point moves depth to the extraction level so the
+     sizing pass's rewritten queue depths aren't masked at sim time *)
+  let copts = Dse.opts_of_point { p with Grid.comm = "licm,merge,size,burst" } in
+  Alcotest.(check bool) "comm passes enabled" true
+    (Twill.Comm.enabled copts.Twill.comm);
+  Alcotest.(check int) "extraction-level depth" 3 copts.Twill.queue_depth;
+  Alcotest.(check (option int))
+    "no sim-time override under comm" None
+    (Twill.sim_config copts).Twill.Sim.queue_depth_override
 
 (* The two engines must agree through the new config-level default. *)
 let test_engines_agree () =
@@ -242,6 +297,52 @@ let test_server_dse () =
     (Json.to_string (strip r1))
     (Json.to_string (strip r2))
 
+(* one kernel, one operating point, comm off vs all four passes: the
+   optimizer must not regress the kernel, and the sweep machinery must
+   carry the axis end-to-end (results, sensitivities, JSON) *)
+let test_sweep_comm_axis () =
+  let g =
+    {
+      Grid.default with
+      Grid.kernels = [ "sha" ];
+      unrolls = [ false ];
+      nstages = [ 3 ];
+      queue_depths = [ 2 ];
+      queue_latencies = [ 2 ];
+      comms = [ "none"; "licm,merge,size,burst" ];
+    }
+  in
+  let s = Dse.run g in
+  (match s.Dse.results with
+  | [ base; opt ] ->
+      Alcotest.(check string)
+        "grid order: comm-off first" "none" base.Pareto.point.Grid.comm;
+      Alcotest.(check string)
+        "comm-on second" "licm,merge,size,burst" opt.Pareto.point.Grid.comm;
+      Alcotest.(check bool)
+        "comm passes do not regress cycles" true
+        (opt.Pareto.metrics.Pareto.cycles <= base.Pareto.metrics.Pareto.cycles)
+  | rs -> Alcotest.failf "expected 2 results, got %d" (List.length rs));
+  let comm_rows =
+    List.filter (fun sv -> sv.Pareto.axis = "comm") s.Dse.sensitivities
+  in
+  Alcotest.(check bool) "comm sensitivity rows" true (comm_rows <> []);
+  List.iter
+    (fun sv ->
+      if sv.Pareto.value <> "none" then
+        Alcotest.(check bool)
+          "comm mean slowdown <= 1" true (sv.Pareto.mean_slowdown <= 1.0))
+    comm_rows;
+  (* the rendered JSON carries the axis and the per-point comm field *)
+  let json = Dse.json_of_sweep s in
+  let has needle =
+    let nl = String.length needle and jl = String.length json in
+    let rec go i = i + nl <= jl && (String.sub json i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "comm in grid spec" true (has "comm=none,licm+merge+size+burst");
+  Alcotest.(check bool) "comm in result rows" true (has "\"comm\": \"licm,merge,size,burst\"")
+
 let test_sweep_shape () =
   let s = Dse.run ~sample:10 ~seed:3 small_grid in
   Alcotest.(check int) "sampled size" 10 (List.length s.Dse.results);
@@ -265,6 +366,8 @@ let suites =
         Alcotest.test_case "spec round-trip" `Quick test_spec_roundtrip;
         Alcotest.test_case "partial spec" `Quick test_parse_partial;
         Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "comm axis parsing" `Quick test_parse_comm_axis;
+        Alcotest.test_case "comm extract key" `Quick test_comm_extract_key;
         Alcotest.test_case "sampling" `Quick test_sample_deterministic;
       ] );
     ( "dse.pareto",
@@ -281,6 +384,7 @@ let suites =
         Alcotest.test_case "sharded = sequential" `Slow test_sweep_sharded_equal;
         Alcotest.test_case "warm = cold" `Slow test_sweep_warm_equals_cold;
         Alcotest.test_case "server dse request" `Slow test_server_dse;
+        Alcotest.test_case "comm axis sweep" `Slow test_sweep_comm_axis;
         Alcotest.test_case "shape" `Slow test_sweep_shape;
       ] );
   ]

@@ -126,6 +126,67 @@ let test_stack_agrees () =
     "most cases produced a verdict" true
     (2 * List.length s.Campaign.s_skipped <= s.Campaign.s_cases)
 
+(* --- communication-optimizer soak --------------------------------------- *)
+
+(* all four comm passes, forced 3-stage pipeline, shallow queues: the
+   channel-graph rewrites (merge/size/burst at extraction, licm at
+   thread generation) must preserve observable behaviour across the
+   whole 200-case corpus *)
+let comm_opts =
+  {
+    Twill.default_options with
+    Twill.partition =
+      { Twill.Partition.default_config with Twill.Partition.nstages = 3 };
+    comm = Twill.Comm.all;
+    queue_depth = 2;
+  }
+
+let test_comm_soak () =
+  let s =
+    Campaign.run ~opts:comm_opts ~limit:Oracle.L_rtsim ~seed:42 ~cases:200 ()
+  in
+  (match s.Campaign.s_repros with
+  | [] -> ()
+  | r :: _ ->
+      Alcotest.failf "comm-optimized stack diverged on case %d: %s"
+        r.Campaign.r_case
+        (Oracle.divergence_to_string r.Campaign.r_divergence));
+  Alcotest.(check bool)
+    "most cases produced a verdict" true
+    (2 * List.length s.Campaign.s_skipped <= s.Campaign.s_cases)
+
+(* the soak only means something if the passes actually fire on the
+   corpus: tally the pass reports over the same 200 programs and require
+   every pass — including licm, which no CHStone kernel triggers — to
+   have found real work somewhere *)
+let test_comm_passes_fire () =
+  let merges = ref 0 and hoists = ref 0 in
+  let resizes = ref 0 and bursts = ref 0 in
+  List.iter
+    (fun (m, h, r, bu) ->
+      merges := !merges + m;
+      hoists := !hoists + h;
+      resizes := !resizes + r;
+      bursts := !bursts + bu)
+    (Twill.Par.map
+       (fun index ->
+         let src =
+           Twill_minic.Ast_pp.program_to_string (F.Gen.program ~seed:42 ~index)
+         in
+         try
+           let m = Twill.compile ~opts:comm_opts src in
+           let _, rep = Twill.extract_comm ~opts:comm_opts m in
+           ( List.length rep.Twill.Comm.merges,
+             rep.Twill.Comm.licm_hoists,
+             List.length rep.Twill.Comm.resizes,
+             List.length rep.Twill.Comm.burst_qids )
+         with _ -> (0, 0, 0, 0))
+       (List.init 200 (fun i -> i)));
+  Alcotest.(check bool) "merge fires on the corpus" true (!merges > 0);
+  Alcotest.(check bool) "licm fires on the corpus" true (!hoists > 0);
+  Alcotest.(check bool) "size fires on the corpus" true (!resizes > 0);
+  Alcotest.(check bool) "burst fires on the corpus" true (!bursts > 0)
+
 (* --- planted bug: oracle, shrinker, bisection --------------------------- *)
 
 let test_planted_bug_caught () =
@@ -235,6 +296,10 @@ let suites =
           `Quick test_prefix_memo_matches_fresh;
         Alcotest.test_case "whole stack agrees on a clean build" `Quick
           test_stack_agrees;
+        Alcotest.test_case "comm passes preserve behaviour (200-case soak)"
+          `Slow test_comm_soak;
+        Alcotest.test_case "comm passes fire on the corpus" `Slow
+          test_comm_passes_fire;
         Alcotest.test_case "planted bug: caught, shrunk, bisected" `Quick
           test_planted_bug_caught;
         Alcotest.test_case "bisection tracks the broken pass" `Quick

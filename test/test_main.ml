@@ -15,4 +15,5 @@ let () =
          Test_vsim.suites;
          Test_fuzz.suites;
          Test_dse.suites;
+         Test_comm.suites;
        ])

@@ -62,6 +62,62 @@ let bus_tests =
         ignore (Bus.reserve b 5);
         let g = Bus.reserve b 3 in
         Alcotest.(check bool) "slot 3 still free" true (g = 3));
+    (* low-watermark frontier regression: a grant ahead of the dense
+       prefix must not drag [low] past free cycles — a later request
+       below the frontier has to land on the first genuinely free slot,
+       and the frontier may only ever name fully-granted prefixes *)
+    Alcotest.test_case "frontier skips ahead-of-prefix grants" `Quick
+      (fun () ->
+        let b = Bus.create "t" in
+        (* grant cycle 5 ahead of the (empty) prefix: low must stay 0 *)
+        Alcotest.(check int) "ahead grant lands at 5" 5 (Bus.reserve b 5);
+        Alcotest.(check int) "frontier untouched" 0 b.Bus.low;
+        (* fill 0..4: the scan from the frontier must stop at the still
+           -free cycle 6, not inside the 0..5 run *)
+        for i = 0 to 4 do
+          Alcotest.(check int) "prefix fills in order" i (Bus.reserve b 0)
+        done;
+        (* 0..5 now granted; a request below the frontier re-grants at
+           the first free cycle past the run *)
+        Alcotest.(check int) "regrant after saturated run" 6 (Bus.reserve b 0);
+        Alcotest.(check bool) "frontier past the run" true (b.Bus.low >= 7);
+        (* every cycle below the frontier really is granted *)
+        for c = 0 to b.Bus.low - 1 do
+          Alcotest.(check char)
+            (Printf.sprintf "cycle %d granted below frontier" c)
+            '\001'
+            (Bytes.get b.Bus.taken c)
+        done);
+    (* the frontier-accelerated arbiter vs a naive first-free-slot model
+       over random request sequences: identical grant sequences, counters
+       and a sound frontier after every request *)
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"bus matches naive arbitration model" ~count:200
+         QCheck.(list_of_size (Gen.int_range 0 120) (int_bound 80))
+         (fun requests ->
+           let b = Bus.create "t" in
+           let naive : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+           let naive_reserve t =
+             let c = ref (max 0 t) in
+             while Hashtbl.mem naive !c do incr c done;
+             Hashtbl.replace naive !c ();
+             !c
+           in
+           List.for_all
+             (fun t ->
+               let g = Bus.reserve b t and e = naive_reserve t in
+               let frontier_sound =
+                 b.Bus.low <= Bytes.length b.Bus.taken
+                 &&
+                 let ok = ref true in
+                 for c = 0 to b.Bus.low - 1 do
+                   if Bytes.get b.Bus.taken c <> '\001' then ok := false
+                 done;
+                 !ok
+               in
+               g = e && frontier_sound
+               && b.Bus.grants = Hashtbl.length naive)
+             requests));
   ]
 
 let timing_tests =
