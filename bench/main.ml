@@ -912,6 +912,132 @@ let json_comm () =
     exit 1
   end
 
+(* BENCH_backend.json: the committed cross-backend study — every bundled
+   kernel compiled and extracted once at the default operating point,
+   then evaluated under both RTL lowerings (monolithic FSM vs elastic
+   dataflow): rtsim cycles, modeled area, schedule shape, and the
+   three-way differential co-simulation verdict (rtsim vs FSM-RTL vs
+   dataflow-RTL, including the per-stage call-port issue streams).
+   Everything on stdout is an integer or bool from the simulator and
+   models, so the file reproduces byte-for-byte on any machine;
+   wall-clock goes to stderr.  Exits nonzero if any kernel's backends
+   disagree on behaviour, any call-port stream differs, or no kernel is
+   Pareto-dominated by the dataflow lowering on (cycles, LUTs). *)
+let json_backend () =
+  let t0 = Unix.gettimeofday () in
+  let backends = [ Twill.Schedule.Fsm; Twill.Schedule.Dataflow ] in
+  let rows =
+    Twill.Par.map
+      (fun (b : C.benchmark) ->
+        (* one compile + extraction serves both backends: the lowering
+           only changes the replayed schedule flavour and area model *)
+        let m = Twill.compile b.C.source in
+        let t = Twill.extract m in
+        let hw_entries =
+          Array.to_list (Array.mapi (fun i n -> (i, n)) t.Twill.Dswp.stages)
+          |> List.filter_map (fun (i, n) ->
+                 if t.Twill.Dswp.roles.(i) = Twill.Partition.Hw then Some n
+                 else None)
+        in
+        let reach = Twill.reachable_funcs t.Twill.Dswp.modul hw_entries in
+        let per =
+          List.map
+            (fun backend ->
+              let opts = { Twill.default_options with Twill.backend } in
+              let r = Twill.run_twill_threaded ~opts t in
+              let scheds =
+                Twill.schedules_for opts t.Twill.Dswp.modul
+                |> List.filter (fun (n, _) -> List.mem n reach)
+              in
+              let states =
+                List.fold_left
+                  (fun acc (_, s) -> acc + s.Twill.Schedule.total_states)
+                  0 scheds
+              in
+              let min_ii =
+                List.fold_left
+                  (fun acc (_, (s : Twill.Schedule.t)) ->
+                    Array.fold_left
+                      (fun acc ii ->
+                        if ii > 0 && (acc = 0 || ii < acc) then ii else acc)
+                      acc s.Twill.Schedule.ii)
+                  0 scheds
+              in
+              (backend, r, states, min_ii))
+            backends
+        in
+        let bk = Twill.cosim_backends t in
+        (b.C.name, per, bk))
+      C.all
+  in
+  let metrics_of per backend =
+    let _, (r : Twill.twill_result), _, _ =
+      List.find (fun (bk, _, _, _) -> bk = backend) per
+    in
+    ( r.Twill.scenario.Twill.cycles,
+      r.Twill.scenario.Twill.area.Twill.Area.luts )
+  in
+  let dominates per =
+    let fc, fl = metrics_of per Twill.Schedule.Fsm in
+    let dc, dl = metrics_of per Twill.Schedule.Dataflow in
+    dc <= fc && dl <= fl && (dc < fc || dl < fl)
+  in
+  let all_agree =
+    List.for_all (fun (_, _, bk) -> bk.Twill.bk_agree) rows
+  in
+  let dominant =
+    List.length (List.filter (fun (_, per, _) -> dominates per) rows)
+  in
+  let row_json (name, per, (bk : Twill.backends_report)) =
+    let side backend =
+      let _, (r : Twill.twill_result), states, min_ii =
+        List.find (fun (b, _, _, _) -> b = backend) per
+      in
+      Printf.sprintf
+        "{\"cycles\": %d, \"luts\": %d, \"dsps\": %d, \"states\": %d, \
+         \"min_ii\": %d}"
+        r.Twill.scenario.Twill.cycles
+        r.Twill.scenario.Twill.area.Twill.Area.luts
+        r.Twill.scenario.Twill.area.Twill.Area.dsps states min_ii
+    in
+    Printf.sprintf
+      "    {\"benchmark\": %S,\n\
+      \     \"fsm\": %s,\n\
+      \     \"dataflow\": %s,\n\
+      \     \"rtl_cycles\": {\"fsm\": %d, \"dataflow\": %d},\n\
+      \     \"cosim_agree\": %b, \"ops_match\": %b, \"dominates\": %b}"
+      name
+      (side Twill.Schedule.Fsm)
+      (side Twill.Schedule.Dataflow)
+      bk.Twill.bk_fsm.Twill.Cosim.rtl_cycles
+      bk.Twill.bk_dataflow.Twill.Cosim.rtl_cycles bk.Twill.bk_agree
+      bk.Twill.bk_ops_match (dominates per)
+  in
+  Printf.printf
+    "{\n\
+    \  \"schema\": \"twill-backend-v1\",\n\
+    \  \"results\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"aggregate\": {\"kernels\": %d, \"pareto_dominant\": %d, \
+     \"all_agree\": %b}\n\
+     }\n"
+    (String.concat ",\n" (List.map row_json rows))
+    (List.length rows) dominant all_agree;
+  Printf.eprintf
+    "backend: %d kernels, %d dataflow-dominant, agree=%b, %.1fs wall\n"
+    (List.length rows) dominant all_agree
+    (Unix.gettimeofday () -. t0);
+  if not all_agree then begin
+    Printf.eprintf "backend: three-way cosim diverged\n";
+    exit 1
+  end;
+  if dominant = 0 then begin
+    Printf.eprintf
+      "backend: dataflow lowering dominates no kernel on (cycles, LUTs)\n";
+    exit 1
+  end
+
 let artifacts =
   [
     ("table-6.1", table_6_1);
@@ -937,6 +1063,7 @@ let () =
   | [ "--json-rtsim" ] -> json_rtsim ()
   | [ "--json-dse" ] -> json_dse ()
   | [ "--json-comm" ] -> json_comm ()
+  | [ "--json-backend" ] -> json_backend ()
   | [ "--json-cosim"; "--engine"; "compiled" ] ->
       json_cosim (Some Twill.Vsim.Compiled)
   | [ "--json-cosim"; "--engine"; "levelized" ] ->

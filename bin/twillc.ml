@@ -30,7 +30,8 @@ let comm_of_spec spec =
       Fmt.epr "bad --comm-opt: %s@." e;
       exit 2
 
-let mk_opts stages sw_frac queue_depth queue_latency aggressive comm_spec =
+let mk_opts stages sw_frac queue_depth queue_latency aggressive comm_spec
+    backend =
   {
     Twill.default_options with
     partition =
@@ -43,6 +44,7 @@ let mk_opts stages sw_frac queue_depth queue_latency aggressive comm_spec =
     queue_latency;
     inline_aggressive = aggressive;
     comm = comm_of_spec comm_spec;
+    backend;
   }
 
 let stages =
@@ -76,6 +78,16 @@ let comm_opt =
            of $(b,licm),$(b,merge),$(b,size),$(b,burst), or $(b,all)); \
            default: none.")
 
+let backend_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("fsm", Twill.Schedule.Fsm); ("dataflow", Twill.Schedule.Dataflow) ])
+        Twill.Schedule.Fsm
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "RTL lowering for the hardware partitions: $(b,fsm) (LegUp-style            monolithic FSM-with-datapath, the default) or $(b,dataflow)            (elastic stages with valid/ready handshake channels).  Unknown            values are rejected with the valid list.")
+
 let no_auto =
   Arg.(
     value & flag
@@ -103,8 +115,8 @@ let print_report (r : Twill.report) =
     r.Twill.twill.Twill.nsems
 
 let run_cmd =
-  let run stages sw_frac qd ql aggr comm_spec no_auto path =
-    let opts = mk_opts stages sw_frac qd ql aggr comm_spec in
+  let run stages sw_frac qd ql aggr comm_spec backend no_auto path =
+    let opts = mk_opts stages sw_frac qd ql aggr comm_spec backend in
     let src = read_file path in
     let r =
       Twill.evaluate ~opts ~auto_stages:(not no_auto)
@@ -114,23 +126,23 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile and evaluate a mini-C file")
     Term.(
-      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive $ comm_opt
+      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive $ comm_opt $ backend_arg
       $ no_auto $ file)
 
 let ir_cmd =
-  let run stages sw_frac qd ql aggr comm_spec _ path =
-    let opts = mk_opts stages sw_frac qd ql aggr comm_spec in
+  let run stages sw_frac qd ql aggr comm_spec backend _ path =
+    let opts = mk_opts stages sw_frac qd ql aggr comm_spec backend in
     let m = Twill.compile ~opts (read_file path) in
     Fmt.pr "%s@." (Twill_ir.Printer.modul_to_string m)
   in
   Cmd.v (Cmd.info "ir" ~doc:"Dump the optimised IR")
     Term.(
-      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive $ comm_opt
+      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive $ comm_opt $ backend_arg
       $ no_auto $ file)
 
 let threads_cmd =
-  let run stages sw_frac qd ql aggr comm_spec _ path =
-    let opts = mk_opts stages sw_frac qd ql aggr comm_spec in
+  let run stages sw_frac qd ql aggr comm_spec backend _ path =
+    let opts = mk_opts stages sw_frac qd ql aggr comm_spec backend in
     let m = Twill.compile ~opts (read_file path) in
     let t = Twill.extract ~opts m in
     Array.iteri
@@ -159,7 +171,7 @@ let threads_cmd =
   in
   Cmd.v (Cmd.info "threads" ~doc:"Dump the extracted pipeline threads")
     Term.(
-      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive $ comm_opt
+      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive $ comm_opt $ backend_arg
       $ no_auto $ file)
 
 let bench_cmd =
@@ -182,8 +194,8 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List bundled benchmarks") Term.(const run $ const ())
 
 let emit_c_cmd =
-  let run stages sw_frac qd ql aggr comm_spec _ path =
-    let opts = mk_opts stages sw_frac qd ql aggr comm_spec in
+  let run stages sw_frac qd ql aggr comm_spec backend _ path =
+    let opts = mk_opts stages sw_frac qd ql aggr comm_spec backend in
     let m = Twill.compile ~opts (read_file path) in
     let t = Twill.extract ~opts m in
     let master = t.Twill.Dswp.stages.(t.Twill.Dswp.master) in
@@ -193,7 +205,7 @@ let emit_c_cmd =
     (Cmd.info "emit-c"
        ~doc:"Emit the software master thread as C against the Twill runtime API")
     Term.(
-      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive $ comm_opt
+      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive $ comm_opt $ backend_arg
       $ no_auto $ file)
 
 let emit_verilog_cmd =
@@ -212,8 +224,8 @@ let emit_verilog_cmd =
             "Run the structural checker over the emitted design and exit \
              nonzero on failure.")
   in
-  let run stages sw_frac qd ql aggr comm_spec _ output check path =
-    let opts = mk_opts stages sw_frac qd ql aggr comm_spec in
+  let run stages sw_frac qd ql aggr comm_spec backend _ output check path =
+    let opts = mk_opts stages sw_frac qd ql aggr comm_spec backend in
     let m = Twill.compile ~opts (read_file path) in
     let t = Twill.extract ~opts m in
     let design = Twill_vgen.Vruntime.emit_design t in
@@ -237,7 +249,7 @@ let emit_verilog_cmd =
          "Emit the hardware threads and the runtime system as Verilog \
           (Figure 4.1)")
     Term.(
-      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive $ comm_opt
+      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive $ comm_opt $ backend_arg
       $ no_auto $ output $ check $ file)
 
 let cosim_cmd =
@@ -267,8 +279,8 @@ let cosim_cmd =
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH_OR_FILE")
   in
-  let run stages sw_frac qd ql aggr comm_spec _ vcd engine name =
-    let opts = mk_opts stages sw_frac qd ql aggr comm_spec in
+  let run stages sw_frac qd ql aggr comm_spec backend _ vcd engine name =
+    let opts = mk_opts stages sw_frac qd ql aggr comm_spec backend in
     let src =
       if Sys.file_exists name then read_file name
       else (Twill_chstone.Chstone.find name).Twill_chstone.Chstone.source
@@ -297,16 +309,16 @@ let cosim_cmd =
          "Co-simulate the emitted RTL of a benchmark or mini-C file against \
           the rtsim reference")
     Term.(
-      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive $ comm_opt
+      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive $ comm_opt $ backend_arg
       $ no_auto $ vcd $ engine $ name_arg)
 
 let comm_report_cmd =
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH_OR_FILE")
   in
-  let run stages sw_frac qd ql aggr comm_spec _ name =
+  let run stages sw_frac qd ql aggr comm_spec backend _ name =
     let comm_spec = if comm_spec = "" then "all" else comm_spec in
-    let opts = mk_opts stages sw_frac qd ql aggr comm_spec in
+    let opts = mk_opts stages sw_frac qd ql aggr comm_spec backend in
     let src =
       if Sys.file_exists name then read_file name
       else (Twill_chstone.Chstone.find name).Twill_chstone.Chstone.source
@@ -346,7 +358,7 @@ let comm_report_cmd =
           pass actions, and the base-vs-optimized cycle counts")
     Term.(
       const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive
-      $ comm_opt
+      $ comm_opt $ backend_arg
       $ no_auto $ name_arg)
 
 let fuzz_cmd =
@@ -407,7 +419,23 @@ let fuzz_cmd =
             "Exit nonzero if any divergence is found (or, with \
              $(b,--replay), if any repro went stale).")
   in
-  let run seed cases limit out replay break_pass strict =
+  let fuzz_backend =
+    Arg.(
+      value
+      & opt
+          (enum
+             (List.map
+                (fun b -> (F.Oracle.backends_to_string b, b))
+                F.Oracle.all_backends))
+          F.Oracle.B_both
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:
+            "RTL lowering(s) the vsim observation points exercise: \
+             $(b,fsm), $(b,dataflow) or $(b,both) (the default: every \
+             RTL-reaching case co-simulates both backends and any \
+             disagreement is a divergence).")
+  in
+  let run seed cases limit backends out replay break_pass strict =
     match replay with
     | Some dir ->
         let rs = F.Campaign.replay ~dir () in
@@ -432,7 +460,7 @@ let fuzz_cmd =
         | _ -> ());
         let opts = { Twill.default_options with pipeline_break = break_pass } in
         let t0 = Unix.gettimeofday () in
-        let s = F.Campaign.run ~opts ~limit ~seed ~cases () in
+        let s = F.Campaign.run ~opts ~limit ~backends ~seed ~cases () in
         let dt = Unix.gettimeofday () -. t0 in
         print_string (F.Campaign.summary_to_string s);
         (match out with
@@ -453,8 +481,8 @@ let fuzz_cmd =
           prefix, rtsim, RTL co-simulation), with shrinking and pass \
           bisection of any divergence")
     Term.(
-      const run $ seed $ cases $ max_stage $ out $ replay $ break_pass
-      $ strict)
+      const run $ seed $ cases $ max_stage $ fuzz_backend $ out $ replay
+      $ break_pass $ strict)
 
 (* --- twilld client: `twillc daemon ...` --------------------------------- *)
 
@@ -626,7 +654,22 @@ let daemon_stop_cmd =
   Cmd.v (Cmd.info "stop" ~doc:"Shut a running twilld down")
     Term.(const run $ socket_arg)
 
-let simulate_req stages qd ql what =
+(* the daemon's "backend" request field, validated server-side too *)
+let daemon_backend =
+  Arg.(
+    value
+    & opt
+        (enum
+           (List.map
+              (fun b -> (Twill.Schedule.backend_name b, b))
+              Twill.Schedule.all_backends))
+        Twill.Schedule.Fsm
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "RTL lowering the simulation replays: $(b,fsm) (default) or \
+           $(b,dataflow).")
+
+let simulate_req stages qd ql backend what =
   Serve_json.Obj
     [
       ("cmd", Serve_json.Str "simulate");
@@ -634,12 +677,15 @@ let simulate_req stages qd ql what =
       ("nstages", Serve_json.Int stages);
       ("queue_depth", Serve_json.Int qd);
       ("queue_latency", Serve_json.Int ql);
+      ("backend", Serve_json.Str (Twill.Schedule.backend_name backend));
     ]
 
 let daemon_simulate_cmd =
-  let run socket stages qd ql what =
+  let run socket stages qd ql backend what =
     with_client socket (fun c ->
-        let r = Serve_client.request c (simulate_req stages qd ql what) in
+        let r =
+          Serve_client.request c (simulate_req stages qd ql backend what)
+        in
         Fmt.pr "%s@." (Serve_json.to_string r);
         if Serve_json.bool_field "ok" r <> Some true then exit 1)
   in
@@ -648,10 +694,11 @@ let daemon_simulate_cmd =
        ~doc:"Simulate a kernel (bundled name or mini-C file) through twilld")
     Term.(
       const run $ socket_arg $ stages $ queue_depth $ queue_latency
+      $ daemon_backend
       $ Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME|FILE"))
 
 let daemon_check_cmd =
-  let run socket stages qd ql whats =
+  let run socket stages qd ql backend whats =
     (* the CI smoke: every daemon response must be byte-identical to the
        same request handled in-process (zero-worker local server) *)
     let local = Serve_server.create ~workers:0 () in
@@ -659,7 +706,7 @@ let daemon_check_cmd =
     with_client socket (fun c ->
         List.iter
           (fun what ->
-            let req = simulate_req stages qd ql what in
+            let req = simulate_req stages qd ql backend what in
             let remote = Serve_json.to_string (Serve_client.request c req) in
             let here = Serve_json.to_string (Serve_server.handle local req) in
             if remote = here then Fmt.pr "%-10s OK %s@." what remote
@@ -678,12 +725,13 @@ let daemon_check_cmd =
           byte-identical to in-process results (exit 1 on any mismatch)")
     Term.(
       const run $ socket_arg $ stages $ queue_depth $ queue_latency
+      $ daemon_backend
       $ Arg.(non_empty & pos_all string [] & info [] ~docv:"NAME|FILE..."))
 
 let daemon_bench_cmd =
-  let run socket stages qd ql what iters =
+  let run socket stages qd ql backend what iters =
     with_client socket (fun c ->
-        let req = simulate_req stages qd ql what in
+        let req = simulate_req stages qd ql backend what in
         let t0 = Unix.gettimeofday () in
         ignore (Serve_client.request c req);
         let cold = Unix.gettimeofday () -. t0 in
@@ -701,6 +749,7 @@ let daemon_bench_cmd =
        ~doc:"Measure cold-vs-warm twilld request latency for one kernel")
     Term.(
       const run $ socket_arg $ stages $ queue_depth $ queue_latency
+      $ daemon_backend
       $ Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME|FILE")
       $ Arg.(value & opt int 20 & info [ "iters" ] ~doc:"Warm iterations."))
 

@@ -38,6 +38,7 @@ type options = {
   bus_contention : bool;
   fuel : int;
   sim_engine : Sim.engine;
+  backend : Schedule.backend;  (* RTL lowering for hardware partitions *)
   pipeline_break : string option;
   comm : Comm.config;  (* communication-pattern optimizer passes *)
 }
@@ -56,6 +57,7 @@ let default_options =
     bus_contention = true;
     fuel = 300_000_000;
     sim_engine = Sim.Compiled;
+    backend = Schedule.Fsm;
     pipeline_break = None;
     comm = Comm.none; (* seed behaviour: every pass off *)
   }
@@ -100,6 +102,7 @@ let sim_config (opts : options) : Sim.config =
     queue_depth_override = opts.queue_depth_override;
     resources = opts.resources;
     modulo = opts.modulo;
+    backend = opts.backend;
     bus_contention = opts.bus_contention;
     fuel = opts.fuel;
     engine = opts.sim_engine;
@@ -188,7 +191,9 @@ type twill_result = {
 let schedules_for (opts : options) (m : Ir.modul) : (string * Schedule.t) list =
   List.map
     (fun (f : Ir.func) ->
-      (f.Ir.name, Schedule.cached ~res:opts.resources ~modulo:opts.modulo f))
+      ( f.Ir.name,
+        Schedule.cached ~res:opts.resources ~modulo:opts.modulo
+          ~backend:opts.backend f ))
     m.Ir.funcs
 
 (* Pure software: the whole program on the Microblaze. *)
@@ -209,8 +214,12 @@ let run_pure_sw ?(opts = default_options) (m : Ir.modul) : scenario =
     executed = stats.Sim.executed;
   }
 
-(* Pure hardware: the whole program through the LegUp-substitute flow. *)
+(* Pure hardware: the whole program through the LegUp-substitute flow.
+   This baseline is the monolithic LegUp translation by definition, so it
+   stays on the FSM backend whatever [opts.backend] selects for the
+   hybrid's partitions. *)
 let run_pure_hw ?(opts = default_options) (m : Ir.modul) : scenario =
+  let opts = { opts with backend = Schedule.Fsm } in
   let stats =
     Sim.simulate ~config:(sim_config opts) m
       ~threads:[| { Sim.tname = "main"; trole = Sim.Hw; local_memory = true } |]
@@ -266,8 +275,13 @@ let run_twill_threaded ?(opts = default_options) (t : Dswp.threaded) :
       (List.map
          (fun name ->
            let f = Ir.find_func t.Dswp.modul name in
-           Area.of_schedule f
-             (Schedule.cached ~res:opts.resources ~modulo:opts.modulo f))
+           let s =
+             Schedule.cached ~res:opts.resources ~modulo:opts.modulo
+               ~backend:opts.backend f
+           in
+           match opts.backend with
+           | Schedule.Fsm -> Area.of_schedule f s
+           | Schedule.Dataflow -> Area.of_elastic_schedule f s)
          hw_funcs)
   in
   let runtime_area =
@@ -363,7 +377,41 @@ let comm_summarize ?(opts = default_options) (m : Ir.modul) : comm_summary =
 (* RTL co-simulation of an extracted design against the rtsim reference. *)
 let cosim ?(opts = default_options) ?engine ?vcd (t : Dswp.threaded) :
     Cosim.report =
-  Cosim.run_threaded ~config:(sim_config opts) ?engine ?vcd t
+  let design = Vparse.parse (Vruntime.emit_design ~backend:opts.backend t) in
+  Cosim.run_threaded ~config:(sim_config opts) ?engine ?vcd ~design t
+
+(* Three-way differential co-simulation: the rtsim reference against
+   BOTH RTL lowerings of the same extraction.  Each backend's cosim
+   checks its RTL against the rtsim replay of its own schedule flavour
+   (return value + print trace); across the two RTL runs the per-stage
+   call-port issue streams must additionally be identical — the two
+   schedules time operations differently, but the order chains
+   serialize every memory and queue operation, so both lowerings of
+   one partition drive the same request sequence at the HWInterface. *)
+type backends_report = {
+  bk_fsm : Cosim.report;
+  bk_dataflow : Cosim.report;
+  bk_ops_match : bool;  (* per-stage call-port streams identical *)
+  bk_agree : bool;  (* all three observers agree *)
+}
+
+let cosim_backends ?(opts = default_options) ?engine (t : Dswp.threaded) :
+    backends_report =
+  let run backend =
+    let opts = { opts with backend } in
+    let design = Vparse.parse (Vruntime.emit_design ~backend t) in
+    Cosim.run_threaded ~config:(sim_config opts) ?engine ~trace:true ~design t
+  in
+  let bk_fsm = run Schedule.Fsm in
+  let bk_dataflow = run Schedule.Dataflow in
+  let bk_ops_match = bk_fsm.Cosim.rtl_ops = bk_dataflow.Cosim.rtl_ops in
+  let bk_agree =
+    bk_fsm.Cosim.agree && bk_dataflow.Cosim.agree
+    && bk_fsm.Cosim.rtl_ret = bk_dataflow.Cosim.rtl_ret
+    && bk_fsm.Cosim.rtl_prints = bk_dataflow.Cosim.rtl_prints
+    && bk_ops_match
+  in
+  { bk_fsm; bk_dataflow; bk_ops_match; bk_agree }
 
 (* --- full report (one benchmark, all three scenarios) --------------------- *)
 
@@ -550,9 +598,13 @@ type obs_prep = {
   prep_opts : options;
   prep_t : Dswp.threaded;
   prep_design : Vparse.design Lazy.t;
-      (* emitted+parsed Verilog of [prep_t]; lazy because the rtsim
-         stage populates the memo without needing it, shared because
-         elaboration only reads it (one parse serves both engines) *)
+      (* emitted+parsed Verilog of [prep_t] under [prep_opts.backend];
+         lazy because the rtsim stage populates the memo without
+         needing it, shared because elaboration only reads it (one
+         parse serves both engines) *)
+  prep_design_df : Vparse.design Lazy.t;
+      (* the same pipeline under the elastic dataflow lowering — the
+         cross-backend observation point ([Obs_velastic]) *)
 }
 
 let obs_prep_memo : obs_prep option ref Domain.DLS.key =
@@ -582,7 +634,12 @@ let obs_prep ~opts (src : string) : obs_prep =
           prep_src = src;
           prep_opts = opts;
           prep_t = t;
-          prep_design = lazy (Vparse.parse (Vruntime.emit_design t));
+          prep_design =
+            lazy (Vparse.parse (Vruntime.emit_design ~backend:opts.backend t));
+          prep_design_df =
+            lazy
+              (Vparse.parse
+                 (Vruntime.emit_design ~backend:Schedule.Dataflow t));
         }
       in
       memo := Some p;
@@ -594,6 +651,9 @@ type obs_stage =
   | Obs_opt of int * Interp.engine  (* after the first k pipeline stages *)
   | Obs_rtsim  (* partitioned cycle-accurate simulation *)
   | Obs_vsim of Vsim.engine  (* RTL co-simulation of the emitted design *)
+  | Obs_velastic of Vsim.engine
+    (* RTL co-simulation of the elastic dataflow lowering of the same
+       pipeline (the cross-backend differential observation point) *)
 
 type obs_outcome =
   | Obs_ok of observation
@@ -613,12 +673,14 @@ let obs_stage_name = function
       Printf.sprintf "opt[%s]%s" pass (engine_suffix e)
   | Obs_rtsim -> "rtsim"
   | Obs_vsim e -> "vsim-" ^ Vsim.engine_name e
+  | Obs_velastic e -> "vsim-df-" ^ Vsim.engine_name e
 
 let obs_stages : obs_stage list =
   [ Obs_ast; Obs_ir Interp.Tree; Obs_ir Interp.Decoded ]
   @ List.init Pipeline.nstages (fun k -> Obs_opt (k + 1, Interp.Decoded))
   @ [ Obs_opt (Pipeline.nstages, Interp.Tree); Obs_rtsim;
-      Obs_vsim Vsim.Compiled; Obs_vsim Vsim.Levelized ]
+      Obs_vsim Vsim.Compiled; Obs_vsim Vsim.Levelized;
+      Obs_velastic Vsim.Compiled ]
 
 let contains_substr ~sub s =
   let n = String.length s and m = String.length sub in
@@ -655,6 +717,16 @@ let observe ?(opts = default_options) ~(stage : obs_stage) (src : string) :
         let r =
           Cosim.run_threaded ~config:(sim_config opts) ~engine ~model:false
             ~design:(Lazy.force p.prep_design) p.prep_t
+        in
+        Obs_ok { obs_ret = r.Cosim.rtl_ret; obs_prints = r.Cosim.rtl_prints }
+    | Obs_velastic engine ->
+        let p = obs_prep ~opts src in
+        let r =
+          Cosim.run_threaded
+            ~config:(sim_config { opts with backend = Schedule.Dataflow })
+            ~engine ~model:false
+            ~design:(Lazy.force p.prep_design_df)
+            p.prep_t
         in
         Obs_ok { obs_ret = r.Cosim.rtl_ret; obs_prints = r.Cosim.rtl_prints }
   with

@@ -50,6 +50,12 @@ type options = {
   bus_contention : bool;  (** model 1-message-per-cycle buses *)
   fuel : int;  (** simulation instruction budget *)
   sim_engine : Sim.engine;  (** rtsim engine used by every flow *)
+  backend : Schedule.backend;
+      (** RTL lowering for the hardware partitions: the LegUp-style
+          monolithic FSM or the elastic dataflow template.  Drives the
+          schedule flavour replayed by rtsim, the area model and the
+          Verilog emitted for co-simulation ({!Schedule.Fsm} in
+          [default_options]) *)
   pipeline_break : string option;
       (** fault injection: deliberately miscompile after the named
           pipeline stage (the fuzzer's planted-bug hook; see
@@ -169,6 +175,31 @@ val cosim :
   ?opts:options -> ?engine:Vsim.engine -> ?vcd:string -> Dswp.threaded ->
   Cosim.report
 
+(** Three-way differential co-simulation verdict: the rtsim reference
+    against both RTL lowerings (monolithic FSM and elastic dataflow)
+    of one extraction. *)
+type backends_report = {
+  bk_fsm : Cosim.report;  (** FSM RTL vs its rtsim replay *)
+  bk_dataflow : Cosim.report;  (** dataflow RTL vs its rtsim replay *)
+  bk_ops_match : bool;
+      (** per-stage HWInterface call-port issue streams identical
+          between the two RTL backends — the per-cycle observation
+          points of the differential oracle (the order chains
+          serialize memory/queue traffic, so any valid schedule of one
+          partition must drive the same request sequence) *)
+  bk_agree : bool;
+      (** everything agrees: each RTL run matches its rtsim reference,
+          the two RTL runs observe the same return value and prints,
+          and the call-port streams match *)
+}
+
+(** Runs rtsim + FSM-RTL + dataflow-RTL over one extracted design and
+    cross-checks all three (final state, print traces, and per-stage
+    call-port issue streams between the RTL backends).
+    @raise Twill_vsim.Cosim.Cosim_error on a stuck co-simulation. *)
+val cosim_backends :
+  ?opts:options -> ?engine:Vsim.engine -> Dswp.threaded -> backends_report
+
 (** Tries several pipeline widths and keeps the best (the analogue of the
     thesis's iterated partitioning, §5.2); ties go to deeper pipelines. *)
 val run_twill_auto : ?opts:options -> ?widths:int list -> Ir.modul -> twill_result
@@ -208,6 +239,10 @@ type obs_stage =
       (** after the first [k] stages of {!Pipeline.stage_names} *)
   | Obs_rtsim  (** partitioned cycle-accurate simulation *)
   | Obs_vsim of Vsim.engine  (** RTL co-simulation of the emitted design *)
+  | Obs_velastic of Vsim.engine
+      (** RTL co-simulation of the elastic dataflow lowering of the
+          same pipeline — every RTL-reaching fuzz case exercises both
+          backends through this stage *)
 
 type obs_outcome =
   | Obs_ok of observation

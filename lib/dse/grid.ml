@@ -8,20 +8,25 @@
      queue_depth   x  (simulation-level depth override, Figure 6.6)
      queue_latency x  (give->visible latency, Figure 6.5)
      engine        x  (rtsim engine)
-     comm             (communication-optimizer pass set, lib/comm)
+     comm          x  (communication-optimizer pass set, lib/comm)
+     backend          (RTL lowering: monolithic FSM or elastic dataflow)
 
    enumerated in exactly that nesting order, innermost last, so a
    point list is deterministic and stable across runs, machines and
    shardings.  Axes are grouped by evaluation level: [unroll] changes
    compilation, [nstages]/[sw_frac]/[comm] change extraction, the rest
    only re-simulate — the DSE engine exploits that grouping for
-   incremental reuse (see dse.ml).  One wrinkle: when [comm] enables
-   profile-guided passes, [queue_depth] becomes an extraction-level
-   axis too (the auto-sizing pass must see real per-queue depths, not
-   the simulation-time override), which [extract_key] accounts for. *)
+   incremental reuse (see dse.ml).  [backend] is sim-level too: both
+   lowerings share one extraction and differ only in the schedule
+   flavour rtsim replays and the area model applied.  One wrinkle:
+   when [comm] enables profile-guided passes, [queue_depth] becomes an
+   extraction-level axis (the auto-sizing pass must see real per-queue
+   depths, not the simulation-time override), which [extract_key]
+   accounts for. *)
 
 module Sim = Twill_rtsim.Sim
 module Comm = Twill_comm.Comm
+module Schedule = Twill_hls.Schedule
 
 type t = {
   kernels : string list;
@@ -32,6 +37,7 @@ type t = {
   queue_latencies : int list;
   engines : Sim.engine list;
   comms : string list;
+  backends : Schedule.backend list;
 }
 
 type point = {
@@ -43,6 +49,7 @@ type point = {
   queue_latency : int;
   engine : Sim.engine;
   comm : string;
+  backend : Schedule.backend;
 }
 
 (* The committed-benchmark grid (BENCH_dse.json): four kernels, both
@@ -58,13 +65,14 @@ let default =
     queue_latencies = [ 2; 4; 8; 32; 128 ];
     engines = [ Sim.Compiled ];
     comms = [ "none" ];
+    backends = [ Schedule.Fsm ];
   }
 
 let npoints (g : t) : int =
   List.length g.kernels * List.length g.unrolls * List.length g.nstages
   * List.length g.sw_fracs * List.length g.queue_depths
   * List.length g.queue_latencies * List.length g.engines
-  * List.length g.comms
+  * List.length g.comms * List.length g.backends
 
 let points (g : t) : point list =
   List.concat_map
@@ -81,18 +89,22 @@ let points (g : t) : point list =
                         (fun queue_latency ->
                           List.concat_map
                             (fun engine ->
-                              List.map
+                              List.concat_map
                                 (fun comm ->
-                                  {
-                                    kernel;
-                                    unroll;
-                                    nstages;
-                                    sw_frac;
-                                    queue_depth;
-                                    queue_latency;
-                                    engine;
-                                    comm;
-                                  })
+                                  List.map
+                                    (fun backend ->
+                                      {
+                                        kernel;
+                                        unroll;
+                                        nstages;
+                                        sw_frac;
+                                        queue_depth;
+                                        queue_latency;
+                                        engine;
+                                        comm;
+                                        backend;
+                                      })
+                                    g.backends)
                                 g.comms)
                             g.engines)
                         g.queue_latencies)
@@ -142,6 +154,7 @@ let to_spec (g : t) : string =
         (List.map
            (String.map (fun c -> if c = ',' then '+' else c))
            g.comms);
+      axis "backend" (List.map Schedule.backend_name g.backends);
     ]
 
 let split_commas (s : string) : string list =
@@ -226,6 +239,11 @@ let parse ?(base = default) (spec : string) : (t, string) result =
               in
               let* cs = parse_axis "comm" comm1 raw in
               Ok { g with comms = cs }
+          | "backend" | "backends" ->
+              let* bs =
+                parse_axis "backend" Schedule.backend_of_string raw
+              in
+              Ok { g with backends = bs }
           | other -> Error (Printf.sprintf "unknown axis %S" other)))
     (Ok base) entries
 
@@ -279,8 +297,11 @@ let extract_key (p : point) : string * bool * int * float * string * int =
     if comm_extracts p.comm then p.queue_depth else 0 )
 
 let point_label (p : point) : string =
-  Printf.sprintf "%s%s k=%d f=%s d=%d l=%d %s%s" p.kernel
+  Printf.sprintf "%s%s k=%d f=%s d=%d l=%d %s%s%s" p.kernel
     (if p.unroll then "+unroll" else "")
     p.nstages (float_str p.sw_frac) p.queue_depth p.queue_latency
     (engine_str p.engine)
     (if p.comm = "none" then "" else " comm=" ^ p.comm)
+    (match p.backend with
+    | Schedule.Fsm -> ""
+    | Schedule.Dataflow -> " dataflow")

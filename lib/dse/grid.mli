@@ -5,6 +5,7 @@
 
 module Sim = Twill_rtsim.Sim
 module Comm = Twill_comm.Comm
+module Schedule = Twill_hls.Schedule
 
 type t = {
   kernels : string list;  (** bundled CHStone benchmark names *)
@@ -18,6 +19,11 @@ type t = {
       (** extraction level: canonical comm-optimizer pass-set specs
           ({!Comm.show} forms, e.g. ["none"], ["merge"],
           ["licm,merge,size,burst"]) *)
+  backends : Schedule.backend list;
+      (** sim level: RTL lowering of the hardware partitions (the
+          monolithic FSM or the elastic dataflow template); both share
+          one extraction and differ only in replayed schedule flavour
+          and area model *)
 }
 
 (** One evaluated configuration. *)
@@ -30,6 +36,7 @@ type point = {
   queue_latency : int;
   engine : Sim.engine;
   comm : string;
+  backend : Schedule.backend;
 }
 
 val default : t
@@ -40,13 +47,15 @@ val default : t
 val npoints : t -> int
 
 val points : t -> point list
-(** Cartesian enumeration, kernels outermost / engines innermost. *)
+(** Cartesian enumeration, kernels outermost / backends innermost. *)
 
 val parse : ?base:t -> string -> (t, string) result
 (** ["kernels=mips,sha;queue_latency=2,8,32"] — axes absent from the
     spec keep their [base] (default: {!default}) values.  Accepted axis
     names: [kernels], [unroll], [nstages], [sw_frac], [queue_depth],
-    [queue_latency], [engine], [comm] (plus common aliases).  Comm
+    [queue_latency], [engine], [comm], [backend] (plus common
+    aliases).  Unknown axis names and unknown engine/backend values
+    are rejected with an error naming the offender.  Comm
     values join passes with ["+"] (["comm=none,merge+size,all"]) since
     [","] separates axis values; each is canonicalized via
     {!Comm.parse}/{!Comm.show}. *)

@@ -68,49 +68,62 @@ type sensitivity = {
 
 (* accessor per sweepable axis: value-as-string + the group key of the
    remaining coordinates *)
+let backend_str (pt : Grid.point) : string =
+  Grid.Schedule.backend_name pt.Grid.backend
+
 let axes : (string * (Grid.point -> string) * (Grid.point -> string)) list =
   let p = Printf.sprintf in
   [
     ( "queue_latency",
       (fun pt -> string_of_int pt.Grid.queue_latency),
       fun pt ->
-        p "%s|%b|%d|%s|%d|%s|%s" pt.Grid.kernel pt.Grid.unroll
+        p "%s|%b|%d|%s|%d|%s|%s|%s" pt.Grid.kernel pt.Grid.unroll
           pt.Grid.nstages
           (Grid.float_str pt.Grid.sw_frac) pt.Grid.queue_depth
           (Grid.engine_str pt.Grid.engine)
-          pt.Grid.comm );
+          pt.Grid.comm (backend_str pt) );
     ( "queue_depth",
       (fun pt -> string_of_int pt.Grid.queue_depth),
       fun pt ->
-        p "%s|%b|%d|%s|%d|%s|%s" pt.Grid.kernel pt.Grid.unroll
+        p "%s|%b|%d|%s|%d|%s|%s|%s" pt.Grid.kernel pt.Grid.unroll
           pt.Grid.nstages
           (Grid.float_str pt.Grid.sw_frac) pt.Grid.queue_latency
           (Grid.engine_str pt.Grid.engine)
-          pt.Grid.comm );
+          pt.Grid.comm (backend_str pt) );
     ( "nstages",
       (fun pt -> string_of_int pt.Grid.nstages),
       fun pt ->
-        p "%s|%b|%s|%d|%d|%s|%s" pt.Grid.kernel pt.Grid.unroll
+        p "%s|%b|%s|%d|%d|%s|%s|%s" pt.Grid.kernel pt.Grid.unroll
           (Grid.float_str pt.Grid.sw_frac) pt.Grid.queue_depth
           pt.Grid.queue_latency
           (Grid.engine_str pt.Grid.engine)
-          pt.Grid.comm );
+          pt.Grid.comm (backend_str pt) );
     ( "unroll",
       (fun pt -> string_of_bool pt.Grid.unroll),
       fun pt ->
-        p "%s|%d|%s|%d|%d|%s|%s" pt.Grid.kernel pt.Grid.nstages
+        p "%s|%d|%s|%d|%d|%s|%s|%s" pt.Grid.kernel pt.Grid.nstages
           (Grid.float_str pt.Grid.sw_frac) pt.Grid.queue_depth
           pt.Grid.queue_latency
           (Grid.engine_str pt.Grid.engine)
-          pt.Grid.comm );
+          pt.Grid.comm (backend_str pt) );
     ( "comm",
       (fun pt -> pt.Grid.comm),
       fun pt ->
-        p "%s|%b|%d|%s|%d|%d|%s" pt.Grid.kernel pt.Grid.unroll
+        p "%s|%b|%d|%s|%d|%d|%s|%s" pt.Grid.kernel pt.Grid.unroll
           pt.Grid.nstages
           (Grid.float_str pt.Grid.sw_frac)
           pt.Grid.queue_depth pt.Grid.queue_latency
-          (Grid.engine_str pt.Grid.engine) );
+          (Grid.engine_str pt.Grid.engine)
+          (backend_str pt) );
+    ( "backend",
+      backend_str,
+      fun pt ->
+        p "%s|%b|%d|%s|%d|%d|%s|%s" pt.Grid.kernel pt.Grid.unroll
+          pt.Grid.nstages
+          (Grid.float_str pt.Grid.sw_frac)
+          pt.Grid.queue_depth pt.Grid.queue_latency
+          (Grid.engine_str pt.Grid.engine)
+          pt.Grid.comm );
   ]
 
 let axis_values (g : Grid.t) (axis : string) : string list =
@@ -120,6 +133,7 @@ let axis_values (g : Grid.t) (axis : string) : string list =
   | "nstages" -> List.map string_of_int g.Grid.nstages
   | "unroll" -> List.map string_of_bool g.Grid.unrolls
   | "comm" -> g.Grid.comms
+  | "backend" -> List.map Grid.Schedule.backend_name g.Grid.backends
   | _ -> []
 
 let sensitivities (g : Grid.t) (rs : result list) : sensitivity list =

@@ -45,18 +45,18 @@ let tally (assoc : (string * int) list) (key : string) =
   | Some n -> (key, n + 1) :: List.remove_assoc key assoc
   | None -> (key, 1) :: assoc
 
-let run_case ~opts ~limit ~shrink_tests ~seed index :
+let run_case ~opts ~limit ~backends ~shrink_tests ~seed index :
     case_outcome * (string * string) list * (string * string) list =
   let prog = Gen.program ~seed ~index in
   let src = Twill_minic.Ast_pp.program_to_string prog in
-  let res = Oracle.check ~opts ~limit src in
+  let res = Oracle.check ~opts ~limit ~backends src in
   let outcome =
     match res.Oracle.verdict with
     | Oracle.Agree -> C_agree
     | Oracle.Skipped r -> C_skip r
     | Oracle.Diverge d ->
         let pred p =
-          Oracle.diverges ~opts ~limit
+          Oracle.diverges ~opts ~limit ~backends
             (Twill_minic.Ast_pp.program_to_string p)
           <> None
         in
@@ -66,7 +66,7 @@ let run_case ~opts ~limit ~shrink_tests ~seed index :
            this re-check is total; it refreshes the divergence details
            for the minimized program *)
         let d' =
-          match Oracle.diverges ~opts ~limit shrunk_src with
+          match Oracle.diverges ~opts ~limit ~backends shrunk_src with
           | Some d' -> d'
           | None -> d
         in
@@ -92,10 +92,13 @@ let run_case ~opts ~limit ~shrink_tests ~seed index :
   (outcome, res.Oracle.skips, res.Oracle.errors)
 
 let run ?(opts = default_options) ?(limit = Oracle.L_vsim)
-    ?(shrink_tests = 3000) ~seed ~cases () : summary =
+    ?(backends = Oracle.B_both) ?(shrink_tests = 3000) ~seed ~cases () :
+    summary =
   let indices = List.init cases (fun i -> i) in
   let results =
-    Par.map (fun i -> run_case ~opts ~limit ~shrink_tests ~seed i) indices
+    Par.map
+      (fun i -> run_case ~opts ~limit ~backends ~shrink_tests ~seed i)
+      indices
   in
   let agreed = ref 0 in
   let skipped = ref [] in

@@ -37,12 +37,33 @@ let limit_of_string = function
 
 let all_limits = [ L_ast; L_ir; L_opt; L_rtsim; L_vsim ]
 
+(* Which RTL lowerings the vsim-rank stages exercise.  [B_both] (the
+   default) makes every RTL-reaching case a cross-backend differential:
+   the FSM cosims and the elastic dataflow cosim all observe the same
+   program and any disagreement with the AST reference is a divergence
+   attributed to its stage name ("vsim-..." vs "vsim-df-..."). *)
+type backends = B_fsm | B_dataflow | B_both
+
+let backends_to_string = function
+  | B_fsm -> "fsm"
+  | B_dataflow -> "dataflow"
+  | B_both -> "both"
+
+let backends_of_string = function
+  | "fsm" -> Some B_fsm
+  | "dataflow" -> Some B_dataflow
+  | "both" -> Some B_both
+  | _ -> None
+
+let all_backends = [ B_fsm; B_dataflow; B_both ]
+
 let rank_of_stage = function
   | Obs_ast -> 0
   | Obs_ir _ -> 1
   | Obs_opt _ -> 2
   | Obs_rtsim -> 3
   | Obs_vsim _ -> 4
+  | Obs_velastic _ -> 4
 
 let rank_of_limit = function
   | L_ast -> 0
@@ -51,8 +72,15 @@ let rank_of_limit = function
   | L_rtsim -> 3
   | L_vsim -> 4
 
-let stages_for (limit : limit) : obs_stage list =
-  List.filter (fun s -> rank_of_stage s <= rank_of_limit limit) obs_stages
+let stages_for ?(backends = B_both) (limit : limit) : obs_stage list =
+  let wanted = function
+    | Obs_vsim _ -> backends <> B_dataflow
+    | Obs_velastic _ -> backends <> B_fsm
+    | _ -> true
+  in
+  List.filter
+    (fun s -> wanted s && rank_of_stage s <= rank_of_limit limit)
+    obs_stages
 
 type divergence = {
   div_stage : string;  (** first diverging observation point *)
@@ -77,7 +105,8 @@ let obs_equal (a : observation) (b : observation) =
   && List.length a.obs_prints = List.length b.obs_prints
   && List.for_all2 Int32.equal a.obs_prints b.obs_prints
 
-let check ?(opts = default_options) ?(limit = L_vsim) (src : string) : result =
+let check ?(opts = default_options) ?(limit = L_vsim) ?(backends = B_both)
+    (src : string) : result =
   match observe ~opts ~stage:Obs_ast src with
   | Obs_skip r -> { verdict = Skipped ("ast: " ^ r); skips = []; errors = [] }
   | Obs_error r -> { verdict = Skipped ("ast: " ^ r); skips = []; errors = [] }
@@ -101,15 +130,15 @@ let check ?(opts = default_options) ?(limit = L_vsim) (src : string) : result =
                 scan rest)
       in
       let rest =
-        List.filter (fun s -> s <> Obs_ast) (stages_for limit)
+        List.filter (fun s -> s <> Obs_ast) (stages_for ~backends limit)
       in
       let verdict = scan rest in
       { verdict; skips = List.rev !skips; errors = List.rev !errors }
 
 (* The shrinker predicate: does this source still expose a divergence
    (anywhere in the stack, up to [limit])? *)
-let diverges ?opts ?limit (src : string) : divergence option =
-  match (check ?opts ?limit src).verdict with
+let diverges ?opts ?limit ?backends (src : string) : divergence option =
+  match (check ?opts ?limit ?backends src).verdict with
   | Diverge d -> Some d
   | Agree | Skipped _ -> None
 

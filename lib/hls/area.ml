@@ -49,6 +49,43 @@ let of_schedule (f : func) (s : Schedule.t) : t =
   let datapath = { luts = 2 * num_live_insts f; dsps = 0; brams = 0 } in
   add fu (add fsm datapath)
 
+(* Area of one hardware thread lowered through the elastic dataflow
+   backend: the same bound functional units and datapath, but distributed
+   one-hot control — a constant-cost stage controller per basic block and
+   a valid/ready channel per CFG edge — instead of the monolithic FSM's
+   superlinear per-state term.  Feed it a [Schedule.Dataflow] schedule:
+   its ASAP peaks may bind more units than the resource-constrained list
+   schedule, which is exactly the control-vs-compute trade the backend
+   axis exposes to the DSE. *)
+let of_elastic_schedule (f : func) (s : Schedule.t) : t =
+  let fu =
+    sum
+      (List.map
+         (fun (cls, peak) ->
+           let u = unit_cost cls in
+           { luts = u.luts * peak; dsps = u.dsps * peak; brams = 0 })
+         s.Schedule.peak)
+  in
+  let nblocks = Vec.length f.blocks in
+  let nedges =
+    Vec.fold_left
+      (fun acc (b : block) ->
+        acc + List.length (List.sort_uniq compare (succs_of_term b.term)))
+      0 f.blocks
+  in
+  let control =
+    {
+      luts =
+        Costmodel.fsm_base_luts
+        + (Costmodel.elastic_stage_luts * nblocks)
+        + (Costmodel.elastic_channel_luts * nedges);
+      dsps = 0;
+      brams = 0;
+    }
+  in
+  let datapath = { luts = 2 * num_live_insts f; dsps = 0; brams = 0 } in
+  add fu (add control datapath)
+
 (* BRAM blocks for locally stored data (pure-LegUp flow keeps globals and
    arrays in FPGA memories; 18 kb BRAM ~ 512 words of 32 bits usable). *)
 let brams_for_words (words : int) : int = (words + 511) / 512

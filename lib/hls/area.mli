@@ -19,7 +19,13 @@ val unit_cost : Schedule.res_class -> t
 (** Cost of one bound functional unit of the class. *)
 
 val of_schedule : func -> Schedule.t -> t
-(** Area of one hardware thread. *)
+(** Area of one hardware thread under the monolithic FSM backend. *)
+
+val of_elastic_schedule : func -> Schedule.t -> t
+(** Area of one hardware thread under the elastic dataflow backend: same
+    functional-unit binding and datapath, distributed per-stage/per-channel
+    control instead of the FSM's superlinear per-state term.  Expects a
+    [Schedule.Dataflow] schedule. *)
 
 val brams_for_words : int -> int
 (** 18 kb BRAMs needed for [words] 32-bit words. *)

@@ -22,6 +22,25 @@ type resources = {
 
 let default_resources = { alu = 4; mul = 2; div = 1; shift = 2; mem = 1; queue = 1 }
 
+(* Which RTL lowering the schedule feeds.  [Fsm] is the LegUp-style
+   monolithic FSM-with-datapath: a resource-constrained list schedule
+   shared by one central controller.  [Dataflow] is the elastic template
+   (one latency-insensitive stage per basic block, valid/ready channels
+   between stages): stages do not share functional units with each
+   other's states, so the schedule is a resource-free ASAP placement —
+   only data dependences, chaining depth and the per-domain ordering
+   chains (one memory port, one runtime-call slot) constrain it. *)
+type backend = Fsm | Dataflow
+
+let backend_name = function Fsm -> "fsm" | Dataflow -> "dataflow"
+let all_backends = [ Fsm; Dataflow ]
+
+let backend_of_string = function
+  | "fsm" -> Ok Fsm
+  | "dataflow" -> Ok Dataflow
+  | other ->
+      Error (Printf.sprintf "unknown backend %S (valid: fsm, dataflow)" other)
+
 type res_class = Calu | Cmul | Cdiv | Cshift | Cmem | Cqueue | Cfree
 
 let class_of_kind = function
@@ -81,7 +100,8 @@ let order_chain_of k =
   | Call _ -> Oboth
   | _ -> Onone
 
-let schedule ?(res = default_resources) ?(modulo = true) (f : func) : t =
+let schedule ?(res = default_resources) ?(modulo = true) ?(backend = Fsm)
+    (f : func) : t =
   let start_state = Hashtbl.create 64 in
   let nstates = Array.make (Vec.length f.blocks) 1 in
   let ii = Array.make (Vec.length f.blocks) 0 in
@@ -172,16 +192,21 @@ let schedule ?(res = default_resources) ?(modulo = true) (f : func) : t =
             if order_floor > dep_state then (order_floor, 0)
             else (dep_state, dep_level)
           in
-          (* first state with a free unit; moving states resets the chain *)
+          (* first state with a free unit; moving states resets the chain.
+             The dataflow backend binds units per stage, so placement is
+             unconstrained (ASAP) and [use] only records concurrency for
+             the binding-driven area model. *)
           let s = ref dep_state in
           let level = ref dep_level in
-          let cap = units res cls in
+          let cap =
+            match backend with Fsm -> units res cls | Dataflow -> max_int
+          in
           if cap <> max_int then
             while used cls !s >= cap do
               incr s;
               level := 0
             done;
-          if cap <> max_int then use cls !s;
+          if cls <> Cfree then use cls !s;
           Hashtbl.replace start_state id !s;
           Hashtbl.replace avail id
             (if chain then (!s, !level + 1) else (!s + lat, 0));
@@ -219,11 +244,20 @@ let schedule ?(res = default_resources) ?(modulo = true) (f : func) : t =
                   (busy_of cls
                   + (try Hashtbl.find counts cls with Not_found -> 0)))
             ids;
+          (* Elastic stages bind their own ALUs/multipliers/dividers, so
+             only the module-shared domains (one memory-bus port, one
+             runtime-call slot) constrain the dataflow II. *)
           let res_mii =
             Hashtbl.fold
               (fun cls c acc ->
+                let shared =
+                  match backend with
+                  | Fsm -> true
+                  | Dataflow -> cls = Cmem || cls = Cqueue
+                in
                 let u = units res cls in
-                if u = max_int then acc else max acc ((c + u - 1) / u))
+                if (not shared) || u = max_int then acc
+                else max acc ((c + u - 1) / u))
               counts 0
           in
           (* loop-carried memory recurrences: a store whose address operand
@@ -325,7 +359,12 @@ end
 
 module Func_tbl = Hashtbl.Make (Func_key)
 
-type cache_entry = { eres : resources; emodulo : bool; esched : t }
+type cache_entry = {
+  eres : resources;
+  emodulo : bool;
+  ebackend : backend;
+  esched : t;
+}
 
 let cache : cache_entry list ref Func_tbl.t = Func_tbl.create 256
 let cache_mutex = Mutex.create ()
@@ -339,14 +378,17 @@ let clear_cache () =
   Func_tbl.reset cache;
   Mutex.unlock cache_mutex
 
-let cached ?(res = default_resources) ?(modulo = true) (f : func) : t =
+let cached ?(res = default_resources) ?(modulo = true) ?(backend = Fsm)
+    (f : func) : t =
   Mutex.lock cache_mutex;
   let entries = Func_tbl.find_opt cache f in
   let hit =
     match entries with
     | None -> None
     | Some l ->
-        List.find_opt (fun e -> e.eres = res && e.emodulo = modulo) !l
+        List.find_opt
+          (fun e -> e.eres = res && e.emodulo = modulo && e.ebackend = backend)
+          !l
   in
   Mutex.unlock cache_mutex;
   match hit with
@@ -354,13 +396,14 @@ let cached ?(res = default_resources) ?(modulo = true) (f : func) : t =
   | None ->
       (* compute outside the lock: schedules are pure, so two domains
          racing on the same function at worst duplicate work *)
-      let s = schedule ~res ~modulo f in
+      let s = schedule ~res ~modulo ~backend f in
       Mutex.lock cache_mutex;
       (if Func_tbl.length cache > cache_bound then Func_tbl.reset cache);
       (match Func_tbl.find_opt cache f with
-      | Some l -> l := { eres = res; emodulo = modulo; esched = s } :: !l
+      | Some l ->
+          l := { eres = res; emodulo = modulo; ebackend = backend; esched = s } :: !l
       | None ->
           Func_tbl.replace cache f
-            (ref [ { eres = res; emodulo = modulo; esched = s } ]));
+            (ref [ { eres = res; emodulo = modulo; ebackend = backend; esched = s } ]));
       Mutex.unlock cache_mutex;
       s

@@ -27,6 +27,20 @@ type resources = {
 
 val default_resources : resources
 
+(** RTL lowering the schedule feeds.  [Fsm] is the LegUp-style monolithic
+    FSM-with-datapath (resource-constrained list schedule); [Dataflow] is
+    the elastic template — one latency-insensitive stage per basic block
+    with valid/ready channels between stages — whose stages bind their own
+    functional units, so placement is resource-free ASAP and the II is
+    bounded only by recurrences and the module-shared memory/call slots. *)
+type backend = Fsm | Dataflow
+
+val backend_name : backend -> string
+val all_backends : backend list
+
+val backend_of_string : string -> (backend, string) result
+(** [Error] carries a message listing the valid spellings. *)
+
 (** Resource class of an operation. *)
 type res_class = Calu | Cmul | Cdiv | Cshift | Cmem | Cqueue | Cfree
 
@@ -57,9 +71,9 @@ type t = {
   total_states : int;
 }
 
-val schedule : ?res:resources -> ?modulo:bool -> func -> t
+val schedule : ?res:resources -> ?modulo:bool -> ?backend:backend -> func -> t
 
-val cached : ?res:resources -> ?modulo:bool -> func -> t
+val cached : ?res:resources -> ?modulo:bool -> ?backend:backend -> func -> t
 (** Like {!schedule}, but memoized across calls in a process-wide,
     mutex-guarded cache keyed by function *identity* (physical equality)
     and the scheduling configuration.  Safe because transforms produce

@@ -79,3 +79,11 @@ let queue_dsps = 1
 (* FSM control overhead per state in a synthesized hardware thread. *)
 let fsm_state_luts = 4
 let fsm_base_luts = 30
+
+(* Elastic dataflow control: each basic-block stage carries a token
+   register, a small step counter and its firing logic; each CFG edge a
+   valid/ready channel.  Distributed one-hot control has no wide state
+   decoder, so the per-stage cost is a constant instead of the FSM's
+   superlinear per-state term. *)
+let elastic_stage_luts = 9
+let elastic_channel_luts = 2

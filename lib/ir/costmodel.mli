@@ -38,3 +38,10 @@ val queue_dsps : int
 
 val fsm_state_luts : int
 val fsm_base_luts : int
+
+val elastic_stage_luts : int
+(** Per-basic-block stage controller of the dataflow backend: token
+    register, step counter, firing logic. *)
+
+val elastic_channel_luts : int
+(** Per-CFG-edge valid/ready channel of the dataflow backend. *)

@@ -82,6 +82,7 @@ type config = {
   queue_depth_override : int option; (* None: use each queue's own depth *)
   resources : Schedule.resources;
   modulo : bool;
+  backend : Schedule.backend; (* RTL lowering whose timing hw threads replay *)
   bus_contention : bool;
   fuel : int;
   engine : engine; (* default engine; [simulate ?engine] overrides *)
@@ -93,6 +94,7 @@ let default_config =
     queue_depth_override = None;
     resources = Schedule.default_resources;
     modulo = true;
+    backend = Schedule.Fsm;
     bus_contention = true;
     fuel = 300_000_000;
     engine = Compiled;
@@ -363,7 +365,7 @@ let simulate ?(config = default_config) ?(master = 0) ?engine
     | None ->
         let s =
           Schedule.cached ~res:config.resources ~modulo:config.modulo
-            (find_func m fname)
+            ~backend:config.backend (find_func m fname)
         in
         Hashtbl.replace schedules fname s;
         s

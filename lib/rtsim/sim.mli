@@ -55,6 +55,10 @@ type config = {
   queue_depth_override : int option;  (** [None]: each queue's own depth *)
   resources : Twill_hls.Schedule.resources;
   modulo : bool;
+  backend : Twill_hls.Schedule.backend;
+      (** which RTL lowering's block timing (nstates/II) the hardware
+          threads replay: the FSM list schedule or the elastic dataflow
+          ASAP schedule *)
   bus_contention : bool;
   fuel : int;  (** per-thread instruction budget *)
   engine : engine;

@@ -131,6 +131,13 @@ let options_of_req (j : Json.t) : Twill.options =
           match Twill.Comm.parse spec with
           | Ok c -> c
           | Error e -> failwith ("comm: " ^ e)));
+    backend =
+      (match Json.str_field "backend" j with
+      | None -> base.Twill.backend
+      | Some name -> (
+          match Twill.Schedule.backend_of_string name with
+          | Ok b -> b
+          | Error e -> failwith e));
   }
 
 (* elaboration cache key: source text + every option extraction depends
@@ -147,15 +154,17 @@ let elab_digest (src : string) (opts : Twill.options) : string =
           (Twill.Comm.show opts.Twill.comm)))
 
 (* simulation response cache key: the elaboration plus every knob that
-   only changes the simulator run *)
+   only changes the simulator run (the RTL backend is one: both
+   lowerings replay the same extraction under different schedules) *)
 let sim_key (digest : string) (opts : Twill.options) (engine : Sim.engine) :
     string =
-  Printf.sprintf "%s:%s;ql=%d;qdo=%s;fuel=%d" digest (Sim.engine_name engine)
-    opts.Twill.queue_latency
+  Printf.sprintf "%s:%s;ql=%d;qdo=%s;fuel=%d;bk=%s" digest
+    (Sim.engine_name engine) opts.Twill.queue_latency
     (match opts.Twill.queue_depth_override with
     | None -> "-"
     | Some d -> string_of_int d)
     opts.Twill.fuel
+    (Twill.Schedule.backend_name opts.Twill.backend)
 
 let engine_of_req (j : Json.t) : Sim.engine =
   match Json.str_field "engine" j with

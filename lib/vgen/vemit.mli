@@ -18,6 +18,24 @@ val fc_raise : int
 val fc_lower : int
 val fc_print : int
 
+(** Linearised micro-states of one scheduled basic block; shared with the
+    elastic dataflow emitter ({!Twill_vgen.Velastic}) so both backends
+    agree on the call-port protocol per operation. *)
+type micro =
+  | Comb of int list  (** non-blocking instructions sharing a state *)
+  | Issue of int  (** blocking op: drive the call port *)
+  | Wait of int  (** park until [ret_valid]; latch [ret_data] *)
+  | Call_issue of int  (** latch args, raise the callee's start *)
+  | Call_wait of int  (** park until the callee's done *)
+  | Term  (** phi updates + branch *)
+
+val micros_of_block : func -> Twill_hls.Schedule.t -> block -> micro list
+
+val reg_name : int -> string
+val operand_v' : Twill_ir.Layout.t -> string -> operand -> string
+val binop_v : binop -> string -> string -> string
+val icmp_v : icmp -> string -> string -> string
+
 val emit_hw_thread :
   ?res:Twill_hls.Schedule.resources -> Twill_ir.Layout.t -> func -> string
 (** One [module twill_thread_<name> (...)]. *)

@@ -361,7 +361,8 @@ let emit_system (t : Dswp.threaded) : string =
 
 (* Everything needed to synthesise the extracted design: runtime
    primitives + one module per hardware thread + the system top. *)
-let emit_design (t : Dswp.threaded) : string =
+let emit_design ?(backend = Twill_hls.Schedule.Fsm) (t : Dswp.threaded) :
+    string =
   let layout = Twill_ir.Layout.build t.Dswp.modul in
   let buf = Buffer.create 65536 in
   Buffer.add_string buf queue_module;
@@ -382,7 +383,11 @@ let emit_design (t : Dswp.threaded) : string =
       Hashtbl.replace emitted name ();
       let f = Twill_ir.Ir.find_func t.Dswp.modul name in
       List.iter emit_thread (Dswp.callees_of f);
-      Buffer.add_string buf (Vemit.emit_hw_thread layout f);
+      (match backend with
+      | Twill_hls.Schedule.Fsm ->
+          Buffer.add_string buf (Vemit.emit_hw_thread layout f)
+      | Twill_hls.Schedule.Dataflow ->
+          Buffer.add_string buf (Velastic.emit_hw_thread layout f));
       Buffer.add_string buf "\n"
     end
   in

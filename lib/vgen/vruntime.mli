@@ -33,7 +33,10 @@ val emit_system : Dswp.threaded -> string
 (** The top-level [twill_system] module: queue/semaphore/thread-interface
     instances for one extracted design. *)
 
-val emit_design : Dswp.threaded -> string
+val emit_design :
+  ?backend:Twill_hls.Schedule.backend -> Dswp.threaded -> string
 (** Everything needed to synthesise the design: runtime primitives, one
-    FSM module per hardware thread ({!Vemit.emit_hw_thread}), and the
-    system top. *)
+    module per hardware thread — the monolithic FSM of
+    {!Vemit.emit_hw_thread} or, under [~backend:Dataflow], the elastic
+    stage pipeline of {!Velastic.emit_hw_thread} — and the system top.
+    Callees follow the selected backend recursively. *)

@@ -322,6 +322,12 @@ type report = {
   model_prints : int32 list;
   model_cycles : int;
   agree : bool;
+  rtl_ops : (int * int * int * int) list array;
+      (* per-stage call-port issue trace, (fc_code, fc_target, fc_data,
+         fc_addr) in issue order; only populated under [~trace:true]
+         and only for hardware stages — the cross-backend differential
+         oracle compares these streams between the FSM and dataflow
+         lowerings of the same partition *)
 }
 
 (* A blocked software fiber parks itself with the condition it is
@@ -397,7 +403,7 @@ type th = {
 }
 
 let run_threaded ?config ?engine ?(fuel_cycles = 2_000_000) ?vcd
-    ?(model = true) ?design (t : Dswp.threaded) : report =
+    ?(model = true) ?(trace = false) ?design (t : Dswp.threaded) : report =
   (* --- the reference: cycle-accurate rtsim hybrid simulation.
      [~model:false] skips it for callers that own the comparison
      themselves (the fuzz oracle checks every stage against the AST
@@ -544,6 +550,9 @@ let run_threaded ?config ?engine ?(fuel_cycles = 2_000_000) ?vcd
   let sw_results : int32 option array = Array.make nstages None in
   let results : Interp.result option array = Array.make nstages None in
   let prints_rev : int32 list ref array = Array.init nstages (fun _ -> ref []) in
+  let ops_rev : (int * int * int * int) list ref array =
+    Array.init nstages (fun _ -> ref [])
+  in
   let pulses : (Vsim.t * Vsim.handle) list ref = ref [] in
   let replied : int list ref = ref [] in
   let progress = ref true in
@@ -838,6 +847,8 @@ let run_threaded ?config ?engine ?(fuel_cycles = 2_000_000) ?vcd
                | 6 -> OPrint data
                | c -> fail "stage %d issued unsupported %s" s (fc_name c)
              in
+             if trace then
+               ops_rev.(s) := (code, target, data, addr) :: !(ops_rev.(s));
              preq.(s) <- Some { ph = Wait_bus; op };
              progress := true
            end)
@@ -871,6 +882,7 @@ let run_threaded ?config ?engine ?(fuel_cycles = 2_000_000) ?vcd
     | [ p ] -> p
     | _ -> fail "cosim: prints scattered across threads"
   in
+  let rtl_ops = Array.map (fun r -> List.rev !r) ops_rev in
   (match stats with
   | Some stats ->
       {
@@ -882,6 +894,7 @@ let run_threaded ?config ?engine ?(fuel_cycles = 2_000_000) ?vcd
         model_prints = stats.Sim.prints;
         model_cycles = stats.Sim.cycles;
         agree = rtl_ret = stats.Sim.ret && rtl_prints = stats.Sim.prints;
+        rtl_ops;
       }
   | None ->
       {
@@ -893,4 +906,5 @@ let run_threaded ?config ?engine ?(fuel_cycles = 2_000_000) ?vcd
         model_prints = rtl_prints;
         model_cycles = !cycle;
         agree = true;
+        rtl_ops;
       })

@@ -83,6 +83,13 @@ type report = {
   model_prints : int32 list;
   model_cycles : int;  (** rtsim hybrid makespan *)
   agree : bool;  (** return value and prints both match *)
+  rtl_ops : (int * int * int * int) list array;
+      (** per-stage call-port issue trace — every
+          [(fc_code, fc_target, fc_data, fc_addr)] the hardware stage
+          drove, in issue order.  Empty unless [~trace:true] was passed
+          (and always empty for software stages).  Two RTL backends of
+          the same partition must issue identical streams per stage;
+          the three-way differential oracle compares them. *)
 }
 
 val run_threaded :
@@ -91,6 +98,7 @@ val run_threaded :
   ?fuel_cycles:int ->
   ?vcd:string ->
   ?model:bool ->
+  ?trace:bool ->
   ?design:Vparse.design ->
   Twill_dswp.Dswp.threaded ->
   report
@@ -105,6 +113,9 @@ val run_threaded :
     compare the result against their own reference (the fuzz oracle
     checks every stage against the AST interpreter) — and the report's
     [model_*] fields mirror the RTL run with [agree] vacuously true.
+    [trace] (default false) records every hardware stage's call-port
+    issue stream in the report's [rtl_ops] — the per-cycle observation
+    points of the cross-backend differential oracle.
     [design], when given, must be the parsed emitted Verilog of [t] —
     elaboration only reads it, so a caller observing the same program
     under several engines can parse once and share.

@@ -77,6 +77,7 @@ let test_comm_extract_key () =
       queue_latency = 2;
       engine = Sim.Compiled;
       comm = "none";
+      backend = Twill.Schedule.Fsm;
     }
   in
   let deeper = { base with Grid.queue_depth = 32 } in
@@ -131,6 +132,7 @@ let pt =
     queue_latency = 2;
     engine = Sim.Compiled;
     comm = "none";
+    backend = Twill.Schedule.Fsm;
   }
 
 let r metrics = { Pareto.point = pt; metrics }

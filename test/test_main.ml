@@ -13,6 +13,7 @@ let () =
          Test_cgen.suites;
          Test_vgen.suites;
          Test_vsim.suites;
+         Test_velastic.suites;
          Test_fuzz.suites;
          Test_dse.suites;
          Test_comm.suites;
