@@ -488,6 +488,37 @@ let rtsim_engines () =
   if List.exists (fun (_, _, _, _, _, same) -> not same) rows then
     failwith "rtsim: engines disagree"
 
+(* Committed-artifact writer: every BENCH_*.json emitter follows one
+   discipline — a deterministic JSON object on stdout (values straight
+   from the simulator and models; wall-clock only where the artifact is
+   not byte-diffed), diagnostics on stderr, and a nonzero exit after
+   the artifact is fully printed when a gate fails, so CI can both diff
+   the file and read the verdict.  [emit] renders the object with the
+   two-space/close-brace layout the committed files use; [arr] renders
+   a row list as a JSON array in that same layout (rows carry their own
+   four-space indent). *)
+module Artifact = struct
+  type gate = { ok : bool; msg : string }
+
+  let gate ok msg = { ok; msg }
+  let arr (rows : string list) : string =
+    "[\n" ^ String.concat ",\n" rows ^ "\n  ]"
+
+  let emit (fields : (string * string) list) : unit =
+    print_string "{\n";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then print_string ",\n";
+        Printf.printf "  %S: %s" k v)
+      fields;
+    print_string "\n}\n"
+
+  let check (gates : gate list) : unit =
+    let bad = List.filter (fun g -> not g.ok) gates in
+    List.iter (fun g -> Printf.eprintf "%s\n" g.msg) bad;
+    if bad <> [] then exit 1
+end
+
 (* BENCH_rtsim.json: per-kernel cycles and walls for both engines, so
    future PRs diff the rtsim perf trajectory.  Exits nonzero if any
    stats field differs between the engines. *)
@@ -512,22 +543,17 @@ let json_rtsim () =
   in
   let all_same = List.for_all (fun (_, _, _, _, _, same) -> same) rows in
   let total = Unix.gettimeofday () -. t0 in
-  Printf.printf
-    "{\n\
-    \  \"results\": [\n\
-     %s\n\
-    \  ],\n\
-    \  \"stats_identical\": %b,\n\
-    \  \"wall_interpreted_s\": %.3f,\n\
-    \  \"wall_compiled_s\": %.3f,\n\
-    \  \"speedup_compiled_over_interpreted\": %.2f,\n\
-    \  \"total_wall_time_s\": %.3f\n\
-     }\n"
-    (String.concat ",\n" row_json)
-    all_same twi twc
-    (if twc > 0.0 then twi /. twc else 0.0)
-    total;
-  if not all_same then exit 1
+  Artifact.emit
+    [
+      ("results", Artifact.arr row_json);
+      ("stats_identical", Printf.sprintf "%b" all_same);
+      ("wall_interpreted_s", Printf.sprintf "%.3f" twi);
+      ("wall_compiled_s", Printf.sprintf "%.3f" twc);
+      ( "speedup_compiled_over_interpreted",
+        Printf.sprintf "%.2f" (if twc > 0.0 then twi /. twc else 0.0) );
+      ("total_wall_time_s", Printf.sprintf "%.3f" total);
+    ];
+  Artifact.check [ Artifact.gate all_same "rtsim: engines disagree" ]
 
 (* ------------------------------------------------------------------ *)
 (* Differential fuzzing throughput (EXPERIMENTS.md)                    *)
@@ -683,8 +709,11 @@ let json_mode (names : string list) =
       bs
   in
   let total = Unix.gettimeofday () -. t0 in
-  Printf.printf "{\n  \"results\": [\n%s\n  ],\n  \"total_wall_time_s\": %.3f\n}\n"
-    (String.concat ",\n" rows) total
+  Artifact.emit
+    [
+      ("results", Artifact.arr rows);
+      ("total_wall_time_s", Printf.sprintf "%.3f" total);
+    ]
 
 let cosim_row_json name (r : Twill.Cosim.report) wall =
   Printf.sprintf
@@ -707,9 +736,11 @@ let json_cosim (engine : Twill.Vsim.engine option) =
           (cosim_rows ?engine ())
       in
       let total = Unix.gettimeofday () -. t0 in
-      Printf.printf
-        "{\n  \"results\": [\n%s\n  ],\n  \"total_wall_time_s\": %.3f\n}\n"
-        (String.concat ",\n" rows) total
+      Artifact.emit
+        [
+          ("results", Artifact.arr rows);
+          ("total_wall_time_s", Printf.sprintf "%.3f" total);
+        ]
   | None ->
       let rows = cosim_cross_check (cosim_engine_rows ()) in
       let row_json =
@@ -739,26 +770,30 @@ let json_cosim (engine : Twill.Vsim.engine option) =
       let fw = Unix.gettimeofday () -. fs in
       let diverged = List.length s.Twill_fuzz.Campaign.s_repros in
       let total = Unix.gettimeofday () -. t0 in
-      Printf.printf
-        "{\n\
-        \  \"results\": [\n\
-         %s\n\
-        \  ],\n\
-        \  \"cycles_agree\": %b,\n\
-        \  \"wall_compiled_s\": %.3f,\n\
-        \  \"wall_levelized_s\": %.3f,\n\
-        \  \"speedup_levelized_over_compiled\": %.2f,\n\
-        \  \"fuzz\": {\"max_stage\": \"vsim\", \"seed\": 11, \"cases\": %d, \
-         \"wall_time_s\": %.3f, \"cases_per_s\": %.2f, \"diverged\": %d},\n\
-        \  \"total_wall_time_s\": %.3f\n\
-         }\n"
-        (String.concat ",\n" row_json)
-        all_ok w_compiled w_lev
-        (if w_compiled > 0.0 then w_lev /. w_compiled else 0.0)
-        fuzz_cases fw
-        (float_of_int fuzz_cases /. fw)
-        diverged total;
-      if (not all_ok) || diverged > 0 then exit 1
+      Artifact.emit
+        [
+          ("results", Artifact.arr row_json);
+          ("cycles_agree", Printf.sprintf "%b" all_ok);
+          ("wall_compiled_s", Printf.sprintf "%.3f" w_compiled);
+          ("wall_levelized_s", Printf.sprintf "%.3f" w_lev);
+          ( "speedup_levelized_over_compiled",
+            Printf.sprintf "%.2f"
+              (if w_compiled > 0.0 then w_lev /. w_compiled else 0.0) );
+          ( "fuzz",
+            Printf.sprintf
+              "{\"max_stage\": \"vsim\", \"seed\": 11, \"cases\": %d, \
+               \"wall_time_s\": %.3f, \"cases_per_s\": %.2f, \"diverged\": \
+               %d}"
+              fuzz_cases fw
+              (float_of_int fuzz_cases /. fw)
+              diverged );
+          ("total_wall_time_s", Printf.sprintf "%.3f" total);
+        ];
+      Artifact.check
+        [
+          Artifact.gate all_ok "cosim: engines disagree";
+          Artifact.gate (diverged = 0) "cosim: vsim fuzz diverged";
+        ]
 
 (* BENCH_dse.json: the committed design-space sweep — default grid,
    fixed seed, rendered by the deterministic lib/dse printer, so the
@@ -881,36 +916,28 @@ let json_comm () =
           (cycles - base_total))
       agg
   in
-  Printf.printf
-    "{\n\
-    \  \"schema\": \"twill-comm-v1\",\n\
-    \  \"operating_point\": {\"nstages\": 3, \"queue_depth\": 2, \
-     \"queue_latency\": %d},\n\
-    \  \"results\": [\n\
-     %s\n\
-    \  ],\n\
-    \  \"aggregate\": [\n\
-     %s\n\
-    \  ],\n\
-    \  \"behaviour_identical\": %b\n\
-     }\n"
-    Twill.default_options.Twill.queue_latency
-    (String.concat ",\n" (List.map row_json rows))
-    (String.concat ",\n" agg_json)
-    behaviour_ok;
+  Artifact.emit
+    [
+      ("schema", "\"twill-comm-v1\"");
+      ( "operating_point",
+        Printf.sprintf
+          "{\"nstages\": 3, \"queue_depth\": 2, \"queue_latency\": %d}"
+          Twill.default_options.Twill.queue_latency );
+      ("results", Artifact.arr (List.map row_json rows));
+      ("aggregate", Artifact.arr agg_json);
+      ("behaviour_identical", Printf.sprintf "%b" behaviour_ok);
+    ];
   Printf.eprintf "comm: %d kernels x %d variants, aggregate %d -> %d \
                   (%+d cycles), %.1fs wall\n"
     (List.length rows) (List.length variants) base_total all_total
     (all_total - base_total)
     (Unix.gettimeofday () -. t0);
-  if not behaviour_ok then begin
-    Printf.eprintf "comm: behaviour diverged under a comm pass\n";
-    exit 1
-  end;
-  if all_total >= base_total then begin
-    Printf.eprintf "comm: full pass set failed to reduce aggregate cycles\n";
-    exit 1
-  end
+  Artifact.check
+    [
+      Artifact.gate behaviour_ok "comm: behaviour diverged under a comm pass";
+      Artifact.gate (all_total < base_total)
+        "comm: full pass set failed to reduce aggregate cycles";
+    ]
 
 (* BENCH_backend.json: the committed cross-backend study — every bundled
    kernel compiled and extracted once at the default operating point,
@@ -1013,30 +1040,160 @@ let json_backend () =
       bk.Twill.bk_dataflow.Twill.Cosim.rtl_cycles bk.Twill.bk_agree
       bk.Twill.bk_ops_match (dominates per)
   in
-  Printf.printf
-    "{\n\
-    \  \"schema\": \"twill-backend-v1\",\n\
-    \  \"results\": [\n\
-     %s\n\
-    \  ],\n\
-    \  \"aggregate\": {\"kernels\": %d, \"pareto_dominant\": %d, \
-     \"all_agree\": %b}\n\
-     }\n"
-    (String.concat ",\n" (List.map row_json rows))
-    (List.length rows) dominant all_agree;
+  Artifact.emit
+    [
+      ("schema", "\"twill-backend-v1\"");
+      ("results", Artifact.arr (List.map row_json rows));
+      ( "aggregate",
+        Printf.sprintf
+          "{\"kernels\": %d, \"pareto_dominant\": %d, \"all_agree\": %b}"
+          (List.length rows) dominant all_agree );
+    ];
   Printf.eprintf
     "backend: %d kernels, %d dataflow-dominant, agree=%b, %.1fs wall\n"
     (List.length rows) dominant all_agree
     (Unix.gettimeofday () -. t0);
-  if not all_agree then begin
-    Printf.eprintf "backend: three-way cosim diverged\n";
-    exit 1
-  end;
-  if dominant = 0 then begin
-    Printf.eprintf
-      "backend: dataflow lowering dominates no kernel on (cycles, LUTs)\n";
-    exit 1
-  end
+  Artifact.check
+    [
+      Artifact.gate all_agree "backend: three-way cosim diverged";
+      Artifact.gate (dominant > 0)
+        "backend: dataflow lowering dominates no kernel on (cycles, LUTs)";
+    ]
+
+(* BENCH_mem.json: the committed memory-banking study — every bundled
+   kernel at the queue-sensitivity operating point (3-stage pipeline),
+   evaluated at 1, 2 and 4 shared-memory banks under both RTL
+   lowerings.  For every (kernel, backend, banks) point the interpreted
+   and compiled rtsim engines must produce byte-identical stats
+   (including the per-bank grant/wait counters), and the runtime alias
+   checker is armed throughout, so any dependence-oracle optimism traps
+   the artifact.  At 4 banks the three-way differential co-simulation
+   (rtsim vs FSM RTL vs dataflow RTL, with per-bank call-port
+   projections) must also agree.  Everything on stdout is an integer or
+   bool from the simulator and models, so the file reproduces
+   byte-for-byte on any machine; wall-clock goes to stderr.  Exits
+   nonzero unless every engine pair and backend agrees and at least one
+   kernel's cycle count improves at 4 banks. *)
+let json_mem () =
+  let t0 = Unix.gettimeofday () in
+  let banks_axis = [ 1; 2; 4 ] in
+  let backends = [ Twill.Schedule.Fsm; Twill.Schedule.Dataflow ] in
+  let rows =
+    Twill.Par.map
+      (fun (b : C.benchmark) ->
+        (* banking is virtual (the plan is a pure function of the
+           module), so one compile + extraction serves every bank count
+           and backend *)
+        let opts0 = forced_pipeline_opts in
+        let m = Twill.compile ~opts:opts0 b.C.source in
+        let t = Twill.extract ~opts:opts0 m in
+        let per =
+          List.concat_map
+            (fun backend ->
+              List.map
+                (fun banks ->
+                  let opts =
+                    {
+                      opts0 with
+                      Twill.backend;
+                      mem_banks = banks;
+                      check_memdep = true;
+                    }
+                  in
+                  let r = Twill.run_twill_threaded ~opts t in
+                  let si =
+                    rtsim_stats t (Twill.sim_config opts)
+                      Twill.Sim.Interpreted
+                  in
+                  (backend, banks, r, si = r.Twill.stats))
+                banks_axis)
+            backends
+        in
+        let bk =
+          Twill.cosim_backends
+            ~opts:{ opts0 with Twill.mem_banks = 4; check_memdep = true }
+            t
+        in
+        (b.C.name, per, bk))
+      C.all
+  in
+  let cycles_of per backend banks =
+    let _, _, (r : Twill.twill_result), _ =
+      List.find (fun (bk, n, _, _) -> bk = backend && n = banks) per
+    in
+    r.Twill.scenario.Twill.cycles
+  in
+  let improved per =
+    List.exists
+      (fun backend -> cycles_of per backend 4 < cycles_of per backend 1)
+      backends
+  in
+  let engines_ok =
+    List.for_all
+      (fun (_, per, _) -> List.for_all (fun (_, _, _, same) -> same) per)
+      rows
+  in
+  let cosim_ok = List.for_all (fun (_, _, bk) -> bk.Twill.bk_agree) rows in
+  let n_improved =
+    List.length (List.filter (fun (_, per, _) -> improved per) rows)
+  in
+  let ints a =
+    "[" ^ String.concat ", " (Array.to_list (Array.map string_of_int a)) ^ "]"
+  in
+  let row_json (name, per, (bk : Twill.backends_report)) =
+    let pjson =
+      List.map
+        (fun (backend, banks, (r : Twill.twill_result), same) ->
+          Printf.sprintf
+            "      {\"backend\": %S, \"banks\": %d, \"cycles\": %d, \
+             \"luts\": %d, \"bank_grants\": %s, \"bank_waits\": %s, \
+             \"engines_identical\": %b}"
+            (Twill.Schedule.backend_name backend)
+            banks r.Twill.scenario.Twill.cycles
+            r.Twill.scenario.Twill.area.Twill.Area.luts
+            (ints r.Twill.stats.Twill.Sim.mem_bank_grants)
+            (ints r.Twill.stats.Twill.Sim.mem_bank_waits)
+            same)
+        per
+    in
+    Printf.sprintf
+      "    {\"benchmark\": %S, \"points\": [\n\
+       %s\n\
+      \    ], \"cosim4_agree\": %b, \"ops4_match\": %b, \"improved_at_4\": \
+       %b}"
+      name
+      (String.concat ",\n" pjson)
+      bk.Twill.bk_agree bk.Twill.bk_ops_match (improved per)
+  in
+  Artifact.emit
+    [
+      ("schema", "\"twill-mem-v1\"");
+      ( "operating_point",
+        Printf.sprintf "{\"nstages\": 3, \"queue_latency\": %d}"
+          Twill.default_options.Twill.queue_latency );
+      ("banks", "[1, 2, 4]");
+      ("results", Artifact.arr (List.map row_json rows));
+      ( "aggregate",
+        Printf.sprintf
+          "{\"kernels\": %d, \"improved_at_4\": %d, \"engines_identical\": \
+           %b, \"cosim_agree\": %b}"
+          (List.length rows) n_improved engines_ok cosim_ok );
+    ];
+  Printf.eprintf
+    "mem: %d kernels x %d banks x %d backends, %d improved at 4 banks, \
+     engines=%b cosim=%b, %.1fs wall\n"
+    (List.length rows) (List.length banks_axis) (List.length backends)
+    n_improved engines_ok cosim_ok
+    (Unix.gettimeofday () -. t0);
+  Artifact.check
+    [
+      Artifact.gate engines_ok
+        "mem: rtsim engines diverged under banking (per-bank stats differ)";
+      Artifact.gate cosim_ok
+        "mem: three-way cosim diverged at 4 banks";
+      Artifact.gate (n_improved > 0)
+        "mem: no kernel's cycle count improved at 4 banks";
+    ]
 
 let artifacts =
   [
@@ -1064,6 +1221,7 @@ let () =
   | [ "--json-dse" ] -> json_dse ()
   | [ "--json-comm" ] -> json_comm ()
   | [ "--json-backend" ] -> json_backend ()
+  | [ "--json-mem" ] -> json_mem ()
   | [ "--json-cosim"; "--engine"; "compiled" ] ->
       json_cosim (Some Twill.Vsim.Compiled)
   | [ "--json-cosim"; "--engine"; "levelized" ] ->

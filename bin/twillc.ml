@@ -31,7 +31,7 @@ let comm_of_spec spec =
       exit 2
 
 let mk_opts stages sw_frac queue_depth queue_latency aggressive comm_spec
-    backend =
+    backend mem_banks =
   {
     Twill.default_options with
     partition =
@@ -45,6 +45,7 @@ let mk_opts stages sw_frac queue_depth queue_latency aggressive comm_spec
     inline_aggressive = aggressive;
     comm = comm_of_spec comm_spec;
     backend;
+    mem_banks;
   }
 
 let stages =
@@ -81,12 +82,22 @@ let comm_opt =
 let backend_arg =
   Arg.(
     value
-    & opt
-        (enum [ ("fsm", Twill.Schedule.Fsm); ("dataflow", Twill.Schedule.Dataflow) ])
-        Twill.Schedule.Fsm
+    & opt (enum Twill.Enums.backends) Twill.Schedule.Fsm
     & info [ "backend" ] ~docv:"BACKEND"
         ~doc:
           "RTL lowering for the hardware partitions: $(b,fsm) (LegUp-style            monolithic FSM-with-datapath, the default) or $(b,dataflow)            (elastic stages with valid/ready handshake channels).  Unknown            values are rejected with the valid list.")
+
+let mem_banks_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "mem-banks" ] ~docv:"N"
+        ~doc:
+          "Shared-memory bank count.  Provably-disjoint arrays are \
+           partitioned across $(docv) banks by the dependence oracle; \
+           hardware threads then schedule with per-bank ordering chains, \
+           rtsim arbitrates one memory bus per bank, and the emitted RTL \
+           instantiates a banked memory.  $(b,1) (the default) is the \
+           single-port behaviour.")
 
 let no_auto =
   Arg.(
@@ -115,8 +126,8 @@ let print_report (r : Twill.report) =
     r.Twill.twill.Twill.nsems
 
 let run_cmd =
-  let run stages sw_frac qd ql aggr comm_spec backend no_auto path =
-    let opts = mk_opts stages sw_frac qd ql aggr comm_spec backend in
+  let run stages sw_frac qd ql aggr comm_spec backend mem_banks no_auto path =
+    let opts = mk_opts stages sw_frac qd ql aggr comm_spec backend mem_banks in
     let src = read_file path in
     let r =
       Twill.evaluate ~opts ~auto_stages:(not no_auto)
@@ -126,23 +137,23 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile and evaluate a mini-C file")
     Term.(
-      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive $ comm_opt $ backend_arg
+      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive $ comm_opt $ backend_arg $ mem_banks_arg
       $ no_auto $ file)
 
 let ir_cmd =
-  let run stages sw_frac qd ql aggr comm_spec backend _ path =
-    let opts = mk_opts stages sw_frac qd ql aggr comm_spec backend in
+  let run stages sw_frac qd ql aggr comm_spec backend mem_banks _ path =
+    let opts = mk_opts stages sw_frac qd ql aggr comm_spec backend mem_banks in
     let m = Twill.compile ~opts (read_file path) in
     Fmt.pr "%s@." (Twill_ir.Printer.modul_to_string m)
   in
   Cmd.v (Cmd.info "ir" ~doc:"Dump the optimised IR")
     Term.(
-      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive $ comm_opt $ backend_arg
+      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive $ comm_opt $ backend_arg $ mem_banks_arg
       $ no_auto $ file)
 
 let threads_cmd =
-  let run stages sw_frac qd ql aggr comm_spec backend _ path =
-    let opts = mk_opts stages sw_frac qd ql aggr comm_spec backend in
+  let run stages sw_frac qd ql aggr comm_spec backend mem_banks _ path =
+    let opts = mk_opts stages sw_frac qd ql aggr comm_spec backend mem_banks in
     let m = Twill.compile ~opts (read_file path) in
     let t = Twill.extract ~opts m in
     Array.iteri
@@ -171,7 +182,7 @@ let threads_cmd =
   in
   Cmd.v (Cmd.info "threads" ~doc:"Dump the extracted pipeline threads")
     Term.(
-      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive $ comm_opt $ backend_arg
+      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive $ comm_opt $ backend_arg $ mem_banks_arg
       $ no_auto $ file)
 
 let bench_cmd =
@@ -194,8 +205,8 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List bundled benchmarks") Term.(const run $ const ())
 
 let emit_c_cmd =
-  let run stages sw_frac qd ql aggr comm_spec backend _ path =
-    let opts = mk_opts stages sw_frac qd ql aggr comm_spec backend in
+  let run stages sw_frac qd ql aggr comm_spec backend mem_banks _ path =
+    let opts = mk_opts stages sw_frac qd ql aggr comm_spec backend mem_banks in
     let m = Twill.compile ~opts (read_file path) in
     let t = Twill.extract ~opts m in
     let master = t.Twill.Dswp.stages.(t.Twill.Dswp.master) in
@@ -205,7 +216,7 @@ let emit_c_cmd =
     (Cmd.info "emit-c"
        ~doc:"Emit the software master thread as C against the Twill runtime API")
     Term.(
-      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive $ comm_opt $ backend_arg
+      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive $ comm_opt $ backend_arg $ mem_banks_arg
       $ no_auto $ file)
 
 let emit_verilog_cmd =
@@ -224,11 +235,13 @@ let emit_verilog_cmd =
             "Run the structural checker over the emitted design and exit \
              nonzero on failure.")
   in
-  let run stages sw_frac qd ql aggr comm_spec backend _ output check path =
-    let opts = mk_opts stages sw_frac qd ql aggr comm_spec backend in
+  let run stages sw_frac qd ql aggr comm_spec backend mem_banks _ output check path =
+    let opts = mk_opts stages sw_frac qd ql aggr comm_spec backend mem_banks in
     let m = Twill.compile ~opts (read_file path) in
     let t = Twill.extract ~opts m in
-    let design = Twill_vgen.Vruntime.emit_design t in
+    let design =
+      Twill_vgen.Vruntime.emit_design ~backend ~mem_banks:opts.Twill.mem_banks t
+    in
     (match output with
     | None -> print_string design
     | Some f ->
@@ -249,7 +262,7 @@ let emit_verilog_cmd =
          "Emit the hardware threads and the runtime system as Verilog \
           (Figure 4.1)")
     Term.(
-      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive $ comm_opt $ backend_arg
+      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive $ comm_opt $ backend_arg $ mem_banks_arg
       $ no_auto $ output $ check $ file)
 
 let cosim_cmd =
@@ -265,9 +278,8 @@ let cosim_cmd =
       value
       & opt
           (enum
-             [ ("auto", None); ("compiled", Some Twill.Vsim.Compiled);
-               ("levelized", Some Twill.Vsim.Levelized);
-               ("fixpoint", Some Twill.Vsim.Fixpoint) ])
+             (("auto", None)
+             :: List.map (fun (s, e) -> (s, Some e)) Twill.Enums.vsim_engines))
           None
       & info [ "engine" ] ~docv:"ENGINE"
           ~doc:
@@ -279,8 +291,8 @@ let cosim_cmd =
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH_OR_FILE")
   in
-  let run stages sw_frac qd ql aggr comm_spec backend _ vcd engine name =
-    let opts = mk_opts stages sw_frac qd ql aggr comm_spec backend in
+  let run stages sw_frac qd ql aggr comm_spec backend mem_banks _ vcd engine name =
+    let opts = mk_opts stages sw_frac qd ql aggr comm_spec backend mem_banks in
     let src =
       if Sys.file_exists name then read_file name
       else (Twill_chstone.Chstone.find name).Twill_chstone.Chstone.source
@@ -309,16 +321,16 @@ let cosim_cmd =
          "Co-simulate the emitted RTL of a benchmark or mini-C file against \
           the rtsim reference")
     Term.(
-      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive $ comm_opt $ backend_arg
+      const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive $ comm_opt $ backend_arg $ mem_banks_arg
       $ no_auto $ vcd $ engine $ name_arg)
 
 let comm_report_cmd =
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH_OR_FILE")
   in
-  let run stages sw_frac qd ql aggr comm_spec backend _ name =
+  let run stages sw_frac qd ql aggr comm_spec backend mem_banks _ name =
     let comm_spec = if comm_spec = "" then "all" else comm_spec in
-    let opts = mk_opts stages sw_frac qd ql aggr comm_spec backend in
+    let opts = mk_opts stages sw_frac qd ql aggr comm_spec backend mem_banks in
     let src =
       if Sys.file_exists name then read_file name
       else (Twill_chstone.Chstone.find name).Twill_chstone.Chstone.source
@@ -358,7 +370,7 @@ let comm_report_cmd =
           pass actions, and the base-vs-optimized cycle counts")
     Term.(
       const run $ stages $ sw_frac $ queue_depth $ queue_latency $ aggressive
-      $ comm_opt $ backend_arg
+      $ comm_opt $ backend_arg $ mem_banks_arg
       $ no_auto $ name_arg)
 
 let fuzz_cmd =
@@ -435,7 +447,17 @@ let fuzz_cmd =
              RTL-reaching case co-simulates both backends and any \
              disagreement is a divergence).")
   in
-  let run seed cases limit backends out replay break_pass strict =
+  let fuzz_mem_banks =
+    Arg.(
+      value & opt int 1
+      & info [ "mem-banks" ] ~docv:"N"
+          ~doc:
+            "Shared-memory bank count for the rtsim and co-simulation \
+             observation points (values > 1 also arm the runtime alias \
+             checker, so dependence-oracle optimism surfaces as a \
+             divergence instead of silent corruption).")
+  in
+  let run seed cases limit backends out replay break_pass strict mem_banks =
     match replay with
     | Some dir ->
         let rs = F.Campaign.replay ~dir () in
@@ -458,7 +480,14 @@ let fuzz_cmd =
               (String.concat ", " Twill.Pipeline.stage_names);
             exit 2
         | _ -> ());
-        let opts = { Twill.default_options with pipeline_break = break_pass } in
+        let opts =
+          {
+            Twill.default_options with
+            pipeline_break = break_pass;
+            mem_banks;
+            check_memdep = mem_banks > 1;
+          }
+        in
         let t0 = Unix.gettimeofday () in
         let s = F.Campaign.run ~opts ~limit ~backends ~seed ~cases () in
         let dt = Unix.gettimeofday () -. t0 in
@@ -482,7 +511,7 @@ let fuzz_cmd =
           bisection of any divergence")
     Term.(
       const run $ seed $ cases $ max_stage $ fuzz_backend $ out $ replay
-      $ break_pass $ strict)
+      $ break_pass $ strict $ fuzz_mem_banks)
 
 (* --- twilld client: `twillc daemon ...` --------------------------------- *)
 
@@ -658,18 +687,13 @@ let daemon_stop_cmd =
 let daemon_backend =
   Arg.(
     value
-    & opt
-        (enum
-           (List.map
-              (fun b -> (Twill.Schedule.backend_name b, b))
-              Twill.Schedule.all_backends))
-        Twill.Schedule.Fsm
+    & opt (enum Twill.Enums.backends) Twill.Schedule.Fsm
     & info [ "backend" ] ~docv:"BACKEND"
         ~doc:
           "RTL lowering the simulation replays: $(b,fsm) (default) or \
            $(b,dataflow).")
 
-let simulate_req stages qd ql backend what =
+let simulate_req stages qd ql backend mem_banks what =
   Serve_json.Obj
     [
       ("cmd", Serve_json.Str "simulate");
@@ -678,13 +702,14 @@ let simulate_req stages qd ql backend what =
       ("queue_depth", Serve_json.Int qd);
       ("queue_latency", Serve_json.Int ql);
       ("backend", Serve_json.Str (Twill.Schedule.backend_name backend));
+      ("mem_banks", Serve_json.Int mem_banks);
     ]
 
 let daemon_simulate_cmd =
-  let run socket stages qd ql backend what =
+  let run socket stages qd ql backend mem_banks what =
     with_client socket (fun c ->
         let r =
-          Serve_client.request c (simulate_req stages qd ql backend what)
+          Serve_client.request c (simulate_req stages qd ql backend mem_banks what)
         in
         Fmt.pr "%s@." (Serve_json.to_string r);
         if Serve_json.bool_field "ok" r <> Some true then exit 1)
@@ -694,11 +719,11 @@ let daemon_simulate_cmd =
        ~doc:"Simulate a kernel (bundled name or mini-C file) through twilld")
     Term.(
       const run $ socket_arg $ stages $ queue_depth $ queue_latency
-      $ daemon_backend
+      $ daemon_backend $ mem_banks_arg
       $ Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME|FILE"))
 
 let daemon_check_cmd =
-  let run socket stages qd ql backend whats =
+  let run socket stages qd ql backend mem_banks whats =
     (* the CI smoke: every daemon response must be byte-identical to the
        same request handled in-process (zero-worker local server) *)
     let local = Serve_server.create ~workers:0 () in
@@ -706,7 +731,7 @@ let daemon_check_cmd =
     with_client socket (fun c ->
         List.iter
           (fun what ->
-            let req = simulate_req stages qd ql backend what in
+            let req = simulate_req stages qd ql backend mem_banks what in
             let remote = Serve_json.to_string (Serve_client.request c req) in
             let here = Serve_json.to_string (Serve_server.handle local req) in
             if remote = here then Fmt.pr "%-10s OK %s@." what remote
@@ -725,13 +750,13 @@ let daemon_check_cmd =
           byte-identical to in-process results (exit 1 on any mismatch)")
     Term.(
       const run $ socket_arg $ stages $ queue_depth $ queue_latency
-      $ daemon_backend
+      $ daemon_backend $ mem_banks_arg
       $ Arg.(non_empty & pos_all string [] & info [] ~docv:"NAME|FILE..."))
 
 let daemon_bench_cmd =
-  let run socket stages qd ql backend what iters =
+  let run socket stages qd ql backend mem_banks what iters =
     with_client socket (fun c ->
-        let req = simulate_req stages qd ql backend what in
+        let req = simulate_req stages qd ql backend mem_banks what in
         let t0 = Unix.gettimeofday () in
         ignore (Serve_client.request c req);
         let cold = Unix.gettimeofday () -. t0 in
@@ -749,7 +774,7 @@ let daemon_bench_cmd =
        ~doc:"Measure cold-vs-warm twilld request latency for one kernel")
     Term.(
       const run $ socket_arg $ stages $ queue_depth $ queue_latency
-      $ daemon_backend
+      $ daemon_backend $ mem_banks_arg
       $ Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME|FILE")
       $ Arg.(value & opt int 20 & info [ "iters" ] ~doc:"Warm iterations."))
 

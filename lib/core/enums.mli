@@ -1,0 +1,20 @@
+(** One authoritative table per user-facing enum spelling.
+
+    Derived from each type's canonical [*_name] printer, shared by the
+    cmdliner arguments (bin/twillc.ml), the DSE grid parser and the
+    twilld request decoders so a spelling exists exactly once.  Every
+    parser rejects unknown values with the full valid list in the
+    message. *)
+
+module Schedule = Twill_hls.Schedule
+module Sim = Twill_rtsim.Sim
+module Vsim = Twill_vsim.Vsim
+
+val backends : (string * Schedule.backend) list
+val backend_of_string : string -> (Schedule.backend, string) result
+
+val sim_engines : (string * Sim.engine) list
+val sim_engine_of_string : string -> (Sim.engine, string) result
+
+val vsim_engines : (string * Vsim.engine) list
+val vsim_engine_of_string : string -> (Vsim.engine, string) result

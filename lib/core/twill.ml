@@ -24,6 +24,7 @@ module Vparse = Twill_vsim.Vparse
 module Vsim = Twill_vsim.Vsim
 module Cosim = Twill_vsim.Cosim
 module Par = Par
+module Enums = Enums
 
 type options = {
   partition : Partition.config;
@@ -41,6 +42,8 @@ type options = {
   backend : Schedule.backend;  (* RTL lowering for hardware partitions *)
   pipeline_break : string option;
   comm : Comm.config;  (* communication-pattern optimizer passes *)
+  mem_banks : int;  (* shared-memory banks (Memdep.plan); 1 = unbanked *)
+  check_memdep : bool;  (* runtime alias checker (debug) *)
 }
 
 let default_options =
@@ -60,6 +63,8 @@ let default_options =
     backend = Schedule.Fsm;
     pipeline_break = None;
     comm = Comm.none; (* seed behaviour: every pass off *)
+    mem_banks = 1;
+    check_memdep = false;
   }
 
 (* --- compilation -------------------------------------------------------- *)
@@ -106,6 +111,8 @@ let sim_config (opts : options) : Sim.config =
     bus_contention = opts.bus_contention;
     fuel = opts.fuel;
     engine = opts.sim_engine;
+    mem_banks = opts.mem_banks;
+    check_memdep = opts.check_memdep;
   }
 
 let thread_specs (t : Dswp.threaded) : Sim.thread_spec array =
@@ -270,6 +277,29 @@ let run_twill_threaded ?(opts = default_options) (t : Dswp.threaded) :
     |> List.filteri (fun s _ -> t.Dswp.roles.(s) = Partition.Hw)
   in
   let hw_funcs = reachable_funcs t.Dswp.modul hw_roots in
+  (* banked designs replay banked schedules and pay the extra ports /
+     bank-select muxes in the area model *)
+  let banking_of =
+    if opts.mem_banks <= 1 then fun _ -> None
+    else begin
+      let plan =
+        lazy
+          (let md = Twill_ir.Memdep.build t.Dswp.modul in
+           Twill_ir.Memdep.plan md
+             (Twill_ir.Layout.build t.Dswp.modul)
+             ~banks:opts.mem_banks)
+      in
+      fun (f : Ir.func) ->
+        let tbl = Twill_ir.Memdep.bank_table (Lazy.force plan) f in
+        Some
+          {
+            Schedule.nbanks = opts.mem_banks;
+            bank_of_id =
+              (fun id ->
+                if id >= 0 && id < Array.length tbl then tbl.(id) else None);
+          }
+    end
+  in
   let hw_threads_area =
     Area.sum
       (List.map
@@ -277,11 +307,12 @@ let run_twill_threaded ?(opts = default_options) (t : Dswp.threaded) :
            let f = Ir.find_func t.Dswp.modul name in
            let s =
              Schedule.cached ~res:opts.resources ~modulo:opts.modulo
-               ~backend:opts.backend f
+               ~backend:opts.backend ?banking:(banking_of f) f
            in
            match opts.backend with
-           | Schedule.Fsm -> Area.of_schedule f s
-           | Schedule.Dataflow -> Area.of_elastic_schedule f s)
+           | Schedule.Fsm -> Area.of_schedule ~banks:opts.mem_banks f s
+           | Schedule.Dataflow ->
+               Area.of_elastic_schedule ~banks:opts.mem_banks f s)
          hw_funcs)
   in
   let runtime_area =
@@ -377,7 +408,10 @@ let comm_summarize ?(opts = default_options) (m : Ir.modul) : comm_summary =
 (* RTL co-simulation of an extracted design against the rtsim reference. *)
 let cosim ?(opts = default_options) ?engine ?vcd (t : Dswp.threaded) :
     Cosim.report =
-  let design = Vparse.parse (Vruntime.emit_design ~backend:opts.backend t) in
+  let design =
+    Vparse.parse
+      (Vruntime.emit_design ~backend:opts.backend ~mem_banks:opts.mem_banks t)
+  in
   Cosim.run_threaded ~config:(sim_config opts) ?engine ?vcd ~design t
 
 (* Three-way differential co-simulation: the rtsim reference against
@@ -399,12 +433,42 @@ let cosim_backends ?(opts = default_options) ?engine (t : Dswp.threaded) :
     backends_report =
   let run backend =
     let opts = { opts with backend } in
-    let design = Vparse.parse (Vruntime.emit_design ~backend t) in
+    let design =
+      Vparse.parse
+        (Vruntime.emit_design ~backend ~mem_banks:opts.mem_banks t)
+    in
     Cosim.run_threaded ~config:(sim_config opts) ?engine ~trace:true ~design t
   in
   let bk_fsm = run Schedule.Fsm in
   let bk_dataflow = run Schedule.Dataflow in
-  let bk_ops_match = bk_fsm.Cosim.rtl_ops = bk_dataflow.Cosim.rtl_ops in
+  let bk_ops_match =
+    if opts.mem_banks <= 1 then bk_fsm.Cosim.rtl_ops = bk_dataflow.Cosim.rtl_ops
+    else begin
+      (* Under banking the two schedules may legally interleave requests
+         to DIFFERENT banks differently — each bank port is an
+         independent ordering domain.  What must still agree per stage
+         is every per-bank memory stream plus the non-memory (queue/
+         semaphore/print) stream. *)
+      let md = Twill_ir.Memdep.build t.Dswp.modul in
+      let layout = Twill_ir.Layout.build t.Dswp.modul in
+      let plan = Twill_ir.Memdep.plan md layout ~banks:opts.mem_banks in
+      let project ops =
+        let streams = Array.make (opts.mem_banks + 1) [] in
+        List.iter
+          (fun ((code, _, _, addr) as op) ->
+            let k =
+              if code = 0 || code = 1 then
+                Twill_ir.Memdep.bank_of_addr plan (Int32.of_int addr)
+              else opts.mem_banks
+            in
+            streams.(k) <- op :: streams.(k))
+          ops;
+        Array.map List.rev streams
+      in
+      Array.map project bk_fsm.Cosim.rtl_ops
+      = Array.map project bk_dataflow.Cosim.rtl_ops
+    end
+  in
   let bk_agree =
     bk_fsm.Cosim.agree && bk_dataflow.Cosim.agree
     && bk_fsm.Cosim.rtl_ret = bk_dataflow.Cosim.rtl_ret
@@ -635,11 +699,15 @@ let obs_prep ~opts (src : string) : obs_prep =
           prep_opts = opts;
           prep_t = t;
           prep_design =
-            lazy (Vparse.parse (Vruntime.emit_design ~backend:opts.backend t));
+            lazy
+              (Vparse.parse
+                 (Vruntime.emit_design ~backend:opts.backend
+                    ~mem_banks:opts.mem_banks t));
           prep_design_df =
             lazy
               (Vparse.parse
-                 (Vruntime.emit_design ~backend:Schedule.Dataflow t));
+                 (Vruntime.emit_design ~backend:Schedule.Dataflow
+                    ~mem_banks:opts.mem_banks t));
         }
       in
       memo := Some p;

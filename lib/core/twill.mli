@@ -30,6 +30,7 @@ module Cosim = Twill_vsim.Cosim
 
 (** Deterministic domain-parallel evaluation helpers (shared slot budget). *)
 module Par = Par
+module Enums = Enums
 
 (** Compilation and evaluation options; [default_options] matches the
     thesis's experimental setup (8-deep 32-bit queues, 2-cycle queue
@@ -63,6 +64,18 @@ type options = {
   comm : Comm.config;
       (** communication-pattern optimizer passes applied at extraction
           ([twillc --comm-opt]); {!Comm.none} in [default_options] *)
+  mem_banks : int;
+      (** shared-memory banks ({!Twill_ir.Memdep.plan}, [twillc
+          --mem-banks]): hardware threads schedule with per-bank
+          ordering chains, rtsim arbitrates one bus per bank, and both
+          RTL backends emit banked memories.  Purely simulation-level —
+          extraction is banking-invariant, so twilld keys it only into
+          the sim cache.  1 (the default) is the single-port seed
+          behaviour *)
+  check_memdep : bool;
+      (** runtime alias checker: trap if two accesses the dependence
+          oracle declared independent touch the same address within a
+          2-cycle window (debug; default off) *)
 }
 
 val default_options : options
@@ -186,7 +199,10 @@ type backends_report = {
           between the two RTL backends — the per-cycle observation
           points of the differential oracle (the order chains
           serialize memory/queue traffic, so any valid schedule of one
-          partition must drive the same request sequence) *)
+          partition must drive the same request sequence).  With
+          [opts.mem_banks > 1] each bank port is an independent
+          ordering domain, so the comparison is per-projection: every
+          per-bank memory stream and the non-memory stream must match *)
   bk_agree : bool;
       (** everything agrees: each RTL run matches its rtsim reference,
           the two RTL runs observe the same return value and prints,

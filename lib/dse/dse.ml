@@ -52,6 +52,7 @@ let opts_of_point (p : Grid.point) : Twill.options =
       queue_latency = p.Grid.queue_latency;
       sim_engine = p.Grid.engine;
       backend = p.Grid.backend;
+      mem_banks = p.Grid.banks;
       comm;
     }
   in
@@ -304,14 +305,16 @@ let result_line (r : Pareto.result) : string =
   Printf.sprintf
     "{\"kernel\": %S, \"unroll\": %b, \"nstages\": %d, \"sw_frac\": %s, \
      \"queue_depth\": %d, \"queue_latency\": %d, \"engine\": %S, \
-     \"comm\": %S, \"backend\": %S, \"cycles\": %d, \"luts\": %d, \
-     \"dsps\": %d, \"brams\": %d, \"power_mw\": %.6f, \"executed\": %d}"
+     \"comm\": %S, \"backend\": %S, \"banks\": %d, \"cycles\": %d, \
+     \"luts\": %d, \"dsps\": %d, \"brams\": %d, \"power_mw\": %.6f, \
+     \"executed\": %d}"
     p.Grid.kernel p.Grid.unroll p.Grid.nstages
     (Grid.float_str p.Grid.sw_frac)
     p.Grid.queue_depth p.Grid.queue_latency
     (Grid.engine_str p.Grid.engine)
     p.Grid.comm
     (Twill.Schedule.backend_name p.Grid.backend)
+    p.Grid.banks
     m.Pareto.cycles m.Pareto.luts m.Pareto.dsps m.Pareto.brams
     m.Pareto.power_mw m.Pareto.executed
 

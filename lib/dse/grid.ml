@@ -9,7 +9,8 @@
      queue_latency x  (give->visible latency, Figure 6.5)
      engine        x  (rtsim engine)
      comm          x  (communication-optimizer pass set, lib/comm)
-     backend          (RTL lowering: monolithic FSM or elastic dataflow)
+     backend       x  (RTL lowering: monolithic FSM or elastic dataflow)
+     banks            (shared-memory bank count, lib/ir/memdep)
 
    enumerated in exactly that nesting order, innermost last, so a
    point list is deterministic and stable across runs, machines and
@@ -18,7 +19,9 @@
    only re-simulate — the DSE engine exploits that grouping for
    incremental reuse (see dse.ml).  [backend] is sim-level too: both
    lowerings share one extraction and differ only in the schedule
-   flavour rtsim replays and the area model applied.  One wrinkle:
+   flavour rtsim replays and the area model applied.  So is [banks]:
+   the banking plan is a pure function of the module, so every bank
+   count re-simulates (and re-prices) one shared extraction.  One wrinkle:
    when [comm] enables profile-guided passes, [queue_depth] becomes an
    extraction-level axis (the auto-sizing pass must see real per-queue
    depths, not the simulation-time override), which [extract_key]
@@ -38,6 +41,7 @@ type t = {
   engines : Sim.engine list;
   comms : string list;
   backends : Schedule.backend list;
+  banks : int list;
 }
 
 type point = {
@@ -50,6 +54,7 @@ type point = {
   engine : Sim.engine;
   comm : string;
   backend : Schedule.backend;
+  banks : int;
 }
 
 (* The committed-benchmark grid (BENCH_dse.json): four kernels, both
@@ -66,13 +71,14 @@ let default =
     engines = [ Sim.Compiled ];
     comms = [ "none" ];
     backends = [ Schedule.Fsm ];
+    banks = [ 1 ];
   }
 
 let npoints (g : t) : int =
   List.length g.kernels * List.length g.unrolls * List.length g.nstages
   * List.length g.sw_fracs * List.length g.queue_depths
   * List.length g.queue_latencies * List.length g.engines
-  * List.length g.comms * List.length g.backends
+  * List.length g.comms * List.length g.backends * List.length g.banks
 
 let points (g : t) : point list =
   List.concat_map
@@ -91,19 +97,23 @@ let points (g : t) : point list =
                             (fun engine ->
                               List.concat_map
                                 (fun comm ->
-                                  List.map
+                                  List.concat_map
                                     (fun backend ->
-                                      {
-                                        kernel;
-                                        unroll;
-                                        nstages;
-                                        sw_frac;
-                                        queue_depth;
-                                        queue_latency;
-                                        engine;
-                                        comm;
-                                        backend;
-                                      })
+                                      List.map
+                                        (fun banks ->
+                                          {
+                                            kernel;
+                                            unroll;
+                                            nstages;
+                                            sw_frac;
+                                            queue_depth;
+                                            queue_latency;
+                                            engine;
+                                            comm;
+                                            backend;
+                                            banks;
+                                          })
+                                        g.banks)
                                     g.backends)
                                 g.comms)
                             g.engines)
@@ -126,10 +136,8 @@ let float_str (f : float) : string =
 
 let engine_str = Sim.engine_name
 
-let engine_of_string = function
-  | "compiled" -> Ok Sim.Compiled
-  | "interpreted" -> Ok Sim.Interpreted
-  | other -> Error (Printf.sprintf "unknown engine %S" other)
+(* spellings live in one place: Twill.Enums *)
+let engine_of_string = Twill.Enums.sim_engine_of_string
 
 (* comm axis values are canonicalized pass-set spec strings ("none",
    "merge", "licm,merge,size,burst", ...): parse then re-show, so two
@@ -155,6 +163,7 @@ let to_spec (g : t) : string =
            (String.map (fun c -> if c = ',' then '+' else c))
            g.comms);
       axis "backend" (List.map Schedule.backend_name g.backends);
+      axis "banks" (ints g.banks);
     ]
 
 let split_commas (s : string) : string list =
@@ -241,9 +250,12 @@ let parse ?(base = default) (spec : string) : (t, string) result =
               Ok { g with comms = cs }
           | "backend" | "backends" ->
               let* bs =
-                parse_axis "backend" Schedule.backend_of_string raw
+                parse_axis "backend" Twill.Enums.backend_of_string raw
               in
               Ok { g with backends = bs }
+          | "banks" | "mem_banks" | "mem-banks" ->
+              let* ks = parse_axis "banks" int1 raw in
+              Ok { g with banks = ks }
           | other -> Error (Printf.sprintf "unknown axis %S" other)))
     (Ok base) entries
 
@@ -305,3 +317,4 @@ let point_label (p : point) : string =
     (match p.backend with
     | Schedule.Fsm -> ""
     | Schedule.Dataflow -> " dataflow")
+    ^ (if p.banks = 1 then "" else Printf.sprintf " b=%d" p.banks)

@@ -24,6 +24,11 @@ type t = {
           monolithic FSM or the elastic dataflow template); both share
           one extraction and differ only in replayed schedule flavour
           and area model *)
+  banks : int list;
+      (** sim level: shared-memory bank counts
+          ({!Twill_ir.Memdep.plan}); the banking plan is a pure
+          function of the module, so every bank count re-simulates one
+          shared extraction *)
 }
 
 (** One evaluated configuration. *)
@@ -37,6 +42,7 @@ type point = {
   engine : Sim.engine;
   comm : string;
   backend : Schedule.backend;
+  banks : int;
 }
 
 val default : t
@@ -47,13 +53,13 @@ val default : t
 val npoints : t -> int
 
 val points : t -> point list
-(** Cartesian enumeration, kernels outermost / backends innermost. *)
+(** Cartesian enumeration, kernels outermost / banks innermost. *)
 
 val parse : ?base:t -> string -> (t, string) result
 (** ["kernels=mips,sha;queue_latency=2,8,32"] — axes absent from the
     spec keep their [base] (default: {!default}) values.  Accepted axis
     names: [kernels], [unroll], [nstages], [sw_frac], [queue_depth],
-    [queue_latency], [engine], [comm], [backend] (plus common
+    [queue_latency], [engine], [comm], [backend], [banks] (plus common
     aliases).  Unknown axis names and unknown engine/backend values
     are rejected with an error naming the offender.  Comm
     values join passes with ["+"] (["comm=none,merge+size,all"]) since

@@ -77,53 +77,62 @@ let axes : (string * (Grid.point -> string) * (Grid.point -> string)) list =
     ( "queue_latency",
       (fun pt -> string_of_int pt.Grid.queue_latency),
       fun pt ->
-        p "%s|%b|%d|%s|%d|%s|%s|%s" pt.Grid.kernel pt.Grid.unroll
+        p "%s|%b|%d|%s|%d|%s|%s|%s|%d" pt.Grid.kernel pt.Grid.unroll
           pt.Grid.nstages
           (Grid.float_str pt.Grid.sw_frac) pt.Grid.queue_depth
           (Grid.engine_str pt.Grid.engine)
-          pt.Grid.comm (backend_str pt) );
+          pt.Grid.comm (backend_str pt) pt.Grid.banks );
     ( "queue_depth",
       (fun pt -> string_of_int pt.Grid.queue_depth),
       fun pt ->
-        p "%s|%b|%d|%s|%d|%s|%s|%s" pt.Grid.kernel pt.Grid.unroll
+        p "%s|%b|%d|%s|%d|%s|%s|%s|%d" pt.Grid.kernel pt.Grid.unroll
           pt.Grid.nstages
           (Grid.float_str pt.Grid.sw_frac) pt.Grid.queue_latency
           (Grid.engine_str pt.Grid.engine)
-          pt.Grid.comm (backend_str pt) );
+          pt.Grid.comm (backend_str pt) pt.Grid.banks );
     ( "nstages",
       (fun pt -> string_of_int pt.Grid.nstages),
       fun pt ->
-        p "%s|%b|%s|%d|%d|%s|%s|%s" pt.Grid.kernel pt.Grid.unroll
+        p "%s|%b|%s|%d|%d|%s|%s|%s|%d" pt.Grid.kernel pt.Grid.unroll
           (Grid.float_str pt.Grid.sw_frac) pt.Grid.queue_depth
           pt.Grid.queue_latency
           (Grid.engine_str pt.Grid.engine)
-          pt.Grid.comm (backend_str pt) );
+          pt.Grid.comm (backend_str pt) pt.Grid.banks );
     ( "unroll",
       (fun pt -> string_of_bool pt.Grid.unroll),
       fun pt ->
-        p "%s|%d|%s|%d|%d|%s|%s|%s" pt.Grid.kernel pt.Grid.nstages
+        p "%s|%d|%s|%d|%d|%s|%s|%s|%d" pt.Grid.kernel pt.Grid.nstages
           (Grid.float_str pt.Grid.sw_frac) pt.Grid.queue_depth
           pt.Grid.queue_latency
           (Grid.engine_str pt.Grid.engine)
-          pt.Grid.comm (backend_str pt) );
+          pt.Grid.comm (backend_str pt) pt.Grid.banks );
     ( "comm",
       (fun pt -> pt.Grid.comm),
       fun pt ->
-        p "%s|%b|%d|%s|%d|%d|%s|%s" pt.Grid.kernel pt.Grid.unroll
+        p "%s|%b|%d|%s|%d|%d|%s|%s|%d" pt.Grid.kernel pt.Grid.unroll
           pt.Grid.nstages
           (Grid.float_str pt.Grid.sw_frac)
           pt.Grid.queue_depth pt.Grid.queue_latency
           (Grid.engine_str pt.Grid.engine)
-          (backend_str pt) );
+          (backend_str pt) pt.Grid.banks );
     ( "backend",
       backend_str,
       fun pt ->
-        p "%s|%b|%d|%s|%d|%d|%s|%s" pt.Grid.kernel pt.Grid.unroll
+        p "%s|%b|%d|%s|%d|%d|%s|%s|%d" pt.Grid.kernel pt.Grid.unroll
           pt.Grid.nstages
           (Grid.float_str pt.Grid.sw_frac)
           pt.Grid.queue_depth pt.Grid.queue_latency
           (Grid.engine_str pt.Grid.engine)
-          pt.Grid.comm );
+          pt.Grid.comm pt.Grid.banks );
+    ( "banks",
+      (fun pt -> string_of_int pt.Grid.banks),
+      fun pt ->
+        p "%s|%b|%d|%s|%d|%d|%s|%s|%s" pt.Grid.kernel pt.Grid.unroll
+          pt.Grid.nstages
+          (Grid.float_str pt.Grid.sw_frac)
+          pt.Grid.queue_depth pt.Grid.queue_latency
+          (Grid.engine_str pt.Grid.engine)
+          pt.Grid.comm (backend_str pt) );
   ]
 
 let axis_values (g : Grid.t) (axis : string) : string list =
@@ -134,6 +143,7 @@ let axis_values (g : Grid.t) (axis : string) : string list =
   | "unroll" -> List.map string_of_bool g.Grid.unrolls
   | "comm" -> g.Grid.comms
   | "backend" -> List.map Grid.Schedule.backend_name g.Grid.backends
+  | "banks" -> List.map string_of_int g.Grid.banks
   | _ -> []
 
 let sensitivities (g : Grid.t) (rs : result list) : sensitivity list =

@@ -26,13 +26,28 @@ let unit_cost : Schedule.res_class -> t = function
   | Schedule.Cqueue -> { luts = 6; dsps = 0; brams = 0 }
   | Schedule.Cfree -> zero
 
+(* Per-thread cost of reaching [banks] memory banks: each bank beyond
+   the first adds a memory-port interface, and the thread's access path
+   gains the bank-select decode plus the 32-bit read-data return mux. *)
+let banking_cost ~banks : t =
+  if banks <= 1 then zero
+  else
+    {
+      luts =
+        ((banks - 1) * (unit_cost Schedule.Cmem).luts)
+        + Costmodel.bank_decode_luts
+        + (banks * Costmodel.bank_mux_luts);
+      dsps = 0;
+      brams = 0;
+    }
+
 (* Area of one hardware thread (one scheduled function): bound functional
    units + FSM control + datapath registers/routing.  Per-state control
    cost grows with the machine's size: a monolithic FSM needs wider state
    encoding, deeper next-state logic and larger operand-sharing muxes —
    the structural reason the thesis's pure-LegUp translations are larger
    than the sum of Twill's small per-thread machines (§6.2). *)
-let of_schedule (f : func) (s : Schedule.t) : t =
+let of_schedule ?(banks = 1) (f : func) (s : Schedule.t) : t =
   let fu =
     sum
       (List.map
@@ -47,7 +62,7 @@ let of_schedule (f : func) (s : Schedule.t) : t =
     { luts = Costmodel.fsm_base_luts + (per_state * nstates); dsps = 0; brams = 0 }
   in
   let datapath = { luts = 2 * num_live_insts f; dsps = 0; brams = 0 } in
-  add fu (add fsm datapath)
+  add (banking_cost ~banks) (add fu (add fsm datapath))
 
 (* Area of one hardware thread lowered through the elastic dataflow
    backend: the same bound functional units and datapath, but distributed
@@ -57,7 +72,7 @@ let of_schedule (f : func) (s : Schedule.t) : t =
    its ASAP peaks may bind more units than the resource-constrained list
    schedule, which is exactly the control-vs-compute trade the backend
    axis exposes to the DSE. *)
-let of_elastic_schedule (f : func) (s : Schedule.t) : t =
+let of_elastic_schedule ?(banks = 1) (f : func) (s : Schedule.t) : t =
   let fu =
     sum
       (List.map
@@ -84,7 +99,7 @@ let of_elastic_schedule (f : func) (s : Schedule.t) : t =
     }
   in
   let datapath = { luts = 2 * num_live_insts f; dsps = 0; brams = 0 } in
-  add fu (add control datapath)
+  add (banking_cost ~banks) (add fu (add control datapath))
 
 (* BRAM blocks for locally stored data (pure-LegUp flow keeps globals and
    arrays in FPGA memories; 18 kb BRAM ~ 512 words of 32 bits usable). *)

@@ -18,14 +18,21 @@ val sum : t list -> t
 val unit_cost : Schedule.res_class -> t
 (** Cost of one bound functional unit of the class. *)
 
-val of_schedule : func -> Schedule.t -> t
-(** Area of one hardware thread under the monolithic FSM backend. *)
+val banking_cost : banks:int -> t
+(** Per-thread cost of reaching [banks] memory banks: the extra port
+    interfaces, the bank-select decode and the read-data return mux.
+    {!zero} at [banks <= 1]. *)
 
-val of_elastic_schedule : func -> Schedule.t -> t
+val of_schedule : ?banks:int -> func -> Schedule.t -> t
+(** Area of one hardware thread under the monolithic FSM backend.
+    [banks] (default 1) adds {!banking_cost}. *)
+
+val of_elastic_schedule : ?banks:int -> func -> Schedule.t -> t
 (** Area of one hardware thread under the elastic dataflow backend: same
     functional-unit binding and datapath, distributed per-stage/per-channel
     control instead of the FSM's superlinear per-state term.  Expects a
-    [Schedule.Dataflow] schedule. *)
+    [Schedule.Dataflow] schedule.  [banks] (default 1) adds
+    {!banking_cost}. *)
 
 val brams_for_words : int -> int
 (** 18 kb BRAMs needed for [words] 32-bit words. *)

@@ -100,8 +100,24 @@ let order_chain_of k =
   | Call _ -> Oboth
   | _ -> Onone
 
+(* Memory banking splits the one total memory ordering chain into one
+   chain (and one set of [res.mem] ports) per bank.  [bank_of_id] is the
+   static bank of each access (Memdep.bank_table): [Some b] chains only
+   against bank [b]; [None] (may touch several banks — or a call, which
+   reaches memory through its callee) conservatively joins every bank's
+   chain and occupies a port in every bank.  With [nbanks = 1] the
+   schedule is identical to the unbanked one. *)
+type banking = { nbanks : int; bank_of_id : int -> int option }
+
+let no_banking = { nbanks = 1; bank_of_id = (fun _ -> Some 0) }
+
 let schedule ?(res = default_resources) ?(modulo = true) ?(backend = Fsm)
-    (f : func) : t =
+    ?(banking = no_banking) (f : func) : t =
+  let nb = max 1 banking.nbanks in
+  let bank_of id = match banking.bank_of_id id with
+    | Some b when b >= 0 && b < nb -> Some b
+    | _ -> None
+  in
   let start_state = Hashtbl.create 64 in
   let nstates = Array.make (Vec.length f.blocks) 1 in
   let ii = Array.make (Vec.length f.blocks) 0 in
@@ -116,20 +132,23 @@ let schedule ?(res = default_resources) ?(modulo = true) ?(backend = Fsm)
     (fun (b : block) ->
       let ids = Array.of_list b.insts in
       ignore (Array.length ids);
-      (* usage.(state) per class, growable *)
-      let usage : (res_class, int array ref) Hashtbl.t = Hashtbl.create 8 in
-      let used cls s =
-        match Hashtbl.find_opt usage cls with
+      (* usage.(state) per (class, bank), growable; non-memory classes
+         always use bank 0 *)
+      let usage : (res_class * int, int array ref) Hashtbl.t =
+        Hashtbl.create 8
+      in
+      let used cls bk s =
+        match Hashtbl.find_opt usage (cls, bk) with
         | Some a when s < Array.length !a -> !a.(s)
         | _ -> 0
       in
-      let use cls s =
+      let use cls bk s =
         let a =
-          match Hashtbl.find_opt usage cls with
+          match Hashtbl.find_opt usage (cls, bk) with
           | Some a -> a
           | None ->
               let a = ref (Array.make 16 0) in
-              Hashtbl.replace usage cls a;
+              Hashtbl.replace usage (cls, bk) a;
               a
         in
         if s >= Array.length !a then begin
@@ -146,7 +165,8 @@ let schedule ?(res = default_resources) ?(modulo = true) ?(backend = Fsm)
          further chainable ops in the same state up to [max_chain_depth] *)
       let avail : (int, int * int) Hashtbl.t = Hashtbl.create 16 in
       let finish = ref 1 in
-      let last_mem_end = ref 0 in
+      let last_mem_end = Array.make nb 0 in
+      let all_mem_end () = Array.fold_left max 0 last_mem_end in
       let last_queue_end = ref 0 in
       Array.iter
         (fun id ->
@@ -156,6 +176,8 @@ let schedule ?(res = default_resources) ?(modulo = true) ?(backend = Fsm)
           let lat = latency_of_kind k in
           let chain = chainable k in
           let oc = order_chain_of k in
+          (* static bank of a memory access; None joins every bank *)
+          let mbank = if cls = Cmem then bank_of id else None in
           (* earliest (state, level) this op may start at, lexicographic *)
           let later (s1, l1) (s2, l2) =
             if s1 <> s2 then if s1 > s2 then (s1, l1) else (s2, l2)
@@ -183,9 +205,12 @@ let schedule ?(res = default_resources) ?(modulo = true) ?(backend = Fsm)
           in
           let order_floor =
             match oc with
-            | Omem -> !last_mem_end
+            | Omem -> (
+                match mbank with
+                | Some b -> last_mem_end.(b)
+                | None -> all_mem_end ())
             | Oqueue -> !last_queue_end
-            | Oboth -> max !last_mem_end !last_queue_end
+            | Oboth -> max (all_mem_end ()) !last_queue_end
             | Onone -> 0
           in
           let dep_state, dep_level =
@@ -201,20 +226,47 @@ let schedule ?(res = default_resources) ?(modulo = true) ?(backend = Fsm)
           let cap =
             match backend with Fsm -> units res cls | Dataflow -> max_int
           in
+          let blocked st =
+            match (cls, mbank) with
+            | Cmem, None ->
+                (* may touch any bank: needs a free port in each *)
+                let hit = ref false in
+                for bk = 0 to nb - 1 do
+                  if used Cmem bk st >= cap then hit := true
+                done;
+                !hit
+            | Cmem, Some b -> used Cmem b st >= cap
+            | _ -> used cls 0 st >= cap
+          in
           if cap <> max_int then
-            while used cls !s >= cap do
+            while blocked !s do
               incr s;
               level := 0
             done;
-          if cls <> Cfree then use cls !s;
+          (if cls <> Cfree then
+             match (cls, mbank) with
+             | Cmem, None ->
+                 for bk = 0 to nb - 1 do
+                   use Cmem bk !s
+                 done
+             | Cmem, Some b -> use Cmem b !s
+             | _ -> use cls 0 !s);
           Hashtbl.replace start_state id !s;
           Hashtbl.replace avail id
             (if chain then (!s, !level + 1) else (!s + lat, 0));
           (match oc with
-          | Omem -> last_mem_end := !s + lat
+          | Omem -> (
+              match mbank with
+              | Some b -> last_mem_end.(b) <- !s + lat
+              | None ->
+                  for bk = 0 to nb - 1 do
+                    last_mem_end.(bk) <- !s + lat
+                  done)
           | Oqueue -> last_queue_end := !s + lat
           | Oboth ->
-              last_mem_end := !s + lat;
+              for bk = 0 to nb - 1 do
+                last_mem_end.(bk) <- !s + lat
+              done;
               last_queue_end := !s + lat
           | Onone -> ());
           finish := max !finish (!s + if chain then 1 else lat))
@@ -235,21 +287,33 @@ let schedule ?(res = default_resources) ?(modulo = true) ?(backend = Fsm)
           (* ResMII: the serial divider is busy for its full latency; the
              other units issue one operation per cycle *)
           let busy_of cls = match cls with Cdiv -> 13 | _ -> 1 in
+          (* per (class, bank): memory pressure counts against each
+             bank's own ports, so provably-spread accesses no longer
+             floor the II together *)
           let counts = Hashtbl.create 8 in
+          let count key n =
+            Hashtbl.replace counts key
+              (n + (try Hashtbl.find counts key with Not_found -> 0))
+          in
           Array.iter
             (fun id ->
               let cls = class_of_kind (inst f id).kind in
               if cls <> Cfree then
-                Hashtbl.replace counts cls
-                  (busy_of cls
-                  + (try Hashtbl.find counts cls with Not_found -> 0)))
+                if cls = Cmem then (
+                  match bank_of id with
+                  | Some b -> count (Cmem, b) (busy_of cls)
+                  | None ->
+                      for bk = 0 to nb - 1 do
+                        count (Cmem, bk) (busy_of cls)
+                      done)
+                else count (cls, 0) (busy_of cls))
             ids;
           (* Elastic stages bind their own ALUs/multipliers/dividers, so
-             only the module-shared domains (one memory-bus port, one
-             runtime-call slot) constrain the dataflow II. *)
+             only the module-shared domains (the per-bank memory ports,
+             one runtime-call slot) constrain the dataflow II. *)
           let res_mii =
             Hashtbl.fold
-              (fun cls c acc ->
+              (fun (cls, _) c acc ->
                 let shared =
                   match backend with
                   | Fsm -> true
@@ -263,7 +327,9 @@ let schedule ?(res = default_resources) ?(modulo = true) ?(backend = Fsm)
           (* loop-carried memory recurrences: a store whose address operand
              is syntactically identical to an earlier load's (same scalar
              cell every iteration, e.g. a global accumulator) forces the
-             next iteration's load to wait for this store *)
+             next iteration's load to wait for this store.  Identical
+             addresses live in the same bank, so this constraint is
+             per-bank by construction — banking never relaxes it. *)
           let mem_mii = ref 1 in
           Array.iter
             (fun sid ->
@@ -363,6 +429,11 @@ type cache_entry = {
   eres : resources;
   emodulo : bool;
   ebackend : backend;
+  (* bank count only: the bank map is a pure function of the module and
+     the count, and the physical [func] key pins the module version, so
+     two [banking] values with equal [nbanks] yield equal schedules.
+     0 = scheduled without banking. *)
+  ebanks : int;
   esched : t;
 }
 
@@ -379,7 +450,8 @@ let clear_cache () =
   Mutex.unlock cache_mutex
 
 let cached ?(res = default_resources) ?(modulo = true) ?(backend = Fsm)
-    (f : func) : t =
+    ?banking (f : func) : t =
+  let ebanks = match banking with None -> 0 | Some b -> max 1 b.nbanks in
   Mutex.lock cache_mutex;
   let entries = Func_tbl.find_opt cache f in
   let hit =
@@ -387,7 +459,9 @@ let cached ?(res = default_resources) ?(modulo = true) ?(backend = Fsm)
     | None -> None
     | Some l ->
         List.find_opt
-          (fun e -> e.eres = res && e.emodulo = modulo && e.ebackend = backend)
+          (fun e ->
+            e.eres = res && e.emodulo = modulo && e.ebackend = backend
+            && e.ebanks = ebanks)
           !l
   in
   Mutex.unlock cache_mutex;
@@ -396,14 +470,12 @@ let cached ?(res = default_resources) ?(modulo = true) ?(backend = Fsm)
   | None ->
       (* compute outside the lock: schedules are pure, so two domains
          racing on the same function at worst duplicate work *)
-      let s = schedule ~res ~modulo ~backend f in
+      let s = schedule ~res ~modulo ~backend ?banking f in
+      let e = { eres = res; emodulo = modulo; ebackend = backend; ebanks; esched = s } in
       Mutex.lock cache_mutex;
       (if Func_tbl.length cache > cache_bound then Func_tbl.reset cache);
       (match Func_tbl.find_opt cache f with
-      | Some l ->
-          l := { eres = res; emodulo = modulo; ebackend = backend; esched = s } :: !l
-      | None ->
-          Func_tbl.replace cache f
-            (ref [ { eres = res; emodulo = modulo; ebackend = backend; esched = s } ]));
+      | Some l -> l := e :: !l
+      | None -> Func_tbl.replace cache f (ref [ e ]));
       Mutex.unlock cache_mutex;
       s

@@ -60,6 +60,16 @@ type order_chain = Omem | Oqueue | Oboth | Onone
 
 val order_chain_of : kind -> order_chain
 
+(** Memory banking: one ordering chain and one set of [res.mem] ports
+    per bank instead of a single module-wide memory domain.
+    [bank_of_id] is the static bank of each access
+    ({!Twill_ir.Memdep.bank_table}): [Some b] chains only against bank
+    [b]; [None] joins every bank's chain and occupies a port in every
+    bank.  With [nbanks = 1] schedules are identical to unbanked. *)
+type banking = { nbanks : int; bank_of_id : int -> int option }
+
+val no_banking : banking
+
 type t = {
   nstates : int array;  (** per block: FSM states (>= 1) *)
   start_state : (int, int) Hashtbl.t;  (** instruction id -> start state *)
@@ -71,17 +81,23 @@ type t = {
   total_states : int;
 }
 
-val schedule : ?res:resources -> ?modulo:bool -> ?backend:backend -> func -> t
+val schedule :
+  ?res:resources -> ?modulo:bool -> ?backend:backend -> ?banking:banking ->
+  func -> t
 
-val cached : ?res:resources -> ?modulo:bool -> ?backend:backend -> func -> t
+val cached :
+  ?res:resources -> ?modulo:bool -> ?backend:backend -> ?banking:banking ->
+  func -> t
 (** Like {!schedule}, but memoized across calls in a process-wide,
     mutex-guarded cache keyed by function *identity* (physical equality)
     and the scheduling configuration.  Safe because transforms produce
     fresh [func] values rather than reusing scheduled instances; callers
-    must only schedule functions that are done being mutated.  Used by
-    the runtime simulator, the area accounting and the driver so one
-    function is scheduled once per configuration instead of once per
-    consumer. *)
+    must only schedule functions that are done being mutated.  Banking
+    is keyed by its bank count alone — the bank map is a pure function
+    of the module and the count, and the physical key pins the module
+    version.  Used by the runtime simulator, the area accounting and the
+    driver so one function is scheduled once per configuration instead
+    of once per consumer. *)
 
 val clear_cache : unit -> unit
 (** Drops every memoized schedule (tests / long-running sweeps). *)

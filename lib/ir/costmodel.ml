@@ -80,6 +80,13 @@ let queue_dsps = 1
 let fsm_state_luts = 4
 let fsm_base_luts = 30
 
+(* Banked memory: per-thread cost of reaching N banks.  The read-data
+   return path needs a 32-bit N:1 mux (one 6-LUT 4:1 mux per bit per
+   level on Virtex-5) and each bank adds its address-decode comparator
+   and grant logic at the thread's port. *)
+let bank_decode_luts = 32 (* data-return mux, banks <= 4 (one level) *)
+let bank_mux_luts = 8 (* per bank: decode comparator + grant *)
+
 (* Elastic dataflow control: each basic-block stage carries a token
    register, a small step counter and its firing logic; each CFG edge a
    valid/ready channel.  Distributed one-hot control has no wide state

@@ -39,6 +39,13 @@ val queue_dsps : int
 val fsm_state_luts : int
 val fsm_base_luts : int
 
+val bank_decode_luts : int
+(** Per-thread 32-bit data-return mux when memory is banked (one level
+    for banks <= 4). *)
+
+val bank_mux_luts : int
+(** Per bank: address-decode comparator + grant logic at the port. *)
+
 val elastic_stage_luts : int
 (** Per-basic-block stage controller of the dataflow backend: token
     register, step counter, firing logic. *)

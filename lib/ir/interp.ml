@@ -90,6 +90,11 @@ type state = {
   (* invoked on every Load/Store at charge time (before operand
      evaluation) — the simulator's memory-bus contention point *)
   mem_hook : (func -> inst -> unit) option;
+  (* invoked on every Load/Store with the evaluated word address, just
+     before the access happens — the runtime alias-checker's probe.
+     Unlike [mem_hook] this sees the concrete address, so it can check
+     static disambiguation claims against the actual trace. *)
+  mem_trace : (func -> inst -> int32 -> unit) option;
 }
 
 let to_u64 v = Int64.logand (Int64.of_int32 v) 0xFFFFFFFFL
@@ -175,10 +180,14 @@ let rec exec_func st (f : func) (args : int32 array) : int32 =
     | Gep (base, idx) -> regs.(i.id) <- Int32.add (eval base) (eval idx)
     | Load a ->
         memh i;
-        regs.(i.id) <- load st (eval a)
+        let ad = eval a in
+        (match st.mem_trace with Some h -> h f i ad | None -> ());
+        regs.(i.id) <- load st ad
     | Store (a, v) ->
         memh i;
-        store st (eval a) (eval v)
+        let ad = eval a in
+        (match st.mem_trace with Some h -> h f i ad | None -> ());
+        store st ad (eval v)
     | Call (name, cargs) ->
         let callee = find_func st.m name in
         regs.(i.id) <- exec_func st callee (Array.map eval cargs)
@@ -659,10 +668,14 @@ let rec exec_decoded st (d : dfunc) (args : int32 array) : int32 =
            else Array.unsafe_get regs b)
     | Xload_r a ->
         (match st.mem_hook with Some h -> h f di.isrc | None -> ());
-        Array.unsafe_set regs di.dest (load st (Array.unsafe_get regs a))
+        let ad = Array.unsafe_get regs a in
+        (match st.mem_trace with Some h -> h f di.isrc ad | None -> ());
+        Array.unsafe_set regs di.dest (load st ad)
     | Xstore_rr (a, v) ->
         (match st.mem_hook with Some h -> h f di.isrc | None -> ());
-        store st (Array.unsafe_get regs a) (Array.unsafe_get regs v)
+        let ad = Array.unsafe_get regs a in
+        (match st.mem_trace with Some h -> h f di.isrc ad | None -> ());
+        store st ad (Array.unsafe_get regs v)
     | Xbinop (op, a, b) -> regs.(di.dest) <- eval_binop op (eval a) (eval b)
     | Xicmp (op, a, b) -> regs.(di.dest) <- eval_icmp op (eval a) (eval b)
     | Xselect (c, a, b) ->
@@ -671,10 +684,14 @@ let rec exec_decoded st (d : dfunc) (args : int32 array) : int32 =
     | Xgep (base, idx) -> regs.(di.dest) <- Int32.add (eval base) (eval idx)
     | Xload a ->
         (match st.mem_hook with Some h -> h f di.isrc | None -> ());
-        regs.(di.dest) <- load st (eval a)
+        let ad = eval a in
+        (match st.mem_trace with Some h -> h f di.isrc ad | None -> ());
+        regs.(di.dest) <- load st ad
     | Xstore (a, v) ->
         (match st.mem_hook with Some h -> h f di.isrc | None -> ());
-        store st (eval a) (eval v)
+        let ad = eval a in
+        (match st.mem_trace with Some h -> h f di.isrc ad | None -> ());
+        store st ad (eval v)
     | Xcall (callee, cargs) ->
         regs.(di.dest) <- exec_decoded st (Lazy.force callee) (Array.map eval cargs)
     | Xprint v -> st.prints <- eval v :: st.prints
@@ -770,7 +787,7 @@ let zero_cost (_ : func) (_ : inst) : int = 0
 let run_shared ?(fuel = -1) ~(layout : Layout.t) ~(mem : int32 array)
     ?(handlers = no_handlers) ?fast_handlers ?(cost = default_cost)
     ?(term_cost = default_term_cost) ?(charge_cycles = true)
-    ?(engine = Decoded) ?ctx ?mem_hook ?cycles_cell (m : modul)
+    ?(engine = Decoded) ?ctx ?mem_hook ?mem_trace ?cycles_cell (m : modul)
     ~(entry : string) ~(args : int32 array) : result =
   let st =
     {
@@ -792,6 +809,7 @@ let run_shared ?(fuel = -1) ~(layout : Layout.t) ~(mem : int32 array)
          else Cm_hook);
       fast_term = term_cost == default_term_cost;
       mem_hook;
+      mem_trace;
     }
   in
   let ret =

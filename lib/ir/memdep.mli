@@ -1,0 +1,86 @@
+(** Memory disambiguation and array banking.
+
+    The dependence oracle proves two memory accesses can never touch the
+    same word (base-object separation from allocas/globals plus affine
+    gep-offset residue classes, conservative everywhere else).  On top
+    of it, {!plan} computes a *virtual* banking of the flat memory
+    space: a bijection [addr <-> (bank, local)] plus a static
+    per-instruction bank table.  Nothing in the IR or layout is mutated
+    — consumers (per-bank scheduler chains, rtsim bus arbitration, RTL
+    memory decode) apply the map themselves, so program semantics are
+    banking-invariant by construction and the bank count keys only
+    simulation-level caches. *)
+
+open Ir
+
+type base = Bglobal of string | Balloca of string * int  (** func, inst id *)
+
+type baseset = Known of base list | Unknown
+
+(** The residue class [{ aconst + agcd * k | k in Z }]; [agcd = 0] means
+    exactly [aconst], [agcd = 1] any value. *)
+type affine = { aconst : int32; agcd : int }
+
+val aff_collide : affine -> affine -> bool
+(** May the two residue classes share an element? *)
+
+type t
+(** Flow-insensitive interprocedural analysis of one module. *)
+
+val build : modul -> t
+
+val addr_info : t -> func -> operand -> baseset * affine
+(** Objects an address operand may point into, and its affine offset
+    relative to the object base. *)
+
+val may_same_address : t -> func -> inst -> func -> inst -> bool
+(** May the two accesses (Load/Store) touch the same word?  True for
+    any non-access instruction pair. *)
+
+val independent : t -> func -> inst -> func -> inst -> bool
+(** [not may_same_address] — answers true only on proof. *)
+
+(* --- banking ------------------------------------------------------------ *)
+
+type policy = Pblock | Pcyclic
+
+type region = {
+  r_base : int;  (** first word of the region *)
+  r_words : int;
+  r_policy : policy;
+  r_bank : int;  (** bank for [Pblock]; ignored for [Pcyclic] *)
+  r_local : int array;  (** per-bank local base of the region's words *)
+}
+
+type plan = {
+  pn : int;  (** bank count (>= 1) *)
+  pt : t;
+  playout : Layout.t;
+  regions : region list;  (** in address order, covering [0, words_used) *)
+  bank_of_word : int array;
+  local_of_word : int array;
+  bank_words : int array;  (** in-image words per bank (RTL sizing) *)
+  tail_local : int array;
+}
+
+val plan : t -> Layout.t -> banks:int -> plan
+(** Partition the address space across [banks] banks.  Per object the
+    policy is cyclic (word [x] of the object to bank [x mod n]) when the
+    object's accesses are all strided in multiples of [n] with at least
+    two distinct residues, block (whole object into one bank, greedily
+    balancing static access weight) otherwise. *)
+
+val bank_of_addr : plan -> int32 -> int
+val local_of_addr : plan -> int32 -> int
+(** Total over the whole address space and jointly injective:
+    [addr <-> (bank_of_addr a, local_of_addr a)] is a bijection. *)
+
+val bank_of_inst : plan -> func -> inst -> int option
+(** Static bank of an access: [Some b] iff every object the address may
+    point to, combined with the affine offset, lands in bank [b] for
+    every dynamic index.  [None] means the access takes the all-banks
+    conservative path. *)
+
+val bank_table : plan -> func -> int option array
+(** {!bank_of_inst} for every instruction of [f], indexed by id
+    ([None] for non-accesses). *)

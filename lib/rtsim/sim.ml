@@ -56,6 +56,7 @@ open Effect.Deep
 open Twill_ir.Ir
 module Interp = Twill_ir.Interp
 module Costmodel = Twill_ir.Costmodel
+module Memdep = Twill_ir.Memdep
 module Schedule = Twill_hls.Schedule
 module Threadgen = Twill_dswp.Threadgen
 
@@ -86,6 +87,13 @@ type config = {
   bus_contention : bool;
   fuel : int;
   engine : engine; (* default engine; [simulate ?engine] overrides *)
+  (* memory banks (Memdep.plan): each bank gets its own bus arbiter, and
+     hardware threads replay schedules with per-bank ordering chains.
+     1 = the single shared memory port (identical to pre-banking) *)
+  mem_banks : int;
+  (* debug: trap when two accesses the dependence analysis declared
+     independent touch the same address within a cycle window *)
+  check_memdep : bool;
 }
 
 let default_config =
@@ -98,6 +106,8 @@ let default_config =
     bus_contention = true;
     fuel = 300_000_000;
     engine = Compiled;
+    mem_banks = 1;
+    check_memdep = false;
   }
 
 (* Per-channel communication profile, the input of the lib/comm
@@ -131,7 +141,13 @@ type stats = {
   queue_peaks : int array;
   queue_profiles : queue_profile array;
   module_bus_waits : int;
-  memory_bus_waits : int;
+  memory_bus_waits : int; (* summed over banks *)
+  (* per-bank memory-bus profile: granted slots (occupancy) and
+     arbitration wait cycles.  Length = mem_banks; [|_|] when unbanked.
+     Updated with identical arithmetic by both engines —
+     [stats_mismatch] compares them byte-for-byte. *)
+  mem_bank_grants : int array;
+  mem_bank_waits : int array;
 }
 
 (* What a parked thread is waiting on — carried into the [Deadlock]
@@ -348,8 +364,37 @@ let simulate ?(config = default_config) ?(master = 0) ?engine
   let engine = match engine with Some e -> e | None -> config.engine in
   let layout, mem = Interp.fresh_memory m in
   let module_bus = Bus.create "module" in
-  let memory_bus = Bus.create "memory" in
+  let nbanks = max 1 config.mem_banks in
+  (* one arbiter per bank; bank 0 keeps the historic "memory" label so
+     the unbanked configuration is bit-identical to the single-bus code *)
+  let mem_buses =
+    Array.init nbanks (fun k ->
+        Bus.create (if k = 0 then "memory" else Printf.sprintf "memory.%d" k))
+  in
+  let memory_bus = mem_buses.(0) in
   let reserve bus t = if config.bus_contention then Bus.reserve bus t else t in
+  (* memory disambiguation: built on demand (banked sim or checker on).
+     The plan is a pure function of (module, nbanks), so it is safe to
+     key caches on the bank count alone. *)
+  let banking_plan =
+    lazy
+      (let md = Memdep.build m in
+       Memdep.plan md layout ~banks:nbanks)
+  in
+  let bank_tables : (string, int option array) Hashtbl.t = Hashtbl.create 16 in
+  let bank_table_of (f : func) : int option array =
+    match Hashtbl.find_opt bank_tables f.name with
+    | Some t -> t
+    | None ->
+        let t = Memdep.bank_table (Lazy.force banking_plan) f in
+        Hashtbl.replace bank_tables f.name t;
+        t
+  in
+  (* static bank of an access, None = may touch any bank *)
+  let bank_of_access (f : func) (i : inst) : int option =
+    let tbl = bank_table_of f in
+    if i.id >= 0 && i.id < Array.length tbl then tbl.(i.id) else None
+  in
   let qs = make_queues config queues in
   let sems =
     Array.init (max 1 nsems) (fun _ ->
@@ -363,9 +408,22 @@ let simulate ?(config = default_config) ?(master = 0) ?engine
     match Hashtbl.find_opt schedules fname with
     | Some s -> s
     | None ->
+        let f = find_func m fname in
+        let banking =
+          if nbanks = 1 then None
+          else
+            let tbl = bank_table_of f in
+            Some
+              {
+                Schedule.nbanks;
+                bank_of_id =
+                  (fun id ->
+                    if id >= 0 && id < Array.length tbl then tbl.(id) else None);
+              }
+        in
         let s =
           Schedule.cached ~res:config.resources ~modulo:config.modulo
-            ~backend:config.backend (find_func m fname)
+            ~backend:config.backend ?banking f
         in
         Hashtbl.replace schedules fname s;
         s
@@ -389,6 +447,59 @@ let simulate ?(config = default_config) ?(master = 0) ?engine
     Out_of_fuel
       (Printf.sprintf "thread t%d %s exhausted the %d-instruction budget" ti
          threads.(ti).tname config.fuel)
+  in
+  (* Runtime alias checker ([config.check_memdep]): fed the evaluated
+     word address of every shared-memory access through the
+     interpreter's [mem_trace] hook.  Traps when (a) an access with a
+     static bank claim lands in a different bank, or (b) two accesses
+     the oracle declared independent touch the same address within a
+     2-cycle window — exactly the situations where banked scheduling
+     or arbitration could have reordered a real dependence.  The hook
+     is pure observation: it never touches clocks or buses, so enabling
+     it cannot change timing in either engine. *)
+  let mem_trace_of : int -> thread_spec -> (func -> inst -> int32 -> unit) option
+      =
+    if not config.check_memdep then fun _ _ -> None
+    else begin
+      let plan = Lazy.force banking_plan in
+      let md = plan.Memdep.pt in
+      let wsize = 64 in
+      let window : (func * inst * int32 * int) option array =
+        Array.make wsize None
+      in
+      let wpos = ref 0 in
+      fun ti spec ->
+        if spec.local_memory then None
+        else
+          Some
+            (fun f i addr ->
+              (match bank_of_access f i with
+              | Some b when Memdep.bank_of_addr plan addr <> b ->
+                  failwith
+                    (Printf.sprintf
+                       "check_memdep: %s#%d claims bank %d but address %ld is \
+                        in bank %d"
+                       f.name i.id b addr
+                       (Memdep.bank_of_addr plan addr))
+              | _ -> ());
+              let t = clocks.(ti) in
+              Array.iter
+                (function
+                  | Some (f', (i' : inst), addr', t')
+                    when addr' = addr
+                         && abs (t - t') <= 2
+                         && Memdep.independent md f i f' i' ->
+                      failwith
+                        (Printf.sprintf
+                           "check_memdep: %s#%d and %s#%d were declared \
+                            independent but both touched address %ld (cycles \
+                            %d and %d)"
+                           f.name i.id f'.name i'.id addr t t')
+                  | _ -> ())
+                window;
+              window.(!wpos) <- Some (f, i, addr, t);
+              wpos := (!wpos + 1) mod wsize)
+    end
   in
   if
     (* Single software thread, no cross-thread runtime state: the
@@ -440,7 +551,22 @@ let simulate ?(config = default_config) ?(master = 0) ?engine
               else 0
             in
             let request = clocks.(ti) + slot in
-            let grant = reserve memory_bus request in
+            let grant =
+              if nbanks = 1 then reserve memory_bus request
+              else
+                match bank_of_access f i with
+                | Some b -> reserve mem_buses.(b) request
+                | None ->
+                    (* may touch any bank: occupy a slot on every bank,
+                       stall until the last grant (banks in index order —
+                       the compiled engine must match exactly) *)
+                    let g = ref request in
+                    for k = 0 to nbanks - 1 do
+                      let gk = reserve mem_buses.(k) request in
+                      if gk > !g then g := gk
+                    done;
+                    !g
+            in
             if grant > request then
               clocks.(ti) <- clocks.(ti) + (grant - request))
     in
@@ -590,7 +716,8 @@ let simulate ?(config = default_config) ?(master = 0) ?engine
                          try
                            Interp.run_shared ~fuel:config.fuel ~layout ~mem
                              ~handlers:(make_handlers ti get set)
-                             ~charge_cycles:true ~ctx:ictx ~cycles_cell:cell m
+                             ~charge_cycles:true ~ctx:ictx ~cycles_cell:cell
+                             ?mem_trace:(mem_trace_of ti spec) m
                              ~entry:spec.tname ~args:[||]
                          with Interp.Out_of_fuel -> raise (out_of_fuel ti)
                        in
@@ -606,7 +733,8 @@ let simulate ?(config = default_config) ?(master = 0) ?engine
                              ~handlers:(make_handlers ti get set)
                              ~cost:Interp.zero_cost
                              ~term_cost:(make_term_cost ti) ~charge_cycles:true
-                             ~ctx:ictx ?mem_hook:(make_mem_hook ti spec) m
+                             ~ctx:ictx ?mem_hook:(make_mem_hook ti spec)
+                             ?mem_trace:(mem_trace_of ti spec) m
                              ~entry:spec.tname ~args:[||]
                          with Interp.Out_of_fuel -> raise (out_of_fuel ti)
                        in
@@ -889,17 +1017,33 @@ let simulate ?(config = default_config) ?(master = 0) ?engine
           else
             let cur_f : func option ref = ref None in
             let cur_sl = ref [||] in
+            let cur_bt : int option array ref = ref [||] in
             Some
               (fun f i ->
                 (match !cur_f with
                 | Some g when g == f -> ()
                 | _ ->
                     cur_f := Some f;
-                    cur_sl := slots_of f);
+                    cur_sl := slots_of f;
+                    if nbanks > 1 then cur_bt := bank_table_of f);
                 let request =
                   Array.unsafe_get clocks ti + Array.unsafe_get !cur_sl i.id
                 in
-                let grant = bus_grab memory_bus request in
+                let grant =
+                  if nbanks = 1 then bus_grab memory_bus request
+                  else
+                    match Array.unsafe_get !cur_bt i.id with
+                    | Some b -> bus_grab mem_buses.(b) request
+                    | None ->
+                        (* all-banks conservative path; identical order and
+                           arithmetic to the interpreted engine's *)
+                        let g = ref request in
+                        for k = 0 to nbanks - 1 do
+                          let gk = bus_grab mem_buses.(k) request in
+                          if gk > !g then g := gk
+                        done;
+                        !g
+                in
                 if grant > request then
                   clocks.(ti) <- clocks.(ti) + (grant - request))
         in
@@ -935,7 +1079,8 @@ let simulate ?(config = default_config) ?(master = 0) ?engine
                              Interp.run_shared ~fuel:config.fuel ~layout ~mem
                                ~fast_handlers:(make_fast_sw cell stall)
                                ~charge_cycles:true ~ctx:ictx ~cycles_cell:cell
-                               m ~entry:spec.tname ~args:[||]
+                               ?mem_trace:(mem_trace_of ti spec) m
+                               ~entry:spec.tname ~args:[||]
                            with Interp.Out_of_fuel -> raise (out_of_fuel ti)
                          in
                          clocks.(ti) <- !cell + !stall;
@@ -949,7 +1094,8 @@ let simulate ?(config = default_config) ?(master = 0) ?engine
                                ~cost:Interp.zero_cost
                                ~term_cost:(make_term_cost_c ti)
                                ~charge_cycles:true ~ctx:ictx
-                               ?mem_hook:(make_mem_hook_c ti spec) m
+                               ?mem_hook:(make_mem_hook_c ti spec)
+                               ?mem_trace:(mem_trace_of ti spec) m
                                ~entry:spec.tname ~args:[||]
                            with Interp.Out_of_fuel -> raise (out_of_fuel ti)
                          in
@@ -996,7 +1142,10 @@ let simulate ?(config = default_config) ?(master = 0) ?engine
     queue_peaks = Array.map (fun q -> q.peak) qs;
     queue_profiles = Array.map profile_of qs;
     module_bus_waits = module_bus.Bus.wait_cycles;
-    memory_bus_waits = memory_bus.Bus.wait_cycles;
+    memory_bus_waits =
+      Array.fold_left (fun acc b -> acc + b.Bus.wait_cycles) 0 mem_buses;
+    mem_bank_grants = Array.map (fun b -> b.Bus.grants) mem_buses;
+    mem_bank_waits = Array.map (fun b -> b.Bus.wait_cycles) mem_buses;
   }
 
 (* --- differential engine check ------------------------------------------- *)
@@ -1019,6 +1168,14 @@ let stats_mismatch (a : stats) (b : stats) : string option =
   |> check "executed" istr a.executed b.executed
   |> check "module_bus_waits" istr a.module_bus_waits b.module_bus_waits
   |> check "memory_bus_waits" istr a.memory_bus_waits b.memory_bus_waits
+  |> check "mem_bank_grants"
+       (fun q ->
+         String.concat "," (List.map string_of_int (Array.to_list q)))
+       a.mem_bank_grants b.mem_bank_grants
+  |> check "mem_bank_waits"
+       (fun q ->
+         String.concat "," (List.map string_of_int (Array.to_list q)))
+       a.mem_bank_waits b.mem_bank_waits
   |> check "queue_peaks"
        (fun q ->
          String.concat "," (List.map string_of_int (Array.to_list q)))

@@ -65,6 +65,18 @@ type config = {
       (** engine used when {!simulate} is not given [?engine] explicitly,
           so sweeps (the DSE subsystem, the bench harness) configure one
           record instead of threading a separate engine argument *)
+  mem_banks : int;
+      (** shared-memory banks ({!Twill_ir.Memdep.plan}): each bank gets
+          its own bus arbiter and hardware threads replay schedules with
+          per-bank ordering chains.  1 (the default) keeps the single
+          shared memory port and is bit-identical to the unbanked
+          simulator. *)
+  check_memdep : bool;
+      (** debug: observe the evaluated address of every shared-memory
+          access and trap ([Failure]) if two accesses the dependence
+          oracle declared independent touch the same address within a
+          2-cycle window, or a static bank claim is violated.  Pure
+          observation — never changes timing. *)
 }
 
 val default_config : config
@@ -100,7 +112,11 @@ type stats = {
   queue_peaks : int array;  (** high-water occupancy per queue *)
   queue_profiles : queue_profile array;  (** per-channel comm profile *)
   module_bus_waits : int;  (** arbitration wait cycles *)
-  memory_bus_waits : int;
+  memory_bus_waits : int;  (** summed over all banks *)
+  mem_bank_grants : int array;
+      (** per-bank granted slots (bus occupancy); length = [mem_banks] *)
+  mem_bank_waits : int array;
+      (** per-bank arbitration wait cycles; length = [mem_banks] *)
 }
 
 val simulate :

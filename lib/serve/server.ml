@@ -124,6 +124,7 @@ let options_of_req (j : Json.t) : Twill.options =
       | None -> base.Twill.queue_depth_override);
     queue_latency = get "queue_latency" base.Twill.queue_latency;
     fuel = get "fuel" base.Twill.fuel;
+    mem_banks = get "mem_banks" base.Twill.mem_banks;
     comm =
       (match Json.str_field "comm" j with
       | None -> base.Twill.comm
@@ -135,15 +136,17 @@ let options_of_req (j : Json.t) : Twill.options =
       (match Json.str_field "backend" j with
       | None -> base.Twill.backend
       | Some name -> (
-          match Twill.Schedule.backend_of_string name with
+          match Twill.Enums.backend_of_string name with
           | Ok b -> b
           | Error e -> failwith e));
   }
 
 (* elaboration cache key: source text + every option extraction depends
-   on.  Simulation-level knobs (engine, latency, depth override, fuel)
-   deliberately excluded — they key the response cache instead, so
-   requests differing only in simulator configuration share one design. *)
+   on.  Simulation-level knobs (engine, latency, depth override, fuel,
+   memory banks) deliberately excluded — they key the response cache
+   instead, so requests differing only in simulator configuration share
+   one design.  Banking in particular is virtual: the plan is a pure
+   function of the module, so extraction is banking-invariant. *)
 let elab_digest (src : string) (opts : Twill.options) : string =
   Digest.to_hex
     (Digest.string
@@ -158,19 +161,22 @@ let elab_digest (src : string) (opts : Twill.options) : string =
    lowerings replay the same extraction under different schedules) *)
 let sim_key (digest : string) (opts : Twill.options) (engine : Sim.engine) :
     string =
-  Printf.sprintf "%s:%s;ql=%d;qdo=%s;fuel=%d;bk=%s" digest
+  Printf.sprintf "%s:%s;ql=%d;qdo=%s;fuel=%d;bk=%s;mb=%d" digest
     (Sim.engine_name engine) opts.Twill.queue_latency
     (match opts.Twill.queue_depth_override with
     | None -> "-"
     | Some d -> string_of_int d)
     opts.Twill.fuel
     (Twill.Schedule.backend_name opts.Twill.backend)
+    opts.Twill.mem_banks
 
 let engine_of_req (j : Json.t) : Sim.engine =
   match Json.str_field "engine" j with
-  | Some "interpreted" -> Sim.Interpreted
-  | Some "compiled" | None -> Sim.Compiled
-  | Some other -> failwith ("unknown engine: " ^ other)
+  | None -> Sim.Compiled
+  | Some name -> (
+      match Twill.Enums.sim_engine_of_string name with
+      | Ok e -> e
+      | Error e -> failwith e)
 
 let elaborate_src (t : t) ~(kind : string) ~(src : string)
     ~(opts : Twill.options) : string * elab =

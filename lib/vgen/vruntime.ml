@@ -6,6 +6,7 @@
 
 module Threadgen = Twill_dswp.Threadgen
 module Dswp = Twill_dswp.Dswp
+module Memdep = Twill_ir.Memdep
 
 (* The FIFO queue primitive: [DEPTH] usable slots stored in a DEPTH+1
    circular buffer, stalling the producer by withholding the ack exactly
@@ -257,10 +258,96 @@ module twill_scheduler #(
 endmodule
 |}
 
+(* Banked shared memory, generated per design from a {!Memdep.plan}.
+
+   Each bank is an independent single-port RAM speaking exactly the
+   memory-port protocol of [twill_hw_interface] (request/write/addr/
+   wdata in, rdata/rvalid out) — byte-compatible per bank with the
+   unbanked memory port, so the HWInterface and the call-port protocol
+   of the thread modules are untouched.  Bank k's port only ever
+   receives addresses the plan maps to bank k (the per-bank memory-bus
+   arbiters route by the same static map), so each port's decode chain
+   lists just its own regions: a block region contributes
+   [local = local_base + (addr - region_base)], a cyclic region
+   [local = local_base + (addr - region_base) / nbanks], and the tail
+   past the laid-out image interleaves word-cyclically. *)
+let emit_banked_memory (p : Memdep.plan) : string =
+  let n = p.Memdep.pn in
+  let w = p.Memdep.playout.Twill_ir.Layout.words_used in
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "// Twill runtime: banked shared memory (%d banks), generated\n" n;
+  pr "// per design from the memory-disambiguation banking plan.\n";
+  pr "module twill_banked_mem (\n";
+  pr "  input  wire clk,\n  input  wire rst";
+  for k = 0 to n - 1 do
+    pr ",\n  // bank %d port (section 4.4 memory protocol)\n" k;
+    pr "  input  wire        bk%d_request,\n" k;
+    pr "  input  wire        bk%d_write,\n" k;
+    pr "  input  wire [31:0] bk%d_addr,\n" k;
+    pr "  input  wire [31:0] bk%d_wdata,\n" k;
+    pr "  output reg  [31:0] bk%d_rdata,\n" k;
+    pr "  output reg         bk%d_rvalid" k
+  done;
+  pr "\n);\n";
+  (* in-image words per bank plus tail slack; synthesis sizes the BRAMs *)
+  let slack = 1024 in
+  for k = 0 to n - 1 do
+    pr "  reg [31:0] bank%d [0:%d];\n" k (p.Memdep.bank_words.(k) + slack - 1);
+    pr "  reg [31:0] loc%d;\n" k
+  done;
+  pr "\n  always @(posedge clk) begin\n";
+  pr "    if (rst) begin\n";
+  for k = 0 to n - 1 do
+    pr "      bk%d_rvalid <= 1'b0;\n" k
+  done;
+  pr "    end else begin\n";
+  for k = 0 to n - 1 do
+    pr "      bk%d_rvalid <= 1'b0;\n" k;
+    pr "      if (bk%d_request) begin\n" k;
+    (* decode chain: only this bank's regions, in address order *)
+    let first = ref true in
+    List.iter
+      (fun (r : Memdep.region) ->
+        let guard body =
+          if !first then begin
+            pr "        if (bk%d_addr < %d) %s;\n" k (r.Memdep.r_base + r.Memdep.r_words) body;
+            first := false
+          end
+          else
+            pr "        else if (bk%d_addr < %d) %s;\n" k
+              (r.Memdep.r_base + r.Memdep.r_words) body
+        in
+        match r.Memdep.r_policy with
+        | Memdep.Pblock when r.Memdep.r_bank = k ->
+            guard
+              (Printf.sprintf "loc%d = %d + (bk%d_addr - %d)" k
+                 r.Memdep.r_local.(k) k r.Memdep.r_base)
+        | Memdep.Pblock -> ()
+        | Memdep.Pcyclic ->
+            guard
+              (Printf.sprintf "loc%d = %d + ((bk%d_addr - %d) / %d)" k
+                 r.Memdep.r_local.(k) k r.Memdep.r_base n))
+      p.Memdep.regions;
+    (* tail past the laid-out image: word-cyclic interleave *)
+    if !first then
+      pr "        loc%d = %d + ((bk%d_addr - %d) / %d);\n" k
+        p.Memdep.tail_local.(k) k w n
+    else
+      pr "        else loc%d = %d + ((bk%d_addr - %d) / %d);\n" k
+        p.Memdep.tail_local.(k) k w n;
+    pr "        if (bk%d_write) bank%d[loc%d] <= bk%d_wdata;\n" k k k k;
+    pr "        else bk%d_rdata <= bank%d[loc%d];\n" k k k;
+    pr "        bk%d_rvalid <= 1'b1;\n" k;
+    pr "      end\n"
+  done;
+  pr "    end\n  end\nendmodule\n";
+  Buffer.contents buf
+
 (* Top-level system (Figure 4.1): the extracted design's queues,
    semaphores, hardware threads and their interfaces, the two buses and
    the processor interface. *)
-let emit_system (t : Dswp.threaded) : string =
+let emit_system ?plan (t : Dswp.threaded) : string =
   let buf = Buffer.create 16384 in
   let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let hw_stages =
@@ -348,6 +435,41 @@ let emit_system (t : Dswp.threaded) : string =
      .to_proc(bus_to_proc),\n\
     \    .grant(bus_grant), .proc_grant(proc_grant));\n\n"
     n;
+  (match plan with
+  | Some (p : Memdep.plan) when p.Memdep.pn > 1 ->
+      let nb = p.Memdep.pn in
+      pr "  // banked shared memory: one single-port bank + one memory-bus\n";
+      pr "  // arbiter per bank, so accesses the dependence analysis proved\n";
+      pr "  // disjoint proceed in parallel\n";
+      for k = 0 to nb - 1 do
+        pr "  wire [%d:0] mem%d_request, mem%d_grant, mem%d_to_proc;\n" (n - 1)
+          k k k;
+        pr "  wire mem%d_proc_request, mem%d_proc_grant;\n" k k;
+        pr
+          "  twill_bus_arbiter #(.N(%d)) memory_bus_%d (.clk(clk), \
+           .rst(rst),\n\
+          \    .request(mem%d_request), .proc_request(mem%d_proc_request), \
+           .to_proc(mem%d_to_proc),\n\
+          \    .grant(mem%d_grant), .proc_grant(mem%d_proc_grant));\n"
+          n k k k k k k
+      done;
+      pr "\n";
+      for k = 0 to nb - 1 do
+        pr "  wire bk%d_request, bk%d_write, bk%d_rvalid;\n" k k k;
+        pr "  wire [31:0] bk%d_addr, bk%d_wdata, bk%d_rdata;\n" k k k
+      done;
+      pr "  twill_banked_mem banked_mem (.clk(clk), .rst(rst)";
+      for k = 0 to nb - 1 do
+        pr
+          ",\n\
+          \    .bk%d_request(bk%d_request), .bk%d_write(bk%d_write), \
+           .bk%d_addr(bk%d_addr),\n\
+          \    .bk%d_wdata(bk%d_wdata), .bk%d_rdata(bk%d_rdata), \
+           .bk%d_rvalid(bk%d_rvalid)"
+          k k k k k k k k k k k k
+      done;
+      pr ");\n\n"
+  | _ -> ());
   pr "  // software master runs on the processor; its return value is the\n";
   pr "  // program result (section 5.3)\n";
   pr "  assign done = %s;\n"
@@ -361,9 +483,15 @@ let emit_system (t : Dswp.threaded) : string =
 
 (* Everything needed to synthesise the extracted design: runtime
    primitives + one module per hardware thread + the system top. *)
-let emit_design ?(backend = Twill_hls.Schedule.Fsm) (t : Dswp.threaded) :
-    string =
+let emit_design ?(backend = Twill_hls.Schedule.Fsm) ?(mem_banks = 1)
+    (t : Dswp.threaded) : string =
   let layout = Twill_ir.Layout.build t.Dswp.modul in
+  let plan =
+    if mem_banks <= 1 then None
+    else
+      let md = Memdep.build t.Dswp.modul in
+      Some (Memdep.plan md layout ~banks:mem_banks)
+  in
   let buf = Buffer.create 65536 in
   Buffer.add_string buf queue_module;
   Buffer.add_string buf "\n";
@@ -375,6 +503,11 @@ let emit_design ?(backend = Twill_hls.Schedule.Fsm) (t : Dswp.threaded) :
   Buffer.add_string buf "\n";
   Buffer.add_string buf scheduler_module;
   Buffer.add_string buf "\n";
+  (match plan with
+  | Some p ->
+      Buffer.add_string buf (emit_banked_memory p);
+      Buffer.add_string buf "\n"
+  | None -> ());
   (* hardware threads plus the transitive closure of their callees: each
      non-inlined callee becomes a sub-FSM module the parent instantiates *)
   let emitted = Hashtbl.create 16 in
@@ -395,5 +528,5 @@ let emit_design ?(backend = Twill_hls.Schedule.Fsm) (t : Dswp.threaded) :
     (fun s name ->
       if t.Dswp.roles.(s) = Twill_dswp.Partition.Hw then emit_thread name)
     t.Dswp.stages;
-  Buffer.add_string buf (emit_system t);
+  Buffer.add_string buf (emit_system ?plan t);
   Buffer.contents buf

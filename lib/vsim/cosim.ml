@@ -23,6 +23,7 @@ open Effect
 open Effect.Deep
 module Sim = Twill_rtsim.Sim
 module Interp = Twill_ir.Interp
+module Memdep = Twill_ir.Memdep
 module Dswp = Twill_dswp.Dswp
 module Partition = Twill_dswp.Partition
 module Threadgen = Twill_dswp.Threadgen
@@ -439,6 +440,23 @@ let run_threaded ?config ?engine ?(fuel_cycles = 2_000_000) ?vcd
   let is_hw s = t.Dswp.roles.(s) = Partition.Hw in
   let layout, mem = Interp.fresh_memory t.Dswp.modul in
   let ictx = Interp.make_context ~layout t.Dswp.modul in
+  (* banked memory: one load/store slot per bank per cycle instead of
+     one for the whole memory — the same per-bank arbitration rtsim
+     models and the per-bank RTL memory ports provide *)
+  let nbanks =
+    match config with Some c -> max 1 c.Sim.mem_banks | None -> 1
+  in
+  let bank_plan =
+    if nbanks = 1 then None
+    else
+      let md = Memdep.build t.Dswp.modul in
+      Some (Memdep.plan md layout ~banks:nbanks)
+  in
+  let bank_of_addr (a : int) : int =
+    match bank_plan with
+    | None -> 0
+    | Some p -> Memdep.bank_of_addr p (Int32.of_int a)
+  in
   let thr : th option array = Array.make nstages None in
   let instances = ref [] in
   Array.iteri
@@ -636,70 +654,73 @@ let run_threaded ?config ?engine ?(fuel_cycles = 2_000_000) ?vcd
     t.Dswp.stages;
   (* --- operation plumbing --- *)
   let mem_words = Array.length mem in
-  let issue s (p : pend) ~mem_free ~bus_free =
-    (* returns (mem_free, bus_free) after possibly consuming a slot *)
+  let issue s (p : pend) ~(mem_free : bool array) ~bus_free =
+    (* returns bus_free after possibly consuming a slot; load/store
+       slots are per-bank and consumed in place in [mem_free] *)
     match p.op with
     | OLoad addr ->
-        if not mem_free then (mem_free, bus_free)
+        let b = bank_of_addr addr in
+        if not mem_free.(b) then bus_free
         else begin
           if addr < 0 || addr >= mem_words then
             fail "stage %d: load of address %d out of memory" s addr;
           complete s (Int32.to_int mem.(addr));
-          (false, bus_free)
+          mem_free.(b) <- false;
+          bus_free
         end
     | OStore (addr, v) ->
-        if not mem_free then (mem_free, bus_free)
+        let b = bank_of_addr addr in
+        if not mem_free.(b) then bus_free
         else begin
           if addr < 0 || addr >= mem_words then
             fail "stage %d: store to address %d out of memory" s addr;
           mem.(addr) <- Int32.of_int v;
           complete s 0;
-          (false, bus_free)
+          mem_free.(b) <- false;
+          bus_free
         end
     | OPrint v ->
-        if not bus_free then (mem_free, bus_free)
+        if not bus_free then bus_free
         else begin
           prints_rev.(s) := Int32.of_int v :: !(prints_rev.(s));
           complete s 0;
-          (mem_free, false)
+          false
         end
     | OQgive (qid, v) ->
         let q = queue_of qid in
         if (not bus_free) || Vsim.peek_h q.qi q.q_count > q.q_depth then
-          (mem_free, bus_free)
+          bus_free
         else begin
           pulse q.qi q.q_gv 1;
           Vsim.poke_h q.qi q.q_gd v;
           p.ph <- Pulse_sent;
-          (mem_free, false)
+          false
         end
     | OQtake qid ->
         let q = queue_of qid in
-        if (not bus_free) || Vsim.peek_h q.qi q.q_count < 1 then
-          (mem_free, bus_free)
+        if (not bus_free) || Vsim.peek_h q.qi q.q_count < 1 then bus_free
         else begin
           pulse q.qi q.q_tv 1;
           p.ph <- Pulse_sent;
-          (mem_free, false)
+          false
         end
     | OSgive (sm, k) ->
         let sh = sems.(sm) in
-        if not bus_free then (mem_free, bus_free)
+        if not bus_free then bus_free
         else begin
           pulse sh.si sh.s_gv 1;
           Vsim.poke_h sh.si sh.s_gc k;
           p.ph <- Pulse_sent;
-          (mem_free, false)
+          false
         end
     | OStake (sm, k) ->
         let sh = sems.(sm) in
-        if (not bus_free) || Vsim.peek_h sh.si sh.s_count < k then
-          (mem_free, bus_free)
+        if (not bus_free) || Vsim.peek_h sh.si sh.s_count < k then bus_free
         else begin
           pulse sh.si sh.s_tv 1;
           Vsim.poke_h sh.si sh.s_tc k;
           p.ph <- Pulse_sent;
-          (mem_free, false)
+          false
         end
   in
   let check_ack s (p : pend) =
@@ -759,13 +780,11 @@ let run_threaded ?config ?engine ?(fuel_cycles = 2_000_000) ?vcd
         parked := !still
   in
   let check_acks s p = match p with Some p -> check_ack s p | None -> () in
-  let mem_free = ref true and bus_free = ref true in
+  let mem_free = Array.make nbanks true and bus_free = ref true in
   let grant s =
     match preq.(s) with
     | Some p when p.ph = Wait_bus ->
-        let m, b = issue s p ~mem_free:!mem_free ~bus_free:!bus_free in
-        mem_free := m;
-        bus_free := b
+        bus_free := issue s p ~mem_free ~bus_free:!bus_free
     | _ -> ()
   in
   (* --- the clock loop --- *)
@@ -807,7 +826,7 @@ let run_threaded ?config ?engine ?(fuel_cycles = 2_000_000) ?vcd
        done;
        (* (b) advance in-flight ops on last edge's acks, then grant buses *)
        Array.iteri check_acks preq;
-       mem_free := true;
+       Array.fill mem_free 0 nbanks true;
        bus_free := true;
        List.iter grant bus_order;
        (* (c) one clock edge everywhere *)

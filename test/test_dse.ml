@@ -78,6 +78,7 @@ let test_comm_extract_key () =
       engine = Sim.Compiled;
       comm = "none";
       backend = Twill.Schedule.Fsm;
+      banks = 1;
     }
   in
   let deeper = { base with Grid.queue_depth = 32 } in
@@ -133,6 +134,7 @@ let pt =
     engine = Sim.Compiled;
     comm = "none";
     backend = Twill.Schedule.Fsm;
+    banks = 1;
   }
 
 let r metrics = { Pareto.point = pt; metrics }

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "twill"
     (List.concat [
          Test_ir.suites;
+         Test_memdep.suites;
          Test_diff.suites;
          Test_minic.suites;
          Test_passes.suites;
